@@ -1,0 +1,488 @@
+//! # trim-analysis — static analysis for pylite serverless applications
+//!
+//! The first stage of the λ-trim pipeline (§5.1): a single pass over the
+//! application's AST to identify the external modules it imports, plus a
+//! PyCG-style flow-insensitive call-graph/attribute analysis ([`analyze`])
+//! that computes which module attributes the application **definitely
+//! accesses**. Those attributes are excluded from Delta Debugging — they
+//! must be kept anyway, so not probing them shrinks the search space (§6.3).
+//!
+//! The analysis tracks name → origin bindings (module objects, module
+//! attributes) through assignments and aliases:
+//!
+//! ```text
+//! import torch.nn as nn         # nn ↦ Module("torch.nn")
+//! from torch.optim import SGD   # SGD ↦ Attr("torch.optim", "SGD")
+//! x = nn.Linear(2, 1)           # records torch.nn.Linear as accessed
+//! opt = SGD(x)                  # records torch.optim.SGD as accessed
+//! ```
+
+#![warn(missing_docs)]
+
+use pylite::ast::{Expr, Program, Stmt};
+use pylite::Registry;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// What a name is statically known to refer to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Origin {
+    /// A module object with the given dotted name.
+    Module(String),
+    /// An attribute of a module (`from m import a`, or a resolved `m.a`).
+    Attr(String, String),
+    /// Anything else.
+    Unknown,
+}
+
+/// The result of statically analyzing an application.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Analysis {
+    /// Every module the application imports, directly or via dotted paths
+    /// (importing `torch.nn` contributes both `torch` and `torch.nn`).
+    pub imported_modules: BTreeSet<String>,
+    /// Modules imported *directly by an import statement in the program*
+    /// (the candidates handed to the profiler).
+    pub direct_imports: BTreeSet<String>,
+    /// Per-module set of attributes the program definitely accesses.
+    /// These are excluded from the DD search (§5.1).
+    pub accessed: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl Analysis {
+    /// Attributes definitely accessed on `module` (empty set if none).
+    pub fn accessed_attrs(&self, module: &str) -> BTreeSet<String> {
+        self.accessed.get(module).cloned().unwrap_or_default()
+    }
+}
+
+struct Analyzer<'a> {
+    registry: &'a Registry,
+    result: Analysis,
+}
+
+/// Analyze an application program against the registry it will run in.
+///
+/// The registry is needed to distinguish `m.sub` (a submodule) from `m.attr`
+/// (a plain attribute) when resolving dotted chains.
+pub fn analyze(program: &Program, registry: &Registry) -> Analysis {
+    let mut analyzer = Analyzer {
+        registry,
+        result: Analysis::default(),
+    };
+    let mut env: HashMap<String, Origin> = HashMap::new();
+    analyzer.walk_block(&program.body, &mut env);
+    analyzer.result
+}
+
+/// Convenience: collect just the imported module names of a program
+/// (the "single pass over the AST" of §5.1), including nested imports
+/// inside functions and classes.
+pub fn imported_modules(program: &Program) -> BTreeSet<String> {
+    let registry = Registry::new();
+    analyze(program, &registry).imported_modules
+}
+
+impl<'a> Analyzer<'a> {
+    fn record_import(&mut self, dotted: &str) {
+        // `import a.b.c` pulls in a, a.b and a.b.c.
+        let mut prefix = String::new();
+        for part in dotted.split('.') {
+            if !prefix.is_empty() {
+                prefix.push('.');
+            }
+            prefix.push_str(part);
+            self.result.imported_modules.insert(prefix.clone());
+        }
+        self.result.direct_imports.insert(dotted.to_owned());
+    }
+
+    fn record_access(&mut self, module: &str, attr: &str) {
+        self.result
+            .accessed
+            .entry(module.to_owned())
+            .or_default()
+            .insert(attr.to_owned());
+    }
+
+    fn walk_block(&mut self, body: &[Stmt], env: &mut HashMap<String, Origin>) {
+        for stmt in body {
+            self.walk_stmt(stmt, env);
+        }
+    }
+
+    fn walk_stmt(&mut self, stmt: &Stmt, env: &mut HashMap<String, Origin>) {
+        match stmt {
+            Stmt::Import { items } => {
+                for item in items {
+                    self.record_import(&item.module);
+                    match &item.alias {
+                        Some(alias) => {
+                            env.insert(alias.clone(), Origin::Module(item.module.clone()));
+                        }
+                        None => {
+                            let top = item
+                                .module
+                                .split('.')
+                                .next()
+                                .expect("nonempty module path")
+                                .to_owned();
+                            env.insert(top.clone(), Origin::Module(top));
+                        }
+                    }
+                }
+            }
+            Stmt::FromImport { module, names } => {
+                self.record_import(module);
+                for (name, alias) in names {
+                    let bound = alias.as_deref().unwrap_or(name);
+                    let submodule = format!("{module}.{name}");
+                    if self.registry.contains(&submodule) {
+                        self.record_import(&submodule);
+                        // Importing a submodule via `from` counts as access.
+                        self.record_access(module, name);
+                        env.insert(bound.to_owned(), Origin::Module(submodule));
+                    } else {
+                        env.insert(
+                            bound.to_owned(),
+                            Origin::Attr(module.clone(), name.clone()),
+                        );
+                    }
+                }
+            }
+            Stmt::Assign { targets, value } => {
+                let origin = self.resolve(value, env);
+                for t in targets {
+                    match t {
+                        Expr::Name(n) => {
+                            env.insert(n.clone(), origin.clone());
+                        }
+                        other => {
+                            // Resolving the target records accesses on its base.
+                            self.resolve(other, env);
+                        }
+                    }
+                }
+            }
+            Stmt::AugAssign { target, value, .. } => {
+                self.resolve(target, env);
+                self.resolve(value, env);
+            }
+            Stmt::Expr(e) | Stmt::Raise(Some(e)) | Stmt::Del(e) => {
+                self.resolve(e, env);
+            }
+            Stmt::Raise(None) | Stmt::Pass | Stmt::Break | Stmt::Continue | Stmt::Global(_) => {}
+            Stmt::Return(e) => {
+                if let Some(e) = e {
+                    self.resolve(e, env);
+                }
+            }
+            Stmt::If { branches, orelse } => {
+                for (test, body) in branches {
+                    self.resolve(test, env);
+                    self.walk_block(body, env);
+                }
+                self.walk_block(orelse, env);
+            }
+            Stmt::While { test, body } => {
+                self.resolve(test, env);
+                self.walk_block(body, env);
+            }
+            Stmt::For { targets, iter, body } => {
+                self.resolve(iter, env);
+                for t in targets {
+                    env.insert(t.clone(), Origin::Unknown);
+                }
+                self.walk_block(body, env);
+            }
+            Stmt::FuncDef(f) => {
+                // Assume every defined function is reachable (the handler and
+                // its helpers): analyze the body in a child scope.
+                for p in &f.params {
+                    if let Some(d) = &p.default {
+                        self.resolve(d, env);
+                    }
+                }
+                let mut child = env.clone();
+                for p in &f.params {
+                    child.insert(p.name.clone(), Origin::Unknown);
+                }
+                self.walk_block(&f.body, &mut child);
+                env.insert(f.name.clone(), Origin::Unknown);
+            }
+            Stmt::ClassDef(c) => {
+                for base in &c.bases {
+                    // A base class reference is a use.
+                    self.resolve(&Expr::Name(base.clone()), env);
+                }
+                let mut child = env.clone();
+                self.walk_block(&c.body, &mut child);
+                env.insert(c.name.clone(), Origin::Unknown);
+            }
+            Stmt::Try {
+                body,
+                handlers,
+                orelse,
+                finalbody,
+            } => {
+                self.walk_block(body, env);
+                for h in handlers {
+                    let mut child = env.clone();
+                    if let Some(n) = &h.name {
+                        child.insert(n.clone(), Origin::Unknown);
+                    }
+                    self.walk_block(&h.body, &mut child);
+                }
+                self.walk_block(orelse, env);
+                self.walk_block(finalbody, env);
+            }
+            Stmt::Assert { test, msg } => {
+                self.resolve(test, env);
+                if let Some(m) = msg {
+                    self.resolve(m, env);
+                }
+            }
+        }
+    }
+
+    /// Resolve an expression to its origin, recording any module-attribute
+    /// accesses found along the way.
+    fn resolve(&mut self, e: &Expr, env: &mut HashMap<String, Origin>) -> Origin {
+        match e {
+            Expr::Name(n) => {
+                let origin = env.get(n).cloned().unwrap_or(Origin::Unknown);
+                if let Origin::Attr(m, a) = &origin {
+                    // Using a from-imported name is a definite access.
+                    let (m, a) = (m.clone(), a.clone());
+                    self.record_access(&m, &a);
+                }
+                origin
+            }
+            Expr::Attribute { value, attr } => {
+                let base = self.resolve(value, env);
+                match base {
+                    Origin::Module(m) => {
+                        self.record_access(&m, attr);
+                        let sub = format!("{m}.{attr}");
+                        if self.registry.contains(&sub) {
+                            Origin::Module(sub)
+                        } else {
+                            Origin::Attr(m, attr.clone())
+                        }
+                    }
+                    _ => Origin::Unknown,
+                }
+            }
+            Expr::Call { func, args, kwargs } => {
+                self.resolve(func, env);
+                for a in args {
+                    self.resolve(a, env);
+                }
+                for (_, v) in kwargs {
+                    self.resolve(v, env);
+                }
+                Origin::Unknown
+            }
+            Expr::Subscript { value, index } => {
+                self.resolve(value, env);
+                self.resolve(index, env);
+                Origin::Unknown
+            }
+            Expr::List(items) | Expr::Tuple(items) => {
+                for i in items {
+                    self.resolve(i, env);
+                }
+                Origin::Unknown
+            }
+            Expr::Dict(pairs) => {
+                for (k, v) in pairs {
+                    self.resolve(k, env);
+                    self.resolve(v, env);
+                }
+                Origin::Unknown
+            }
+            Expr::Unary { operand, .. } => {
+                self.resolve(operand, env);
+                Origin::Unknown
+            }
+            Expr::Binary { left, right, .. } => {
+                self.resolve(left, env);
+                self.resolve(right, env);
+                Origin::Unknown
+            }
+            Expr::Bool { values, .. } => {
+                for v in values {
+                    self.resolve(v, env);
+                }
+                Origin::Unknown
+            }
+            Expr::Compare { left, ops } => {
+                self.resolve(left, env);
+                for (_, v) in ops {
+                    self.resolve(v, env);
+                }
+                Origin::Unknown
+            }
+            Expr::Conditional { test, body, orelse } => {
+                self.resolve(test, env);
+                self.resolve(body, env);
+                self.resolve(orelse, env);
+                Origin::Unknown
+            }
+            Expr::ListComp {
+                element,
+                targets,
+                iter,
+                cond,
+            } => {
+                self.resolve(iter, env);
+                let mut child = env.clone();
+                for t in targets {
+                    child.insert(t.clone(), Origin::Unknown);
+                }
+                self.resolve(element, &mut child);
+                if let Some(c) = cond {
+                    self.resolve(c, &mut child);
+                }
+                Origin::Unknown
+            }
+            Expr::Slice { value, start, stop } => {
+                self.resolve(value, env);
+                if let Some(e) = start {
+                    self.resolve(e, env);
+                }
+                if let Some(e) = stop {
+                    self.resolve(e, env);
+                }
+                Origin::Unknown
+            }
+            _ => Origin::Unknown,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pylite::parse;
+
+    fn registry_with(mods: &[&str]) -> Registry {
+        let mut r = Registry::new();
+        for m in mods {
+            r.set_module(*m, "");
+        }
+        r
+    }
+
+    #[test]
+    fn collects_direct_and_transitive_imports() {
+        let p = parse("import torch.nn\nimport numpy as np\nfrom boto3 import client\n").unwrap();
+        let a = analyze(&p, &registry_with(&["torch", "torch.nn", "numpy", "boto3"]));
+        for m in ["torch", "torch.nn", "numpy", "boto3"] {
+            assert!(a.imported_modules.contains(m), "missing {m}");
+        }
+        assert!(a.direct_imports.contains("torch.nn"));
+        assert!(a.direct_imports.contains("numpy"));
+    }
+
+    #[test]
+    fn records_attribute_accesses_on_modules() {
+        let p = parse("import torch\nx = torch.tensor([1.0])\nz = torch.view(x, 2, 1)\n").unwrap();
+        let a = analyze(&p, &registry_with(&["torch"]));
+        let attrs = a.accessed_attrs("torch");
+        assert!(attrs.contains("tensor"));
+        assert!(attrs.contains("view"));
+        assert!(!attrs.contains("nn"));
+    }
+
+    #[test]
+    fn resolves_dotted_submodule_chains() {
+        let p = parse("import torch\nmodel = torch.nn.Linear(2, 1)\n").unwrap();
+        let a = analyze(&p, &registry_with(&["torch", "torch.nn"]));
+        assert!(a.accessed_attrs("torch").contains("nn"));
+        assert!(a.accessed_attrs("torch.nn").contains("Linear"));
+    }
+
+    #[test]
+    fn tracks_import_aliases() {
+        let p = parse("import torch.nn as nn\nlayer = nn.Linear(2, 1)\n").unwrap();
+        let a = analyze(&p, &registry_with(&["torch", "torch.nn"]));
+        assert!(a.accessed_attrs("torch.nn").contains("Linear"));
+    }
+
+    #[test]
+    fn from_import_unused_is_not_accessed() {
+        // §6.2: `from torch.nn import Linear, MSELoss` where MSELoss is never
+        // used — DD must be allowed to remove it, so it must NOT be marked
+        // definitely-accessed.
+        let p = parse("from torch.nn import Linear, MSELoss\nx = Linear(2, 1)\n").unwrap();
+        let a = analyze(&p, &registry_with(&["torch", "torch.nn"]));
+        let attrs = a.accessed_attrs("torch.nn");
+        assert!(attrs.contains("Linear"));
+        assert!(!attrs.contains("MSELoss"));
+    }
+
+    #[test]
+    fn assignment_propagates_module_origin() {
+        let p = parse("import numpy\nnp2 = numpy\ny = np2.zeros(4)\n").unwrap();
+        let a = analyze(&p, &registry_with(&["numpy"]));
+        assert!(a.accessed_attrs("numpy").contains("zeros"));
+    }
+
+    #[test]
+    fn function_bodies_are_analyzed() {
+        let p = parse(
+            "import boto3\ndef handler(event, context):\n    c = boto3.client(\"s3\")\n    return c\n",
+        )
+        .unwrap();
+        let a = analyze(&p, &registry_with(&["boto3"]));
+        assert!(a.accessed_attrs("boto3").contains("client"));
+    }
+
+    #[test]
+    fn nested_imports_inside_functions_are_found() {
+        let p = parse("def handler(event, context):\n    import lazy_lib\n    return lazy_lib.go()\n")
+            .unwrap();
+        let a = analyze(&p, &registry_with(&["lazy_lib"]));
+        assert!(a.imported_modules.contains("lazy_lib"));
+        assert!(a.accessed_attrs("lazy_lib").contains("go"));
+    }
+
+    #[test]
+    fn parameters_shadow_outer_bindings() {
+        let p = parse(
+            "import numpy\ndef f(numpy):\n    return numpy.inner_attr\ny = numpy.outer_attr\n",
+        )
+        .unwrap();
+        let a = analyze(&p, &registry_with(&["numpy"]));
+        let attrs = a.accessed_attrs("numpy");
+        assert!(attrs.contains("outer_attr"));
+        assert!(
+            !attrs.contains("inner_attr"),
+            "parameter shadows the module binding"
+        );
+    }
+
+    #[test]
+    fn from_import_of_submodule_binds_module_origin() {
+        let p = parse("from torch import nn\nlayer = nn.Linear(2, 1)\n").unwrap();
+        let a = analyze(&p, &registry_with(&["torch", "torch.nn"]));
+        assert!(a.imported_modules.contains("torch.nn"));
+        assert!(a.accessed_attrs("torch.nn").contains("Linear"));
+    }
+
+    #[test]
+    fn attribute_writes_count_as_access() {
+        let p = parse("import cfg\ncfg.flag = 1\n").unwrap();
+        let a = analyze(&p, &registry_with(&["cfg"]));
+        assert!(a.accessed_attrs("cfg").contains("flag"));
+    }
+
+    #[test]
+    fn imported_modules_helper() {
+        let p = parse("import a, b.c\n").unwrap();
+        let mods = imported_modules(&p);
+        assert!(mods.contains("a"));
+        assert!(mods.contains("b"));
+        assert!(mods.contains("b.c"));
+    }
+}

@@ -1,0 +1,33 @@
+//! # trim-apps — the 21-application benchmark corpus
+//!
+//! A from-scratch reconstruction of the paper's benchmark set (Table 1):
+//! 8 applications from FaaSLight, 6 from RainbowCake and 7 new ones, each
+//! with the synthetic library ecosystem it depends on (torch, transformers,
+//! numpy, pandas, sklearn, tensorflow, …) generated from specs calibrated
+//! to the paper's measurements:
+//!
+//! * attribute counts match Table 3's "Pre" column per example module;
+//! * full-load import times land near Table 1's `Import` column;
+//! * the unavoidable/removable cost split is tuned so trimming lands near
+//!   Figure 8's improvements;
+//! * every app has a `getattr`-reachable *rare* attribute that the oracle
+//!   set does not exercise — the Table 4 fallback trigger.
+//!
+//! # Example
+//!
+//! ```
+//! let bench = trim_apps::app("markdown").expect("corpus app");
+//! let exec = trim_core::run_app(&bench.registry, &bench.app_source, &bench.spec)
+//!     .expect("app passes its own oracle");
+//! assert!(exec.init_secs > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod libgen;
+pub mod specs;
+
+pub use apps::{app, app_names, corpus, mini_corpus, BenchApp, PaperRow};
+pub use libgen::{attr_is_function, attr_name, generate_library, LibSpec, SubSpec};
+pub use specs::{library_spec, library_specs};

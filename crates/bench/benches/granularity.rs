@@ -1,0 +1,138 @@
+//! Ablation bench for §6.1's design choice: attribute-granularity DD
+//! (λ-trim) vs statement-granularity static trimming (FaaSLight-style),
+//! measured on trim quality proxies and wall-clock.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use trim_core::{trim_app, DebloatOptions};
+
+fn bench_granularity(c: &mut Criterion) {
+    let bench = trim_apps::app("lightgbm").expect("lightgbm app");
+    let mut group = c.benchmark_group("ablation/granularity");
+    group.sample_size(10);
+    group.bench_function("attribute-dd", |b| {
+        b.iter(|| {
+            let r = trim_app(
+                &bench.registry,
+                &bench.app_source,
+                &bench.spec,
+                &DebloatOptions::default(),
+            )
+            .unwrap();
+            black_box(r.attrs_removed())
+        })
+    });
+    group.bench_function("statement-static", |b| {
+        b.iter(|| {
+            let r = trim_baselines::faaslight_trim(&bench.registry, &bench.app_source, &bench.spec)
+                .unwrap();
+            black_box(r.attrs_removed())
+        })
+    });
+    group.bench_function("deadcode-static", |b| {
+        b.iter(|| {
+            let r = trim_baselines::vulture_trim(&bench.registry, &bench.app_source, &bench.spec)
+                .unwrap();
+            black_box(r.attrs_removed())
+        })
+    });
+    group.finish();
+}
+
+fn bench_scoring_methods(c: &mut Criterion) {
+    use trim_profiler::{profile_app, top_k, ScoringMethod};
+    let bench = trim_apps::app("spacy").expect("spacy app");
+    let profile = profile_app(&bench.app_source, &bench.registry).unwrap();
+    let mut group = c.benchmark_group("ablation/scoring");
+    for method in [
+        ScoringMethod::Time,
+        ScoringMethod::Memory,
+        ScoringMethod::Combined,
+        ScoringMethod::Random { seed: 7 },
+    ] {
+        group.bench_function(method.name(), |b| {
+            b.iter(|| black_box(top_k(&profile, method, 20).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let bench = trim_apps::app("igraph").expect("igraph app");
+    let mut group = c.benchmark_group("ablation/algorithm");
+    group.sample_size(10);
+    for (label, algorithm) in [
+        ("ddmin", trim_core::Algorithm::Ddmin),
+        ("greedy", trim_core::Algorithm::Greedy),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let r = trim_app(
+                    &bench.registry,
+                    &bench.app_source,
+                    &bench.spec,
+                    &DebloatOptions {
+                        algorithm,
+                        ..DebloatOptions::default()
+                    },
+                )
+                .unwrap();
+                black_box((r.attrs_removed(), r.oracle_invocations))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let bench = trim_apps::app("markdown").expect("markdown app");
+    let cold = trim_app(
+        &bench.registry,
+        &bench.app_source,
+        &bench.spec,
+        &DebloatOptions::default(),
+    )
+    .unwrap();
+    let log = trim_core::TrimLog::from_report(&cold);
+    let mut group = c.benchmark_group("ablation/incremental");
+    group.sample_size(10);
+    group.bench_function("cold-trim", |b| {
+        b.iter(|| {
+            black_box(
+                trim_app(
+                    &bench.registry,
+                    &bench.app_source,
+                    &bench.spec,
+                    &DebloatOptions::default(),
+                )
+                .unwrap()
+                .oracle_invocations,
+            )
+        })
+    });
+    group.bench_function("seeded-retrim", |b| {
+        b.iter(|| {
+            black_box(
+                trim_core::retrim_with_log(
+                    &bench.registry,
+                    &bench.app_source,
+                    &bench.spec,
+                    &log,
+                    &DebloatOptions::default(),
+                )
+                .unwrap()
+                .oracle_invocations,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_granularity,
+    bench_scoring_methods,
+    bench_algorithms,
+    bench_incremental
+);
+criterion_main!(benches);

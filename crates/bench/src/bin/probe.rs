@@ -1,0 +1,26 @@
+use std::time::Instant;
+use trim_core::{trim_app, DebloatOptions};
+
+fn main() {
+    let names: Vec<String> = std::env::args().skip(1).collect();
+    let names = if names.is_empty() {
+        vec!["markdown".into(), "dna-visualization".into(), "lightgbm".into(), "resnet".into()]
+    } else { names };
+    for name in names {
+        let bench = trim_apps::app(&name).expect("app");
+        let t0 = Instant::now();
+        let report = trim_app(&bench.registry, &bench.app_source, &bench.spec, &DebloatOptions::default()).unwrap();
+        let wall = t0.elapsed().as_secs_f64();
+        println!(
+            "{name}: wall={wall:.1}s probes={} removed={} init {:.3}->{:.3}s mem {:.1}->{:.1}MB debloat_sim={:.0}s",
+            report.oracle_invocations,
+            report.attrs_removed(),
+            report.before.init_secs, report.after.init_secs,
+            report.before.mem_mb, report.after.mem_mb,
+            report.debloat_secs
+        );
+        for m in &report.modules {
+            println!("   {}: {}/{} kept, {} probes", m.module, m.attrs_after, m.attrs_before, m.dd_stats.oracle_invocations);
+        }
+    }
+}

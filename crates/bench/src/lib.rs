@@ -1,0 +1,9 @@
+//! # trim-bench — experiment harness and benchmarks
+//!
+//! Hosts the shared [`harness`] used by the `experiments` binary (which
+//! regenerates every table and figure of the paper, see `DESIGN.md` §3)
+//! and by the Criterion benches under `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod harness;

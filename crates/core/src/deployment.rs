@@ -1,0 +1,203 @@
+//! Deployment packaging (§5.4): bundle the trimmed application with a
+//! fallback wrapper, ready to upload alongside the original function.
+//!
+//! The wrapper is generated as pylite source and runs *inside* the deployed
+//! function: it calls the real handler and, on `AttributeError`, invokes
+//! the original function as an independent serverless instance (modeled by
+//! an external call) and returns a structured fallback response carrying
+//! the notification the user should feed back into the oracle set.
+
+use crate::pipeline::TrimReport;
+use pylite::Registry;
+
+/// The name the wrapper rebinds the user handler to.
+pub const ORIGINAL_HANDLER_BINDING: &str = "__lt_user_handler__";
+
+/// The external service the wrapper "invokes" on fallback (stands in for a
+/// cross-function Lambda invocation).
+pub const FALLBACK_SERVICE: &str = "lambda";
+
+/// A deployable bundle: the trimmed image (modules + wrapped app) plus the
+/// untouched original image that serves as the fallback target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeploymentPackage {
+    /// The trimmed function's site-packages.
+    pub trimmed: Registry,
+    /// The trimmed function's application source, wrapped with the §5.4
+    /// fallback handler.
+    pub wrapped_app_source: String,
+    /// The original (fallback) function's site-packages.
+    pub original: Registry,
+    /// The original function's application source (unwrapped).
+    pub original_app_source: String,
+    /// Name of the handler entry point (same for both functions).
+    pub handler: String,
+}
+
+impl DeploymentPackage {
+    /// Total source bytes of the trimmed image (code-size accounting).
+    pub fn trimmed_code_bytes(&self) -> u64 {
+        self.trimmed.total_source_bytes() + self.wrapped_app_source.len() as u64
+    }
+
+    /// Total source bytes of the original image.
+    pub fn original_code_bytes(&self) -> u64 {
+        self.original.total_source_bytes() + self.original_app_source.len() as u64
+    }
+}
+
+/// Generate the §5.4 wrapper around `handler` as pylite source, to be
+/// appended to the trimmed application.
+///
+/// During normal operation the wrapper adds one function call — the
+/// negligible overhead §5.4 describes. On `AttributeError` it issues the
+/// cross-function invocation and returns a response dict with the fallback
+/// notification.
+pub fn wrapper_source(handler: &str) -> String {
+    format!(
+        concat!(
+            "{orig} = {handler}\n",
+            "def {handler}(event, context):\n",
+            "    try:\n",
+            "        return {orig}(event, context)\n",
+            "    except AttributeError as e:\n",
+            "        __lt_extcall__(\"{service}\", \"invoke-original\", str(e))\n",
+            "        return {{\"fallback\": True, \"notification\": str(e)}}\n",
+        ),
+        orig = ORIGINAL_HANDLER_BINDING,
+        handler = handler,
+        service = FALLBACK_SERVICE,
+    )
+}
+
+/// Package a completed trim into a deployable bundle.
+pub fn package(
+    original_registry: &Registry,
+    app_source: &str,
+    handler: &str,
+    report: &TrimReport,
+) -> DeploymentPackage {
+    let mut wrapped = String::with_capacity(app_source.len() + 256);
+    wrapped.push_str(app_source);
+    if !wrapped.ends_with('\n') {
+        wrapped.push('\n');
+    }
+    wrapped.push_str(&wrapper_source(handler));
+    DeploymentPackage {
+        trimmed: report.trimmed.clone(),
+        wrapped_app_source: wrapped,
+        original: original_registry.clone(),
+        original_app_source: app_source.to_owned(),
+        handler: handler.to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{parse_literal, OracleSpec, TestCase};
+    use crate::pipeline::trim_app;
+    use crate::DebloatOptions;
+    use pylite::Interpreter;
+
+    fn registry() -> Registry {
+        let mut r = Registry::new();
+        r.set_module(
+            "svc",
+            "__lt_work__(40)\ndef common(x):\n    return x * 2\ndef rare(x):\n    return x * 100\n",
+        );
+        r
+    }
+
+    const APP: &str = "import svc\ndef handler(event, context):\n    if event[\"op\"] == \"rare\":\n        return getattr(svc, \"rare\")(event[\"n\"])\n    return svc.common(event[\"n\"])\n";
+
+    fn packaged() -> DeploymentPackage {
+        let r = registry();
+        let spec = OracleSpec::new(vec![TestCase::event("{\"op\": \"c\", \"n\": 3}")]);
+        let report = trim_app(&r, APP, &spec, &DebloatOptions::default()).unwrap();
+        package(&r, APP, "handler", &report)
+    }
+
+    fn invoke(pkg_registry: &Registry, app: &str, event: &str) -> (pylite::Value, Interpreter) {
+        let mut it = Interpreter::new(pkg_registry.clone());
+        it.exec_main(app).expect("wrapped app initializes");
+        let event = parse_literal(event).unwrap();
+        let out = it
+            .call_handler("handler", event, pylite::Value::None)
+            .expect("wrapper never raises AttributeError");
+        (out, it)
+    }
+
+    #[test]
+    fn wrapper_passes_through_normal_requests() {
+        let pkg = packaged();
+        let (out, it) = invoke(
+            &pkg.trimmed,
+            &pkg.wrapped_app_source,
+            "{\"op\": \"c\", \"n\": 21}",
+        );
+        assert_eq!(pylite::py_repr(&out), "42");
+        assert!(
+            !it.extcalls.iter().any(|c| c.starts_with("lambda:")),
+            "no cross-function call on the direct path"
+        );
+    }
+
+    #[test]
+    fn wrapper_catches_deleted_attribute_and_notifies() {
+        let pkg = packaged();
+        // `rare` is only reachable via getattr and absent from the oracle:
+        // trimmed away.
+        let (out, it) = invoke(
+            &pkg.trimmed,
+            &pkg.wrapped_app_source,
+            "{\"op\": \"rare\", \"n\": 2}",
+        );
+        let repr = pylite::py_repr(&out);
+        assert!(repr.contains("\"fallback\": True"), "got {repr}");
+        assert!(repr.contains("rare"), "notification names the attribute");
+        assert!(it
+            .extcalls
+            .iter()
+            .any(|c| c.starts_with("lambda:invoke-original")));
+    }
+
+    #[test]
+    fn original_image_still_serves_rare_requests() {
+        let pkg = packaged();
+        let (out, _) = invoke(
+            &pkg.original,
+            &pkg.original_app_source,
+            "{\"op\": \"rare\", \"n\": 2}",
+        );
+        assert_eq!(pylite::py_repr(&out), "200");
+    }
+
+    #[test]
+    fn trimmed_image_is_smaller() {
+        let pkg = packaged();
+        assert!(pkg.trimmed_code_bytes() < pkg.original_code_bytes() + 512);
+        assert!(pkg.trimmed.total_source_bytes() < pkg.original.total_source_bytes());
+    }
+
+    #[test]
+    fn wrapper_source_is_valid_pylite() {
+        let src = wrapper_source("handler");
+        // Must parse standalone after a stub handler definition.
+        let full = format!("def handler(event, context):\n    return 1\n{src}");
+        assert!(pylite::parse(&full).is_ok());
+    }
+
+    #[test]
+    fn wrapper_does_not_mask_other_exceptions() {
+        let pkg = packaged();
+        let mut it = Interpreter::new(pkg.trimmed.clone());
+        it.exec_main(&pkg.wrapped_app_source).unwrap();
+        // Missing "op" key → KeyError, which must propagate unchanged.
+        let event = parse_literal("{\"n\": 1}").unwrap();
+        let err = it
+            .call_handler("handler", event, pylite::Value::None)
+            .unwrap_err();
+        assert!(matches!(err.kind, pylite::ExcKind::KeyError));
+    }
+}

@@ -1,0 +1,273 @@
+//! Deployment with fallbacks (§5.4): wrap the debloated handler; if an
+//! input ever touches a deleted attribute, the resulting `AttributeError`
+//! triggers an invocation of the *original* function as an independent
+//! serverless instance, and the wrapper returns that response plus a
+//! notification about the failing input.
+
+use crate::oracle::{parse_literal, TestCase};
+use pylite::{py_repr, ExcKind, Interpreter, PyErr, Registry};
+
+/// How a wrapped invocation completed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FallbackOutcome {
+    /// The debloated function handled the request directly.
+    Direct {
+        /// `repr` of the handler's return value.
+        result: String,
+    },
+    /// A deleted attribute was touched; the original function answered.
+    FellBack {
+        /// `repr` of the *original* function's return value.
+        result: String,
+        /// The `AttributeError` that triggered the fallback — the
+        /// notification the user should feed back into the oracle set.
+        error: PyErr,
+    },
+}
+
+impl FallbackOutcome {
+    /// The response payload regardless of path.
+    pub fn result(&self) -> &str {
+        match self {
+            FallbackOutcome::Direct { result } | FallbackOutcome::FellBack { result, .. } => {
+                result
+            }
+        }
+    }
+
+    /// Whether the fallback path ran.
+    pub fn fell_back(&self) -> bool {
+        matches!(self, FallbackOutcome::FellBack { .. })
+    }
+}
+
+/// Virtual-time cost components of a wrapped invocation, for Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FallbackCost {
+    /// Initialization time of the trimmed function (s).
+    pub trimmed_init_secs: f64,
+    /// Execution time spent in the trimmed function before returning or
+    /// hitting the deleted attribute (s).
+    pub trimmed_exec_secs: f64,
+    /// Wrapper setup + communication overhead (s). ~50 ms per §8.7.
+    pub setup_secs: f64,
+    /// Initialization time of the fallback (original) instance (s);
+    /// zero when no fallback ran or the fallback instance was warm.
+    pub fallback_init_secs: f64,
+    /// Execution time of the fallback instance (s); zero when unused.
+    pub fallback_exec_secs: f64,
+}
+
+impl FallbackCost {
+    /// End-to-end seconds for a *cold* trimmed instance (init included).
+    pub fn e2e_cold_secs(&self) -> f64 {
+        self.trimmed_init_secs
+            + self.trimmed_exec_secs
+            + self.setup_secs
+            + self.fallback_init_secs
+            + self.fallback_exec_secs
+    }
+
+    /// End-to-end seconds when the trimmed instance was warm.
+    pub fn e2e_warm_secs(&self) -> f64 {
+        self.trimmed_exec_secs + self.setup_secs + self.fallback_init_secs + self.fallback_exec_secs
+    }
+}
+
+/// Wrapper setup + inter-function communication overhead (§8.7: ≈50 ms).
+pub const FALLBACK_SETUP_SECS: f64 = 0.050;
+
+/// Whether the fallback (original) instance is cold or warm when invoked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackInstanceState {
+    /// The original function must cold-start (pays its full init).
+    Cold,
+    /// A warm original instance exists (exec only).
+    Warm,
+}
+
+/// Invoke the trimmed application's handler for one test case, falling back
+/// to the original application on `AttributeError` (§5.4).
+///
+/// `fallback_state` controls whether the original instance pays its
+/// initialization (cold) or not (warm) — the four combinations of Table 4.
+///
+/// # Errors
+///
+/// Errors other than `AttributeError` (and failures of the original function
+/// itself) propagate: the wrapper only catches deleted-attribute accesses.
+pub fn invoke_with_fallback(
+    trimmed: &Registry,
+    original: &Registry,
+    app_source: &str,
+    handler: &str,
+    case: &TestCase,
+    fallback_state: FallbackInstanceState,
+) -> Result<(FallbackOutcome, FallbackCost), PyErr> {
+    let mut cost = FallbackCost::default();
+    let mut interp = Interpreter::new(trimmed.clone());
+    // Initialization of the trimmed function. An AttributeError here (e.g.
+    // an import-time access to a deleted attribute) also triggers fallback.
+    let init_result = interp.exec_main(app_source);
+    cost.trimmed_init_secs = interp.meter.clock_secs();
+    let exec_result = init_result.and_then(|_| {
+        let before = interp.meter.clock_secs();
+        let event = parse_literal(&case.event)?;
+        let context = parse_literal(&case.context)?;
+        let r = interp.call_handler(handler, event, context);
+        cost.trimmed_exec_secs = interp.meter.clock_secs() - before;
+        r
+    });
+    match exec_result {
+        Ok(v) => Ok((
+            FallbackOutcome::Direct {
+                result: py_repr(&v),
+            },
+            cost,
+        )),
+        Err(e) if matches!(e.kind, ExcKind::AttributeError) => {
+            cost.setup_secs = FALLBACK_SETUP_SECS;
+            // Invoke the original function as an independent instance.
+            let mut orig = Interpreter::new(original.clone());
+            orig.exec_main(app_source)?;
+            let init = orig.meter.clock_secs();
+            if fallback_state == FallbackInstanceState::Cold {
+                cost.fallback_init_secs = init;
+            }
+            let before = orig.meter.clock_secs();
+            let event = parse_literal(&case.event)?;
+            let context = parse_literal(&case.context)?;
+            let v = orig.call_handler(handler, event, context)?;
+            cost.fallback_exec_secs = orig.meter.clock_secs() - before;
+            Ok((
+                FallbackOutcome::FellBack {
+                    result: py_repr(&v),
+                    error: e,
+                },
+                cost,
+            ))
+        }
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn original() -> Registry {
+        let mut r = Registry::new();
+        r.set_module(
+            "lib",
+            "__lt_work__(400)\ndef used(x):\n    return x + 1\ndef rare(x):\n    return x * 100\n",
+        );
+        r
+    }
+
+    fn over_trimmed() -> Registry {
+        // `rare` was removed because the oracle set never exercised it.
+        let mut r = Registry::new();
+        r.set_module("lib", "__lt_work__(60)\ndef used(x):\n    return x + 1\n");
+        r
+    }
+
+    const APP: &str = "import lib\ndef handler(event, context):\n    if event[\"mode\"] == \"rare\":\n        return lib.rare(event[\"n\"])\n    return lib.used(event[\"n\"])\n";
+
+    #[test]
+    fn common_input_runs_direct() {
+        let (outcome, cost) = invoke_with_fallback(
+            &over_trimmed(),
+            &original(),
+            APP,
+            "handler",
+            &TestCase::event("{\"mode\": \"common\", \"n\": 5}"),
+            FallbackInstanceState::Cold,
+        )
+        .unwrap();
+        assert_eq!(outcome, FallbackOutcome::Direct { result: "6".into() });
+        assert_eq!(cost.setup_secs, 0.0, "no wrapper overhead on direct path");
+        assert_eq!(cost.fallback_exec_secs, 0.0);
+    }
+
+    #[test]
+    fn deleted_attribute_triggers_fallback_with_correct_result() {
+        let (outcome, cost) = invoke_with_fallback(
+            &over_trimmed(),
+            &original(),
+            APP,
+            "handler",
+            &TestCase::event("{\"mode\": \"rare\", \"n\": 5}"),
+            FallbackInstanceState::Cold,
+        )
+        .unwrap();
+        assert!(outcome.fell_back());
+        assert_eq!(outcome.result(), "500", "original function's answer");
+        match outcome {
+            FallbackOutcome::FellBack { error, .. } => {
+                assert!(matches!(error.kind, ExcKind::AttributeError));
+                assert!(error.message.contains("rare"));
+            }
+            _ => unreachable!(),
+        }
+        assert!(cost.setup_secs > 0.0);
+        assert!(cost.fallback_init_secs >= 0.1, "cold fallback pays init");
+        assert!(cost.fallback_exec_secs > 0.0);
+    }
+
+    #[test]
+    fn warm_fallback_skips_original_init() {
+        let case = TestCase::event("{\"mode\": \"rare\", \"n\": 2}");
+        let (_, cold) = invoke_with_fallback(
+            &over_trimmed(),
+            &original(),
+            APP,
+            "handler",
+            &case,
+            FallbackInstanceState::Cold,
+        )
+        .unwrap();
+        let (_, warm) = invoke_with_fallback(
+            &over_trimmed(),
+            &original(),
+            APP,
+            "handler",
+            &case,
+            FallbackInstanceState::Warm,
+        )
+        .unwrap();
+        assert_eq!(warm.fallback_init_secs, 0.0);
+        assert!(warm.e2e_warm_secs() < cold.e2e_cold_secs());
+    }
+
+    #[test]
+    fn non_attribute_errors_propagate() {
+        let err = invoke_with_fallback(
+            &over_trimmed(),
+            &original(),
+            APP,
+            "handler",
+            &TestCase::event("{\"n\": 1}"), // missing "mode" key → KeyError
+            FallbackInstanceState::Cold,
+        )
+        .unwrap_err();
+        assert!(matches!(err.kind, ExcKind::KeyError));
+    }
+
+    #[test]
+    fn cold_e2e_dominated_by_fallback_when_triggered() {
+        // §8.7: cold fallback roughly doubles the E2E latency.
+        let case = TestCase::event("{\"mode\": \"rare\", \"n\": 2}");
+        let (_, cost) = invoke_with_fallback(
+            &over_trimmed(),
+            &original(),
+            APP,
+            "handler",
+            &case,
+            FallbackInstanceState::Cold,
+        )
+        .unwrap();
+        let fallback_share =
+            (cost.fallback_init_secs + cost.fallback_exec_secs) / cost.e2e_cold_secs();
+        assert!(fallback_share > 0.5);
+    }
+}

@@ -1,0 +1,211 @@
+//! The end-to-end λ-trim pipeline (§4, Figure 3): static analyzer →
+//! cost profiler → DD debloater, producing a deployable trimmed registry.
+
+use crate::debloater::{debloat_module, DebloatOptions, ModuleReport};
+use crate::oracle::{run_app, Execution, OracleSpec};
+use crate::TrimError;
+use pylite::Registry;
+use trim_profiler::{profile_app, top_k};
+
+/// The complete result of trimming one application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrimReport {
+    /// Per-module debloating reports, in debloat order (profiler rank).
+    pub modules: Vec<ModuleReport>,
+    /// Baseline behavior/measurements of the original application.
+    pub before: Execution,
+    /// Behavior/measurements of the trimmed application.
+    pub after: Execution,
+    /// The trimmed registry, directly deployable (§5.4).
+    pub trimmed: Registry,
+    /// Total simulated debloating time (Table 3).
+    pub debloat_secs: f64,
+    /// Total oracle invocations across all modules.
+    pub oracle_invocations: u64,
+}
+
+impl TrimReport {
+    /// Total attributes removed across all debloated modules.
+    pub fn attrs_removed(&self) -> usize {
+        self.modules.iter().map(|m| m.removed.len()).sum()
+    }
+
+    /// Initialization-time improvement, as a fraction of the original.
+    pub fn init_improvement(&self) -> f64 {
+        if self.before.init_secs <= 0.0 {
+            0.0
+        } else {
+            (self.before.init_secs - self.after.init_secs) / self.before.init_secs
+        }
+    }
+
+    /// Memory improvement, as a fraction of the original.
+    pub fn mem_improvement(&self) -> f64 {
+        if self.before.mem_mb <= 0.0 {
+            0.0
+        } else {
+            (self.before.mem_mb - self.after.mem_mb) / self.before.mem_mb
+        }
+    }
+}
+
+/// Run the full λ-trim pipeline on an application.
+///
+/// 1. Execute the original once to capture the expected behavior (the
+///    strong-oracle baseline) and baseline measurements.
+/// 2. Statically analyze the program for imported modules and
+///    definitely-accessed attributes (§5.1).
+/// 3. Profile every imported module's marginal cost and rank the top-K by
+///    the configured scoring method (§5.2).
+/// 4. Debloat each top-K module with attribute-granularity DD, committing
+///    each module's trimmed source before moving to the next (§5.3/§6.3).
+///
+/// # Errors
+///
+/// [`TrimError::Parse`] if the application source does not parse,
+/// [`TrimError::Baseline`] if the original application fails its own oracle
+/// run — DD requires `O(P) = T` on the unmodified program.
+pub fn trim_app(
+    registry: &Registry,
+    app_source: &str,
+    spec: &OracleSpec,
+    options: &DebloatOptions,
+) -> Result<TrimReport, TrimError> {
+    // 1. Baseline run.
+    let before = run_app(registry, app_source, spec).map_err(TrimError::Baseline)?;
+
+    // 2. Static analysis.
+    let program = pylite::parse(app_source).map_err(TrimError::Parse)?;
+    let analysis = trim_analysis::analyze(&program, registry);
+
+    // 3. Cost profiling + top-K ranking.
+    let profile = profile_app(app_source, registry).map_err(TrimError::Baseline)?;
+    let targets: Vec<String> = top_k(&profile, options.scoring, options.k)
+        .into_iter()
+        .filter(|m| registry.contains(m))
+        .collect();
+
+    // 4. Debloat each target in rank order, committing as we go.
+    let mut work = registry.clone();
+    let mut modules = Vec::with_capacity(targets.len());
+    for module in &targets {
+        let must_keep = analysis.accessed_attrs(module);
+        let report = debloat_module(
+            &mut work,
+            app_source,
+            spec,
+            &before,
+            module,
+            &must_keep,
+            options,
+        )?;
+        modules.push(report);
+    }
+
+    let after = run_app(&work, app_source, spec).map_err(TrimError::Baseline)?;
+    debug_assert!(
+        after.behavior_eq(&before),
+        "trimmed application must be oracle-equivalent"
+    );
+    let debloat_secs = modules.iter().map(|m| m.debloat_secs).sum();
+    let oracle_invocations = modules.iter().map(|m| m.dd_stats.oracle_invocations).sum();
+    Ok(TrimReport {
+        modules,
+        before,
+        after,
+        trimmed: work,
+        debloat_secs,
+        oracle_invocations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::TestCase;
+
+    fn corpus() -> Registry {
+        let mut r = Registry::new();
+        r.set_module(
+            "mlkit",
+            "from mlkit.models import Net, OldNet\nfrom mlkit.losses import MSE\n_cache = __lt_alloc__(30)\n__lt_work__(80)\ndef predict(x):\n    return Net().run(x)\ndef train(x):\n    return MSE()\n",
+        );
+        r.set_module(
+            "mlkit.models",
+            "__lt_work__(40)\n_weights = __lt_alloc__(20)\nclass Net:\n    def run(self, x):\n        return x * 2\nclass OldNet:\n    pass\n",
+        );
+        r.set_module("mlkit.losses", "__lt_work__(60)\n_buf = __lt_alloc__(25)\nclass MSE:\n    pass\n");
+        r.set_module("util", "__lt_work__(10)\ndef fmt(x):\n    return str(x)\n");
+        r
+    }
+
+    const APP: &str = "import mlkit\nimport util\ndef handler(event, context):\n    return util.fmt(mlkit.predict(event[\"n\"]))\n";
+
+    fn spec() -> OracleSpec {
+        OracleSpec::new(vec![TestCase::event("{\"n\": 21}")])
+    }
+
+    #[test]
+    fn pipeline_trims_and_preserves_behavior() {
+        let report = trim_app(&corpus(), APP, &spec(), &DebloatOptions::default()).unwrap();
+        assert!(report.after.behavior_eq(&report.before));
+        assert_eq!(report.after.results, vec!["\"42\""]);
+        assert!(report.attrs_removed() > 0, "something must be trimmed");
+        // `train`/`MSE` are unused — mlkit.losses should no longer load.
+        let src = report.trimmed.source("mlkit").unwrap();
+        assert!(!src.contains("losses"), "unused loss import dropped:\n{src}");
+        assert!(
+            report.after.init_secs < report.before.init_secs,
+            "init time improves ({} -> {})",
+            report.before.init_secs,
+            report.after.init_secs
+        );
+        assert!(report.after.mem_mb < report.before.mem_mb);
+    }
+
+    #[test]
+    fn pipeline_reports_debloat_accounting() {
+        let report = trim_app(&corpus(), APP, &spec(), &DebloatOptions::default()).unwrap();
+        assert!(report.debloat_secs > 0.0);
+        assert!(report.oracle_invocations > 0);
+        assert!(report.init_improvement() > 0.0);
+        assert!(report.mem_improvement() > 0.0);
+    }
+
+    #[test]
+    fn k_limits_module_count() {
+        let report = trim_app(
+            &corpus(),
+            APP,
+            &spec(),
+            &DebloatOptions {
+                k: 1,
+                ..DebloatOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.modules.len(), 1);
+    }
+
+    #[test]
+    fn failing_baseline_is_an_error() {
+        let r = corpus();
+        let bad_app = "import mlkit\ndef handler(event, context):\n    return missing_name\n";
+        let err = trim_app(&r, bad_app, &spec(), &DebloatOptions::default()).unwrap_err();
+        assert!(matches!(err, TrimError::Baseline(_)));
+    }
+
+    #[test]
+    fn unparsable_app_is_an_error() {
+        let err = trim_app(&corpus(), "def broken(:\n", &spec(), &DebloatOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, TrimError::Baseline(_) | TrimError::Parse(_)));
+    }
+
+    #[test]
+    fn trimmed_registry_is_smaller_or_equal_in_source() {
+        let r = corpus();
+        let report = trim_app(&r, APP, &spec(), &DebloatOptions::default()).unwrap();
+        assert!(report.trimmed.total_source_bytes() <= r.total_source_bytes());
+    }
+}

@@ -1,0 +1,126 @@
+//! Human-readable rendering of trim results — the `REPORT.txt` the CLI
+//! writes next to a trimmed deployment, and the summary the examples print.
+
+use crate::pipeline::TrimReport;
+use std::fmt::Write as _;
+
+/// Render a [`TrimReport`] as an aligned plain-text report.
+pub fn render(report: &TrimReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "λ-trim report");
+    let _ = writeln!(out, "=============");
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:<30} {:>6} {:>6} {:>8} {:>8} {:>12}",
+        "module", "pre", "post", "removed", "probes", "debloat s"
+    );
+    for m in &report.modules {
+        let _ = writeln!(
+            out,
+            "{:<30} {:>6} {:>6} {:>8} {:>8} {:>12.1}",
+            m.module,
+            m.attrs_before,
+            m.attrs_after,
+            m.removed.len(),
+            m.dd_stats.oracle_invocations,
+            m.debloat_secs
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "function init : {:.3} s -> {:.3} s ({:+.1}%)",
+        report.before.init_secs,
+        report.after.init_secs,
+        -report.init_improvement() * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "memory        : {:.1} MB -> {:.1} MB ({:+.1}%)",
+        report.before.mem_mb,
+        report.after.mem_mb,
+        -report.mem_improvement() * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "attributes    : {} removed across {} modules",
+        report.attrs_removed(),
+        report.modules.len()
+    );
+    let _ = writeln!(
+        out,
+        "oracle probes : {} (simulated debloat time {:.1} s)",
+        report.oracle_invocations, report.debloat_secs
+    );
+    let _ = writeln!(
+        out,
+        "behavior      : {}",
+        if report.after.behavior_eq(&report.before) {
+            "identical on the oracle set"
+        } else {
+            "MISMATCH — do not deploy"
+        }
+    );
+    out
+}
+
+/// Render the per-module removed-attribute lists (the §5.4 notification
+/// payload users consult when extending their oracle set).
+pub fn render_removals(report: &TrimReport) -> String {
+    let mut out = String::new();
+    for m in &report.modules {
+        if m.removed.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "[{}] removed {} attribute(s):", m.module, m.removed.len());
+        for chunk in m.removed.chunks(6) {
+            let _ = writeln!(out, "    {}", chunk.join(", "));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{OracleSpec, TestCase};
+    use crate::pipeline::trim_app;
+    use crate::DebloatOptions;
+    use pylite::Registry;
+
+    fn sample_report() -> TrimReport {
+        let mut r = Registry::new();
+        r.set_module(
+            "lib",
+            "def used(x):\n    return x\ndef dead_a(x):\n    return x\ndef dead_b(x):\n    return x\n",
+        );
+        let app = "import lib\ndef handler(event, context):\n    return lib.used(event[\"n\"])\n";
+        let spec = OracleSpec::new(vec![TestCase::event("{\"n\": 1}")]);
+        trim_app(&r, app, &spec, &DebloatOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn render_mentions_every_module_and_verdict() {
+        let report = sample_report();
+        let text = render(&report);
+        assert!(text.contains("lib"));
+        assert!(text.contains("identical on the oracle set"));
+        assert!(text.contains("function init"));
+        assert!(text.contains("oracle probes"));
+    }
+
+    #[test]
+    fn render_removals_lists_attributes() {
+        let report = sample_report();
+        let text = render_removals(&report);
+        assert!(text.contains("dead_a"));
+        assert!(text.contains("dead_b"));
+        assert!(!text.contains("used,"), "kept attrs are not listed");
+    }
+
+    #[test]
+    fn render_is_stable_across_runs() {
+        assert_eq!(render(&sample_report()), render(&sample_report()));
+    }
+}

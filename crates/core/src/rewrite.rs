@@ -1,0 +1,197 @@
+//! AST rewriting: produce a module that keeps only a chosen attribute set
+//! (§6.3 — "the original `__init__.py` file is retrieved and then modified
+//! based on the attributes that DD currently tests", via a single traversal).
+
+use pylite::ast::{Program, Stmt};
+use std::collections::BTreeSet;
+
+/// Rewrite `program` so that only top-level attributes in `keep` remain.
+///
+/// * `def` / `class` definitions whose name is not kept are dropped;
+/// * `x = ...` assignments are dropped when none of their targets is kept;
+/// * `import m` clauses are dropped when their bound name is not kept;
+/// * `from m import a, b` lists are *filtered* — individual names drop out
+///   (the finer-than-statement granularity that §6.1 argues for);
+/// * every other statement (bare expressions, conditionals, loops, try
+///   blocks, magic-attribute assignments) is left untouched;
+/// * an empty result body becomes a single `pass` (Figure 7b).
+pub fn rewrite_module(program: &Program, keep: &BTreeSet<String>) -> Program {
+    let mut body = Vec::with_capacity(program.body.len());
+    for stmt in &program.body {
+        match stmt {
+            Stmt::FuncDef(f) => {
+                if keep.contains(&f.name) || crate::attributes::is_magic(&f.name) {
+                    body.push(stmt.clone());
+                }
+            }
+            Stmt::ClassDef(c) => {
+                if keep.contains(&c.name) || crate::attributes::is_magic(&c.name) {
+                    body.push(stmt.clone());
+                }
+            }
+            Stmt::Assign { targets, .. } => {
+                let names = targets.iter().flat_map(assigned_names).collect::<Vec<_>>();
+                let keep_stmt = names.is_empty()
+                    || names
+                        .iter()
+                        .any(|n| keep.contains(n) || crate::attributes::is_magic(n));
+                if keep_stmt {
+                    body.push(stmt.clone());
+                }
+            }
+            Stmt::Import { items } => {
+                let kept: Vec<_> = items
+                    .iter()
+                    .filter(|i| keep.contains(i.bound_name()))
+                    .cloned()
+                    .collect();
+                if !kept.is_empty() {
+                    body.push(Stmt::Import { items: kept });
+                }
+            }
+            Stmt::FromImport { module, names } => {
+                let kept: Vec<_> = names
+                    .iter()
+                    .filter(|(n, a)| keep.contains(a.as_deref().unwrap_or(n)))
+                    .cloned()
+                    .collect();
+                if !kept.is_empty() {
+                    body.push(Stmt::FromImport {
+                        module: module.clone(),
+                        names: kept,
+                    });
+                }
+            }
+            other => body.push(other.clone()),
+        }
+    }
+    if body.is_empty() {
+        body.push(Stmt::Pass);
+    }
+    Program { body }
+}
+
+fn assigned_names(target: &pylite::ast::Expr) -> Vec<String> {
+    use pylite::ast::Expr;
+    match target {
+        Expr::Name(n) => vec![n.clone()],
+        Expr::Tuple(items) | Expr::List(items) => {
+            items.iter().flat_map(assigned_names).collect()
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Rewrite module source text directly: parse, rewrite, unparse.
+///
+/// # Errors
+///
+/// Returns the parse error if `source` is not valid pylite.
+pub fn rewrite_source(source: &str, keep: &BTreeSet<String>) -> Result<String, pylite::ParseError> {
+    let program = pylite::parse(source)?;
+    Ok(pylite::unparse(&rewrite_module(&program, keep)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::module_attributes;
+    use pylite::parse;
+
+    fn keep(names: &[&str]) -> BTreeSet<String> {
+        names.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    const TORCH_INIT: &str = "from torch.nn import Linear, MSELoss\nfrom torch.optim import SGD\nclass tensor:\n    def __init__(self, data):\n        self.data = data\ndef add(t1, t2):\n    return t1\ndef view(t, dim1, dim2):\n    return t\n";
+
+    #[test]
+    fn figure7_debloating_example() {
+        // Figure 7: keeping {tensor, add, view, Linear} drops MSELoss from
+        // the from-import list and removes the torch.optim import entirely.
+        let p = parse(TORCH_INIT).unwrap();
+        let out = rewrite_module(&p, &keep(&["tensor", "add", "view", "Linear"]));
+        let src = pylite::unparse(&out);
+        assert!(src.contains("from torch.nn import Linear\n"));
+        assert!(!src.contains("MSELoss"));
+        assert!(!src.contains("torch.optim"));
+        assert!(src.contains("class tensor"));
+        assert!(src.contains("def add"));
+    }
+
+    #[test]
+    fn rewrite_preserves_attribute_subset_exactly() {
+        let p = parse(TORCH_INIT).unwrap();
+        let kept = keep(&["tensor", "SGD"]);
+        let out = rewrite_module(&p, &kept);
+        let attrs: BTreeSet<String> = module_attributes(&out).into_iter().collect();
+        assert_eq!(attrs, kept);
+    }
+
+    #[test]
+    fn empty_keep_set_becomes_pass() {
+        let p = parse("x = 1\ndef f():\n    pass\n").unwrap();
+        let out = rewrite_module(&p, &BTreeSet::new());
+        assert_eq!(pylite::unparse(&out), "pass\n");
+    }
+
+    #[test]
+    fn non_binding_statements_are_untouched() {
+        let p = parse("print(\"hi\")\nx = 1\nif True:\n    helper_state = 2\n").unwrap();
+        let out = rewrite_module(&p, &BTreeSet::new());
+        let src = pylite::unparse(&out);
+        assert!(src.contains("print(\"hi\")"));
+        assert!(src.contains("if True:"));
+        assert!(!src.contains("x = 1"));
+    }
+
+    #[test]
+    fn magic_assignments_survive() {
+        let p = parse("__version__ = \"1.0\"\nx = 1\n").unwrap();
+        let out = rewrite_module(&p, &BTreeSet::new());
+        let src = pylite::unparse(&out);
+        assert!(src.contains("__version__"));
+        assert!(!src.contains("x = 1"));
+    }
+
+    #[test]
+    fn import_aliases_are_respected() {
+        let p = parse("import numpy as np, pandas as pd\n").unwrap();
+        let out = rewrite_module(&p, &keep(&["np"]));
+        let src = pylite::unparse(&out);
+        assert!(src.contains("numpy as np"));
+        assert!(!src.contains("pandas"));
+    }
+
+    #[test]
+    fn rewritten_source_reparses() {
+        let p = parse(TORCH_INIT).unwrap();
+        for kept in [
+            keep(&["tensor"]),
+            keep(&["Linear", "view"]),
+            keep(&[]),
+            keep(&["tensor", "add", "view", "Linear", "MSELoss", "SGD"]),
+        ] {
+            let out = rewrite_module(&p, &kept);
+            let src = pylite::unparse(&out);
+            assert!(
+                pylite::parse(&src).is_ok(),
+                "rewritten source must parse:\n{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_keep_set_is_identity_on_attributes() {
+        let p = parse(TORCH_INIT).unwrap();
+        let all: BTreeSet<String> = module_attributes(&p).into_iter().collect();
+        let out = rewrite_module(&p, &all);
+        assert_eq!(module_attributes(&out), module_attributes(&p));
+    }
+
+    #[test]
+    fn rewrite_source_helper() {
+        let src = rewrite_source("a = 1\nb = 2\n", &keep(&["b"])).unwrap();
+        assert_eq!(src, "b = 2\n");
+        assert!(rewrite_source("def broken(:\n", &keep(&[])).is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! # lambda-sim — a serverless platform simulator
+//!
+//! The AWS-Lambda-like substrate of the λ-trim reproduction. It models the
+//! parts of a serverless platform that the paper's evaluation measures:
+//!
+//! * [`pricing`] — Equation (1) billing with per-platform rounding, the
+//!   128 MB minimum threshold, and SnapStart restore/cache pricing;
+//! * [`platform`] — cold/warm start lifecycle phases (Figure 1), a
+//!   keep-alive instance pool, and invocation cost/latency accounting;
+//! * [`snapshot`] — the CRIU/SnapStart checkpoint/restore cost model (§8.6);
+//! * [`trace`] — a seeded Azure-Functions-style invocation trace generator
+//!   with L2 nearest-function matching (Figures 13–14);
+//! * [`metrics`] — means/medians/percentiles/CDFs for the harnesses.
+//!
+//! # Example
+//!
+//! ```
+//! use lambda_sim::{AppProfile, Platform, StartMode};
+//!
+//! let platform = Platform::default();
+//! let app = AppProfile::new("resnet", 742.56, 6.30, 5.30, 820.0);
+//! let cold = platform.cold_invocation(&app, StartMode::Standard);
+//! let warm = platform.warm_invocation(&app);
+//! assert!(cold.e2e_secs() > warm.e2e_secs());
+//! assert!(cold.cost > warm.cost);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod platform;
+pub mod pool;
+pub mod pricing;
+pub mod providers;
+pub mod snapshot;
+pub mod trace;
+
+pub use platform::{
+    simulate_pool, AppProfile, Invocation, PhaseBreakdown, Platform, PlatformConfig, PoolStats,
+    StartKind, StartMode,
+};
+pub use pool::{simulate_pool_ext, ExtPoolStats, PoolOptions};
+pub use providers::{min_visible_saving_ms, providers, quote_all, Provider, ProviderQuote};
+pub use pricing::{PricingModel, Rounding, SnapStartPricing};
+pub use snapshot::CheckpointModel;
+pub use trace::{generate_trace, nearest_function, FunctionTrace, TraceConfig};

@@ -1,0 +1,300 @@
+//! Extended instance-pool simulation: provisioned concurrency, account
+//! concurrency limits, and request queueing.
+//!
+//! The basic keep-alive pool lives in [`crate::platform::simulate_pool`];
+//! this module adds the platform features the paper's related work cites
+//! (§3.1: provisioned concurrency, pre-warming) so their cost/latency
+//! trade-offs can be compared against debloating:
+//!
+//! * **provisioned concurrency** — `n` instances are initialized ahead of
+//!   time and never expire; requests landing on them are always warm, but
+//!   the reserved capacity is billed for the whole window whether used or
+//!   not (AWS prices provisioned GB-seconds at a discounted rate);
+//! * **concurrency limit** — at most `max_concurrency` instances may run
+//!   at once; excess arrivals queue and their queueing delay is added to
+//!   E2E latency.
+
+use crate::platform::{AppProfile, Platform, StartKind, StartMode};
+use serde::{Deserialize, Serialize};
+
+/// AWS provisioned-concurrency price: $ per GB-second of reserved capacity
+/// (lower than the on-demand duration price).
+pub const AWS_PROVISIONED_PRICE_PER_GB_S: f64 = 0.000_004_166_7;
+
+/// Options for [`simulate_pool_ext`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolOptions {
+    /// Idle instance lifetime in seconds.
+    pub keep_alive_secs: f64,
+    /// How cold starts initialize.
+    pub mode: StartMode,
+    /// Number of pre-initialized, never-expiring instances.
+    pub provisioned: usize,
+    /// Maximum concurrently running instances (`None` = unlimited).
+    pub max_concurrency: Option<usize>,
+    /// Window length in seconds (for provisioned-capacity billing).
+    pub window_secs: f64,
+}
+
+impl Default for PoolOptions {
+    fn default() -> Self {
+        PoolOptions {
+            keep_alive_secs: 900.0,
+            mode: StartMode::Standard,
+            provisioned: 0,
+            max_concurrency: None,
+            window_secs: 24.0 * 3600.0,
+        }
+    }
+}
+
+/// Results of an extended pool simulation.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ExtPoolStats {
+    /// Cold starts (full initialization on the critical path).
+    pub cold_starts: u64,
+    /// Warm starts (reused keep-alive or provisioned instances).
+    pub warm_starts: u64,
+    /// Requests that had to queue for a concurrency slot.
+    pub queued_requests: u64,
+    /// Total queueing delay in seconds.
+    pub total_queue_secs: f64,
+    /// Sum of invocation costs (Equation 1) in dollars.
+    pub invocation_cost: f64,
+    /// Reserved-capacity cost for provisioned instances in dollars.
+    pub provisioned_cost: f64,
+    /// Sum of E2E latencies (including queueing) in seconds.
+    pub total_e2e_secs: f64,
+}
+
+impl ExtPoolStats {
+    /// Total invocations.
+    pub fn invocations(&self) -> u64 {
+        self.cold_starts + self.warm_starts
+    }
+
+    /// Total dollars: invocations + reserved capacity.
+    pub fn total_cost(&self) -> f64 {
+        self.invocation_cost + self.provisioned_cost
+    }
+
+    /// Mean E2E latency in seconds.
+    pub fn mean_e2e_secs(&self) -> f64 {
+        let n = self.invocations();
+        if n == 0 {
+            0.0
+        } else {
+            self.total_e2e_secs / n as f64
+        }
+    }
+}
+
+/// Simulate an arrival process through the extended pool. `arrivals` must
+/// be sorted ascending (seconds from window start).
+pub fn simulate_pool_ext(
+    platform: &Platform,
+    app: &AppProfile,
+    arrivals: &[f64],
+    options: &PoolOptions,
+) -> ExtPoolStats {
+    #[derive(Clone, Copy)]
+    struct Instance {
+        free_at: f64,
+        expires_at: f64,
+        provisioned: bool,
+    }
+    let mut instances: Vec<Instance> = (0..options.provisioned)
+        .map(|_| Instance {
+            free_at: 0.0,
+            expires_at: f64::INFINITY,
+            provisioned: true,
+        })
+        .collect();
+    let mut stats = ExtPoolStats::default();
+    for &arrival in arrivals {
+        // Reap expired on-demand instances.
+        instances.retain(|i| i.provisioned || !(i.free_at <= arrival && i.expires_at < arrival));
+
+        // Concurrency limiting: if every slot is busy at `arrival` and we
+        // are at the cap, the request waits for the earliest free slot.
+        let mut start_time = arrival;
+        if let Some(cap) = options.max_concurrency {
+            let busy = instances.iter().filter(|i| i.free_at > arrival).count();
+            if busy >= cap {
+                let earliest_free = instances
+                    .iter()
+                    .filter(|i| i.free_at > arrival)
+                    .map(|i| i.free_at)
+                    .fold(f64::INFINITY, f64::min);
+                start_time = earliest_free;
+                stats.queued_requests += 1;
+                stats.total_queue_secs += start_time - arrival;
+            }
+        }
+
+        // Prefer provisioned instances, then the most-recently-used warm one.
+        let idle = instances
+            .iter_mut()
+            .filter(|i| i.free_at <= start_time && i.expires_at >= start_time)
+            .max_by(|a, b| {
+                (a.provisioned, a.free_at)
+                    .partial_cmp(&(b.provisioned, b.free_at))
+                    .expect("no NaN in pool times")
+            });
+        let (inv, start_kind) = match idle {
+            Some(slot) => {
+                let inv = platform.warm_invocation(app);
+                let finish = start_time + inv.e2e_secs();
+                slot.free_at = finish;
+                if !slot.provisioned {
+                    slot.expires_at = finish + options.keep_alive_secs;
+                }
+                (inv, StartKind::Warm)
+            }
+            None => {
+                let inv = platform.cold_invocation(app, options.mode);
+                let finish = start_time + inv.e2e_secs();
+                instances.push(Instance {
+                    free_at: finish,
+                    expires_at: finish + options.keep_alive_secs,
+                    provisioned: false,
+                });
+                (inv, StartKind::Cold)
+            }
+        };
+        match start_kind {
+            StartKind::Cold => stats.cold_starts += 1,
+            StartKind::Warm => stats.warm_starts += 1,
+        }
+        stats.invocation_cost += inv.cost;
+        stats.total_e2e_secs += inv.e2e_secs() + (start_time - arrival);
+    }
+    // Reserved capacity is billed for the whole window regardless of use.
+    let mem_gb = platform
+        .config
+        .pricing
+        .configured_memory_mb(app.mem_mb) as f64
+        / 1024.0;
+    stats.provisioned_cost = options.provisioned as f64
+        * mem_gb
+        * options.window_secs
+        * AWS_PROVISIONED_PRICE_PER_GB_S;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app() -> AppProfile {
+        AppProfile::new("demo", 100.0, 1.0, 0.2, 512.0)
+    }
+
+    #[test]
+    fn provisioned_instances_eliminate_cold_starts() {
+        let platform = Platform::default();
+        let arrivals: Vec<f64> = (0..10).map(|i| i as f64 * 100.0).collect();
+        let none = simulate_pool_ext(&platform, &app(), &arrivals, &PoolOptions::default());
+        let provisioned = simulate_pool_ext(
+            &platform,
+            &app(),
+            &arrivals,
+            &PoolOptions {
+                provisioned: 1,
+                ..PoolOptions::default()
+            },
+        );
+        assert!(none.cold_starts >= 1);
+        assert_eq!(provisioned.cold_starts, 0, "pre-warmed instance absorbs all");
+        assert!(provisioned.provisioned_cost > 0.0);
+        assert!(provisioned.mean_e2e_secs() < none.mean_e2e_secs());
+    }
+
+    #[test]
+    fn provisioned_capacity_costs_even_when_idle() {
+        let platform = Platform::default();
+        let stats = simulate_pool_ext(
+            &platform,
+            &app(),
+            &[],
+            &PoolOptions {
+                provisioned: 3,
+                ..PoolOptions::default()
+            },
+        );
+        assert_eq!(stats.invocations(), 0);
+        assert!(stats.provisioned_cost > 0.0, "idle capacity is still billed");
+    }
+
+    #[test]
+    fn concurrency_limit_queues_bursts() {
+        let platform = Platform::default();
+        // Ten simultaneous arrivals, capacity two.
+        let arrivals = vec![0.0; 10];
+        let limited = simulate_pool_ext(
+            &platform,
+            &app(),
+            &arrivals,
+            &PoolOptions {
+                max_concurrency: Some(2),
+                ..PoolOptions::default()
+            },
+        );
+        assert!(limited.queued_requests >= 8);
+        assert!(limited.total_queue_secs > 0.0);
+        let unlimited =
+            simulate_pool_ext(&platform, &app(), &arrivals, &PoolOptions::default());
+        assert_eq!(unlimited.queued_requests, 0);
+        assert!(limited.mean_e2e_secs() > unlimited.mean_e2e_secs());
+        // With capacity 2 the burst needs at most 2 concurrent instances.
+        assert!(limited.cold_starts <= 2 + 1);
+    }
+
+    #[test]
+    fn matches_basic_pool_when_features_disabled() {
+        let platform = Platform::default();
+        let arrivals: Vec<f64> = (0..20).map(|i| i as f64 * 37.0).collect();
+        let basic = crate::platform::simulate_pool(
+            &platform,
+            &app(),
+            &arrivals,
+            900.0,
+            StartMode::Standard,
+        );
+        let ext = simulate_pool_ext(&platform, &app(), &arrivals, &PoolOptions::default());
+        assert_eq!(basic.cold_starts, ext.cold_starts);
+        assert_eq!(basic.warm_starts, ext.warm_starts);
+        assert!((basic.total_cost - ext.invocation_cost).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trimming_and_provisioning_are_complementary() {
+        // Debloating reduces the per-cold-start bill; provisioning reduces
+        // cold-start *count* — both improve E2E but provisioning costs
+        // standing money.
+        let platform = Platform::default();
+        let arrivals: Vec<f64> = (0..50).map(|i| i as f64 * 2400.0).collect();
+        let original = app();
+        let trimmed = AppProfile::new("demo-trim", 100.0, 0.3, 0.2, 380.0);
+        let base = simulate_pool_ext(
+            &platform,
+            &original,
+            &arrivals,
+            &PoolOptions {
+                keep_alive_secs: 900.0,
+                ..PoolOptions::default()
+            },
+        );
+        let trim_only = simulate_pool_ext(
+            &platform,
+            &trimmed,
+            &arrivals,
+            &PoolOptions {
+                keep_alive_secs: 900.0,
+                ..PoolOptions::default()
+            },
+        );
+        assert!(trim_only.total_cost() < base.total_cost());
+        assert!(trim_only.total_e2e_secs < base.total_e2e_secs);
+    }
+}

@@ -1,0 +1,258 @@
+//! Serverless pricing models (§2.1 of the paper).
+//!
+//! Implements Equation (1): `C = ConfiguredMemory × BilledDuration × UnitPrice`
+//! with AWS Lambda's billing granularity (1 ms), memory range (128 MB–10 GB),
+//! and the published unit price of $0.0000162109 per GB-second, plus the GCP
+//! (100 ms) and Azure (1 s) rounding variants and AWS SnapStart's
+//! restore + cache pricing (§8.6).
+
+/// The unit price used throughout the paper: $ per GB per second.
+pub const AWS_UNIT_PRICE_PER_GB_S: f64 = 0.000_016_210_9;
+
+/// AWS SnapStart cache price: $ per GB-second of stored snapshot.
+/// (Derived from the published $0.0000015046 per GB-s for cached snapshots.)
+pub const AWS_SNAPSTART_CACHE_PRICE_PER_GB_S: f64 = 0.000_001_504_6;
+
+/// AWS SnapStart restoration price: $ per GB restored.
+pub const AWS_SNAPSTART_RESTORE_PRICE_PER_GB: f64 = 0.000_183_5;
+
+/// Billing-duration rounding granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rounding {
+    /// AWS Lambda: round up to 1 ms.
+    PerMillisecond,
+    /// GCP Cloud Run functions: round up to 100 ms.
+    Per100Milliseconds,
+    /// Azure Functions: round up to 1 s.
+    PerSecond,
+}
+
+impl Rounding {
+    /// Round a duration in milliseconds up to the billing granularity.
+    pub fn round_ms(self, duration_ms: f64) -> f64 {
+        let granularity = match self {
+            Rounding::PerMillisecond => 1.0,
+            Rounding::Per100Milliseconds => 100.0,
+            Rounding::PerSecond => 1000.0,
+        };
+        if duration_ms <= 0.0 {
+            return 0.0;
+        }
+        (duration_ms / granularity).ceil() * granularity
+    }
+}
+
+/// A serverless platform pricing model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PricingModel {
+    /// $ per GB of configured memory per second of billed duration.
+    pub unit_price_per_gb_s: f64,
+    /// Duration rounding.
+    pub rounding: Rounding,
+    /// Minimum configurable memory in MB (AWS: 128).
+    pub min_memory_mb: u64,
+    /// Maximum configurable memory in MB (AWS: 10240).
+    pub max_memory_mb: u64,
+    /// Memory configuration step in MB (AWS: 1 MB steps today).
+    pub memory_step_mb: u64,
+    /// Headroom multiplier applied to the measured peak footprint before
+    /// choosing the configured memory (the paper uses the measured maximum
+    /// footprint as a lower bound; production deployments add headroom).
+    pub headroom: f64,
+}
+
+impl Default for PricingModel {
+    fn default() -> Self {
+        Self::aws()
+    }
+}
+
+impl PricingModel {
+    /// AWS Lambda pricing as used in the paper's evaluation.
+    pub fn aws() -> Self {
+        PricingModel {
+            unit_price_per_gb_s: AWS_UNIT_PRICE_PER_GB_S,
+            rounding: Rounding::PerMillisecond,
+            min_memory_mb: 128,
+            max_memory_mb: 10_240,
+            memory_step_mb: 1,
+            headroom: 1.0,
+        }
+    }
+
+    /// GCP-style pricing (100 ms rounding).
+    pub fn gcp() -> Self {
+        PricingModel {
+            rounding: Rounding::Per100Milliseconds,
+            ..Self::aws()
+        }
+    }
+
+    /// Azure-style pricing (1 s rounding, fixed 1.5 GB default budget).
+    pub fn azure() -> Self {
+        PricingModel {
+            rounding: Rounding::PerSecond,
+            min_memory_mb: 128,
+            max_memory_mb: 1_536,
+            ..Self::aws()
+        }
+    }
+
+    /// Choose the configured memory (in MB) for a measured peak footprint:
+    /// at least the footprint (× headroom), clamped to the platform range and
+    /// rounded up to the configuration step. This models §2.2.2: "the optimal
+    /// configuration should be above the application's peak memory footprint",
+    /// with the 128 MB minimum billing threshold.
+    pub fn configured_memory_mb(&self, peak_footprint_mb: f64) -> u64 {
+        let wanted = (peak_footprint_mb * self.headroom).ceil().max(0.0) as u64;
+        let stepped = wanted.div_ceil(self.memory_step_mb) * self.memory_step_mb;
+        stepped.clamp(self.min_memory_mb, self.max_memory_mb)
+    }
+
+    /// Billed duration in milliseconds after rounding.
+    pub fn billed_duration_ms(&self, duration_ms: f64) -> f64 {
+        self.rounding.round_ms(duration_ms)
+    }
+
+    /// Cost in dollars of a single invocation: Equation (1).
+    pub fn invocation_cost(&self, peak_footprint_mb: f64, billable_duration_ms: f64) -> f64 {
+        let mem_gb = self.configured_memory_mb(peak_footprint_mb) as f64 / 1024.0;
+        let billed_s = self.billed_duration_ms(billable_duration_ms) / 1000.0;
+        mem_gb * billed_s * self.unit_price_per_gb_s
+    }
+
+    /// Cost of `n` identical invocations (the paper reports cost per 100 K).
+    pub fn cost_for_invocations(
+        &self,
+        peak_footprint_mb: f64,
+        billable_duration_ms: f64,
+        n: u64,
+    ) -> f64 {
+        self.invocation_cost(peak_footprint_mb, billable_duration_ms) * n as f64
+    }
+}
+
+/// AWS SnapStart pricing: per-restore and per-GB-second cache charges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapStartPricing {
+    /// $ per GB of snapshot restored (charged on every cold start).
+    pub restore_price_per_gb: f64,
+    /// $ per GB-second of snapshot kept in the cache.
+    pub cache_price_per_gb_s: f64,
+}
+
+impl Default for SnapStartPricing {
+    fn default() -> Self {
+        SnapStartPricing {
+            restore_price_per_gb: AWS_SNAPSTART_RESTORE_PRICE_PER_GB,
+            cache_price_per_gb_s: AWS_SNAPSTART_CACHE_PRICE_PER_GB_S,
+        }
+    }
+}
+
+impl SnapStartPricing {
+    /// Cost of restoring a snapshot of `snapshot_mb` once.
+    pub fn restore_cost(&self, snapshot_mb: f64) -> f64 {
+        (snapshot_mb / 1024.0) * self.restore_price_per_gb
+    }
+
+    /// Cost of caching a snapshot of `snapshot_mb` for `seconds`.
+    pub fn cache_cost(&self, snapshot_mb: f64, seconds: f64) -> f64 {
+        (snapshot_mb / 1024.0) * seconds * self.cache_price_per_gb_s
+    }
+
+    /// Total SnapStart overhead for a window: caching for the whole window
+    /// plus one restore per cold start.
+    pub fn window_cost(&self, snapshot_mb: f64, window_seconds: f64, cold_starts: u64) -> f64 {
+        self.cache_cost(snapshot_mb, window_seconds)
+            + self.restore_cost(snapshot_mb) * cold_starts as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounding_rounds_up() {
+        assert_eq!(Rounding::PerMillisecond.round_ms(12.3), 13.0);
+        assert_eq!(Rounding::Per100Milliseconds.round_ms(12.3), 100.0);
+        assert_eq!(Rounding::PerSecond.round_ms(1200.0), 2000.0);
+        assert_eq!(Rounding::PerMillisecond.round_ms(0.0), 0.0);
+    }
+
+    #[test]
+    fn exact_boundaries_do_not_round_up() {
+        assert_eq!(Rounding::PerMillisecond.round_ms(13.0), 13.0);
+        assert_eq!(Rounding::PerSecond.round_ms(2000.0), 2000.0);
+    }
+
+    #[test]
+    fn configured_memory_has_minimum_threshold() {
+        let p = PricingModel::aws();
+        assert_eq!(p.configured_memory_mb(10.0), 128, "128 MB minimum billing");
+        assert_eq!(p.configured_memory_mb(0.0), 128);
+        assert_eq!(p.configured_memory_mb(300.0), 300);
+        assert_eq!(p.configured_memory_mb(20_000.0), 10_240, "capped at 10 GB");
+    }
+
+    #[test]
+    fn headroom_scales_footprint() {
+        let p = PricingModel {
+            headroom: 1.2,
+            ..PricingModel::aws()
+        };
+        assert_eq!(p.configured_memory_mb(1000.0), 1200);
+    }
+
+    #[test]
+    fn equation_one_matches_hand_computation() {
+        let p = PricingModel::aws();
+        // 1 GB, 1 s → exactly the unit price.
+        let c = p.invocation_cost(1024.0, 1000.0);
+        assert!((c - AWS_UNIT_PRICE_PER_GB_S).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_is_monotone_in_duration_and_memory() {
+        let p = PricingModel::aws();
+        assert!(p.invocation_cost(512.0, 2000.0) > p.invocation_cost(512.0, 1000.0));
+        assert!(p.invocation_cost(2048.0, 1000.0) > p.invocation_cost(512.0, 1000.0));
+    }
+
+    #[test]
+    fn small_footprints_bill_identically_below_threshold() {
+        let p = PricingModel::aws();
+        // Both below 128 MB → identical cost (hides trim benefit, §8.1).
+        assert_eq!(
+            p.invocation_cost(50.0, 500.0),
+            p.invocation_cost(120.0, 500.0)
+        );
+    }
+
+    #[test]
+    fn cost_for_100k_invocations_scales_linearly() {
+        let p = PricingModel::aws();
+        let one = p.invocation_cost(799.0, 10_120.0);
+        let hundred_k = p.cost_for_invocations(799.0, 10_120.0, 100_000);
+        assert!((hundred_k - one * 1e5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapstart_window_cost_components() {
+        let s = SnapStartPricing::default();
+        let cost = s.window_cost(1024.0, 3600.0, 10);
+        let expected = 1.0 * 3600.0 * AWS_SNAPSTART_CACHE_PRICE_PER_GB_S
+            + 10.0 * AWS_SNAPSTART_RESTORE_PRICE_PER_GB;
+        assert!((cost - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gcp_and_azure_round_coarser() {
+        let aws = PricingModel::aws();
+        let gcp = PricingModel::gcp();
+        let azure = PricingModel::azure();
+        assert!(gcp.billed_duration_ms(150.0) > aws.billed_duration_ms(150.0));
+        assert!(azure.billed_duration_ms(150.0) > gcp.billed_duration_ms(150.0));
+    }
+}

@@ -1,0 +1,150 @@
+//! Cross-provider cost comparison (§2.1's provider survey made executable):
+//! the same application profile priced under AWS-, GCP- and Azure-style
+//! billing rules, exposing how rounding granularity and memory policies
+//! change which optimizations matter.
+
+use crate::platform::AppProfile;
+use crate::pricing::PricingModel;
+
+/// A named provider pricing profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Provider {
+    /// Display name.
+    pub name: &'static str,
+    /// The pricing rules.
+    pub pricing: PricingModel,
+}
+
+/// The three provider models the paper discusses (§2.1).
+pub fn providers() -> Vec<Provider> {
+    vec![
+        Provider {
+            name: "AWS Lambda",
+            pricing: PricingModel::aws(),
+        },
+        Provider {
+            name: "GCP Cloud Run fns",
+            pricing: PricingModel::gcp(),
+        },
+        Provider {
+            name: "Azure Functions",
+            pricing: PricingModel::azure(),
+        },
+    ]
+}
+
+/// Cost of one cold start of `app` under each provider, in dollars.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProviderQuote {
+    /// Provider name.
+    pub provider: &'static str,
+    /// Configured memory after the provider's policy (MB).
+    pub configured_mb: u64,
+    /// Billed duration after the provider's rounding (ms).
+    pub billed_ms: f64,
+    /// Cold-start invocation cost ($).
+    pub cold_cost: f64,
+    /// Warm invocation cost ($).
+    pub warm_cost: f64,
+}
+
+/// Quote a profile across all providers.
+pub fn quote_all(app: &AppProfile) -> Vec<ProviderQuote> {
+    providers()
+        .into_iter()
+        .map(|p| ProviderQuote {
+            provider: p.name,
+            configured_mb: p.pricing.configured_memory_mb(app.mem_mb),
+            billed_ms: p.pricing.billed_duration_ms(app.cold_billable_ms()),
+            cold_cost: p.pricing.invocation_cost(app.mem_mb, app.cold_billable_ms()),
+            warm_cost: p.pricing.invocation_cost(app.mem_mb, app.warm_billable_ms()),
+        })
+        .collect()
+}
+
+/// How much of the cold-start bill each provider's *rounding* adds on top
+/// of the raw duration (fraction ≥ 0). Coarse rounding (Azure's 1 s) makes
+/// trimming sub-second amounts of initialization worthless — the bill only
+/// moves when a whole billing quantum is crossed.
+pub fn rounding_overhead(app: &AppProfile) -> Vec<(&'static str, f64)> {
+    providers()
+        .into_iter()
+        .map(|p| {
+            let raw = app.cold_billable_ms();
+            let billed = p.pricing.billed_duration_ms(raw);
+            let overhead = if raw <= 0.0 { 0.0 } else { (billed - raw) / raw };
+            (p.name, overhead)
+        })
+        .collect()
+}
+
+/// The smallest initialization-time saving (ms) that is guaranteed to lower
+/// the bill under the given pricing — the billing quantum. Savings smaller
+/// than this may be invisible (§2.1, footnote on billing granularity).
+pub fn min_visible_saving_ms(pricing: &PricingModel) -> f64 {
+    pricing.billed_duration_ms(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app() -> AppProfile {
+        AppProfile::new("demo", 100.0, 0.45, 0.12, 700.0)
+    }
+
+    #[test]
+    fn three_providers_quoted() {
+        let quotes = quote_all(&app());
+        assert_eq!(quotes.len(), 3);
+        // Azure's 1 s rounding can make a 570 ms cold and a 120 ms warm
+        // start bill identically — hence >=, not >.
+        assert!(quotes.iter().all(|q| q.cold_cost >= q.warm_cost));
+        assert!(quotes.iter().all(|q| q.configured_mb >= 700));
+    }
+
+    #[test]
+    fn coarser_rounding_never_bills_less() {
+        let quotes = quote_all(&app());
+        let aws = quotes.iter().find(|q| q.provider == "AWS Lambda").unwrap();
+        let gcp = quotes
+            .iter()
+            .find(|q| q.provider == "GCP Cloud Run fns")
+            .unwrap();
+        let azure = quotes
+            .iter()
+            .find(|q| q.provider == "Azure Functions")
+            .unwrap();
+        assert!(gcp.billed_ms >= aws.billed_ms);
+        assert!(azure.billed_ms >= gcp.billed_ms);
+    }
+
+    #[test]
+    fn rounding_overhead_ordering() {
+        let overheads = rounding_overhead(&app());
+        let get = |n: &str| overheads.iter().find(|(p, _)| *p == n).unwrap().1;
+        assert!(get("AWS Lambda") <= get("GCP Cloud Run fns") + 1e-12);
+        assert!(get("GCP Cloud Run fns") <= get("Azure Functions") + 1e-12);
+        assert!(overheads.iter().all(|(_, o)| *o >= 0.0));
+    }
+
+    #[test]
+    fn billing_quantum_matches_rounding() {
+        assert_eq!(min_visible_saving_ms(&PricingModel::aws()), 1.0);
+        assert_eq!(min_visible_saving_ms(&PricingModel::gcp()), 100.0);
+        assert_eq!(min_visible_saving_ms(&PricingModel::azure()), 1000.0);
+    }
+
+    #[test]
+    fn sub_quantum_trim_is_invisible_on_azure() {
+        // Trimming 1.9 s -> 1.1 s saves 800 ms: AWS bills less, but Azure
+        // rounds both up to the same 2 s quantum — the saving is invisible.
+        let azure = PricingModel::azure();
+        assert_eq!(
+            azure.invocation_cost(700.0, 1900.0),
+            azure.invocation_cost(700.0, 1100.0)
+        );
+        let aws = PricingModel::aws();
+        assert!(aws.invocation_cost(700.0, 1900.0) > aws.invocation_cost(700.0, 1100.0));
+    }
+}

@@ -1,0 +1,107 @@
+//! Checkpoint/restore (C/R) model — the CRIU prototype and AWS SnapStart of
+//! §8.6 and Table 3.
+//!
+//! A checkpoint captures the post-initialization state of a function
+//! instance. Its size is modeled as a base (process tree, interpreter state)
+//! plus a fraction of the application's post-init memory image — which is why
+//! λ-trim shrinks checkpoints (Table 3, ~11% average): trimming attributes
+//! shrinks the memory image the checkpoint has to include.
+
+/// Parameters of the checkpoint/restore cost model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointModel {
+    /// Fixed restore overhead in seconds: CRIU recreates the process tree by
+    /// forking and replaying `/proc` state (§8.6 measures ≈ 0.1 s).
+    pub restore_overhead_secs: f64,
+    /// Sequential read bandwidth for loading checkpoint pages, MB/s.
+    /// Loading pages is "much faster than file I/O and command execution by
+    /// the Python interpreter", hence the large value.
+    pub restore_bandwidth_mb_s: f64,
+    /// Fixed checkpoint size floor in MB (runtime, process metadata).
+    pub snapshot_base_mb: f64,
+    /// Fraction of the app's post-init memory footprint captured in the
+    /// checkpoint image (pages actually dirtied during initialization).
+    pub snapshot_mem_fraction: f64,
+    /// Time to *take* a checkpoint, seconds per MB (off the critical path,
+    /// reported for completeness).
+    pub checkpoint_secs_per_mb: f64,
+}
+
+impl Default for CheckpointModel {
+    fn default() -> Self {
+        CheckpointModel {
+            restore_overhead_secs: 0.1,
+            restore_bandwidth_mb_s: 1_500.0,
+            snapshot_base_mb: 8.0,
+            snapshot_mem_fraction: 0.30,
+            checkpoint_secs_per_mb: 0.004,
+        }
+    }
+}
+
+impl CheckpointModel {
+    /// Checkpoint image size for an app with the given post-init footprint.
+    pub fn snapshot_mb(&self, mem_mb: f64) -> f64 {
+        self.snapshot_base_mb + self.snapshot_mem_fraction * mem_mb.max(0.0)
+    }
+
+    /// Time to restore a checkpoint of `snapshot_mb`, in seconds.
+    pub fn restore_secs(&self, snapshot_mb: f64) -> f64 {
+        self.restore_overhead_secs + snapshot_mb.max(0.0) / self.restore_bandwidth_mb_s
+    }
+
+    /// Time to take a checkpoint of `snapshot_mb`, in seconds.
+    pub fn checkpoint_secs(&self, snapshot_mb: f64) -> f64 {
+        self.checkpoint_secs_per_mb * snapshot_mb.max(0.0)
+    }
+
+    /// The initialization latency a cold start pays under C/R: restore time
+    /// for this app's snapshot.
+    pub fn cr_init_secs(&self, mem_mb: f64) -> f64 {
+        self.restore_secs(self.snapshot_mb(mem_mb))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_size_grows_with_memory() {
+        let m = CheckpointModel::default();
+        assert!(m.snapshot_mb(800.0) > m.snapshot_mb(100.0));
+        assert!(m.snapshot_mb(0.0) >= m.snapshot_base_mb);
+    }
+
+    #[test]
+    fn restore_has_fixed_overhead() {
+        let m = CheckpointModel::default();
+        let tiny = m.restore_secs(0.0);
+        assert!((tiny - m.restore_overhead_secs).abs() < 1e-12);
+        assert!(m.restore_secs(1000.0) > tiny);
+    }
+
+    #[test]
+    fn trimming_memory_shrinks_checkpoint() {
+        let m = CheckpointModel::default();
+        let original = m.snapshot_mb(300.0);
+        let trimmed = m.snapshot_mb(250.0);
+        let reduction = 1.0 - trimmed / original;
+        assert!(reduction > 0.0 && reduction < 0.5);
+    }
+
+    #[test]
+    fn negative_inputs_are_clamped() {
+        let m = CheckpointModel::default();
+        assert_eq!(m.snapshot_mb(-5.0), m.snapshot_base_mb);
+        assert_eq!(m.restore_secs(-5.0), m.restore_overhead_secs);
+        assert_eq!(m.checkpoint_secs(-1.0), 0.0);
+    }
+
+    #[test]
+    fn cr_init_composes_size_and_restore() {
+        let m = CheckpointModel::default();
+        let direct = m.restore_secs(m.snapshot_mb(500.0));
+        assert_eq!(m.cr_init_secs(500.0), direct);
+    }
+}

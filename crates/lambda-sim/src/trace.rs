@@ -1,0 +1,298 @@
+//! Azure-Functions-style invocation trace generation (§8.6, Figures 13–14).
+//!
+//! The paper simulates SnapStart costs over Microsoft's Azure Functions
+//! trace (Shahrad et al., ATC'20). The trace itself is proprietary, so this
+//! module synthesizes arrival processes with the published *shape*:
+//!
+//! * invocation rates are extremely heavy-tailed — most functions fire a few
+//!   times a day, a small minority fire many times a minute;
+//! * many functions are timer-driven (near-periodic), the rest bursty or
+//!   Poisson-like;
+//! * per-function memory and duration distributions are broad and skewed.
+//!
+//! Generation is fully seeded and deterministic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The arrival-pattern class of a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArrivalClass {
+    /// Timer/cron style: regular period with small jitter.
+    Periodic,
+    /// Poisson arrivals at a constant rate.
+    Poisson,
+    /// On/off bursts: quiet gaps, then a burst of closely spaced requests.
+    Bursty,
+    /// A handful of invocations over the whole window.
+    Rare,
+}
+
+/// One synthetic function in the trace: its resource profile and arrivals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionTrace {
+    /// Trace-unique identifier.
+    pub id: u32,
+    /// Arrival class used to generate it.
+    pub class: ArrivalClass,
+    /// Average memory footprint in MB.
+    pub mem_mb: f64,
+    /// Average execution duration in milliseconds.
+    pub duration_ms: f64,
+    /// Sorted arrival timestamps in seconds from window start.
+    pub arrivals: Vec<f64>,
+}
+
+impl FunctionTrace {
+    /// Number of invocations in the window.
+    pub fn invocations(&self) -> usize {
+        self.arrivals.len()
+    }
+}
+
+/// Configuration for the trace generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceConfig {
+    /// Number of functions to synthesize.
+    pub functions: usize,
+    /// Window length in seconds (the paper simulates 24 h).
+    pub window_secs: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            functions: 400,
+            window_secs: 24.0 * 3600.0,
+            seed: 0xA57AC3,
+        }
+    }
+}
+
+/// Generate a synthetic Azure-style trace.
+pub fn generate_trace(config: &TraceConfig) -> Vec<FunctionTrace> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut out = Vec::with_capacity(config.functions);
+    for id in 0..config.functions {
+        let class_roll: f64 = rng.gen();
+        // Rough class mix per Shahrad et al.: ~29% timers, plus a long tail
+        // of rare functions and a small hot set.
+        let class = if class_roll < 0.30 {
+            ArrivalClass::Periodic
+        } else if class_roll < 0.55 {
+            ArrivalClass::Rare
+        } else if class_roll < 0.85 {
+            ArrivalClass::Poisson
+        } else {
+            ArrivalClass::Bursty
+        };
+        // Heavy-tailed resource profile: log-uniform memory and duration.
+        let mem_mb = log_uniform(&mut rng, 64.0, 2048.0);
+        let duration_ms = log_uniform(&mut rng, 5.0, 20_000.0);
+        let arrivals = match class {
+            ArrivalClass::Periodic => periodic_arrivals(&mut rng, config.window_secs),
+            ArrivalClass::Poisson => poisson_arrivals(&mut rng, config.window_secs),
+            ArrivalClass::Bursty => bursty_arrivals(&mut rng, config.window_secs),
+            ArrivalClass::Rare => rare_arrivals(&mut rng, config.window_secs),
+        };
+        out.push(FunctionTrace {
+            id: id as u32,
+            class,
+            mem_mb,
+            duration_ms,
+            arrivals,
+        });
+    }
+    out
+}
+
+fn log_uniform(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    let u: f64 = rng.gen();
+    (lo.ln() + u * (hi.ln() - lo.ln())).exp()
+}
+
+fn periodic_arrivals(rng: &mut StdRng, window: f64) -> Vec<f64> {
+    // Periods from 1 minute to 4 hours, log-uniform.
+    let period = log_uniform(rng, 60.0, 4.0 * 3600.0);
+    let phase: f64 = rng.gen::<f64>() * period;
+    let mut out = Vec::new();
+    let mut t = phase;
+    while t < window {
+        // Small jitter (±2% of period).
+        let jitter = (rng.gen::<f64>() - 0.5) * 0.04 * period;
+        let ts = (t + jitter).clamp(0.0, window);
+        out.push(ts);
+        t += period;
+    }
+    out.sort_by(f64::total_cmp);
+    out
+}
+
+fn poisson_arrivals(rng: &mut StdRng, window: f64) -> Vec<f64> {
+    // Rates log-uniform from one per 2 h to one per 5 s.
+    let rate = log_uniform(rng, 1.0 / 7200.0, 0.2);
+    let mut out = Vec::new();
+    let mut t = 0.0;
+    loop {
+        let u: f64 = rng.gen::<f64>().max(1e-12);
+        t += -u.ln() / rate;
+        if t >= window || out.len() > 2_000_000 {
+            break;
+        }
+        out.push(t);
+    }
+    out
+}
+
+fn bursty_arrivals(rng: &mut StdRng, window: f64) -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut t = 0.0;
+    while t < window {
+        // Quiet gap: 10 min – 6 h.
+        t += log_uniform(rng, 600.0, 6.0 * 3600.0);
+        if t >= window {
+            break;
+        }
+        // Burst of 3–60 requests spaced 0.05–2 s apart.
+        let burst_len = rng.gen_range(3..=60);
+        let mut bt = t;
+        for _ in 0..burst_len {
+            bt += log_uniform(rng, 0.05, 2.0);
+            if bt >= window {
+                break;
+            }
+            out.push(bt);
+        }
+        t = bt;
+    }
+    out
+}
+
+fn rare_arrivals(rng: &mut StdRng, window: f64) -> Vec<f64> {
+    let n = rng.gen_range(1..=8);
+    let mut out: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * window).collect();
+    out.sort_by(f64::total_cmp);
+    out
+}
+
+/// Find the trace function most similar to `(mem_mb, duration_ms)` under the
+/// L2 norm — the paper's §8.6 method for mapping each benchmarked app onto
+/// an Azure-trace invocation pattern. Dimensions are normalized by the trace
+/// maxima so neither dominates.
+pub fn nearest_function(
+    trace: &[FunctionTrace],
+    mem_mb: f64,
+    duration_ms: f64,
+) -> Option<&FunctionTrace> {
+    let max_mem = trace.iter().map(|f| f.mem_mb).fold(1.0, f64::max);
+    let max_dur = trace.iter().map(|f| f.duration_ms).fold(1.0, f64::max);
+    trace.iter().min_by(|a, b| {
+        let d = |f: &FunctionTrace| {
+            let dm = (f.mem_mb - mem_mb) / max_mem;
+            let dd = (f.duration_ms - duration_ms) / max_dur;
+            dm * dm + dd * dd
+        };
+        d(a).total_cmp(&d(b))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(seed: u64) -> TraceConfig {
+        TraceConfig {
+            functions: 60,
+            window_secs: 24.0 * 3600.0,
+            seed,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_trace(&small_config(7));
+        let b = generate_trace(&small_config(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_trace(&small_config(1));
+        let b = generate_trace(&small_config(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_in_window() {
+        let trace = generate_trace(&small_config(3));
+        for f in &trace {
+            for w in f.arrivals.windows(2) {
+                assert!(w[0] <= w[1], "arrivals must be sorted");
+            }
+            for &t in &f.arrivals {
+                assert!((0.0..=24.0 * 3600.0).contains(&t));
+            }
+        }
+    }
+
+    #[test]
+    fn rate_distribution_is_heavy_tailed() {
+        let trace = generate_trace(&TraceConfig {
+            functions: 400,
+            ..small_config(11)
+        });
+        let mut counts: Vec<usize> = trace.iter().map(|f| f.invocations()).collect();
+        counts.sort_unstable();
+        let median = counts[counts.len() / 2];
+        let max = *counts.last().unwrap();
+        assert!(
+            max > median.max(1) * 20,
+            "hot functions should dwarf the median (median={median}, max={max})"
+        );
+    }
+
+    #[test]
+    fn all_classes_appear() {
+        let trace = generate_trace(&TraceConfig {
+            functions: 300,
+            ..small_config(5)
+        });
+        for class in [
+            ArrivalClass::Periodic,
+            ArrivalClass::Poisson,
+            ArrivalClass::Bursty,
+            ArrivalClass::Rare,
+        ] {
+            assert!(
+                trace.iter().any(|f| f.class == class),
+                "missing class {class:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn nearest_function_picks_closest_profile() {
+        let trace = vec![
+            FunctionTrace {
+                id: 0,
+                class: ArrivalClass::Rare,
+                mem_mb: 100.0,
+                duration_ms: 100.0,
+                arrivals: vec![],
+            },
+            FunctionTrace {
+                id: 1,
+                class: ArrivalClass::Rare,
+                mem_mb: 1000.0,
+                duration_ms: 10_000.0,
+                arrivals: vec![],
+            },
+        ];
+        assert_eq!(nearest_function(&trace, 120.0, 150.0).unwrap().id, 0);
+        assert_eq!(nearest_function(&trace, 900.0, 9_000.0).unwrap().id, 1);
+        assert!(nearest_function(&[], 1.0, 1.0).is_none());
+    }
+}

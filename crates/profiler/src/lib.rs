@@ -1,0 +1,320 @@
+//! # trim-profiler — the serverless cost profiler (§5.2)
+//!
+//! λ-trim's profiler measures, per imported module, the *marginal* import
+//! time `t` and memory footprint `m` — the delta in total import time `T`
+//! and total memory `M` before and after the module body executes, exactly
+//! as the paper measures by patching Python's module loader. pylite records
+//! those deltas natively as [`pylite::ImportEvent`]s; this crate turns them
+//! into a [`Profile`] and ranks modules by one of four scoring methods
+//! (§8.2's ablation):
+//!
+//! * **Combined** — the paper's marginal monetary cost, Equation (2):
+//!   `TM − (T−t)(M−m)`;
+//! * **Time** — marginal import time only;
+//! * **Memory** — marginal memory only;
+//! * **Random** — seeded random scores (the ablation baseline).
+//!
+//! The top-K ranked modules are what the debloater probes (§5.3).
+
+#![warn(missing_docs)]
+
+use pylite::{Interpreter, PyErr, Registry};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Marginal cost of importing one module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModuleCost {
+    /// Dotted module name.
+    pub module: String,
+    /// Import nesting depth (0 = imported directly by the application).
+    pub depth: usize,
+    /// Marginal import time in seconds (inclusive of submodules, §5.2).
+    pub time_secs: f64,
+    /// Marginal memory in MB (inclusive of submodules).
+    pub mem_mb: f64,
+}
+
+/// The profile of one application's Function Initialization phase.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Profile {
+    /// Per-module marginal costs, in first-load order.
+    pub modules: Vec<ModuleCost>,
+    /// Total Function Initialization time in seconds (the whole init run).
+    pub total_time_secs: f64,
+    /// Total memory footprint after initialization, in MB.
+    pub total_mem_mb: f64,
+}
+
+impl Profile {
+    /// `T`: the sum of marginal import times over the application's direct
+    /// (depth-0) imports, in seconds.
+    pub fn t_sum(&self) -> f64 {
+        self.modules
+            .iter()
+            .filter(|m| m.depth == 0)
+            .map(|m| m.time_secs)
+            .sum()
+    }
+
+    /// `M`: the sum of marginal memory over direct imports, in MB.
+    pub fn m_sum(&self) -> f64 {
+        self.modules
+            .iter()
+            .filter(|m| m.depth == 0)
+            .map(|m| m.mem_mb)
+            .sum()
+    }
+
+    /// Look up a module's cost.
+    pub fn module(&self, name: &str) -> Option<&ModuleCost> {
+        self.modules.iter().find(|m| m.module == name)
+    }
+}
+
+/// Run the application's initialization code in a **fresh, isolated
+/// interpreter** (§7's module isolation: a new "address space" per profiling
+/// run, so no module cache pollution) and collect per-module marginal costs.
+///
+/// # Errors
+///
+/// Propagates any pylite exception the initialization code raises.
+pub fn profile_app(app_source: &str, registry: &Registry) -> Result<Profile, PyErr> {
+    let mut interp = Interpreter::new(registry.clone());
+    interp.exec_main(app_source)?;
+    Ok(profile_from_interpreter(&interp))
+}
+
+/// Build a [`Profile`] from an interpreter that already ran initialization.
+pub fn profile_from_interpreter(interp: &Interpreter) -> Profile {
+    let modules = interp
+        .import_events
+        .iter()
+        .map(|e| ModuleCost {
+            module: e.module.clone(),
+            depth: e.depth,
+            time_secs: e.time_ns as f64 / 1e9,
+            mem_mb: e.mem_bytes as f64 / (1024.0 * 1024.0),
+        })
+        .collect();
+    Profile {
+        modules,
+        total_time_secs: interp.meter.clock_secs(),
+        total_mem_mb: interp.meter.mem_mb(),
+    }
+}
+
+/// Module-ranking strategies for the profiler (§8.2 ablation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScoringMethod {
+    /// Rank by marginal import time.
+    Time,
+    /// Rank by marginal memory footprint.
+    Memory,
+    /// Rank by marginal monetary cost — Equation (2): `TM − (T−t)(M−m)`.
+    Combined,
+    /// Rank by a seeded uniform random score in `[0, 1]`.
+    Random {
+        /// RNG seed (keeps the ablation deterministic).
+        seed: u64,
+    },
+}
+
+impl ScoringMethod {
+    /// Short name for harness output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScoringMethod::Time => "time",
+            ScoringMethod::Memory => "memory",
+            ScoringMethod::Combined => "combined",
+            ScoringMethod::Random { .. } => "random",
+        }
+    }
+}
+
+/// A module with its profiler score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedModule {
+    /// Dotted module name.
+    pub module: String,
+    /// Score under the chosen method (higher = debloat first).
+    pub score: f64,
+}
+
+/// The marginal monetary cost of Equation (2), in (seconds × MB) units.
+///
+/// `t`/`m` are the module's marginal time/memory; `total_t`/`total_m` the
+/// sums over all imported modules.
+pub fn marginal_monetary_cost(t: f64, m: f64, total_t: f64, total_m: f64) -> f64 {
+    total_t * total_m - (total_t - t) * (total_m - m)
+}
+
+/// Score and rank all profiled modules, highest score first. Ties break by
+/// first-load order (stable), keeping results deterministic.
+pub fn rank_modules(profile: &Profile, method: ScoringMethod) -> Vec<RankedModule> {
+    let total_t = profile.t_sum();
+    let total_m = profile.m_sum();
+    let mut rng = match method {
+        ScoringMethod::Random { seed } => Some(StdRng::seed_from_u64(seed)),
+        _ => None,
+    };
+    let mut ranked: Vec<RankedModule> = profile
+        .modules
+        .iter()
+        .map(|mc| {
+            let score = match method {
+                ScoringMethod::Time => mc.time_secs,
+                ScoringMethod::Memory => mc.mem_mb,
+                ScoringMethod::Combined => {
+                    marginal_monetary_cost(mc.time_secs, mc.mem_mb, total_t, total_m)
+                }
+                ScoringMethod::Random { .. } => {
+                    rng.as_mut().expect("rng for random scoring").gen::<f64>()
+                }
+            };
+            RankedModule {
+                module: mc.module.clone(),
+                score,
+            }
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.score.total_cmp(&a.score));
+    ranked
+}
+
+/// The top-K modules to debloat (§5.2). `k = 20` is the paper's default.
+pub fn top_k(profile: &Profile, method: ScoringMethod, k: usize) -> Vec<String> {
+    rank_modules(profile, method)
+        .into_iter()
+        .take(k)
+        .map(|r| r.module)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Registry {
+        let mut r = Registry::new();
+        // "slowlib": slow but light — the §5.2 pathological case.
+        r.set_module("slowlib", "__lt_work__(500)\nx = 1\n");
+        // "fatlib": fast but heavy.
+        r.set_module("fatlib", "__lt_alloc__(200)\ny = 2\n");
+        // "biglib": slow AND heavy — the one Combined must rank first.
+        r.set_module("biglib", "__lt_work__(400)\n__lt_alloc__(150)\nz = 3\n");
+        // "tiny": negligible.
+        r.set_module("tiny", "w = 4\n");
+        r
+    }
+
+    const APP: &str = "import slowlib\nimport fatlib\nimport biglib\nimport tiny\n";
+
+    #[test]
+    fn profile_measures_marginal_costs() {
+        let p = profile_app(APP, &corpus()).unwrap();
+        assert_eq!(p.modules.len(), 4);
+        let slow = p.module("slowlib").unwrap();
+        let fat = p.module("fatlib").unwrap();
+        assert!(slow.time_secs >= 0.5);
+        assert!(slow.mem_mb < 1.0);
+        assert!(fat.mem_mb >= 200.0);
+        assert!(fat.time_secs < 0.1);
+    }
+
+    #[test]
+    fn totals_cover_direct_imports() {
+        let p = profile_app(APP, &corpus()).unwrap();
+        assert!(p.t_sum() >= 0.9, "slowlib + biglib work");
+        assert!(p.m_sum() >= 350.0, "fatlib + biglib allocations");
+        assert!(p.total_time_secs >= p.t_sum());
+        assert!(p.total_mem_mb >= p.m_sum());
+    }
+
+    #[test]
+    fn time_scoring_prefers_slow_modules() {
+        let p = profile_app(APP, &corpus()).unwrap();
+        let ranked = rank_modules(&p, ScoringMethod::Time);
+        assert_eq!(ranked[0].module, "slowlib");
+    }
+
+    #[test]
+    fn memory_scoring_prefers_fat_modules() {
+        let p = profile_app(APP, &corpus()).unwrap();
+        let ranked = rank_modules(&p, ScoringMethod::Memory);
+        assert_eq!(ranked[0].module, "fatlib");
+    }
+
+    #[test]
+    fn combined_scoring_prefers_slow_and_heavy() {
+        let p = profile_app(APP, &corpus()).unwrap();
+        let ranked = rank_modules(&p, ScoringMethod::Combined);
+        assert_eq!(
+            ranked[0].module, "biglib",
+            "Equation (2) rewards joint time+memory impact"
+        );
+    }
+
+    #[test]
+    fn random_scoring_is_deterministic_per_seed() {
+        let p = profile_app(APP, &corpus()).unwrap();
+        let a = rank_modules(&p, ScoringMethod::Random { seed: 42 });
+        let b = rank_modules(&p, ScoringMethod::Random { seed: 42 });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let p = profile_app(APP, &corpus()).unwrap();
+        assert_eq!(top_k(&p, ScoringMethod::Combined, 2).len(), 2);
+        assert_eq!(top_k(&p, ScoringMethod::Combined, 100).len(), 4);
+    }
+
+    #[test]
+    fn equation_two_reduces_to_products() {
+        // With a single module, marginal cost = T*M exactly.
+        let c = marginal_monetary_cost(2.0, 3.0, 2.0, 3.0);
+        assert!((c - 6.0).abs() < 1e-12);
+        // Removing a zero-cost module is worth nothing.
+        assert_eq!(marginal_monetary_cost(0.0, 0.0, 5.0, 7.0), 0.0);
+    }
+
+    #[test]
+    fn equation_two_beats_single_axis_strawmen() {
+        // The §5.2 strawman: a slow-but-memoryless module should rank below
+        // a module with joint impact under Combined.
+        let total_t = 10.0;
+        let total_m = 100.0;
+        let slow_no_mem = marginal_monetary_cost(5.0, 0.0, total_t, total_m);
+        let joint = marginal_monetary_cost(3.0, 40.0, total_t, total_m);
+        assert!(joint > slow_no_mem);
+    }
+
+    #[test]
+    fn profile_includes_nested_modules() {
+        let mut r = corpus();
+        r.set_module("wrapper", "import biglib\n");
+        let p = profile_app("import wrapper\n", &r).unwrap();
+        let nested = p.module("biglib").unwrap();
+        assert_eq!(nested.depth, 1);
+        let wrapper = p.module("wrapper").unwrap();
+        assert_eq!(wrapper.depth, 0);
+        assert!(wrapper.time_secs >= nested.time_secs);
+    }
+
+    #[test]
+    fn profiling_failed_app_propagates_error() {
+        let r = corpus();
+        assert!(profile_app("import does_not_exist\n", &r).is_err());
+    }
+
+    #[test]
+    fn isolation_between_profile_runs() {
+        // Two consecutive profiles of the same app see identical costs —
+        // no module cache leaks across runs (§7 module isolation).
+        let r = corpus();
+        let a = profile_app(APP, &r).unwrap();
+        let b = profile_app(APP, &r).unwrap();
+        assert_eq!(a, b);
+    }
+}

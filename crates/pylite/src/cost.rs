@@ -1,0 +1,186 @@
+//! The virtual cost model: a deterministic clock and simulated memory
+//! accountant.
+//!
+//! Real CPython burns wall-clock time executing module top-levels and
+//! allocates real memory for the objects those statements create. pylite
+//! replaces both with *virtual* meters so that every experiment in the
+//! repository is deterministic: executing a statement advances the virtual
+//! clock by a fixed per-node cost, creating an object charges the simulated
+//! heap, and heavyweight native work (the C extensions of torch/numpy/…)
+//! is modeled by the `__lt_work__` / `__lt_alloc__` intrinsics that the
+//! synthetic library corpus emits.
+
+/// Nanoseconds of virtual time, the base unit of the simulated clock.
+pub type VirtualNs = u64;
+
+/// Bytes of simulated heap.
+pub type SimBytes = u64;
+
+/// Tunable constants of the virtual cost model.
+///
+/// The defaults are calibrated so that the synthetic benchmark corpus
+/// reproduces the latency/memory magnitudes of Table 1 of the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Cost of dispatching one statement.
+    pub stmt_ns: VirtualNs,
+    /// Cost per expression AST node evaluated.
+    pub expr_node_ns: VirtualNs,
+    /// Extra cost of a user-function call (frame setup).
+    pub call_ns: VirtualNs,
+    /// Extra cost of resolving and starting a module import (finder/loader
+    /// overhead, independent of the module body).
+    pub import_ns: VirtualNs,
+    /// Simulated bytes charged per namespace binding (a dict entry).
+    pub binding_bytes: SimBytes,
+    /// Simulated bytes per function object plus per body statement.
+    pub func_base_bytes: SimBytes,
+    /// Additional bytes per statement in a function body (code object size).
+    pub func_stmt_bytes: SimBytes,
+    /// Simulated bytes per class object.
+    pub class_base_bytes: SimBytes,
+    /// Simulated bytes per module object (sys.modules entry, loader state).
+    pub module_base_bytes: SimBytes,
+    /// Bytes charged per element of list/tuple/dict displays.
+    pub element_bytes: SimBytes,
+    /// Bytes charged for a string per character.
+    pub str_char_bytes: SimBytes,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            stmt_ns: 1_500,
+            expr_node_ns: 300,
+            call_ns: 2_000,
+            import_ns: 250_000,
+            binding_bytes: 464,
+            func_base_bytes: 1_232,
+            func_stmt_bytes: 640,
+            class_base_bytes: 2_064,
+            module_base_bytes: 49_152,
+            element_bytes: 64,
+            str_char_bytes: 1,
+        }
+    }
+}
+
+/// Accumulated virtual time and simulated memory for one interpreter.
+///
+/// The meter only ever moves forward: simulated memory is a high-water
+/// account — serverless billing charges for the configured memory, which
+/// must cover the peak footprint, so releases are irrelevant to the model.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Meter {
+    clock_ns: VirtualNs,
+    mem_bytes: SimBytes,
+    /// Number of statements executed (for diagnostics and step limits).
+    pub steps: u64,
+}
+
+impl Meter {
+    /// A fresh meter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual clock in nanoseconds.
+    pub fn clock_ns(&self) -> VirtualNs {
+        self.clock_ns
+    }
+
+    /// Current virtual clock in (fractional) seconds.
+    pub fn clock_secs(&self) -> f64 {
+        self.clock_ns as f64 / 1e9
+    }
+
+    /// Current simulated memory in bytes.
+    pub fn mem_bytes(&self) -> SimBytes {
+        self.mem_bytes
+    }
+
+    /// Current simulated memory in (fractional) megabytes.
+    pub fn mem_mb(&self) -> f64 {
+        self.mem_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Advance the clock.
+    pub fn tick(&mut self, ns: VirtualNs) {
+        self.clock_ns = self.clock_ns.saturating_add(ns);
+    }
+
+    /// Charge simulated memory.
+    pub fn alloc(&mut self, bytes: SimBytes) {
+        self.mem_bytes = self.mem_bytes.saturating_add(bytes);
+    }
+
+    /// A snapshot of `(clock_ns, mem_bytes)`, used by import hooks to compute
+    /// marginal deltas exactly as §5.2 of the paper describes.
+    pub fn snapshot(&self) -> (VirtualNs, SimBytes) {
+        (self.clock_ns, self.mem_bytes)
+    }
+}
+
+/// Convert milliseconds (possibly fractional) to virtual nanoseconds.
+pub fn ms_to_ns(ms: f64) -> VirtualNs {
+    if ms <= 0.0 {
+        return 0;
+    }
+    (ms * 1e6).round() as VirtualNs
+}
+
+/// Convert megabytes (possibly fractional) to simulated bytes.
+pub fn mb_to_bytes(mb: f64) -> SimBytes {
+    if mb <= 0.0 {
+        return 0;
+    }
+    (mb * 1024.0 * 1024.0).round() as SimBytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_starts_at_zero() {
+        let m = Meter::new();
+        assert_eq!(m.clock_ns(), 0);
+        assert_eq!(m.mem_bytes(), 0);
+    }
+
+    #[test]
+    fn tick_and_alloc_accumulate() {
+        let mut m = Meter::new();
+        m.tick(100);
+        m.tick(50);
+        m.alloc(1024);
+        assert_eq!(m.clock_ns(), 150);
+        assert_eq!(m.mem_bytes(), 1024);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(ms_to_ns(1.0), 1_000_000);
+        assert_eq!(ms_to_ns(0.5), 500_000);
+        assert_eq!(ms_to_ns(-3.0), 0);
+        assert_eq!(mb_to_bytes(1.0), 1024 * 1024);
+        assert_eq!(mb_to_bytes(-1.0), 0);
+    }
+
+    #[test]
+    fn clock_secs_and_mem_mb() {
+        let mut m = Meter::new();
+        m.tick(2_500_000_000);
+        m.alloc(3 * 1024 * 1024);
+        assert!((m.clock_secs() - 2.5).abs() < 1e-9);
+        assert!((m.mem_mb() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturating_behaviour() {
+        let mut m = Meter::new();
+        m.tick(u64::MAX);
+        m.tick(10);
+        assert_eq!(m.clock_ns(), u64::MAX);
+    }
+}

@@ -1,0 +1,2496 @@
+//! The pylite tree-walking interpreter with instrumentable import machinery.
+//!
+//! An [`Interpreter`] owns a module [`Registry`] (the virtual site-packages),
+//! a [`Meter`] (virtual clock + simulated memory), a `sys.modules` cache and
+//! captured stdout / external-call logs. λ-trim's profiler reads the
+//! [`ImportEvent`]s the interpreter records around every module-body
+//! execution — the Rust analogue of the paper's patched import loader (§5.2).
+
+use crate::ast::{BinOp, BoolOp, ClassDef, CmpOp, Expr, FuncDef, Stmt, UnaryOp};
+use crate::cost::{mb_to_bytes, ms_to_ns, CostModel, Meter};
+use crate::registry::Registry;
+use crate::value::{
+    py_eq, py_repr, py_str, Builtin, ExcKind, ModuleObj, Namespace, NativeMethod, PyClass, PyErr,
+    PyFunc, PyInstance, Value,
+};
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::rc::Rc;
+
+/// One recorded module-body execution, with its *marginal* cost: the delta
+/// in virtual clock and simulated memory between the start and the end of
+/// the body run (inclusive of any nested imports it triggered, exactly as
+/// the paper defines `t` and `m` — "modules and all their submodules").
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImportEvent {
+    /// Dotted module name.
+    pub module: String,
+    /// Nesting depth: 0 for imports executed directly by `__main__`.
+    pub depth: usize,
+    /// Marginal virtual time in nanoseconds.
+    pub time_ns: u64,
+    /// Marginal simulated memory in bytes.
+    pub mem_bytes: u64,
+}
+
+/// Control flow outcome of a statement.
+enum Flow {
+    Normal,
+    Return(Value),
+    Break,
+    Continue,
+}
+
+/// Execution environment: the module globals plus, inside functions, a
+/// locals namespace and the set of `global`-declared names.
+struct Env {
+    globals: Namespace,
+    locals: Option<Namespace>,
+    global_decls: HashSet<String>,
+    module: String,
+}
+
+/// Default per-run step budget (statements). Debloated candidate programs
+/// can in pathological cases loop forever; the budget turns that into a
+/// deterministic [`ExcKind::ResourceExhausted`] failure the oracle rejects.
+pub const DEFAULT_STEP_LIMIT: u64 = 50_000_000;
+
+/// A pylite interpreter instance.
+///
+/// Each interpreter is fully isolated: its own `sys.modules`, meter and
+/// output buffers. λ-trim spawns a fresh interpreter per profiling run and
+/// per DD probe — the equivalent of the paper's per-phase process spawning
+/// (§7, "Module isolation").
+#[derive(Debug)]
+pub struct Interpreter {
+    /// The virtual filesystem of modules.
+    pub registry: Registry,
+    /// Cost model constants.
+    pub cost: CostModel,
+    /// Virtual clock and simulated memory.
+    pub meter: Meter,
+    /// Captured `print` output, one entry per line.
+    pub stdout: Vec<String>,
+    /// Captured external-service calls (`__lt_extcall__`).
+    pub extcalls: Vec<String>,
+    /// Recorded module-body executions with marginal costs.
+    pub import_events: Vec<ImportEvent>,
+    /// Maximum number of statements executed before aborting.
+    pub step_limit: u64,
+    modules: std::collections::HashMap<String, Rc<ModuleObj>>,
+    builtins: Namespace,
+    import_depth: usize,
+}
+
+impl Interpreter {
+    /// Create an interpreter over a registry.
+    pub fn new(registry: Registry) -> Self {
+        let builtins = Namespace::new();
+        {
+            let mut ns = builtins.0.borrow_mut();
+            for b in Builtin::all() {
+                ns.set(b.name(), Value::Builtin(*b));
+            }
+            for name in ExcKind::builtin_names() {
+                ns.set(name, Value::ExcClass(ExcKind::from_class_name(name)));
+            }
+        }
+        Interpreter {
+            registry,
+            cost: CostModel::default(),
+            meter: Meter::new(),
+            stdout: Vec::new(),
+            extcalls: Vec::new(),
+            import_events: Vec::new(),
+            step_limit: DEFAULT_STEP_LIMIT,
+            modules: std::collections::HashMap::new(),
+            builtins,
+            import_depth: 0,
+        }
+    }
+
+    /// Execute a program as the `__main__` module and return its module
+    /// object (whose namespace holds the handler).
+    ///
+    /// # Errors
+    ///
+    /// Any uncaught pylite exception, including parse errors surfaced as
+    /// [`ExcKind::ImportError`].
+    pub fn exec_main(&mut self, source: &str) -> Result<Rc<ModuleObj>, PyErr> {
+        let program = crate::parser::parse(source).map_err(|e| {
+            PyErr::new(ExcKind::ImportError, format!("__main__: {e}"))
+        })?;
+        let module = Rc::new(ModuleObj {
+            name: "__main__".into(),
+            ns: Namespace::new(),
+        });
+        module.ns.set("__name__", Value::str("__main__"));
+        self.modules.insert("__main__".into(), module.clone());
+        let mut env = Env {
+            globals: module.ns.clone(),
+            locals: None,
+            global_decls: HashSet::new(),
+            module: "__main__".into(),
+        };
+        self.exec_block(&program.body, &mut env)?;
+        Ok(module)
+    }
+
+    /// Call a function bound at top level of `__main__` (the Lambda handler).
+    ///
+    /// # Errors
+    ///
+    /// [`ExcKind::NameError`] if the handler is not bound, or any exception
+    /// the handler raises.
+    pub fn call_handler(
+        &mut self,
+        handler: &str,
+        event: Value,
+        context: Value,
+    ) -> Result<Value, PyErr> {
+        let main = self
+            .modules
+            .get("__main__")
+            .cloned()
+            .ok_or_else(|| PyErr::new(ExcKind::RuntimeError, "no __main__ module executed"))?;
+        let func = main.ns.get(handler).ok_or_else(|| {
+            PyErr::new(ExcKind::NameError, format!("handler `{handler}` is not defined"))
+        })?;
+        self.call_value(func, vec![event, context], vec![])
+    }
+
+    /// The loaded module object for `name`, if imported.
+    pub fn module(&self, name: &str) -> Option<Rc<ModuleObj>> {
+        self.modules.get(name).cloned()
+    }
+
+    /// Names of all loaded modules (sorted).
+    pub fn loaded_modules(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.modules.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Import a module by dotted name (public entry for tests/tools).
+    ///
+    /// # Errors
+    ///
+    /// [`ExcKind::ImportError`] if the module is missing or fails to parse,
+    /// or any exception its body raises.
+    pub fn import_module(&mut self, dotted: &str) -> Result<Rc<ModuleObj>, PyErr> {
+        if let Some(m) = self.modules.get(dotted) {
+            return Ok(m.clone());
+        }
+        if !self.registry.contains(dotted) {
+            return Err(PyErr::new(
+                ExcKind::ImportError,
+                format!("No module named '{dotted}'"),
+            ));
+        }
+        // Import the parent package first (CPython semantics).
+        let parent = dotted.rsplit_once('.').map(|(p, _)| p.to_owned());
+        if let Some(p) = &parent {
+            self.import_module(p)?;
+        }
+        let program = self.registry.parse_module(dotted).map_err(|e| {
+            PyErr::new(ExcKind::ImportError, format!("{dotted}: {e}"))
+        })?;
+        self.meter.tick(self.cost.import_ns);
+        self.meter.alloc(self.cost.module_base_bytes);
+        let module = Rc::new(ModuleObj {
+            name: dotted.to_owned(),
+            ns: Namespace::new(),
+        });
+        module.ns.set("__name__", Value::str(dotted));
+        module
+            .ns
+            .set("__file__", Value::str(format!("{}.py", dotted.replace('.', "/"))));
+        // Insert before executing the body so cyclic imports observe the
+        // partially-initialized module instead of recursing forever.
+        self.modules.insert(dotted.to_owned(), module.clone());
+        let depth = self.import_depth;
+        let start = self.meter.snapshot();
+        self.import_depth += 1;
+        let mut env = Env {
+            globals: module.ns.clone(),
+            locals: None,
+            global_decls: HashSet::new(),
+            module: dotted.to_owned(),
+        };
+        let result = self.exec_block(&program.body, &mut env);
+        self.import_depth -= 1;
+        match result {
+            Ok(()) => {
+                let end = self.meter.snapshot();
+                self.import_events.push(ImportEvent {
+                    module: dotted.to_owned(),
+                    depth,
+                    time_ns: end.0 - start.0,
+                    mem_bytes: end.1 - start.1,
+                });
+                if let (Some(p), Some((_, leaf))) = (&parent, dotted.rsplit_once('.')) {
+                    if let Some(pm) = self.modules.get(p) {
+                        let is_new = pm.ns.set(leaf, Value::Module(module.clone())).is_none();
+                        if is_new {
+                            self.meter.alloc(self.cost.binding_bytes);
+                        }
+                    }
+                }
+                Ok(module)
+            }
+            Err(e) => {
+                self.modules.remove(dotted);
+                Err(e)
+            }
+        }
+    }
+
+    // -- statements -------------------------------------------------------
+
+    fn exec_block(&mut self, body: &[Stmt], env: &mut Env) -> Result<(), PyErr> {
+        for stmt in body {
+            match self.exec_stmt(stmt, env)? {
+                Flow::Normal => {}
+                _ => {
+                    return Err(PyErr::new(
+                        ExcKind::RuntimeError,
+                        "return/break/continue outside of function or loop",
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_suite(&mut self, body: &[Stmt], env: &mut Env) -> Result<Flow, PyErr> {
+        for stmt in body {
+            match self.exec_stmt(stmt, env)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt, env: &mut Env) -> Result<Flow, PyErr> {
+        self.meter.steps += 1;
+        if self.meter.steps > self.step_limit {
+            return Err(PyErr::new(
+                ExcKind::ResourceExhausted,
+                format!("step limit of {} exceeded", self.step_limit),
+            ));
+        }
+        self.meter.tick(self.cost.stmt_ns);
+        match stmt {
+            Stmt::Expr(e) => {
+                self.eval(e, env)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::Assign { targets, value } => {
+                let v = self.eval(value, env)?;
+                for t in targets {
+                    self.assign_target(t, v.clone(), env)?;
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::AugAssign { target, op, value } => {
+                let current = self.eval(target, env)?;
+                let rhs = self.eval(value, env)?;
+                let combined = self.binary_op(*op, current, rhs)?;
+                self.assign_target(target, combined, env)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::If { branches, orelse } => {
+                for (test, body) in branches {
+                    if self.eval(test, env)?.truthy() {
+                        return self.exec_suite(body, env);
+                    }
+                }
+                self.exec_suite(orelse, env)
+            }
+            Stmt::While { test, body } => {
+                while self.eval(test, env)?.truthy() {
+                    match self.exec_suite(body, env)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break,
+                        r @ Flow::Return(_) => return Ok(r),
+                    }
+                    self.meter.steps += 1;
+                    if self.meter.steps > self.step_limit {
+                        return Err(PyErr::new(
+                            ExcKind::ResourceExhausted,
+                            "step limit exceeded in while loop",
+                        ));
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::For { targets, iter, body } => {
+                let iterable = self.eval(iter, env)?;
+                let items = self.iter_values(&iterable)?;
+                for item in items {
+                    if targets.len() == 1 {
+                        self.bind_name(&targets[0], item, env);
+                    } else {
+                        let parts = self.iter_values(&item)?;
+                        if parts.len() != targets.len() {
+                            return Err(PyErr::new(
+                                ExcKind::ValueError,
+                                format!(
+                                    "cannot unpack {} values into {} loop targets",
+                                    parts.len(),
+                                    targets.len()
+                                ),
+                            ));
+                        }
+                        for (t, v) in targets.iter().zip(parts) {
+                            self.bind_name(t, v, env);
+                        }
+                    }
+                    match self.exec_suite(body, env)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break,
+                        r @ Flow::Return(_) => return Ok(r),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::FuncDef(f) => {
+                let func = self.make_function(f, env)?;
+                self.meter.alloc(
+                    self.cost.func_base_bytes
+                        + self.cost.func_stmt_bytes * crate::ast::stmt_count(&f.body) as u64,
+                );
+                self.bind_name(&f.name, func, env);
+                Ok(Flow::Normal)
+            }
+            Stmt::ClassDef(c) => {
+                let class = self.make_class(c, env)?;
+                self.meter.alloc(self.cost.class_base_bytes);
+                self.bind_name(&c.name, class, env);
+                Ok(Flow::Normal)
+            }
+            Stmt::Return(e) => {
+                let v = match e {
+                    Some(e) => self.eval(e, env)?,
+                    None => Value::None,
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::Pass => Ok(Flow::Normal),
+            Stmt::Break => Ok(Flow::Break),
+            Stmt::Continue => Ok(Flow::Continue),
+            Stmt::Import { items } => {
+                for item in items {
+                    let module = self.import_module(&item.module)?;
+                    match &item.alias {
+                        Some(alias) => self.bind_name(alias, Value::Module(module), env),
+                        None => {
+                            let top = item
+                                .module
+                                .split('.')
+                                .next()
+                                .expect("nonempty module path");
+                            let top_module = self
+                                .modules
+                                .get(top)
+                                .cloned()
+                                .expect("top package loaded by import_module");
+                            self.bind_name(top, Value::Module(top_module), env);
+                        }
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::FromImport { module, names } => {
+                let m = self.import_module(module)?;
+                for (name, alias) in names {
+                    let v = match m.ns.get(name) {
+                        Some(v) => v,
+                        None => {
+                            // `from pkg import sub` where sub is a submodule.
+                            let sub = format!("{module}.{name}");
+                            if self.registry.contains(&sub) {
+                                Value::Module(self.import_module(&sub)?)
+                            } else {
+                                return Err(PyErr::new(
+                                    ExcKind::ImportError,
+                                    format!("cannot import name '{name}' from '{module}'"),
+                                ));
+                            }
+                        }
+                    };
+                    self.bind_name(alias.as_deref().unwrap_or(name), v, env);
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Raise(e) => {
+                let err = match e {
+                    None => PyErr::new(ExcKind::RuntimeError, "re-raise outside except"),
+                    Some(expr) => {
+                        let v = self.eval(expr, env)?;
+                        self.value_to_exception(v)?
+                    }
+                };
+                Err(err)
+            }
+            Stmt::Try {
+                body,
+                handlers,
+                orelse,
+                finalbody,
+            } => {
+                let outcome = self.exec_suite(body, env);
+                let result = match outcome {
+                    Ok(flow) => {
+                        if matches!(flow, Flow::Normal) && !orelse.is_empty() {
+                            self.exec_suite(orelse, env)
+                        } else {
+                            Ok(flow)
+                        }
+                    }
+                    Err(err) => {
+                        // ResourceExhausted is not catchable: it models the
+                        // platform killing the function.
+                        if matches!(err.kind, ExcKind::ResourceExhausted) {
+                            Err(err)
+                        } else {
+                            let mut handled = None;
+                            for h in handlers {
+                                let matches = match &h.exc_type {
+                                    None => true,
+                                    Some(class) => err.matches_handler(class),
+                                };
+                                if matches {
+                                    if let Some(name) = &h.name {
+                                        self.bind_name(
+                                            name,
+                                            Value::ExcValue(Rc::new(err.clone())),
+                                            env,
+                                        );
+                                    }
+                                    handled = Some(self.exec_suite(&h.body, env));
+                                    break;
+                                }
+                            }
+                            handled.unwrap_or(Err(err))
+                        }
+                    }
+                };
+                if !finalbody.is_empty() {
+                    // `finally` runs regardless; its own error wins.
+                    match self.exec_suite(finalbody, env)? {
+                        Flow::Normal => {}
+                        flow => return Ok(flow),
+                    }
+                }
+                result
+            }
+            Stmt::Global(names) => {
+                for n in names {
+                    env.global_decls.insert(n.clone());
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Assert { test, msg } => {
+                if !self.eval(test, env)?.truthy() {
+                    let message = match msg {
+                        Some(m) => py_str(&self.eval(m, env)?),
+                        None => String::new(),
+                    };
+                    return Err(PyErr::new(ExcKind::AssertionError, message));
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Del(target) => {
+                match target {
+                    Expr::Name(n) => {
+                        let removed = match &env.locals {
+                            Some(locals) if !env.global_decls.contains(n) => locals.remove(n),
+                            _ => env.globals.remove(n),
+                        };
+                        if removed.is_none() {
+                            return Err(PyErr::new(
+                                ExcKind::NameError,
+                                format!("name '{n}' is not defined"),
+                            ));
+                        }
+                    }
+                    Expr::Attribute { value, attr } => {
+                        let obj = self.eval(value, env)?;
+                        let removed = match &obj {
+                            Value::Module(m) => m.ns.remove(attr),
+                            Value::Instance(i) => i.borrow().ns.remove(attr),
+                            Value::Class(c) => c.ns.remove(attr),
+                            _ => None,
+                        };
+                        if removed.is_none() {
+                            return Err(PyErr::attribute_error(format!(
+                                "cannot delete attribute '{attr}'"
+                            )));
+                        }
+                    }
+                    _ => {
+                        return Err(PyErr::type_error("unsupported del target"));
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+        }
+    }
+
+    fn value_to_exception(&mut self, v: Value) -> Result<PyErr, PyErr> {
+        match v {
+            Value::ExcValue(e) => Ok((*e).clone()),
+            Value::ExcClass(kind) => Ok(PyErr::new(kind, "")),
+            Value::Instance(inst) => {
+                let inst = inst.borrow();
+                if !inst.class.is_exception {
+                    return Err(PyErr::type_error(
+                        "exceptions must derive from Exception",
+                    ));
+                }
+                let message = inst
+                    .ns
+                    .get("message")
+                    .map(|m| py_str(&m))
+                    .unwrap_or_default();
+                let mut chain = Vec::new();
+                collect_class_chain(&inst.class, &mut chain);
+                let mut err = PyErr::new(ExcKind::Custom(inst.class.name.clone()), message);
+                err.class_chain = chain;
+                Ok(err)
+            }
+            Value::Class(c) if c.is_exception => {
+                let mut chain = Vec::new();
+                collect_class_chain(&c, &mut chain);
+                let mut err = PyErr::new(ExcKind::Custom(c.name.clone()), "");
+                err.class_chain = chain;
+                Ok(err)
+            }
+            other => Err(PyErr::type_error(format!(
+                "exceptions must derive from Exception, not {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    fn make_function(&mut self, f: &FuncDef, env: &Env) -> Result<Value, PyErr> {
+        let mut defaults = Vec::with_capacity(f.params.len());
+        for p in &f.params {
+            defaults.push(match &p.default {
+                Some(d) => {
+                    let mut env2 = Env {
+                        globals: env.globals.clone(),
+                        locals: env.locals.clone(),
+                        global_decls: HashSet::new(),
+                        module: env.module.clone(),
+                    };
+                    Some(self.eval(d, &mut env2)?)
+                }
+                None => None,
+            });
+        }
+        Ok(Value::Func(Rc::new(PyFunc {
+            name: f.name.clone(),
+            params: f.params.clone(),
+            defaults,
+            body: Rc::new(f.body.clone()),
+            globals: env.globals.clone(),
+            module: env.module.clone(),
+        })))
+    }
+
+    fn make_class(&mut self, c: &ClassDef, env: &mut Env) -> Result<Value, PyErr> {
+        let mut bases = Vec::new();
+        let mut is_exception = false;
+        for base_name in &c.bases {
+            let base_val = self.lookup_name(base_name, env)?;
+            match base_val {
+                Value::Class(b) => {
+                    if b.is_exception {
+                        is_exception = true;
+                    }
+                    bases.push(b);
+                }
+                Value::ExcClass(_) => {
+                    is_exception = true;
+                }
+                other => {
+                    return Err(PyErr::type_error(format!(
+                        "base class must be a class, not {}",
+                        other.type_name()
+                    )))
+                }
+            }
+        }
+        let class_ns = Namespace::new();
+        let mut class_env = Env {
+            globals: env.globals.clone(),
+            locals: Some(class_ns.clone()),
+            global_decls: HashSet::new(),
+            module: env.module.clone(),
+        };
+        self.exec_block(&c.body, &mut class_env)?;
+        self.meter
+            .alloc(self.cost.binding_bytes * class_ns.len() as u64);
+        Ok(Value::Class(Rc::new(PyClass {
+            name: c.name.clone(),
+            bases,
+            ns: class_ns,
+            is_exception,
+        })))
+    }
+
+    fn bind_name(&mut self, name: &str, value: Value, env: &mut Env) {
+        let target_ns = match &env.locals {
+            Some(locals) if !env.global_decls.contains(name) => locals,
+            _ => &env.globals,
+        };
+        let is_new = target_ns.set(name, value).is_none();
+        if is_new {
+            self.meter.alloc(self.cost.binding_bytes);
+        }
+    }
+
+    fn assign_target(&mut self, target: &Expr, value: Value, env: &mut Env) -> Result<(), PyErr> {
+        match target {
+            Expr::Name(n) => {
+                self.bind_name(n, value, env);
+                Ok(())
+            }
+            Expr::Attribute { value: obj, attr } => {
+                let obj = self.eval(obj, env)?;
+                match &obj {
+                    Value::Module(m) => {
+                        if m.ns.set(attr, value).is_none() {
+                            self.meter.alloc(self.cost.binding_bytes);
+                        }
+                    }
+                    Value::Instance(i) => {
+                        if i.borrow().ns.set(attr, value).is_none() {
+                            self.meter.alloc(self.cost.binding_bytes);
+                        }
+                    }
+                    Value::Class(c) => {
+                        if c.ns.set(attr, value).is_none() {
+                            self.meter.alloc(self.cost.binding_bytes);
+                        }
+                    }
+                    other => {
+                        return Err(PyErr::attribute_error(format!(
+                            "'{}' object attribute '{attr}' is read-only",
+                            other.type_name()
+                        )))
+                    }
+                }
+                Ok(())
+            }
+            Expr::Subscript { value: obj, index } => {
+                let obj = self.eval(obj, env)?;
+                let idx = self.eval(index, env)?;
+                match &obj {
+                    Value::List(items) => {
+                        let i = as_index(&idx, items.borrow().len())?;
+                        items.borrow_mut()[i] = value;
+                        Ok(())
+                    }
+                    Value::Dict(pairs) => {
+                        let mut pairs = pairs.borrow_mut();
+                        for (k, v) in pairs.iter_mut() {
+                            if py_eq(k, &idx) {
+                                *v = value;
+                                return Ok(());
+                            }
+                        }
+                        pairs.push((idx, value));
+                        self.meter.alloc(self.cost.element_bytes);
+                        Ok(())
+                    }
+                    other => Err(PyErr::type_error(format!(
+                        "'{}' object does not support item assignment",
+                        other.type_name()
+                    ))),
+                }
+            }
+            Expr::Tuple(targets) | Expr::List(targets) => {
+                let items = self.iter_values(&value)?;
+                if items.len() != targets.len() {
+                    return Err(PyErr::new(
+                        ExcKind::ValueError,
+                        format!(
+                            "cannot unpack {} values into {} targets",
+                            items.len(),
+                            targets.len()
+                        ),
+                    ));
+                }
+                for (t, v) in targets.iter().zip(items) {
+                    self.assign_target(t, v, env)?;
+                }
+                Ok(())
+            }
+            _ => Err(PyErr::type_error("invalid assignment target")),
+        }
+    }
+
+    fn lookup_name(&mut self, name: &str, env: &Env) -> Result<Value, PyErr> {
+        if let Some(locals) = &env.locals {
+            if !env.global_decls.contains(name) {
+                if let Some(v) = locals.get(name) {
+                    return Ok(v);
+                }
+            }
+        }
+        if let Some(v) = env.globals.get(name) {
+            return Ok(v);
+        }
+        if let Some(v) = self.builtins.get(name) {
+            return Ok(v);
+        }
+        Err(PyErr::new(
+            ExcKind::NameError,
+            format!("name '{name}' is not defined"),
+        ))
+    }
+
+    // -- expressions ------------------------------------------------------
+
+    fn eval(&mut self, e: &Expr, env: &mut Env) -> Result<Value, PyErr> {
+        self.meter.tick(self.cost.expr_node_ns);
+        match e {
+            Expr::None => Ok(Value::None),
+            Expr::True => Ok(Value::Bool(true)),
+            Expr::False => Ok(Value::Bool(false)),
+            Expr::Int(v) => Ok(Value::Int(*v)),
+            Expr::Float(v) => Ok(Value::Float(*v)),
+            Expr::Str(s) => {
+                self.meter
+                    .alloc(self.cost.str_char_bytes * s.len() as u64);
+                Ok(Value::str(s))
+            }
+            Expr::Name(n) => self.lookup_name(n, env),
+            Expr::List(items) => {
+                let mut out = Vec::with_capacity(items.len());
+                for i in items {
+                    out.push(self.eval(i, env)?);
+                }
+                self.meter
+                    .alloc(self.cost.element_bytes * items.len() as u64);
+                Ok(Value::list(out))
+            }
+            Expr::Tuple(items) => {
+                let mut out = Vec::with_capacity(items.len());
+                for i in items {
+                    out.push(self.eval(i, env)?);
+                }
+                self.meter
+                    .alloc(self.cost.element_bytes * items.len() as u64);
+                Ok(Value::tuple(out))
+            }
+            Expr::Dict(pairs) => {
+                let mut out = Vec::with_capacity(pairs.len());
+                for (k, v) in pairs {
+                    out.push((self.eval(k, env)?, self.eval(v, env)?));
+                }
+                self.meter
+                    .alloc(self.cost.element_bytes * 2 * pairs.len() as u64);
+                Ok(Value::dict(out))
+            }
+            Expr::Attribute { value, attr } => {
+                let obj = self.eval(value, env)?;
+                self.get_attribute(&obj, attr)
+            }
+            Expr::Subscript { value, index } => {
+                let obj = self.eval(value, env)?;
+                let idx = self.eval(index, env)?;
+                self.get_item(&obj, &idx)
+            }
+            Expr::Call { func, args, kwargs } => {
+                let f = self.eval(func, env)?;
+                let mut argv = Vec::with_capacity(args.len());
+                for a in args {
+                    argv.push(self.eval(a, env)?);
+                }
+                let mut kwv = Vec::with_capacity(kwargs.len());
+                for (k, v) in kwargs {
+                    kwv.push((k.clone(), self.eval(v, env)?));
+                }
+                self.call_value(f, argv, kwv)
+            }
+            Expr::Unary { op, operand } => {
+                let v = self.eval(operand, env)?;
+                match op {
+                    UnaryOp::Not => Ok(Value::Bool(!v.truthy())),
+                    UnaryOp::Neg => match v {
+                        Value::Int(i) => Ok(Value::Int(-i)),
+                        Value::Float(f) => Ok(Value::Float(-f)),
+                        Value::Bool(b) => Ok(Value::Int(-(b as i64))),
+                        other => Err(PyErr::type_error(format!(
+                            "bad operand type for unary -: '{}'",
+                            other.type_name()
+                        ))),
+                    },
+                    UnaryOp::Pos => match v {
+                        Value::Int(_) | Value::Float(_) | Value::Bool(_) => Ok(v),
+                        other => Err(PyErr::type_error(format!(
+                            "bad operand type for unary +: '{}'",
+                            other.type_name()
+                        ))),
+                    },
+                }
+            }
+            Expr::Binary { left, op, right } => {
+                let l = self.eval(left, env)?;
+                let r = self.eval(right, env)?;
+                self.binary_op(*op, l, r)
+            }
+            Expr::Bool { op, values } => {
+                match op {
+                    BoolOp::And => {
+                        let mut last = Value::Bool(true);
+                        for v in values {
+                            last = self.eval(v, env)?;
+                            if !last.truthy() {
+                                return Ok(last);
+                            }
+                        }
+                        Ok(last)
+                    }
+                    BoolOp::Or => {
+                        let mut last = Value::Bool(false);
+                        for v in values {
+                            last = self.eval(v, env)?;
+                            if last.truthy() {
+                                return Ok(last);
+                            }
+                        }
+                        Ok(last)
+                    }
+                }
+            }
+            Expr::Compare { left, ops } => {
+                let mut lhs = self.eval(left, env)?;
+                for (op, rhs_expr) in ops {
+                    let rhs = self.eval(rhs_expr, env)?;
+                    if !self.compare(*op, &lhs, &rhs)? {
+                        return Ok(Value::Bool(false));
+                    }
+                    lhs = rhs;
+                }
+                Ok(Value::Bool(true))
+            }
+            Expr::Conditional { test, body, orelse } => {
+                if self.eval(test, env)?.truthy() {
+                    self.eval(body, env)
+                } else {
+                    self.eval(orelse, env)
+                }
+            }
+            Expr::ListComp {
+                element,
+                targets,
+                iter,
+                cond,
+            } => {
+                let iterable = self.eval(iter, env)?;
+                let items = self.iter_values(&iterable)?;
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    self.meter.steps += 1;
+                    if self.meter.steps > self.step_limit {
+                        return Err(PyErr::new(
+                            ExcKind::ResourceExhausted,
+                            "step limit exceeded in comprehension",
+                        ));
+                    }
+                    if targets.len() == 1 {
+                        self.bind_name(&targets[0], item, env);
+                    } else {
+                        let parts = self.iter_values(&item)?;
+                        if parts.len() != targets.len() {
+                            return Err(PyErr::new(
+                                ExcKind::ValueError,
+                                "comprehension target unpack mismatch",
+                            ));
+                        }
+                        for (t, v) in targets.iter().zip(parts) {
+                            self.bind_name(t, v, env);
+                        }
+                    }
+                    if let Some(c) = cond {
+                        if !self.eval(c, env)?.truthy() {
+                            continue;
+                        }
+                    }
+                    out.push(self.eval(element, env)?);
+                }
+                self.meter
+                    .alloc(self.cost.element_bytes * out.len() as u64);
+                Ok(Value::list(out))
+            }
+            Expr::Slice { value, start, stop } => {
+                let v = self.eval(value, env)?;
+                let start = match start {
+                    Some(e) => Some(self.eval(e, env)?),
+                    None => None,
+                };
+                let stop = match stop {
+                    Some(e) => Some(self.eval(e, env)?),
+                    None => None,
+                };
+                self.slice_value(&v, start.as_ref(), stop.as_ref())
+            }
+        }
+    }
+
+    fn binary_op(&mut self, op: BinOp, l: Value, r: Value) -> Result<Value, PyErr> {
+        use Value::*;
+        let type_err = |l: &Value, r: &Value| {
+            PyErr::type_error(format!(
+                "unsupported operand type(s) for {}: '{}' and '{}'",
+                op.symbol(),
+                l.type_name(),
+                r.type_name()
+            ))
+        };
+        // Promote bools to ints for arithmetic.
+        let lift = |v: Value| match v {
+            Bool(b) => Int(b as i64),
+            other => other,
+        };
+        let (l, r) = (lift(l), lift(r));
+        match (op, &l, &r) {
+            (BinOp::Add, Str(a), Str(b)) => {
+                self.meter
+                    .alloc(self.cost.str_char_bytes * (a.len() + b.len()) as u64);
+                Ok(Value::str(format!("{a}{b}")))
+            }
+            (BinOp::Add, List(a), List(b)) => {
+                let mut out = a.borrow().clone();
+                out.extend(b.borrow().iter().cloned());
+                self.meter
+                    .alloc(self.cost.element_bytes * out.len() as u64);
+                Ok(Value::list(out))
+            }
+            (BinOp::Mul, Str(s), Int(n)) | (BinOp::Mul, Int(n), Str(s)) => {
+                let n = (*n).max(0) as usize;
+                self.meter
+                    .alloc(self.cost.str_char_bytes * (s.len() * n) as u64);
+                Ok(Value::str(s.repeat(n)))
+            }
+            (BinOp::Mul, List(items), Int(n)) | (BinOp::Mul, Int(n), List(items)) => {
+                let n = (*n).max(0) as usize;
+                let src = items.borrow();
+                let mut out = Vec::with_capacity(src.len() * n);
+                for _ in 0..n {
+                    out.extend(src.iter().cloned());
+                }
+                self.meter
+                    .alloc(self.cost.element_bytes * out.len() as u64);
+                Ok(Value::list(out))
+            }
+            (_, Int(a), Int(b)) => {
+                let (a, b) = (*a, *b);
+                match op {
+                    BinOp::Add => Ok(Int(a.wrapping_add(b))),
+                    BinOp::Sub => Ok(Int(a.wrapping_sub(b))),
+                    BinOp::Mul => Ok(Int(a.wrapping_mul(b))),
+                    BinOp::Div => {
+                        if b == 0 {
+                            Err(PyErr::new(ExcKind::ZeroDivisionError, "division by zero"))
+                        } else {
+                            Ok(Float(a as f64 / b as f64))
+                        }
+                    }
+                    BinOp::FloorDiv => {
+                        if b == 0 {
+                            Err(PyErr::new(ExcKind::ZeroDivisionError, "division by zero"))
+                        } else {
+                            Ok(Int(a.div_euclid(b)))
+                        }
+                    }
+                    BinOp::Mod => {
+                        if b == 0 {
+                            Err(PyErr::new(ExcKind::ZeroDivisionError, "modulo by zero"))
+                        } else {
+                            Ok(Int(a.rem_euclid(b)))
+                        }
+                    }
+                    BinOp::Pow => {
+                        if b >= 0 {
+                            Ok(Int(a.pow(b.min(63) as u32)))
+                        } else {
+                            Ok(Float((a as f64).powi(b as i32)))
+                        }
+                    }
+                }
+            }
+            (_, l @ (Int(_) | Float(_)), r @ (Int(_) | Float(_))) => {
+                let a = as_f64(l);
+                let b = as_f64(r);
+                match op {
+                    BinOp::Add => Ok(Float(a + b)),
+                    BinOp::Sub => Ok(Float(a - b)),
+                    BinOp::Mul => Ok(Float(a * b)),
+                    BinOp::Div => {
+                        if b == 0.0 {
+                            Err(PyErr::new(ExcKind::ZeroDivisionError, "float division by zero"))
+                        } else {
+                            Ok(Float(a / b))
+                        }
+                    }
+                    BinOp::FloorDiv => {
+                        if b == 0.0 {
+                            Err(PyErr::new(ExcKind::ZeroDivisionError, "float floor division by zero"))
+                        } else {
+                            Ok(Float((a / b).floor()))
+                        }
+                    }
+                    BinOp::Mod => {
+                        if b == 0.0 {
+                            Err(PyErr::new(ExcKind::ZeroDivisionError, "float modulo"))
+                        } else {
+                            Ok(Float(a.rem_euclid(b)))
+                        }
+                    }
+                    BinOp::Pow => Ok(Float(a.powf(b))),
+                }
+            }
+            _ => Err(type_err(&l, &r)),
+        }
+    }
+
+    fn compare(&mut self, op: CmpOp, l: &Value, r: &Value) -> Result<bool, PyErr> {
+        match op {
+            CmpOp::Eq => Ok(py_eq(l, r)),
+            CmpOp::Ne => Ok(!py_eq(l, r)),
+            CmpOp::Is => Ok(py_is(l, r)),
+            CmpOp::IsNot => Ok(!py_is(l, r)),
+            CmpOp::In => self.contains(r, l),
+            CmpOp::NotIn => Ok(!self.contains(r, l)?),
+            CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+                let ord = match (l, r) {
+                    (Value::Int(a), Value::Int(b)) => a.partial_cmp(b),
+                    (Value::Str(a), Value::Str(b)) => a.partial_cmp(b),
+                    (a @ (Value::Int(_) | Value::Float(_)), b @ (Value::Int(_) | Value::Float(_))) => {
+                        as_f64(a).partial_cmp(&as_f64(b))
+                    }
+                    _ => None,
+                };
+                let ord = ord.ok_or_else(|| {
+                    PyErr::type_error(format!(
+                        "'{}' not supported between instances of '{}' and '{}'",
+                        op.symbol(),
+                        l.type_name(),
+                        r.type_name()
+                    ))
+                })?;
+                Ok(match op {
+                    CmpOp::Lt => ord == std::cmp::Ordering::Less,
+                    CmpOp::Le => ord != std::cmp::Ordering::Greater,
+                    CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+                    CmpOp::Ge => ord != std::cmp::Ordering::Less,
+                    _ => unreachable!(),
+                })
+            }
+        }
+    }
+
+    fn contains(&mut self, container: &Value, needle: &Value) -> Result<bool, PyErr> {
+        match container {
+            Value::List(items) => Ok(items.borrow().iter().any(|v| py_eq(v, needle))),
+            Value::Tuple(items) => Ok(items.iter().any(|v| py_eq(v, needle))),
+            Value::Dict(pairs) => Ok(pairs.borrow().iter().any(|(k, _)| py_eq(k, needle))),
+            Value::Str(s) => match needle {
+                Value::Str(sub) => Ok(s.contains(&**sub)),
+                _ => Err(PyErr::type_error("'in <string>' requires string operand")),
+            },
+            other => Err(PyErr::type_error(format!(
+                "argument of type '{}' is not iterable",
+                other.type_name()
+            ))),
+        }
+    }
+
+    fn iter_values(&mut self, v: &Value) -> Result<Vec<Value>, PyErr> {
+        match v {
+            Value::List(items) => Ok(items.borrow().clone()),
+            Value::Tuple(items) => Ok((**items).clone()),
+            Value::Dict(pairs) => Ok(pairs.borrow().iter().map(|(k, _)| k.clone()).collect()),
+            Value::Str(s) => Ok(s
+                .chars()
+                .map(|c| Value::str(c.to_string()))
+                .collect()),
+            other => Err(PyErr::type_error(format!(
+                "'{}' object is not iterable",
+                other.type_name()
+            ))),
+        }
+    }
+
+    /// Attribute lookup following pylite's object model. Raises
+    /// `AttributeError` — the signal λ-trim's fallback wrapper watches for.
+    pub fn get_attribute(&mut self, obj: &Value, attr: &str) -> Result<Value, PyErr> {
+        if let Some(method) = NativeMethod::resolve(obj, attr) {
+            return Ok(Value::NativeMethod {
+                recv: Box::new(obj.clone()),
+                method,
+            });
+        }
+        match obj {
+            Value::Module(m) => m.ns.get(attr).ok_or_else(|| {
+                PyErr::attribute_error(format!(
+                    "module '{}' has no attribute '{attr}'",
+                    m.name
+                ))
+            }),
+            Value::Instance(i) => {
+                let inst = i.borrow();
+                if let Some(v) = inst.ns.get(attr) {
+                    return Ok(v);
+                }
+                if let Some(v) = inst.class.lookup(attr) {
+                    if let Value::Func(f) = &v {
+                        return Ok(Value::BoundMethod {
+                            recv: Box::new(obj.clone()),
+                            func: f.clone(),
+                        });
+                    }
+                    return Ok(v);
+                }
+                Err(PyErr::attribute_error(format!(
+                    "'{}' object has no attribute '{attr}'",
+                    inst.class.name
+                )))
+            }
+            Value::Class(c) => c.lookup(attr).ok_or_else(|| {
+                PyErr::attribute_error(format!(
+                    "type object '{}' has no attribute '{attr}'",
+                    c.name
+                ))
+            }),
+            Value::ExcValue(e) => match attr {
+                "message" | "args" => Ok(Value::str(&e.message)),
+                _ => Err(PyErr::attribute_error(format!(
+                    "'{}' object has no attribute '{attr}'",
+                    e.kind.class_name()
+                ))),
+            },
+            other => Err(PyErr::attribute_error(format!(
+                "'{}' object has no attribute '{attr}'",
+                other.type_name()
+            ))),
+        }
+    }
+
+    /// Resolve a slice bound to a clamped index within `len`.
+    fn slice_bound(bound: Option<&Value>, len: usize, default: i64) -> Result<i64, PyErr> {
+        let raw = match bound {
+            None => default,
+            Some(Value::Int(i)) => *i,
+            Some(Value::Bool(b)) => *b as i64,
+            Some(other) => {
+                return Err(PyErr::type_error(format!(
+                    "slice indices must be integers, not {}",
+                    other.type_name()
+                )))
+            }
+        };
+        let adjusted = if raw < 0 { raw + len as i64 } else { raw };
+        Ok(adjusted.clamp(0, len as i64))
+    }
+
+    fn slice_value(
+        &mut self,
+        v: &Value,
+        start: Option<&Value>,
+        stop: Option<&Value>,
+    ) -> Result<Value, PyErr> {
+        match v {
+            Value::List(items) => {
+                let items = items.borrow();
+                let len = items.len();
+                let s = Self::slice_bound(start, len, 0)? as usize;
+                let e = Self::slice_bound(stop, len, len as i64)? as usize;
+                let out: Vec<Value> = if s < e { items[s..e].to_vec() } else { Vec::new() };
+                self.meter
+                    .alloc(self.cost.element_bytes * out.len() as u64);
+                Ok(Value::list(out))
+            }
+            Value::Tuple(items) => {
+                let len = items.len();
+                let s = Self::slice_bound(start, len, 0)? as usize;
+                let e = Self::slice_bound(stop, len, len as i64)? as usize;
+                let out: Vec<Value> = if s < e { items[s..e].to_vec() } else { Vec::new() };
+                Ok(Value::tuple(out))
+            }
+            Value::Str(text) => {
+                let chars: Vec<char> = text.chars().collect();
+                let len = chars.len();
+                let s = Self::slice_bound(start, len, 0)? as usize;
+                let e = Self::slice_bound(stop, len, len as i64)? as usize;
+                let out: String = if s < e { chars[s..e].iter().collect() } else { String::new() };
+                Ok(Value::str(out))
+            }
+            other => Err(PyErr::type_error(format!(
+                "'{}' object is not sliceable",
+                other.type_name()
+            ))),
+        }
+    }
+
+    fn get_item(&mut self, obj: &Value, idx: &Value) -> Result<Value, PyErr> {
+        match obj {
+            Value::List(items) => {
+                let items = items.borrow();
+                let i = as_index(idx, items.len())?;
+                Ok(items[i].clone())
+            }
+            Value::Tuple(items) => {
+                let i = as_index(idx, items.len())?;
+                Ok(items[i].clone())
+            }
+            Value::Str(s) => {
+                let chars: Vec<char> = s.chars().collect();
+                let i = as_index(idx, chars.len())?;
+                Ok(Value::str(chars[i].to_string()))
+            }
+            Value::Dict(pairs) => pairs
+                .borrow()
+                .iter()
+                .find(|(k, _)| py_eq(k, idx))
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| PyErr::new(ExcKind::KeyError, py_repr(idx))),
+            other => Err(PyErr::type_error(format!(
+                "'{}' object is not subscriptable",
+                other.type_name()
+            ))),
+        }
+    }
+
+    /// Call any callable value.
+    ///
+    /// # Errors
+    ///
+    /// `TypeError` for non-callables or arity mismatches, plus whatever the
+    /// callee raises.
+    pub fn call_value(
+        &mut self,
+        f: Value,
+        args: Vec<Value>,
+        kwargs: Vec<(String, Value)>,
+    ) -> Result<Value, PyErr> {
+        match f {
+            Value::Func(func) => self.call_pyfunc(&func, args, kwargs),
+            Value::BoundMethod { recv, func } => {
+                let mut all = Vec::with_capacity(args.len() + 1);
+                all.push(*recv);
+                all.extend(args);
+                self.call_pyfunc(&func, all, kwargs)
+            }
+            Value::Builtin(b) => self.call_builtin(b, args, kwargs),
+            Value::NativeMethod { recv, method } => self.call_native(&recv, method, args),
+            Value::Class(class) => {
+                let instance = Rc::new(RefCell::new(PyInstance {
+                    class: class.clone(),
+                    ns: Namespace::new(),
+                }));
+                self.meter.alloc(self.cost.class_base_bytes / 4);
+                let value = Value::Instance(instance);
+                if let Some(Value::Func(init)) = class.lookup("__init__") {
+                    let mut all = Vec::with_capacity(args.len() + 1);
+                    all.push(value.clone());
+                    all.extend(args);
+                    self.call_pyfunc(&init, all, kwargs)?;
+                } else if !args.is_empty() && class.is_exception {
+                    // Exception-style constructor: first arg is the message.
+                    if let Value::Instance(i) = &value {
+                        i.borrow()
+                            .ns
+                            .set("message", Value::str(py_str(&args[0])));
+                    }
+                }
+                Ok(value)
+            }
+            Value::ExcClass(kind) => {
+                let message = args.first().map(py_str).unwrap_or_default();
+                Ok(Value::ExcValue(Rc::new(PyErr::new(kind, message))))
+            }
+            other => Err(PyErr::type_error(format!(
+                "'{}' object is not callable",
+                other.type_name()
+            ))),
+        }
+    }
+
+    fn call_pyfunc(
+        &mut self,
+        func: &Rc<PyFunc>,
+        args: Vec<Value>,
+        kwargs: Vec<(String, Value)>,
+    ) -> Result<Value, PyErr> {
+        self.meter.tick(self.cost.call_ns);
+        let locals = Namespace::new();
+        let mut assigned = vec![false; func.params.len()];
+        let positional = args.len();
+        if positional > func.params.len() {
+            return Err(PyErr::type_error(format!(
+                "{}() takes {} positional arguments but {} were given",
+                func.name,
+                func.params.len(),
+                positional
+            )));
+        }
+        for (i, v) in args.into_iter().enumerate() {
+            locals.set(&func.params[i].name, v);
+            assigned[i] = true;
+        }
+        for (k, v) in kwargs {
+            match func.params.iter().position(|p| p.name == k) {
+                Some(i) => {
+                    if assigned[i] {
+                        return Err(PyErr::type_error(format!(
+                            "{}() got multiple values for argument '{k}'",
+                            func.name
+                        )));
+                    }
+                    locals.set(&k, v);
+                    assigned[i] = true;
+                }
+                None => {
+                    return Err(PyErr::type_error(format!(
+                        "{}() got an unexpected keyword argument '{k}'",
+                        func.name
+                    )))
+                }
+            }
+        }
+        for (i, p) in func.params.iter().enumerate() {
+            if !assigned[i] {
+                match &func.defaults[i] {
+                    Some(d) => {
+                        locals.set(&p.name, d.clone());
+                    }
+                    None => {
+                        return Err(PyErr::type_error(format!(
+                            "{}() missing required argument: '{}'",
+                            func.name, p.name
+                        )))
+                    }
+                }
+            }
+        }
+        let mut env = Env {
+            globals: func.globals.clone(),
+            locals: Some(locals),
+            global_decls: HashSet::new(),
+            module: func.module.clone(),
+        };
+        match self.exec_suite(&func.body, &mut env)? {
+            Flow::Return(v) => Ok(v),
+            _ => Ok(Value::None),
+        }
+    }
+
+    fn call_builtin(
+        &mut self,
+        b: Builtin,
+        args: Vec<Value>,
+        _kwargs: Vec<(String, Value)>,
+    ) -> Result<Value, PyErr> {
+        let arity_err = |want: &str| {
+            PyErr::type_error(format!("{}() expects {want} argument(s)", b.name()))
+        };
+        match b {
+            Builtin::Print => {
+                let line = args.iter().map(py_str).collect::<Vec<_>>().join(" ");
+                self.meter.tick(2_000);
+                self.stdout.push(line);
+                Ok(Value::None)
+            }
+            Builtin::Len => {
+                let v = args.first().ok_or_else(|| arity_err("1"))?;
+                let n = match v {
+                    Value::Str(s) => s.chars().count(),
+                    Value::List(l) => l.borrow().len(),
+                    Value::Tuple(t) => t.len(),
+                    Value::Dict(d) => d.borrow().len(),
+                    other => {
+                        return Err(PyErr::type_error(format!(
+                            "object of type '{}' has no len()",
+                            other.type_name()
+                        )))
+                    }
+                };
+                Ok(Value::Int(n as i64))
+            }
+            Builtin::Range => {
+                let ints: Vec<i64> = args
+                    .iter()
+                    .map(|v| match v {
+                        Value::Int(i) => Ok(*i),
+                        Value::Bool(b) => Ok(*b as i64),
+                        other => Err(PyErr::type_error(format!(
+                            "range() argument must be int, not {}",
+                            other.type_name()
+                        ))),
+                    })
+                    .collect::<Result<_, _>>()?;
+                let (start, stop, step) = match ints.as_slice() {
+                    [stop] => (0, *stop, 1),
+                    [start, stop] => (*start, *stop, 1),
+                    [start, stop, step] => (*start, *stop, *step),
+                    _ => return Err(arity_err("1 to 3")),
+                };
+                if step == 0 {
+                    return Err(PyErr::new(
+                        ExcKind::ValueError,
+                        "range() arg 3 must not be zero",
+                    ));
+                }
+                let mut out = Vec::new();
+                let mut i = start;
+                while (step > 0 && i < stop) || (step < 0 && i > stop) {
+                    out.push(Value::Int(i));
+                    i += step;
+                    if out.len() > 10_000_000 {
+                        return Err(PyErr::new(
+                            ExcKind::ResourceExhausted,
+                            "range too large",
+                        ));
+                    }
+                }
+                Ok(Value::list(out))
+            }
+            Builtin::Str => Ok(Value::str(
+                args.first().map(py_str).unwrap_or_default(),
+            )),
+            Builtin::Repr => {
+                let v = args.first().ok_or_else(|| arity_err("1"))?;
+                Ok(Value::str(py_repr(v)))
+            }
+            Builtin::Int => {
+                let v = args.first().ok_or_else(|| arity_err("1"))?;
+                match v {
+                    Value::Int(i) => Ok(Value::Int(*i)),
+                    Value::Bool(b) => Ok(Value::Int(*b as i64)),
+                    Value::Float(f) => Ok(Value::Int(*f as i64)),
+                    Value::Str(s) => s.trim().parse::<i64>().map(Value::Int).map_err(|_| {
+                        PyErr::new(
+                            ExcKind::ValueError,
+                            format!("invalid literal for int(): {s:?}"),
+                        )
+                    }),
+                    other => Err(PyErr::type_error(format!(
+                        "int() argument must not be '{}'",
+                        other.type_name()
+                    ))),
+                }
+            }
+            Builtin::Float => {
+                let v = args.first().ok_or_else(|| arity_err("1"))?;
+                match v {
+                    Value::Int(i) => Ok(Value::Float(*i as f64)),
+                    Value::Bool(b) => Ok(Value::Float(*b as i64 as f64)),
+                    Value::Float(f) => Ok(Value::Float(*f)),
+                    Value::Str(s) => s.trim().parse::<f64>().map(Value::Float).map_err(|_| {
+                        PyErr::new(
+                            ExcKind::ValueError,
+                            format!("could not convert string to float: {s:?}"),
+                        )
+                    }),
+                    other => Err(PyErr::type_error(format!(
+                        "float() argument must not be '{}'",
+                        other.type_name()
+                    ))),
+                }
+            }
+            Builtin::Bool => Ok(Value::Bool(
+                args.first().map(Value::truthy).unwrap_or(false),
+            )),
+            Builtin::Abs => {
+                let v = args.first().ok_or_else(|| arity_err("1"))?;
+                match v {
+                    Value::Int(i) => Ok(Value::Int(i.abs())),
+                    Value::Float(f) => Ok(Value::Float(f.abs())),
+                    other => Err(PyErr::type_error(format!(
+                        "bad operand type for abs(): '{}'",
+                        other.type_name()
+                    ))),
+                }
+            }
+            Builtin::Min | Builtin::Max => {
+                let items = if args.len() == 1 {
+                    self.iter_values(&args[0])?
+                } else {
+                    args
+                };
+                if items.is_empty() {
+                    return Err(PyErr::new(ExcKind::ValueError, "empty sequence"));
+                }
+                let mut best = items[0].clone();
+                for v in &items[1..] {
+                    let replace = if b == Builtin::Min {
+                        self.compare(CmpOp::Lt, v, &best)?
+                    } else {
+                        self.compare(CmpOp::Gt, v, &best)?
+                    };
+                    if replace {
+                        best = v.clone();
+                    }
+                }
+                Ok(best)
+            }
+            Builtin::Sum => {
+                let items = self.iter_values(args.first().ok_or_else(|| arity_err("1"))?)?;
+                let mut acc = Value::Int(0);
+                for v in items {
+                    acc = self.binary_op(BinOp::Add, acc, v)?;
+                }
+                Ok(acc)
+            }
+            Builtin::Round => {
+                let v = args.first().ok_or_else(|| arity_err("1 or 2"))?;
+                let x = match v {
+                    Value::Int(i) => return Ok(Value::Int(*i)),
+                    Value::Float(f) => *f,
+                    other => {
+                        return Err(PyErr::type_error(format!(
+                            "type {} doesn't define __round__",
+                            other.type_name()
+                        )))
+                    }
+                };
+                match args.get(1) {
+                    None => Ok(Value::Int(x.round() as i64)),
+                    Some(Value::Int(nd)) => {
+                        let scale = 10f64.powi(*nd as i32);
+                        Ok(Value::Float((x * scale).round() / scale))
+                    }
+                    Some(other) => Err(PyErr::type_error(format!(
+                        "ndigits must be int, not {}",
+                        other.type_name()
+                    ))),
+                }
+            }
+            Builtin::Sorted => {
+                let mut items = self.iter_values(args.first().ok_or_else(|| arity_err("1"))?)?;
+                // Simple insertion sort using py comparison (lists are small).
+                for i in 1..items.len() {
+                    let mut j = i;
+                    while j > 0 && self.compare(CmpOp::Lt, &items[j], &items[j - 1])? {
+                        items.swap(j, j - 1);
+                        j -= 1;
+                    }
+                }
+                Ok(Value::list(items))
+            }
+            Builtin::Enumerate => {
+                let items = self.iter_values(args.first().ok_or_else(|| arity_err("1"))?)?;
+                Ok(Value::list(
+                    items
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, v)| Value::tuple(vec![Value::Int(i as i64), v]))
+                        .collect(),
+                ))
+            }
+            Builtin::Zip => {
+                if args.len() != 2 {
+                    return Err(arity_err("2"));
+                }
+                let a = self.iter_values(&args[0])?;
+                let bv = self.iter_values(&args[1])?;
+                Ok(Value::list(
+                    a.into_iter()
+                        .zip(bv)
+                        .map(|(x, y)| Value::tuple(vec![x, y]))
+                        .collect(),
+                ))
+            }
+            Builtin::Isinstance => {
+                if args.len() != 2 {
+                    return Err(arity_err("2"));
+                }
+                Ok(Value::Bool(value_isinstance(&args[0], &args[1])))
+            }
+            Builtin::Type => {
+                let v = args.first().ok_or_else(|| arity_err("1"))?;
+                Ok(Value::str(v.class_name()))
+            }
+            Builtin::Getattr => {
+                let obj = args.first().ok_or_else(|| arity_err("2 or 3"))?.clone();
+                let name = match args.get(1) {
+                    Some(Value::Str(s)) => s.to_string(),
+                    _ => return Err(PyErr::type_error("getattr(): attribute name must be string")),
+                };
+                match self.get_attribute(&obj, &name) {
+                    Ok(v) => Ok(v),
+                    Err(e) if matches!(e.kind, ExcKind::AttributeError) => {
+                        match args.get(2) {
+                            Some(default) => Ok(default.clone()),
+                            None => Err(e),
+                        }
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            Builtin::Setattr => {
+                if args.len() != 3 {
+                    return Err(arity_err("3"));
+                }
+                let name = match &args[1] {
+                    Value::Str(s) => s.to_string(),
+                    _ => return Err(PyErr::type_error("setattr(): attribute name must be string")),
+                };
+                match &args[0] {
+                    Value::Module(m) => {
+                        m.ns.set(&name, args[2].clone());
+                    }
+                    Value::Instance(i) => {
+                        i.borrow().ns.set(&name, args[2].clone());
+                    }
+                    Value::Class(c) => {
+                        c.ns.set(&name, args[2].clone());
+                    }
+                    other => {
+                        return Err(PyErr::type_error(format!(
+                            "cannot set attributes of '{}'",
+                            other.type_name()
+                        )))
+                    }
+                }
+                Ok(Value::None)
+            }
+            Builtin::Hasattr => {
+                let obj = args.first().ok_or_else(|| arity_err("2"))?.clone();
+                let name = match args.get(1) {
+                    Some(Value::Str(s)) => s.to_string(),
+                    _ => return Err(PyErr::type_error("hasattr(): attribute name must be string")),
+                };
+                match self.get_attribute(&obj, &name) {
+                    Ok(_) => Ok(Value::Bool(true)),
+                    Err(e) if matches!(e.kind, ExcKind::AttributeError) => Ok(Value::Bool(false)),
+                    Err(e) => Err(e),
+                }
+            }
+            Builtin::List => match args.first() {
+                None => Ok(Value::list(vec![])),
+                Some(v) => Ok(Value::list(self.iter_values(v)?)),
+            },
+            Builtin::Tuple => match args.first() {
+                None => Ok(Value::tuple(vec![])),
+                Some(v) => Ok(Value::tuple(self.iter_values(v)?)),
+            },
+            Builtin::Dict => match args.first() {
+                None => Ok(Value::dict(vec![])),
+                Some(Value::Dict(d)) => Ok(Value::dict(d.borrow().clone())),
+                Some(v) => {
+                    let items = self.iter_values(v)?;
+                    let mut pairs = Vec::with_capacity(items.len());
+                    for item in items {
+                        let kv = self.iter_values(&item)?;
+                        if kv.len() != 2 {
+                            return Err(PyErr::new(
+                                ExcKind::ValueError,
+                                "dictionary update sequence element is not length 2",
+                            ));
+                        }
+                        pairs.push((kv[0].clone(), kv[1].clone()));
+                    }
+                    Ok(Value::dict(pairs))
+                }
+            },
+            Builtin::SimWork => {
+                let ms = args.first().map(as_f64).unwrap_or(0.0);
+                self.meter.tick(ms_to_ns(ms));
+                Ok(Value::None)
+            }
+            Builtin::SimAlloc => {
+                let mb = args.first().map(as_f64).unwrap_or(0.0);
+                let bytes = mb_to_bytes(mb);
+                self.meter.alloc(bytes);
+                Ok(Value::Blob(bytes))
+            }
+            Builtin::SimExtCall => {
+                let parts: Vec<String> = args.iter().map(py_str).collect();
+                self.meter.tick(500_000);
+                self.extcalls.push(parts.join(":"));
+                Ok(Value::None)
+            }
+        }
+    }
+
+    fn call_native(
+        &mut self,
+        recv: &Value,
+        method: NativeMethod,
+        args: Vec<Value>,
+    ) -> Result<Value, PyErr> {
+        use NativeMethod::*;
+        self.meter.tick(1_000);
+        match (recv, method) {
+            (Value::List(items), Append) => {
+                let v = args.into_iter().next().ok_or_else(|| {
+                    PyErr::type_error("append() takes exactly one argument")
+                })?;
+                items.borrow_mut().push(v);
+                self.meter.alloc(self.cost.element_bytes);
+                Ok(Value::None)
+            }
+            (Value::List(items), Extend) => {
+                let arg = args.into_iter().next().ok_or_else(|| {
+                    PyErr::type_error("extend() takes exactly one argument")
+                })?;
+                let vals = self.iter_values(&arg)?;
+                self.meter
+                    .alloc(self.cost.element_bytes * vals.len() as u64);
+                items.borrow_mut().extend(vals);
+                Ok(Value::None)
+            }
+            (Value::List(items), Pop) => {
+                let mut items = items.borrow_mut();
+                let idx = match args.first() {
+                    None => items.len().checked_sub(1),
+                    Some(Value::Int(i)) => {
+                        let i = *i;
+                        if i < 0 {
+                            items.len().checked_sub(i.unsigned_abs() as usize)
+                        } else {
+                            Some(i as usize)
+                        }
+                    }
+                    Some(other) => {
+                        return Err(PyErr::type_error(format!(
+                            "pop index must be int, not {}",
+                            other.type_name()
+                        )))
+                    }
+                };
+                match idx {
+                    Some(i) if i < items.len() => Ok(items.remove(i)),
+                    _ => Err(PyErr::new(ExcKind::IndexError, "pop from empty list")),
+                }
+            }
+            (Value::List(items), Index) => {
+                let needle = args.first().ok_or_else(|| {
+                    PyErr::type_error("index() takes exactly one argument")
+                })?;
+                items
+                    .borrow()
+                    .iter()
+                    .position(|v| py_eq(v, needle))
+                    .map(|i| Value::Int(i as i64))
+                    .ok_or_else(|| PyErr::new(ExcKind::ValueError, "value not in list"))
+            }
+            (Value::List(items), Count) => {
+                let needle = args.first().ok_or_else(|| {
+                    PyErr::type_error("count() takes exactly one argument")
+                })?;
+                let n = items.borrow().iter().filter(|v| py_eq(v, needle)).count();
+                Ok(Value::Int(n as i64))
+            }
+            (Value::Dict(pairs), Get) => {
+                let key = args.first().ok_or_else(|| {
+                    PyErr::type_error("get() takes at least one argument")
+                })?;
+                Ok(pairs
+                    .borrow()
+                    .iter()
+                    .find(|(k, _)| py_eq(k, key))
+                    .map(|(_, v)| v.clone())
+                    .unwrap_or_else(|| args.get(1).cloned().unwrap_or(Value::None)))
+            }
+            (Value::Dict(pairs), Keys) => Ok(Value::list(
+                pairs.borrow().iter().map(|(k, _)| k.clone()).collect(),
+            )),
+            (Value::Dict(pairs), Values) => Ok(Value::list(
+                pairs.borrow().iter().map(|(_, v)| v.clone()).collect(),
+            )),
+            (Value::Dict(pairs), Items) => Ok(Value::list(
+                pairs
+                    .borrow()
+                    .iter()
+                    .map(|(k, v)| Value::tuple(vec![k.clone(), v.clone()]))
+                    .collect(),
+            )),
+            (Value::Dict(pairs), Update) => {
+                let other = match args.first() {
+                    Some(Value::Dict(d)) => d.borrow().clone(),
+                    _ => return Err(PyErr::type_error("update() requires a dict")),
+                };
+                let mut pairs = pairs.borrow_mut();
+                for (k, v) in other {
+                    if let Some(slot) = pairs.iter_mut().find(|(pk, _)| py_eq(pk, &k)) {
+                        slot.1 = v;
+                    } else {
+                        pairs.push((k, v));
+                        self.meter.alloc(self.cost.element_bytes);
+                    }
+                }
+                Ok(Value::None)
+            }
+            (Value::Dict(pairs), Pop) => {
+                let key = args.first().ok_or_else(|| {
+                    PyErr::type_error("pop() takes at least one argument")
+                })?;
+                let mut pairs = pairs.borrow_mut();
+                match pairs.iter().position(|(k, _)| py_eq(k, key)) {
+                    Some(i) => Ok(pairs.remove(i).1),
+                    None => match args.get(1) {
+                        Some(default) => Ok(default.clone()),
+                        None => Err(PyErr::new(ExcKind::KeyError, py_repr(key))),
+                    },
+                }
+            }
+            (Value::Str(s), m) => self.call_str_method(s, m, args),
+            _ => Err(PyErr::type_error("bad native method receiver")),
+        }
+    }
+
+    fn call_str_method(
+        &mut self,
+        s: &Rc<str>,
+        method: NativeMethod,
+        args: Vec<Value>,
+    ) -> Result<Value, PyErr> {
+        use NativeMethod::*;
+        let str_arg = |i: usize| -> Result<String, PyErr> {
+            match args.get(i) {
+                Some(Value::Str(s)) => Ok(s.to_string()),
+                Some(other) => Err(PyErr::type_error(format!(
+                    "expected str argument, got {}",
+                    other.type_name()
+                ))),
+                None => Err(PyErr::type_error("missing str argument")),
+            }
+        };
+        match method {
+            Upper => Ok(Value::str(s.to_uppercase())),
+            Lower => Ok(Value::str(s.to_lowercase())),
+            Strip => Ok(Value::str(s.trim())),
+            Split => {
+                let parts: Vec<Value> = match args.first() {
+                    None => s.split_whitespace().map(Value::str).collect(),
+                    Some(Value::Str(sep)) => s.split(&**sep).map(Value::str).collect(),
+                    Some(other) => {
+                        return Err(PyErr::type_error(format!(
+                            "sep must be str, not {}",
+                            other.type_name()
+                        )))
+                    }
+                };
+                Ok(Value::list(parts))
+            }
+            Join => {
+                let items = self.iter_values(args.first().ok_or_else(|| {
+                    PyErr::type_error("join() takes exactly one argument")
+                })?)?;
+                let mut parts = Vec::with_capacity(items.len());
+                for v in items {
+                    match v {
+                        Value::Str(p) => parts.push(p.to_string()),
+                        other => {
+                            return Err(PyErr::type_error(format!(
+                                "sequence item: expected str, {} found",
+                                other.type_name()
+                            )))
+                        }
+                    }
+                }
+                Ok(Value::str(parts.join(s)))
+            }
+            Replace => {
+                let from = str_arg(0)?;
+                let to = str_arg(1)?;
+                Ok(Value::str(s.replace(&from, &to)))
+            }
+            Startswith => Ok(Value::Bool(s.starts_with(&str_arg(0)?))),
+            Endswith => Ok(Value::Bool(s.ends_with(&str_arg(0)?))),
+            Count => {
+                let sub = str_arg(0)?;
+                if sub.is_empty() {
+                    return Ok(Value::Int(s.chars().count() as i64 + 1));
+                }
+                Ok(Value::Int(s.matches(&sub).count() as i64))
+            }
+            Format => {
+                let mut out = String::new();
+                let mut arg_i = 0usize;
+                let mut chars = s.chars().peekable();
+                while let Some(c) = chars.next() {
+                    if c == '{' && chars.peek() == Some(&'}') {
+                        chars.next();
+                        let v = args.get(arg_i).ok_or_else(|| {
+                            PyErr::new(
+                                ExcKind::IndexError,
+                                "Replacement index out of range for positional args",
+                            )
+                        })?;
+                        out.push_str(&py_str(v));
+                        arg_i += 1;
+                    } else {
+                        out.push(c);
+                    }
+                }
+                Ok(Value::str(out))
+            }
+            _ => Err(PyErr::attribute_error("unsupported str method")),
+        }
+    }
+}
+
+/// Python `is` — identity for reference types, value identity for scalars.
+fn py_is(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::None, Value::None) => true,
+        (Value::Bool(x), Value::Bool(y)) => x == y,
+        (Value::Int(x), Value::Int(y)) => x == y,
+        (Value::Str(x), Value::Str(y)) => Rc::ptr_eq(x, y) || x == y,
+        (Value::List(x), Value::List(y)) => Rc::ptr_eq(x, y),
+        (Value::Dict(x), Value::Dict(y)) => Rc::ptr_eq(x, y),
+        (Value::Tuple(x), Value::Tuple(y)) => Rc::ptr_eq(x, y),
+        (Value::Func(x), Value::Func(y)) => Rc::ptr_eq(x, y),
+        (Value::Class(x), Value::Class(y)) => Rc::ptr_eq(x, y),
+        (Value::Instance(x), Value::Instance(y)) => Rc::ptr_eq(x, y),
+        (Value::Module(x), Value::Module(y)) => Rc::ptr_eq(x, y),
+        (Value::Builtin(x), Value::Builtin(y)) => x == y,
+        (Value::ExcClass(x), Value::ExcClass(y)) => x == y,
+        _ => false,
+    }
+}
+
+fn collect_class_chain(class: &Rc<PyClass>, chain: &mut Vec<String>) {
+    if !chain.iter().any(|c| c == &class.name) {
+        chain.push(class.name.clone());
+    }
+    for b in &class.bases {
+        collect_class_chain(b, chain);
+    }
+}
+
+fn value_isinstance(v: &Value, class: &Value) -> bool {
+    match class {
+        Value::Class(c) => match v {
+            Value::Instance(i) => i.borrow().class.isa(&c.name),
+            _ => false,
+        },
+        Value::ExcClass(kind) => match v {
+            Value::ExcValue(e) => e.matches_handler(kind.class_name()) || kind.class_name() == "Exception",
+            Value::Instance(i) => i.borrow().class.is_exception && kind.class_name() == "Exception",
+            _ => false,
+        },
+        Value::Builtin(b) => {
+            matches!(
+                (b, v),
+                (Builtin::Str, Value::Str(_))
+                    | (Builtin::Int, Value::Int(_))
+                    | (Builtin::Int, Value::Bool(_))
+                    | (Builtin::Float, Value::Float(_))
+                    | (Builtin::Bool, Value::Bool(_))
+                    | (Builtin::List, Value::List(_))
+                    | (Builtin::Dict, Value::Dict(_))
+                    | (Builtin::Tuple, Value::Tuple(_))
+            )
+        }
+        Value::Tuple(classes) => classes.iter().any(|c| value_isinstance(v, c)),
+        _ => false,
+    }
+}
+
+fn as_f64(v: &Value) -> f64 {
+    match v {
+        Value::Int(i) => *i as f64,
+        Value::Float(f) => *f,
+        Value::Bool(b) => *b as i64 as f64,
+        _ => f64::NAN,
+    }
+}
+
+fn as_index(idx: &Value, len: usize) -> Result<usize, PyErr> {
+    let i = match idx {
+        Value::Int(i) => *i,
+        Value::Bool(b) => *b as i64,
+        other => {
+            return Err(PyErr::type_error(format!(
+                "indices must be integers, not {}",
+                other.type_name()
+            )))
+        }
+    };
+    let adjusted = if i < 0 { i + len as i64 } else { i };
+    if adjusted < 0 || adjusted as usize >= len {
+        return Err(PyErr::new(ExcKind::IndexError, "index out of range"));
+    }
+    Ok(adjusted as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Interpreter {
+        let mut it = Interpreter::new(Registry::new());
+        it.exec_main(src).expect("program runs");
+        it
+    }
+
+    fn run_err(src: &str) -> PyErr {
+        let mut it = Interpreter::new(Registry::new());
+        it.exec_main(src).expect_err("program should fail")
+    }
+
+    #[test]
+    fn arithmetic_and_print() {
+        let it = run("print(1 + 2 * 3)\nprint(7 // 2, 7 % 2, 2 ** 10)\nprint(1 / 2)\n");
+        assert_eq!(it.stdout, vec!["7", "3 1 1024", "0.5"]);
+    }
+
+    #[test]
+    fn string_operations() {
+        let it = run(r#"
+s = "hello" + " " + "world"
+print(s.upper())
+print(s.split(" "))
+print("-".join(["a", "b", "c"]))
+print("x={} y={}".format(1, 2))
+print(s.startswith("hello"), s.endswith("!"))
+"#);
+        assert_eq!(
+            it.stdout,
+            vec![
+                "HELLO WORLD",
+                "[\"hello\", \"world\"]",
+                "a-b-c",
+                "x=1 y=2",
+                "True False"
+            ]
+        );
+    }
+
+    #[test]
+    fn functions_defaults_and_kwargs() {
+        let it = run(
+            "def f(a, b=10, c=20):\n    return a + b + c\nprint(f(1))\nprint(f(1, 2))\nprint(f(1, c=3))\n",
+        );
+        assert_eq!(it.stdout, vec!["31", "23", "14"]);
+    }
+
+    #[test]
+    fn classes_methods_and_attributes() {
+        let it = run(r#"
+class Counter:
+    def __init__(self, start):
+        self.n = start
+    def incr(self, by=1):
+        self.n += by
+        return self.n
+
+c = Counter(10)
+c.incr()
+c.incr(5)
+print(c.n)
+"#);
+        assert_eq!(it.stdout, vec!["16"]);
+    }
+
+    #[test]
+    fn inheritance_lookup() {
+        let it = run(r#"
+class Base:
+    def hello(self):
+        return "base"
+class Child(Base):
+    pass
+print(Child().hello())
+"#);
+        assert_eq!(it.stdout, vec!["base"]);
+    }
+
+    #[test]
+    fn loops_and_control_flow() {
+        let it = run(r#"
+total = 0
+for i in range(10):
+    if i == 5:
+        continue
+    if i == 8:
+        break
+    total += i
+print(total)
+n = 0
+while n < 3:
+    n += 1
+print(n)
+"#);
+        assert_eq!(it.stdout, vec!["23", "3"]);
+    }
+
+    #[test]
+    fn list_and_dict_methods() {
+        let it = run(r#"
+xs = [3, 1, 2]
+xs.append(0)
+print(sorted(xs))
+print(xs.index(1), xs.count(2))
+d = {"a": 1}
+d["b"] = 2
+print(d.get("a"), d.get("zz", -1))
+print(len(d.keys()), d.items())
+"#);
+        assert_eq!(
+            it.stdout,
+            vec![
+                "[0, 1, 2, 3]",
+                "1 1",
+                "1 -1",
+                "2 [(\"a\", 1), (\"b\", 2)]"
+            ]
+        );
+    }
+
+    #[test]
+    fn try_except_catches_attribute_error() {
+        let it = run(r#"
+class A:
+    pass
+a = A()
+try:
+    a.missing
+except AttributeError as e:
+    print("caught")
+"#);
+        assert_eq!(it.stdout, vec!["caught"]);
+    }
+
+    #[test]
+    fn uncaught_attribute_error_propagates() {
+        let e = run_err("x = 1\nx.missing\n");
+        assert!(matches!(e.kind, ExcKind::AttributeError));
+    }
+
+    #[test]
+    fn raise_and_catch_custom_exception() {
+        let it = run(r#"
+class MyError(Exception):
+    pass
+try:
+    raise MyError("boom")
+except MyError as e:
+    print("got", str(e))
+"#);
+        assert_eq!(it.stdout.len(), 1);
+        assert!(it.stdout[0].starts_with("got"));
+    }
+
+    #[test]
+    fn finally_always_runs() {
+        let it = run(r#"
+def f():
+    try:
+        raise ValueError("x")
+    except ValueError:
+        return 1
+    finally:
+        print("cleanup")
+print(f())
+"#);
+        assert_eq!(it.stdout, vec!["cleanup", "1"]);
+    }
+
+    #[test]
+    fn imports_bind_top_level_package() {
+        let mut r = Registry::new();
+        r.set_module("pkg", "x = 1\n");
+        r.set_module("pkg.sub", "y = 2\n");
+        let mut it = Interpreter::new(r);
+        it.exec_main("import pkg.sub\nprint(pkg.sub.y)\nprint(pkg.x)\n")
+            .unwrap();
+        assert_eq!(it.stdout, vec!["2", "1"]);
+    }
+
+    #[test]
+    fn import_alias_binds_leaf() {
+        let mut r = Registry::new();
+        r.set_module("pkg", "");
+        r.set_module("pkg.sub", "y = 2\n");
+        let mut it = Interpreter::new(r);
+        it.exec_main("import pkg.sub as s\nprint(s.y)\n").unwrap();
+        assert_eq!(it.stdout, vec!["2"]);
+    }
+
+    #[test]
+    fn from_import_names_and_submodules() {
+        let mut r = Registry::new();
+        r.set_module("lib", "a = 1\n");
+        r.set_module("lib.tools", "b = 2\n");
+        let mut it = Interpreter::new(r);
+        it.exec_main("from lib import a, tools\nprint(a, tools.b)\n")
+            .unwrap();
+        assert_eq!(it.stdout, vec!["1 2"]);
+    }
+
+    #[test]
+    fn from_import_missing_name_is_import_error() {
+        let mut r = Registry::new();
+        r.set_module("lib", "a = 1\n");
+        let mut it = Interpreter::new(r);
+        let e = it.exec_main("from lib import nope\n").unwrap_err();
+        assert!(matches!(e.kind, ExcKind::ImportError));
+    }
+
+    #[test]
+    fn modules_are_cached() {
+        let mut r = Registry::new();
+        r.set_module("m", "print(\"side effect\")\n");
+        let mut it = Interpreter::new(r);
+        it.exec_main("import m\nimport m\n").unwrap();
+        assert_eq!(it.stdout, vec!["side effect"], "module body runs once");
+    }
+
+    #[test]
+    fn cyclic_imports_do_not_hang() {
+        let mut r = Registry::new();
+        r.set_module("a", "import b\nx = 1\n");
+        r.set_module("b", "import a\ny = 2\n");
+        let mut it = Interpreter::new(r);
+        it.exec_main("import a\nprint(a.x, a.b.y)\n").unwrap();
+        assert_eq!(it.stdout, vec!["1 2"]);
+    }
+
+    #[test]
+    fn import_events_record_marginal_costs() {
+        let mut r = Registry::new();
+        r.set_module("heavy", "__lt_work__(100)\n__lt_alloc__(50)\nz = 1\n");
+        r.set_module("light", "import heavy\nw = 2\n");
+        let mut it = Interpreter::new(r);
+        it.exec_main("import light\n").unwrap();
+        let heavy = it
+            .import_events
+            .iter()
+            .find(|e| e.module == "heavy")
+            .unwrap();
+        let light = it
+            .import_events
+            .iter()
+            .find(|e| e.module == "light")
+            .unwrap();
+        assert_eq!(heavy.depth, 1);
+        assert_eq!(light.depth, 0);
+        assert!(heavy.time_ns >= 100_000_000);
+        assert!(heavy.mem_bytes >= 50 * 1024 * 1024);
+        assert!(
+            light.time_ns >= heavy.time_ns,
+            "parent marginal cost includes nested imports"
+        );
+    }
+
+    #[test]
+    fn failed_import_is_removed_from_sys_modules() {
+        let mut r = Registry::new();
+        r.set_module("bad", "raise ValueError(\"no\")\n");
+        let mut it = Interpreter::new(r);
+        assert!(it.exec_main("import bad\n").is_err());
+        assert!(it.module("bad").is_none());
+    }
+
+    #[test]
+    fn handler_invocation() {
+        let mut it = Interpreter::new(Registry::new());
+        it.exec_main("def handler(event, context):\n    return event[\"n\"] * 2\n")
+            .unwrap();
+        let event = Value::dict(vec![(Value::str("n"), Value::Int(21))]);
+        let out = it.call_handler("handler", event, Value::None).unwrap();
+        assert!(py_eq(&out, &Value::Int(42)));
+    }
+
+    #[test]
+    fn missing_handler_is_name_error() {
+        let mut it = Interpreter::new(Registry::new());
+        it.exec_main("x = 1\n").unwrap();
+        let e = it
+            .call_handler("handler", Value::None, Value::None)
+            .unwrap_err();
+        assert!(matches!(e.kind, ExcKind::NameError));
+    }
+
+    #[test]
+    fn step_limit_turns_infinite_loop_into_error() {
+        let mut it = Interpreter::new(Registry::new());
+        it.step_limit = 10_000;
+        let e = it.exec_main("while True:\n    pass\n").unwrap_err();
+        assert!(matches!(e.kind, ExcKind::ResourceExhausted));
+    }
+
+    #[test]
+    fn step_limit_is_not_catchable() {
+        let mut it = Interpreter::new(Registry::new());
+        it.step_limit = 10_000;
+        let e = it
+            .exec_main("try:\n    while True:\n        pass\nexcept:\n    print(\"no\")\n")
+            .unwrap_err();
+        assert!(matches!(e.kind, ExcKind::ResourceExhausted));
+        assert!(it.stdout.is_empty());
+    }
+
+    #[test]
+    fn global_statement_writes_module_scope() {
+        let it = run(r#"
+counter = 0
+def bump():
+    global counter
+    counter += 1
+bump()
+bump()
+print(counter)
+"#);
+        assert_eq!(it.stdout, vec!["2"]);
+    }
+
+    #[test]
+    fn getattr_setattr_hasattr() {
+        let it = run(r#"
+class Box:
+    pass
+b = Box()
+setattr(b, "x", 5)
+print(hasattr(b, "x"), getattr(b, "x"), getattr(b, "y", -1))
+"#);
+        assert_eq!(it.stdout, vec!["True 5 -1"]);
+    }
+
+    #[test]
+    fn del_removes_module_attribute() {
+        let mut r = Registry::new();
+        r.set_module("m", "a = 1\nb = 2\n");
+        let mut it = Interpreter::new(r);
+        it.exec_main("import m\ndel m.a\nprint(hasattr(m, \"a\"), m.b)\n")
+            .unwrap();
+        assert_eq!(it.stdout, vec!["False 2"]);
+    }
+
+    #[test]
+    fn isinstance_checks() {
+        let it = run(r#"
+print(isinstance(1, int), isinstance("s", str), isinstance([1], list))
+print(isinstance(1.5, int))
+class A:
+    pass
+class B(A):
+    pass
+print(isinstance(B(), A))
+"#);
+        assert_eq!(it.stdout, vec!["True True True", "False", "True"]);
+    }
+
+    #[test]
+    fn sim_intrinsics_advance_meter() {
+        let mut it = Interpreter::new(Registry::new());
+        it.exec_main("__lt_work__(250)\nblob = __lt_alloc__(10)\n")
+            .unwrap();
+        assert!(it.meter.clock_ns() >= 250_000_000);
+        assert!(it.meter.mem_bytes() >= 10 * 1024 * 1024);
+    }
+
+    #[test]
+    fn extcall_is_logged() {
+        let mut it = Interpreter::new(Registry::new());
+        it.exec_main("__lt_extcall__(\"s3\", \"put_object\", \"bucket\")\n")
+            .unwrap();
+        assert_eq!(it.extcalls, vec!["s3:put_object:bucket"]);
+    }
+
+    #[test]
+    fn tuple_unpacking_assignment() {
+        let it = run("a, b = (1, 2)\nprint(a, b)\nfor k, v in [(1, 2), (3, 4)]:\n    print(k + v)\n");
+        assert_eq!(it.stdout, vec!["1 2", "3", "7"]);
+    }
+
+    #[test]
+    fn negative_indexing() {
+        let it = run("xs = [1, 2, 3]\nprint(xs[-1], \"abc\"[-2])\n");
+        assert_eq!(it.stdout, vec!["3 b"]);
+    }
+
+    #[test]
+    fn zero_division_raises() {
+        let e = run_err("x = 1 / 0\n");
+        assert!(matches!(e.kind, ExcKind::ZeroDivisionError));
+    }
+
+    #[test]
+    fn comparison_chains() {
+        let it = run("print(1 < 2 < 3, 1 < 2 > 5)\nprint(2 in [1, 2], 5 not in [1, 2])\n");
+        assert_eq!(it.stdout, vec!["True False", "True True"]);
+    }
+
+    #[test]
+    fn conditional_expression_short_circuits() {
+        let it = run("x = 1 if True else unbound_name\nprint(x)\nprint(True or unbound)\n");
+        assert_eq!(it.stdout, vec!["1", "True"]);
+    }
+
+    #[test]
+    fn memory_charged_for_bindings() {
+        let mut it = Interpreter::new(Registry::new());
+        it.exec_main("a = 1\n").unwrap();
+        let one = it.meter.mem_bytes();
+        let mut it2 = Interpreter::new(Registry::new());
+        it2.exec_main("a = 1\nb = 2\nc = 3\n").unwrap();
+        assert!(it2.meter.mem_bytes() > one);
+    }
+
+    #[test]
+    fn assert_raises_assertion_error() {
+        let e = run_err("assert 1 == 2, \"mismatch\"\n");
+        assert!(matches!(e.kind, ExcKind::AssertionError));
+        assert_eq!(e.message, "mismatch");
+    }
+
+    #[test]
+    fn list_comprehensions() {
+        let it = run("xs = [i * 2 for i in range(5)]\nprint(xs)\nys = [i for i in range(10) if i % 3 == 0]\nprint(ys)\npairs = [a + b for a, b in [(1, 2), (3, 4)]]\nprint(pairs)\n");
+        assert_eq!(
+            it.stdout,
+            vec!["[0, 2, 4, 6, 8]", "[0, 3, 6, 9]", "[3, 7]"]
+        );
+    }
+
+    #[test]
+    fn comprehension_respects_step_limit() {
+        let mut it = Interpreter::new(Registry::new());
+        it.step_limit = 1_000;
+        let e = it
+            .exec_main("xs = [i for i in range(100000)]\n")
+            .unwrap_err();
+        assert!(matches!(e.kind, ExcKind::ResourceExhausted));
+    }
+
+    #[test]
+    fn slices_on_lists_strings_tuples() {
+        let it = run("xs = [0, 1, 2, 3, 4]\nprint(xs[1:3])\nprint(xs[:2])\nprint(xs[3:])\nprint(xs[:])\nprint(\"hello\"[1:4])\nprint((1, 2, 3)[:2])\nprint(xs[-2:])\n");
+        assert_eq!(
+            it.stdout,
+            vec!["[1, 2]", "[0, 1]", "[3, 4]", "[0, 1, 2, 3, 4]", "ell", "(1, 2)", "[3, 4]"]
+        );
+    }
+
+    #[test]
+    fn slice_bounds_are_clamped() {
+        let it = run("xs = [1, 2]\nprint(xs[0:99])\nprint(xs[5:9])\nprint(\"ab\"[-99:99])\n");
+        assert_eq!(it.stdout, vec!["[1, 2]", "[]", "ab"]);
+    }
+
+    #[test]
+    fn slicing_non_sequence_is_type_error() {
+        let e = run_err("x = 5\ny = x[1:2]\n");
+        assert!(matches!(e.kind, ExcKind::TypeError));
+    }
+
+    #[test]
+    fn enumerate_and_zip() {
+        let it = run("for i, v in enumerate([\"a\", \"b\"]):\n    print(i, v)\nfor x, y in zip([1, 2], [3, 4]):\n    print(x + y)\n");
+        assert_eq!(it.stdout, vec!["0 a", "1 b", "4", "6"]);
+    }
+}

@@ -1,0 +1,187 @@
+//! The module registry: a virtual "site-packages" mapping dotted module
+//! names to source text.
+//!
+//! λ-trim's debloater rewrites library `__init__` sources and redeploys them
+//! (§6.3); in this reproduction that is a [`Registry::set_module`] call. The
+//! registry caches parsed programs per source revision so repeated imports
+//! (across DD probes) do not re-parse unchanged modules.
+
+use crate::ast::Program;
+use crate::parser::{parse, ParseError};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A virtual filesystem of pylite modules, keyed by dotted name.
+///
+/// `Registry` is cheap to clone structurally (`Clone` deep-copies the source
+/// map so debloater probes can mutate overlays independently).
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    sources: HashMap<String, String>,
+    cache: RefCell<HashMap<String, Rc<Program>>>,
+}
+
+impl PartialEq for Registry {
+    /// Registries are equal when they hold the same module sources; the
+    /// parse cache is an implementation detail.
+    fn eq(&self, other: &Self) -> bool {
+        self.sources == other.sources
+    }
+}
+
+impl Eq for Registry {}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install (or replace) a module's source. Replacing invalidates the
+    /// parse cache entry for that module.
+    pub fn set_module(&mut self, name: impl Into<String>, source: impl Into<String>) {
+        let name = name.into();
+        self.cache.borrow_mut().remove(&name);
+        self.sources.insert(name, source.into());
+    }
+
+    /// Remove a module.
+    pub fn remove_module(&mut self, name: &str) -> Option<String> {
+        self.cache.borrow_mut().remove(name);
+        self.sources.remove(name)
+    }
+
+    /// The source of a module, if present.
+    pub fn source(&self, name: &str) -> Option<&str> {
+        self.sources.get(name).map(String::as_str)
+    }
+
+    /// Whether a module exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.sources.contains_key(name)
+    }
+
+    /// All module names, sorted (deterministic iteration).
+    pub fn module_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.sources.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of modules.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Whether the registry holds no modules.
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+
+    /// Total bytes of source text across all modules (used as a proxy for
+    /// deployment-image code size).
+    pub fn total_source_bytes(&self) -> u64 {
+        self.sources.values().map(|s| s.len() as u64).sum()
+    }
+
+    /// Parse a module, caching the result until its source changes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`ParseError`] if the module does not parse.
+    pub fn parse_module(&self, name: &str) -> Result<Rc<Program>, ParseError> {
+        if let Some(p) = self.cache.borrow().get(name) {
+            return Ok(p.clone());
+        }
+        let src = self.sources.get(name).ok_or_else(|| ParseError {
+            message: format!("no module named `{name}` in registry"),
+            line: 0,
+        })?;
+        let program = Rc::new(parse(src)?);
+        self.cache
+            .borrow_mut()
+            .insert(name.to_owned(), program.clone());
+        Ok(program)
+    }
+
+    /// Direct submodules of a dotted name that exist in the registry, e.g.
+    /// `torch` → `torch.nn`, `torch.optim`.
+    pub fn submodules(&self, name: &str) -> Vec<String> {
+        let prefix = format!("{name}.");
+        let mut subs: Vec<String> = self
+            .sources
+            .keys()
+            .filter(|k| {
+                k.starts_with(&prefix) && !k[prefix.len()..].contains('.')
+            })
+            .cloned()
+            .collect();
+        subs.sort();
+        subs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_get_modules() {
+        let mut r = Registry::new();
+        r.set_module("numpy", "x = 1\n");
+        assert!(r.contains("numpy"));
+        assert_eq!(r.source("numpy"), Some("x = 1\n"));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn parse_is_cached_until_source_changes() {
+        let mut r = Registry::new();
+        r.set_module("m", "a = 1\n");
+        let p1 = r.parse_module("m").unwrap();
+        let p2 = r.parse_module("m").unwrap();
+        assert!(Rc::ptr_eq(&p1, &p2), "second parse should hit the cache");
+        r.set_module("m", "a = 2\n");
+        let p3 = r.parse_module("m").unwrap();
+        assert!(!Rc::ptr_eq(&p1, &p3), "source change must invalidate cache");
+    }
+
+    #[test]
+    fn parse_missing_module_errors() {
+        let r = Registry::new();
+        assert!(r.parse_module("ghost").is_err());
+    }
+
+    #[test]
+    fn submodules_are_direct_children_only() {
+        let mut r = Registry::new();
+        r.set_module("torch", "");
+        r.set_module("torch.nn", "");
+        r.set_module("torch.nn.functional", "");
+        r.set_module("torch.optim", "");
+        r.set_module("torchvision", "");
+        assert_eq!(
+            r.submodules("torch"),
+            vec!["torch.nn".to_string(), "torch.optim".to_string()]
+        );
+    }
+
+    #[test]
+    fn total_source_bytes_sums_sources() {
+        let mut r = Registry::new();
+        r.set_module("a", "12345");
+        r.set_module("b", "123");
+        assert_eq!(r.total_source_bytes(), 8);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut r = Registry::new();
+        r.set_module("m", "a = 1\n");
+        let mut r2 = r.clone();
+        r2.set_module("m", "a = 2\n");
+        assert_eq!(r.source("m"), Some("a = 1\n"));
+        assert_eq!(r2.source("m"), Some("a = 2\n"));
+    }
+}

@@ -1,0 +1,291 @@
+//! Deeper semantic tests for the pylite runtime: the corner cases CPython
+//! programs (and therefore debloated libraries) rely on.
+
+use pylite::{ExcKind, Interpreter, Registry};
+
+fn run(src: &str) -> Interpreter {
+    let mut it = Interpreter::new(Registry::new());
+    it.exec_main(src).expect("program runs");
+    it
+}
+
+fn run_with(registry: Registry, src: &str) -> Interpreter {
+    let mut it = Interpreter::new(registry);
+    it.exec_main(src).expect("program runs");
+    it
+}
+
+fn stdout(src: &str) -> Vec<String> {
+    run(src).stdout
+}
+
+// -- scoping and namespaces ------------------------------------------------
+
+#[test]
+fn function_locals_do_not_leak() {
+    let it = run("def f():\n    local = 42\n    return local\nf()\nprint(hasattr(__name__, \"x\"))\n");
+    assert_eq!(it.stdout, vec!["False"]);
+}
+
+#[test]
+fn inner_assignment_shadows_global_read() {
+    // Unlike CPython (which raises UnboundLocalError), pylite resolves reads
+    // dynamically; this test pins the documented behavior: a function-local
+    // binding shadows the global after assignment.
+    let it = run("x = 1\ndef f():\n    x = 2\n    return x\nprint(f(), x)\n");
+    assert_eq!(it.stdout, vec!["2 1"]);
+}
+
+#[test]
+fn class_body_has_its_own_namespace() {
+    let it = run("v = \"module\"\nclass C:\n    v = \"class\"\nprint(v, C.v)\n");
+    assert_eq!(it.stdout, vec!["module class"]);
+}
+
+#[test]
+fn methods_see_module_globals() {
+    let it = run("factor = 3\nclass M:\n    def scale(self, x):\n        return x * factor\nprint(M().scale(5))\n");
+    assert_eq!(it.stdout, vec!["15"]);
+}
+
+#[test]
+fn default_arguments_evaluate_at_definition_time() {
+    let it = run("k = 10\ndef f(x=k):\n    return x\nk = 99\nprint(f())\n");
+    assert_eq!(it.stdout, vec!["10"], "default captured at def time");
+}
+
+// -- classes and attribute resolution --------------------------------------
+
+#[test]
+fn instance_attributes_shadow_class_attributes() {
+    let it = run(concat!(
+        "class C:\n    kind = \"class\"\n",
+        "c = C()\nprint(c.kind)\n",
+        "c.kind = \"instance\"\nprint(c.kind, C.kind)\n",
+    ));
+    assert_eq!(it.stdout, vec!["class", "instance class"]);
+}
+
+#[test]
+fn method_resolution_walks_linearized_bases() {
+    let it = run(concat!(
+        "class A:\n    def who(self):\n        return \"A\"\n",
+        "class B(A):\n    pass\n",
+        "class C(B):\n    def who(self):\n        return \"C\"\n",
+        "print(B().who(), C().who())\n",
+    ));
+    assert_eq!(it.stdout, vec!["A C"]);
+}
+
+#[test]
+fn bound_methods_capture_their_receiver() {
+    let it = run(concat!(
+        "class Counter:\n    def __init__(self):\n        self.n = 0\n",
+        "    def bump(self):\n        self.n += 1\n        return self.n\n",
+        "c = Counter()\nf = c.bump\nf()\nf()\nprint(c.n)\n",
+    ));
+    assert_eq!(it.stdout, vec!["2"]);
+}
+
+#[test]
+fn isinstance_with_tuple_of_classes() {
+    assert_eq!(
+        stdout("print(isinstance(3, (str, int)))\nprint(isinstance(3.5, (str, int)))\n"),
+        vec!["True", "False"]
+    );
+}
+
+// -- exceptions --------------------------------------------------------------
+
+#[test]
+fn exception_subclass_matching() {
+    let it = run(concat!(
+        "class AppError(Exception):\n    pass\n",
+        "class DbError(AppError):\n    pass\n",
+        "try:\n    raise DbError(\"down\")\nexcept AppError as e:\n    print(\"caught\", str(e))\n",
+    ));
+    assert_eq!(it.stdout.len(), 1);
+    assert!(it.stdout[0].starts_with("caught"));
+}
+
+#[test]
+fn first_matching_handler_wins() {
+    let it = run(concat!(
+        "try:\n    raise ValueError(\"v\")\n",
+        "except TypeError:\n    print(\"type\")\n",
+        "except ValueError:\n    print(\"value\")\n",
+        "except:\n    print(\"bare\")\n",
+    ));
+    assert_eq!(it.stdout, vec!["value"]);
+}
+
+#[test]
+fn finally_runs_on_uncaught_exception() {
+    let mut it = Interpreter::new(Registry::new());
+    let err = it
+        .exec_main("try:\n    raise KeyError(\"k\")\nfinally:\n    print(\"cleanup\")\n")
+        .unwrap_err();
+    assert!(matches!(err.kind, ExcKind::KeyError));
+    assert_eq!(it.stdout, vec!["cleanup"]);
+}
+
+#[test]
+fn nested_try_blocks_unwind_in_order() {
+    let it = run(concat!(
+        "try:\n",
+        "    try:\n        raise ValueError(\"inner\")\n",
+        "    finally:\n        print(\"inner-finally\")\n",
+        "except ValueError:\n    print(\"outer-caught\")\n",
+    ));
+    assert_eq!(it.stdout, vec!["inner-finally", "outer-caught"]);
+}
+
+#[test]
+fn else_clause_runs_only_without_exception() {
+    let it = run(concat!(
+        "try:\n    x = 1\nexcept:\n    print(\"no\")\nelse:\n    print(\"else\")\n",
+        "try:\n    raise ValueError(\"v\")\nexcept ValueError:\n    print(\"caught\")\nelse:\n    print(\"unreachable\")\n",
+    ));
+    assert_eq!(it.stdout, vec!["else", "caught"]);
+}
+
+// -- import machinery --------------------------------------------------------
+
+#[test]
+fn deep_package_chains_bind_parents() {
+    let mut r = Registry::new();
+    r.set_module("a", "x = \"a\"\n");
+    r.set_module("a.b", "x = \"ab\"\n");
+    r.set_module("a.b.c", "x = \"abc\"\n");
+    let it = run_with(r, "import a.b.c\nprint(a.x, a.b.x, a.b.c.x)\n");
+    assert_eq!(it.stdout, vec!["a ab abc"]);
+}
+
+#[test]
+fn import_inside_function_is_lazy() {
+    let mut r = Registry::new();
+    r.set_module("heavy", "__lt_work__(500)\nv = 1\n");
+    let mut it = Interpreter::new(r);
+    it.exec_main("def handler(event, context):\n    import heavy\n    return heavy.v\n")
+        .unwrap();
+    assert!(
+        it.meter.clock_secs() < 0.4,
+        "lazy import must not run at init"
+    );
+    let out = it
+        .call_handler("handler", pylite::Value::None, pylite::Value::None)
+        .unwrap();
+    assert!(pylite::py_eq(&out, &pylite::Value::Int(1)));
+    assert!(it.meter.clock_secs() >= 0.5, "import ran inside the handler");
+}
+
+#[test]
+fn module_level_state_is_shared_between_importers() {
+    let mut r = Registry::new();
+    r.set_module("state", "counter = [0]\n");
+    r.set_module("writer", "import state\nstate.counter.append(1)\n");
+    let it = run_with(r, "import writer\nimport state\nprint(state.counter)\n");
+    assert_eq!(it.stdout, vec!["[0, 1]"]);
+}
+
+#[test]
+fn import_error_reports_missing_module_name() {
+    let mut it = Interpreter::new(Registry::new());
+    let err = it.exec_main("import ghost_pkg\n").unwrap_err();
+    assert!(matches!(err.kind, ExcKind::ImportError));
+    assert!(err.message.contains("ghost_pkg"));
+}
+
+// -- data model ----------------------------------------------------------------
+
+#[test]
+fn aug_assign_on_attributes_and_subscripts() {
+    let it = run(concat!(
+        "class Box:\n    def __init__(self):\n        self.v = 10\n",
+        "b = Box()\nb.v += 5\nprint(b.v)\n",
+        "d = {\"k\": 1}\nd[\"k\"] += 9\nprint(d[\"k\"])\n",
+        "xs = [1, 2]\nxs[1] *= 3\nprint(xs)\n",
+    ));
+    assert_eq!(it.stdout, vec!["15", "10", "[1, 6]"]);
+}
+
+#[test]
+fn mutation_through_aliases_is_visible() {
+    assert_eq!(
+        stdout("a = [1]\nb = a\nb.append(2)\nprint(a)\nprint(a is b)\n"),
+        vec!["[1, 2]", "True"]
+    );
+}
+
+#[test]
+fn string_formatting_and_methods_chain() {
+    assert_eq!(
+        stdout("print(\"{}-{}\".format(\"A\", 1).lower())\nprint(\" x \".strip().upper())\n"),
+        vec!["a-1".to_owned(), "X".to_owned()]
+    );
+}
+
+#[test]
+fn dict_preserves_insertion_order() {
+    assert_eq!(
+        stdout("d = {}\nd[\"z\"] = 1\nd[\"a\"] = 2\nd[\"m\"] = 3\nprint(d.keys())\n"),
+        vec!["[\"z\", \"a\", \"m\"]"]
+    );
+}
+
+#[test]
+fn chained_comparisons_short_circuit() {
+    // `1 < boom()` must not evaluate boom() when the first leg fails.
+    assert_eq!(
+        stdout("def boom():\n    raise ValueError(\"no\")\nprint(2 < 1 < boom())\n"),
+        vec!["False"]
+    );
+}
+
+#[test]
+fn nested_comprehensions_and_slices_compose() {
+    assert_eq!(
+        stdout("m = [[r * 3 + c for c in range(3)] for r in range(3)]\nprint(m[1])\nprint([row[0] for row in m][1:])\n"),
+        vec!["[3, 4, 5]", "[3, 6]"]
+    );
+}
+
+#[test]
+fn del_on_names_and_attributes() {
+    let it = run(concat!(
+        "class C:\n    pass\n",
+        "c = C()\nc.x = 1\ndel c.x\nprint(hasattr(c, \"x\"))\n",
+        "y = 5\ndel y\nprint(hasattr(c, \"y\"))\n",
+    ));
+    assert_eq!(it.stdout, vec!["False", "False"]);
+}
+
+// -- metering determinism ------------------------------------------------------
+
+#[test]
+fn identical_programs_meter_identically_across_registries() {
+    let mut r1 = Registry::new();
+    r1.set_module("m", "x = [i for i in range(50)]\n__lt_work__(5)\n");
+    let r2 = r1.clone();
+    let a = run_with(r1, "import m\nprint(len(m.x))\n");
+    let b = run_with(r2, "import m\nprint(len(m.x))\n");
+    assert_eq!(a.stdout, b.stdout);
+    assert_eq!(a.meter.clock_ns(), b.meter.clock_ns());
+    assert_eq!(a.meter.mem_bytes(), b.meter.mem_bytes());
+}
+
+#[test]
+fn import_events_sum_to_less_than_total_clock() {
+    let mut r = Registry::new();
+    r.set_module("a", "__lt_work__(10)\n");
+    r.set_module("b", "__lt_work__(20)\n");
+    let it = run_with(r, "import a\nimport b\nz = 1\n");
+    let events_ns: u64 = it
+        .import_events
+        .iter()
+        .filter(|e| e.depth == 0)
+        .map(|e| e.time_ns)
+        .sum();
+    assert!(events_ns <= it.meter.clock_ns());
+    assert!(events_ns >= 30_000_000, "both import bodies metered");
+}

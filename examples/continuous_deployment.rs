@@ -1,0 +1,100 @@
+//! Continuous deployment cycle (§9 future work, implemented): trim v1 of a
+//! function, package it with the fallback wrapper, ship an update, and
+//! re-trim seeded by the previous run's log — far cheaper than a cold trim.
+//!
+//! ```text
+//! cargo run --release --example continuous_deployment
+//! ```
+
+use lambda_trim::{trim_app, DebloatOptions, OracleSpec, Registry, TestCase};
+use trim_core::{package, render_report, retrim_with_log, TrimLog};
+
+fn registry() -> Registry {
+    let mut r = Registry::new();
+    r.set_module(
+        "etl",
+        concat!(
+            "from etl.readers import CsvReader, ParquetReader\n",
+            "from etl.writers import JsonWriter, XmlWriter\n",
+            "_buffers = __lt_alloc__(45)\n",
+            "_codec_init = __lt_work__(220)\n",
+            "def extract(row):\n    return CsvReader().read(row)\n",
+            "def load(row):\n    return JsonWriter().write(row)\n",
+            "def transform(row):\n    return row * 2\n",
+        ),
+    );
+    r.set_module(
+        "etl.readers",
+        concat!(
+            "__lt_work__(80)\n",
+            "class CsvReader:\n    def read(self, row):\n        return row + 1\n",
+            "class ParquetReader:\n    def read(self, row):\n        return row\n",
+        ),
+    );
+    r.set_module(
+        "etl.writers",
+        concat!(
+            "__lt_work__(90)\n_schemas = __lt_alloc__(20)\n",
+            "class JsonWriter:\n    def write(self, row):\n        return row * 10\n",
+            "class XmlWriter:\n    def write(self, row):\n        return row\n",
+        ),
+    );
+    r
+}
+
+const APP_V1: &str = concat!(
+    "import etl\n",
+    "def handler(event, context):\n",
+    "    return etl.load(etl.extract(event[\"row\"]))\n",
+);
+
+// v2 adds the transform step — same imports, new call pattern.
+const APP_V2: &str = concat!(
+    "import etl\n",
+    "def handler(event, context):\n",
+    "    return etl.load(etl.transform(etl.extract(event[\"row\"])))\n",
+);
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = OracleSpec::new(vec![TestCase::event("{\"row\": 4}")]);
+
+    // ---- Release 1: cold trim + deployment package --------------------
+    println!("== release 1: cold trim ==");
+    let v1 = trim_app(&registry(), APP_V1, &spec, &DebloatOptions::default())?;
+    print!("{}", render_report(&v1));
+    let pkg = package(&registry(), APP_V1, "handler", &v1);
+    println!(
+        "deployed: trimmed image {} bytes of code (original {}), wrapper installed\n",
+        pkg.trimmed_code_bytes(),
+        pkg.original_code_bytes()
+    );
+
+    // Persist the debloating log for the next release.
+    let log = TrimLog::from_report(&v1);
+
+    // ---- Release 2: the developer updates the handler -----------------
+    println!("== release 2: seeded re-trim after the code update ==");
+    let v2 = retrim_with_log(&registry(), APP_V2, &spec, &log, &DebloatOptions::default())?;
+    println!(
+        "seeded modules: {} | cold modules: {} | oracle probes: {} (cold run used {})",
+        v2.seeded_modules, v2.cold_modules, v2.oracle_invocations, v1.oracle_invocations
+    );
+    assert!(v2.after.behavior_eq(&v2.before));
+    println!(
+        "v2 init {:.3} s, memory {:.1} MB — behavior verified against the updated baseline",
+        v2.after.init_secs, v2.after.mem_mb
+    );
+
+    // The new handler's result flows through transform: 4 -> 5 -> 10 -> 100.
+    let check = trim_core::run_app(&v2.trimmed, APP_V2, &spec)?;
+    println!("v2 oracle result: {}", check.results[0]);
+    assert_eq!(check.results[0], "100");
+
+    // ---- The saved log keeps improving: persist v2's version ----------
+    let next_log = v2.log();
+    println!(
+        "log now tracks {} modules for the next release",
+        next_log.kept.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,104 @@
+//! Bring-your-own-library: define a custom library with a dynamic
+//! (`getattr`-based) access pattern, trim it, trigger the §5.4 fallback,
+//! and repair the oracle set the way the paper prescribes.
+//!
+//! ```text
+//! cargo run --release --example custom_library
+//! ```
+
+use lambda_trim::{trim_app, DebloatOptions, OracleSpec, Registry, TestCase};
+use trim_core::{invoke_with_fallback, FallbackInstanceState};
+
+fn registry() -> Registry {
+    let mut r = Registry::new();
+    r.set_module(
+        "imgproc",
+        concat!(
+            "__lt_work__(150)\n",
+            "_filters = __lt_alloc__(25)\n",
+            "def thumbnail(img):\n",
+            "    return img + \":thumb\"\n",
+            "def grayscale(img):\n",
+            "    return img + \":gray\"\n",
+            "def rotate(img):\n",
+            "    return img + \":rot\"\n",
+            "def watermark(img):\n",
+            "    return img + \":wm\"\n",
+        ),
+    );
+    r
+}
+
+// The handler picks the operation *dynamically* — exactly the Python
+// pattern (§4) that defeats static debloaters and demands an oracle.
+const APP: &str = concat!(
+    "import imgproc\n",
+    "def handler(event, context):\n",
+    "    op = event[\"op\"]\n",
+    "    fn = getattr(imgproc, op)\n",
+    "    return fn(event[\"img\"])\n",
+);
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The user supplies test cases for thumbnail and grayscale only.
+    let spec = OracleSpec::new(vec![
+        TestCase::event("{\"op\": \"thumbnail\", \"img\": \"cat.png\"}"),
+        TestCase::event("{\"op\": \"grayscale\", \"img\": \"dog.png\"}"),
+    ]);
+    let report = trim_app(&registry(), APP, &spec, &DebloatOptions::default())?;
+    println!("--- trimmed imgproc ---\n{}", report.trimmed.source("imgproc").unwrap());
+    println!(
+        "removed: {:?} (DD can't see getattr targets — only the oracle protects them)",
+        report
+            .modules
+            .iter()
+            .flat_map(|m| m.removed.clone())
+            .collect::<Vec<_>>()
+    );
+
+    // A production request uses `rotate`, which was trimmed. The deployment
+    // wrapper catches the AttributeError and re-invokes the original
+    // function as an independent instance (§5.4).
+    let rare = TestCase::event("{\"op\": \"rotate\", \"img\": \"map.png\"}");
+    let (outcome, cost) = invoke_with_fallback(
+        &report.trimmed,
+        &registry(),
+        APP,
+        "handler",
+        &rare,
+        FallbackInstanceState::Cold,
+    )?;
+    println!("\nproduction request op=rotate:");
+    println!("  fell back : {}", outcome.fell_back());
+    println!("  response  : {}", outcome.result());
+    println!(
+        "  E2E cold  : {:.3} s (trimmed init {:.3} + setup {:.3} + original init {:.3} + exec {:.3})",
+        cost.e2e_cold_secs(),
+        cost.trimmed_init_secs,
+        cost.setup_secs,
+        cost.fallback_init_secs,
+        cost.fallback_exec_secs
+    );
+
+    // The fix the paper prescribes: add the failing input to the oracle set
+    // and re-run λ-trim.
+    let repaired_spec = OracleSpec::new(vec![
+        TestCase::event("{\"op\": \"thumbnail\", \"img\": \"cat.png\"}"),
+        TestCase::event("{\"op\": \"grayscale\", \"img\": \"dog.png\"}"),
+        rare.clone(),
+    ]);
+    let repaired = trim_app(&registry(), APP, &repaired_spec, &DebloatOptions::default())?;
+    let (outcome2, _) = invoke_with_fallback(
+        &repaired.trimmed,
+        &registry(),
+        APP,
+        "handler",
+        &rare,
+        FallbackInstanceState::Cold,
+    )?;
+    println!("\nafter adding the failing input to the oracle and re-trimming:");
+    println!("  fell back : {} (rotate now survives trimming)", outcome2.fell_back());
+    println!("  response  : {}", outcome2.result());
+    assert!(!outcome2.fell_back());
+    Ok(())
+}

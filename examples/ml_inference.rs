@@ -1,0 +1,88 @@
+//! ML-inference scenario: trim the paper's `resnet` benchmark application
+//! and deploy both versions to the simulated serverless platform.
+//!
+//! ```text
+//! cargo run --release --example ml_inference
+//! ```
+//!
+//! This is the workload the paper's introduction motivates: a PyTorch
+//! image-classification function whose Function Initialization dominates
+//! both cold-start latency and the bill (Figure 1).
+
+use lambda_trim::{trim_app, AppProfile, DebloatOptions, Platform, StartMode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = trim_apps::app("resnet").expect("resnet is in the corpus");
+    println!(
+        "app: {} (image {:.0} MB, libraries: torch, numpy, PIL)",
+        bench.name, bench.image_mb
+    );
+
+    println!("running λ-trim (K=20, marginal-monetary-cost ranking)...");
+    let report = trim_app(
+        &bench.registry,
+        &bench.app_source,
+        &bench.spec,
+        &DebloatOptions::default(),
+    )?;
+    let torch = report
+        .modules
+        .iter()
+        .find(|m| m.module == "torch")
+        .expect("torch was debloated");
+    println!(
+        "torch: kept {}/{} attributes ({} removed, {} oracle probes)",
+        torch.attrs_after,
+        torch.attrs_before,
+        torch.removed.len(),
+        torch.dd_stats.oracle_invocations
+    );
+
+    // Deploy both versions to the platform simulator and compare cold starts.
+    let platform = Platform::default();
+    let before = AppProfile::new(
+        "resnet",
+        bench.image_mb,
+        report.before.init_secs,
+        report.before.exec_secs,
+        report.before.mem_mb,
+    );
+    let after = AppProfile::new(
+        "resnet-trimmed",
+        bench.image_mb,
+        report.after.init_secs,
+        report.after.exec_secs,
+        report.after.mem_mb,
+    );
+    let cold_b = platform.cold_invocation(&before, StartMode::Standard);
+    let cold_a = platform.cold_invocation(&after, StartMode::Standard);
+    println!("\n                       original    trimmed");
+    println!(
+        "cold-start E2E (s)     {:>8.2}   {:>8.2}  ({:.2}x speedup)",
+        cold_b.e2e_secs(),
+        cold_a.e2e_secs(),
+        cold_b.e2e_secs() / cold_a.e2e_secs()
+    );
+    println!(
+        "billed duration (ms)   {:>8.0}   {:>8.0}",
+        cold_b.billed_ms, cold_a.billed_ms
+    );
+    println!(
+        "memory footprint (MB)  {:>8.1}   {:>8.1}",
+        before.mem_mb, after.mem_mb
+    );
+    println!(
+        "cost per 100K colds($) {:>8.2}   {:>8.2}  ({:.0}% cheaper)",
+        cold_b.cost * 1e5,
+        cold_a.cost * 1e5,
+        (1.0 - cold_a.cost / cold_b.cost) * 100.0
+    );
+    let warm_b = platform.warm_invocation(&before);
+    let warm_a = platform.warm_invocation(&after);
+    println!(
+        "warm cost per 100K ($) {:>8.2}   {:>8.2}  (memory savings apply to EVERY request)",
+        warm_b.cost * 1e5,
+        warm_a.cost * 1e5
+    );
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! Quickstart: debloat a small serverless application end to end.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a tiny virtual "site-packages" with one bloated library, defines
+//! a Lambda-style handler and an oracle specification, runs the λ-trim
+//! pipeline, and prints the before/after library source plus the measured
+//! savings.
+
+use lambda_trim::{trim_app, DebloatOptions, OracleSpec, Registry, TestCase};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A library with useful *and* useless parts. The useless parts carry
+    //    real initialization cost: `__lt_work__(ms)` models import-time
+    //    compute and `__lt_alloc__(mb)` models memory the import pins.
+    let mut registry = Registry::new();
+    registry.set_module(
+        "mlkit",
+        concat!(
+            "from mlkit.models import Net, LegacyNet\n",
+            "from mlkit.metrics import accuracy\n",
+            "_calibration_tables = __lt_alloc__(80)\n",
+            "_warmup = __lt_work__(350)\n",
+            "def predict(x):\n",
+            "    return Net().forward(x)\n",
+            "def train_loop(data):\n",
+            "    return accuracy(data)\n",
+        ),
+    );
+    registry.set_module(
+        "mlkit.models",
+        concat!(
+            "__lt_work__(120)\n",
+            "class Net:\n",
+            "    def forward(self, x):\n",
+            "        return x * 2 + 1\n",
+            "class LegacyNet:\n",
+            "    def forward(self, x):\n",
+            "        return x\n",
+        ),
+    );
+    registry.set_module(
+        "mlkit.metrics",
+        "__lt_work__(200)\n_lookup = __lt_alloc__(40)\ndef accuracy(data):\n    return 1.0\n",
+    );
+
+    // 2. The serverless application: initialization code + a handler.
+    let app = concat!(
+        "import mlkit\n",
+        "def handler(event, context):\n",
+        "    return mlkit.predict(event[\"x\"])\n",
+    );
+
+    // 3. The oracle specification: inputs for which the debloated program
+    //    must behave identically (§5 of the paper).
+    let spec = OracleSpec::new(vec![
+        TestCase::event("{\"x\": 1}"),
+        TestCase::event("{\"x\": -10}"),
+    ]);
+
+    // 4. Run the pipeline: static analysis -> cost profiling -> DD debloat.
+    let report = trim_app(&registry, app, &spec, &DebloatOptions::default())?;
+
+    println!("--- original mlkit/__init__.py ---");
+    println!("{}", registry.source("mlkit").unwrap());
+    println!("--- debloated mlkit/__init__.py ---");
+    println!("{}", report.trimmed.source("mlkit").unwrap());
+
+    println!("attributes removed : {}", report.attrs_removed());
+    println!(
+        "function init      : {:.3} s -> {:.3} s  ({:.0}% better)",
+        report.before.init_secs,
+        report.after.init_secs,
+        report.init_improvement() * 100.0
+    );
+    println!(
+        "memory footprint   : {:.1} MB -> {:.1} MB ({:.0}% better)",
+        report.before.mem_mb,
+        report.after.mem_mb,
+        report.mem_improvement() * 100.0
+    );
+    println!(
+        "oracle probes      : {} (simulated debloat time {:.1} s)",
+        report.oracle_invocations, report.debloat_secs
+    );
+    assert!(report.after.behavior_eq(&report.before));
+    println!("behavior preserved : yes");
+    Ok(())
+}

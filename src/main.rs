@@ -1,0 +1,204 @@
+//! The `lambda-trim` command-line tool: debloat, profile, analyze and run
+//! pylite serverless applications stored on disk.
+//!
+//! ```text
+//! lambda-trim trim    --app app.py --packages pkgs/ --oracle oracle.txt --out trimmed/
+//! lambda-trim profile --app app.py --packages pkgs/ [--k 20] [--scoring combined]
+//! lambda-trim analyze --app app.py --packages pkgs/
+//! lambda-trim run     --app app.py --packages pkgs/ --event '{"n": 3}'
+//! ```
+
+use lambda_trim::cli::{
+    load_registry, parse_oracle_file, parse_scoring, write_registry, Args,
+};
+use std::path::Path;
+use std::process::ExitCode;
+use trim_core::{trim_app, DebloatOptions};
+
+const USAGE: &str = "\
+lambda-trim — cost-driven debloating for serverless function initialization
+
+USAGE:
+    lambda-trim <COMMAND> [OPTIONS]
+
+COMMANDS:
+    trim      Debloat an application and write the trimmed packages
+    profile   Rank imported modules by marginal monetary cost
+    analyze   Show imported modules and statically-accessed attributes
+    run       Execute the application's handler once
+
+COMMON OPTIONS:
+    --app <FILE>        application source (init code + handler)
+    --packages <DIR>    directory of .py modules (virtual site-packages)
+    --handler <NAME>    handler name                      [default: handler]
+
+trim:
+    --oracle <FILE>     oracle spec: one event literal per line,
+                        optionally `EVENT || CONTEXT`
+    --out <DIR>         output directory for trimmed packages
+    --k <N>             modules to debloat                [default: 20]
+    --scoring <M>       combined|time|memory|random      [default: combined]
+    --threads <N>       parallel DD probe workers         [default: 1]
+    --algorithm <A>     ddmin|greedy                      [default: ddmin]
+    --wrap              append the fallback wrapper to the app output
+
+profile:
+    --k <N>             how many rows to print            [default: 20]
+    --scoring <M>       ranking method                    [default: combined]
+
+run:
+    --event <LITERAL>   event payload                     [default: {}]
+    --context <LITERAL> context payload                   [default: None]
+";
+
+fn main() -> ExitCode {
+    let args = Args::parse(std::env::args().skip(1));
+    let command = args.positional.first().map(String::as_str);
+    let result = match command {
+        Some("trim") => cmd_trim(&args),
+        Some("profile") => cmd_profile(&args),
+        Some("analyze") => cmd_analyze(&args),
+        Some("run") => cmd_run(&args),
+        Some("help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load_inputs(args: &Args) -> Result<(pylite::Registry, String, String), String> {
+    let app_path = args.require("app")?;
+    let packages = args.require("packages")?;
+    let app_source =
+        std::fs::read_to_string(app_path).map_err(|e| format!("reading {app_path}: {e}"))?;
+    let registry =
+        load_registry(Path::new(packages)).map_err(|e| format!("loading {packages}: {e}"))?;
+    let handler = args.get("handler").unwrap_or("handler").to_owned();
+    Ok((registry, app_source, handler))
+}
+
+fn debloat_options(args: &Args) -> Result<DebloatOptions, String> {
+    let mut options = DebloatOptions::default();
+    if let Some(k) = args.get("k") {
+        options.k = k.parse().map_err(|_| format!("bad --k value `{k}`"))?;
+    }
+    if let Some(s) = args.get("scoring") {
+        options.scoring = parse_scoring(s)?;
+    }
+    if let Some(t) = args.get("threads") {
+        options.threads = t.parse().map_err(|_| format!("bad --threads value `{t}`"))?;
+    }
+    if let Some(a) = args.get("algorithm") {
+        options.algorithm = match a {
+            "ddmin" => trim_core::Algorithm::Ddmin,
+            "greedy" => trim_core::Algorithm::Greedy,
+            other => return Err(format!("unknown algorithm `{other}` (expected ddmin|greedy)")),
+        };
+    }
+    Ok(options)
+}
+
+fn cmd_trim(args: &Args) -> Result<(), String> {
+    let (registry, app_source, handler) = load_inputs(args)?;
+    let oracle_path = args.require("oracle")?;
+    let out_dir = args.require("out")?;
+    let oracle_content = std::fs::read_to_string(oracle_path)
+        .map_err(|e| format!("reading {oracle_path}: {e}"))?;
+    let spec =
+        parse_oracle_file(&oracle_content, &handler).map_err(|e| format!("{oracle_path}: {e}"))?;
+    let options = debloat_options(args)?;
+
+    eprintln!(
+        "trimming with K={}, scoring={}, {} oracle case(s)...",
+        options.k,
+        options.scoring.name(),
+        spec.cases.len()
+    );
+    let report =
+        trim_app(&registry, &app_source, &spec, &options).map_err(|e| e.to_string())?;
+
+    let out = Path::new(out_dir);
+    write_registry(&report.trimmed, out).map_err(|e| format!("writing {out_dir}: {e}"))?;
+    let app_out = if args.has_flag("wrap") {
+        let pkg = trim_core::package(&registry, &app_source, &handler, &report);
+        pkg.wrapped_app_source
+    } else {
+        app_source.clone()
+    };
+    std::fs::write(out.join("app.py"), app_out).map_err(|e| e.to_string())?;
+    let mut report_text = trim_core::render_report(&report);
+    report_text.push('\n');
+    report_text.push_str(&trim_core::render_removals(&report));
+    std::fs::write(out.join("REPORT.txt"), &report_text).map_err(|e| e.to_string())?;
+
+    print!("{report_text}");
+    println!("trimmed packages written to {out_dir}/ (app: {out_dir}/app.py, report: {out_dir}/REPORT.txt)");
+    Ok(())
+}
+
+fn cmd_profile(args: &Args) -> Result<(), String> {
+    let (registry, app_source, _) = load_inputs(args)?;
+    let options = debloat_options(args)?;
+    let profile =
+        trim_profiler::profile_app(&app_source, &registry).map_err(|e| e.to_string())?;
+    let ranked = trim_profiler::rank_modules(&profile, options.scoring);
+    println!(
+        "total init {:.3} s, total memory {:.1} MB — ranking by {}",
+        profile.total_time_secs,
+        profile.total_mem_mb,
+        options.scoring.name()
+    );
+    println!("{:<30} {:>10} {:>10} {:>14}", "module", "time s", "mem MB", "score");
+    for r in ranked.iter().take(options.k) {
+        let cost = profile.module(&r.module).expect("ranked module profiled");
+        println!(
+            "{:<30} {:>10.4} {:>10.2} {:>14.4}",
+            r.module, cost.time_secs, cost.mem_mb, r.score
+        );
+    }
+    Ok(())
+}
+
+fn cmd_analyze(args: &Args) -> Result<(), String> {
+    let (registry, app_source, _) = load_inputs(args)?;
+    let program = pylite::parse(&app_source).map_err(|e| e.to_string())?;
+    let analysis = trim_analysis::analyze(&program, &registry);
+    println!("imported modules:");
+    for m in &analysis.imported_modules {
+        let marker = if registry.contains(m) { "" } else { "  (MISSING)" };
+        println!("  {m}{marker}");
+    }
+    println!("\ndefinitely-accessed attributes (excluded from DD):");
+    for (module, attrs) in &analysis.accessed {
+        println!("  {module}: {}", attrs.iter().cloned().collect::<Vec<_>>().join(", "));
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let (registry, app_source, handler) = load_inputs(args)?;
+    let event = args.get("event").unwrap_or("{}").to_owned();
+    let context = args.get("context").unwrap_or("None").to_owned();
+    let spec = trim_core::OracleSpec {
+        handler,
+        cases: vec![trim_core::TestCase { event, context }],
+    };
+    let exec = trim_core::run_app(&registry, &app_source, &spec).map_err(|e| e.to_string())?;
+    for line in &exec.stdout {
+        println!("{line}");
+    }
+    println!("=> {}", exec.results[0]);
+    eprintln!(
+        "init {:.3} s | exec {:.3} s | memory {:.1} MB | extcalls {:?}",
+        exec.init_secs, exec.exec_secs, exec.mem_mb, exec.extcalls
+    );
+    Ok(())
+}

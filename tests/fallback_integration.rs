@@ -1,0 +1,128 @@
+//! Integration tests for the §5.4 deployment fallback over real corpus
+//! applications: over-trimmed functions recover via the original instance,
+//! and feeding the failing input back into the oracle repairs the trim.
+
+use lambda_trim::{trim_app, DebloatOptions};
+use trim_core::{invoke_with_fallback, FallbackInstanceState};
+
+#[test]
+fn rare_inputs_trigger_fallback_and_recover() {
+    for bench in trim_apps::mini_corpus() {
+        let report = trim_app(
+            &bench.registry,
+            &bench.app_source,
+            &bench.spec,
+            &DebloatOptions::default(),
+        )
+        .unwrap();
+        let case = bench.rare_case();
+        let (outcome, cost) = invoke_with_fallback(
+            &report.trimmed,
+            &bench.registry,
+            &bench.app_source,
+            &bench.spec.handler,
+            &case,
+            FallbackInstanceState::Cold,
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        assert!(
+            outcome.fell_back(),
+            "{}: getattr on a trimmed attribute must fall back",
+            bench.name
+        );
+        // The answer matches what the original app would produce directly.
+        let mut rare_spec = bench.spec.clone();
+        rare_spec.cases = vec![case];
+        let original = trim_core::run_app(&bench.registry, &bench.app_source, &rare_spec).unwrap();
+        assert_eq!(outcome.result(), original.results[0], "{}", bench.name);
+        assert!(cost.setup_secs > 0.0);
+        assert!(cost.fallback_init_secs > 0.0, "cold fallback pays init");
+    }
+}
+
+#[test]
+fn warm_fallback_is_cheaper_than_cold() {
+    let bench = trim_apps::app("dna-visualization").unwrap();
+    let report = trim_app(
+        &bench.registry,
+        &bench.app_source,
+        &bench.spec,
+        &DebloatOptions::default(),
+    )
+    .unwrap();
+    let case = bench.rare_case();
+    let (_, cold) = invoke_with_fallback(
+        &report.trimmed,
+        &bench.registry,
+        &bench.app_source,
+        &bench.spec.handler,
+        &case,
+        FallbackInstanceState::Cold,
+    )
+    .unwrap();
+    let (_, warm) = invoke_with_fallback(
+        &report.trimmed,
+        &bench.registry,
+        &bench.app_source,
+        &bench.spec.handler,
+        &case,
+        FallbackInstanceState::Warm,
+    )
+    .unwrap();
+    assert!(warm.e2e_cold_secs() < cold.e2e_cold_secs());
+    assert_eq!(warm.fallback_init_secs, 0.0);
+}
+
+#[test]
+fn oracle_repair_eliminates_fallback() {
+    // §5.4's prescribed workflow: add the failing input to the oracle set
+    // and re-run λ-trim.
+    let bench = trim_apps::app("markdown").unwrap();
+    let mut repaired_spec = bench.spec.clone();
+    repaired_spec.cases.push(bench.rare_case());
+    let report = trim_app(
+        &bench.registry,
+        &bench.app_source,
+        &repaired_spec,
+        &DebloatOptions::default(),
+    )
+    .unwrap();
+    let (outcome, _) = invoke_with_fallback(
+        &report.trimmed,
+        &bench.registry,
+        &bench.app_source,
+        &repaired_spec.handler,
+        &bench.rare_case(),
+        FallbackInstanceState::Cold,
+    )
+    .unwrap();
+    assert!(
+        !outcome.fell_back(),
+        "after repairing the oracle the rare attribute must survive trimming"
+    );
+}
+
+#[test]
+fn normal_inputs_never_fall_back_after_trim() {
+    let bench = trim_apps::app("igraph").unwrap();
+    let report = trim_app(
+        &bench.registry,
+        &bench.app_source,
+        &bench.spec,
+        &DebloatOptions::default(),
+    )
+    .unwrap();
+    for case in &bench.spec.cases {
+        let (outcome, cost) = invoke_with_fallback(
+            &report.trimmed,
+            &bench.registry,
+            &bench.app_source,
+            &bench.spec.handler,
+            case,
+            FallbackInstanceState::Cold,
+        )
+        .unwrap();
+        assert!(!outcome.fell_back(), "oracle-covered inputs run direct");
+        assert_eq!(cost.setup_secs, 0.0, "no wrapper overhead on direct path");
+    }
+}

@@ -1,0 +1,217 @@
+//! Cross-crate integration tests: the full λ-trim pipeline over the
+//! benchmark corpus, invariants that must hold for every application, and
+//! head-to-head checks against the baseline debloaters.
+
+use lambda_trim::{trim_app, DebloatOptions};
+use trim_core::run_app;
+
+/// Every mini-corpus app: trimming preserves behavior and never makes
+/// initialization or memory worse.
+#[test]
+fn trim_preserves_behavior_and_improves_init() {
+    for bench in trim_apps::mini_corpus() {
+        let report = trim_app(
+            &bench.registry,
+            &bench.app_source,
+            &bench.spec,
+            &DebloatOptions::default(),
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        assert!(
+            report.after.behavior_eq(&report.before),
+            "{}: behavior must be preserved",
+            bench.name
+        );
+        assert!(
+            report.after.init_secs <= report.before.init_secs,
+            "{}: init must not regress",
+            bench.name
+        );
+        assert!(
+            report.after.mem_mb <= report.before.mem_mb,
+            "{}: memory must not regress",
+            bench.name
+        );
+        assert!(report.attrs_removed() > 0, "{}: something trimmed", bench.name);
+    }
+}
+
+/// The trimmed registry is independently deployable: a fresh run (new
+/// interpreter, no state from the pipeline) still matches the original.
+#[test]
+fn trimmed_registry_is_deployable() {
+    let bench = trim_apps::app("igraph").unwrap();
+    let report = trim_app(
+        &bench.registry,
+        &bench.app_source,
+        &bench.spec,
+        &DebloatOptions::default(),
+    )
+    .unwrap();
+    let fresh = run_app(&report.trimmed, &bench.app_source, &bench.spec).unwrap();
+    assert!(fresh.behavior_eq(&report.before));
+}
+
+/// Attribute-granularity DD removes at least as many attributes as the
+/// statement-granularity and dead-code baselines (§6.1's claim).
+#[test]
+fn dd_beats_baselines_on_attributes_removed() {
+    for bench in trim_apps::mini_corpus() {
+        let dd = trim_app(
+            &bench.registry,
+            &bench.app_source,
+            &bench.spec,
+            &DebloatOptions::default(),
+        )
+        .unwrap();
+        let fl = trim_baselines::faaslight_trim(&bench.registry, &bench.app_source, &bench.spec)
+            .unwrap();
+        let vu = trim_baselines::vulture_trim(&bench.registry, &bench.app_source, &bench.spec)
+            .unwrap();
+        assert!(
+            dd.attrs_removed() >= fl.attrs_removed(),
+            "{}: DD {} vs FaaSLight {}",
+            bench.name,
+            dd.attrs_removed(),
+            fl.attrs_removed()
+        );
+        assert!(
+            dd.attrs_removed() >= vu.attrs_removed(),
+            "{}: DD {} vs Vulture {}",
+            bench.name,
+            dd.attrs_removed(),
+            vu.attrs_removed()
+        );
+        // And DD's trimmed app must be at least as fast to initialize.
+        assert!(dd.after.init_secs <= fl.after.init_secs + 1e-9);
+        assert!(dd.after.init_secs <= vu.after.init_secs + 1e-9);
+    }
+}
+
+/// Parallel DD produces byte-identical trimmed registries.
+#[test]
+fn parallel_pipeline_matches_sequential() {
+    let bench = trim_apps::app("markdown").unwrap();
+    let seq = trim_app(
+        &bench.registry,
+        &bench.app_source,
+        &bench.spec,
+        &DebloatOptions::default(),
+    )
+    .unwrap();
+    let par = trim_app(
+        &bench.registry,
+        &bench.app_source,
+        &bench.spec,
+        &DebloatOptions {
+            threads: 4,
+            ..DebloatOptions::default()
+        },
+    )
+    .unwrap();
+    for module in bench.registry.module_names() {
+        assert_eq!(
+            seq.trimmed.source(&module),
+            par.trimmed.source(&module),
+            "module {module} differs between sequential and parallel DD"
+        );
+    }
+}
+
+/// A larger K never yields a worse result than a smaller K (§8.4: growth
+/// then plateau).
+#[test]
+fn k_is_monotone_in_improvement() {
+    let bench = trim_apps::app("dna-visualization").unwrap();
+    let mut last_init = f64::INFINITY;
+    for k in [1usize, 3, 8, 20] {
+        let report = trim_app(
+            &bench.registry,
+            &bench.app_source,
+            &bench.spec,
+            &DebloatOptions {
+                k,
+                ..DebloatOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            report.after.init_secs <= last_init + 1e-9,
+            "K={k} made init worse"
+        );
+        last_init = report.after.init_secs;
+    }
+}
+
+/// Scoring methods all produce behavior-preserving results; combined is
+/// at least as good as random under a restricted K.
+#[test]
+fn scoring_methods_are_sound() {
+    use trim_profiler::ScoringMethod;
+    let bench = trim_apps::app("lightgbm").unwrap();
+    let mut by_method = Vec::new();
+    for method in [
+        ScoringMethod::Time,
+        ScoringMethod::Memory,
+        ScoringMethod::Combined,
+        ScoringMethod::Random { seed: 3 },
+    ] {
+        let report = trim_app(
+            &bench.registry,
+            &bench.app_source,
+            &bench.spec,
+            &DebloatOptions {
+                k: 2,
+                scoring: method,
+                ..DebloatOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(report.after.behavior_eq(&report.before));
+        by_method.push((method.name(), report.after.init_secs));
+    }
+    let combined = by_method
+        .iter()
+        .find(|(n, _)| *n == "combined")
+        .unwrap()
+        .1;
+    let random = by_method.iter().find(|(n, _)| *n == "random").unwrap().1;
+    assert!(
+        combined <= random + 1e-9,
+        "combined ({combined}) must not lose to random ({random})"
+    );
+}
+
+/// Repeated pipeline runs are fully deterministic.
+#[test]
+fn pipeline_is_deterministic() {
+    let bench = trim_apps::app("markdown").unwrap();
+    let a = trim_app(
+        &bench.registry,
+        &bench.app_source,
+        &bench.spec,
+        &DebloatOptions::default(),
+    )
+    .unwrap();
+    let b = trim_app(
+        &bench.registry,
+        &bench.app_source,
+        &bench.spec,
+        &DebloatOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(a.trimmed, b.trimmed);
+    assert_eq!(a.oracle_invocations, b.oracle_invocations);
+}
+
+/// The full 21-app corpus loads and passes its own oracles (cheap smoke
+/// check; the heavyweight trim sweep lives in the experiments binary).
+#[test]
+fn full_corpus_smoke() {
+    for bench in trim_apps::corpus() {
+        let exec = run_app(&bench.registry, &bench.app_source, &bench.spec)
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        assert!(exec.init_secs > 0.0);
+        assert!(exec.mem_mb > 0.0);
+    }
+}

@@ -1,0 +1,284 @@
+//! Property-based tests (proptest) over the core invariants:
+//! ddmin soundness and 1-minimality, rewriter correctness, pricing
+//! monotonicity, parser robustness, and meter additivity.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use trim_dd::{ddmin, is_one_minimal};
+
+// ---------------------------------------------------------------------------
+// Delta Debugging
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// For monotone "must contain R" oracles, ddmin returns exactly R.
+    #[test]
+    fn ddmin_finds_exact_required_set(
+        n in 1usize..120,
+        seed_indices in proptest::collection::btree_set(0usize..120, 0..8)
+    ) {
+        let items: Vec<usize> = (0..n).collect();
+        let required: Vec<usize> = seed_indices.into_iter().filter(|i| *i < n).collect();
+        let mut oracle = |s: &[usize]| required.iter().all(|r| s.contains(r));
+        let result = ddmin(&items, &mut oracle).expect("whole set passes");
+        prop_assert_eq!(result.minimized, required);
+    }
+
+    /// For arbitrary oracles that accept the whole set, the result always
+    /// satisfies the oracle and is 1-minimal.
+    #[test]
+    fn ddmin_result_is_sound_and_one_minimal(
+        n in 1usize..40,
+        modulus in 1usize..7,
+        anchor in 0usize..40,
+    ) {
+        let items: Vec<usize> = (0..n).collect();
+        let anchor = anchor % n;
+        // Non-monotone oracle: needs the anchor and a size constraint.
+        let mut oracle = move |s: &[usize]| {
+            s.contains(&anchor) && s.len() % modulus != modulus.saturating_sub(1) % modulus
+        };
+        if !oracle(&items) {
+            return Ok(()); // precondition unmet; skip
+        }
+        let result = ddmin(&items, &mut oracle).expect("whole set passes");
+        prop_assert!(oracle(&result.minimized), "result must satisfy oracle");
+        prop_assert!(
+            is_one_minimal(&result.minimized, &mut oracle),
+            "result must be 1-minimal: {:?}",
+            result.minimized
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rewriter
+// ---------------------------------------------------------------------------
+
+/// A strategy producing random module sources built from the corpus
+/// library generator (arbitrary attr counts, costs, submodule shapes).
+fn arb_module_source() -> impl Strategy<Value = String> {
+    (1usize..60, 0usize..20, 0usize..10).prop_map(|(attrs, sub_attrs, reexports)| {
+        let spec = trim_apps::LibSpec {
+            name: "randlib",
+            prefix: "rl9",
+            init_attrs: attrs,
+            init_ms: 10.0,
+            init_mb: 5.0,
+            core_frac: 0.3,
+            mem_core_frac: 0.5,
+            subs: if sub_attrs == 0 {
+                vec![]
+            } else {
+                vec![trim_apps::SubSpec {
+                    name: "sub",
+                    attrs: sub_attrs,
+                    import_ms: 5.0,
+                    alloc_mb: 2.0,
+                    reexports: reexports.min(sub_attrs),
+                }]
+            },
+            deps: vec![],
+            disk_mb: 1.0,
+        };
+        let mut registry = pylite::Registry::new();
+        trim_apps::generate_library(&spec, &mut registry);
+        registry.source("randlib").unwrap().to_owned()
+    })
+}
+
+proptest! {
+    /// Rewriting to any attribute subset yields source that re-parses and
+    /// whose attribute set is exactly the kept subset.
+    #[test]
+    fn rewrite_output_reparses_with_exact_attrs(
+        source in arb_module_source(),
+        keep_mask in proptest::collection::vec(any::<bool>(), 100)
+    ) {
+        let program = pylite::parse(&source).expect("generated source parses");
+        let attrs = trim_core::module_attributes(&program);
+        let keep: BTreeSet<String> = attrs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| keep_mask.get(*i).copied().unwrap_or(false))
+            .map(|(_, a)| a.clone())
+            .collect();
+        let rewritten = trim_core::rewrite_module(&program, &keep);
+        let out = pylite::unparse(&rewritten);
+        let reparsed = pylite::parse(&out).expect("rewritten source parses");
+        let new_attrs: BTreeSet<String> =
+            trim_core::module_attributes(&reparsed).into_iter().collect();
+        prop_assert_eq!(new_attrs, keep);
+    }
+
+    /// unparse(parse(x)) re-parses to the same AST for generated sources.
+    #[test]
+    fn unparse_roundtrip(source in arb_module_source()) {
+        let p1 = pylite::parse(&source).unwrap();
+        let out = pylite::unparse(&p1);
+        let p2 = pylite::parse(&out).unwrap();
+        prop_assert_eq!(p1, p2);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser robustness
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// The parser never panics — it returns Ok or Err on arbitrary input.
+    #[test]
+    fn parser_never_panics(input in "\\PC*") {
+        let _ = pylite::parse(&input);
+    }
+
+    /// Arbitrary printable ASCII with structure characters.
+    #[test]
+    fn parser_never_panics_structured(input in "[a-z0-9 ()\\[\\]{}:=.,#\"'\\n+-]*") {
+        let _ = pylite::parse(&input);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pricing
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Cost is monotone non-decreasing in both duration and memory.
+    #[test]
+    fn pricing_is_monotone(
+        mem in 1.0f64..12_000.0,
+        dur in 0.0f64..100_000.0,
+        dmem in 0.0f64..2_000.0,
+        ddur in 0.0f64..10_000.0,
+    ) {
+        let pricing = lambda_sim::PricingModel::aws();
+        let base = pricing.invocation_cost(mem, dur);
+        prop_assert!(pricing.invocation_cost(mem + dmem, dur) >= base - 1e-15);
+        prop_assert!(pricing.invocation_cost(mem, dur + ddur) >= base - 1e-15);
+        prop_assert!(base >= 0.0);
+    }
+
+    /// Billed duration is always >= the raw duration and aligned to the
+    /// rounding granularity.
+    #[test]
+    fn billing_rounds_up(dur in 0.0f64..1_000_000.0) {
+        for model in [
+            lambda_sim::PricingModel::aws(),
+            lambda_sim::PricingModel::gcp(),
+            lambda_sim::PricingModel::azure(),
+        ] {
+            let billed = model.billed_duration_ms(dur);
+            prop_assert!(billed >= dur - 1e-9);
+        }
+    }
+
+    /// Configured memory always covers the footprint (above the minimum)
+    /// and respects platform bounds.
+    #[test]
+    fn configured_memory_covers_footprint(mem in 0.0f64..20_000.0) {
+        let pricing = lambda_sim::PricingModel::aws();
+        let configured = pricing.configured_memory_mb(mem);
+        prop_assert!(configured >= 128);
+        prop_assert!(configured <= 10_240);
+        if mem <= 10_240.0 {
+            prop_assert!(configured as f64 >= mem.min(10_240.0).floor().min(configured as f64));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter metering
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Running the same program twice in fresh interpreters produces
+    /// identical meters (determinism), and the meter is additive: a program
+    /// doing A;B costs at least as much as A.
+    #[test]
+    fn meter_is_deterministic_and_additive(
+        reps_a in 1usize..20,
+        reps_b in 1usize..20,
+    ) {
+        let stmt = "x = 1 + 2\n";
+        let prog_a: String = stmt.repeat(reps_a);
+        let prog_ab: String = stmt.repeat(reps_a + reps_b);
+        let run = |src: &str| {
+            let mut it = pylite::Interpreter::new(pylite::Registry::new());
+            it.exec_main(src).unwrap();
+            (it.meter.clock_ns(), it.meter.mem_bytes())
+        };
+        let (t1, m1) = run(&prog_a);
+        let (t1b, m1b) = run(&prog_a);
+        prop_assert_eq!((t1, m1), (t1b, m1b), "deterministic");
+        let (t2, m2) = run(&prog_ab);
+        prop_assert!(t2 > t1);
+        prop_assert!(m2 >= m1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trim invariants on generated libraries
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    /// For any generated library and any usage subset, trimming preserves
+    /// behavior and the trimmed namespace is a subset of the original.
+    #[test]
+    fn trim_on_random_library_is_sound(
+        attrs in 5usize..40,
+        used_bits in proptest::collection::vec(any::<bool>(), 8)
+    ) {
+        let spec = trim_apps::LibSpec {
+            name: "randlib",
+            prefix: "rl9",
+            init_attrs: attrs,
+            init_ms: 20.0,
+            init_mb: 8.0,
+            core_frac: 0.3,
+            mem_core_frac: 0.5,
+            subs: vec![],
+            deps: vec![],
+            disk_mb: 1.0,
+        };
+        let mut registry = pylite::Registry::new();
+        trim_apps::generate_library(&spec, &mut registry);
+        // Use a handful of function attributes chosen by the bit vector.
+        let mut app = String::from("import randlib\n");
+        let mut uses = Vec::new();
+        for (bit_i, bit) in used_bits.iter().enumerate() {
+            let idx = bit_i * 5; // function-kind attributes
+            if *bit && idx < attrs {
+                uses.push(trim_apps::attr_name("rl9", idx));
+            }
+        }
+        for (k, u) in uses.iter().enumerate() {
+            app.push_str(&format!("_u{k} = randlib.{u}\n"));
+        }
+        app.push_str("def handler(event, context):\n    return event[\"n\"]\n");
+        let spec_oracle = lambda_trim::OracleSpec::new(vec![
+            lambda_trim::TestCase::event("{\"n\": 5}"),
+        ]);
+        let report = lambda_trim::trim_app(
+            &registry,
+            &app,
+            &spec_oracle,
+            &lambda_trim::DebloatOptions::default(),
+        )
+        .expect("pipeline runs");
+        prop_assert!(report.after.behavior_eq(&report.before));
+        // Namespace subset check.
+        let orig = pylite::parse(registry.source("randlib").unwrap()).unwrap();
+        let trimmed = pylite::parse(report.trimmed.source("randlib").unwrap()).unwrap();
+        let orig_attrs: BTreeSet<String> =
+            trim_core::module_attributes(&orig).into_iter().collect();
+        let trimmed_attrs: BTreeSet<String> =
+            trim_core::module_attributes(&trimmed).into_iter().collect();
+        prop_assert!(trimmed_attrs.is_subset(&orig_attrs));
+        // Every used attribute survived.
+        for u in &uses {
+            prop_assert!(trimmed_attrs.contains(u), "used attr {u} must survive");
+        }
+    }
+}
