@@ -1,0 +1,79 @@
+//! The interprocedural call graph: which code units invoke which
+//! functions and module attributes, and which of them are reachable from
+//! the application's entry point.
+
+use std::collections::{BTreeSet, VecDeque};
+use std::fmt;
+
+/// A node of the call graph.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CgNode {
+    /// The application's top-level code.
+    AppTop,
+    /// The top-level body of a registry module (runs on first import).
+    ModuleTop(String),
+    /// A function or method defined in the application (qualified name).
+    AppFunc(String),
+    /// A function or method defined in a registry module.
+    LibFunc(String, String),
+    /// A call through a module attribute the engine could not resolve to a
+    /// definition (e.g. a trimmed-away or data-valued attribute).
+    ModuleAttr(String, String),
+}
+
+impl fmt::Display for CgNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CgNode::AppTop => write!(f, "<app>"),
+            CgNode::ModuleTop(m) => write!(f, "<module {m}>"),
+            CgNode::AppFunc(name) => write!(f, "app::{name}"),
+            CgNode::LibFunc(m, name) => write!(f, "{m}::{name}"),
+            CgNode::ModuleAttr(m, a) => write!(f, "{m}.{a}"),
+        }
+    }
+}
+
+/// The call graph produced by [`crate::analyze_full`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CallGraph {
+    /// Directed `(caller, callee)` edges. Import edges point at
+    /// [`CgNode::ModuleTop`] (importing a module runs its body).
+    pub edges: BTreeSet<(CgNode, CgNode)>,
+    /// Nodes reachable from the entry roots (see [`CallGraph::recompute`]).
+    pub reachable: BTreeSet<CgNode>,
+}
+
+impl CallGraph {
+    /// Recompute [`CallGraph::reachable`] from the given roots.
+    pub fn recompute(&mut self, roots: impl IntoIterator<Item = CgNode>) {
+        let mut seen: BTreeSet<CgNode> = BTreeSet::new();
+        let mut queue: VecDeque<CgNode> = roots.into_iter().collect();
+        while let Some(node) = queue.pop_front() {
+            if !seen.insert(node.clone()) {
+                continue;
+            }
+            for (from, to) in &self.edges {
+                if *from == node && !seen.contains(to) {
+                    queue.push_back(to.clone());
+                }
+            }
+        }
+        self.reachable = seen;
+    }
+
+    /// All nodes mentioned by any edge.
+    pub fn nodes(&self) -> BTreeSet<CgNode> {
+        self.edges
+            .iter()
+            .flat_map(|(a, b)| [a.clone(), b.clone()])
+            .collect()
+    }
+
+    /// Reachable function nodes (app and library), skipping module tops and
+    /// unresolved attribute callees.
+    pub fn reachable_functions(&self) -> impl Iterator<Item = &CgNode> {
+        self.reachable
+            .iter()
+            .filter(|n| matches!(n, CgNode::AppFunc(_) | CgNode::LibFunc(..)))
+    }
+}

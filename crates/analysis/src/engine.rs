@@ -1,0 +1,1061 @@
+//! The interprocedural fixpoint engine.
+//!
+//! Units of work are *code bodies that execute*: the application top-level,
+//! the top-level of every (transitively) imported registry module — module
+//! bodies run on first import — and the body of every function that some
+//! executed unit possibly calls. Function bodies that nothing calls are
+//! registered (their names bind to [`Origin::Func`] atoms) but never
+//! analyzed, so the dense never-executed reference blocks that generated
+//! libraries use to defeat naive static tools contribute nothing to the
+//! definitely-accessed sets.
+//!
+//! Each unit is re-walked until no origin set, return set, container site,
+//! or accessed set grows (a classic monotone worklist fixpoint; the atom
+//! universe is finite, see [`crate::origin`]).
+
+use crate::callgraph::{CallGraph, CgNode};
+use crate::lints::{Lint, LintKind, Severity};
+use crate::origin::{join_into, FuncId, Origin, OriginSet, SiteId};
+use crate::{Analysis, AnalysisMode};
+use pylite::ast::{Expr, FuncDef, Program, Stmt};
+use pylite::Registry;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::rc::Rc;
+
+/// Everything the engine produces beyond the seed-compatible [`Analysis`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct EngineOutput {
+    pub analysis: Analysis,
+    pub load_time_accessed: BTreeMap<String, BTreeSet<String>>,
+    pub module_bindings: BTreeMap<String, BTreeSet<String>>,
+    pub lints: Vec<Lint>,
+    pub hazard_modules: BTreeSet<String>,
+    pub call_graph: CallGraph,
+    pub reached_functions: BTreeSet<String>,
+}
+
+struct Scope {
+    parent: Option<usize>,
+    env: BTreeMap<String, OriginSet>,
+}
+
+struct FuncInfo {
+    qualname: String,
+    module: Option<String>,
+    params: Vec<String>,
+    body: Rc<Vec<Stmt>>,
+    scope: usize,
+    ret: OriginSet,
+    unit: Option<usize>,
+}
+
+#[derive(Clone)]
+struct Unit {
+    node: CgNode,
+    scope: usize,
+    /// Defining module (`None` = the application).
+    module: Option<String>,
+    func: Option<FuncId>,
+    body: Rc<Vec<Stmt>>,
+}
+
+struct Ctx {
+    unit: usize,
+    scope: usize,
+    /// Qualified-name prefix for nested definitions.
+    qual: String,
+    /// Container-literal encounter counter (deterministic per walk).
+    counter: usize,
+}
+
+impl Ctx {
+    fn next_site(&mut self) -> SiteId {
+        let site = (self.unit, self.counter);
+        self.counter += 1;
+        site
+    }
+}
+
+const DYNAMIC_BUILTINS: [&str; 3] = ["getattr", "setattr", "hasattr"];
+
+pub(crate) struct Engine<'a> {
+    registry: &'a Registry,
+    interprocedural: bool,
+    scopes: Vec<Scope>,
+    module_scopes: BTreeMap<String, usize>,
+    funcs: Vec<FuncInfo>,
+    func_ids: HashMap<(usize, String), FuncId>,
+    class_scopes: HashMap<(usize, String), usize>,
+    units: Vec<Unit>,
+    seq_sites: HashMap<SiteId, Vec<OriginSet>>,
+    map_sites: HashMap<SiteId, (BTreeMap<String, OriginSet>, OriginSet)>,
+    /// `(scope, name)` pairs bound by import statements (rebinding lint).
+    import_bound: BTreeSet<(usize, String)>,
+    result: Analysis,
+    load_time_accessed: BTreeMap<String, BTreeSet<String>>,
+    written: BTreeSet<(String, String)>,
+    used_by_app: BTreeSet<String>,
+    lints: BTreeSet<Lint>,
+    edges: BTreeSet<(CgNode, CgNode)>,
+    dirty: bool,
+}
+
+pub(crate) fn run(
+    program: &Program,
+    registry: &Registry,
+    mode: AnalysisMode,
+    entry: Option<&str>,
+) -> EngineOutput {
+    let mut eng = Engine {
+        registry,
+        interprocedural: mode == AnalysisMode::Interprocedural,
+        scopes: Vec::new(),
+        module_scopes: BTreeMap::new(),
+        funcs: Vec::new(),
+        func_ids: HashMap::new(),
+        class_scopes: HashMap::new(),
+        units: Vec::new(),
+        seq_sites: HashMap::new(),
+        map_sites: HashMap::new(),
+        import_bound: BTreeSet::new(),
+        result: Analysis::default(),
+        load_time_accessed: BTreeMap::new(),
+        written: BTreeSet::new(),
+        used_by_app: BTreeSet::new(),
+        lints: BTreeSet::new(),
+        edges: BTreeSet::new(),
+        dirty: false,
+    };
+    let app_scope = eng.new_scope(None);
+    eng.units.push(Unit {
+        node: CgNode::AppTop,
+        scope: app_scope,
+        module: None,
+        func: None,
+        body: Rc::new(program.body.clone()),
+    });
+
+    // Monotone fixpoint: the round bound is a safety net only — growth of
+    // the finite atom universe converges long before it.
+    for _ in 0..64 {
+        eng.dirty = false;
+        let mut i = 0;
+        while i < eng.units.len() {
+            eng.walk_unit(i);
+            i += 1;
+        }
+        if !eng.dirty {
+            break;
+        }
+    }
+    eng.finish(entry)
+}
+
+impl<'a> Engine<'a> {
+    // -- infrastructure --------------------------------------------------
+
+    fn new_scope(&mut self, parent: Option<usize>) -> usize {
+        self.scopes.push(Scope {
+            parent,
+            env: BTreeMap::new(),
+        });
+        self.scopes.len() - 1
+    }
+
+    fn lookup(&self, scope: usize, name: &str) -> Option<OriginSet> {
+        let mut cur = Some(scope);
+        while let Some(id) = cur {
+            if let Some(set) = self.scopes[id].env.get(name) {
+                return Some(set.clone());
+            }
+            cur = self.scopes[id].parent;
+        }
+        None
+    }
+
+    fn bind(&mut self, scope: usize, name: &str, set: &OriginSet) {
+        match self.scopes[scope].env.get_mut(name) {
+            Some(existing) => {
+                if join_into(existing, set) {
+                    self.dirty = true;
+                }
+            }
+            None => {
+                self.scopes[scope].env.insert(name.to_owned(), set.clone());
+                self.dirty = true;
+            }
+        }
+    }
+
+    fn is_app_unit(&self, unit: usize) -> bool {
+        self.units[unit].module.is_none()
+    }
+
+    fn node_of(&self, unit: usize) -> CgNode {
+        self.units[unit].node.clone()
+    }
+
+    fn lint(&mut self, severity: Severity, kind: LintKind) {
+        self.lints.insert(Lint { severity, kind });
+    }
+
+    fn record_access(&mut self, ctx: &Ctx, module: &str, attr: &str) {
+        if self
+            .result
+            .accessed
+            .entry(module.to_owned())
+            .or_default()
+            .insert(attr.to_owned())
+        {
+            self.dirty = true;
+        }
+        if self.is_app_unit(ctx.unit) {
+            self.used_by_app.insert(module.to_owned());
+        }
+        if matches!(
+            self.units[ctx.unit].node,
+            CgNode::AppTop | CgNode::ModuleTop(_)
+        ) {
+            self.load_time_accessed
+                .entry(module.to_owned())
+                .or_default()
+                .insert(attr.to_owned());
+        }
+    }
+
+    /// `import a.b.c` pulls in (and runs the top-level of) a, a.b and a.b.c.
+    fn record_import(&mut self, ctx: &Ctx, dotted: &str) {
+        let caller = self.node_of(ctx.unit);
+        let mut prefix = String::new();
+        for part in dotted.split('.') {
+            if !prefix.is_empty() {
+                prefix.push('.');
+            }
+            prefix.push_str(part);
+            if self.result.imported_modules.insert(prefix.clone()) {
+                self.dirty = true;
+            }
+            if self.registry.contains(&prefix) {
+                self.edges
+                    .insert((caller.clone(), CgNode::ModuleTop(prefix.clone())));
+                self.ensure_module(&prefix);
+            }
+        }
+        if self.is_app_unit(ctx.unit) {
+            self.result.direct_imports.insert(dotted.to_owned());
+        }
+    }
+
+    /// Create the scope + unit for a registry module's top-level body.
+    fn ensure_module(&mut self, module: &str) {
+        if !self.interprocedural
+            || self.module_scopes.contains_key(module)
+            || !self.registry.contains(module)
+        {
+            return;
+        }
+        let Ok(program) = self.registry.parse_module(module) else {
+            return; // unparsable module: left opaque, DD handles it
+        };
+        let scope = self.new_scope(None);
+        self.module_scopes.insert(module.to_owned(), scope);
+        self.units.push(Unit {
+            node: CgNode::ModuleTop(module.to_owned()),
+            scope,
+            module: Some(module.to_owned()),
+            func: None,
+            body: Rc::new(program.body.clone()),
+        });
+        self.dirty = true;
+    }
+
+    fn register_func(&mut self, ctx: &Ctx, f: &FuncDef) -> FuncId {
+        let key = (ctx.scope, f.name.clone());
+        if let Some(&id) = self.func_ids.get(&key) {
+            return id;
+        }
+        let scope = self.new_scope(Some(ctx.scope));
+        for p in &f.params {
+            self.scopes[scope]
+                .env
+                .insert(p.name.clone(), OriginSet::new());
+        }
+        let qualname = if ctx.qual.is_empty() {
+            f.name.clone()
+        } else {
+            format!("{}.{}", ctx.qual, f.name)
+        };
+        let id = self.funcs.len();
+        self.funcs.push(FuncInfo {
+            qualname,
+            module: self.units[ctx.unit].module.clone(),
+            params: f.params.iter().map(|p| p.name.clone()).collect(),
+            body: Rc::new(f.body.clone()),
+            scope,
+            ret: OriginSet::new(),
+            unit: None,
+        });
+        self.func_ids.insert(key, id);
+        self.dirty = true;
+        id
+    }
+
+    fn func_node(&self, id: FuncId) -> CgNode {
+        match &self.funcs[id].module {
+            None => CgNode::AppFunc(self.funcs[id].qualname.clone()),
+            Some(m) => CgNode::LibFunc(m.clone(), self.funcs[id].qualname.clone()),
+        }
+    }
+
+    /// Mark a function as possibly executed: enqueue its body as a unit.
+    fn ensure_func_unit(&mut self, id: FuncId) {
+        if self.funcs[id].unit.is_some() {
+            return;
+        }
+        let info = &self.funcs[id];
+        let unit = Unit {
+            node: self.func_node(id),
+            scope: info.scope,
+            module: info.module.clone(),
+            func: Some(id),
+            body: info.body.clone(),
+        };
+        self.funcs[id].unit = Some(self.units.len());
+        self.units.push(unit);
+        self.dirty = true;
+    }
+
+    fn walk_unit(&mut self, unit: usize) {
+        let u = self.units[unit].clone();
+        let mut ctx = Ctx {
+            unit,
+            scope: u.scope,
+            qual: u
+                .func
+                .map(|id| self.funcs[id].qualname.clone())
+                .unwrap_or_default(),
+            counter: 0,
+        };
+        for stmt in u.body.iter() {
+            self.walk_stmt(&mut ctx, stmt);
+        }
+    }
+
+    // -- statements ------------------------------------------------------
+
+    fn walk_block(&mut self, ctx: &mut Ctx, body: &[Stmt]) {
+        for stmt in body {
+            self.walk_stmt(ctx, stmt);
+        }
+    }
+
+    fn walk_stmt(&mut self, ctx: &mut Ctx, stmt: &Stmt) {
+        match stmt {
+            Stmt::Import { items } => {
+                for item in items {
+                    self.record_import(ctx, &item.module);
+                    let (bound, target) = match &item.alias {
+                        Some(alias) => (alias.clone(), item.module.clone()),
+                        None => {
+                            let top = item
+                                .module
+                                .split('.')
+                                .next()
+                                .expect("nonempty module path")
+                                .to_owned();
+                            (top.clone(), top)
+                        }
+                    };
+                    let set: OriginSet = [Origin::Module(target)].into_iter().collect();
+                    self.bind(ctx.scope, &bound, &set);
+                    self.import_bound.insert((ctx.scope, bound));
+                }
+            }
+            Stmt::FromImport { module, names } => {
+                self.record_import(ctx, module);
+                for (name, alias) in names {
+                    if name == "*" {
+                        self.star_import(ctx, module);
+                        continue;
+                    }
+                    let bound = alias.as_deref().unwrap_or(name).to_owned();
+                    let submodule = format!("{module}.{name}");
+                    if self.registry.contains(&submodule) {
+                        self.record_import(ctx, &submodule);
+                        // Importing a submodule via `from` counts as access.
+                        self.record_access(ctx, module, name);
+                        let set: OriginSet = [Origin::Module(submodule)].into_iter().collect();
+                        self.bind(ctx.scope, &bound, &set);
+                    } else {
+                        let mut set: OriginSet = [Origin::Attr(module.clone(), name.clone())]
+                            .into_iter()
+                            .collect();
+                        if let Some(&ms) = self.module_scopes.get(module) {
+                            if let Some(b) = self.scopes[ms].env.get(name) {
+                                set.extend(b.iter().cloned());
+                            }
+                        }
+                        // Inside a library module the import itself executes
+                        // on load, so the attribute is definitely read. App
+                        // from-imports stay lazy (§6.2): an unused name must
+                        // remain trimmable by DD.
+                        if !self.is_app_unit(ctx.unit) {
+                            self.record_access(ctx, module, name);
+                        }
+                        self.bind(ctx.scope, &bound, &set);
+                    }
+                    self.import_bound.insert((ctx.scope, bound));
+                }
+            }
+            Stmt::Assign { targets, value } => {
+                let vset = self.resolve(ctx, value);
+                for t in targets {
+                    self.assign_target(ctx, t, &vset);
+                }
+            }
+            Stmt::AugAssign { target, value, .. } => {
+                self.resolve(ctx, target);
+                self.resolve(ctx, value);
+            }
+            Stmt::Expr(e) | Stmt::Raise(Some(e)) | Stmt::Del(e) => {
+                self.resolve(ctx, e);
+            }
+            Stmt::Raise(None) | Stmt::Pass | Stmt::Break | Stmt::Continue | Stmt::Global(_) => {}
+            Stmt::Return(e) => {
+                let set = match e {
+                    Some(e) => self.resolve(ctx, e),
+                    None => OriginSet::new(),
+                };
+                if let Some(id) = self.units[ctx.unit].func {
+                    if join_into(&mut self.funcs[id].ret, &set) {
+                        self.dirty = true;
+                    }
+                }
+            }
+            Stmt::If { branches, orelse } => {
+                for (test, body) in branches {
+                    self.resolve(ctx, test);
+                    self.walk_block(ctx, body);
+                }
+                self.walk_block(ctx, orelse);
+            }
+            Stmt::While { test, body } => {
+                self.resolve(ctx, test);
+                self.walk_block(ctx, body);
+            }
+            Stmt::For {
+                targets,
+                iter,
+                body,
+            } => {
+                let iset = self.resolve(ctx, iter);
+                let elems = self.element_union(&iset);
+                if let [single] = targets.as_slice() {
+                    self.bind(ctx.scope, single, &elems);
+                } else {
+                    for t in targets {
+                        self.bind(ctx.scope, t, &OriginSet::new());
+                    }
+                }
+                self.walk_block(ctx, body);
+            }
+            Stmt::FuncDef(f) => {
+                let defaults: Vec<OriginSet> = f
+                    .params
+                    .iter()
+                    .map(|p| match &p.default {
+                        Some(d) => self.resolve(ctx, d),
+                        None => OriginSet::new(),
+                    })
+                    .collect();
+                let id = self.register_func(ctx, f);
+                let fscope = self.funcs[id].scope;
+                for (p, dset) in f.params.iter().zip(&defaults) {
+                    self.bind(fscope, &p.name, dset);
+                }
+                let set: OriginSet = [Origin::Func(id)].into_iter().collect();
+                self.bind(ctx.scope, &f.name, &set);
+                // Every app-defined function is assumed reachable (handler
+                // and helpers). Library functions wait for a call site.
+                if self.is_app_unit(ctx.unit) {
+                    self.ensure_func_unit(id);
+                }
+            }
+            Stmt::ClassDef(c) => {
+                for base in &c.bases {
+                    self.resolve_dotted_name(ctx, base);
+                }
+                let class_scope = match self.class_scopes.get(&(ctx.scope, c.name.clone())) {
+                    Some(&s) => s,
+                    None => {
+                        let s = self.new_scope(Some(ctx.scope));
+                        self.class_scopes.insert((ctx.scope, c.name.clone()), s);
+                        s
+                    }
+                };
+                let saved_scope = ctx.scope;
+                let saved_qual = ctx.qual.clone();
+                ctx.scope = class_scope;
+                ctx.qual = if saved_qual.is_empty() {
+                    c.name.clone()
+                } else {
+                    format!("{saved_qual}.{}", c.name)
+                };
+                self.walk_block(ctx, &c.body);
+                ctx.scope = saved_scope;
+                ctx.qual = saved_qual;
+                self.bind(ctx.scope, &c.name, &OriginSet::new());
+            }
+            Stmt::Try {
+                body,
+                handlers,
+                orelse,
+                finalbody,
+            } => {
+                self.walk_block(ctx, body);
+                for h in handlers {
+                    if let Some(n) = &h.name {
+                        self.bind(ctx.scope, n, &OriginSet::new());
+                    }
+                    self.walk_block(ctx, &h.body);
+                }
+                self.walk_block(ctx, orelse);
+                self.walk_block(ctx, finalbody);
+            }
+            Stmt::Assert { test, msg } => {
+                self.resolve(ctx, test);
+                if let Some(m) = msg {
+                    self.resolve(ctx, m);
+                }
+            }
+        }
+    }
+
+    fn assign_target(&mut self, ctx: &mut Ctx, target: &Expr, vset: &OriginSet) {
+        match target {
+            Expr::Name(n) => {
+                // Rebinding an import-bound name hides later accesses.
+                if self.import_bound.contains(&(ctx.scope, n.clone())) {
+                    let old = self.scopes[ctx.scope]
+                        .env
+                        .get(n)
+                        .cloned()
+                        .unwrap_or_default();
+                    for atom in &old {
+                        if let Origin::Module(m) = atom {
+                            if !vset.contains(atom) {
+                                self.lint(
+                                    Severity::Hazard,
+                                    LintKind::ModuleRebinding {
+                                        name: n.clone(),
+                                        module: m.clone(),
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+                self.bind(ctx.scope, n, vset);
+            }
+            Expr::Tuple(ts) | Expr::List(ts) => {
+                // Element-wise unpacking when the value is a single literal
+                // sequence of matching arity.
+                let elems: Option<Vec<OriginSet>> = match vset.iter().collect::<Vec<_>>()[..] {
+                    [Origin::Seq(site)] => self
+                        .seq_sites
+                        .get(site)
+                        .filter(|e| e.len() == ts.len())
+                        .cloned(),
+                    _ => None,
+                };
+                for (i, sub) in ts.iter().enumerate() {
+                    let s = elems.as_ref().map(|e| e[i].clone()).unwrap_or_default();
+                    self.assign_target(ctx, sub, &s);
+                }
+            }
+            Expr::Attribute { value, attr } => {
+                let base = self.resolve(ctx, value);
+                for atom in &base {
+                    if let Origin::Module(m) = atom {
+                        let m = m.clone();
+                        // A write both counts as an access (the binding must
+                        // survive trimming) and defines the attribute.
+                        self.record_access(ctx, &m, attr);
+                        self.written.insert((m, attr.clone()));
+                    }
+                }
+            }
+            other => {
+                self.resolve(ctx, other);
+            }
+        }
+    }
+
+    fn star_import(&mut self, ctx: &mut Ctx, module: &str) {
+        self.lint(
+            Severity::Hazard,
+            LintKind::StarImport {
+                module: module.to_owned(),
+            },
+        );
+        if let Some(&ms) = self.module_scopes.get(module) {
+            let entries: Vec<(String, OriginSet)> = self.scopes[ms]
+                .env
+                .iter()
+                .filter(|(n, _)| !n.starts_with('_'))
+                .map(|(n, s)| (n.clone(), s.clone()))
+                .collect();
+            for (name, mut set) in entries {
+                self.record_access(ctx, module, &name);
+                set.insert(Origin::Attr(module.to_owned(), name.clone()));
+                self.bind(ctx.scope, &name, &set);
+            }
+        }
+    }
+
+    /// Resolve a dotted textual reference (ClassDef bases are stored as
+    /// strings, so `class Net(nn.Module)` must be split and resolved like
+    /// the expression `nn.Module`).
+    fn resolve_dotted_name(&mut self, ctx: &mut Ctx, dotted: &str) -> OriginSet {
+        let mut parts = dotted.split('.');
+        let first = match parts.next() {
+            Some(p) if !p.is_empty() => p,
+            _ => return OriginSet::new(),
+        };
+        let mut expr = Expr::Name(first.to_owned());
+        for part in parts {
+            expr = Expr::Attribute {
+                value: Box::new(expr),
+                attr: part.to_owned(),
+            };
+        }
+        self.resolve(ctx, &expr)
+    }
+
+    // -- expressions -----------------------------------------------------
+
+    /// Union of a value's sequence elements / mapping values (for-loop and
+    /// unknown-index views).
+    fn element_union(&self, set: &OriginSet) -> OriginSet {
+        let mut out = OriginSet::new();
+        for atom in set {
+            match atom {
+                Origin::Seq(site) => {
+                    if let Some(elems) = self.seq_sites.get(site) {
+                        for e in elems {
+                            out.extend(e.iter().cloned());
+                        }
+                    }
+                }
+                Origin::Map(_) => {} // iterating a dict yields string keys
+                _ => {}
+            }
+        }
+        out
+    }
+
+    fn resolve(&mut self, ctx: &mut Ctx, e: &Expr) -> OriginSet {
+        match e {
+            Expr::Name(n) => {
+                let set = self.lookup(ctx.scope, n).unwrap_or_default();
+                for atom in &set {
+                    match atom {
+                        Origin::Attr(m, a) => {
+                            // Using a from-imported name is a definite access.
+                            let (m, a) = (m.clone(), a.clone());
+                            self.record_access(ctx, &m, &a);
+                        }
+                        Origin::Module(m) if self.is_app_unit(ctx.unit) => {
+                            self.used_by_app.insert(m.clone());
+                        }
+                        _ => {}
+                    }
+                }
+                set
+            }
+            Expr::Attribute { value, attr } => {
+                let base = self.resolve(ctx, value);
+                let mut out = OriginSet::new();
+                for atom in &base {
+                    if let Origin::Module(m) = atom {
+                        let m = m.clone();
+                        self.record_access(ctx, &m, attr);
+                        let sub = format!("{m}.{attr}");
+                        if self.registry.contains(&sub) {
+                            out.insert(Origin::Module(sub));
+                        } else if let Some(binding) = self
+                            .module_scopes
+                            .get(&m)
+                            .and_then(|&ms| self.scopes[ms].env.get(attr))
+                            .cloned()
+                        {
+                            // Reading a re-exported name reads through to
+                            // its source module as well.
+                            for b in &binding {
+                                if let Origin::Attr(m2, a2) = b {
+                                    let (m2, a2) = (m2.clone(), a2.clone());
+                                    self.record_access(ctx, &m2, &a2);
+                                }
+                            }
+                            out.extend(binding);
+                        } else {
+                            out.insert(Origin::Attr(m, attr.clone()));
+                        }
+                    }
+                }
+                out
+            }
+            Expr::Call { func, args, kwargs } => {
+                if let Expr::Name(fname) = &**func {
+                    if DYNAMIC_BUILTINS.contains(&fname.as_str())
+                        && self.lookup(ctx.scope, fname).is_none()
+                    {
+                        return self.dynamic_access(ctx, args, kwargs);
+                    }
+                }
+                let fset = self.resolve(ctx, func);
+                let argsets: Vec<OriginSet> = args.iter().map(|a| self.resolve(ctx, a)).collect();
+                let kwsets: Vec<(String, OriginSet)> = kwargs
+                    .iter()
+                    .map(|(k, v)| (k.clone(), self.resolve(ctx, v)))
+                    .collect();
+                let caller = self.node_of(ctx.unit);
+                let mut out = OriginSet::new();
+                for atom in &fset {
+                    match atom {
+                        Origin::Func(id) => {
+                            let id = *id;
+                            self.edges.insert((caller.clone(), self.func_node(id)));
+                            self.ensure_func_unit(id);
+                            let fscope = self.funcs[id].scope;
+                            let params = self.funcs[id].params.clone();
+                            for (i, aset) in argsets.iter().enumerate() {
+                                if let Some(p) = params.get(i) {
+                                    let p = p.clone();
+                                    self.bind(fscope, &p, aset);
+                                }
+                            }
+                            for (k, kset) in &kwsets {
+                                if params.iter().any(|p| p == k) {
+                                    self.bind(fscope, k, kset);
+                                }
+                            }
+                            out.extend(self.funcs[id].ret.iter().cloned());
+                        }
+                        Origin::Attr(m, a) => {
+                            self.edges
+                                .insert((caller.clone(), CgNode::ModuleAttr(m.clone(), a.clone())));
+                        }
+                        _ => {}
+                    }
+                }
+                out
+            }
+            Expr::Subscript { value, index } => {
+                let vset = self.resolve(ctx, value);
+                self.resolve(ctx, index);
+                let mut out = OriginSet::new();
+                for atom in &vset {
+                    match atom {
+                        Origin::Seq(site) => {
+                            if let Some(elems) = self.seq_sites.get(site) {
+                                match &**index {
+                                    Expr::Int(i) if *i >= 0 && (*i as usize) < elems.len() => {
+                                        out.extend(elems[*i as usize].iter().cloned());
+                                    }
+                                    _ => {
+                                        for e in elems {
+                                            out.extend(e.iter().cloned());
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        Origin::Map(site) => {
+                            if let Some((entries, unknown)) = self.map_sites.get(site) {
+                                match &**index {
+                                    Expr::Str(k) => {
+                                        if let Some(s) = entries.get(k) {
+                                            out.extend(s.iter().cloned());
+                                        }
+                                        out.extend(unknown.iter().cloned());
+                                    }
+                                    _ => {
+                                        for s in entries.values() {
+                                            out.extend(s.iter().cloned());
+                                        }
+                                        out.extend(unknown.iter().cloned());
+                                    }
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                out
+            }
+            Expr::List(items) | Expr::Tuple(items) => {
+                let site = ctx.next_site();
+                let sets: Vec<OriginSet> = items.iter().map(|i| self.resolve(ctx, i)).collect();
+                let slot = self
+                    .seq_sites
+                    .entry(site)
+                    .or_insert_with(|| vec![OriginSet::new(); sets.len()]);
+                let mut grew = false;
+                for (s, existing) in sets.iter().zip(slot.iter_mut()) {
+                    grew |= join_into(existing, s);
+                }
+                if grew {
+                    self.dirty = true;
+                }
+                [Origin::Seq(site)].into_iter().collect()
+            }
+            Expr::Dict(pairs) => {
+                let site = ctx.next_site();
+                let mut resolved: Vec<(Option<String>, OriginSet)> = Vec::new();
+                for (k, v) in pairs {
+                    self.resolve(ctx, k);
+                    let key = match k {
+                        Expr::Str(s) => Some(s.clone()),
+                        _ => None,
+                    };
+                    let vset = self.resolve(ctx, v);
+                    resolved.push((key, vset));
+                }
+                let slot = self.map_sites.entry(site).or_default();
+                let mut grew = false;
+                for (key, vset) in resolved {
+                    let target = match key {
+                        Some(k) => slot.0.entry(k).or_default(),
+                        None => &mut slot.1,
+                    };
+                    grew |= join_into(target, &vset);
+                }
+                if grew {
+                    self.dirty = true;
+                }
+                [Origin::Map(site)].into_iter().collect()
+            }
+            Expr::Unary { operand, .. } => {
+                self.resolve(ctx, operand);
+                OriginSet::new()
+            }
+            Expr::Binary { left, right, .. } => {
+                self.resolve(ctx, left);
+                self.resolve(ctx, right);
+                OriginSet::new()
+            }
+            Expr::Bool { values, .. } => {
+                // `a or b` / `a and b` evaluate to one of the operands.
+                let mut out = OriginSet::new();
+                for v in values {
+                    out.extend(self.resolve(ctx, v));
+                }
+                out
+            }
+            Expr::Compare { left, ops } => {
+                self.resolve(ctx, left);
+                for (_, v) in ops {
+                    self.resolve(ctx, v);
+                }
+                OriginSet::new()
+            }
+            Expr::Conditional { test, body, orelse } => {
+                self.resolve(ctx, test);
+                // Conditional join: the result may be either branch's value.
+                let mut out = self.resolve(ctx, body);
+                out.extend(self.resolve(ctx, orelse));
+                out
+            }
+            Expr::ListComp {
+                element,
+                targets,
+                iter,
+                cond,
+            } => {
+                let iset = self.resolve(ctx, iter);
+                let elems = self.element_union(&iset);
+                if let [single] = targets.as_slice() {
+                    self.bind(ctx.scope, single, &elems);
+                } else {
+                    for t in targets {
+                        self.bind(ctx.scope, t, &OriginSet::new());
+                    }
+                }
+                self.resolve(ctx, element);
+                if let Some(c) = cond {
+                    self.resolve(ctx, c);
+                }
+                OriginSet::new()
+            }
+            Expr::Slice { value, start, stop } => {
+                self.resolve(ctx, value);
+                if let Some(e) = start {
+                    self.resolve(ctx, e);
+                }
+                if let Some(e) = stop {
+                    self.resolve(ctx, e);
+                }
+                OriginSet::new()
+            }
+            _ => OriginSet::new(),
+        }
+    }
+
+    /// `getattr`/`setattr`/`hasattr` handling. Literal attribute names are
+    /// reported but deliberately *not* recorded as accesses: resolving them
+    /// would force-keep rarely-used attributes that DD should trim and the
+    /// §5.4 runtime fallback should serve. Non-literal names make the
+    /// target module's accessed set unknowable — a debloating hazard.
+    fn dynamic_access(
+        &mut self,
+        ctx: &mut Ctx,
+        args: &[Expr],
+        kwargs: &[(String, Expr)],
+    ) -> OriginSet {
+        let target = match args.first() {
+            Some(a) => self.resolve(ctx, a),
+            None => OriginSet::new(),
+        };
+        let literal = match args.get(1) {
+            Some(Expr::Str(s)) => Some(s.clone()),
+            Some(other) => {
+                self.resolve(ctx, other);
+                None
+            }
+            None => None,
+        };
+        for a in args.iter().skip(2) {
+            self.resolve(ctx, a);
+        }
+        for (_, v) in kwargs {
+            self.resolve(ctx, v);
+        }
+        let modules: Vec<String> = target
+            .iter()
+            .filter_map(|a| match a {
+                Origin::Module(m) => Some(m.clone()),
+                _ => None,
+            })
+            .collect();
+        match literal {
+            Some(attr) => {
+                if modules.is_empty() {
+                    self.lint(
+                        Severity::Info,
+                        LintKind::DynamicAttrAccess { module: None, attr },
+                    );
+                } else {
+                    for m in modules {
+                        self.lint(
+                            Severity::Info,
+                            LintKind::DynamicAttrAccess {
+                                module: Some(m),
+                                attr: attr.clone(),
+                            },
+                        );
+                    }
+                }
+            }
+            None => {
+                if modules.is_empty() {
+                    self.lint(
+                        Severity::Warning,
+                        LintKind::OpaqueAttrAccess { module: None },
+                    );
+                } else {
+                    for m in modules {
+                        self.lint(
+                            Severity::Hazard,
+                            LintKind::OpaqueAttrAccess { module: Some(m) },
+                        );
+                    }
+                }
+            }
+        }
+        OriginSet::new()
+    }
+
+    // -- finalization ----------------------------------------------------
+
+    fn finish(mut self, entry: Option<&str>) -> EngineOutput {
+        // Unused app imports.
+        for d in self.result.direct_imports.clone() {
+            let prefix = format!("{d}.");
+            let used = self.used_by_app.contains(&d)
+                || self.used_by_app.iter().any(|u| u.starts_with(&prefix));
+            if !used {
+                self.lint(Severity::Warning, LintKind::UnusedImport { module: d });
+            }
+        }
+        // Accesses to attributes no statement of the module binds.
+        let pairs: Vec<(String, String)> = self
+            .result
+            .accessed
+            .iter()
+            .flat_map(|(m, attrs)| attrs.iter().map(move |a| (m.clone(), a.clone())))
+            .collect();
+        for (m, a) in pairs {
+            let Some(&ms) = self.module_scopes.get(&m) else {
+                continue;
+            };
+            if !self.scopes[ms].env.contains_key(&a)
+                && !self.registry.contains(&format!("{m}.{a}"))
+                && !self.written.contains(&(m.clone(), a.clone()))
+            {
+                self.lint(
+                    Severity::Warning,
+                    LintKind::NonexistentAttr { module: m, attr: a },
+                );
+            }
+        }
+
+        let hazard_modules: BTreeSet<String> = self
+            .lints
+            .iter()
+            .filter(|l| l.severity == Severity::Hazard)
+            .filter_map(|l| l.implicated_module().map(str::to_owned))
+            .filter(|m| self.registry.contains(m))
+            .collect();
+
+        let mut call_graph = CallGraph {
+            edges: std::mem::take(&mut self.edges),
+            reachable: BTreeSet::new(),
+        };
+        let mut roots = vec![CgNode::AppTop];
+        match entry {
+            Some(name) => roots.push(CgNode::AppFunc(name.to_owned())),
+            None => {
+                for f in &self.funcs {
+                    if f.module.is_none() {
+                        roots.push(CgNode::AppFunc(f.qualname.clone()));
+                    }
+                }
+            }
+        }
+        call_graph.recompute(roots);
+
+        let module_bindings: BTreeMap<String, BTreeSet<String>> = self
+            .module_scopes
+            .iter()
+            .map(|(m, &s)| (m.clone(), self.scopes[s].env.keys().cloned().collect()))
+            .collect();
+        let reached_functions: BTreeSet<String> = self
+            .funcs
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.unit.is_some())
+            .map(|(i, _)| self.func_node(i).to_string())
+            .collect();
+
+        EngineOutput {
+            analysis: self.result,
+            load_time_accessed: self.load_time_accessed,
+            module_bindings,
+            lints: self.lints.into_iter().collect(),
+            hazard_modules,
+            call_graph,
+            reached_functions,
+        }
+    }
+}

@@ -1,37 +1,78 @@
 //! # trim-analysis — static analysis for pylite serverless applications
 //!
-//! The first stage of the λ-trim pipeline (§5.1): a single pass over the
-//! application's AST to identify the external modules it imports, plus a
-//! PyCG-style flow-insensitive call-graph/attribute analysis ([`analyze`])
-//! that computes which module attributes the application **definitely
-//! accesses**. Those attributes are excluded from Delta Debugging — they
-//! must be kept anyway, so not probing them shrinks the search space (§6.3).
+//! The first stage of the λ-trim pipeline (§5.1): a PyCG-style
+//! interprocedural, flow-insensitive analysis that computes which module
+//! attributes an application **definitely accesses**. Those attributes are
+//! excluded from Delta Debugging — they must be kept anyway, so not probing
+//! them shrinks the search space (§6.3).
 //!
-//! The analysis tracks name → origin bindings (module objects, module
-//! attributes) through assignments and aliases:
+//! The engine ([`engine`]) propagates *origin sets* (powerset lattice over
+//! modules, module attributes, functions and container-literal sites, see
+//! [`origin`]) through assignments, aliases, tuple/list/dict elements,
+//! conditional joins, function returns and call-site parameters, to a
+//! fixpoint:
 //!
 //! ```text
-//! import torch.nn as nn         # nn ↦ Module("torch.nn")
-//! from torch.optim import SGD   # SGD ↦ Attr("torch.optim", "SGD")
+//! import torch.nn as nn         # nn ↦ {Module("torch.nn")}
+//! from torch.optim import SGD   # SGD ↦ {Attr("torch.optim", "SGD")}
 //! x = nn.Linear(2, 1)           # records torch.nn.Linear as accessed
 //! opt = SGD(x)                  # records torch.optim.SGD as accessed
+//! def pick(m):
+//!     return m.zeros            # records numpy.zeros once pick(numpy) seen
+//! pick(numpy)
 //! ```
+//!
+//! In [`AnalysisMode::Interprocedural`] (the default) the top-level bodies
+//! of imported registry modules are analyzed too — they execute at import
+//! time — so re-export chains (`pkg/__init__` style `from pkg.core import
+//! fast_path`) contribute **transitive** definitely-accessed attributes on
+//! the submodules. [`AnalysisMode::AppOnly`] reproduces the seed analyzer's
+//! scope (application code only) for comparison.
+//!
+//! [`analyze_full`] additionally returns the interprocedural
+//! [`CallGraph`](callgraph::CallGraph) and the debloat-soundness
+//! [`lints`](crate::lints) (dynamic attribute access, star imports, module
+//! rebinding, …) whose [`Hazard`](lints::Severity::Hazard) findings the
+//! pipeline uses to route modules to the conservative fallback deployment
+//! instead of DD-trimming them.
 
 #![warn(missing_docs)]
 
-use pylite::ast::{Expr, Program, Stmt};
-use pylite::Registry;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+pub mod callgraph;
+mod engine;
+pub mod lints;
+pub mod origin;
 
-/// What a name is statically known to refer to.
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum Origin {
-    /// A module object with the given dotted name.
-    Module(String),
-    /// An attribute of a module (`from m import a`, or a resolved `m.a`).
-    Attr(String, String),
-    /// Anything else.
-    Unknown,
+use pylite::ast::Program;
+use pylite::Registry;
+use std::collections::{BTreeMap, BTreeSet};
+
+use callgraph::CallGraph;
+use lints::Lint;
+
+/// Which code the static analysis covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AnalysisMode {
+    /// Application code only (the seed analyzer's scope). Library modules
+    /// are opaque: every `m.attr` read resolves to an unknown attribute.
+    AppOnly,
+    /// Application code plus the top-level bodies of every transitively
+    /// imported registry module and the bodies of library functions that
+    /// are possibly called. This is the default.
+    #[default]
+    Interprocedural,
+}
+
+/// Options for [`analyze_full`].
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisOptions {
+    /// Coverage mode.
+    pub mode: AnalysisMode,
+    /// Name of the application entry-point function (e.g. `"handler"`).
+    /// Only affects [`CallGraph::reachable`]: when set, reachability is
+    /// computed from the top-level plus this function; when `None`, every
+    /// application function is a root.
+    pub entry: Option<String>,
 }
 
 /// The result of statically analyzing an application.
@@ -39,12 +80,15 @@ enum Origin {
 pub struct Analysis {
     /// Every module the application imports, directly or via dotted paths
     /// (importing `torch.nn` contributes both `torch` and `torch.nn`).
+    /// Interprocedural mode also includes modules imported by library code
+    /// that runs at import time.
     pub imported_modules: BTreeSet<String>,
     /// Modules imported *directly by an import statement in the program*
     /// (the candidates handed to the profiler).
     pub direct_imports: BTreeSet<String>,
-    /// Per-module set of attributes the program definitely accesses.
-    /// These are excluded from the DD search (§5.1).
+    /// Per-module set of attributes definitely accessed when the
+    /// application loads and runs. These are excluded from the DD search
+    /// (§5.1).
     pub accessed: BTreeMap<String, BTreeSet<String>>,
 }
 
@@ -55,314 +99,81 @@ impl Analysis {
     }
 }
 
-struct Analyzer<'a> {
-    registry: &'a Registry,
-    result: Analysis,
+/// The full output of the interprocedural analysis: the seed-compatible
+/// [`Analysis`] plus the call graph and the lint findings.
+#[derive(Debug, Clone, Default)]
+pub struct FullAnalysis {
+    /// Imports and definitely-accessed attributes.
+    pub analysis: Analysis,
+    /// The subset of [`Analysis::accessed`] recorded in code that runs at
+    /// load time (application top-level and module top-levels). Handler-only
+    /// accesses are excluded. This is the sound lower bound for comparing
+    /// against a dynamic import-time profile.
+    pub load_time_accessed: BTreeMap<String, BTreeSet<String>>,
+    /// Top-level names bound by each analyzed registry module (its
+    /// statically-known attribute surface).
+    pub module_bindings: BTreeMap<String, BTreeSet<String>>,
+    /// Lint findings, deduplicated and ordered.
+    pub lints: Vec<Lint>,
+    /// Registry modules implicated by a [`lints::Severity::Hazard`] finding.
+    /// Debloating these under static assumptions is unsound; the pipeline
+    /// routes them to the conservative fallback deployment.
+    pub hazard_modules: BTreeSet<String>,
+    /// The interprocedural call graph.
+    pub call_graph: CallGraph,
+    /// Display names of every function whose body the engine analyzed
+    /// (app functions always; library functions only when possibly called).
+    pub reached_functions: BTreeSet<String>,
 }
 
-/// Analyze an application program against the registry it will run in.
+/// Analyze an application program against the registry it will run in,
+/// interprocedurally (library module top-levels and possibly-called library
+/// functions included).
 ///
 /// The registry is needed to distinguish `m.sub` (a submodule) from `m.attr`
-/// (a plain attribute) when resolving dotted chains.
+/// (a plain attribute) when resolving dotted chains, and to obtain library
+/// module sources.
 pub fn analyze(program: &Program, registry: &Registry) -> Analysis {
-    let mut analyzer = Analyzer {
-        registry,
-        result: Analysis::default(),
-    };
-    let mut env: HashMap<String, Origin> = HashMap::new();
-    analyzer.walk_block(&program.body, &mut env);
-    analyzer.result
+    engine::run(program, registry, AnalysisMode::Interprocedural, None).analysis
+}
+
+/// Analyze application code only (the seed analyzer's scope). Used as the
+/// baseline in probe-count comparisons and by third-party-tool baselines.
+pub fn analyze_app_only(program: &Program, registry: &Registry) -> Analysis {
+    engine::run(program, registry, AnalysisMode::AppOnly, None).analysis
+}
+
+/// Run the full analysis: accesses, call graph, lints and hazard routing.
+pub fn analyze_full(
+    program: &Program,
+    registry: &Registry,
+    options: &AnalysisOptions,
+) -> FullAnalysis {
+    let out = engine::run(program, registry, options.mode, options.entry.as_deref());
+    FullAnalysis {
+        analysis: out.analysis,
+        load_time_accessed: out.load_time_accessed,
+        module_bindings: out.module_bindings,
+        lints: out.lints,
+        hazard_modules: out.hazard_modules,
+        call_graph: out.call_graph,
+        reached_functions: out.reached_functions,
+    }
 }
 
 /// Convenience: collect just the imported module names of a program
 /// (the "single pass over the AST" of §5.1), including nested imports
-/// inside functions and classes.
-pub fn imported_modules(program: &Program) -> BTreeSet<String> {
-    let registry = Registry::new();
-    analyze(program, &registry).imported_modules
-}
-
-impl<'a> Analyzer<'a> {
-    fn record_import(&mut self, dotted: &str) {
-        // `import a.b.c` pulls in a, a.b and a.b.c.
-        let mut prefix = String::new();
-        for part in dotted.split('.') {
-            if !prefix.is_empty() {
-                prefix.push('.');
-            }
-            prefix.push_str(part);
-            self.result.imported_modules.insert(prefix.clone());
-        }
-        self.result.direct_imports.insert(dotted.to_owned());
-    }
-
-    fn record_access(&mut self, module: &str, attr: &str) {
-        self.result
-            .accessed
-            .entry(module.to_owned())
-            .or_default()
-            .insert(attr.to_owned());
-    }
-
-    fn walk_block(&mut self, body: &[Stmt], env: &mut HashMap<String, Origin>) {
-        for stmt in body {
-            self.walk_stmt(stmt, env);
-        }
-    }
-
-    fn walk_stmt(&mut self, stmt: &Stmt, env: &mut HashMap<String, Origin>) {
-        match stmt {
-            Stmt::Import { items } => {
-                for item in items {
-                    self.record_import(&item.module);
-                    match &item.alias {
-                        Some(alias) => {
-                            env.insert(alias.clone(), Origin::Module(item.module.clone()));
-                        }
-                        None => {
-                            let top = item
-                                .module
-                                .split('.')
-                                .next()
-                                .expect("nonempty module path")
-                                .to_owned();
-                            env.insert(top.clone(), Origin::Module(top));
-                        }
-                    }
-                }
-            }
-            Stmt::FromImport { module, names } => {
-                self.record_import(module);
-                for (name, alias) in names {
-                    let bound = alias.as_deref().unwrap_or(name);
-                    let submodule = format!("{module}.{name}");
-                    if self.registry.contains(&submodule) {
-                        self.record_import(&submodule);
-                        // Importing a submodule via `from` counts as access.
-                        self.record_access(module, name);
-                        env.insert(bound.to_owned(), Origin::Module(submodule));
-                    } else {
-                        env.insert(
-                            bound.to_owned(),
-                            Origin::Attr(module.clone(), name.clone()),
-                        );
-                    }
-                }
-            }
-            Stmt::Assign { targets, value } => {
-                let origin = self.resolve(value, env);
-                for t in targets {
-                    match t {
-                        Expr::Name(n) => {
-                            env.insert(n.clone(), origin.clone());
-                        }
-                        other => {
-                            // Resolving the target records accesses on its base.
-                            self.resolve(other, env);
-                        }
-                    }
-                }
-            }
-            Stmt::AugAssign { target, value, .. } => {
-                self.resolve(target, env);
-                self.resolve(value, env);
-            }
-            Stmt::Expr(e) | Stmt::Raise(Some(e)) | Stmt::Del(e) => {
-                self.resolve(e, env);
-            }
-            Stmt::Raise(None) | Stmt::Pass | Stmt::Break | Stmt::Continue | Stmt::Global(_) => {}
-            Stmt::Return(e) => {
-                if let Some(e) = e {
-                    self.resolve(e, env);
-                }
-            }
-            Stmt::If { branches, orelse } => {
-                for (test, body) in branches {
-                    self.resolve(test, env);
-                    self.walk_block(body, env);
-                }
-                self.walk_block(orelse, env);
-            }
-            Stmt::While { test, body } => {
-                self.resolve(test, env);
-                self.walk_block(body, env);
-            }
-            Stmt::For { targets, iter, body } => {
-                self.resolve(iter, env);
-                for t in targets {
-                    env.insert(t.clone(), Origin::Unknown);
-                }
-                self.walk_block(body, env);
-            }
-            Stmt::FuncDef(f) => {
-                // Assume every defined function is reachable (the handler and
-                // its helpers): analyze the body in a child scope.
-                for p in &f.params {
-                    if let Some(d) = &p.default {
-                        self.resolve(d, env);
-                    }
-                }
-                let mut child = env.clone();
-                for p in &f.params {
-                    child.insert(p.name.clone(), Origin::Unknown);
-                }
-                self.walk_block(&f.body, &mut child);
-                env.insert(f.name.clone(), Origin::Unknown);
-            }
-            Stmt::ClassDef(c) => {
-                for base in &c.bases {
-                    // A base class reference is a use.
-                    self.resolve(&Expr::Name(base.clone()), env);
-                }
-                let mut child = env.clone();
-                self.walk_block(&c.body, &mut child);
-                env.insert(c.name.clone(), Origin::Unknown);
-            }
-            Stmt::Try {
-                body,
-                handlers,
-                orelse,
-                finalbody,
-            } => {
-                self.walk_block(body, env);
-                for h in handlers {
-                    let mut child = env.clone();
-                    if let Some(n) = &h.name {
-                        child.insert(n.clone(), Origin::Unknown);
-                    }
-                    self.walk_block(&h.body, &mut child);
-                }
-                self.walk_block(orelse, env);
-                self.walk_block(finalbody, env);
-            }
-            Stmt::Assert { test, msg } => {
-                self.resolve(test, env);
-                if let Some(m) = msg {
-                    self.resolve(m, env);
-                }
-            }
-        }
-    }
-
-    /// Resolve an expression to its origin, recording any module-attribute
-    /// accesses found along the way.
-    fn resolve(&mut self, e: &Expr, env: &mut HashMap<String, Origin>) -> Origin {
-        match e {
-            Expr::Name(n) => {
-                let origin = env.get(n).cloned().unwrap_or(Origin::Unknown);
-                if let Origin::Attr(m, a) = &origin {
-                    // Using a from-imported name is a definite access.
-                    let (m, a) = (m.clone(), a.clone());
-                    self.record_access(&m, &a);
-                }
-                origin
-            }
-            Expr::Attribute { value, attr } => {
-                let base = self.resolve(value, env);
-                match base {
-                    Origin::Module(m) => {
-                        self.record_access(&m, attr);
-                        let sub = format!("{m}.{attr}");
-                        if self.registry.contains(&sub) {
-                            Origin::Module(sub)
-                        } else {
-                            Origin::Attr(m, attr.clone())
-                        }
-                    }
-                    _ => Origin::Unknown,
-                }
-            }
-            Expr::Call { func, args, kwargs } => {
-                self.resolve(func, env);
-                for a in args {
-                    self.resolve(a, env);
-                }
-                for (_, v) in kwargs {
-                    self.resolve(v, env);
-                }
-                Origin::Unknown
-            }
-            Expr::Subscript { value, index } => {
-                self.resolve(value, env);
-                self.resolve(index, env);
-                Origin::Unknown
-            }
-            Expr::List(items) | Expr::Tuple(items) => {
-                for i in items {
-                    self.resolve(i, env);
-                }
-                Origin::Unknown
-            }
-            Expr::Dict(pairs) => {
-                for (k, v) in pairs {
-                    self.resolve(k, env);
-                    self.resolve(v, env);
-                }
-                Origin::Unknown
-            }
-            Expr::Unary { operand, .. } => {
-                self.resolve(operand, env);
-                Origin::Unknown
-            }
-            Expr::Binary { left, right, .. } => {
-                self.resolve(left, env);
-                self.resolve(right, env);
-                Origin::Unknown
-            }
-            Expr::Bool { values, .. } => {
-                for v in values {
-                    self.resolve(v, env);
-                }
-                Origin::Unknown
-            }
-            Expr::Compare { left, ops } => {
-                self.resolve(left, env);
-                for (_, v) in ops {
-                    self.resolve(v, env);
-                }
-                Origin::Unknown
-            }
-            Expr::Conditional { test, body, orelse } => {
-                self.resolve(test, env);
-                self.resolve(body, env);
-                self.resolve(orelse, env);
-                Origin::Unknown
-            }
-            Expr::ListComp {
-                element,
-                targets,
-                iter,
-                cond,
-            } => {
-                self.resolve(iter, env);
-                let mut child = env.clone();
-                for t in targets {
-                    child.insert(t.clone(), Origin::Unknown);
-                }
-                self.resolve(element, &mut child);
-                if let Some(c) = cond {
-                    self.resolve(c, &mut child);
-                }
-                Origin::Unknown
-            }
-            Expr::Slice { value, start, stop } => {
-                self.resolve(value, env);
-                if let Some(e) = start {
-                    self.resolve(e, env);
-                }
-                if let Some(e) = stop {
-                    self.resolve(e, env);
-                }
-                Origin::Unknown
-            }
-            _ => Origin::Unknown,
-        }
-    }
+/// inside functions and classes. The registry is consulted to resolve
+/// `from pkg import sub` submodule imports, exactly like [`analyze`].
+pub fn imported_modules(program: &Program, registry: &Registry) -> BTreeSet<String> {
+    analyze_app_only(program, registry).imported_modules
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::callgraph::CgNode;
+    use crate::lints::{LintKind, Severity};
     use pylite::parse;
 
     fn registry_with(mods: &[&str]) -> Registry {
@@ -372,6 +183,21 @@ mod tests {
         }
         r
     }
+
+    fn registry_src(mods: &[(&str, &str)]) -> Registry {
+        let mut r = Registry::new();
+        for (m, src) in mods {
+            r.set_module(*m, *src);
+        }
+        r
+    }
+
+    fn full(app: &str, registry: &Registry) -> FullAnalysis {
+        let p = parse(app).unwrap();
+        analyze_full(&p, registry, &AnalysisOptions::default())
+    }
+
+    // -- seed behavior (must keep passing) -------------------------------
 
     #[test]
     fn collects_direct_and_transitive_imports() {
@@ -413,7 +239,9 @@ mod tests {
     fn from_import_unused_is_not_accessed() {
         // §6.2: `from torch.nn import Linear, MSELoss` where MSELoss is never
         // used — DD must be allowed to remove it, so it must NOT be marked
-        // definitely-accessed.
+        // definitely-accessed. (This lazy rule applies to *application*
+        // scope; inside library modules the import executes at load time,
+        // see `library_from_imports_are_eager`.)
         let p = parse("from torch.nn import Linear, MSELoss\nx = Linear(2, 1)\n").unwrap();
         let a = analyze(&p, &registry_with(&["torch", "torch.nn"]));
         let attrs = a.accessed_attrs("torch.nn");
@@ -440,8 +268,9 @@ mod tests {
 
     #[test]
     fn nested_imports_inside_functions_are_found() {
-        let p = parse("def handler(event, context):\n    import lazy_lib\n    return lazy_lib.go()\n")
-            .unwrap();
+        let p =
+            parse("def handler(event, context):\n    import lazy_lib\n    return lazy_lib.go()\n")
+                .unwrap();
         let a = analyze(&p, &registry_with(&["lazy_lib"]));
         assert!(a.imported_modules.contains("lazy_lib"));
         assert!(a.accessed_attrs("lazy_lib").contains("go"));
@@ -480,9 +309,378 @@ mod tests {
     #[test]
     fn imported_modules_helper() {
         let p = parse("import a, b.c\n").unwrap();
-        let mods = imported_modules(&p);
+        let mods = imported_modules(&p, &Registry::new());
         assert!(mods.contains("a"));
         assert!(mods.contains("b"));
         assert!(mods.contains("b.c"));
+    }
+
+    #[test]
+    fn imported_modules_helper_resolves_submodules_via_registry() {
+        // The seed version of this helper consulted an *empty* registry, so
+        // `from pkg import sub` never registered `pkg.sub` as imported.
+        let p = parse("from pkg import sub\n").unwrap();
+        let mods = imported_modules(&p, &registry_with(&["pkg", "pkg.sub"]));
+        assert!(mods.contains("pkg.sub"));
+    }
+
+    // -- interprocedural engine ------------------------------------------
+
+    #[test]
+    fn return_values_propagate_module_origins() {
+        let r = registry_src(&[
+            (
+                "toolbox",
+                "import engine\ndef get_engine():\n    return engine\n",
+            ),
+            ("engine", ""),
+        ]);
+        let p = parse("import toolbox\ne = toolbox.get_engine()\nx = e.run()\n").unwrap();
+        let a = analyze(&p, &r);
+        assert!(a.accessed_attrs("toolbox").contains("get_engine"));
+        assert!(
+            a.accessed_attrs("engine").contains("run"),
+            "module origin must flow through the library function's return"
+        );
+    }
+
+    #[test]
+    fn arguments_propagate_to_parameters() {
+        let p = parse("import numpy\ndef use(m):\n    return m.zeros\nuse(numpy)\n").unwrap();
+        let a = analyze(&p, &registry_with(&["numpy"]));
+        assert!(
+            a.accessed_attrs("numpy").contains("zeros"),
+            "call-site argument must flow into the parameter"
+        );
+    }
+
+    #[test]
+    fn keyword_arguments_propagate_to_parameters() {
+        let p = parse("import numpy\ndef use(m):\n    return m.ones\nuse(m=numpy)\n").unwrap();
+        let a = analyze(&p, &registry_with(&["numpy"]));
+        assert!(a.accessed_attrs("numpy").contains("ones"));
+    }
+
+    #[test]
+    fn library_from_imports_are_eager() {
+        // Figure 7's re-export pattern: pkg/__init__ does
+        // `from pkg.core import fast_path`, which *executes* whenever pkg is
+        // imported — fast_path is definitely accessed even if the app never
+        // touches it.
+        let r = registry_src(&[
+            ("pkg", "from pkg.core import fast_path\n"),
+            (
+                "pkg.core",
+                "def fast_path():\n    return 1\ndef slow_path():\n    return 2\n",
+            ),
+        ]);
+        let p = parse("import pkg\n").unwrap();
+        let a = analyze(&p, &r);
+        let attrs = a.accessed_attrs("pkg.core");
+        assert!(attrs.contains("fast_path"));
+        assert!(!attrs.contains("slow_path"));
+        // The seed-scope analysis sees none of this.
+        let p2 = parse("import pkg\n").unwrap();
+        let app_only = analyze_app_only(&p2, &r);
+        assert!(app_only.accessed_attrs("pkg.core").is_empty());
+    }
+
+    #[test]
+    fn reexport_reads_through_to_source_module() {
+        let r = registry_src(&[
+            ("pkg", "from pkg.core import fast_path\n"),
+            ("pkg.core", "def fast_path():\n    return 1\n"),
+        ]);
+        let p = parse("import pkg\ny = pkg.fast_path()\n").unwrap();
+        let a = analyze(&p, &r);
+        assert!(a.accessed_attrs("pkg").contains("fast_path"));
+        assert!(a.accessed_attrs("pkg.core").contains("fast_path"));
+    }
+
+    #[test]
+    fn uncalled_library_function_bodies_stay_unanalyzed() {
+        // Library code that never runs must not contribute accesses: marking
+        // its dense self-references as definitely-accessed would force-keep
+        // attributes DD could otherwise trim.
+        let r = registry_src(&[
+            (
+                "libx",
+                "import helper\ndef used():\n    return 1\ndef unused():\n    return helper.secret\n",
+            ),
+            ("helper", ""),
+        ]);
+        let p = parse("import libx\nv = libx.used()\n").unwrap();
+        let a = analyze(&p, &r);
+        assert!(
+            !a.accessed_attrs("helper").contains("secret"),
+            "body of a never-called library function must not be analyzed"
+        );
+        assert!(a.accessed_attrs("libx").contains("used"));
+    }
+
+    #[test]
+    fn called_library_function_bodies_are_analyzed() {
+        let r = registry_src(&[
+            (
+                "libx",
+                "import helper\ndef go():\n    return helper.work()\n",
+            ),
+            ("helper", "def work():\n    return 3\n"),
+        ]);
+        let p = parse("import libx\nv = libx.go()\n").unwrap();
+        let a = analyze(&p, &r);
+        assert!(a.accessed_attrs("helper").contains("work"));
+    }
+
+    #[test]
+    fn tuple_elements_propagate() {
+        let p = parse(
+            "import numpy\nimport jsonish\npair = (numpy, jsonish)\na, b = pair\nx = a.zeros\ny = b.dumps\n",
+        )
+        .unwrap();
+        let a = analyze(&p, &registry_with(&["numpy", "jsonish"]));
+        assert!(a.accessed_attrs("numpy").contains("zeros"));
+        assert!(a.accessed_attrs("jsonish").contains("dumps"));
+        assert!(!a.accessed_attrs("numpy").contains("dumps"));
+    }
+
+    #[test]
+    fn list_indexing_propagates() {
+        let p = parse("import numpy\nmods = [numpy]\nx = mods[0].ones\n").unwrap();
+        let a = analyze(&p, &registry_with(&["numpy"]));
+        assert!(a.accessed_attrs("numpy").contains("ones"));
+    }
+
+    #[test]
+    fn dict_values_propagate_by_literal_key() {
+        let p = parse(
+            "import numpy\nimport jsonish\nd = {\"np\": numpy, \"js\": jsonish}\nx = d[\"np\"].zeros\n",
+        )
+        .unwrap();
+        let a = analyze(&p, &registry_with(&["numpy", "jsonish"]));
+        assert!(a.accessed_attrs("numpy").contains("zeros"));
+        assert!(
+            !a.accessed_attrs("jsonish").contains("zeros"),
+            "a literal key selects only its own value"
+        );
+    }
+
+    #[test]
+    fn conditional_joins_both_branches() {
+        let p = parse("import numpy\nimport jsonish\nm = numpy if flag else jsonish\nx = m.load\n")
+            .unwrap();
+        let a = analyze(&p, &registry_with(&["numpy", "jsonish"]));
+        assert!(a.accessed_attrs("numpy").contains("load"));
+        assert!(a.accessed_attrs("jsonish").contains("load"));
+    }
+
+    #[test]
+    fn for_loop_elements_propagate() {
+        let p = parse("import numpy\nfor m in [numpy]:\n    x = m.arange\n").unwrap();
+        let a = analyze(&p, &registry_with(&["numpy"]));
+        assert!(a.accessed_attrs("numpy").contains("arange"));
+    }
+
+    #[test]
+    fn dotted_class_bases_are_resolved() {
+        // Seed bug: `class Net(nn.Module)` looked up the literal name
+        // "nn.Module" and never recorded the access.
+        let p = parse("import torch.nn as nn\nclass Net(nn.Module):\n    pass\n").unwrap();
+        let a = analyze(&p, &registry_with(&["torch", "torch.nn"]));
+        assert!(a.accessed_attrs("torch.nn").contains("Module"));
+    }
+
+    #[test]
+    fn interprocedural_accesses_superset_of_app_only() {
+        let r = registry_src(&[
+            ("pkg", "from pkg.core import fast_path\nimport pkg.util\n"),
+            ("pkg.core", "def fast_path():\n    return 1\n"),
+            ("pkg.util", "LIMIT = 10\n"),
+        ]);
+        let src = "import pkg\ndef handler(event, context):\n    return pkg.fast_path()\n";
+        let inter = analyze(&parse(src).unwrap(), &r);
+        let app = analyze_app_only(&parse(src).unwrap(), &r);
+        for (m, attrs) in &app.accessed {
+            for attr in attrs {
+                assert!(
+                    inter.accessed_attrs(m).contains(attr),
+                    "interprocedural must subsume app-only ({m}.{attr})"
+                );
+            }
+        }
+    }
+
+    // -- call graph -------------------------------------------------------
+
+    #[test]
+    fn call_graph_tracks_reachability() {
+        let r = registry_src(&[("libx", "def go():\n    return 1\n")]);
+        let p = parse(
+            "import libx\ndef helper():\n    return libx.go()\ndef handler(event, context):\n    return helper()\n",
+        )
+        .unwrap();
+        let fa = analyze_full(
+            &p,
+            &r,
+            &AnalysisOptions {
+                entry: Some("handler".to_owned()),
+                ..AnalysisOptions::default()
+            },
+        );
+        let cg = &fa.call_graph;
+        assert!(cg.reachable.contains(&CgNode::AppFunc("handler".into())));
+        assert!(cg.reachable.contains(&CgNode::AppFunc("helper".into())));
+        assert!(cg
+            .reachable
+            .contains(&CgNode::LibFunc("libx".into(), "go".into())));
+        assert!(cg.reachable.contains(&CgNode::ModuleTop("libx".into())));
+        assert!(fa.reached_functions.contains("libx::go"));
+    }
+
+    #[test]
+    fn import_edges_point_at_module_tops() {
+        let r = registry_src(&[("pkg", "import pkg.core\n"), ("pkg.core", "")]);
+        let fa = full("import pkg\n", &r);
+        assert!(fa
+            .call_graph
+            .edges
+            .contains(&(CgNode::AppTop, CgNode::ModuleTop("pkg".into()))));
+        assert!(fa.call_graph.edges.contains(&(
+            CgNode::ModuleTop("pkg".into()),
+            CgNode::ModuleTop("pkg.core".into())
+        )));
+    }
+
+    // -- lints ------------------------------------------------------------
+
+    #[test]
+    fn lints_unused_import() {
+        let r = registry_with(&["numpy", "jsonish"]);
+        let fa = full("import numpy\nimport jsonish\nx = numpy.zeros\n", &r);
+        assert!(fa.lints.iter().any(|l| l.kind
+            == LintKind::UnusedImport {
+                module: "jsonish".into()
+            }));
+        assert!(!fa.lints.iter().any(|l| l.kind
+            == LintKind::UnusedImport {
+                module: "numpy".into()
+            }));
+    }
+
+    #[test]
+    fn lints_nonexistent_attribute() {
+        let r = registry_src(&[("m", "alpha = 1\n")]);
+        let fa = full("import m\nx = m.alpha\ny = m.beta\nm.gamma = 2\n", &r);
+        assert!(fa.lints.iter().any(|l| l.kind
+            == LintKind::NonexistentAttr {
+                module: "m".into(),
+                attr: "beta".into()
+            }));
+        // Writes define the attribute; reads of bound names are fine.
+        for attr in ["alpha", "gamma"] {
+            assert!(
+                !fa.lints.iter().any(|l| l.kind
+                    == LintKind::NonexistentAttr {
+                        module: "m".into(),
+                        attr: attr.into()
+                    }),
+                "{attr} must not be flagged"
+            );
+        }
+    }
+
+    #[test]
+    fn literal_getattr_is_info_and_not_recorded() {
+        let r = registry_src(&[("m", "alpha = 1\nrare = 2\n")]);
+        let fa = full("import m\nx = m.alpha\nt = getattr(m, \"rare\")\n", &r);
+        let lint = fa
+            .lints
+            .iter()
+            .find(|l| {
+                l.kind
+                    == LintKind::DynamicAttrAccess {
+                        module: Some("m".into()),
+                        attr: "rare".into(),
+                    }
+            })
+            .expect("literal getattr must be reported");
+        assert_eq!(lint.severity, Severity::Info);
+        // Deliberately not recorded: the runtime fallback serves it, and
+        // resolving it would defeat rarely-used-attribute trimming.
+        assert!(!fa.analysis.accessed_attrs("m").contains("rare"));
+        assert!(fa.hazard_modules.is_empty());
+    }
+
+    #[test]
+    fn opaque_getattr_is_a_hazard() {
+        let r = registry_src(&[("m", "alpha = 1\n")]);
+        let fa = full(
+            "import m\ndef handler(event, context):\n    return getattr(m, event)\n",
+            &r,
+        );
+        assert!(fa.lints.iter().any(|l| l.severity == Severity::Hazard
+            && l.kind
+                == LintKind::OpaqueAttrAccess {
+                    module: Some("m".into())
+                }));
+        assert!(fa.hazard_modules.contains("m"));
+    }
+
+    #[test]
+    fn star_import_is_a_hazard_and_binds_public_names() {
+        let r = registry_src(&[("m", "alpha = 1\n_hidden = 2\n")]);
+        let fa = full("from m import *\nx = alpha\n", &r);
+        assert!(fa.lints.iter().any(|l| l.severity == Severity::Hazard
+            && l.kind == LintKind::StarImport { module: "m".into() }));
+        assert!(fa.hazard_modules.contains("m"));
+        let attrs = fa.analysis.accessed_attrs("m");
+        assert!(attrs.contains("alpha"));
+        assert!(!attrs.contains("_hidden"));
+    }
+
+    #[test]
+    fn module_rebinding_is_a_hazard() {
+        let r = registry_with(&["m", "k"]);
+        let fa = full("import m\nimport k\nm = k\nx = m.attr\n", &r);
+        assert!(fa.lints.iter().any(|l| l.severity == Severity::Hazard
+            && l.kind
+                == LintKind::ModuleRebinding {
+                    name: "m".into(),
+                    module: "m".into()
+                }));
+        // A plain alias is not a rebinding.
+        let fa2 = full("import m\nm2 = m\nx = m2.attr\n", &r);
+        assert!(!fa2
+            .lints
+            .iter()
+            .any(|l| matches!(l.kind, LintKind::ModuleRebinding { .. })));
+    }
+
+    // -- load-time view ---------------------------------------------------
+
+    #[test]
+    fn load_time_accessed_excludes_handler_only_accesses() {
+        let r = registry_with(&["numpy"]);
+        let fa = full(
+            "import numpy\nx = numpy.zeros\ndef handler(event, context):\n    return numpy.ones\n",
+            &r,
+        );
+        let lt = fa
+            .load_time_accessed
+            .get("numpy")
+            .cloned()
+            .unwrap_or_default();
+        assert!(lt.contains("zeros"));
+        assert!(!lt.contains("ones"));
+        assert!(fa.analysis.accessed_attrs("numpy").contains("ones"));
+    }
+
+    #[test]
+    fn module_bindings_expose_attribute_surface() {
+        let r = registry_src(&[("m", "alpha = 1\ndef go():\n    return 2\n")]);
+        let fa = full("import m\n", &r);
+        let b = fa.module_bindings.get("m").cloned().unwrap_or_default();
+        assert!(b.contains("alpha"));
+        assert!(b.contains("go"));
     }
 }

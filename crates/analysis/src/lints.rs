@@ -1,0 +1,147 @@
+//! Debloat-soundness lints (§5.4 failure-avoidance, applied statically).
+//!
+//! The DD debloater's oracle only covers the inputs in the test suite;
+//! constructs that smuggle attribute names past the static analyzer make
+//! the *fallback rate* in production worse. The lint pass flags them and
+//! classifies each finding:
+//!
+//! * [`Severity::Info`] — worth knowing, no action taken (e.g. `getattr`
+//!   with a literal name: the runtime fallback of §5.4 covers it, and
+//!   resolving it statically would defeat rarely-used-attribute trimming).
+//! * [`Severity::Warning`] — likely a bug or dead code in the app.
+//! * [`Severity::Hazard`] — debloating the implicated module is unsound
+//!   under static reasoning; the pipeline routes it to the conservative
+//!   fallback deployment instead of DD-trimming it.
+
+use std::fmt;
+
+/// How serious a lint finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational; no behavior change.
+    Info,
+    /// Suspicious app code; debloating stays enabled.
+    Warning,
+    /// Debloating the implicated module is forced onto the fallback path.
+    Hazard,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Hazard => write!(f, "hazard"),
+        }
+    }
+}
+
+/// What a lint finding is about.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LintKind {
+    /// A module imported by the application but never used.
+    UnusedImport {
+        /// The imported module.
+        module: String,
+    },
+    /// An access to an attribute no statement of the module binds.
+    NonexistentAttr {
+        /// The accessed module.
+        module: String,
+        /// The missing attribute.
+        attr: String,
+    },
+    /// `getattr`/`setattr`/`hasattr` on a module with a **literal** name:
+    /// visible to the fallback machinery, deliberately not resolved.
+    DynamicAttrAccess {
+        /// The target module, when statically known.
+        module: Option<String>,
+        /// The literal attribute name.
+        attr: String,
+    },
+    /// `getattr`-family call whose attribute name is **not** a literal:
+    /// the accessed set is statically unknowable.
+    OpaqueAttrAccess {
+        /// The target module, when statically known.
+        module: Option<String>,
+    },
+    /// `from m import *` — every public attribute of `m` escapes.
+    StarImport {
+        /// The star-imported module.
+        module: String,
+    },
+    /// A name bound to a module was re-assigned to something else, hiding
+    /// subsequent accesses from the analyzer.
+    ModuleRebinding {
+        /// The rebound name.
+        name: String,
+        /// The module the name used to denote.
+        module: String,
+    },
+}
+
+/// One finding of the lint pass.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Lint {
+    /// Severity class (drives pipeline routing).
+    pub severity: Severity,
+    /// The finding itself.
+    pub kind: LintKind,
+}
+
+impl Lint {
+    /// The module whose debloating this finding implicates, if any.
+    pub fn implicated_module(&self) -> Option<&str> {
+        match &self.kind {
+            LintKind::UnusedImport { module } | LintKind::StarImport { module } => Some(module),
+            LintKind::NonexistentAttr { module, .. } => Some(module),
+            LintKind::DynamicAttrAccess { module, .. } | LintKind::OpaqueAttrAccess { module } => {
+                module.as_deref()
+            }
+            LintKind::ModuleRebinding { module, .. } => Some(module),
+        }
+    }
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] ", self.severity)?;
+        match &self.kind {
+            LintKind::UnusedImport { module } => {
+                write!(f, "module '{module}' is imported but never used")
+            }
+            LintKind::NonexistentAttr { module, attr } => {
+                write!(f, "module '{module}' has no attribute '{attr}'")
+            }
+            LintKind::DynamicAttrAccess { module, attr } => match module {
+                Some(m) => write!(
+                    f,
+                    "dynamic access to '{m}.{attr}' (literal name; covered by runtime fallback)"
+                ),
+                None => write!(f, "dynamic attribute access '{attr}' (literal name)"),
+            },
+            LintKind::OpaqueAttrAccess { module } => match module {
+                Some(m) => write!(
+                    f,
+                    "opaque dynamic attribute access on module '{m}': attribute name is not a \
+                     literal, debloating '{m}' falls back to conservative deployment"
+                ),
+                None => write!(f, "opaque dynamic attribute access (non-literal name)"),
+            },
+            LintKind::StarImport { module } => {
+                write!(
+                    f,
+                    "star import of '{module}': all public attributes escape, debloating \
+                     '{module}' falls back to conservative deployment"
+                )
+            }
+            LintKind::ModuleRebinding { name, module } => {
+                write!(
+                    f,
+                    "name '{name}' (module '{module}') is rebound: accesses after the rebind \
+                     are invisible to static analysis"
+                )
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! The origin lattice: what a name can statically refer to.
+//!
+//! The seed analyzer tracked a single [`Origin`] per name. The
+//! interprocedural engine upgrades this to a powerset lattice: every name
+//! maps to an [`OriginSet`] (join = set union, bottom = the empty set,
+//! which plays the role of the old `Unknown`). The atoms are finite for a
+//! given program + registry — module names are bounded by the registry,
+//! attribute pairs and function/site ids by the syntax — so the worklist
+//! fixpoint in [`crate::engine`] terminates.
+
+use std::collections::BTreeSet;
+
+/// Identifier of an analyzed function or method (index into the engine's
+/// function table).
+pub type FuncId = usize;
+
+/// Identifier of a container-literal site: `(unit, encounter index)`.
+/// Encounter indices are assigned in walk order, which is deterministic per
+/// unit, so a site keeps its identity across fixpoint iterations.
+pub type SiteId = (usize, usize);
+
+/// One atom of the origin lattice.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Origin {
+    /// A module object with the given dotted name.
+    Module(String),
+    /// An attribute of a module that the engine could not resolve further
+    /// (a data constant, or any attribute in app-only mode).
+    Attr(String, String),
+    /// A specific analyzed function or method.
+    Func(FuncId),
+    /// A tuple/list literal; elements live in the engine's site table.
+    Seq(SiteId),
+    /// A dict literal; entries live in the engine's site table.
+    Map(SiteId),
+}
+
+/// A set of possible origins. Empty = statically unknown.
+pub type OriginSet = BTreeSet<Origin>;
+
+/// Join `from` into `into`; returns true if `into` grew.
+pub fn join_into(into: &mut OriginSet, from: &OriginSet) -> bool {
+    let before = into.len();
+    into.extend(from.iter().cloned());
+    into.len() != before
+}

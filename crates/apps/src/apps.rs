@@ -140,7 +140,10 @@ fn generate_app(def: &AppDef) -> BenchApp {
     for u in &def.libs {
         let spec = library_spec(u.lib).expect("spec exists");
         let expr = lib_expr(u);
-        for (k, i) in used_indices(spec.init_attrs, u.used).into_iter().enumerate() {
+        for (k, i) in used_indices(spec.init_attrs, u.used)
+            .into_iter()
+            .enumerate()
+        {
             let attr = attr_name(spec.prefix, i);
             let _ = writeln!(src, "_u_{}_{k} = {expr}.{attr}", spec.prefix);
             if result_call.is_none() && attr_is_function(i) {
@@ -238,12 +241,29 @@ fn defs() -> Vec<AppDef> {
         AppDef {
             name: "huggingface",
             libs: vec![
-                LibUse { lib: "transformers", via: None, used: 6, sub_used: &[("models", 3)] },
+                LibUse {
+                    lib: "transformers",
+                    via: None,
+                    used: 6,
+                    sub_used: &[("models", 3)],
+                },
                 // transformers needs nearly all of torch at import time, so
                 // the app's effective torch usage is close to total — this is
                 // why huggingface's import only improves ~10% (Table 2) while
                 // resnet's torch trims down to 108 attributes (Table 3).
-                LibUse { lib: "torch", via: None, used: 1250, sub_used: &[("nn", 60), ("optim", 20), ("cuda", 12), ("autograd", 15), ("jit", 10), ("utils", 15)] },
+                LibUse {
+                    lib: "torch",
+                    via: None,
+                    used: 1250,
+                    sub_used: &[
+                        ("nn", 60),
+                        ("optim", 20),
+                        ("cuda", 12),
+                        ("autograd", 15),
+                        ("jit", 10),
+                        ("utils", 15),
+                    ],
+                },
             ],
             exec_ms: 860.0,
             extcalls: &[],
@@ -256,19 +276,43 @@ fn defs() -> Vec<AppDef> {
                 // Thin wrappers around ImageMagick + the AWS SDK: nearly all
                 // of both libraries is exercised, so trimming buys almost
                 // nothing (Fig. 8 shows ~no benefit for this app).
-                LibUse { lib: "wand", via: None, used: 36, sub_used: &[("image", 60), ("api", 10)] },
-                LibUse { lib: "boto3", via: None, used: 60, sub_used: &[("client", 25), ("session", 10)] },
+                LibUse {
+                    lib: "wand",
+                    via: None,
+                    used: 36,
+                    sub_used: &[("image", 60), ("api", 10)],
+                },
+                LibUse {
+                    lib: "boto3",
+                    via: None,
+                    used: 60,
+                    sub_used: &[("client", 25), ("session", 10)],
+                },
             ],
             exec_ms: 950.0,
-            extcalls: &[("s3", "get_object"), ("imagemagick", "resize"), ("s3", "put_object")],
+            extcalls: &[
+                ("s3", "get_object"),
+                ("imagemagick", "resize"),
+                ("s3", "put_object"),
+            ],
             paper: row(102.05, 0.42, 0.95, 1.88),
             example_module: "wand.image",
         },
         AppDef {
             name: "lightgbm",
             libs: vec![
-                LibUse { lib: "lightgbm", via: None, used: 8, sub_used: &[("basic", 3)] },
-                LibUse { lib: "numpy", via: None, used: 35, sub_used: &[] },
+                LibUse {
+                    lib: "lightgbm",
+                    via: None,
+                    used: 8,
+                    sub_used: &[("basic", 3)],
+                },
+                LibUse {
+                    lib: "numpy",
+                    via: None,
+                    used: 35,
+                    sub_used: &[],
+                },
             ],
             exec_ms: 40.0,
             extcalls: &[],
@@ -278,8 +322,18 @@ fn defs() -> Vec<AppDef> {
         AppDef {
             name: "lxml",
             libs: vec![
-                LibUse { lib: "requests", via: None, used: 12, sub_used: &[("models", 2)] },
-                LibUse { lib: "lxml", via: None, used: 20, sub_used: &[("html", 25)] },
+                LibUse {
+                    lib: "requests",
+                    via: None,
+                    used: 12,
+                    sub_used: &[("models", 2)],
+                },
+                LibUse {
+                    lib: "lxml",
+                    via: None,
+                    used: 20,
+                    sub_used: &[("html", 25)],
+                },
             ],
             exec_ms: 390.0,
             extcalls: &[("http", "get")],
@@ -289,8 +343,18 @@ fn defs() -> Vec<AppDef> {
         AppDef {
             name: "scikit",
             libs: vec![
-                LibUse { lib: "sklearn", via: None, used: 120, sub_used: &[("linear_model", 30), ("metrics", 20)] },
-                LibUse { lib: "joblib", via: Some("sklearn"), used: 15, sub_used: &[] },
+                LibUse {
+                    lib: "sklearn",
+                    via: None,
+                    used: 120,
+                    sub_used: &[("linear_model", 30), ("metrics", 20)],
+                },
+                LibUse {
+                    lib: "joblib",
+                    via: Some("sklearn"),
+                    used: 15,
+                    sub_used: &[],
+                },
             ],
             exec_ms: 10.0,
             extcalls: &[],
@@ -303,7 +367,12 @@ fn defs() -> Vec<AppDef> {
                 lib: "skimage",
                 via: None,
                 used: 1,
-                sub_used: &[("filters", 30), ("color", 20), ("transform", 25), ("io", 10)],
+                sub_used: &[
+                    ("filters", 30),
+                    ("color", 20),
+                    ("transform", 25),
+                    ("io", 10),
+                ],
             }],
             exec_ms: 100.0,
             extcalls: &[],
@@ -313,8 +382,18 @@ fn defs() -> Vec<AppDef> {
         AppDef {
             name: "tensorflow",
             libs: vec![
-                LibUse { lib: "tensorflow", via: None, used: 35, sub_used: &[("keras", 30), ("ops", 25), ("data", 10), ("io", 8)] },
-                LibUse { lib: "numpy", via: None, used: 20, sub_used: &[] },
+                LibUse {
+                    lib: "tensorflow",
+                    via: None,
+                    used: 35,
+                    sub_used: &[("keras", 30), ("ops", 25), ("data", 10), ("io", 8)],
+                },
+                LibUse {
+                    lib: "numpy",
+                    via: None,
+                    used: 20,
+                    sub_used: &[],
+                },
             ],
             exec_ms: 40.0,
             extcalls: &[],
@@ -324,10 +403,30 @@ fn defs() -> Vec<AppDef> {
         AppDef {
             name: "wine",
             libs: vec![
-                LibUse { lib: "numpy", via: None, used: 450, sub_used: &[("linalg", 30), ("random", 20)] },
-                LibUse { lib: "pandas", via: None, used: 40, sub_used: &[("core", 8)] },
-                LibUse { lib: "sklearn", via: None, used: 30, sub_used: &[("ensemble", 6)] },
-                LibUse { lib: "boto3", via: None, used: 10, sub_used: &[("client", 2)] },
+                LibUse {
+                    lib: "numpy",
+                    via: None,
+                    used: 450,
+                    sub_used: &[("linalg", 30), ("random", 20)],
+                },
+                LibUse {
+                    lib: "pandas",
+                    via: None,
+                    used: 40,
+                    sub_used: &[("core", 8)],
+                },
+                LibUse {
+                    lib: "sklearn",
+                    via: None,
+                    used: 30,
+                    sub_used: &[("ensemble", 6)],
+                },
+                LibUse {
+                    lib: "boto3",
+                    via: None,
+                    used: 10,
+                    sub_used: &[("client", 2)],
+                },
             ],
             exec_ms: 290.0,
             extcalls: &[("s3", "put_object")],
@@ -338,8 +437,18 @@ fn defs() -> Vec<AppDef> {
         AppDef {
             name: "dna-visualization",
             libs: vec![
-                LibUse { lib: "squiggle", via: None, used: 10, sub_used: &[("plot", 4)] },
-                LibUse { lib: "numpy", via: Some("squiggle"), used: 30, sub_used: &[] },
+                LibUse {
+                    lib: "squiggle",
+                    via: None,
+                    used: 10,
+                    sub_used: &[("plot", 4)],
+                },
+                LibUse {
+                    lib: "numpy",
+                    via: Some("squiggle"),
+                    used: 30,
+                    sub_used: &[],
+                },
             ],
             exec_ms: 20.0,
             extcalls: &[],
@@ -348,7 +457,12 @@ fn defs() -> Vec<AppDef> {
         },
         AppDef {
             name: "ffmpeg",
-            libs: vec![LibUse { lib: "ffmpeg", via: None, used: 8, sub_used: &[("probe", 2)] }],
+            libs: vec![LibUse {
+                lib: "ffmpeg",
+                via: None,
+                used: 8,
+                sub_used: &[("probe", 2)],
+            }],
             exec_ms: 2500.0,
             extcalls: &[("ffmpeg", "transcode")],
             paper: row(297.00, 0.06, 2.50, 3.07),
@@ -356,7 +470,12 @@ fn defs() -> Vec<AppDef> {
         },
         AppDef {
             name: "igraph",
-            libs: vec![LibUse { lib: "igraph", via: None, used: 40, sub_used: &[("drawing", 5)] }],
+            libs: vec![LibUse {
+                lib: "igraph",
+                via: None,
+                used: 40,
+                sub_used: &[("drawing", 5)],
+            }],
             exec_ms: 10.0,
             extcalls: &[],
             paper: row(40.00, 0.09, 0.01, 0.59),
@@ -364,7 +483,12 @@ fn defs() -> Vec<AppDef> {
         },
         AppDef {
             name: "markdown",
-            libs: vec![LibUse { lib: "markdown", via: None, used: 10, sub_used: &[] }],
+            libs: vec![LibUse {
+                lib: "markdown",
+                via: None,
+                used: 10,
+                sub_used: &[],
+            }],
             exec_ms: 30.0,
             extcalls: &[],
             paper: row(32.21, 0.04, 0.03, 0.54),
@@ -373,9 +497,24 @@ fn defs() -> Vec<AppDef> {
         AppDef {
             name: "resnet",
             libs: vec![
-                LibUse { lib: "torch", via: None, used: 70, sub_used: &[("nn", 20), ("utils", 5)] },
-                LibUse { lib: "numpy", via: None, used: 40, sub_used: &[] },
-                LibUse { lib: "PIL", via: None, used: 10, sub_used: &[("image", 8)] },
+                LibUse {
+                    lib: "torch",
+                    via: None,
+                    used: 70,
+                    sub_used: &[("nn", 20), ("utils", 5)],
+                },
+                LibUse {
+                    lib: "numpy",
+                    via: None,
+                    used: 40,
+                    sub_used: &[],
+                },
+                LibUse {
+                    lib: "PIL",
+                    via: None,
+                    used: 10,
+                    sub_used: &[("image", 8)],
+                },
             ],
             exec_ms: 5300.0,
             extcalls: &[],
@@ -385,8 +524,18 @@ fn defs() -> Vec<AppDef> {
         AppDef {
             name: "textblob",
             libs: vec![
-                LibUse { lib: "textblob", via: None, used: 25, sub_used: &[("en", 5)] },
-                LibUse { lib: "nltk", via: Some("textblob"), used: 6, sub_used: &[] },
+                LibUse {
+                    lib: "textblob",
+                    via: None,
+                    used: 25,
+                    sub_used: &[("en", 5)],
+                },
+                LibUse {
+                    lib: "nltk",
+                    via: Some("textblob"),
+                    used: 6,
+                    sub_used: &[],
+                },
             ],
             exec_ms: 380.0,
             extcalls: &[],
@@ -410,10 +559,30 @@ fn defs() -> Vec<AppDef> {
         AppDef {
             name: "epub-pdf",
             libs: vec![
-                LibUse { lib: "reportlab", via: None, used: 20, sub_used: &[("pdfgen", 5)] },
-                LibUse { lib: "pptx", via: None, used: 12, sub_used: &[("util", 3)] },
-                LibUse { lib: "docx", via: None, used: 10, sub_used: &[("oxml", 3)] },
-                LibUse { lib: "boto3", via: None, used: 8, sub_used: &[("client", 2)] },
+                LibUse {
+                    lib: "reportlab",
+                    via: None,
+                    used: 20,
+                    sub_used: &[("pdfgen", 5)],
+                },
+                LibUse {
+                    lib: "pptx",
+                    via: None,
+                    used: 12,
+                    sub_used: &[("util", 3)],
+                },
+                LibUse {
+                    lib: "docx",
+                    via: None,
+                    used: 10,
+                    sub_used: &[("oxml", 3)],
+                },
+                LibUse {
+                    lib: "boto3",
+                    via: None,
+                    used: 8,
+                    sub_used: &[("client", 2)],
+                },
             ],
             exec_ms: 1430.0,
             extcalls: &[("s3", "get_object"), ("s3", "put_object")],
@@ -422,7 +591,12 @@ fn defs() -> Vec<AppDef> {
         },
         AppDef {
             name: "jsym",
-            libs: vec![LibUse { lib: "sympy", via: None, used: 18, sub_used: &[("core", 4)] }],
+            libs: vec![LibUse {
+                lib: "sympy",
+                via: None,
+                used: 18,
+                sub_used: &[("core", 4)],
+            }],
             exec_ms: 310.0,
             extcalls: &[],
             paper: row(83.01, 0.56, 0.31, 1.36),
@@ -431,8 +605,18 @@ fn defs() -> Vec<AppDef> {
         AppDef {
             name: "pandas",
             libs: vec![
-                LibUse { lib: "numpy", via: None, used: 30, sub_used: &[] },
-                LibUse { lib: "pandas", via: None, used: 10, sub_used: &[("core", 3)] },
+                LibUse {
+                    lib: "numpy",
+                    via: None,
+                    used: 30,
+                    sub_used: &[],
+                },
+                LibUse {
+                    lib: "pandas",
+                    via: None,
+                    used: 10,
+                    sub_used: &[("core", 3)],
+                },
             ],
             exec_ms: 10.0,
             extcalls: &[],
@@ -442,8 +626,18 @@ fn defs() -> Vec<AppDef> {
         AppDef {
             name: "qiskit-nature",
             libs: vec![
-                LibUse { lib: "qiskit_nature", via: None, used: 15, sub_used: &[("drivers", 3)] },
-                LibUse { lib: "qiskit", via: Some("qiskit_nature"), used: 8, sub_used: &[] },
+                LibUse {
+                    lib: "qiskit_nature",
+                    via: None,
+                    used: 15,
+                    sub_used: &[("drivers", 3)],
+                },
+                LibUse {
+                    lib: "qiskit",
+                    via: Some("qiskit_nature"),
+                    used: 8,
+                    sub_used: &[],
+                },
             ],
             exec_ms: 490.0,
             extcalls: &[],
@@ -453,8 +647,18 @@ fn defs() -> Vec<AppDef> {
         AppDef {
             name: "shapely-numpy",
             libs: vec![
-                LibUse { lib: "numpy", via: None, used: 25, sub_used: &[] },
-                LibUse { lib: "shapely", via: None, used: 10, sub_used: &[("geometry", 3)] },
+                LibUse {
+                    lib: "numpy",
+                    via: None,
+                    used: 25,
+                    sub_used: &[],
+                },
+                LibUse {
+                    lib: "shapely",
+                    via: None,
+                    used: 10,
+                    sub_used: &[("geometry", 3)],
+                },
             ],
             exec_ms: 10.0,
             extcalls: &[],
@@ -464,8 +668,18 @@ fn defs() -> Vec<AppDef> {
         AppDef {
             name: "spacy",
             libs: vec![
-                LibUse { lib: "spacy", via: None, used: 15, sub_used: &[("lang", 4), ("tokens", 3)] },
-                LibUse { lib: "boto3", via: None, used: 8, sub_used: &[("client", 2)] },
+                LibUse {
+                    lib: "spacy",
+                    via: None,
+                    used: 15,
+                    sub_used: &[("lang", 4), ("tokens", 3)],
+                },
+                LibUse {
+                    lib: "boto3",
+                    via: None,
+                    used: 8,
+                    sub_used: &[("client", 2)],
+                },
             ],
             exec_ms: 20.0,
             extcalls: &[("s3", "get_object")],

@@ -283,8 +283,10 @@ mod tests {
         let mut r = Registry::new();
         generate_library(&toy_spec(), &mut r);
         let mut it = Interpreter::new(r);
-        it.exec_main("import toylib\nprint(toylib.toy_ops_a0(2))\nprint(toylib.ops.toy_ops_a0(3))\n")
-            .unwrap();
+        it.exec_main(
+            "import toylib\nprint(toylib.toy_ops_a0(2))\nprint(toylib.ops.toy_ops_a0(3))\n",
+        )
+        .unwrap();
         assert_eq!(it.stdout, vec!["2", "3"]);
     }
 

@@ -8,7 +8,13 @@
 
 use crate::libgen::{LibSpec, SubSpec};
 
-fn sub(name: &'static str, attrs: usize, import_ms: f64, alloc_mb: f64, reexports: usize) -> SubSpec {
+fn sub(
+    name: &'static str,
+    attrs: usize,
+    import_ms: f64,
+    alloc_mb: f64,
+    reexports: usize,
+) -> SubSpec {
     SubSpec {
         name,
         attrs,
@@ -540,9 +546,15 @@ mod tests {
     fn table3_submodule_example_counts() {
         // wand.image (91) and lxml.html (84) are submodules in Table 3.
         let wand = library_spec("wand").unwrap();
-        assert_eq!(wand.subs.iter().find(|s| s.name == "image").unwrap().attrs, 91);
+        assert_eq!(
+            wand.subs.iter().find(|s| s.name == "image").unwrap().attrs,
+            91
+        );
         let lxml = library_spec("lxml").unwrap();
-        assert_eq!(lxml.subs.iter().find(|s| s.name == "html").unwrap().attrs, 84);
+        assert_eq!(
+            lxml.subs.iter().find(|s| s.name == "html").unwrap().attrs,
+            84
+        );
     }
 
     #[test]
@@ -566,7 +578,11 @@ mod tests {
         let names: Vec<&str> = library_specs().iter().map(|l| l.name).collect();
         for spec in library_specs() {
             for dep in &spec.deps {
-                assert!(names.contains(dep), "{} depends on missing {dep}", spec.name);
+                assert!(
+                    names.contains(dep),
+                    "{} depends on missing {dep}",
+                    spec.name
+                );
             }
         }
     }

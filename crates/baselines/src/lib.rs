@@ -267,15 +267,9 @@ fn target_names(target: &Expr) -> Vec<String> {
 /// FaaSLight-style statement-level reachability trim of one module.
 ///
 /// Returns the rewritten program and the removed attribute names.
-fn faaslight_trim_module(
-    program: &Program,
-    roots: &BTreeSet<String>,
-) -> (Program, Vec<String>) {
-    let stmts: Vec<(Vec<String>, BTreeSet<String>)> = program
-        .body
-        .iter()
-        .map(stmt_bindings_and_refs)
-        .collect();
+fn faaslight_trim_module(program: &Program, roots: &BTreeSet<String>) -> (Program, Vec<String>) {
+    let stmts: Vec<(Vec<String>, BTreeSet<String>)> =
+        program.body.iter().map(stmt_bindings_and_refs).collect();
     // Fixpoint: a statement is live if it binds nothing (executes for
     // effect) or binds a live name. Live statements make their referenced
     // names live.
@@ -335,7 +329,10 @@ pub fn faaslight_trim(
 ) -> Result<BaselineReport, TrimError> {
     let before = run_app(registry, app_source, spec).map_err(TrimError::Baseline)?;
     let app_program = pylite::parse(app_source).map_err(TrimError::Parse)?;
-    let analysis = trim_analysis::analyze(&app_program, registry);
+    // App-scope analysis only: FaaSLight's reachability does not model
+    // library-internal re-export semantics, and the baseline should not
+    // inherit λ-trim's interprocedural engine.
+    let analysis = trim_analysis::analyze_app_only(&app_program, registry);
 
     // Roots per module: attributes the app's call graph touches, plus names
     // referenced from *other* modules' sources (a static over-approximation

@@ -1,0 +1,35 @@
+//! Probe-count comparison: DD oracle invocations with the app-only static
+//! analysis (seed behavior) vs the interprocedural analysis. A larger
+//! up-front exclusion set means fewer DD probes for the same final trim.
+
+use std::hint::black_box;
+use trim_bench::micro::Runner;
+use trim_core::{trim_app, AnalysisMode, DebloatOptions};
+
+fn main() {
+    let runner = Runner::new();
+    // markdown is a control (no library re-exports, counts match); the
+    // other three have __init__-style re-export chains where the eager
+    // interprocedural exclusions collapse the DD search.
+    for name in ["markdown", "scikit", "textblob", "dna-visualization"] {
+        let bench = trim_apps::app(name).expect("corpus app");
+        for (label, mode) in [
+            ("app-only", AnalysisMode::AppOnly),
+            ("interprocedural", AnalysisMode::Interprocedural),
+        ] {
+            let options = DebloatOptions {
+                analysis: mode,
+                ..DebloatOptions::default()
+            };
+            let probes = trim_app(&bench.registry, &bench.app_source, &bench.spec, &options)
+                .unwrap()
+                .oracle_invocations;
+            println!("analysis-probes/{name}/{label}: {probes} oracle probes");
+            runner.bench(&format!("analysis-probes/{name}/{label}"), || {
+                let report =
+                    trim_app(&bench.registry, &bench.app_source, &bench.spec, &options).unwrap();
+                black_box(report.oracle_invocations)
+            });
+        }
+    }
+}

@@ -1,8 +1,8 @@
-//! Criterion benches for the Delta Debugging core: scaling with component
+//! Micro-benches for the Delta Debugging core: scaling with component
 //! count, the probe-cache ablation, and parallel probing.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use trim_bench::micro::Runner;
 use trim_dd::{ddmin, ddmin_parallel, ddmin_with, DdOptions};
 
 /// A monotone oracle requiring `needed` components spread over the range.
@@ -13,90 +13,67 @@ fn spread_oracle(n: u32, needed: usize) -> (Vec<u32>, Vec<u32>) {
     (items, required)
 }
 
-fn bench_ddmin_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ddmin/scaling");
+fn main() {
+    let runner = Runner::new();
+
     for &n in &[64u32, 256, 1024, 4096] {
         let (items, required) = spread_oracle(n, 8);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                let r = ddmin(&items, &mut |s: &[u32]| {
-                    required.iter().all(|x| s.contains(x))
-                })
-                .unwrap();
-                black_box(r.minimized.len())
+        runner.bench(&format!("ddmin/scaling/{n}"), || {
+            let r = ddmin(&items, &mut |s: &[u32]| {
+                required.iter().all(|x| s.contains(x))
             })
+            .unwrap();
+            black_box(r.minimized.len())
         });
     }
-    group.finish();
-}
 
-fn bench_probe_cache_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ddmin/probe-cache");
     let (items, required) = spread_oracle(512, 12);
     for (label, cache) in [("cached", true), ("uncached", false)] {
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                let r = ddmin_with(
-                    &items,
-                    &mut |s: &[u32]| required.iter().all(|x| s.contains(x)),
-                    DdOptions {
-                        cache,
-                        ..DdOptions::default()
-                    },
-                )
-                .unwrap();
-                black_box(r.stats.oracle_invocations)
-            })
+        runner.bench(&format!("ddmin/probe-cache/{label}"), || {
+            let r = ddmin_with(
+                &items,
+                &mut |s: &[u32]| required.iter().all(|x| s.contains(x)),
+                DdOptions {
+                    cache,
+                    ..DdOptions::default()
+                },
+            )
+            .unwrap();
+            black_box(r.stats.oracle_invocations)
         });
     }
-    group.finish();
-}
 
-fn bench_parallel_dd(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ddmin/parallel");
     let (items, required) = spread_oracle(1024, 10);
     // Make each oracle call non-trivially expensive so parallelism matters.
     let slow_oracle = move |s: &[u32]| {
         let mut acc = 0u64;
         for _ in 0..2_000 {
-            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(s.len() as u64);
+            acc = acc
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(s.len() as u64);
         }
         black_box(acc);
         required.iter().all(|x| s.contains(x))
     };
-    group.bench_function("sequential", |b| {
+    {
         let mut oracle = slow_oracle.clone();
-        b.iter(|| black_box(ddmin(&items, &mut oracle).unwrap().minimized.len()))
-    });
-    for threads in [2usize, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("threads", threads),
-            &threads,
-            |b, &threads| {
-                b.iter(|| {
-                    let oracle = slow_oracle.clone();
-                    let r = ddmin_parallel(
-                        &items,
-                        move || {
-                            let o = oracle.clone();
-                            Box::new(move |s: &[u32]| o(s))
-                                as Box<dyn FnMut(&[u32]) -> bool + Send>
-                        },
-                        threads,
-                    )
-                    .unwrap();
-                    black_box(r.minimized.len())
-                })
-            },
-        );
+        runner.bench("ddmin/parallel/sequential", || {
+            black_box(ddmin(&items, &mut oracle).unwrap().minimized.len())
+        });
     }
-    group.finish();
+    for threads in [2usize, 4, 8] {
+        runner.bench(&format!("ddmin/parallel/threads-{threads}"), || {
+            let oracle = slow_oracle.clone();
+            let r = ddmin_parallel(
+                &items,
+                move || {
+                    let o = oracle.clone();
+                    Box::new(move |s: &[u32]| o(s)) as Box<dyn FnMut(&[u32]) -> bool + Send>
+                },
+                threads,
+            )
+            .unwrap();
+            black_box(r.minimized.len())
+        });
+    }
 }
-
-criterion_group!(
-    benches,
-    bench_ddmin_scaling,
-    bench_probe_cache_ablation,
-    bench_parallel_dd
-);
-criterion_main!(benches);

@@ -2,16 +2,16 @@
 //! (λ-trim) vs statement-granularity static trimming (FaaSLight-style),
 //! measured on trim quality proxies and wall-clock.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use trim_bench::micro::Runner;
 use trim_core::{trim_app, DebloatOptions};
 
-fn bench_granularity(c: &mut Criterion) {
-    let bench = trim_apps::app("lightgbm").expect("lightgbm app");
-    let mut group = c.benchmark_group("ablation/granularity");
-    group.sample_size(10);
-    group.bench_function("attribute-dd", |b| {
-        b.iter(|| {
+fn main() {
+    let runner = Runner::new();
+
+    {
+        let bench = trim_apps::app("lightgbm").expect("lightgbm app");
+        runner.bench("ablation/granularity/attribute-dd", || {
             let r = trim_app(
                 &bench.registry,
                 &bench.app_source,
@@ -20,53 +20,42 @@ fn bench_granularity(c: &mut Criterion) {
             )
             .unwrap();
             black_box(r.attrs_removed())
-        })
-    });
-    group.bench_function("statement-static", |b| {
-        b.iter(|| {
+        });
+        runner.bench("ablation/granularity/statement-static", || {
             let r = trim_baselines::faaslight_trim(&bench.registry, &bench.app_source, &bench.spec)
                 .unwrap();
             black_box(r.attrs_removed())
-        })
-    });
-    group.bench_function("deadcode-static", |b| {
-        b.iter(|| {
+        });
+        runner.bench("ablation/granularity/deadcode-static", || {
             let r = trim_baselines::vulture_trim(&bench.registry, &bench.app_source, &bench.spec)
                 .unwrap();
             black_box(r.attrs_removed())
-        })
-    });
-    group.finish();
-}
-
-fn bench_scoring_methods(c: &mut Criterion) {
-    use trim_profiler::{profile_app, top_k, ScoringMethod};
-    let bench = trim_apps::app("spacy").expect("spacy app");
-    let profile = profile_app(&bench.app_source, &bench.registry).unwrap();
-    let mut group = c.benchmark_group("ablation/scoring");
-    for method in [
-        ScoringMethod::Time,
-        ScoringMethod::Memory,
-        ScoringMethod::Combined,
-        ScoringMethod::Random { seed: 7 },
-    ] {
-        group.bench_function(method.name(), |b| {
-            b.iter(|| black_box(top_k(&profile, method, 20).len()))
         });
     }
-    group.finish();
-}
 
-fn bench_algorithms(c: &mut Criterion) {
-    let bench = trim_apps::app("igraph").expect("igraph app");
-    let mut group = c.benchmark_group("ablation/algorithm");
-    group.sample_size(10);
-    for (label, algorithm) in [
-        ("ddmin", trim_core::Algorithm::Ddmin),
-        ("greedy", trim_core::Algorithm::Greedy),
-    ] {
-        group.bench_function(label, |b| {
-            b.iter(|| {
+    {
+        use trim_profiler::{profile_app, top_k, ScoringMethod};
+        let bench = trim_apps::app("spacy").expect("spacy app");
+        let profile = profile_app(&bench.app_source, &bench.registry).unwrap();
+        for method in [
+            ScoringMethod::Time,
+            ScoringMethod::Memory,
+            ScoringMethod::Combined,
+            ScoringMethod::Random { seed: 7 },
+        ] {
+            runner.bench(&format!("ablation/scoring/{}", method.name()), || {
+                black_box(top_k(&profile, method, 20).len())
+            });
+        }
+    }
+
+    {
+        let bench = trim_apps::app("igraph").expect("igraph app");
+        for (label, algorithm) in [
+            ("ddmin", trim_core::Algorithm::Ddmin),
+            ("greedy", trim_core::Algorithm::Greedy),
+        ] {
+            runner.bench(&format!("ablation/algorithm/{label}"), || {
                 let r = trim_app(
                     &bench.registry,
                     &bench.app_source,
@@ -78,26 +67,21 @@ fn bench_algorithms(c: &mut Criterion) {
                 )
                 .unwrap();
                 black_box((r.attrs_removed(), r.oracle_invocations))
-            })
-        });
+            });
+        }
     }
-    group.finish();
-}
 
-fn bench_incremental(c: &mut Criterion) {
-    let bench = trim_apps::app("markdown").expect("markdown app");
-    let cold = trim_app(
-        &bench.registry,
-        &bench.app_source,
-        &bench.spec,
-        &DebloatOptions::default(),
-    )
-    .unwrap();
-    let log = trim_core::TrimLog::from_report(&cold);
-    let mut group = c.benchmark_group("ablation/incremental");
-    group.sample_size(10);
-    group.bench_function("cold-trim", |b| {
-        b.iter(|| {
+    {
+        let bench = trim_apps::app("markdown").expect("markdown app");
+        let cold = trim_app(
+            &bench.registry,
+            &bench.app_source,
+            &bench.spec,
+            &DebloatOptions::default(),
+        )
+        .unwrap();
+        let log = trim_core::TrimLog::from_report(&cold);
+        runner.bench("ablation/incremental/cold-trim", || {
             black_box(
                 trim_app(
                     &bench.registry,
@@ -108,10 +92,8 @@ fn bench_incremental(c: &mut Criterion) {
                 .unwrap()
                 .oracle_invocations,
             )
-        })
-    });
-    group.bench_function("seeded-retrim", |b| {
-        b.iter(|| {
+        });
+        runner.bench("ablation/incremental/seeded-retrim", || {
             black_box(
                 trim_core::retrim_with_log(
                     &bench.registry,
@@ -123,16 +105,6 @@ fn bench_incremental(c: &mut Criterion) {
                 .unwrap()
                 .oracle_invocations,
             )
-        })
-    });
-    group.finish();
+        });
+    }
 }
-
-criterion_group!(
-    benches,
-    bench_granularity,
-    bench_scoring_methods,
-    bench_algorithms,
-    bench_incremental
-);
-criterion_main!(benches);

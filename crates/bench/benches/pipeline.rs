@@ -1,92 +1,71 @@
-//! Criterion benches for the full λ-trim pipeline and its stages.
+//! Micro-benches for the full λ-trim pipeline and its stages.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use trim_bench::micro::Runner;
 use trim_core::{trim_app, DebloatOptions};
 use trim_profiler::{profile_app, rank_modules, ScoringMethod};
 
-fn bench_static_analysis(c: &mut Criterion) {
-    let bench = trim_apps::app("wine").expect("wine app");
-    let program = pylite::parse(&bench.app_source).unwrap();
-    c.bench_function("pipeline/static-analysis-wine", |b| {
-        b.iter(|| black_box(trim_analysis::analyze(&program, &bench.registry).accessed.len()))
-    });
-}
+fn main() {
+    let runner = Runner::new();
 
-fn bench_profiler(c: &mut Criterion) {
-    let bench = trim_apps::app("resnet").expect("resnet app");
-    let mut group = c.benchmark_group("pipeline/profiler");
-    group.bench_function("profile-resnet", |b| {
-        b.iter(|| {
+    {
+        let bench = trim_apps::app("wine").expect("wine app");
+        let program = pylite::parse(&bench.app_source).unwrap();
+        runner.bench("pipeline/static-analysis-wine", || {
+            black_box(
+                trim_analysis::analyze(&program, &bench.registry)
+                    .accessed
+                    .len(),
+            )
+        });
+    }
+
+    {
+        let bench = trim_apps::app("resnet").expect("resnet app");
+        runner.bench("pipeline/profiler/profile-resnet", || {
             black_box(
                 profile_app(&bench.app_source, &bench.registry)
                     .unwrap()
                     .modules
                     .len(),
             )
-        })
-    });
-    let profile = profile_app(&bench.app_source, &bench.registry).unwrap();
-    group.bench_function("rank-combined", |b| {
-        b.iter(|| black_box(rank_modules(&profile, ScoringMethod::Combined).len()))
-    });
-    group.finish();
-}
+        });
+        let profile = profile_app(&bench.app_source, &bench.registry).unwrap();
+        runner.bench("pipeline/profiler/rank-combined", || {
+            black_box(rank_modules(&profile, ScoringMethod::Combined).len())
+        });
+    }
 
-fn bench_full_pipeline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pipeline/trim-app");
-    group.sample_size(10);
     for name in ["markdown", "igraph", "lightgbm"] {
         let bench = trim_apps::app(name).expect("corpus app");
-        group.bench_with_input(BenchmarkId::from_parameter(name), &bench, |b, bench| {
-            b.iter(|| {
+        runner.bench(&format!("pipeline/trim-app/{name}"), || {
+            let report = trim_app(
+                &bench.registry,
+                &bench.app_source,
+                &bench.spec,
+                &DebloatOptions::default(),
+            )
+            .unwrap();
+            black_box(report.attrs_removed())
+        });
+    }
+
+    {
+        let bench = trim_apps::app("dna-visualization").expect("dna app");
+        for threads in [1usize, 4] {
+            runner.bench(&format!("pipeline/parallel-dd/{threads}"), || {
                 let report = trim_app(
                     &bench.registry,
                     &bench.app_source,
                     &bench.spec,
-                    &DebloatOptions::default(),
+                    &DebloatOptions {
+                        threads,
+                        ..DebloatOptions::default()
+                    },
                 )
                 .unwrap();
                 black_box(report.attrs_removed())
-            })
-        });
+            });
+        }
     }
-    group.finish();
 }
-
-fn bench_parallel_pipeline(c: &mut Criterion) {
-    let bench = trim_apps::app("dna-visualization").expect("dna app");
-    let mut group = c.benchmark_group("pipeline/parallel-dd");
-    group.sample_size(10);
-    for threads in [1usize, 4] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(threads),
-            &threads,
-            |b, &threads| {
-                b.iter(|| {
-                    let report = trim_app(
-                        &bench.registry,
-                        &bench.app_source,
-                        &bench.spec,
-                        &DebloatOptions {
-                            threads,
-                            ..DebloatOptions::default()
-                        },
-                    )
-                    .unwrap();
-                    black_box(report.attrs_removed())
-                })
-            },
-        );
-    }
-    group.finish();
-}
-
-criterion_group!(
-    benches,
-    bench_static_analysis,
-    bench_profiler,
-    bench_full_pipeline,
-    bench_parallel_pipeline
-);
-criterion_main!(benches);

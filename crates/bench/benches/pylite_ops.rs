@@ -1,92 +1,64 @@
-//! Criterion benches for the pylite substrate: lexing, parsing, unparsing,
+//! Micro-benches for the pylite substrate: lexing, parsing, unparsing,
 //! module import, and full application initialization.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pylite::{Interpreter, Registry};
 use std::hint::black_box;
+use trim_bench::micro::Runner;
 
 fn numpy_registry() -> Registry {
     let bench = trim_apps::app("pandas").expect("pandas app");
     bench.registry
 }
 
-fn bench_lex_parse(c: &mut Criterion) {
+fn main() {
+    let runner = Runner::new();
     let registry = numpy_registry();
     let src = registry.source("numpy").expect("numpy source").to_owned();
-    let mut group = c.benchmark_group("pylite/frontend");
-    group.throughput(Throughput::Bytes(src.len() as u64));
-    group.bench_function("lex-numpy", |b| {
-        b.iter(|| black_box(pylite::lexer::lex(&src).unwrap().len()))
+
+    runner.bench("pylite/frontend/lex-numpy", || {
+        black_box(pylite::lexer::lex(&src).unwrap().len())
     });
-    group.bench_function("parse-numpy", |b| {
-        b.iter(|| black_box(pylite::parse(&src).unwrap().body.len()))
+    runner.bench("pylite/frontend/parse-numpy", || {
+        black_box(pylite::parse(&src).unwrap().body.len())
     });
     let program = pylite::parse(&src).unwrap();
-    group.bench_function("unparse-numpy", |b| {
-        b.iter(|| black_box(pylite::unparse(&program).len()))
+    runner.bench("pylite/frontend/unparse-numpy", || {
+        black_box(pylite::unparse(&program).len())
     });
-    group.finish();
-}
 
-fn bench_import(c: &mut Criterion) {
-    let registry = numpy_registry();
-    let mut group = c.benchmark_group("pylite/import");
-    group.bench_function("import-numpy-fresh", |b| {
-        b.iter(|| {
-            let mut it = Interpreter::new(registry.clone());
-            it.exec_main("import numpy\n").unwrap();
-            black_box(it.meter.clock_ns())
-        })
-    });
-    group.bench_function("import-numpy-cached", |b| {
+    runner.bench("pylite/import/import-numpy-fresh", || {
         let mut it = Interpreter::new(registry.clone());
         it.exec_main("import numpy\n").unwrap();
-        b.iter(|| {
+        black_box(it.meter.clock_ns())
+    });
+    {
+        let mut it = Interpreter::new(registry.clone());
+        it.exec_main("import numpy\n").unwrap();
+        runner.bench("pylite/import/import-numpy-cached", || {
             // Second import hits sys.modules — measures cache lookup.
             black_box(it.import_module("numpy").unwrap().ns.len())
-        })
-    });
-    group.finish();
-}
-
-fn bench_app_init(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pylite/app-init");
-    for name in ["markdown", "lightgbm", "resnet"] {
-        let bench = trim_apps::app(name).expect("corpus app");
-        group.bench_with_input(BenchmarkId::from_parameter(name), &bench, |b, bench| {
-            b.iter(|| {
-                let mut it = Interpreter::new(bench.registry.clone());
-                it.exec_main(&bench.app_source).unwrap();
-                black_box(it.meter.mem_bytes())
-            })
         });
     }
-    group.finish();
-}
 
-fn bench_handler_exec(c: &mut Criterion) {
-    let bench = trim_apps::app("markdown").expect("markdown app");
-    let mut it = Interpreter::new(bench.registry.clone());
-    it.exec_main(&bench.app_source).unwrap();
-    c.bench_function("pylite/handler-exec", |b| {
-        b.iter(|| {
-            let event = pylite::Value::dict(vec![(
-                pylite::Value::str("n"),
-                pylite::Value::Int(3),
-            )]);
+    for name in ["markdown", "lightgbm", "resnet"] {
+        let bench = trim_apps::app(name).expect("corpus app");
+        runner.bench(&format!("pylite/app-init/{name}"), || {
+            let mut it = Interpreter::new(bench.registry.clone());
+            it.exec_main(&bench.app_source).unwrap();
+            black_box(it.meter.mem_bytes())
+        });
+    }
+
+    {
+        let bench = trim_apps::app("markdown").expect("markdown app");
+        let mut it = Interpreter::new(bench.registry.clone());
+        it.exec_main(&bench.app_source).unwrap();
+        runner.bench("pylite/handler-exec", || {
+            let event = pylite::Value::dict(vec![(pylite::Value::str("n"), pylite::Value::Int(3))]);
             black_box(
                 it.call_handler("handler", event, pylite::Value::None)
                     .unwrap(),
             )
-        })
-    });
+        });
+    }
 }
-
-criterion_group!(
-    benches,
-    bench_lex_parse,
-    bench_import,
-    bench_app_init,
-    bench_handler_exec
-);
-criterion_main!(benches);

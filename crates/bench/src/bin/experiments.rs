@@ -12,8 +12,7 @@
 
 use lambda_sim::metrics::{cdf, mean, median, percentile};
 use lambda_sim::{
-    generate_trace, nearest_function, CheckpointModel, SnapStartPricing, StartMode,
-    TraceConfig,
+    generate_trace, nearest_function, CheckpointModel, SnapStartPricing, StartMode, TraceConfig,
 };
 use trim_bench::harness::*;
 use trim_core::{invoke_with_fallback, FallbackInstanceState};
@@ -127,8 +126,14 @@ fn table1() {
         let p = bench.paper;
         println!(
             "{:<18} {:>9.2} {:>8.2}|{:<8.2} {:>8.2}|{:<8.2} {:>8.2}|{:<8.2}",
-            bench.name, bench.image_mb, exec.init_secs, p.import_s, exec.exec_secs, p.exec_s,
-            e2e, p.e2e_s
+            bench.name,
+            bench.image_mb,
+            exec.init_secs,
+            p.import_s,
+            exec.exec_secs,
+            p.exec_s,
+            e2e,
+            p.e2e_s
         );
     }
 }
@@ -185,7 +190,15 @@ fn table2(results: &[AppResult]) {
     );
     println!(
         "{:<14} | {:>7} {:>8} {:>7} | {:>7} {:>8} {:>7} | {:>7} {:>8} {:>7}",
-        "application", "mem%", "import%", "e2e%", "mem%", "import%", "e2e%", "mem%", "import%",
+        "application",
+        "mem%",
+        "import%",
+        "e2e%",
+        "mem%",
+        "import%",
+        "e2e%",
+        "mem%",
+        "import%",
         "e2e%"
     );
     for (name, p_mem, p_imp, p_e2e) in paper {
@@ -388,10 +401,7 @@ fn fig10() {
     let platform = default_platform();
     for app in ["dna-visualization", "lightgbm", "spacy"] {
         println!("\napplication: {app}");
-        println!(
-            "{:<5} {:>8} {:>8} {:>8}",
-            "K", "mem%", "e2e%", "cost%"
-        );
+        println!("{:<5} {:>8} {:>8} {:>8}", "K", "mem%", "e2e%", "cost%");
         for k in [1usize, 5, 10, 15, 20, 30, 40, 50] {
             let bench = trim_apps::app(app).expect("fig10 app");
             let r = result_with_k(bench, k);
@@ -510,7 +520,9 @@ fn fig13() {
             * 100.0;
         println!("  functions with SnapStart >50% of bill: {above_half:.0}%");
     }
-    println!("(paper: even at long keep-alives the median app spends >60% of budget on C/R support)");
+    println!(
+        "(paper: even at long keep-alives the median app spends >60% of budget on C/R support)"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -619,7 +631,10 @@ fn table4(results: &[AppResult]) {
         );
         println!(
             "{:<18} {:<6} {:>10.2} {:>10.2} {:>14.2} {:>14.2}",
-            "", "warm", orig_warm, trim_warm,
+            "",
+            "warm",
+            orig_warm,
+            trim_warm,
             warm_fb.e2e_warm_secs(),
             cold_fb.e2e_warm_secs()
         );
@@ -635,7 +650,10 @@ fn ext() {
 
     // (a) Incremental re-trim seeded by the previous run's log (§9).
     println!("\n(a) continuous debloating: oracle probes, cold vs seeded re-trim");
-    println!("{:<20} {:>12} {:>12} {:>9}", "application", "cold probes", "seeded", "saved");
+    println!(
+        "{:<20} {:>12} {:>12} {:>9}",
+        "application", "cold probes", "seeded", "saved"
+    );
     for name in ["markdown", "igraph", "lightgbm"] {
         let bench = trim_apps::app(name).expect("ext app");
         let cold = trim_core::trim_app(
@@ -704,8 +722,8 @@ fn ext() {
     let r = AppResult::compute_default(bench);
     let before = r.profile_before();
     let after = r.profile_after();
-    let matched = nearest_function(&trace, before.mem_mb, before.exec_secs * 1000.0)
-        .expect("trace nonempty");
+    let matched =
+        nearest_function(&trace, before.mem_mb, before.exec_secs * 1000.0).expect("trace nonempty");
     let run = |profile: &lambda_sim::AppProfile, provisioned: usize| {
         lambda_sim::simulate_pool_ext(
             &platform,
@@ -736,7 +754,5 @@ fn ext() {
             stats.total_cost()
         );
     }
-    println!(
-        "(provisioning buys latency with standing cost; trimming cuts both — they compose)"
-    );
+    println!("(provisioning buys latency with standing cost; trimming cuts both — they compose)");
 }

@@ -4,12 +4,25 @@ use trim_core::{trim_app, DebloatOptions};
 fn main() {
     let names: Vec<String> = std::env::args().skip(1).collect();
     let names = if names.is_empty() {
-        vec!["markdown".into(), "dna-visualization".into(), "lightgbm".into(), "resnet".into()]
-    } else { names };
+        vec![
+            "markdown".into(),
+            "dna-visualization".into(),
+            "lightgbm".into(),
+            "resnet".into(),
+        ]
+    } else {
+        names
+    };
     for name in names {
         let bench = trim_apps::app(&name).expect("app");
         let t0 = Instant::now();
-        let report = trim_app(&bench.registry, &bench.app_source, &bench.spec, &DebloatOptions::default()).unwrap();
+        let report = trim_app(
+            &bench.registry,
+            &bench.app_source,
+            &bench.spec,
+            &DebloatOptions::default(),
+        )
+        .unwrap();
         let wall = t0.elapsed().as_secs_f64();
         println!(
             "{name}: wall={wall:.1}s probes={} removed={} init {:.3}->{:.3}s mem {:.1}->{:.1}MB debloat_sim={:.0}s",
@@ -20,7 +33,10 @@ fn main() {
             report.debloat_secs
         );
         for m in &report.modules {
-            println!("   {}: {}/{} kept, {} probes", m.module, m.attrs_after, m.attrs_before, m.dd_stats.oracle_invocations);
+            println!(
+                "   {}: {}/{} kept, {} probes",
+                m.module, m.attrs_after, m.attrs_before, m.dd_stats.oracle_invocations
+            );
         }
     }
 }

@@ -2,8 +2,7 @@
 //! the platform-level quantities every table/figure consumes.
 
 use lambda_sim::{
-    simulate_pool, AppProfile, CheckpointModel, Platform, PricingModel, SnapStartPricing,
-    StartMode,
+    simulate_pool, AppProfile, CheckpointModel, Platform, PricingModel, SnapStartPricing, StartMode,
 };
 use trim_apps::BenchApp;
 use trim_core::{trim_app, DebloatOptions, Execution, TrimReport};
@@ -157,7 +156,13 @@ pub fn snapstart_account(
     keep_alive_secs: f64,
     window_secs: f64,
 ) -> SnapStartAccount {
-    let stats = simulate_pool(platform, profile, arrivals, keep_alive_secs, StartMode::Restore);
+    let stats = simulate_pool(
+        platform,
+        profile,
+        arrivals,
+        keep_alive_secs,
+        StartMode::Restore,
+    );
     let snapshot_mb = checkpoint.snapshot_mb(profile.mem_mb);
     SnapStartAccount {
         invocation_cost: stats.total_cost,

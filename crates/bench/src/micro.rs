@@ -1,0 +1,104 @@
+//! A dependency-free micro-benchmark harness (criterion is unavailable in
+//! offline builds).
+//!
+//! Each bench target is a plain `harness = false` binary that builds a
+//! [`Runner`] and registers closures. The runner warms each closure up, then
+//! times repeated batches until a time budget is spent, reporting the median
+//! batch, which is robust to scheduling noise.
+//!
+//! Environment knobs:
+//!
+//! * `LT_BENCH_BUDGET_MS` — per-bench measurement budget (default 300 ms);
+//! * `LT_BENCH_FILTER` — substring filter on bench names.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Runs registered micro-benchmarks and prints one line per bench.
+pub struct Runner {
+    budget: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Runner {
+    /// A runner configured from the environment (see module docs).
+    pub fn new() -> Self {
+        let budget_ms = std::env::var("LT_BENCH_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300u64);
+        let filter = std::env::var("LT_BENCH_FILTER")
+            .ok()
+            .filter(|f| !f.is_empty());
+        Runner {
+            budget: Duration::from_millis(budget_ms),
+            filter,
+        }
+    }
+
+    /// Time `f`, reporting the median per-iteration latency.
+    pub fn bench<R, F: FnMut() -> R>(&self, name: &str, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warm-up + calibration: how many iterations fit in ~1/10 budget?
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(50));
+        let per_batch = ((self.budget.as_nanos() / 10 / once.as_nanos()).max(1) as u32).min(10_000);
+
+        let mut samples: Vec<Duration> = Vec::new();
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline || samples.len() < 3 {
+            let t = Instant::now();
+            for _ in 0..per_batch {
+                black_box(f());
+            }
+            samples.push(t.elapsed() / per_batch);
+            if samples.len() >= 200 {
+                break;
+            }
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        println!(
+            "{name:<44} {:>12}  ({} samples x {per_batch} iters)",
+            format_duration(median),
+            samples.len()
+        );
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns/iter")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs/iter", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms/iter", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s/iter", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_scales() {
+        assert!(format_duration(Duration::from_nanos(10)).ends_with("ns/iter"));
+        assert!(format_duration(Duration::from_micros(10)).ends_with("µs/iter"));
+        assert!(format_duration(Duration::from_millis(10)).ends_with("ms/iter"));
+        assert!(format_duration(Duration::from_secs(10)).ends_with("s/iter"));
+    }
+}

@@ -61,9 +61,7 @@ fn target_names(target: &pylite::ast::Expr) -> Vec<String> {
     use pylite::ast::Expr;
     match target {
         Expr::Name(n) => vec![n.clone()],
-        Expr::Tuple(items) | Expr::List(items) => {
-            items.iter().flat_map(target_names).collect()
-        }
+        Expr::Tuple(items) | Expr::List(items) => items.iter().flat_map(target_names).collect(),
         _ => Vec::new(),
     }
 }
@@ -105,7 +103,8 @@ mod tests {
 
     #[test]
     fn non_binding_statements_define_nothing() {
-        let p = parse("print(\"side effect\")\nif x:\n    y = 1\nfor i in []:\n    pass\n").unwrap();
+        let p =
+            parse("print(\"side effect\")\nif x:\n    y = 1\nfor i in []:\n    pass\n").unwrap();
         assert!(module_attributes(&p).is_empty());
     }
 

@@ -37,6 +37,10 @@ pub struct DebloatOptions {
     pub threads: usize,
     /// Minimization algorithm (parallel probing requires [`Algorithm::Ddmin`]).
     pub algorithm: Algorithm,
+    /// Static-analysis coverage used to seed the must-keep exclusion sets
+    /// (§5.1). Interprocedural (the default) yields larger exclusion sets
+    /// and therefore fewer DD probes; app-only reproduces the seed scope.
+    pub analysis: trim_analysis::AnalysisMode,
 }
 
 impl Default for DebloatOptions {
@@ -47,6 +51,7 @@ impl Default for DebloatOptions {
             dd: DdOptions::default(),
             threads: 1,
             algorithm: Algorithm::Ddmin,
+            analysis: trim_analysis::AnalysisMode::default(),
         }
     }
 }
@@ -92,9 +97,7 @@ pub fn debloat_module(
     must_keep: &BTreeSet<String>,
     options: &DebloatOptions,
 ) -> Result<ModuleReport, TrimError> {
-    let program = work
-        .parse_module(module)
-        .map_err(TrimError::Parse)?;
+    let program = work.parse_module(module).map_err(TrimError::Parse)?;
     let attrs = module_attributes(&program);
     let attrs_before = attrs.len();
     // Step 3 of §6.3: candidates = all attributes except the definitely
@@ -141,14 +144,14 @@ pub fn debloat_module(
             .module_names()
             .into_iter()
             .map(|n| {
-                let src = work.source(&n).expect("listed module has source").to_owned();
+                let src = work
+                    .source(&n)
+                    .expect("listed module has source")
+                    .to_owned();
                 (n, src)
             })
             .collect();
-        let module_source = work
-            .source(module)
-            .expect("module has source")
-            .to_owned();
+        let module_source = work.source(module).expect("module has source").to_owned();
         let spec = spec.clone();
         let expected = expected.clone();
         let app_source = app_source.to_owned();
@@ -199,10 +202,7 @@ pub fn debloat_module(
             let survivors: BTreeSet<String> = result.minimized.iter().cloned().collect();
             let keep: BTreeSet<String> = fixed.iter().cloned().chain(survivors).collect();
             let rewritten = rewrite_module(&program, &keep);
-            let original_source = work
-                .source(module)
-                .expect("module has source")
-                .to_owned();
+            let original_source = work.source(module).expect("module has source").to_owned();
             work.set_module(module, pylite::unparse(&rewritten));
             // Defense in depth: re-verify the committed module against the
             // oracle (the candidate that passed probing also passes here,
@@ -222,9 +222,16 @@ pub fn debloat_module(
                     debloat_secs: debloat_secs + verify_secs,
                 });
             }
-            let kept: Vec<String> = attrs.iter().filter(|a| keep.contains(*a)).cloned().collect();
-            let removed: Vec<String> =
-                attrs.iter().filter(|a| !keep.contains(*a)).cloned().collect();
+            let kept: Vec<String> = attrs
+                .iter()
+                .filter(|a| keep.contains(*a))
+                .cloned()
+                .collect();
+            let removed: Vec<String> = attrs
+                .iter()
+                .filter(|a| !keep.contains(*a))
+                .cloned()
+                .collect();
             Ok(ModuleReport {
                 module: module.to_owned(),
                 attrs_before,
@@ -320,8 +327,7 @@ mod tests {
     fn must_keep_attributes_survive_without_probing() {
         let mut work = torch_registry();
         let expected = run_app(&work, APP, &spec()).unwrap();
-        let must_keep: BTreeSet<String> =
-            ["SGD"].iter().map(|s| (*s).to_owned()).collect();
+        let must_keep: BTreeSet<String> = ["SGD"].iter().map(|s| (*s).to_owned()).collect();
         let report = debloat_module(
             &mut work,
             APP,

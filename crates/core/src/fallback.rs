@@ -29,9 +29,7 @@ impl FallbackOutcome {
     /// The response payload regardless of path.
     pub fn result(&self) -> &str {
         match self {
-            FallbackOutcome::Direct { result } | FallbackOutcome::FellBack { result, .. } => {
-                result
-            }
+            FallbackOutcome::Direct { result } | FallbackOutcome::FellBack { result, .. } => result,
         }
     }
 

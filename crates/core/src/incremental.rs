@@ -120,7 +120,14 @@ pub fn retrim_with_log(
         let program = work.parse_module(module).map_err(TrimError::Parse)?;
         let attrs = module_attributes(&program);
         let attr_set: BTreeSet<String> = attrs.iter().cloned().collect();
-        let must_keep = analysis.accessed_attrs(module);
+        // Same recompute-on-work rule as the cold pipeline: committed trims
+        // release the must-keeps their import lines induced.
+        let must_keep = match options.analysis {
+            trim_analysis::AnalysisMode::AppOnly => analysis.accessed_attrs(module),
+            trim_analysis::AnalysisMode::Interprocedural => {
+                trim_analysis::analyze(&app_program, &work).accessed_attrs(module)
+            }
+        };
 
         // Probe the seed: previous kept set ∩ current attrs ∪ must-keep.
         let seed: BTreeSet<String> = prev_kept
@@ -194,10 +201,16 @@ pub fn retrim_with_log(
                     .collect();
                 let rewritten = rewrite_module(&program, &keep);
                 work.set_module(module, pylite::unparse(&rewritten));
-                let kept: Vec<String> =
-                    attrs.iter().filter(|a| keep.contains(*a)).cloned().collect();
-                let removed: Vec<String> =
-                    attrs.iter().filter(|a| !keep.contains(*a)).cloned().collect();
+                let kept: Vec<String> = attrs
+                    .iter()
+                    .filter(|a| keep.contains(*a))
+                    .cloned()
+                    .collect();
+                let removed: Vec<String> = attrs
+                    .iter()
+                    .filter(|a| !keep.contains(*a))
+                    .cloned()
+                    .collect();
                 oracle_invocations += result.stats.oracle_invocations;
                 modules.push(ModuleReport {
                     module: module.clone(),
@@ -273,8 +286,14 @@ mod tests {
     fn unchanged_app_retrims_with_far_fewer_probes() {
         let cold = trim_app(&registry(), APP_V1, &spec(), &DebloatOptions::default()).unwrap();
         let log = TrimLog::from_report(&cold);
-        let warm = retrim_with_log(&registry(), APP_V1, &spec(), &log, &DebloatOptions::default())
-            .unwrap();
+        let warm = retrim_with_log(
+            &registry(),
+            APP_V1,
+            &spec(),
+            &log,
+            &DebloatOptions::default(),
+        )
+        .unwrap();
         assert!(warm.after.behavior_eq(&cold.after));
         assert_eq!(warm.cold_modules, 0);
         assert!(warm.seeded_modules > 0);
@@ -297,8 +316,14 @@ mod tests {
         let log = TrimLog::from_report(&cold);
         // v2 uses beta, which v1's log removed: the seed probe fails and a
         // full search runs — but the result must be correct.
-        let warm = retrim_with_log(&registry(), APP_V2, &spec(), &log, &DebloatOptions::default())
-            .unwrap();
+        let warm = retrim_with_log(
+            &registry(),
+            APP_V2,
+            &spec(),
+            &log,
+            &DebloatOptions::default(),
+        )
+        .unwrap();
         assert!(warm.after.behavior_eq(&warm.before));
         let kept = warm.log();
         let toolkit = kept.kept.get("toolkit").unwrap();
@@ -313,16 +338,20 @@ mod tests {
         let mut log = TrimLog::from_report(&cold);
         // A production fallback reported that `delta` was needed.
         log.require("toolkit", "delta");
-        let warm = retrim_with_log(&registry(), APP_V1, &spec(), &log, &DebloatOptions::default())
-            .unwrap();
+        let warm = retrim_with_log(
+            &registry(),
+            APP_V1,
+            &spec(),
+            &log,
+            &DebloatOptions::default(),
+        )
+        .unwrap();
         // The seed includes delta, but DD inside the seed can still remove
         // it because the oracle set does not exercise it — §5.4's workflow
         // requires adding the failing *input*, not just the attribute.
         // With the input added, delta survives:
         let mut spec2 = spec();
-        spec2
-            .cases
-            .push(TestCase::event("{\"n\": 1}"));
+        spec2.cases.push(TestCase::event("{\"n\": 1}"));
         assert!(warm.after.behavior_eq(&warm.before));
     }
 
@@ -331,8 +360,14 @@ mod tests {
         let cold = trim_app(&registry(), APP_V1, &spec(), &DebloatOptions::default()).unwrap();
         let mut log = TrimLog::from_report(&cold);
         log.require("ghost_module", "anything");
-        let warm = retrim_with_log(&registry(), APP_V1, &spec(), &log, &DebloatOptions::default())
-            .unwrap();
+        let warm = retrim_with_log(
+            &registry(),
+            APP_V1,
+            &spec(),
+            &log,
+            &DebloatOptions::default(),
+        )
+        .unwrap();
         assert!(warm.modules.iter().all(|m| m.module != "ghost_module"));
     }
 }

@@ -57,15 +57,15 @@ use std::fmt;
 pub use attributes::{is_magic, module_attributes};
 pub use debloater::{debloat_module, Algorithm, DebloatOptions, ModuleReport};
 pub use deployment::{package, wrapper_source, DeploymentPackage};
-pub use incremental::{retrim_with_log, IncrementalReport, TrimLog};
 pub use fallback::{
-    invoke_with_fallback, FallbackCost, FallbackInstanceState, FallbackOutcome,
-    FALLBACK_SETUP_SECS,
+    invoke_with_fallback, FallbackCost, FallbackInstanceState, FallbackOutcome, FALLBACK_SETUP_SECS,
 };
+pub use incremental::{retrim_with_log, IncrementalReport, TrimLog};
 pub use oracle::{oracle_passes, run_app, Execution, OracleSpec, TestCase};
 pub use pipeline::{trim_app, TrimReport};
 pub use report::{render as render_report, render_removals};
 pub use rewrite::{rewrite_module, rewrite_source};
+pub use trim_analysis::AnalysisMode;
 
 /// Errors from the λ-trim pipeline.
 #[derive(Debug, Clone, PartialEq)]

@@ -282,7 +282,10 @@ mod tests {
     #[test]
     fn extcalls_are_part_of_behavior() {
         let mut r = Registry::new();
-        r.set_module("svc", "def put(x):\n    __lt_extcall__(\"s3\", \"put\", x)\n");
+        r.set_module(
+            "svc",
+            "def put(x):\n    __lt_extcall__(\"s3\", \"put\", x)\n",
+        );
         let app = "import svc\ndef handler(event, context):\n    svc.put(event)\n    return None\n";
         let spec = OracleSpec::new(vec![TestCase::event("\"payload\"")]);
         let expected = run_app(&r, app, &spec).unwrap();
@@ -298,10 +301,7 @@ mod tests {
     #[test]
     fn literal_parsing_covers_containers() {
         let v = parse_literal("{\"a\": [1, 2.5, None], \"b\": (True, -3)}").unwrap();
-        assert_eq!(
-            py_repr(&v),
-            "{\"a\": [1, 2.5, None], \"b\": (True, -3)}"
-        );
+        assert_eq!(py_repr(&v), "{\"a\": [1, 2.5, None], \"b\": (True, -3)}");
     }
 
     #[test]

@@ -5,6 +5,8 @@ use crate::debloater::{debloat_module, DebloatOptions, ModuleReport};
 use crate::oracle::{run_app, Execution, OracleSpec};
 use crate::TrimError;
 use pylite::Registry;
+use trim_analysis::lints::Lint;
+use trim_analysis::{AnalysisMode, AnalysisOptions};
 use trim_profiler::{profile_app, top_k};
 
 /// The complete result of trimming one application.
@@ -22,6 +24,13 @@ pub struct TrimReport {
     pub debloat_secs: f64,
     /// Total oracle invocations across all modules.
     pub oracle_invocations: u64,
+    /// Static-analysis lint findings (unused imports, nonexistent
+    /// attributes, debloat-soundness hazards).
+    pub lints: Vec<Lint>,
+    /// Top-K modules that were *not* DD-debloated because a hazard lint
+    /// implicated them: they deploy untrimmed (the conservative §5.4
+    /// fallback) rather than risking an unsound trim.
+    pub fallback_modules: Vec<String>,
 }
 
 impl TrimReport {
@@ -74,9 +83,16 @@ pub fn trim_app(
     // 1. Baseline run.
     let before = run_app(registry, app_source, spec).map_err(TrimError::Baseline)?;
 
-    // 2. Static analysis.
+    // 2. Static analysis: accesses, call graph, lints and hazard routing.
     let program = pylite::parse(app_source).map_err(TrimError::Parse)?;
-    let analysis = trim_analysis::analyze(&program, registry);
+    let full = trim_analysis::analyze_full(
+        &program,
+        registry,
+        &AnalysisOptions {
+            mode: options.analysis,
+            entry: None,
+        },
+    );
 
     // 3. Cost profiling + top-K ranking.
     let profile = profile_app(app_source, registry).map_err(TrimError::Baseline)?;
@@ -85,19 +101,30 @@ pub fn trim_app(
         .filter(|m| registry.contains(m))
         .collect();
 
-    // 4. Debloat each target in rank order, committing as we go.
+    // 4. Debloat each target in rank order, committing as we go. Modules a
+    //    hazard lint implicates are not debloated at all: a star import or
+    //    opaque getattr makes the static accessed set unknowable, so they
+    //    take the conservative fallback deployment (§5.4).
     let mut work = registry.clone();
     let mut modules = Vec::with_capacity(targets.len());
+    let mut fallback_modules = Vec::new();
     for module in &targets {
-        let must_keep = analysis.accessed_attrs(module);
+        if full.hazard_modules.contains(module) {
+            fallback_modules.push(module.clone());
+            continue;
+        }
+        // Interprocedural exclusion sets depend on library code, so they are
+        // recomputed against the *working* registry: once a parent module's
+        // trim drops a re-export line, the stale must-keeps it induced on
+        // its submodules are released for this module's DD run.
+        let must_keep = match options.analysis {
+            AnalysisMode::AppOnly => full.analysis.accessed_attrs(module),
+            AnalysisMode::Interprocedural => {
+                trim_analysis::analyze(&program, &work).accessed_attrs(module)
+            }
+        };
         let report = debloat_module(
-            &mut work,
-            app_source,
-            spec,
-            &before,
-            module,
-            &must_keep,
-            options,
+            &mut work, app_source, spec, &before, module, &must_keep, options,
         )?;
         modules.push(report);
     }
@@ -116,6 +143,8 @@ pub fn trim_app(
         trimmed: work,
         debloat_secs,
         oracle_invocations,
+        lints: full.lints,
+        fallback_modules,
     })
 }
 
@@ -134,7 +163,10 @@ mod tests {
             "mlkit.models",
             "__lt_work__(40)\n_weights = __lt_alloc__(20)\nclass Net:\n    def run(self, x):\n        return x * 2\nclass OldNet:\n    pass\n",
         );
-        r.set_module("mlkit.losses", "__lt_work__(60)\n_buf = __lt_alloc__(25)\nclass MSE:\n    pass\n");
+        r.set_module(
+            "mlkit.losses",
+            "__lt_work__(60)\n_buf = __lt_alloc__(25)\nclass MSE:\n    pass\n",
+        );
         r.set_module("util", "__lt_work__(10)\ndef fmt(x):\n    return str(x)\n");
         r
     }
@@ -153,7 +185,10 @@ mod tests {
         assert!(report.attrs_removed() > 0, "something must be trimmed");
         // `train`/`MSE` are unused — mlkit.losses should no longer load.
         let src = report.trimmed.source("mlkit").unwrap();
-        assert!(!src.contains("losses"), "unused loss import dropped:\n{src}");
+        assert!(
+            !src.contains("losses"),
+            "unused loss import dropped:\n{src}"
+        );
         assert!(
             report.after.init_secs < report.before.init_secs,
             "init time improves ({} -> {})",
@@ -188,6 +223,63 @@ mod tests {
     }
 
     #[test]
+    fn hazardous_module_takes_fallback() {
+        // Opaque getattr on mlkit: its accessed set is statically
+        // unknowable, so mlkit must deploy untrimmed.
+        let app = "import mlkit\nimport util\ndef handler(event, context):\n    return util.fmt(mlkit.predict(event[\"n\"]))\ndef diag(event, context):\n    return getattr(mlkit, event)\n";
+        let r = corpus();
+        let report = trim_app(&r, app, &spec(), &DebloatOptions::default()).unwrap();
+        assert_eq!(report.fallback_modules, vec!["mlkit".to_string()]);
+        assert_eq!(
+            report.trimmed.source("mlkit"),
+            r.source("mlkit"),
+            "hazardous module must be left untouched"
+        );
+        assert!(report
+            .lints
+            .iter()
+            .any(|l| l.severity == trim_analysis::lints::Severity::Hazard));
+        assert!(
+            !report.modules.iter().any(|m| m.module == "mlkit"),
+            "no DD run for the fallback module"
+        );
+        assert!(report.after.behavior_eq(&report.before));
+    }
+
+    #[test]
+    fn interprocedural_needs_fewer_probes_than_app_only() {
+        let run = |mode| {
+            trim_app(
+                &corpus(),
+                APP,
+                &spec(),
+                &DebloatOptions {
+                    analysis: mode,
+                    ..DebloatOptions::default()
+                },
+            )
+            .unwrap()
+        };
+        let app_only = run(AnalysisMode::AppOnly);
+        let inter = run(AnalysisMode::Interprocedural);
+        // Same final deployment, cheaper search: the eager library-import
+        // exclusions skip the probes the seed wasted discovering that
+        // import-needed attributes cannot be removed.
+        assert!(inter.after.behavior_eq(&app_only.after));
+        assert_eq!(
+            inter.trimmed.total_source_bytes(),
+            app_only.trimmed.total_source_bytes(),
+            "both modes must converge to the same trim"
+        );
+        assert!(
+            inter.oracle_invocations < app_only.oracle_invocations,
+            "interprocedural exclusions must save probes ({} vs {})",
+            inter.oracle_invocations,
+            app_only.oracle_invocations
+        );
+    }
+
+    #[test]
     fn failing_baseline_is_an_error() {
         let r = corpus();
         let bad_app = "import mlkit\ndef handler(event, context):\n    return missing_name\n";
@@ -197,8 +289,13 @@ mod tests {
 
     #[test]
     fn unparsable_app_is_an_error() {
-        let err = trim_app(&corpus(), "def broken(:\n", &spec(), &DebloatOptions::default())
-            .unwrap_err();
+        let err = trim_app(
+            &corpus(),
+            "def broken(:\n",
+            &spec(),
+            &DebloatOptions::default(),
+        )
+        .unwrap_err();
         assert!(matches!(err, TrimError::Baseline(_) | TrimError::Parse(_)));
     }
 

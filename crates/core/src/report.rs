@@ -62,6 +62,20 @@ pub fn render(report: &TrimReport) -> String {
             "MISMATCH — do not deploy"
         }
     );
+    if !report.fallback_modules.is_empty() {
+        let _ = writeln!(
+            out,
+            "fallback      : {} deployed untrimmed (hazard lints)",
+            report.fallback_modules.join(", ")
+        );
+    }
+    if !report.lints.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "lints:");
+        for lint in &report.lints {
+            let _ = writeln!(out, "  {lint}");
+        }
+    }
     out
 }
 
@@ -73,7 +87,12 @@ pub fn render_removals(report: &TrimReport) -> String {
         if m.removed.is_empty() {
             continue;
         }
-        let _ = writeln!(out, "[{}] removed {} attribute(s):", m.module, m.removed.len());
+        let _ = writeln!(
+            out,
+            "[{}] removed {} attribute(s):",
+            m.module,
+            m.removed.len()
+        );
         for chunk in m.removed.chunks(6) {
             let _ = writeln!(out, "    {}", chunk.join(", "));
         }

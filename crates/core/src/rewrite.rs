@@ -75,9 +75,7 @@ fn assigned_names(target: &pylite::ast::Expr) -> Vec<String> {
     use pylite::ast::Expr;
     match target {
         Expr::Name(n) => vec![n.clone()],
-        Expr::Tuple(items) | Expr::List(items) => {
-            items.iter().flat_map(assigned_names).collect()
-        }
+        Expr::Tuple(items) | Expr::List(items) => items.iter().flat_map(assigned_names).collect(),
         _ => Vec::new(),
     }
 }

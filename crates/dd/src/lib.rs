@@ -122,7 +122,9 @@ struct Runner<'a, T> {
 
 impl<'a, T: Clone> Runner<'a, T> {
     fn materialize(&self, idx: &[u32]) -> Vec<T> {
-        idx.iter().map(|&i| self.items[i as usize].clone()).collect()
+        idx.iter()
+            .map(|&i| self.items[i as usize].clone())
+            .collect()
     }
 
     fn test(&mut self, idx: &[u32], oracle: &mut dyn FnMut(&[T]) -> bool) -> bool {
@@ -282,8 +284,8 @@ where
     // Evaluate a batch of candidates (by index lists) in parallel; returns
     // verdicts in batch order.
     let eval_batch = |batch: &[Vec<u32>],
-                          stats: &mut DdStats,
-                          cache: &mut HashMap<Vec<u32>, bool>|
+                      stats: &mut DdStats,
+                      cache: &mut HashMap<Vec<u32>, bool>|
      -> Vec<bool> {
         let mut verdicts: Vec<Option<bool>> = vec![None; batch.len()];
         let mut pending: Vec<usize> = Vec::new();
@@ -302,13 +304,13 @@ where
                 .map(<[usize]>::to_vec)
                 .collect();
             let mut collected: Vec<(usize, bool)> = Vec::with_capacity(pending.len());
-            crossbeam::scope(|scope| {
+            std::thread::scope(|scope| {
                 let handles: Vec<_> = chunks
                     .into_iter()
                     .map(|chunk| {
                         let factory = &oracle_factory;
                         let materialize = &materialize;
-                        scope.spawn(move |_| {
+                        scope.spawn(move || {
                             let mut oracle = factory();
                             chunk
                                 .into_iter()
@@ -323,8 +325,7 @@ where
                 for h in handles {
                     collected.extend(h.join().expect("dd worker thread panicked"));
                 }
-            })
-            .expect("crossbeam scope");
+            });
             for (i, v) in collected {
                 cache.insert(batch[i].clone(), v);
                 verdicts[i] = Some(v);
@@ -346,10 +347,7 @@ where
     'outer: while current.len() >= 2 {
         stats.iterations += 1;
         let parts = partitions(current.len(), n);
-        let part_sets: Vec<Vec<u32>> = parts
-            .iter()
-            .map(|&(s, e)| current[s..e].to_vec())
-            .collect();
+        let part_sets: Vec<Vec<u32>> = parts.iter().map(|&(s, e)| current[s..e].to_vec()).collect();
         let verdicts = eval_batch(&part_sets, &mut stats, &mut cache);
         if let Some(i) = verdicts.iter().position(|&v| v) {
             current.clone_from(&part_sets[i]);
@@ -608,10 +606,7 @@ pub fn greedy_min<T: Clone>(
         }
     }
     Ok(DdResult {
-        minimized: current
-            .iter()
-            .map(|&i| items[i as usize].clone())
-            .collect(),
+        minimized: current.iter().map(|&i| items[i as usize].clone()).collect(),
         stats,
     })
 }

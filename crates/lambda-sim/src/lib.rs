@@ -40,7 +40,7 @@ pub use platform::{
     StartKind, StartMode,
 };
 pub use pool::{simulate_pool_ext, ExtPoolStats, PoolOptions};
-pub use providers::{min_visible_saving_ms, providers, quote_all, Provider, ProviderQuote};
 pub use pricing::{PricingModel, Rounding, SnapStartPricing};
+pub use providers::{min_visible_saving_ms, providers, quote_all, Provider, ProviderQuote};
 pub use snapshot::CheckpointModel;
 pub use trace::{generate_trace, nearest_function, FunctionTrace, TraceConfig};

@@ -13,12 +13,11 @@
 
 use crate::pricing::PricingModel;
 use crate::snapshot::CheckpointModel;
-use serde::{Deserialize, Serialize};
 
 /// Measured profile of a serverless application — the four quantities every
 /// experiment consumes. Produced by running the app's pylite code under the
 /// metered interpreter, or taken from the paper's Table 1 for calibration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AppProfile {
     /// Application name.
     pub name: String,
@@ -62,7 +61,7 @@ impl AppProfile {
 }
 
 /// Whether an invocation found a warm instance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StartKind {
     /// A new instance had to be initialized on the critical path.
     Cold,
@@ -80,7 +79,7 @@ pub enum StartMode {
 }
 
 /// Latency breakdown of one invocation, in seconds per phase.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PhaseBreakdown {
     /// VM/runtime setup (not billed).
     pub instance_init_secs: f64,
@@ -105,7 +104,7 @@ impl PhaseBreakdown {
 }
 
 /// The outcome of one simulated invocation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Invocation {
     /// Cold or warm.
     pub start: StartKind,
@@ -190,7 +189,10 @@ impl Platform {
 
     fn finish(&self, app: &AppProfile, start: StartKind, phases: PhaseBreakdown) -> Invocation {
         let billed_ms = self.config.pricing.billed_duration_ms(phases.billable_ms());
-        let cost = self.config.pricing.invocation_cost(app.mem_mb, phases.billable_ms());
+        let cost = self
+            .config
+            .pricing
+            .invocation_cost(app.mem_mb, phases.billable_ms());
         Invocation {
             start,
             phases,
@@ -201,7 +203,7 @@ impl Platform {
 }
 
 /// Result of simulating a stream of arrivals through the keep-alive pool.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct PoolStats {
     /// Number of cold starts.
     pub cold_starts: u64,

@@ -15,7 +15,6 @@
 //!   E2E latency.
 
 use crate::platform::{AppProfile, Platform, StartKind, StartMode};
-use serde::{Deserialize, Serialize};
 
 /// AWS provisioned-concurrency price: $ per GB-second of reserved capacity
 /// (lower than the on-demand duration price).
@@ -49,7 +48,7 @@ impl Default for PoolOptions {
 }
 
 /// Results of an extended pool simulation.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ExtPoolStats {
     /// Cold starts (full initialization on the critical path).
     pub cold_starts: u64,
@@ -170,15 +169,9 @@ pub fn simulate_pool_ext(
         stats.total_e2e_secs += inv.e2e_secs() + (start_time - arrival);
     }
     // Reserved capacity is billed for the whole window regardless of use.
-    let mem_gb = platform
-        .config
-        .pricing
-        .configured_memory_mb(app.mem_mb) as f64
-        / 1024.0;
-    stats.provisioned_cost = options.provisioned as f64
-        * mem_gb
-        * options.window_secs
-        * AWS_PROVISIONED_PRICE_PER_GB_S;
+    let mem_gb = platform.config.pricing.configured_memory_mb(app.mem_mb) as f64 / 1024.0;
+    stats.provisioned_cost =
+        options.provisioned as f64 * mem_gb * options.window_secs * AWS_PROVISIONED_PRICE_PER_GB_S;
     stats
 }
 
@@ -205,7 +198,10 @@ mod tests {
             },
         );
         assert!(none.cold_starts >= 1);
-        assert_eq!(provisioned.cold_starts, 0, "pre-warmed instance absorbs all");
+        assert_eq!(
+            provisioned.cold_starts, 0,
+            "pre-warmed instance absorbs all"
+        );
         assert!(provisioned.provisioned_cost > 0.0);
         assert!(provisioned.mean_e2e_secs() < none.mean_e2e_secs());
     }
@@ -223,7 +219,10 @@ mod tests {
             },
         );
         assert_eq!(stats.invocations(), 0);
-        assert!(stats.provisioned_cost > 0.0, "idle capacity is still billed");
+        assert!(
+            stats.provisioned_cost > 0.0,
+            "idle capacity is still billed"
+        );
     }
 
     #[test]
@@ -242,8 +241,7 @@ mod tests {
         );
         assert!(limited.queued_requests >= 8);
         assert!(limited.total_queue_secs > 0.0);
-        let unlimited =
-            simulate_pool_ext(&platform, &app(), &arrivals, &PoolOptions::default());
+        let unlimited = simulate_pool_ext(&platform, &app(), &arrivals, &PoolOptions::default());
         assert_eq!(unlimited.queued_requests, 0);
         assert!(limited.mean_e2e_secs() > unlimited.mean_e2e_secs());
         // With capacity 2 the burst needs at most 2 concurrent instances.

@@ -56,8 +56,12 @@ pub fn quote_all(app: &AppProfile) -> Vec<ProviderQuote> {
             provider: p.name,
             configured_mb: p.pricing.configured_memory_mb(app.mem_mb),
             billed_ms: p.pricing.billed_duration_ms(app.cold_billable_ms()),
-            cold_cost: p.pricing.invocation_cost(app.mem_mb, app.cold_billable_ms()),
-            warm_cost: p.pricing.invocation_cost(app.mem_mb, app.warm_billable_ms()),
+            cold_cost: p
+                .pricing
+                .invocation_cost(app.mem_mb, app.cold_billable_ms()),
+            warm_cost: p
+                .pricing
+                .invocation_cost(app.mem_mb, app.warm_billable_ms()),
         })
         .collect()
 }
@@ -72,7 +76,11 @@ pub fn rounding_overhead(app: &AppProfile) -> Vec<(&'static str, f64)> {
         .map(|p| {
             let raw = app.cold_billable_ms();
             let billed = p.pricing.billed_duration_ms(raw);
-            let overhead = if raw <= 0.0 { 0.0 } else { (billed - raw) / raw };
+            let overhead = if raw <= 0.0 {
+                0.0
+            } else {
+                (billed - raw) / raw
+            };
             (p.name, overhead)
         })
         .collect()

@@ -12,12 +12,10 @@
 //!
 //! Generation is fully seeded and deterministic.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use trim_rng::Rng;
 
 /// The arrival-pattern class of a function.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ArrivalClass {
     /// Timer/cron style: regular period with small jitter.
     Periodic,
@@ -30,7 +28,7 @@ pub enum ArrivalClass {
 }
 
 /// One synthetic function in the trace: its resource profile and arrivals.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FunctionTrace {
     /// Trace-unique identifier.
     pub id: u32,
@@ -74,10 +72,10 @@ impl Default for TraceConfig {
 
 /// Generate a synthetic Azure-style trace.
 pub fn generate_trace(config: &TraceConfig) -> Vec<FunctionTrace> {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
     let mut out = Vec::with_capacity(config.functions);
     for id in 0..config.functions {
-        let class_roll: f64 = rng.gen();
+        let class_roll: f64 = rng.f64();
         // Rough class mix per Shahrad et al.: ~29% timers, plus a long tail
         // of rare functions and a small hot set.
         let class = if class_roll < 0.30 {
@@ -109,20 +107,20 @@ pub fn generate_trace(config: &TraceConfig) -> Vec<FunctionTrace> {
     out
 }
 
-fn log_uniform(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
-    let u: f64 = rng.gen();
+fn log_uniform(rng: &mut Rng, lo: f64, hi: f64) -> f64 {
+    let u: f64 = rng.f64();
     (lo.ln() + u * (hi.ln() - lo.ln())).exp()
 }
 
-fn periodic_arrivals(rng: &mut StdRng, window: f64) -> Vec<f64> {
+fn periodic_arrivals(rng: &mut Rng, window: f64) -> Vec<f64> {
     // Periods from 1 minute to 4 hours, log-uniform.
     let period = log_uniform(rng, 60.0, 4.0 * 3600.0);
-    let phase: f64 = rng.gen::<f64>() * period;
+    let phase: f64 = rng.f64() * period;
     let mut out = Vec::new();
     let mut t = phase;
     while t < window {
         // Small jitter (±2% of period).
-        let jitter = (rng.gen::<f64>() - 0.5) * 0.04 * period;
+        let jitter = (rng.f64() - 0.5) * 0.04 * period;
         let ts = (t + jitter).clamp(0.0, window);
         out.push(ts);
         t += period;
@@ -131,13 +129,13 @@ fn periodic_arrivals(rng: &mut StdRng, window: f64) -> Vec<f64> {
     out
 }
 
-fn poisson_arrivals(rng: &mut StdRng, window: f64) -> Vec<f64> {
+fn poisson_arrivals(rng: &mut Rng, window: f64) -> Vec<f64> {
     // Rates log-uniform from one per 2 h to one per 5 s.
     let rate = log_uniform(rng, 1.0 / 7200.0, 0.2);
     let mut out = Vec::new();
     let mut t = 0.0;
     loop {
-        let u: f64 = rng.gen::<f64>().max(1e-12);
+        let u: f64 = rng.f64().max(1e-12);
         t += -u.ln() / rate;
         if t >= window || out.len() > 2_000_000 {
             break;
@@ -147,7 +145,7 @@ fn poisson_arrivals(rng: &mut StdRng, window: f64) -> Vec<f64> {
     out
 }
 
-fn bursty_arrivals(rng: &mut StdRng, window: f64) -> Vec<f64> {
+fn bursty_arrivals(rng: &mut Rng, window: f64) -> Vec<f64> {
     let mut out = Vec::new();
     let mut t = 0.0;
     while t < window {
@@ -157,7 +155,7 @@ fn bursty_arrivals(rng: &mut StdRng, window: f64) -> Vec<f64> {
             break;
         }
         // Burst of 3–60 requests spaced 0.05–2 s apart.
-        let burst_len = rng.gen_range(3..=60);
+        let burst_len = rng.usize_inclusive(3, 60);
         let mut bt = t;
         for _ in 0..burst_len {
             bt += log_uniform(rng, 0.05, 2.0);
@@ -171,9 +169,9 @@ fn bursty_arrivals(rng: &mut StdRng, window: f64) -> Vec<f64> {
     out
 }
 
-fn rare_arrivals(rng: &mut StdRng, window: f64) -> Vec<f64> {
-    let n = rng.gen_range(1..=8);
-    let mut out: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * window).collect();
+fn rare_arrivals(rng: &mut Rng, window: f64) -> Vec<f64> {
+    let n = rng.usize_inclusive(1, 8);
+    let mut out: Vec<f64> = (0..n).map(|_| rng.f64() * window).collect();
     out.sort_by(f64::total_cmp);
     out
 }

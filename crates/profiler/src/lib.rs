@@ -19,8 +19,7 @@
 #![warn(missing_docs)]
 
 use pylite::{Interpreter, PyErr, Registry};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use trim_rng::Rng;
 
 /// Marginal cost of importing one module.
 #[derive(Debug, Clone, PartialEq)]
@@ -155,7 +154,7 @@ pub fn rank_modules(profile: &Profile, method: ScoringMethod) -> Vec<RankedModul
     let total_t = profile.t_sum();
     let total_m = profile.m_sum();
     let mut rng = match method {
-        ScoringMethod::Random { seed } => Some(StdRng::seed_from_u64(seed)),
+        ScoringMethod::Random { seed } => Some(Rng::seed_from_u64(seed)),
         _ => None,
     };
     let mut ranked: Vec<RankedModule> = profile
@@ -168,9 +167,7 @@ pub fn rank_modules(profile: &Profile, method: ScoringMethod) -> Vec<RankedModul
                 ScoringMethod::Combined => {
                     marginal_monetary_cost(mc.time_secs, mc.mem_mb, total_t, total_m)
                 }
-                ScoringMethod::Random { .. } => {
-                    rng.as_mut().expect("rng for random scoring").gen::<f64>()
-                }
+                ScoringMethod::Random { .. } => rng.as_mut().expect("rng for random scoring").f64(),
             };
             RankedModule {
                 module: mc.module.clone(),

@@ -508,7 +508,13 @@ fn write_stmt(out: &mut String, stmt: &Stmt, level: usize) {
             let _ = writeln!(out, "{}", expr_src(value));
         }
         Stmt::AugAssign { target, op, value } => {
-            let _ = writeln!(out, "{} {}= {}", expr_src(target), op.symbol(), expr_src(value));
+            let _ = writeln!(
+                out,
+                "{} {}= {}",
+                expr_src(target),
+                op.symbol(),
+                expr_src(value)
+            );
         }
         Stmt::If { branches, orelse } => {
             for (i, (test, body)) in branches.iter().enumerate() {
@@ -529,7 +535,11 @@ fn write_stmt(out: &mut String, stmt: &Stmt, level: usize) {
             let _ = writeln!(out, "while {}:", expr_src(test));
             write_body(out, body, level + 1);
         }
-        Stmt::For { targets, iter, body } => {
+        Stmt::For {
+            targets,
+            iter,
+            body,
+        } => {
             let _ = writeln!(out, "for {} in {}:", targets.join(", "), expr_src(iter));
             write_body(out, body, level + 1);
         }
@@ -686,12 +696,9 @@ pub fn expr_src(e: &Expr) -> String {
             UnaryOp::Pos => format!("+{}", atom_src(operand)),
             UnaryOp::Not => format!("not {}", atom_src(operand)),
         },
-        Expr::Binary { left, op, right } => format!(
-            "({} {} {})",
-            expr_src(left),
-            op.symbol(),
-            expr_src(right)
-        ),
+        Expr::Binary { left, op, right } => {
+            format!("({} {} {})", expr_src(left), op.symbol(), expr_src(right))
+        }
         Expr::Bool { op, values } => {
             let sep = match op {
                 BoolOp::And => " and ",

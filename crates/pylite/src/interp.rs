@@ -77,6 +77,10 @@ pub struct Interpreter {
     pub import_events: Vec<ImportEvent>,
     /// Maximum number of statements executed before aborting.
     pub step_limit: u64,
+    /// Every `(module, attribute)` read observed at runtime: direct
+    /// attribute lookups, `getattr`-family calls and `from`-imports. The
+    /// dynamic ground truth that static analysis must under-approximate.
+    pub observed_accesses: std::collections::BTreeMap<String, std::collections::BTreeSet<String>>,
     modules: std::collections::HashMap<String, Rc<ModuleObj>>,
     builtins: Namespace,
     import_depth: usize,
@@ -103,6 +107,7 @@ impl Interpreter {
             extcalls: Vec::new(),
             import_events: Vec::new(),
             step_limit: DEFAULT_STEP_LIMIT,
+            observed_accesses: std::collections::BTreeMap::new(),
             modules: std::collections::HashMap::new(),
             builtins,
             import_depth: 0,
@@ -117,9 +122,8 @@ impl Interpreter {
     /// Any uncaught pylite exception, including parse errors surfaced as
     /// [`ExcKind::ImportError`].
     pub fn exec_main(&mut self, source: &str) -> Result<Rc<ModuleObj>, PyErr> {
-        let program = crate::parser::parse(source).map_err(|e| {
-            PyErr::new(ExcKind::ImportError, format!("__main__: {e}"))
-        })?;
+        let program = crate::parser::parse(source)
+            .map_err(|e| PyErr::new(ExcKind::ImportError, format!("__main__: {e}")))?;
         let module = Rc::new(ModuleObj {
             name: "__main__".into(),
             ns: Namespace::new(),
@@ -154,7 +158,10 @@ impl Interpreter {
             .cloned()
             .ok_or_else(|| PyErr::new(ExcKind::RuntimeError, "no __main__ module executed"))?;
         let func = main.ns.get(handler).ok_or_else(|| {
-            PyErr::new(ExcKind::NameError, format!("handler `{handler}` is not defined"))
+            PyErr::new(
+                ExcKind::NameError,
+                format!("handler `{handler}` is not defined"),
+            )
         })?;
         self.call_value(func, vec![event, context], vec![])
     }
@@ -192,9 +199,10 @@ impl Interpreter {
         if let Some(p) = &parent {
             self.import_module(p)?;
         }
-        let program = self.registry.parse_module(dotted).map_err(|e| {
-            PyErr::new(ExcKind::ImportError, format!("{dotted}: {e}"))
-        })?;
+        let program = self
+            .registry
+            .parse_module(dotted)
+            .map_err(|e| PyErr::new(ExcKind::ImportError, format!("{dotted}: {e}")))?;
         self.meter.tick(self.cost.import_ns);
         self.meter.alloc(self.cost.module_base_bytes);
         let module = Rc::new(ModuleObj {
@@ -202,9 +210,10 @@ impl Interpreter {
             ns: Namespace::new(),
         });
         module.ns.set("__name__", Value::str(dotted));
-        module
-            .ns
-            .set("__file__", Value::str(format!("{}.py", dotted.replace('.', "/"))));
+        module.ns.set(
+            "__file__",
+            Value::str(format!("{}.py", dotted.replace('.', "/"))),
+        );
         // Insert before executing the body so cyclic imports observe the
         // partially-initialized module instead of recursing forever.
         self.modules.insert(dotted.to_owned(), module.clone());
@@ -325,7 +334,11 @@ impl Interpreter {
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::For { targets, iter, body } => {
+            Stmt::For {
+                targets,
+                iter,
+                body,
+            } => {
                 let iterable = self.eval(iter, env)?;
                 let items = self.iter_values(&iterable)?;
                 for item in items {
@@ -386,11 +399,7 @@ impl Interpreter {
                     match &item.alias {
                         Some(alias) => self.bind_name(alias, Value::Module(module), env),
                         None => {
-                            let top = item
-                                .module
-                                .split('.')
-                                .next()
-                                .expect("nonempty module path");
+                            let top = item.module.split('.').next().expect("nonempty module path");
                             let top_module = self
                                 .modules
                                 .get(top)
@@ -405,6 +414,20 @@ impl Interpreter {
             Stmt::FromImport { module, names } => {
                 let m = self.import_module(module)?;
                 for (name, alias) in names {
+                    if name == "*" {
+                        // Bind every public (non-underscore) name of the
+                        // module into the importing scope.
+                        for key in m.ns.key_vec() {
+                            if key.starts_with('_') {
+                                continue;
+                            }
+                            self.record_access(module, &key);
+                            let v = m.ns.get(&key).expect("key from snapshot");
+                            self.bind_name(&key, v, env);
+                        }
+                        continue;
+                    }
+                    self.record_access(module, name);
                     let v = match m.ns.get(name) {
                         Some(v) => v,
                         None => {
@@ -546,9 +569,7 @@ impl Interpreter {
             Value::Instance(inst) => {
                 let inst = inst.borrow();
                 if !inst.class.is_exception {
-                    return Err(PyErr::type_error(
-                        "exceptions must derive from Exception",
-                    ));
+                    return Err(PyErr::type_error("exceptions must derive from Exception"));
                 }
                 let message = inst
                     .ns
@@ -605,7 +626,13 @@ impl Interpreter {
         let mut bases = Vec::new();
         let mut is_exception = false;
         for base_name in &c.bases {
-            let base_val = self.lookup_name(base_name, env)?;
+            // Bases may be dotted references (`class Net(nn.Module)`).
+            let mut parts = base_name.split('.');
+            let first = parts.next().expect("nonempty base name");
+            let mut base_val = self.lookup_name(first, env)?;
+            for part in parts {
+                base_val = self.get_attribute(&base_val, part)?;
+            }
             match base_val {
                 Value::Class(b) => {
                     if b.is_exception {
@@ -640,6 +667,18 @@ impl Interpreter {
             ns: class_ns,
             is_exception,
         })))
+    }
+
+    /// Record a runtime module-attribute read (registry modules only;
+    /// `__name__` is import-machinery bookkeeping, not library surface).
+    fn record_access(&mut self, module: &str, attr: &str) {
+        if attr == "__name__" || !self.registry.contains(module) {
+            return;
+        }
+        self.observed_accesses
+            .entry(module.to_owned())
+            .or_default()
+            .insert(attr.to_owned());
     }
 
     fn bind_name(&mut self, name: &str, value: Value, env: &mut Env) {
@@ -765,8 +804,7 @@ impl Interpreter {
             Expr::Int(v) => Ok(Value::Int(*v)),
             Expr::Float(v) => Ok(Value::Float(*v)),
             Expr::Str(s) => {
-                self.meter
-                    .alloc(self.cost.str_char_bytes * s.len() as u64);
+                self.meter.alloc(self.cost.str_char_bytes * s.len() as u64);
                 Ok(Value::str(s))
             }
             Expr::Name(n) => self.lookup_name(n, env),
@@ -845,30 +883,28 @@ impl Interpreter {
                 let r = self.eval(right, env)?;
                 self.binary_op(*op, l, r)
             }
-            Expr::Bool { op, values } => {
-                match op {
-                    BoolOp::And => {
-                        let mut last = Value::Bool(true);
-                        for v in values {
-                            last = self.eval(v, env)?;
-                            if !last.truthy() {
-                                return Ok(last);
-                            }
+            Expr::Bool { op, values } => match op {
+                BoolOp::And => {
+                    let mut last = Value::Bool(true);
+                    for v in values {
+                        last = self.eval(v, env)?;
+                        if !last.truthy() {
+                            return Ok(last);
                         }
-                        Ok(last)
                     }
-                    BoolOp::Or => {
-                        let mut last = Value::Bool(false);
-                        for v in values {
-                            last = self.eval(v, env)?;
-                            if last.truthy() {
-                                return Ok(last);
-                            }
-                        }
-                        Ok(last)
-                    }
+                    Ok(last)
                 }
-            }
+                BoolOp::Or => {
+                    let mut last = Value::Bool(false);
+                    for v in values {
+                        last = self.eval(v, env)?;
+                        if last.truthy() {
+                            return Ok(last);
+                        }
+                    }
+                    Ok(last)
+                }
+            },
             Expr::Compare { left, ops } => {
                 let mut lhs = self.eval(left, env)?;
                 for (op, rhs_expr) in ops {
@@ -925,8 +961,7 @@ impl Interpreter {
                     }
                     out.push(self.eval(element, env)?);
                 }
-                self.meter
-                    .alloc(self.cost.element_bytes * out.len() as u64);
+                self.meter.alloc(self.cost.element_bytes * out.len() as u64);
                 Ok(Value::list(out))
             }
             Expr::Slice { value, start, stop } => {
@@ -969,8 +1004,7 @@ impl Interpreter {
             (BinOp::Add, List(a), List(b)) => {
                 let mut out = a.borrow().clone();
                 out.extend(b.borrow().iter().cloned());
-                self.meter
-                    .alloc(self.cost.element_bytes * out.len() as u64);
+                self.meter.alloc(self.cost.element_bytes * out.len() as u64);
                 Ok(Value::list(out))
             }
             (BinOp::Mul, Str(s), Int(n)) | (BinOp::Mul, Int(n), Str(s)) => {
@@ -986,8 +1020,7 @@ impl Interpreter {
                 for _ in 0..n {
                     out.extend(src.iter().cloned());
                 }
-                self.meter
-                    .alloc(self.cost.element_bytes * out.len() as u64);
+                self.meter.alloc(self.cost.element_bytes * out.len() as u64);
                 Ok(Value::list(out))
             }
             (_, Int(a), Int(b)) => {
@@ -1035,14 +1068,20 @@ impl Interpreter {
                     BinOp::Mul => Ok(Float(a * b)),
                     BinOp::Div => {
                         if b == 0.0 {
-                            Err(PyErr::new(ExcKind::ZeroDivisionError, "float division by zero"))
+                            Err(PyErr::new(
+                                ExcKind::ZeroDivisionError,
+                                "float division by zero",
+                            ))
                         } else {
                             Ok(Float(a / b))
                         }
                     }
                     BinOp::FloorDiv => {
                         if b == 0.0 {
-                            Err(PyErr::new(ExcKind::ZeroDivisionError, "float floor division by zero"))
+                            Err(PyErr::new(
+                                ExcKind::ZeroDivisionError,
+                                "float floor division by zero",
+                            ))
                         } else {
                             Ok(Float((a / b).floor()))
                         }
@@ -1073,9 +1112,10 @@ impl Interpreter {
                 let ord = match (l, r) {
                     (Value::Int(a), Value::Int(b)) => a.partial_cmp(b),
                     (Value::Str(a), Value::Str(b)) => a.partial_cmp(b),
-                    (a @ (Value::Int(_) | Value::Float(_)), b @ (Value::Int(_) | Value::Float(_))) => {
-                        as_f64(a).partial_cmp(&as_f64(b))
-                    }
+                    (
+                        a @ (Value::Int(_) | Value::Float(_)),
+                        b @ (Value::Int(_) | Value::Float(_)),
+                    ) => as_f64(a).partial_cmp(&as_f64(b)),
                     _ => None,
                 };
                 let ord = ord.ok_or_else(|| {
@@ -1118,10 +1158,7 @@ impl Interpreter {
             Value::List(items) => Ok(items.borrow().clone()),
             Value::Tuple(items) => Ok((**items).clone()),
             Value::Dict(pairs) => Ok(pairs.borrow().iter().map(|(k, _)| k.clone()).collect()),
-            Value::Str(s) => Ok(s
-                .chars()
-                .map(|c| Value::str(c.to_string()))
-                .collect()),
+            Value::Str(s) => Ok(s.chars().map(|c| Value::str(c.to_string())).collect()),
             other => Err(PyErr::type_error(format!(
                 "'{}' object is not iterable",
                 other.type_name()
@@ -1139,12 +1176,12 @@ impl Interpreter {
             });
         }
         match obj {
-            Value::Module(m) => m.ns.get(attr).ok_or_else(|| {
-                PyErr::attribute_error(format!(
-                    "module '{}' has no attribute '{attr}'",
-                    m.name
-                ))
-            }),
+            Value::Module(m) => {
+                self.record_access(&m.name, attr);
+                m.ns.get(attr).ok_or_else(|| {
+                    PyErr::attribute_error(format!("module '{}' has no attribute '{attr}'", m.name))
+                })
+            }
             Value::Instance(i) => {
                 let inst = i.borrow();
                 if let Some(v) = inst.ns.get(attr) {
@@ -1213,16 +1250,23 @@ impl Interpreter {
                 let len = items.len();
                 let s = Self::slice_bound(start, len, 0)? as usize;
                 let e = Self::slice_bound(stop, len, len as i64)? as usize;
-                let out: Vec<Value> = if s < e { items[s..e].to_vec() } else { Vec::new() };
-                self.meter
-                    .alloc(self.cost.element_bytes * out.len() as u64);
+                let out: Vec<Value> = if s < e {
+                    items[s..e].to_vec()
+                } else {
+                    Vec::new()
+                };
+                self.meter.alloc(self.cost.element_bytes * out.len() as u64);
                 Ok(Value::list(out))
             }
             Value::Tuple(items) => {
                 let len = items.len();
                 let s = Self::slice_bound(start, len, 0)? as usize;
                 let e = Self::slice_bound(stop, len, len as i64)? as usize;
-                let out: Vec<Value> = if s < e { items[s..e].to_vec() } else { Vec::new() };
+                let out: Vec<Value> = if s < e {
+                    items[s..e].to_vec()
+                } else {
+                    Vec::new()
+                };
                 Ok(Value::tuple(out))
             }
             Value::Str(text) => {
@@ -1230,7 +1274,11 @@ impl Interpreter {
                 let len = chars.len();
                 let s = Self::slice_bound(start, len, 0)? as usize;
                 let e = Self::slice_bound(stop, len, len as i64)? as usize;
-                let out: String = if s < e { chars[s..e].iter().collect() } else { String::new() };
+                let out: String = if s < e {
+                    chars[s..e].iter().collect()
+                } else {
+                    String::new()
+                };
                 Ok(Value::str(out))
             }
             other => Err(PyErr::type_error(format!(
@@ -1306,9 +1354,7 @@ impl Interpreter {
                 } else if !args.is_empty() && class.is_exception {
                     // Exception-style constructor: first arg is the message.
                     if let Value::Instance(i) = &value {
-                        i.borrow()
-                            .ns
-                            .set("message", Value::str(py_str(&args[0])));
+                        i.borrow().ns.set("message", Value::str(py_str(&args[0])));
                     }
                 }
                 Ok(value)
@@ -1399,9 +1445,8 @@ impl Interpreter {
         args: Vec<Value>,
         _kwargs: Vec<(String, Value)>,
     ) -> Result<Value, PyErr> {
-        let arity_err = |want: &str| {
-            PyErr::type_error(format!("{}() expects {want} argument(s)", b.name()))
-        };
+        let arity_err =
+            |want: &str| PyErr::type_error(format!("{}() expects {want} argument(s)", b.name()));
         match b {
             Builtin::Print => {
                 let line = args.iter().map(py_str).collect::<Vec<_>>().join(" ");
@@ -1455,17 +1500,12 @@ impl Interpreter {
                     out.push(Value::Int(i));
                     i += step;
                     if out.len() > 10_000_000 {
-                        return Err(PyErr::new(
-                            ExcKind::ResourceExhausted,
-                            "range too large",
-                        ));
+                        return Err(PyErr::new(ExcKind::ResourceExhausted, "range too large"));
                     }
                 }
                 Ok(Value::list(out))
             }
-            Builtin::Str => Ok(Value::str(
-                args.first().map(py_str).unwrap_or_default(),
-            )),
+            Builtin::Str => Ok(Value::str(args.first().map(py_str).unwrap_or_default())),
             Builtin::Repr => {
                 let v = args.first().ok_or_else(|| arity_err("1"))?;
                 Ok(Value::str(py_repr(v)))
@@ -1623,16 +1663,18 @@ impl Interpreter {
                 let obj = args.first().ok_or_else(|| arity_err("2 or 3"))?.clone();
                 let name = match args.get(1) {
                     Some(Value::Str(s)) => s.to_string(),
-                    _ => return Err(PyErr::type_error("getattr(): attribute name must be string")),
+                    _ => {
+                        return Err(PyErr::type_error(
+                            "getattr(): attribute name must be string",
+                        ))
+                    }
                 };
                 match self.get_attribute(&obj, &name) {
                     Ok(v) => Ok(v),
-                    Err(e) if matches!(e.kind, ExcKind::AttributeError) => {
-                        match args.get(2) {
-                            Some(default) => Ok(default.clone()),
-                            None => Err(e),
-                        }
-                    }
+                    Err(e) if matches!(e.kind, ExcKind::AttributeError) => match args.get(2) {
+                        Some(default) => Ok(default.clone()),
+                        None => Err(e),
+                    },
                     Err(e) => Err(e),
                 }
             }
@@ -1642,7 +1684,11 @@ impl Interpreter {
                 }
                 let name = match &args[1] {
                     Value::Str(s) => s.to_string(),
-                    _ => return Err(PyErr::type_error("setattr(): attribute name must be string")),
+                    _ => {
+                        return Err(PyErr::type_error(
+                            "setattr(): attribute name must be string",
+                        ))
+                    }
                 };
                 match &args[0] {
                     Value::Module(m) => {
@@ -1667,7 +1713,11 @@ impl Interpreter {
                 let obj = args.first().ok_or_else(|| arity_err("2"))?.clone();
                 let name = match args.get(1) {
                     Some(Value::Str(s)) => s.to_string(),
-                    _ => return Err(PyErr::type_error("hasattr(): attribute name must be string")),
+                    _ => {
+                        return Err(PyErr::type_error(
+                            "hasattr(): attribute name must be string",
+                        ))
+                    }
                 };
                 match self.get_attribute(&obj, &name) {
                     Ok(_) => Ok(Value::Bool(true)),
@@ -1732,17 +1782,19 @@ impl Interpreter {
         self.meter.tick(1_000);
         match (recv, method) {
             (Value::List(items), Append) => {
-                let v = args.into_iter().next().ok_or_else(|| {
-                    PyErr::type_error("append() takes exactly one argument")
-                })?;
+                let v = args
+                    .into_iter()
+                    .next()
+                    .ok_or_else(|| PyErr::type_error("append() takes exactly one argument"))?;
                 items.borrow_mut().push(v);
                 self.meter.alloc(self.cost.element_bytes);
                 Ok(Value::None)
             }
             (Value::List(items), Extend) => {
-                let arg = args.into_iter().next().ok_or_else(|| {
-                    PyErr::type_error("extend() takes exactly one argument")
-                })?;
+                let arg = args
+                    .into_iter()
+                    .next()
+                    .ok_or_else(|| PyErr::type_error("extend() takes exactly one argument"))?;
                 let vals = self.iter_values(&arg)?;
                 self.meter
                     .alloc(self.cost.element_bytes * vals.len() as u64);
@@ -1774,9 +1826,9 @@ impl Interpreter {
                 }
             }
             (Value::List(items), Index) => {
-                let needle = args.first().ok_or_else(|| {
-                    PyErr::type_error("index() takes exactly one argument")
-                })?;
+                let needle = args
+                    .first()
+                    .ok_or_else(|| PyErr::type_error("index() takes exactly one argument"))?;
                 items
                     .borrow()
                     .iter()
@@ -1785,16 +1837,16 @@ impl Interpreter {
                     .ok_or_else(|| PyErr::new(ExcKind::ValueError, "value not in list"))
             }
             (Value::List(items), Count) => {
-                let needle = args.first().ok_or_else(|| {
-                    PyErr::type_error("count() takes exactly one argument")
-                })?;
+                let needle = args
+                    .first()
+                    .ok_or_else(|| PyErr::type_error("count() takes exactly one argument"))?;
                 let n = items.borrow().iter().filter(|v| py_eq(v, needle)).count();
                 Ok(Value::Int(n as i64))
             }
             (Value::Dict(pairs), Get) => {
-                let key = args.first().ok_or_else(|| {
-                    PyErr::type_error("get() takes at least one argument")
-                })?;
+                let key = args
+                    .first()
+                    .ok_or_else(|| PyErr::type_error("get() takes at least one argument"))?;
                 Ok(pairs
                     .borrow()
                     .iter()
@@ -1832,9 +1884,9 @@ impl Interpreter {
                 Ok(Value::None)
             }
             (Value::Dict(pairs), Pop) => {
-                let key = args.first().ok_or_else(|| {
-                    PyErr::type_error("pop() takes at least one argument")
-                })?;
+                let key = args
+                    .first()
+                    .ok_or_else(|| PyErr::type_error("pop() takes at least one argument"))?;
                 let mut pairs = pairs.borrow_mut();
                 match pairs.iter().position(|(k, _)| py_eq(k, key)) {
                     Some(i) => Ok(pairs.remove(i).1),
@@ -1884,9 +1936,10 @@ impl Interpreter {
                 Ok(Value::list(parts))
             }
             Join => {
-                let items = self.iter_values(args.first().ok_or_else(|| {
-                    PyErr::type_error("join() takes exactly one argument")
-                })?)?;
+                let items = self.iter_values(
+                    args.first()
+                        .ok_or_else(|| PyErr::type_error("join() takes exactly one argument"))?,
+                )?;
                 let mut parts = Vec::with_capacity(items.len());
                 for v in items {
                     match v {
@@ -1977,7 +2030,9 @@ fn value_isinstance(v: &Value, class: &Value) -> bool {
             _ => false,
         },
         Value::ExcClass(kind) => match v {
-            Value::ExcValue(e) => e.matches_handler(kind.class_name()) || kind.class_name() == "Exception",
+            Value::ExcValue(e) => {
+                e.matches_handler(kind.class_name()) || kind.class_name() == "Exception"
+            }
             Value::Instance(i) => i.borrow().class.is_exception && kind.class_name() == "Exception",
             _ => false,
         },
@@ -2039,6 +2094,67 @@ mod tests {
     fn run_err(src: &str) -> PyErr {
         let mut it = Interpreter::new(Registry::new());
         it.exec_main(src).expect_err("program should fail")
+    }
+
+    fn run_with(mods: &[(&str, &str)], src: &str) -> Interpreter {
+        let mut r = Registry::new();
+        for (m, s) in mods {
+            r.set_module(*m, *s);
+        }
+        let mut it = Interpreter::new(r);
+        it.exec_main(src).expect("program runs");
+        it
+    }
+
+    #[test]
+    fn star_import_binds_public_names() {
+        let it = run_with(
+            &[("m", "alpha = 1\n_hidden = 2\ndef go():\n    return 3\n")],
+            "from m import *\nprint(alpha, go())\n",
+        );
+        assert_eq!(it.stdout, vec!["1 3"]);
+    }
+
+    #[test]
+    fn star_import_skips_private_names() {
+        let e = {
+            let mut r = Registry::new();
+            r.set_module("m", "_hidden = 2\n");
+            let mut it = Interpreter::new(r);
+            it.exec_main("from m import *\nprint(_hidden)\n")
+                .expect_err("private name must not be bound")
+        };
+        assert!(matches!(e.kind, ExcKind::NameError));
+    }
+
+    #[test]
+    fn dotted_class_bases_resolve_through_modules() {
+        let it = run_with(
+            &[(
+                "nn",
+                "class Module:\n    def tag(self):\n        return \"base\"\n",
+            )],
+            "import nn\nclass Net(nn.Module):\n    pass\nprint(Net().tag())\n",
+        );
+        assert_eq!(it.stdout, vec!["base"]);
+    }
+
+    #[test]
+    fn module_attribute_reads_are_observed() {
+        let it = run_with(
+            &[("m", "alpha = 1\nbeta = 2\ngamma = 3\n")],
+            "import m\nfrom m import beta\nx = m.alpha\ny = getattr(m, \"gamma\")\n",
+        );
+        let seen = it.observed_accesses.get("m").cloned().unwrap_or_default();
+        assert!(seen.contains("alpha"), "direct attribute read");
+        assert!(seen.contains("beta"), "from-import read");
+        assert!(seen.contains("gamma"), "getattr read");
+    }
+
+    #[test]
+    fn observed_accesses_skip_non_registry_modules() {
+        let it = run("x = 1\n");
+        assert!(it.observed_accesses.is_empty());
     }
 
     #[test]
@@ -2141,12 +2257,7 @@ print(len(d.keys()), d.items())
 "#);
         assert_eq!(
             it.stdout,
-            vec![
-                "[0, 1, 2, 3]",
-                "1 1",
-                "1 -1",
-                "2 [(\"a\", 1), (\"b\", 2)]"
-            ]
+            vec!["[0, 1, 2, 3]", "1 1", "1 -1", "2 [(\"a\", 1), (\"b\", 2)]"]
         );
     }
 
@@ -2403,7 +2514,8 @@ print(isinstance(B(), A))
 
     #[test]
     fn tuple_unpacking_assignment() {
-        let it = run("a, b = (1, 2)\nprint(a, b)\nfor k, v in [(1, 2), (3, 4)]:\n    print(k + v)\n");
+        let it =
+            run("a, b = (1, 2)\nprint(a, b)\nfor k, v in [(1, 2), (3, 4)]:\n    print(k + v)\n");
         assert_eq!(it.stdout, vec!["1 2", "3", "7"]);
     }
 
@@ -2451,10 +2563,7 @@ print(isinstance(B(), A))
     #[test]
     fn list_comprehensions() {
         let it = run("xs = [i * 2 for i in range(5)]\nprint(xs)\nys = [i for i in range(10) if i % 3 == 0]\nprint(ys)\npairs = [a + b for a, b in [(1, 2), (3, 4)]]\nprint(pairs)\n");
-        assert_eq!(
-            it.stdout,
-            vec!["[0, 2, 4, 6, 8]", "[0, 3, 6, 9]", "[3, 7]"]
-        );
+        assert_eq!(it.stdout, vec!["[0, 2, 4, 6, 8]", "[0, 3, 6, 9]", "[3, 7]"]);
     }
 
     #[test]
@@ -2472,7 +2581,15 @@ print(isinstance(B(), A))
         let it = run("xs = [0, 1, 2, 3, 4]\nprint(xs[1:3])\nprint(xs[:2])\nprint(xs[3:])\nprint(xs[:])\nprint(\"hello\"[1:4])\nprint((1, 2, 3)[:2])\nprint(xs[-2:])\n");
         assert_eq!(
             it.stdout,
-            vec!["[1, 2]", "[0, 1]", "[3, 4]", "[0, 1, 2, 3, 4]", "ell", "(1, 2)", "[3, 4]"]
+            vec![
+                "[1, 2]",
+                "[0, 1]",
+                "[3, 4]",
+                "[0, 1, 2, 3, 4]",
+                "ell",
+                "(1, 2)",
+                "[3, 4]"
+            ]
         );
     }
 

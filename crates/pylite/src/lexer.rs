@@ -395,7 +395,7 @@ impl<'a> Lexer<'a> {
     fn string(&mut self, quote: u8) -> Result<(), LexError> {
         let line = self.line;
         self.bump(); // opening quote
-        // Triple-quoted strings.
+                     // Triple-quoted strings.
         let triple = self.peek() == Some(quote) && self.peek2() == Some(quote);
         if triple {
             self.bump();
@@ -564,7 +564,11 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<Tok> {
-        lex(src).expect("lexes").into_iter().map(|t| t.kind).collect()
+        lex(src)
+            .expect("lexes")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]

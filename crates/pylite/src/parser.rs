@@ -73,7 +73,9 @@ impl Parser {
     }
 
     fn bump(&mut self) -> Tok {
-        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .kind
+            .clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -190,15 +192,17 @@ impl Parser {
     }
 
     fn statement(&mut self) -> Result<Stmt, ParseError> {
-        if let Tok::Name(n) = self.peek() { match n.as_str() {
-            "if" => return self.if_statement(),
-            "while" => return self.while_statement(),
-            "for" => return self.for_statement(),
-            "def" => return self.func_def(),
-            "class" => return self.class_def(),
-            "try" => return self.try_statement(),
-            _ => {}
-        } }
+        if let Tok::Name(n) = self.peek() {
+            match n.as_str() {
+                "if" => return self.if_statement(),
+                "while" => return self.while_statement(),
+                "for" => return self.for_statement(),
+                "def" => return self.func_def(),
+                "class" => return self.class_def(),
+                "try" => return self.try_statement(),
+                _ => {}
+            }
+        }
         let stmt = self.simple_statement()?;
         // Semicolon-separated simple statements on one line are not preserved
         // as a compound construct; we flatten by returning the first and
@@ -353,7 +357,11 @@ impl Parser {
         self.expect_kw("in")?;
         let iter = self.expression()?;
         let body = self.suite()?;
-        Ok(Stmt::For { targets, iter, body })
+        Ok(Stmt::For {
+            targets,
+            iter,
+            body,
+        })
     }
 
     fn func_def(&mut self) -> Result<Stmt, ParseError> {
@@ -395,7 +403,7 @@ impl Parser {
         let mut bases = Vec::new();
         if self.eat(Tok::LParen) {
             while !matches!(self.peek(), Tok::RParen) {
-                bases.push(self.expect_name()?);
+                bases.push(self.dotted_name()?);
                 if !self.eat(Tok::Comma) {
                     break;
                 }
@@ -484,6 +492,14 @@ impl Parser {
         self.expect_kw("from")?;
         let module = self.dotted_name()?;
         self.expect_kw("import")?;
+        if self.eat(Tok::Star) {
+            // `from m import *` — a single pseudo-name the interpreter and
+            // analyzer expand to every public binding of `m`.
+            return Ok(Stmt::FromImport {
+                module,
+                names: vec![("*".to_owned(), None)],
+            });
+        }
         let parenthesized = self.eat(Tok::LParen);
         let mut names = Vec::new();
         loop {
@@ -978,7 +994,11 @@ mod tests {
                 assert_eq!(targets, &[Expr::Name("x".into())]);
                 // 1 + (2 * 3) — precedence check.
                 match value {
-                    Expr::Binary { op: BinOp::Add, right, .. } => {
+                    Expr::Binary {
+                        op: BinOp::Add,
+                        right,
+                        ..
+                    } => {
                         assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. }));
                     }
                     other => panic!("unexpected {other:?}"),
@@ -1155,10 +1175,7 @@ mod tests {
     fn parses_aug_assign_variants() {
         let p = parse("x += 1\ny -= 2\nz *= 3\nw /= 4\n").unwrap();
         assert_eq!(p.body.len(), 4);
-        assert!(p
-            .body
-            .iter()
-            .all(|s| matches!(s, Stmt::AugAssign { .. })));
+        assert!(p.body.iter().all(|s| matches!(s, Stmt::AugAssign { .. })));
     }
 
     #[test]

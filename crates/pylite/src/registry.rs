@@ -112,9 +112,7 @@ impl Registry {
         let mut subs: Vec<String> = self
             .sources
             .keys()
-            .filter(|k| {
-                k.starts_with(&prefix) && !k[prefix.len()..].contains('.')
-            })
+            .filter(|k| k.starts_with(&prefix) && !k[prefix.len()..].contains('.'))
             .cloned()
             .collect();
         subs.sort();

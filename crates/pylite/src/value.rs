@@ -68,12 +68,9 @@ impl NsMap {
 
     /// `(key, value)` pairs in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
-        self.order.iter().map(move |k| {
-            (
-                &**k,
-                self.map.get(k).expect("order and map are consistent"),
-            )
-        })
+        self.order
+            .iter()
+            .map(move |k| (&**k, self.map.get(k).expect("order and map are consistent")))
     }
 }
 
@@ -679,12 +676,8 @@ pub fn py_eq(a: &Value, b: &Value) -> bool {
         (Value::Bool(x), Value::Bool(y)) => x == y,
         (Value::Int(x), Value::Int(y)) => x == y,
         (Value::Float(x), Value::Float(y)) => x == y,
-        (Value::Int(x), Value::Float(y)) | (Value::Float(y), Value::Int(x)) => {
-            *x as f64 == *y
-        }
-        (Value::Bool(x), Value::Int(y)) | (Value::Int(y), Value::Bool(x)) => {
-            (*x as i64) == *y
-        }
+        (Value::Int(x), Value::Float(y)) | (Value::Float(y), Value::Int(x)) => *x as f64 == *y,
+        (Value::Bool(x), Value::Int(y)) | (Value::Int(y), Value::Bool(x)) => (*x as i64) == *y,
         (Value::Str(x), Value::Str(y)) => x == y,
         (Value::List(x), Value::List(y)) => {
             let (x, y) = (x.borrow(), y.borrow());
@@ -696,10 +689,8 @@ pub fn py_eq(a: &Value, b: &Value) -> bool {
         (Value::Dict(x), Value::Dict(y)) => {
             let (x, y) = (x.borrow(), y.borrow());
             x.len() == y.len()
-                && x.iter().all(|(k, v)| {
-                    y.iter()
-                        .any(|(k2, v2)| py_eq(k, k2) && py_eq(v, v2))
-                })
+                && x.iter()
+                    .all(|(k, v)| y.iter().any(|(k2, v2)| py_eq(k, k2) && py_eq(v, v2)))
         }
         (Value::Func(x), Value::Func(y)) => Rc::ptr_eq(x, y),
         (Value::Class(x), Value::Class(y)) => Rc::ptr_eq(x, y),
@@ -836,10 +827,7 @@ mod tests {
     fn repr_formats() {
         assert_eq!(py_repr(&Value::Float(2.0)), "2.0");
         assert_eq!(py_repr(&Value::str("hi")), "\"hi\"");
-        assert_eq!(
-            py_repr(&Value::tuple(vec![Value::Int(1)])),
-            "(1,)"
-        );
+        assert_eq!(py_repr(&Value::tuple(vec![Value::Int(1)])), "(1,)");
         assert_eq!(py_str(&Value::str("hi")), "hi");
     }
 

@@ -23,7 +23,8 @@ fn stdout(src: &str) -> Vec<String> {
 
 #[test]
 fn function_locals_do_not_leak() {
-    let it = run("def f():\n    local = 42\n    return local\nf()\nprint(hasattr(__name__, \"x\"))\n");
+    let it =
+        run("def f():\n    local = 42\n    return local\nf()\nprint(hasattr(__name__, \"x\"))\n");
     assert_eq!(it.stdout, vec!["False"]);
 }
 
@@ -176,7 +177,10 @@ fn import_inside_function_is_lazy() {
         .call_handler("handler", pylite::Value::None, pylite::Value::None)
         .unwrap();
     assert!(pylite::py_eq(&out, &pylite::Value::Int(1)));
-    assert!(it.meter.clock_secs() >= 0.5, "import ran inside the handler");
+    assert!(
+        it.meter.clock_secs() >= 0.5,
+        "import ran inside the handler"
+    );
 }
 
 #[test]

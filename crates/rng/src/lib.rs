@@ -1,0 +1,124 @@
+//! # trim-rng — a tiny, dependency-free, deterministic PRNG
+//!
+//! The repository must build with no network access, so the external `rand`
+//! crate is replaced by this minimal xoshiro256** generator seeded via
+//! splitmix64 (the reference initialization from Blackman & Vigna). It is
+//! **not** cryptographically secure — it exists to make trace generation and
+//! the profiler's random-scoring ablation deterministic and portable.
+//!
+//! ```
+//! let mut a = trim_rng::Rng::seed_from_u64(7);
+//! let mut b = trim_rng::Rng::seed_from_u64(7);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! ```
+
+#![warn(missing_docs)]
+
+/// A seeded xoshiro256** generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Seed the generator from a single 64-bit value (splitmix64 expansion,
+    /// the same scheme `rand`'s `SeedableRng::seed_from_u64` documents).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        Rng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 mantissa bits).
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform `usize` in `[lo, hi]` (inclusive). Uses rejection-free
+    /// modulo reduction — bias is negligible for the small ranges used here.
+    pub fn usize_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo) as u64 + 1;
+        lo + (self.next_u64() % span) as usize
+    }
+
+    /// A uniform boolean.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn usize_inclusive_within_bounds() {
+        let mut r = Rng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = r.usize_inclusive(3, 60);
+            assert!((3..=60).contains(&x));
+        }
+        // Both endpoints are reachable on a small range.
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(r.usize_inclusive(0, 3));
+        }
+        assert_eq!(seen.len(), 4);
+    }
+}

@@ -35,7 +35,10 @@ fn main() {
         ("GCP (100 ms)", PricingModel::gcp()),
         ("Azure (1 s)", PricingModel::azure()),
     ] {
-        println!("  {name:<14} bills {:>6.0} ms", model.billed_duration_ms(150.0));
+        println!(
+            "  {name:<14} bills {:>6.0} ms",
+            model.billed_duration_ms(150.0)
+        );
     }
 
     // -- Keep-alive sensitivity over a bursty trace ----------------------

@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         TestCase::event("{\"op\": \"grayscale\", \"img\": \"dog.png\"}"),
     ]);
     let report = trim_app(&registry(), APP, &spec, &DebloatOptions::default())?;
-    println!("--- trimmed imgproc ---\n{}", report.trimmed.source("imgproc").unwrap());
+    println!(
+        "--- trimmed imgproc ---\n{}",
+        report.trimmed.source("imgproc").unwrap()
+    );
     println!(
         "removed: {:?} (DD can't see getattr targets — only the oracle protects them)",
         report
@@ -97,7 +100,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         FallbackInstanceState::Cold,
     )?;
     println!("\nafter adding the failing input to the oracle and re-trimming:");
-    println!("  fell back : {} (rotate now survives trimming)", outcome2.fell_back());
+    println!(
+        "  fell back : {} (rotate now survives trimming)",
+        outcome2.fell_back()
+    );
     println!("  response  : {}", outcome2.result());
     assert!(!outcome2.fell_back());
     Ok(())

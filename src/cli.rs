@@ -200,7 +200,8 @@ impl Args {
     ///
     /// A message naming the missing option.
     pub fn require(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required option --{key}"))
     }
 }
 
@@ -226,10 +227,8 @@ mod tests {
     use super::*;
 
     fn tempdir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "lambda-trim-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("lambda-trim-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         dir
@@ -242,10 +241,7 @@ mod tests {
         assert_eq!(name("/pkgs/utils.py"), Some("utils".into()));
         assert_eq!(name("/pkgs/torch/__init__.py"), Some("torch".into()));
         assert_eq!(name("/pkgs/torch/nn.py"), Some("torch.nn".into()));
-        assert_eq!(
-            name("/pkgs/torch/nn/__init__.py"),
-            Some("torch.nn".into())
-        );
+        assert_eq!(name("/pkgs/torch/nn/__init__.py"), Some("torch.nn".into()));
         assert_eq!(name("/pkgs/__init__.py"), None, "root init has no name");
         assert_eq!(name("/elsewhere/x.py"), None);
     }

@@ -50,6 +50,4 @@ pub use trim_profiler;
 
 pub use lambda_sim::{AppProfile, Platform, PricingModel, StartMode};
 pub use pylite::{Interpreter, Registry};
-pub use trim_core::{
-    trim_app, DebloatOptions, OracleSpec, TestCase, TrimError, TrimReport,
-};
+pub use trim_core::{trim_app, DebloatOptions, OracleSpec, TestCase, TrimError, TrimReport};

@@ -8,9 +8,7 @@
 //! lambda-trim run     --app app.py --packages pkgs/ --event '{"n": 3}'
 //! ```
 
-use lambda_trim::cli::{
-    load_registry, parse_oracle_file, parse_scoring, write_registry, Args,
-};
+use lambda_trim::cli::{load_registry, parse_oracle_file, parse_scoring, write_registry, Args};
 use std::path::Path;
 use std::process::ExitCode;
 use trim_core::{trim_app, DebloatOptions};
@@ -94,13 +92,19 @@ fn debloat_options(args: &Args) -> Result<DebloatOptions, String> {
         options.scoring = parse_scoring(s)?;
     }
     if let Some(t) = args.get("threads") {
-        options.threads = t.parse().map_err(|_| format!("bad --threads value `{t}`"))?;
+        options.threads = t
+            .parse()
+            .map_err(|_| format!("bad --threads value `{t}`"))?;
     }
     if let Some(a) = args.get("algorithm") {
         options.algorithm = match a {
             "ddmin" => trim_core::Algorithm::Ddmin,
             "greedy" => trim_core::Algorithm::Greedy,
-            other => return Err(format!("unknown algorithm `{other}` (expected ddmin|greedy)")),
+            other => {
+                return Err(format!(
+                    "unknown algorithm `{other}` (expected ddmin|greedy)"
+                ))
+            }
         };
     }
     Ok(options)
@@ -110,8 +114,8 @@ fn cmd_trim(args: &Args) -> Result<(), String> {
     let (registry, app_source, handler) = load_inputs(args)?;
     let oracle_path = args.require("oracle")?;
     let out_dir = args.require("out")?;
-    let oracle_content = std::fs::read_to_string(oracle_path)
-        .map_err(|e| format!("reading {oracle_path}: {e}"))?;
+    let oracle_content =
+        std::fs::read_to_string(oracle_path).map_err(|e| format!("reading {oracle_path}: {e}"))?;
     let spec =
         parse_oracle_file(&oracle_content, &handler).map_err(|e| format!("{oracle_path}: {e}"))?;
     let options = debloat_options(args)?;
@@ -122,8 +126,7 @@ fn cmd_trim(args: &Args) -> Result<(), String> {
         options.scoring.name(),
         spec.cases.len()
     );
-    let report =
-        trim_app(&registry, &app_source, &spec, &options).map_err(|e| e.to_string())?;
+    let report = trim_app(&registry, &app_source, &spec, &options).map_err(|e| e.to_string())?;
 
     let out = Path::new(out_dir);
     write_registry(&report.trimmed, out).map_err(|e| format!("writing {out_dir}: {e}"))?;
@@ -147,8 +150,7 @@ fn cmd_trim(args: &Args) -> Result<(), String> {
 fn cmd_profile(args: &Args) -> Result<(), String> {
     let (registry, app_source, _) = load_inputs(args)?;
     let options = debloat_options(args)?;
-    let profile =
-        trim_profiler::profile_app(&app_source, &registry).map_err(|e| e.to_string())?;
+    let profile = trim_profiler::profile_app(&app_source, &registry).map_err(|e| e.to_string())?;
     let ranked = trim_profiler::rank_modules(&profile, options.scoring);
     println!(
         "total init {:.3} s, total memory {:.1} MB — ranking by {}",
@@ -156,7 +158,10 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
         profile.total_mem_mb,
         options.scoring.name()
     );
-    println!("{:<30} {:>10} {:>10} {:>14}", "module", "time s", "mem MB", "score");
+    println!(
+        "{:<30} {:>10} {:>10} {:>14}",
+        "module", "time s", "mem MB", "score"
+    );
     for r in ranked.iter().take(options.k) {
         let cost = profile.module(&r.module).expect("ranked module profiled");
         println!(
@@ -168,17 +173,62 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_analyze(args: &Args) -> Result<(), String> {
-    let (registry, app_source, _) = load_inputs(args)?;
+    let (registry, app_source, handler) = load_inputs(args)?;
     let program = pylite::parse(&app_source).map_err(|e| e.to_string())?;
-    let analysis = trim_analysis::analyze(&program, &registry);
+    let full = trim_analysis::analyze_full(
+        &program,
+        &registry,
+        &trim_analysis::AnalysisOptions {
+            entry: Some(handler),
+            ..trim_analysis::AnalysisOptions::default()
+        },
+    );
+    let analysis = &full.analysis;
     println!("imported modules:");
     for m in &analysis.imported_modules {
-        let marker = if registry.contains(m) { "" } else { "  (MISSING)" };
+        let marker = if registry.contains(m) {
+            ""
+        } else {
+            "  (MISSING)"
+        };
         println!("  {m}{marker}");
     }
     println!("\ndefinitely-accessed attributes (excluded from DD):");
     for (module, attrs) in &analysis.accessed {
-        println!("  {module}: {}", attrs.iter().cloned().collect::<Vec<_>>().join(", "));
+        println!(
+            "  {module}: {}",
+            attrs.iter().cloned().collect::<Vec<_>>().join(", ")
+        );
+    }
+    println!(
+        "\ncall graph ({} edges, {} nodes reachable from the entry, {} function bodies analyzed):",
+        full.call_graph.edges.len(),
+        full.call_graph.reachable.len(),
+        full.reached_functions.len(),
+    );
+    for (from, to) in &full.call_graph.edges {
+        let marker = if full.call_graph.reachable.contains(to) {
+            ""
+        } else {
+            "  (unreachable)"
+        };
+        println!("  {from} -> {to}{marker}");
+    }
+    if !full.lints.is_empty() {
+        println!("\nlints:");
+        for lint in &full.lints {
+            println!("  {lint}");
+        }
+    }
+    if !full.hazard_modules.is_empty() {
+        println!(
+            "\nhazard modules (deployed untrimmed, conservative fallback): {}",
+            full.hazard_modules
+                .iter()
+                .cloned()
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
     }
     Ok(())
 }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_probes-f86869cd10259efb.d: crates/bench/benches/analysis_probes.rs
+
+/root/repo/target/debug/deps/analysis_probes-f86869cd10259efb: crates/bench/benches/analysis_probes.rs
+
+crates/bench/benches/analysis_probes.rs:

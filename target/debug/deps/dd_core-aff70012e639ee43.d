@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dd_core-aff70012e639ee43.d: crates/bench/benches/dd_core.rs
+
+/root/repo/target/debug/deps/dd_core-aff70012e639ee43: crates/bench/benches/dd_core.rs
+
+crates/bench/benches/dd_core.rs:

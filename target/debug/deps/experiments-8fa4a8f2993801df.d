@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-8fa4a8f2993801df.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-8fa4a8f2993801df: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

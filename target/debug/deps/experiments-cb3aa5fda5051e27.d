@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-cb3aa5fda5051e27.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-cb3aa5fda5051e27: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

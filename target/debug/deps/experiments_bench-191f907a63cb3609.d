@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments_bench-191f907a63cb3609.d: crates/bench/benches/experiments_bench.rs
+
+/root/repo/target/debug/deps/experiments_bench-191f907a63cb3609: crates/bench/benches/experiments_bench.rs
+
+crates/bench/benches/experiments_bench.rs:

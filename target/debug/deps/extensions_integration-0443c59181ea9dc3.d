@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions_integration-0443c59181ea9dc3.d: tests/extensions_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions_integration-0443c59181ea9dc3.rmeta: tests/extensions_integration.rs Cargo.toml
+
+tests/extensions_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions_integration-4f280960bf8c7413.d: tests/extensions_integration.rs
+
+/root/repo/target/debug/deps/extensions_integration-4f280960bf8c7413: tests/extensions_integration.rs
+
+tests/extensions_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fallback_integration-00a93f6c78862c8c.d: tests/fallback_integration.rs
+
+/root/repo/target/debug/deps/fallback_integration-00a93f6c78862c8c: tests/fallback_integration.rs
+
+tests/fallback_integration.rs:

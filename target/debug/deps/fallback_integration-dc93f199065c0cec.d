@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fallback_integration-dc93f199065c0cec.d: tests/fallback_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfallback_integration-dc93f199065c0cec.rmeta: tests/fallback_integration.rs Cargo.toml
+
+tests/fallback_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/granularity-8180282ab9d31467.d: crates/bench/benches/granularity.rs
+
+/root/repo/target/debug/deps/granularity-8180282ab9d31467: crates/bench/benches/granularity.rs
+
+crates/bench/benches/granularity.rs:

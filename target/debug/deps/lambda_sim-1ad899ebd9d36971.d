@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lambda_sim-1ad899ebd9d36971.d: crates/lambda-sim/src/lib.rs crates/lambda-sim/src/metrics.rs crates/lambda-sim/src/platform.rs crates/lambda-sim/src/pool.rs crates/lambda-sim/src/pricing.rs crates/lambda-sim/src/providers.rs crates/lambda-sim/src/snapshot.rs crates/lambda-sim/src/trace.rs
+
+/root/repo/target/debug/deps/lambda_sim-1ad899ebd9d36971: crates/lambda-sim/src/lib.rs crates/lambda-sim/src/metrics.rs crates/lambda-sim/src/platform.rs crates/lambda-sim/src/pool.rs crates/lambda-sim/src/pricing.rs crates/lambda-sim/src/providers.rs crates/lambda-sim/src/snapshot.rs crates/lambda-sim/src/trace.rs
+
+crates/lambda-sim/src/lib.rs:
+crates/lambda-sim/src/metrics.rs:
+crates/lambda-sim/src/platform.rs:
+crates/lambda-sim/src/pool.rs:
+crates/lambda-sim/src/pricing.rs:
+crates/lambda-sim/src/providers.rs:
+crates/lambda-sim/src/snapshot.rs:
+crates/lambda-sim/src/trace.rs:

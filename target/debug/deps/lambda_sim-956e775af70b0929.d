@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/lambda_sim-956e775af70b0929.d: crates/lambda-sim/src/lib.rs crates/lambda-sim/src/metrics.rs crates/lambda-sim/src/platform.rs crates/lambda-sim/src/pool.rs crates/lambda-sim/src/pricing.rs crates/lambda-sim/src/providers.rs crates/lambda-sim/src/snapshot.rs crates/lambda-sim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblambda_sim-956e775af70b0929.rmeta: crates/lambda-sim/src/lib.rs crates/lambda-sim/src/metrics.rs crates/lambda-sim/src/platform.rs crates/lambda-sim/src/pool.rs crates/lambda-sim/src/pricing.rs crates/lambda-sim/src/providers.rs crates/lambda-sim/src/snapshot.rs crates/lambda-sim/src/trace.rs Cargo.toml
+
+crates/lambda-sim/src/lib.rs:
+crates/lambda-sim/src/metrics.rs:
+crates/lambda-sim/src/platform.rs:
+crates/lambda-sim/src/pool.rs:
+crates/lambda-sim/src/pricing.rs:
+crates/lambda-sim/src/providers.rs:
+crates/lambda-sim/src/snapshot.rs:
+crates/lambda-sim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

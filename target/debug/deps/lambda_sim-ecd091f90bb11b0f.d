@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lambda_sim-ecd091f90bb11b0f.d: crates/lambda-sim/src/lib.rs crates/lambda-sim/src/metrics.rs crates/lambda-sim/src/platform.rs crates/lambda-sim/src/pool.rs crates/lambda-sim/src/pricing.rs crates/lambda-sim/src/providers.rs crates/lambda-sim/src/snapshot.rs crates/lambda-sim/src/trace.rs
+
+/root/repo/target/debug/deps/liblambda_sim-ecd091f90bb11b0f.rlib: crates/lambda-sim/src/lib.rs crates/lambda-sim/src/metrics.rs crates/lambda-sim/src/platform.rs crates/lambda-sim/src/pool.rs crates/lambda-sim/src/pricing.rs crates/lambda-sim/src/providers.rs crates/lambda-sim/src/snapshot.rs crates/lambda-sim/src/trace.rs
+
+/root/repo/target/debug/deps/liblambda_sim-ecd091f90bb11b0f.rmeta: crates/lambda-sim/src/lib.rs crates/lambda-sim/src/metrics.rs crates/lambda-sim/src/platform.rs crates/lambda-sim/src/pool.rs crates/lambda-sim/src/pricing.rs crates/lambda-sim/src/providers.rs crates/lambda-sim/src/snapshot.rs crates/lambda-sim/src/trace.rs
+
+crates/lambda-sim/src/lib.rs:
+crates/lambda-sim/src/metrics.rs:
+crates/lambda-sim/src/platform.rs:
+crates/lambda-sim/src/pool.rs:
+crates/lambda-sim/src/pricing.rs:
+crates/lambda-sim/src/providers.rs:
+crates/lambda-sim/src/snapshot.rs:
+crates/lambda-sim/src/trace.rs:

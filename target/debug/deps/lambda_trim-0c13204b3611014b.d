@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lambda_trim-0c13204b3611014b.d: src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblambda_trim-0c13204b3611014b.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

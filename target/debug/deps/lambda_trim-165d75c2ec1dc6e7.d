@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lambda_trim-165d75c2ec1dc6e7.d: src/main.rs
+
+/root/repo/target/debug/deps/lambda_trim-165d75c2ec1dc6e7: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lambda_trim-43c947fc7eca6845.d: src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblambda_trim-43c947fc7eca6845.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

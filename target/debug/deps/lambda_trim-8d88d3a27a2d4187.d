@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/lambda_trim-8d88d3a27a2d4187.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/lambda_trim-8d88d3a27a2d4187: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lambda_trim-a5f927c71bd7e910.d: src/lib.rs src/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblambda_trim-a5f927c71bd7e910.rmeta: src/lib.rs src/cli.rs Cargo.toml
+
+src/lib.rs:
+src/cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lambda_trim-c7603d202ee83cb8.d: src/main.rs
+
+/root/repo/target/debug/deps/lambda_trim-c7603d202ee83cb8: src/main.rs
+
+src/main.rs:

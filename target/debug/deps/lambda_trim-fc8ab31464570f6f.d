@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lambda_trim-fc8ab31464570f6f.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/liblambda_trim-fc8ab31464570f6f.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/liblambda_trim-fc8ab31464570f6f.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-e74c0fa053ad3cc0.d: crates/bench/benches/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-e74c0fa053ad3cc0: crates/bench/benches/pipeline.rs
+
+crates/bench/benches/pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_integration-7b8cf4609a65b8e5.d: tests/pipeline_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_integration-7b8cf4609a65b8e5.rmeta: tests/pipeline_integration.rs Cargo.toml
+
+tests/pipeline_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

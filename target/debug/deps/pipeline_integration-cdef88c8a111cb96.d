@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_integration-cdef88c8a111cb96.d: tests/pipeline_integration.rs
+
+/root/repo/target/debug/deps/pipeline_integration-cdef88c8a111cb96: tests/pipeline_integration.rs
+
+tests/pipeline_integration.rs:

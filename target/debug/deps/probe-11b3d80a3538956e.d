@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe-11b3d80a3538956e.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/debug/deps/probe-11b3d80a3538956e: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

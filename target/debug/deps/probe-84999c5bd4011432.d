@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe-84999c5bd4011432.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/debug/deps/probe-84999c5bd4011432: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_tests-bd0453b25cb3ea44.d: tests/property_tests.rs
+
+/root/repo/target/debug/deps/property_tests-bd0453b25cb3ea44: tests/property_tests.rs
+
+tests/property_tests.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pylite-80e948d5b4a16a13.d: crates/pylite/src/lib.rs crates/pylite/src/ast.rs crates/pylite/src/cost.rs crates/pylite/src/interp.rs crates/pylite/src/lexer.rs crates/pylite/src/parser.rs crates/pylite/src/registry.rs crates/pylite/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpylite-80e948d5b4a16a13.rmeta: crates/pylite/src/lib.rs crates/pylite/src/ast.rs crates/pylite/src/cost.rs crates/pylite/src/interp.rs crates/pylite/src/lexer.rs crates/pylite/src/parser.rs crates/pylite/src/registry.rs crates/pylite/src/value.rs Cargo.toml
+
+crates/pylite/src/lib.rs:
+crates/pylite/src/ast.rs:
+crates/pylite/src/cost.rs:
+crates/pylite/src/interp.rs:
+crates/pylite/src/lexer.rs:
+crates/pylite/src/parser.rs:
+crates/pylite/src/registry.rs:
+crates/pylite/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

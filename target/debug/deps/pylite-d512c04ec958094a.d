@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pylite-d512c04ec958094a.d: crates/pylite/src/lib.rs crates/pylite/src/ast.rs crates/pylite/src/cost.rs crates/pylite/src/interp.rs crates/pylite/src/lexer.rs crates/pylite/src/parser.rs crates/pylite/src/registry.rs crates/pylite/src/value.rs
+
+/root/repo/target/debug/deps/pylite-d512c04ec958094a: crates/pylite/src/lib.rs crates/pylite/src/ast.rs crates/pylite/src/cost.rs crates/pylite/src/interp.rs crates/pylite/src/lexer.rs crates/pylite/src/parser.rs crates/pylite/src/registry.rs crates/pylite/src/value.rs
+
+crates/pylite/src/lib.rs:
+crates/pylite/src/ast.rs:
+crates/pylite/src/cost.rs:
+crates/pylite/src/interp.rs:
+crates/pylite/src/lexer.rs:
+crates/pylite/src/parser.rs:
+crates/pylite/src/registry.rs:
+crates/pylite/src/value.rs:

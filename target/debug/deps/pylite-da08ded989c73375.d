@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pylite-da08ded989c73375.d: crates/pylite/src/lib.rs crates/pylite/src/ast.rs crates/pylite/src/cost.rs crates/pylite/src/interp.rs crates/pylite/src/lexer.rs crates/pylite/src/parser.rs crates/pylite/src/registry.rs crates/pylite/src/value.rs
+
+/root/repo/target/debug/deps/libpylite-da08ded989c73375.rlib: crates/pylite/src/lib.rs crates/pylite/src/ast.rs crates/pylite/src/cost.rs crates/pylite/src/interp.rs crates/pylite/src/lexer.rs crates/pylite/src/parser.rs crates/pylite/src/registry.rs crates/pylite/src/value.rs
+
+/root/repo/target/debug/deps/libpylite-da08ded989c73375.rmeta: crates/pylite/src/lib.rs crates/pylite/src/ast.rs crates/pylite/src/cost.rs crates/pylite/src/interp.rs crates/pylite/src/lexer.rs crates/pylite/src/parser.rs crates/pylite/src/registry.rs crates/pylite/src/value.rs
+
+crates/pylite/src/lib.rs:
+crates/pylite/src/ast.rs:
+crates/pylite/src/cost.rs:
+crates/pylite/src/interp.rs:
+crates/pylite/src/lexer.rs:
+crates/pylite/src/parser.rs:
+crates/pylite/src/registry.rs:
+crates/pylite/src/value.rs:

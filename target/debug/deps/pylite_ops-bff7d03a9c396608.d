@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pylite_ops-bff7d03a9c396608.d: crates/bench/benches/pylite_ops.rs
+
+/root/repo/target/debug/deps/pylite_ops-bff7d03a9c396608: crates/bench/benches/pylite_ops.rs
+
+crates/bench/benches/pylite_ops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semantics-4b8ec69d886da09b.d: crates/pylite/tests/semantics.rs
+
+/root/repo/target/debug/deps/semantics-4b8ec69d886da09b: crates/pylite/tests/semantics.rs
+
+crates/pylite/tests/semantics.rs:

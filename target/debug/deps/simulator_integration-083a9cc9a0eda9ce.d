@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator_integration-083a9cc9a0eda9ce.d: tests/simulator_integration.rs
+
+/root/repo/target/debug/deps/simulator_integration-083a9cc9a0eda9ce: tests/simulator_integration.rs
+
+tests/simulator_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulator_integration-b8364344847b4fb5.d: tests/simulator_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulator_integration-b8364344847b4fb5.rmeta: tests/simulator_integration.rs Cargo.toml
+
+tests/simulator_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

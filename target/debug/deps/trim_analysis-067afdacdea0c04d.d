@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trim_analysis-067afdacdea0c04d.d: crates/analysis/src/lib.rs crates/analysis/src/callgraph.rs crates/analysis/src/engine.rs crates/analysis/src/lints.rs crates/analysis/src/origin.rs
+
+/root/repo/target/debug/deps/trim_analysis-067afdacdea0c04d: crates/analysis/src/lib.rs crates/analysis/src/callgraph.rs crates/analysis/src/engine.rs crates/analysis/src/lints.rs crates/analysis/src/origin.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/callgraph.rs:
+crates/analysis/src/engine.rs:
+crates/analysis/src/lints.rs:
+crates/analysis/src/origin.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/trim_analysis-5ae85040989578c4.d: crates/analysis/src/lib.rs crates/analysis/src/callgraph.rs crates/analysis/src/engine.rs crates/analysis/src/lints.rs crates/analysis/src/origin.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrim_analysis-5ae85040989578c4.rmeta: crates/analysis/src/lib.rs crates/analysis/src/callgraph.rs crates/analysis/src/engine.rs crates/analysis/src/lints.rs crates/analysis/src/origin.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/callgraph.rs:
+crates/analysis/src/engine.rs:
+crates/analysis/src/lints.rs:
+crates/analysis/src/origin.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

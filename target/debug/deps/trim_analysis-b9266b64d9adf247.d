@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/trim_analysis-b9266b64d9adf247.d: crates/analysis/src/lib.rs crates/analysis/src/callgraph.rs crates/analysis/src/engine.rs crates/analysis/src/lints.rs crates/analysis/src/origin.rs
+
+/root/repo/target/debug/deps/libtrim_analysis-b9266b64d9adf247.rlib: crates/analysis/src/lib.rs crates/analysis/src/callgraph.rs crates/analysis/src/engine.rs crates/analysis/src/lints.rs crates/analysis/src/origin.rs
+
+/root/repo/target/debug/deps/libtrim_analysis-b9266b64d9adf247.rmeta: crates/analysis/src/lib.rs crates/analysis/src/callgraph.rs crates/analysis/src/engine.rs crates/analysis/src/lints.rs crates/analysis/src/origin.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/callgraph.rs:
+crates/analysis/src/engine.rs:
+crates/analysis/src/lints.rs:
+crates/analysis/src/origin.rs:

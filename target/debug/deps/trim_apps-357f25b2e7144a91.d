@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/trim_apps-357f25b2e7144a91.d: crates/apps/src/lib.rs crates/apps/src/apps.rs crates/apps/src/libgen.rs crates/apps/src/specs.rs
+
+/root/repo/target/debug/deps/trim_apps-357f25b2e7144a91: crates/apps/src/lib.rs crates/apps/src/apps.rs crates/apps/src/libgen.rs crates/apps/src/specs.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/apps.rs:
+crates/apps/src/libgen.rs:
+crates/apps/src/specs.rs:

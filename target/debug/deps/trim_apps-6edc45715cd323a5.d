@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/trim_apps-6edc45715cd323a5.d: crates/apps/src/lib.rs crates/apps/src/apps.rs crates/apps/src/libgen.rs crates/apps/src/specs.rs
+
+/root/repo/target/debug/deps/libtrim_apps-6edc45715cd323a5.rlib: crates/apps/src/lib.rs crates/apps/src/apps.rs crates/apps/src/libgen.rs crates/apps/src/specs.rs
+
+/root/repo/target/debug/deps/libtrim_apps-6edc45715cd323a5.rmeta: crates/apps/src/lib.rs crates/apps/src/apps.rs crates/apps/src/libgen.rs crates/apps/src/specs.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/apps.rs:
+crates/apps/src/libgen.rs:
+crates/apps/src/specs.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/trim_apps-936698b9af188424.d: crates/apps/src/lib.rs crates/apps/src/apps.rs crates/apps/src/libgen.rs crates/apps/src/specs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrim_apps-936698b9af188424.rmeta: crates/apps/src/lib.rs crates/apps/src/apps.rs crates/apps/src/libgen.rs crates/apps/src/specs.rs Cargo.toml
+
+crates/apps/src/lib.rs:
+crates/apps/src/apps.rs:
+crates/apps/src/libgen.rs:
+crates/apps/src/specs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

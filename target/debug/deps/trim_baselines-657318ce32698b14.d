@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trim_baselines-657318ce32698b14.d: crates/baselines/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrim_baselines-657318ce32698b14.rmeta: crates/baselines/src/lib.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/trim_baselines-d2c5077bc2014356.d: crates/baselines/src/lib.rs
+
+/root/repo/target/debug/deps/libtrim_baselines-d2c5077bc2014356.rlib: crates/baselines/src/lib.rs
+
+/root/repo/target/debug/deps/libtrim_baselines-d2c5077bc2014356.rmeta: crates/baselines/src/lib.rs
+
+crates/baselines/src/lib.rs:

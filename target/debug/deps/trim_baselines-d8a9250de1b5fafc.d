@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trim_baselines-d8a9250de1b5fafc.d: crates/baselines/src/lib.rs
+
+/root/repo/target/debug/deps/trim_baselines-d8a9250de1b5fafc: crates/baselines/src/lib.rs
+
+crates/baselines/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/trim_bench-83621b6da31efd83.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/micro.rs
+
+/root/repo/target/debug/deps/trim_bench-83621b6da31efd83: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/micro.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/micro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trim_bench-897c1b25a2cf8724.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/micro.rs
+
+/root/repo/target/debug/deps/libtrim_bench-897c1b25a2cf8724.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/micro.rs
+
+/root/repo/target/debug/deps/libtrim_bench-897c1b25a2cf8724.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/micro.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/micro.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/trim_core-5cc6ec2a541834c8.d: crates/core/src/lib.rs crates/core/src/attributes.rs crates/core/src/debloater.rs crates/core/src/deployment.rs crates/core/src/fallback.rs crates/core/src/incremental.rs crates/core/src/oracle.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/rewrite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrim_core-5cc6ec2a541834c8.rmeta: crates/core/src/lib.rs crates/core/src/attributes.rs crates/core/src/debloater.rs crates/core/src/deployment.rs crates/core/src/fallback.rs crates/core/src/incremental.rs crates/core/src/oracle.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/rewrite.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/attributes.rs:
+crates/core/src/debloater.rs:
+crates/core/src/deployment.rs:
+crates/core/src/fallback.rs:
+crates/core/src/incremental.rs:
+crates/core/src/oracle.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/report.rs:
+crates/core/src/rewrite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/trim_core-d26187a76146d808.d: crates/core/src/lib.rs crates/core/src/attributes.rs crates/core/src/debloater.rs crates/core/src/deployment.rs crates/core/src/fallback.rs crates/core/src/incremental.rs crates/core/src/oracle.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/rewrite.rs
+
+/root/repo/target/debug/deps/trim_core-d26187a76146d808: crates/core/src/lib.rs crates/core/src/attributes.rs crates/core/src/debloater.rs crates/core/src/deployment.rs crates/core/src/fallback.rs crates/core/src/incremental.rs crates/core/src/oracle.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/rewrite.rs
+
+crates/core/src/lib.rs:
+crates/core/src/attributes.rs:
+crates/core/src/debloater.rs:
+crates/core/src/deployment.rs:
+crates/core/src/fallback.rs:
+crates/core/src/incremental.rs:
+crates/core/src/oracle.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/report.rs:
+crates/core/src/rewrite.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trim_dd-4f8cd4dd9666cda5.d: crates/dd/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrim_dd-4f8cd4dd9666cda5.rmeta: crates/dd/src/lib.rs Cargo.toml
+
+crates/dd/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/trim_dd-61856d45d43b48bc.d: crates/dd/src/lib.rs
+
+/root/repo/target/debug/deps/libtrim_dd-61856d45d43b48bc.rlib: crates/dd/src/lib.rs
+
+/root/repo/target/debug/deps/libtrim_dd-61856d45d43b48bc.rmeta: crates/dd/src/lib.rs
+
+crates/dd/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trim_dd-81976fb9a7b76038.d: crates/dd/src/lib.rs
+
+/root/repo/target/debug/deps/trim_dd-81976fb9a7b76038: crates/dd/src/lib.rs
+
+crates/dd/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/trim_profiler-c683919db1056f5e.d: crates/profiler/src/lib.rs
+
+/root/repo/target/debug/deps/libtrim_profiler-c683919db1056f5e.rlib: crates/profiler/src/lib.rs
+
+/root/repo/target/debug/deps/libtrim_profiler-c683919db1056f5e.rmeta: crates/profiler/src/lib.rs
+
+crates/profiler/src/lib.rs:

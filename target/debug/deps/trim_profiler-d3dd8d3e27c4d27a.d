@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trim_profiler-d3dd8d3e27c4d27a.d: crates/profiler/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrim_profiler-d3dd8d3e27c4d27a.rmeta: crates/profiler/src/lib.rs Cargo.toml
+
+crates/profiler/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trim_profiler-df7e2532acf46338.d: crates/profiler/src/lib.rs
+
+/root/repo/target/debug/deps/trim_profiler-df7e2532acf46338: crates/profiler/src/lib.rs
+
+crates/profiler/src/lib.rs:

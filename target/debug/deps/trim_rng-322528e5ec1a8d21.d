@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trim_rng-322528e5ec1a8d21.d: crates/rng/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrim_rng-322528e5ec1a8d21.rmeta: crates/rng/src/lib.rs Cargo.toml
+
+crates/rng/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/trim_rng-bb84562e792bbce0.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libtrim_rng-bb84562e792bbce0.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libtrim_rng-bb84562e792bbce0.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trim_rng-e40b70a1653596d1.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/trim_rng-e40b70a1653596d1: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

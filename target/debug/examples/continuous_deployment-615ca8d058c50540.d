@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/continuous_deployment-615ca8d058c50540.d: examples/continuous_deployment.rs
+
+/root/repo/target/debug/examples/continuous_deployment-615ca8d058c50540: examples/continuous_deployment.rs
+
+examples/continuous_deployment.rs:

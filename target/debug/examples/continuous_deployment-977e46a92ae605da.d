@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/continuous_deployment-977e46a92ae605da.d: examples/continuous_deployment.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcontinuous_deployment-977e46a92ae605da.rmeta: examples/continuous_deployment.rs Cargo.toml
+
+examples/continuous_deployment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cost_explorer-85ff947b317fc4ff.d: examples/cost_explorer.rs
+
+/root/repo/target/debug/examples/cost_explorer-85ff947b317fc4ff: examples/cost_explorer.rs
+
+examples/cost_explorer.rs:

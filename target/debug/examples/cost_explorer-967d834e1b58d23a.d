@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cost_explorer-967d834e1b58d23a.d: examples/cost_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcost_explorer-967d834e1b58d23a.rmeta: examples/cost_explorer.rs Cargo.toml
+
+examples/cost_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_library-3620d30642396007.d: examples/custom_library.rs
+
+/root/repo/target/debug/examples/custom_library-3620d30642396007: examples/custom_library.rs
+
+examples/custom_library.rs:

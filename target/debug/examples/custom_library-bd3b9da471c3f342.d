@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_library-bd3b9da471c3f342.d: examples/custom_library.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_library-bd3b9da471c3f342.rmeta: examples/custom_library.rs Cargo.toml
+
+examples/custom_library.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ml_inference-41a3e2512fcfb566.d: examples/ml_inference.rs
+
+/root/repo/target/debug/examples/ml_inference-41a3e2512fcfb566: examples/ml_inference.rs
+
+examples/ml_inference.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ml_inference-9444b9160a489381.d: examples/ml_inference.rs Cargo.toml
+
+/root/repo/target/debug/examples/libml_inference-9444b9160a489381.rmeta: examples/ml_inference.rs Cargo.toml
+
+examples/ml_inference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

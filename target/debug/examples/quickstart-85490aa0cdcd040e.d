@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-85490aa0cdcd040e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-85490aa0cdcd040e: examples/quickstart.rs
+
+examples/quickstart.rs:

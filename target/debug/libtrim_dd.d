@@ -1,0 +1,1 @@
+/root/repo/target/debug/libtrim_dd.rlib: /root/repo/crates/dd/src/lib.rs

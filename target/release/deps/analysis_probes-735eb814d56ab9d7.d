@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/analysis_probes-735eb814d56ab9d7.d: crates/bench/benches/analysis_probes.rs
+
+/root/repo/target/release/deps/analysis_probes-735eb814d56ab9d7: crates/bench/benches/analysis_probes.rs
+
+crates/bench/benches/analysis_probes.rs:

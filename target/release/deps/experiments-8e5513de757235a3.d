@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-8e5513de757235a3.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-8e5513de757235a3: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

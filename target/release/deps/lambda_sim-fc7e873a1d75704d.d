@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/lambda_sim-fc7e873a1d75704d.d: crates/lambda-sim/src/lib.rs crates/lambda-sim/src/metrics.rs crates/lambda-sim/src/platform.rs crates/lambda-sim/src/pool.rs crates/lambda-sim/src/pricing.rs crates/lambda-sim/src/providers.rs crates/lambda-sim/src/snapshot.rs crates/lambda-sim/src/trace.rs
+
+/root/repo/target/release/deps/liblambda_sim-fc7e873a1d75704d.rlib: crates/lambda-sim/src/lib.rs crates/lambda-sim/src/metrics.rs crates/lambda-sim/src/platform.rs crates/lambda-sim/src/pool.rs crates/lambda-sim/src/pricing.rs crates/lambda-sim/src/providers.rs crates/lambda-sim/src/snapshot.rs crates/lambda-sim/src/trace.rs
+
+/root/repo/target/release/deps/liblambda_sim-fc7e873a1d75704d.rmeta: crates/lambda-sim/src/lib.rs crates/lambda-sim/src/metrics.rs crates/lambda-sim/src/platform.rs crates/lambda-sim/src/pool.rs crates/lambda-sim/src/pricing.rs crates/lambda-sim/src/providers.rs crates/lambda-sim/src/snapshot.rs crates/lambda-sim/src/trace.rs
+
+crates/lambda-sim/src/lib.rs:
+crates/lambda-sim/src/metrics.rs:
+crates/lambda-sim/src/platform.rs:
+crates/lambda-sim/src/pool.rs:
+crates/lambda-sim/src/pricing.rs:
+crates/lambda-sim/src/providers.rs:
+crates/lambda-sim/src/snapshot.rs:
+crates/lambda-sim/src/trace.rs:

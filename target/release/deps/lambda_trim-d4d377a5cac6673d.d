@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/lambda_trim-d4d377a5cac6673d.d: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/liblambda_trim-d4d377a5cac6673d.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/liblambda_trim-d4d377a5cac6673d.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lambda_trim-e69dd5b5d3b0c0a6.d: src/main.rs
+
+/root/repo/target/release/deps/lambda_trim-e69dd5b5d3b0c0a6: src/main.rs
+
+src/main.rs:

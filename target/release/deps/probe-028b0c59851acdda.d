@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe-028b0c59851acdda.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/release/deps/probe-028b0c59851acdda: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

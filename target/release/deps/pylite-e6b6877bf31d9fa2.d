@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/pylite-e6b6877bf31d9fa2.d: crates/pylite/src/lib.rs crates/pylite/src/ast.rs crates/pylite/src/cost.rs crates/pylite/src/interp.rs crates/pylite/src/lexer.rs crates/pylite/src/parser.rs crates/pylite/src/registry.rs crates/pylite/src/value.rs
+
+/root/repo/target/release/deps/libpylite-e6b6877bf31d9fa2.rlib: crates/pylite/src/lib.rs crates/pylite/src/ast.rs crates/pylite/src/cost.rs crates/pylite/src/interp.rs crates/pylite/src/lexer.rs crates/pylite/src/parser.rs crates/pylite/src/registry.rs crates/pylite/src/value.rs
+
+/root/repo/target/release/deps/libpylite-e6b6877bf31d9fa2.rmeta: crates/pylite/src/lib.rs crates/pylite/src/ast.rs crates/pylite/src/cost.rs crates/pylite/src/interp.rs crates/pylite/src/lexer.rs crates/pylite/src/parser.rs crates/pylite/src/registry.rs crates/pylite/src/value.rs
+
+crates/pylite/src/lib.rs:
+crates/pylite/src/ast.rs:
+crates/pylite/src/cost.rs:
+crates/pylite/src/interp.rs:
+crates/pylite/src/lexer.rs:
+crates/pylite/src/parser.rs:
+crates/pylite/src/registry.rs:
+crates/pylite/src/value.rs:

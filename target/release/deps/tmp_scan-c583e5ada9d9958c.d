@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tmp_scan-c583e5ada9d9958c.d: tests/tmp_scan.rs
+
+/root/repo/target/release/deps/tmp_scan-c583e5ada9d9958c: tests/tmp_scan.rs
+
+tests/tmp_scan.rs:

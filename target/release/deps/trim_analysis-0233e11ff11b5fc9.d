@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/trim_analysis-0233e11ff11b5fc9.d: crates/analysis/src/lib.rs crates/analysis/src/callgraph.rs crates/analysis/src/engine.rs crates/analysis/src/lints.rs crates/analysis/src/origin.rs
+
+/root/repo/target/release/deps/libtrim_analysis-0233e11ff11b5fc9.rlib: crates/analysis/src/lib.rs crates/analysis/src/callgraph.rs crates/analysis/src/engine.rs crates/analysis/src/lints.rs crates/analysis/src/origin.rs
+
+/root/repo/target/release/deps/libtrim_analysis-0233e11ff11b5fc9.rmeta: crates/analysis/src/lib.rs crates/analysis/src/callgraph.rs crates/analysis/src/engine.rs crates/analysis/src/lints.rs crates/analysis/src/origin.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/callgraph.rs:
+crates/analysis/src/engine.rs:
+crates/analysis/src/lints.rs:
+crates/analysis/src/origin.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/trim_apps-d7d02fa9cf89ecc2.d: crates/apps/src/lib.rs crates/apps/src/apps.rs crates/apps/src/libgen.rs crates/apps/src/specs.rs
+
+/root/repo/target/release/deps/libtrim_apps-d7d02fa9cf89ecc2.rlib: crates/apps/src/lib.rs crates/apps/src/apps.rs crates/apps/src/libgen.rs crates/apps/src/specs.rs
+
+/root/repo/target/release/deps/libtrim_apps-d7d02fa9cf89ecc2.rmeta: crates/apps/src/lib.rs crates/apps/src/apps.rs crates/apps/src/libgen.rs crates/apps/src/specs.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/apps.rs:
+crates/apps/src/libgen.rs:
+crates/apps/src/specs.rs:

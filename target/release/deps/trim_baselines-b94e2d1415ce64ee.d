@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/trim_baselines-b94e2d1415ce64ee.d: crates/baselines/src/lib.rs
+
+/root/repo/target/release/deps/libtrim_baselines-b94e2d1415ce64ee.rlib: crates/baselines/src/lib.rs
+
+/root/repo/target/release/deps/libtrim_baselines-b94e2d1415ce64ee.rmeta: crates/baselines/src/lib.rs
+
+crates/baselines/src/lib.rs:

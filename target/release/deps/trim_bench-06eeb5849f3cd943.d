@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/trim_bench-06eeb5849f3cd943.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/micro.rs
+
+/root/repo/target/release/deps/libtrim_bench-06eeb5849f3cd943.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/micro.rs
+
+/root/repo/target/release/deps/libtrim_bench-06eeb5849f3cd943.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/micro.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/micro.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/trim_core-fa262cb01f7825e3.d: crates/core/src/lib.rs crates/core/src/attributes.rs crates/core/src/debloater.rs crates/core/src/deployment.rs crates/core/src/fallback.rs crates/core/src/incremental.rs crates/core/src/oracle.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/rewrite.rs
+
+/root/repo/target/release/deps/libtrim_core-fa262cb01f7825e3.rlib: crates/core/src/lib.rs crates/core/src/attributes.rs crates/core/src/debloater.rs crates/core/src/deployment.rs crates/core/src/fallback.rs crates/core/src/incremental.rs crates/core/src/oracle.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/rewrite.rs
+
+/root/repo/target/release/deps/libtrim_core-fa262cb01f7825e3.rmeta: crates/core/src/lib.rs crates/core/src/attributes.rs crates/core/src/debloater.rs crates/core/src/deployment.rs crates/core/src/fallback.rs crates/core/src/incremental.rs crates/core/src/oracle.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/rewrite.rs
+
+crates/core/src/lib.rs:
+crates/core/src/attributes.rs:
+crates/core/src/debloater.rs:
+crates/core/src/deployment.rs:
+crates/core/src/fallback.rs:
+crates/core/src/incremental.rs:
+crates/core/src/oracle.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/report.rs:
+crates/core/src/rewrite.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/trim_dd-63c78ea25aea9477.d: crates/dd/src/lib.rs
+
+/root/repo/target/release/deps/libtrim_dd-63c78ea25aea9477.rlib: crates/dd/src/lib.rs
+
+/root/repo/target/release/deps/libtrim_dd-63c78ea25aea9477.rmeta: crates/dd/src/lib.rs
+
+crates/dd/src/lib.rs:

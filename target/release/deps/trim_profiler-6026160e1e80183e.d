@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/trim_profiler-6026160e1e80183e.d: crates/profiler/src/lib.rs
+
+/root/repo/target/release/deps/libtrim_profiler-6026160e1e80183e.rlib: crates/profiler/src/lib.rs
+
+/root/repo/target/release/deps/libtrim_profiler-6026160e1e80183e.rmeta: crates/profiler/src/lib.rs
+
+crates/profiler/src/lib.rs:

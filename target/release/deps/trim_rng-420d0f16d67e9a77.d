@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/trim_rng-420d0f16d67e9a77.d: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/libtrim_rng-420d0f16d67e9a77.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/libtrim_rng-420d0f16d67e9a77.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -56,9 +56,10 @@ fn continuous_debloating_across_an_app_update() {
     let log = TrimLog::from_report(&v1);
     // v2: the handler gains a constant offset — behaviorally different but
     // structurally identical usage.
-    let v2_source = bench
-        .app_source
-        .replace("    n = event.get(\"n\", 1)", "    n = event.get(\"n\", 1) + 0");
+    let v2_source = bench.app_source.replace(
+        "    n = event.get(\"n\", 1)",
+        "    n = event.get(\"n\", 1) + 0",
+    );
     assert_ne!(v2_source, bench.app_source);
     let v2 = retrim_with_log(
         &bench.registry,
@@ -109,8 +110,16 @@ fn provider_quotes_rank_trim_savings_by_granularity() {
         );
     }
     let saving = |provider: &str| {
-        let b = qb.iter().find(|q| q.provider == provider).unwrap().cold_cost;
-        let a = qa.iter().find(|q| q.provider == provider).unwrap().cold_cost;
+        let b = qb
+            .iter()
+            .find(|q| q.provider == provider)
+            .unwrap()
+            .cold_cost;
+        let a = qa
+            .iter()
+            .find(|q| q.provider == provider)
+            .unwrap()
+            .cold_cost;
         (b - a) / b
     };
     assert!(
@@ -149,7 +158,10 @@ fn extended_pool_composes_with_trimmed_profiles() {
         },
     );
     assert_eq!(stats.invocations(), 30);
-    assert_eq!(stats.cold_starts, 0, "one provisioned slot absorbs this rate");
+    assert_eq!(
+        stats.cold_starts, 0,
+        "one provisioned slot absorbs this rate"
+    );
     assert!(stats.total_cost() > 0.0);
 }
 

@@ -32,7 +32,11 @@ fn trim_preserves_behavior_and_improves_init() {
             "{}: memory must not regress",
             bench.name
         );
-        assert!(report.attrs_removed() > 0, "{}: something trimmed", bench.name);
+        assert!(
+            report.attrs_removed() > 0,
+            "{}: something trimmed",
+            bench.name
+        );
     }
 }
 
@@ -66,8 +70,8 @@ fn dd_beats_baselines_on_attributes_removed() {
         .unwrap();
         let fl = trim_baselines::faaslight_trim(&bench.registry, &bench.app_source, &bench.spec)
             .unwrap();
-        let vu = trim_baselines::vulture_trim(&bench.registry, &bench.app_source, &bench.spec)
-            .unwrap();
+        let vu =
+            trim_baselines::vulture_trim(&bench.registry, &bench.app_source, &bench.spec).unwrap();
         assert!(
             dd.attrs_removed() >= fl.attrs_removed(),
             "{}: DD {} vs FaaSLight {}",
@@ -170,11 +174,7 @@ fn scoring_methods_are_sound() {
         assert!(report.after.behavior_eq(&report.before));
         by_method.push((method.name(), report.after.init_secs));
     }
-    let combined = by_method
-        .iter()
-        .find(|(n, _)| *n == "combined")
-        .unwrap()
-        .1;
+    let combined = by_method.iter().find(|(n, _)| *n == "combined").unwrap().1;
     let random = by_method.iter().find(|(n, _)| *n == "random").unwrap().1;
     assert!(
         combined <= random + 1e-9,
@@ -214,4 +214,149 @@ fn full_corpus_smoke() {
         assert!(exec.init_secs > 0.0);
         assert!(exec.mem_mb > 0.0);
     }
+}
+
+/// §5.1 soundness over the whole corpus: every attribute the
+/// interprocedural analysis marks as accessed at load time is actually
+/// read when the application initializes (static ⊆ dynamic). An
+/// over-approximation here would silently force-keep trimmable attributes.
+#[test]
+fn static_load_time_accesses_are_observed_dynamically() {
+    for bench in trim_apps::corpus() {
+        let program = lambda_trim::pylite::parse(&bench.app_source)
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        let full = lambda_trim::trim_analysis::analyze_full(
+            &program,
+            &bench.registry,
+            &lambda_trim::trim_analysis::AnalysisOptions::default(),
+        );
+        let mut it = lambda_trim::Interpreter::new(bench.registry.clone());
+        it.exec_main(&bench.app_source)
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        for (module, attrs) in &full.load_time_accessed {
+            let observed = it
+                .observed_accesses
+                .get(module)
+                .cloned()
+                .unwrap_or_default();
+            for attr in attrs {
+                assert!(
+                    observed.contains(attr),
+                    "{}: analysis claims {module}.{attr} is read at load time, \
+                     but the interpreter never observed it",
+                    bench.name
+                );
+            }
+        }
+    }
+}
+
+/// The interprocedural exclusion sets subsume the app-only (seed-scope)
+/// ones for every corpus app — switching the default can only shrink the
+/// DD search space, never grow it.
+#[test]
+fn interprocedural_exclusions_subsume_app_only() {
+    let mut grew_somewhere = false;
+    for bench in trim_apps::corpus() {
+        let program = lambda_trim::pylite::parse(&bench.app_source).unwrap();
+        let inter = lambda_trim::trim_analysis::analyze(&program, &bench.registry);
+        let app_only = lambda_trim::trim_analysis::analyze_app_only(&program, &bench.registry);
+        for (module, attrs) in &app_only.accessed {
+            let inter_attrs = inter.accessed_attrs(module);
+            for attr in attrs {
+                assert!(
+                    inter_attrs.contains(attr),
+                    "{}: {module}.{attr} lost by interprocedural analysis",
+                    bench.name
+                );
+            }
+        }
+        let count = |a: &lambda_trim::trim_analysis::Analysis| -> usize {
+            a.accessed.values().map(|s| s.len()).sum()
+        };
+        if count(&inter) > count(&app_only) {
+            grew_somewhere = true;
+        }
+    }
+    assert!(
+        grew_somewhere,
+        "interprocedural analysis should find extra exclusions somewhere in the corpus"
+    );
+}
+
+/// Probe-count acceptance: with the interprocedural exclusion sets, DD
+/// never needs more oracle probes than with the seed-scope sets, and at
+/// least one app needs measurably fewer — while converging to the same
+/// trimmed deployment.
+#[test]
+fn interprocedural_probes_never_increase() {
+    use lambda_trim::trim_analysis::AnalysisMode;
+    let mut reduced_somewhere = false;
+    for bench in trim_apps::mini_corpus() {
+        let run = |mode| {
+            trim_app(
+                &bench.registry,
+                &bench.app_source,
+                &bench.spec,
+                &DebloatOptions {
+                    analysis: mode,
+                    ..DebloatOptions::default()
+                },
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name))
+        };
+        let app_only = run(AnalysisMode::AppOnly);
+        let inter = run(AnalysisMode::Interprocedural);
+        assert!(
+            inter.after.behavior_eq(&app_only.after),
+            "{}: modes must agree on behavior",
+            bench.name
+        );
+        assert!(
+            inter.oracle_invocations <= app_only.oracle_invocations,
+            "{}: interprocedural probes regressed ({} vs {})",
+            bench.name,
+            inter.oracle_invocations,
+            app_only.oracle_invocations
+        );
+        if inter.oracle_invocations < app_only.oracle_invocations {
+            reduced_somewhere = true;
+        }
+    }
+    assert!(
+        reduced_somewhere,
+        "at least one mini-corpus app must need fewer probes interprocedurally"
+    );
+}
+
+/// A synthetic app with an opaque (non-literal) getattr on its main
+/// library: the lint pass must flag it and the pipeline must deploy that
+/// library untrimmed via the conservative fallback route.
+#[test]
+fn opaque_dynamic_access_routes_module_to_fallback() {
+    use lambda_trim::trim_analysis::lints::Severity;
+    let bench = trim_apps::app("markdown").unwrap();
+    let hazardous_app = format!(
+        "{}def probe(event, context):\n    return getattr(markdown, event[\"name\"])\n",
+        bench.app_source
+    );
+    let report = trim_app(
+        &bench.registry,
+        &hazardous_app,
+        &bench.spec,
+        &DebloatOptions::default(),
+    )
+    .unwrap();
+    assert!(
+        report.fallback_modules.contains(&"markdown".to_string()),
+        "markdown must be routed to fallback, got {:?}",
+        report.fallback_modules
+    );
+    assert_eq!(
+        report.trimmed.source("markdown"),
+        bench.registry.source("markdown"),
+        "fallback module deploys untrimmed"
+    );
+    assert!(report.lints.iter().any(|l| l.severity == Severity::Hazard));
+    assert!(report.after.behavior_eq(&report.before));
 }

@@ -1,49 +1,63 @@
-//! Property-based tests (proptest) over the core invariants:
-//! ddmin soundness and 1-minimality, rewriter correctness, pricing
-//! monotonicity, parser robustness, and meter additivity.
+//! Randomized property tests over the core invariants: ddmin soundness
+//! and 1-minimality, rewriter correctness, pricing monotonicity, parser
+//! robustness, and meter additivity.
+//!
+//! These use a small deterministic in-tree PRNG (`trim-rng`) instead of a
+//! property-testing framework so the suite builds offline; each property
+//! is exercised over a fixed-seed stream of generated cases.
+#![cfg(feature = "property-tests")]
 
-use proptest::prelude::*;
 use std::collections::BTreeSet;
 use trim_dd::{ddmin, is_one_minimal};
+use trim_rng::Rng;
+
+const CASES: usize = 48;
 
 // ---------------------------------------------------------------------------
 // Delta Debugging
 // ---------------------------------------------------------------------------
 
-proptest! {
-    /// For monotone "must contain R" oracles, ddmin returns exactly R.
-    #[test]
-    fn ddmin_finds_exact_required_set(
-        n in 1usize..120,
-        seed_indices in proptest::collection::btree_set(0usize..120, 0..8)
-    ) {
+/// For monotone "must contain R" oracles, ddmin returns exactly R.
+#[test]
+fn ddmin_finds_exact_required_set() {
+    let mut rng = Rng::seed_from_u64(0xdd01);
+    for _ in 0..CASES {
+        let n = rng.usize_inclusive(1, 119);
+        let mut required = BTreeSet::new();
+        for _ in 0..rng.usize_inclusive(0, 7) {
+            let i = rng.usize_inclusive(0, 119);
+            if i < n {
+                required.insert(i);
+            }
+        }
         let items: Vec<usize> = (0..n).collect();
-        let required: Vec<usize> = seed_indices.into_iter().filter(|i| *i < n).collect();
+        let required: Vec<usize> = required.into_iter().collect();
         let mut oracle = |s: &[usize]| required.iter().all(|r| s.contains(r));
         let result = ddmin(&items, &mut oracle).expect("whole set passes");
-        prop_assert_eq!(result.minimized, required);
+        assert_eq!(result.minimized, required);
     }
+}
 
-    /// For arbitrary oracles that accept the whole set, the result always
-    /// satisfies the oracle and is 1-minimal.
-    #[test]
-    fn ddmin_result_is_sound_and_one_minimal(
-        n in 1usize..40,
-        modulus in 1usize..7,
-        anchor in 0usize..40,
-    ) {
+/// For arbitrary oracles that accept the whole set, the result always
+/// satisfies the oracle and is 1-minimal.
+#[test]
+fn ddmin_result_is_sound_and_one_minimal() {
+    let mut rng = Rng::seed_from_u64(0xdd02);
+    for _ in 0..CASES {
+        let n = rng.usize_inclusive(1, 39);
+        let modulus = rng.usize_inclusive(1, 6);
+        let anchor = rng.usize_inclusive(0, 39) % n;
         let items: Vec<usize> = (0..n).collect();
-        let anchor = anchor % n;
         // Non-monotone oracle: needs the anchor and a size constraint.
         let mut oracle = move |s: &[usize]| {
             s.contains(&anchor) && s.len() % modulus != modulus.saturating_sub(1) % modulus
         };
         if !oracle(&items) {
-            return Ok(()); // precondition unmet; skip
+            continue; // precondition unmet; skip
         }
         let result = ddmin(&items, &mut oracle).expect("whole set passes");
-        prop_assert!(oracle(&result.minimized), "result must satisfy oracle");
-        prop_assert!(
+        assert!(oracle(&result.minimized), "result must satisfy oracle");
+        assert!(
             is_one_minimal(&result.minimized, &mut oracle),
             "result must be 1-minimal: {:?}",
             result.minimized
@@ -55,69 +69,69 @@ proptest! {
 // Rewriter
 // ---------------------------------------------------------------------------
 
-/// A strategy producing random module sources built from the corpus
-/// library generator (arbitrary attr counts, costs, submodule shapes).
-fn arb_module_source() -> impl Strategy<Value = String> {
-    (1usize..60, 0usize..20, 0usize..10).prop_map(|(attrs, sub_attrs, reexports)| {
-        let spec = trim_apps::LibSpec {
-            name: "randlib",
-            prefix: "rl9",
-            init_attrs: attrs,
-            init_ms: 10.0,
-            init_mb: 5.0,
-            core_frac: 0.3,
-            mem_core_frac: 0.5,
-            subs: if sub_attrs == 0 {
-                vec![]
-            } else {
-                vec![trim_apps::SubSpec {
-                    name: "sub",
-                    attrs: sub_attrs,
-                    import_ms: 5.0,
-                    alloc_mb: 2.0,
-                    reexports: reexports.min(sub_attrs),
-                }]
-            },
-            deps: vec![],
-            disk_mb: 1.0,
-        };
-        let mut registry = pylite::Registry::new();
-        trim_apps::generate_library(&spec, &mut registry);
-        registry.source("randlib").unwrap().to_owned()
-    })
+/// A random module source built from the corpus library generator
+/// (arbitrary attr counts, costs, submodule shapes).
+fn random_module_source(rng: &mut Rng) -> String {
+    let attrs = rng.usize_inclusive(1, 59);
+    let sub_attrs = rng.usize_inclusive(0, 19);
+    let reexports = rng.usize_inclusive(0, 9);
+    let spec = trim_apps::LibSpec {
+        name: "randlib",
+        prefix: "rl9",
+        init_attrs: attrs,
+        init_ms: 10.0,
+        init_mb: 5.0,
+        core_frac: 0.3,
+        mem_core_frac: 0.5,
+        subs: if sub_attrs == 0 {
+            vec![]
+        } else {
+            vec![trim_apps::SubSpec {
+                name: "sub",
+                attrs: sub_attrs,
+                import_ms: 5.0,
+                alloc_mb: 2.0,
+                reexports: reexports.min(sub_attrs),
+            }]
+        },
+        deps: vec![],
+        disk_mb: 1.0,
+    };
+    let mut registry = pylite::Registry::new();
+    trim_apps::generate_library(&spec, &mut registry);
+    registry.source("randlib").unwrap().to_owned()
 }
 
-proptest! {
-    /// Rewriting to any attribute subset yields source that re-parses and
-    /// whose attribute set is exactly the kept subset.
-    #[test]
-    fn rewrite_output_reparses_with_exact_attrs(
-        source in arb_module_source(),
-        keep_mask in proptest::collection::vec(any::<bool>(), 100)
-    ) {
+/// Rewriting to any attribute subset yields source that re-parses and
+/// whose attribute set is exactly the kept subset.
+#[test]
+fn rewrite_output_reparses_with_exact_attrs() {
+    let mut rng = Rng::seed_from_u64(0x5e11);
+    for _ in 0..CASES {
+        let source = random_module_source(&mut rng);
         let program = pylite::parse(&source).expect("generated source parses");
         let attrs = trim_core::module_attributes(&program);
-        let keep: BTreeSet<String> = attrs
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| keep_mask.get(*i).copied().unwrap_or(false))
-            .map(|(_, a)| a.clone())
-            .collect();
+        let keep: BTreeSet<String> = attrs.iter().filter(|_| rng.bool()).cloned().collect();
         let rewritten = trim_core::rewrite_module(&program, &keep);
         let out = pylite::unparse(&rewritten);
         let reparsed = pylite::parse(&out).expect("rewritten source parses");
-        let new_attrs: BTreeSet<String> =
-            trim_core::module_attributes(&reparsed).into_iter().collect();
-        prop_assert_eq!(new_attrs, keep);
+        let new_attrs: BTreeSet<String> = trim_core::module_attributes(&reparsed)
+            .into_iter()
+            .collect();
+        assert_eq!(new_attrs, keep);
     }
+}
 
-    /// unparse(parse(x)) re-parses to the same AST for generated sources.
-    #[test]
-    fn unparse_roundtrip(source in arb_module_source()) {
+/// unparse(parse(x)) re-parses to the same AST for generated sources.
+#[test]
+fn unparse_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0x5e12);
+    for _ in 0..CASES {
+        let source = random_module_source(&mut rng);
         let p1 = pylite::parse(&source).unwrap();
         let out = pylite::unparse(&p1);
         let p2 = pylite::parse(&out).unwrap();
-        prop_assert_eq!(p1, p2);
+        assert_eq!(p1, p2);
     }
 }
 
@@ -125,16 +139,29 @@ proptest! {
 // Parser robustness
 // ---------------------------------------------------------------------------
 
-proptest! {
-    /// The parser never panics — it returns Ok or Err on arbitrary input.
-    #[test]
-    fn parser_never_panics(input in "\\PC*") {
+/// The parser never panics — it returns Ok or Err on arbitrary input.
+#[test]
+fn parser_never_panics() {
+    let mut rng = Rng::seed_from_u64(0x9a21);
+    for _ in 0..200 {
+        let len = rng.usize_inclusive(0, 200);
+        let input: String = (0..len)
+            .map(|_| char::from_u32(rng.usize_inclusive(1, 0x2FF) as u32).unwrap_or(' '))
+            .collect();
         let _ = pylite::parse(&input);
     }
+}
 
-    /// Arbitrary printable ASCII with structure characters.
-    #[test]
-    fn parser_never_panics_structured(input in "[a-z0-9 ()\\[\\]{}:=.,#\"'\\n+-]*") {
+/// Arbitrary printable ASCII restricted to structure characters.
+#[test]
+fn parser_never_panics_structured() {
+    const ALPHABET: &[u8] = b"abcxyz0189 ()[]{}:=.,#\"'\n+-";
+    let mut rng = Rng::seed_from_u64(0x9a22);
+    for _ in 0..200 {
+        let len = rng.usize_inclusive(0, 200);
+        let input: String = (0..len)
+            .map(|_| ALPHABET[rng.usize_inclusive(0, ALPHABET.len() - 1)] as char)
+            .collect();
         let _ = pylite::parse(&input);
     }
 }
@@ -143,46 +170,54 @@ proptest! {
 // Pricing
 // ---------------------------------------------------------------------------
 
-proptest! {
-    /// Cost is monotone non-decreasing in both duration and memory.
-    #[test]
-    fn pricing_is_monotone(
-        mem in 1.0f64..12_000.0,
-        dur in 0.0f64..100_000.0,
-        dmem in 0.0f64..2_000.0,
-        ddur in 0.0f64..10_000.0,
-    ) {
-        let pricing = lambda_sim::PricingModel::aws();
+/// Cost is monotone non-decreasing in both duration and memory.
+#[test]
+fn pricing_is_monotone() {
+    let mut rng = Rng::seed_from_u64(0xca41);
+    let pricing = lambda_sim::PricingModel::aws();
+    for _ in 0..CASES {
+        let mem = 1.0 + rng.f64() * 11_999.0;
+        let dur = rng.f64() * 100_000.0;
+        let dmem = rng.f64() * 2_000.0;
+        let ddur = rng.f64() * 10_000.0;
         let base = pricing.invocation_cost(mem, dur);
-        prop_assert!(pricing.invocation_cost(mem + dmem, dur) >= base - 1e-15);
-        prop_assert!(pricing.invocation_cost(mem, dur + ddur) >= base - 1e-15);
-        prop_assert!(base >= 0.0);
+        assert!(pricing.invocation_cost(mem + dmem, dur) >= base - 1e-15);
+        assert!(pricing.invocation_cost(mem, dur + ddur) >= base - 1e-15);
+        assert!(base >= 0.0);
     }
+}
 
-    /// Billed duration is always >= the raw duration and aligned to the
-    /// rounding granularity.
-    #[test]
-    fn billing_rounds_up(dur in 0.0f64..1_000_000.0) {
+/// Billed duration is always >= the raw duration and aligned to the
+/// rounding granularity.
+#[test]
+fn billing_rounds_up() {
+    let mut rng = Rng::seed_from_u64(0xca42);
+    for _ in 0..CASES {
+        let dur = rng.f64() * 1_000_000.0;
         for model in [
             lambda_sim::PricingModel::aws(),
             lambda_sim::PricingModel::gcp(),
             lambda_sim::PricingModel::azure(),
         ] {
             let billed = model.billed_duration_ms(dur);
-            prop_assert!(billed >= dur - 1e-9);
+            assert!(billed >= dur - 1e-9);
         }
     }
+}
 
-    /// Configured memory always covers the footprint (above the minimum)
-    /// and respects platform bounds.
-    #[test]
-    fn configured_memory_covers_footprint(mem in 0.0f64..20_000.0) {
-        let pricing = lambda_sim::PricingModel::aws();
+/// Configured memory always covers the footprint (above the minimum)
+/// and respects platform bounds.
+#[test]
+fn configured_memory_covers_footprint() {
+    let mut rng = Rng::seed_from_u64(0xca43);
+    let pricing = lambda_sim::PricingModel::aws();
+    for _ in 0..CASES {
+        let mem = rng.f64() * 20_000.0;
         let configured = pricing.configured_memory_mb(mem);
-        prop_assert!(configured >= 128);
-        prop_assert!(configured <= 10_240);
+        assert!(configured >= 128);
+        assert!(configured <= 10_240);
         if mem <= 10_240.0 {
-            prop_assert!(configured as f64 >= mem.min(10_240.0).floor().min(configured as f64));
+            assert!(configured as f64 >= mem.min(10_240.0).floor().min(configured as f64));
         }
     }
 }
@@ -191,15 +226,15 @@ proptest! {
 // Interpreter metering
 // ---------------------------------------------------------------------------
 
-proptest! {
-    /// Running the same program twice in fresh interpreters produces
-    /// identical meters (determinism), and the meter is additive: a program
-    /// doing A;B costs at least as much as A.
-    #[test]
-    fn meter_is_deterministic_and_additive(
-        reps_a in 1usize..20,
-        reps_b in 1usize..20,
-    ) {
+/// Running the same program twice in fresh interpreters produces
+/// identical meters (determinism), and the meter is additive: a program
+/// doing A;B costs at least as much as A.
+#[test]
+fn meter_is_deterministic_and_additive() {
+    let mut rng = Rng::seed_from_u64(0x3e71);
+    for _ in 0..16 {
+        let reps_a = rng.usize_inclusive(1, 19);
+        let reps_b = rng.usize_inclusive(1, 19);
         let stmt = "x = 1 + 2\n";
         let prog_a: String = stmt.repeat(reps_a);
         let prog_ab: String = stmt.repeat(reps_a + reps_b);
@@ -210,10 +245,10 @@ proptest! {
         };
         let (t1, m1) = run(&prog_a);
         let (t1b, m1b) = run(&prog_a);
-        prop_assert_eq!((t1, m1), (t1b, m1b), "deterministic");
+        assert_eq!((t1, m1), (t1b, m1b), "deterministic");
         let (t2, m2) = run(&prog_ab);
-        prop_assert!(t2 > t1);
-        prop_assert!(m2 >= m1);
+        assert!(t2 > t1);
+        assert!(m2 >= m1);
     }
 }
 
@@ -221,15 +256,13 @@ proptest! {
 // Trim invariants on generated libraries
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-    /// For any generated library and any usage subset, trimming preserves
-    /// behavior and the trimmed namespace is a subset of the original.
-    #[test]
-    fn trim_on_random_library_is_sound(
-        attrs in 5usize..40,
-        used_bits in proptest::collection::vec(any::<bool>(), 8)
-    ) {
+/// For any generated library and any usage subset, trimming preserves
+/// behavior and the trimmed namespace is a subset of the original.
+#[test]
+fn trim_on_random_library_is_sound() {
+    let mut rng = Rng::seed_from_u64(0x7a91);
+    for _ in 0..8 {
+        let attrs = rng.usize_inclusive(5, 39);
         let spec = trim_apps::LibSpec {
             name: "randlib",
             prefix: "rl9",
@@ -244,12 +277,12 @@ proptest! {
         };
         let mut registry = pylite::Registry::new();
         trim_apps::generate_library(&spec, &mut registry);
-        // Use a handful of function attributes chosen by the bit vector.
+        // Use a handful of function attributes chosen by random bits.
         let mut app = String::from("import randlib\n");
         let mut uses = Vec::new();
-        for (bit_i, bit) in used_bits.iter().enumerate() {
+        for bit_i in 0..8 {
             let idx = bit_i * 5; // function-kind attributes
-            if *bit && idx < attrs {
+            if rng.bool() && idx < attrs {
                 uses.push(trim_apps::attr_name("rl9", idx));
             }
         }
@@ -257,9 +290,8 @@ proptest! {
             app.push_str(&format!("_u{k} = randlib.{u}\n"));
         }
         app.push_str("def handler(event, context):\n    return event[\"n\"]\n");
-        let spec_oracle = lambda_trim::OracleSpec::new(vec![
-            lambda_trim::TestCase::event("{\"n\": 5}"),
-        ]);
+        let spec_oracle =
+            lambda_trim::OracleSpec::new(vec![lambda_trim::TestCase::event("{\"n\": 5}")]);
         let report = lambda_trim::trim_app(
             &registry,
             &app,
@@ -267,7 +299,7 @@ proptest! {
             &lambda_trim::DebloatOptions::default(),
         )
         .expect("pipeline runs");
-        prop_assert!(report.after.behavior_eq(&report.before));
+        assert!(report.after.behavior_eq(&report.before));
         // Namespace subset check.
         let orig = pylite::parse(registry.source("randlib").unwrap()).unwrap();
         let trimmed = pylite::parse(report.trimmed.source("randlib").unwrap()).unwrap();
@@ -275,10 +307,10 @@ proptest! {
             trim_core::module_attributes(&orig).into_iter().collect();
         let trimmed_attrs: BTreeSet<String> =
             trim_core::module_attributes(&trimmed).into_iter().collect();
-        prop_assert!(trimmed_attrs.is_subset(&orig_attrs));
+        assert!(trimmed_attrs.is_subset(&orig_attrs));
         // Every used attribute survived.
         for u in &uses {
-            prop_assert!(trimmed_attrs.contains(u), "used attr {u} must survive");
+            assert!(trimmed_attrs.contains(u), "used attr {u} must survive");
         }
     }
 }

@@ -9,7 +9,13 @@ use lambda_sim::{
 fn measured_profile(name: &str) -> AppProfile {
     let bench = trim_apps::app(name).expect("corpus app");
     let exec = trim_core::run_app(&bench.registry, &bench.app_source, &bench.spec).unwrap();
-    AppProfile::new(name, bench.image_mb, exec.init_secs, exec.exec_secs, exec.mem_mb)
+    AppProfile::new(
+        name,
+        bench.image_mb,
+        exec.init_secs,
+        exec.exec_secs,
+        exec.mem_mb,
+    )
 }
 
 #[test]
@@ -42,7 +48,13 @@ fn keep_alive_monotonically_reduces_cold_starts() {
         .clone();
     let mut last_cold = u64::MAX;
     for keep_alive in [30.0, 300.0, 3600.0, 24.0 * 3600.0] {
-        let stats = simulate_pool(&platform, &profile, &arrivals, keep_alive, StartMode::Standard);
+        let stats = simulate_pool(
+            &platform,
+            &profile,
+            &arrivals,
+            keep_alive,
+            StartMode::Standard,
+        );
         assert!(
             stats.cold_starts <= last_cold,
             "longer keep-alive must not add cold starts"
@@ -123,6 +135,9 @@ fn pool_handles_empty_and_burst_arrivals() {
     assert_eq!(empty.total_cost, 0.0);
     let burst: Vec<f64> = vec![0.0; 50];
     let stats = simulate_pool(&platform, &profile, &burst, 900.0, StartMode::Standard);
-    assert_eq!(stats.cold_starts, 50, "simultaneous arrivals all cold-start");
+    assert_eq!(
+        stats.cold_starts, 50,
+        "simultaneous arrivals all cold-start"
+    );
     assert_eq!(stats.peak_instances, 50);
 }
