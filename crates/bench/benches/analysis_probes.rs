@@ -1,10 +1,15 @@
 //! Probe-count comparison: DD oracle invocations with the app-only static
 //! analysis (seed behavior) vs the interprocedural analysis. A larger
 //! up-front exclusion set means fewer DD probes for the same final trim.
+//!
+//! Both modes share one [`ProbeCache`]: a probe's verdict depends only on
+//! (registry fingerprint, app, module, keep-set), not on which analysis
+//! proposed it, so the second mode re-reads verdicts the first mode already
+//! paid for. The cross-run hit counts are printed alongside the probe counts.
 
 use std::hint::black_box;
 use trim_bench::micro::Runner;
-use trim_core::{trim_app, AnalysisMode, DebloatOptions};
+use trim_core::{trim_app, AnalysisMode, DebloatOptions, ProbeCache};
 
 fn main() {
     let runner = Runner::new();
@@ -13,23 +18,34 @@ fn main() {
     // interprocedural exclusions collapse the DD search.
     for name in ["markdown", "scikit", "textblob", "dna-visualization"] {
         let bench = trim_apps::app(name).expect("corpus app");
+        let cache = ProbeCache::shared();
         for (label, mode) in [
             ("app-only", AnalysisMode::AppOnly),
             ("interprocedural", AnalysisMode::Interprocedural),
         ] {
             let options = DebloatOptions {
                 analysis: mode,
+                probe_cache: Some(cache.clone()),
                 ..DebloatOptions::default()
             };
+            let hits_before = cache.hits();
             let probes = trim_app(&bench.registry, &bench.app_source, &bench.spec, &options)
                 .unwrap()
                 .oracle_invocations;
-            println!("analysis-probes/{name}/{label}: {probes} oracle probes");
+            println!(
+                "analysis-probes/{name}/{label}: {probes} oracle probes, {} cross-run cache hits",
+                cache.hits() - hits_before
+            );
             runner.bench(&format!("analysis-probes/{name}/{label}"), || {
                 let report =
                     trim_app(&bench.registry, &bench.app_source, &bench.spec, &options).unwrap();
                 black_box(report.oracle_invocations)
             });
         }
+        println!(
+            "analysis-probes/{name}: cache totals {} hits / {} misses",
+            cache.hits(),
+            cache.misses()
+        );
     }
 }

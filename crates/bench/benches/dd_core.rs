@@ -71,6 +71,7 @@ fn main() {
                     Box::new(move |s: &[u32]| o(s)) as Box<dyn FnMut(&[u32]) -> bool + Send>
                 },
                 threads,
+                DdOptions::default(),
             )
             .unwrap();
             black_box(r.minimized.len())

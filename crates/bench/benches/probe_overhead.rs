@@ -1,0 +1,39 @@
+//! Per-probe registry setup cost, isolated from oracle execution.
+//!
+//! Every DD probe needs a candidate registry: the corpus with exactly one
+//! module rewritten. Before the copy-on-write registry this meant
+//! serializing all sources, rebuilding a fresh `Registry`, and re-parsing
+//! every module (`snapshot-rebuild` below). Now it is one cheap clone plus
+//! one `set_module` plus one parse (`cow-overlay`); `clone` alone shows the
+//! raw pointer-bump cost of sharing the base.
+
+use std::hint::black_box;
+use trim_bench::micro::Runner;
+use trim_bench::probe_cost::{cow_overlay, snapshot_rebuild};
+
+fn main() {
+    let runner = Runner::new();
+    for name in ["markdown", "scikit", "lightgbm", "spacy"] {
+        let bench = trim_apps::app(name).expect("corpus app");
+        let registry = bench.registry;
+        // The debloater's baseline oracle run parses every module before the
+        // first probe, so probes start from a warm shared parse cache.
+        for module in registry.module_names() {
+            let _ = registry.parse_module(&module);
+        }
+        let module = bench.example_module;
+        let replacement = registry
+            .source(&module)
+            .expect("example module present")
+            .to_string();
+        runner.bench(&format!("probe-overhead/{name}/snapshot-rebuild"), || {
+            black_box(snapshot_rebuild(&registry, &module, &replacement))
+        });
+        runner.bench(&format!("probe-overhead/{name}/cow-overlay"), || {
+            black_box(cow_overlay(&registry, &module, &replacement))
+        });
+        runner.bench(&format!("probe-overhead/{name}/clone"), || {
+            black_box(registry.clone())
+        });
+    }
+}

@@ -7,8 +7,12 @@
 //!
 //! where `<id>` is one of `fig1 table1 fig2 table2 fig8 fig9 table3 fig10
 //! fig11 fig12 fig13 fig14 table4`, the extension experiment `ext`
-//! (incremental re-trim, greedy-vs-ddmin, provisioned concurrency), or
+//! (incremental re-trim, greedy-vs-ddmin, provisioned concurrency), the
+//! probe-setup micro-measurement `probe` (writes `BENCH_probe.json`), or
 //! `all`.
+//!
+//! `--jobs N` fans the shared corpus-trimming pass out over `N` worker
+//! threads (results are byte-identical to a sequential run).
 
 use lambda_sim::metrics::{cdf, mean, median, percentile};
 use lambda_sim::{
@@ -20,11 +24,27 @@ use trim_profiler::ScoringMethod;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut ids: Vec<&str> = args.iter().map(String::as_str).collect();
+    let mut jobs = 1usize;
+    let mut ids: Vec<&str> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--jobs" {
+            jobs = iter
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("--jobs requires a positive integer"));
+        } else if let Some(n) = arg.strip_prefix("--jobs=") {
+            jobs = n
+                .parse()
+                .unwrap_or_else(|_| panic!("--jobs requires a positive integer"));
+        } else {
+            ids.push(arg.as_str());
+        }
+    }
     if ids.is_empty() || ids.contains(&"all") {
         ids = vec![
             "fig1", "table1", "fig2", "table2", "fig8", "fig9", "table3", "fig10", "fig11",
-            "fig12", "fig13", "fig14", "table4", "ext",
+            "fig12", "fig13", "fig14", "table4", "ext", "probe",
         ];
     }
 
@@ -36,14 +56,15 @@ fn main() {
         )
     });
     let results: Vec<AppResult> = if needs_results {
-        eprintln!("[experiments] trimming all 21 applications (K=20, combined scoring)...");
-        trim_apps::corpus()
-            .into_iter()
-            .map(|bench| {
-                eprintln!("[experiments]   {}", bench.name);
-                AppResult::compute_default(bench)
-            })
-            .collect()
+        eprintln!(
+            "[experiments] trimming all 21 applications (K=20, combined scoring, {jobs} job{})...",
+            if jobs == 1 { "" } else { "s" }
+        );
+        compute_corpus(
+            trim_apps::corpus(),
+            &trim_core::DebloatOptions::default(),
+            jobs,
+        )
     } else {
         Vec::new()
     };
@@ -64,6 +85,7 @@ fn main() {
             "fig14" => fig14(&results),
             "table4" => table4(&results),
             "ext" => ext(),
+            "probe" => probe(),
             other => eprintln!("unknown experiment id `{other}`"),
         }
     }
@@ -755,4 +777,55 @@ fn ext() {
         );
     }
     println!("(provisioning buys latency with standing cost; trimming cuts both — they compose)");
+}
+
+// ---------------------------------------------------------------------------
+// Probe overhead: per-probe registry setup, snapshot-rebuild vs COW overlay.
+// ---------------------------------------------------------------------------
+fn probe() {
+    banner("Probe overhead — per-probe registry setup (snapshot rebuild vs COW overlay)");
+    println!(
+        "{:<18} {:>8} {:>16} {:>14} {:>9}",
+        "application", "modules", "snapshot ns", "overlay ns", "speedup"
+    );
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for bench in trim_apps::corpus() {
+        let module = &bench.example_module;
+        let replacement = bench
+            .registry
+            .source(module)
+            .expect("example module present")
+            .to_string();
+        let cost = trim_bench::probe_cost::measure(&bench.registry, module, &replacement, 20);
+        println!(
+            "{:<18} {:>8} {:>16} {:>14} {:>8.1}x",
+            bench.name,
+            bench.registry.len(),
+            cost.snapshot_ns,
+            cost.overlay_ns,
+            cost.speedup()
+        );
+        speedups.push(cost.speedup());
+        rows.push(format!(
+            "    {{\"app\": \"{}\", \"modules\": {}, \"snapshot_rebuild_ns\": {}, \"cow_overlay_ns\": {}, \"speedup\": {:.2}}}",
+            bench.name,
+            bench.registry.len(),
+            cost.snapshot_ns,
+            cost.overlay_ns,
+            cost.speedup()
+        ));
+    }
+    let mean_speedup = mean(&speedups);
+    let min_speedup = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!("mean speedup {mean_speedup:.1}x, min {min_speedup:.1}x (target: >=5x per probe)");
+    let json = format!(
+        "{{\n  \"bench\": \"probe_overhead\",\n  \"unit\": \"ns_per_probe_setup\",\n  \"apps\": [\n{}\n  ],\n  \"mean_speedup\": {:.2},\n  \"min_speedup\": {:.2}\n}}\n",
+        rows.join(",\n"),
+        mean_speedup,
+        min_speedup
+    );
+    let path = "BENCH_probe.json";
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("wrote {path}");
 }

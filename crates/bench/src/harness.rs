@@ -5,7 +5,7 @@ use lambda_sim::{
     simulate_pool, AppProfile, CheckpointModel, Platform, PricingModel, SnapStartPricing, StartMode,
 };
 use trim_apps::BenchApp;
-use trim_core::{trim_app, DebloatOptions, Execution, TrimReport};
+use trim_core::{trim_app, trim_corpus_parallel, CorpusJob, DebloatOptions, Execution, TrimReport};
 use trim_profiler::ScoringMethod;
 
 /// Number of invocations the paper prices cold starts for (Figure 2).
@@ -43,6 +43,40 @@ impl AppResult {
     pub fn profile_after(&self) -> AppProfile {
         profile_from_execution(&self.bench.name, self.bench.image_mb, &self.report.after)
     }
+}
+
+/// Trim a whole corpus with the paper's defaults, fanning the independent
+/// apps out over `jobs` worker threads (`jobs <= 1` runs sequentially).
+/// Results are in corpus order and byte-identical to a sequential run.
+pub fn compute_corpus(
+    benches: Vec<BenchApp>,
+    options: &DebloatOptions,
+    jobs: usize,
+) -> Vec<AppResult> {
+    if jobs <= 1 {
+        return benches
+            .into_iter()
+            .map(|bench| AppResult::compute(bench, options))
+            .collect();
+    }
+    let job_specs: Vec<CorpusJob> = benches
+        .iter()
+        .map(|bench| CorpusJob {
+            name: bench.name.clone(),
+            registry: bench.registry.clone(),
+            app_source: bench.app_source.clone(),
+            spec: bench.spec.clone(),
+        })
+        .collect();
+    let reports = trim_corpus_parallel(&job_specs, options, jobs);
+    benches
+        .into_iter()
+        .zip(reports)
+        .map(|(bench, report)| AppResult {
+            report: report.unwrap_or_else(|e| panic!("trimming {} failed: {e}", bench.name)),
+            bench,
+        })
+        .collect()
 }
 
 /// Build a platform [`AppProfile`] from a measured execution.

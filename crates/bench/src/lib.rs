@@ -8,3 +8,4 @@
 
 pub mod harness;
 pub mod micro;
+pub mod probe_cost;

@@ -1,0 +1,138 @@
+//! Per-probe registry setup cost: what the debloater pays to materialize one
+//! candidate registry before running the oracle.
+//!
+//! Before the copy-on-write registry, every parallel probe serialized the
+//! whole corpus into `(name, source)` pairs, rebuilt a fresh [`Registry`],
+//! and re-parsed every module from scratch ([`snapshot_rebuild`] reproduces
+//! that exactly). The COW path ([`cow_overlay`]) bumps one `Arc` per module
+//! and parses only the single rewritten module — everything else shares the
+//! base registry's parse slots.
+
+use std::time::Instant;
+
+use pylite::Registry;
+
+/// The pre-COW per-probe setup: serialize → rebuild → re-parse everything.
+pub fn snapshot_rebuild(base: &Registry, module: &str, replacement: &str) -> Registry {
+    let snapshot: Vec<(String, String)> = base
+        .module_names()
+        .into_iter()
+        .map(|name| {
+            let source = base.source(&name).expect("listed module").to_string();
+            (name, source)
+        })
+        .collect();
+    let mut rebuilt = Registry::new();
+    for (name, source) in snapshot {
+        rebuilt.set_module(name, source);
+    }
+    rebuilt.set_module(module, replacement.to_string());
+    for name in rebuilt.module_names() {
+        let _ = rebuilt.parse_module(&name);
+    }
+    rebuilt
+}
+
+/// The COW per-probe setup: clone shares every unchanged module's source and
+/// parse result; only the rewritten module is stored (and parsed) anew.
+pub fn cow_overlay(base: &Registry, module: &str, replacement: &str) -> Registry {
+    let overlay = base.with_module(module, replacement.to_string());
+    let _ = overlay.parse_module(module);
+    overlay
+}
+
+/// Median per-iteration cost of both setup strategies for one app.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeCost {
+    /// Median nanoseconds per snapshot-rebuild probe setup.
+    pub snapshot_ns: u64,
+    /// Median nanoseconds per COW-overlay probe setup.
+    pub overlay_ns: u64,
+}
+
+impl ProbeCost {
+    /// How many times cheaper the overlay setup is.
+    pub fn speedup(&self) -> f64 {
+        self.snapshot_ns as f64 / self.overlay_ns.max(1) as f64
+    }
+}
+
+fn median_ns<F: FnMut()>(mut f: F, samples: usize, iters: u32) -> u64 {
+    let mut timings: Vec<u64> = (0..samples.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters.max(1) {
+                f();
+            }
+            (start.elapsed().as_nanos() / iters.max(1) as u128) as u64
+        })
+        .collect();
+    timings.sort_unstable();
+    timings[timings.len() / 2]
+}
+
+/// Measure both setup strategies on `base`, replacing `module` with
+/// `replacement`. The base parse cache is warmed first, matching the
+/// debloater (the baseline oracle run parses every module before probing).
+pub fn measure(base: &Registry, module: &str, replacement: &str, iters: u32) -> ProbeCost {
+    for name in base.module_names() {
+        let _ = base.parse_module(&name);
+    }
+    let snapshot_ns = median_ns(
+        || {
+            std::hint::black_box(snapshot_rebuild(base, module, replacement));
+        },
+        9,
+        iters,
+    );
+    let overlay_ns = median_ns(
+        || {
+            std::hint::black_box(cow_overlay(base, module, replacement));
+        },
+        9,
+        iters,
+    );
+    ProbeCost {
+        snapshot_ns,
+        overlay_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Registry {
+        let mut reg = Registry::new();
+        for i in 0..6 {
+            reg.set_module(
+                format!("mod{i}"),
+                format!("def f{i}(x):\n    return x + {i}\n"),
+            );
+        }
+        reg
+    }
+
+    #[test]
+    fn both_strategies_produce_the_same_registry() {
+        let base = base();
+        let replacement = "def f0(x):\n    return x\n";
+        let a = snapshot_rebuild(&base, "mod0", replacement);
+        let b = cow_overlay(&base, "mod0", replacement);
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn overlay_is_cheaper_than_snapshot_rebuild() {
+        let base = base();
+        let cost = measure(&base, "mod0", "def f0(x):\n    return x\n", 50);
+        assert!(
+            cost.overlay_ns <= cost.snapshot_ns,
+            "overlay {} ns should not exceed snapshot rebuild {} ns",
+            cost.overlay_ns,
+            cost.snapshot_ns
+        );
+        assert!(cost.speedup() >= 1.0);
+    }
+}

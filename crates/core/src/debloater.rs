@@ -4,6 +4,7 @@
 
 use crate::attributes::module_attributes;
 use crate::oracle::{run_app_measured, Execution, OracleSpec};
+use crate::probe_cache::{app_fingerprint, ProbeCache, ProbeKey};
 use crate::rewrite::rewrite_module;
 use crate::TrimError;
 use pylite::Registry;
@@ -24,7 +25,7 @@ pub enum Algorithm {
 }
 
 /// Configuration of a debloating run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct DebloatOptions {
     /// Number of top-ranked modules to debloat (`K`, default 20 per §8.4).
     pub k: usize,
@@ -41,6 +42,29 @@ pub struct DebloatOptions {
     /// (§5.1). Interprocedural (the default) yields larger exclusion sets
     /// and therefore fewer DD probes; app-only reproduces the seed scope.
     pub analysis: trim_analysis::AnalysisMode,
+    /// Cross-run oracle-verdict cache keyed by (registry fingerprint, app
+    /// fingerprint, module, keep-set). Share one [`ProbeCache`] across
+    /// analysis-mode comparisons and incremental retrims to skip probes
+    /// whose inputs have not changed. `None` disables cross-run caching.
+    pub probe_cache: Option<Arc<ProbeCache>>,
+}
+
+impl PartialEq for DebloatOptions {
+    /// Options compare by configuration; two option sets sharing (or both
+    /// lacking) the same probe-cache instance are equal.
+    fn eq(&self, other: &Self) -> bool {
+        self.k == other.k
+            && self.scoring == other.scoring
+            && self.dd == other.dd
+            && self.threads == other.threads
+            && self.algorithm == other.algorithm
+            && self.analysis == other.analysis
+            && match (&self.probe_cache, &other.probe_cache) {
+                (None, None) => true,
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            }
+    }
 }
 
 impl Default for DebloatOptions {
@@ -52,6 +76,7 @@ impl Default for DebloatOptions {
             threads: 1,
             algorithm: Algorithm::Ddmin,
             analysis: trim_analysis::AnalysisMode::default(),
+            probe_cache: None,
         }
     }
 }
@@ -125,69 +150,54 @@ pub fn debloat_module(
         }
     };
 
+    // One probe = one copy-on-write overlay over the working registry: the
+    // base's sources and parse results are shared (O(modules) pointer
+    // bumps), only the rewritten module gets a fresh entry. Verdicts are
+    // memoized in the cross-run probe cache when one is attached.
+    let app_fp = app_fingerprint(app_source, spec);
     let probe = |keep: &BTreeSet<String>, base: &Registry, spent: &AtomicU64| -> bool {
+        let key = options
+            .probe_cache
+            .as_ref()
+            .map(|_| ProbeKey::new(base.fingerprint(), app_fp, module, keep.iter().cloned()));
+        if let (Some(cache), Some(key)) = (&options.probe_cache, &key) {
+            if let Some(verdict) = cache.get(key) {
+                return verdict;
+            }
+        }
         let rewritten = rewrite_module(&program, keep);
-        let mut candidate_registry = base.clone();
-        candidate_registry.set_module(module, pylite::unparse(&rewritten));
+        let candidate_registry = base.with_module(module, pylite::unparse(&rewritten));
         let (result, secs) = run_app_measured(&candidate_registry, app_source, spec);
         spent.fetch_add((secs * 1e9) as u64, Ordering::Relaxed);
-        match result {
+        let verdict = match result {
             Ok(actual) => actual.behavior_eq(expected),
             Err(_) => false,
+        };
+        if let (Some(cache), Some(key)) = (&options.probe_cache, key) {
+            cache.insert(key, verdict);
         }
+        verdict
     };
 
     let dd_result = if options.threads > 1 {
-        // Parallel probing: workers rebuild the (immutable) registry from a
-        // plain source snapshot, which is Send unlike Registry itself.
-        let sources: Vec<(String, String)> = work
-            .module_names()
-            .into_iter()
-            .map(|n| {
-                let src = work
-                    .source(&n)
-                    .expect("listed module has source")
-                    .to_owned();
-                (n, src)
-            })
-            .collect();
-        let module_source = work.source(module).expect("module has source").to_owned();
-        let spec = spec.clone();
-        let expected = expected.clone();
-        let app_source = app_source.to_owned();
-        let module_name = module.to_owned();
-        let fixed = fixed.clone();
-        let spent_nanos = spent.clone();
+        // Parallel probing: Registry is Send + Sync, so workers share the
+        // same COW base snapshot and run the identical overlay probe —
+        // no source snapshots, no per-probe re-parsing.
+        if options.algorithm == Algorithm::Greedy {
+            return Err(TrimError::Config(
+                "greedy minimization is sequential; use threads = 1 or Algorithm::Ddmin".to_owned(),
+            ));
+        }
+        let base = work.clone();
+        let probe = &probe;
+        let make_keep = &make_keep;
+        let spent_nanos = &spent;
         let factory = move || {
-            let sources = sources.clone();
-            let program = pylite::parse(&module_source).expect("module parsed earlier");
-            let spec = spec.clone();
-            let expected = expected.clone();
-            let app_source = app_source.clone();
-            let module_name = module_name.clone();
-            let fixed = fixed.clone();
-            let spent_nanos = spent_nanos.clone();
-            Box::new(move |subset: &[String]| {
-                let keep: BTreeSet<String> = fixed
-                    .iter()
-                    .cloned()
-                    .chain(subset.iter().cloned())
-                    .collect();
-                let rewritten = rewrite_module(&program, &keep);
-                let mut registry = Registry::new();
-                for (n, src) in &sources {
-                    registry.set_module(n.clone(), src.clone());
-                }
-                registry.set_module(&module_name, pylite::unparse(&rewritten));
-                let (result, secs) = run_app_measured(&registry, &app_source, &spec);
-                spent_nanos.fetch_add((secs * 1e9) as u64, Ordering::Relaxed);
-                match result {
-                    Ok(actual) => actual.behavior_eq(&expected),
-                    Err(_) => false,
-                }
-            }) as Box<dyn FnMut(&[String]) -> bool + Send>
+            let base = base.clone();
+            Box::new(move |subset: &[String]| probe(&make_keep(subset), &base, spent_nanos))
+                as Box<dyn FnMut(&[String]) -> bool + Send>
         };
-        ddmin_parallel(&candidates, factory, options.threads)
+        ddmin_parallel(&candidates, factory, options.threads, options.dd)
     } else {
         let mut oracle = |subset: &[String]| probe(&make_keep(subset), work, &spent);
         match options.algorithm {
@@ -374,6 +384,120 @@ mod tests {
         assert_eq!(seq.kept, par.kept);
         assert_eq!(seq.removed, par.removed);
         assert_eq!(seq_work.source("torch"), par_work.source("torch"));
+    }
+
+    #[test]
+    fn greedy_with_parallel_probes_is_a_config_error() {
+        let mut work = torch_registry();
+        let expected = run_app(&work, APP, &spec()).unwrap();
+        let err = debloat_module(
+            &mut work,
+            APP,
+            &spec(),
+            &expected,
+            "torch",
+            &BTreeSet::new(),
+            &DebloatOptions {
+                threads: 4,
+                algorithm: Algorithm::Greedy,
+                ..DebloatOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, TrimError::Config(_)));
+        assert_eq!(
+            work.source("torch"),
+            torch_registry().source("torch"),
+            "rejected configuration must not touch the registry"
+        );
+    }
+
+    #[test]
+    fn probe_cache_answers_repeat_runs_without_new_probes() {
+        let cache = crate::probe_cache::ProbeCache::shared();
+        let options = DebloatOptions {
+            probe_cache: Some(cache.clone()),
+            ..DebloatOptions::default()
+        };
+        let spec = spec();
+        let mut work1 = torch_registry();
+        let expected = run_app(&work1, APP, &spec).unwrap();
+        let first = debloat_module(
+            &mut work1,
+            APP,
+            &spec,
+            &expected,
+            "torch",
+            &BTreeSet::new(),
+            &options,
+        )
+        .unwrap();
+        let misses_after_first = cache.misses();
+        assert!(misses_after_first > 0, "cold run populates the cache");
+        // Identical inputs: every probe answers from the cache, so the run
+        // spends zero simulated oracle time.
+        let mut work2 = torch_registry();
+        let second = debloat_module(
+            &mut work2,
+            APP,
+            &spec,
+            &expected,
+            "torch",
+            &BTreeSet::new(),
+            &options,
+        )
+        .unwrap();
+        assert_eq!(first.kept, second.kept);
+        assert_eq!(work1.source("torch"), work2.source("torch"));
+        assert_eq!(
+            cache.misses(),
+            misses_after_first,
+            "warm run must not miss the probe cache"
+        );
+        assert!(cache.hits() > 0);
+    }
+
+    #[test]
+    fn parallel_debloat_shares_the_probe_cache() {
+        let cache = crate::probe_cache::ProbeCache::shared();
+        let spec = spec();
+        let mut seq_work = torch_registry();
+        let expected = run_app(&seq_work, APP, &spec).unwrap();
+        let seq = debloat_module(
+            &mut seq_work,
+            APP,
+            &spec,
+            &expected,
+            "torch",
+            &BTreeSet::new(),
+            &DebloatOptions {
+                probe_cache: Some(cache.clone()),
+                ..DebloatOptions::default()
+            },
+        )
+        .unwrap();
+        let hits_before = cache.hits();
+        let mut par_work = torch_registry();
+        let par = debloat_module(
+            &mut par_work,
+            APP,
+            &spec,
+            &expected,
+            "torch",
+            &BTreeSet::new(),
+            &DebloatOptions {
+                threads: 4,
+                probe_cache: Some(cache.clone()),
+                ..DebloatOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(seq.kept, par.kept);
+        assert_eq!(seq_work.source("torch"), par_work.source("torch"));
+        assert!(
+            cache.hits() > hits_before,
+            "parallel workers must reuse sequential verdicts"
+        );
     }
 
     #[test]

@@ -18,6 +18,7 @@ use crate::attributes::module_attributes;
 use crate::debloater::{DebloatOptions, ModuleReport};
 use crate::oracle::{run_app, run_app_measured, Execution, OracleSpec};
 use crate::pipeline::TrimReport;
+use crate::probe_cache::{app_fingerprint, ProbeKey};
 use crate::rewrite::rewrite_module;
 use crate::TrimError;
 use pylite::Registry;
@@ -107,6 +108,7 @@ pub fn retrim_with_log(
     let before = run_app(registry, app_source, spec).map_err(TrimError::Baseline)?;
     let app_program = pylite::parse(app_source).map_err(TrimError::Parse)?;
     let analysis = trim_analysis::analyze(&app_program, registry);
+    let app_fp = app_fingerprint(app_source, spec);
 
     let mut work = registry.clone();
     let mut modules = Vec::new();
@@ -135,15 +137,30 @@ pub fn retrim_with_log(
             .cloned()
             .chain(must_keep.iter().cloned())
             .collect();
+        // A retrim probe is keyed exactly like a cold-pipeline probe: same
+        // base-registry fingerprint, app fingerprint, module and keep-set.
+        // An untouched module therefore answers its probes straight from a
+        // shared [`crate::ProbeCache`] populated by the previous run.
         let probe = |keep: &BTreeSet<String>, base: &Registry| -> (bool, f64) {
+            let key = options
+                .probe_cache
+                .as_ref()
+                .map(|_| ProbeKey::new(base.fingerprint(), app_fp, module, keep.iter().cloned()));
+            if let (Some(cache), Some(key)) = (&options.probe_cache, &key) {
+                if let Some(verdict) = cache.get(key) {
+                    return (verdict, 0.0);
+                }
+            }
             let rewritten = rewrite_module(&program, keep);
-            let mut candidate = base.clone();
-            candidate.set_module(module, pylite::unparse(&rewritten));
+            let candidate = base.with_module(module, pylite::unparse(&rewritten));
             let (result, secs) = run_app_measured(&candidate, app_source, spec);
             let ok = match result {
                 Ok(actual) => actual.behavior_eq(&before),
                 Err(_) => false,
             };
+            if let (Some(cache), Some(key)) = (&options.probe_cache, key) {
+                cache.insert(key, ok);
+            }
             (ok, secs)
         };
         let (seed_ok, _) = probe(&seed, &work);
@@ -352,6 +369,54 @@ mod tests {
         // With the input added, delta survives:
         let mut spec2 = spec();
         spec2.cases.push(TestCase::event("{\"n\": 1}"));
+        assert!(warm.after.behavior_eq(&warm.before));
+    }
+
+    #[test]
+    fn probe_cache_hits_across_incremental_retrim_of_untouched_module() {
+        let cache = crate::probe_cache::ProbeCache::shared();
+        let options = DebloatOptions {
+            probe_cache: Some(cache.clone()),
+            ..DebloatOptions::default()
+        };
+        let cold = trim_app(&registry(), APP_V1, &spec(), &options).unwrap();
+        let log = TrimLog::from_report(&cold);
+        let hits_before = cache.hits();
+        // Nothing changed: the seed probe (and the DD probes inside the
+        // seed) carry the exact keys the cold run cached, so the retrim of
+        // the untouched module reuses them.
+        let warm = retrim_with_log(&registry(), APP_V1, &spec(), &log, &options).unwrap();
+        assert!(
+            cache.hits() > hits_before,
+            "retrim of an untouched module must hit the cross-run cache"
+        );
+        assert!(warm.after.behavior_eq(&cold.after));
+        assert_eq!(
+            warm.trimmed.source("toolkit"),
+            cold.trimmed.source("toolkit")
+        );
+    }
+
+    #[test]
+    fn corpus_edit_invalidates_only_affected_probe_keys() {
+        let cache = crate::probe_cache::ProbeCache::shared();
+        let options = DebloatOptions {
+            probe_cache: Some(cache.clone()),
+            ..DebloatOptions::default()
+        };
+        let cold = trim_app(&registry(), APP_V1, &spec(), &options).unwrap();
+        let log = TrimLog::from_report(&cold);
+        // Edit the module: the registry fingerprint changes, so stale
+        // verdicts cannot be reused — the retrim re-probes.
+        let mut edited = registry();
+        let patched = edited.source("toolkit").unwrap().replace("x + 3", "x + 30");
+        edited.set_module("toolkit", patched);
+        let misses_before = cache.misses();
+        let warm = retrim_with_log(&edited, APP_V1, &spec(), &log, &options).unwrap();
+        assert!(
+            cache.misses() > misses_before,
+            "edited module must re-probe (fingerprint changed)"
+        );
         assert!(warm.after.behavior_eq(&warm.before));
     }
 

@@ -49,6 +49,7 @@ pub mod fallback;
 pub mod incremental;
 pub mod oracle;
 pub mod pipeline;
+pub mod probe_cache;
 pub mod report;
 pub mod rewrite;
 
@@ -62,7 +63,8 @@ pub use fallback::{
 };
 pub use incremental::{retrim_with_log, IncrementalReport, TrimLog};
 pub use oracle::{oracle_passes, run_app, Execution, OracleSpec, TestCase};
-pub use pipeline::{trim_app, TrimReport};
+pub use pipeline::{trim_app, trim_corpus_parallel, CorpusJob, TrimReport};
+pub use probe_cache::{app_fingerprint, ProbeCache, ProbeKey};
 pub use report::{render as render_report, render_removals};
 pub use rewrite::{rewrite_module, rewrite_source};
 pub use trim_analysis::AnalysisMode;
@@ -75,6 +77,9 @@ pub enum TrimError {
     /// The unmodified application failed its own oracle run — DD requires
     /// the original program to satisfy the oracle.
     Baseline(pylite::PyErr),
+    /// The requested option combination is unsupported (e.g. greedy
+    /// minimization with parallel probe workers).
+    Config(String),
 }
 
 impl fmt::Display for TrimError {
@@ -82,6 +87,7 @@ impl fmt::Display for TrimError {
         match self {
             TrimError::Parse(e) => write!(f, "parse error: {e}"),
             TrimError::Baseline(e) => write!(f, "baseline application run failed: {e}"),
+            TrimError::Config(msg) => write!(f, "unsupported configuration: {msg}"),
         }
     }
 }

@@ -148,6 +148,60 @@ pub fn trim_app(
     })
 }
 
+/// One independently trimmable application of a corpus.
+#[derive(Debug, Clone)]
+pub struct CorpusJob {
+    /// Display name (used only by callers; trimming ignores it).
+    pub name: String,
+    /// The app's virtual site-packages.
+    pub registry: Registry,
+    /// Application (handler) source.
+    pub app_source: String,
+    /// Oracle specification.
+    pub spec: OracleSpec,
+}
+
+/// Trim every application of a corpus on a pool of `threads` worker
+/// threads, one app per worker at a time (apps are independent; `Registry`
+/// is `Send + Sync`, so no snapshotting is needed).
+///
+/// Results come back in job order and are **deterministic**: each app's
+/// trim is the same whatever thread ran it, so the output is byte-identical
+/// to calling [`trim_app`] sequentially over the same jobs.
+pub fn trim_corpus_parallel(
+    jobs: &[CorpusJob],
+    options: &DebloatOptions,
+    threads: usize,
+) -> Vec<Result<TrimReport, TrimError>> {
+    let threads = threads.max(1).min(jobs.len().max(1));
+    if threads <= 1 {
+        return jobs
+            .iter()
+            .map(|j| trim_app(&j.registry, &j.app_source, &j.spec, options))
+            .collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut results: Vec<Option<Result<TrimReport, TrimError>>> = Vec::new();
+    results.resize_with(jobs.len(), || None);
+    let results = std::sync::Mutex::new(results);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else { break };
+                let report = trim_app(&job.registry, &job.app_source, &job.spec, options);
+                results.lock().expect("corpus results poisoned")[i] = Some(report);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("corpus results poisoned")
+        .into_iter()
+        .map(|r| r.expect("every corpus job produced a result"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -277,6 +331,81 @@ mod tests {
             inter.oracle_invocations,
             app_only.oracle_invocations
         );
+    }
+
+    #[test]
+    fn probe_cache_shares_verdicts_across_analysis_modes() {
+        let cache = crate::probe_cache::ProbeCache::shared();
+        let run = |mode| {
+            trim_app(
+                &corpus(),
+                APP,
+                &spec(),
+                &DebloatOptions {
+                    analysis: mode,
+                    probe_cache: Some(cache.clone()),
+                    ..DebloatOptions::default()
+                },
+            )
+            .unwrap()
+        };
+        let app_only = run(AnalysisMode::AppOnly);
+        let hits_after_first = cache.hits();
+        let inter = run(AnalysisMode::Interprocedural);
+        assert!(
+            cache.hits() > hits_after_first,
+            "the second mode must reuse verdicts the first mode cached"
+        );
+        assert!(inter.after.behavior_eq(&app_only.after));
+        assert_eq!(
+            inter.trimmed.total_source_bytes(),
+            app_only.trimmed.total_source_bytes()
+        );
+    }
+
+    #[test]
+    fn corpus_parallel_matches_sequential_byte_for_byte() {
+        let jobs: Vec<CorpusJob> = vec![
+            CorpusJob {
+                name: "mlkit-app".into(),
+                registry: corpus(),
+                app_source: APP.into(),
+                spec: spec(),
+            },
+            CorpusJob {
+                name: "util-only".into(),
+                registry: corpus(),
+                app_source:
+                    "import util\ndef handler(event, context):\n    return util.fmt(event[\"n\"])\n"
+                        .into(),
+                spec: spec(),
+            },
+            CorpusJob {
+                name: "train-app".into(),
+                registry: corpus(),
+                app_source:
+                    "import mlkit\ndef handler(event, context):\n    mlkit.train(event[\"n\"])\n    return mlkit.predict(event[\"n\"])\n"
+                        .into(),
+                spec: spec(),
+            },
+        ];
+        let options = DebloatOptions::default();
+        let seq = trim_corpus_parallel(&jobs, &options, 1);
+        let par = trim_corpus_parallel(&jobs, &options, 4);
+        assert_eq!(seq.len(), par.len());
+        for (job, (s, p)) in jobs.iter().zip(seq.iter().zip(par.iter())) {
+            let s = s.as_ref().unwrap_or_else(|e| panic!("{}: {e}", job.name));
+            let p = p.as_ref().unwrap_or_else(|e| panic!("{}: {e}", job.name));
+            for module in s.trimmed.module_names() {
+                assert_eq!(
+                    s.trimmed.source(&module),
+                    p.trimmed.source(&module),
+                    "{}/{module}: parallel corpus trim must be byte-identical",
+                    job.name
+                );
+            }
+            assert!(p.after.behavior_eq(&s.after));
+        }
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! Cross-run memoization of DD oracle verdicts (§8.3 scalability).
+//!
+//! A DD probe's verdict is fully determined by the *base* registry content,
+//! the application + oracle spec, the module being rewritten, and the kept
+//! attribute set — the rewrite itself is deterministic. [`ProbeCache`] keys
+//! verdicts on exactly that tuple, using the registry's incremental content
+//! [fingerprint](pylite::Registry::fingerprint), so probe results are shared
+//!
+//! * across analysis-mode comparisons (app-only vs interprocedural runs of
+//!   the same app probe many identical candidates),
+//! * across incremental retrims (a retrim after a small corpus edit only
+//!   re-probes modules whose fingerprint-relevant inputs changed), and
+//! * across threads (the cache is `Send + Sync`; share it via `Arc`).
+//!
+//! This sits *above* the per-run subset cache inside `trim-dd`: that one
+//! dedupes subsets within a single `ddmin` run, this one survives runs.
+
+use crate::oracle::OracleSpec;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// The identity of one oracle probe.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ProbeKey {
+    /// Content fingerprint of the base registry the probe overlays.
+    pub registry_fingerprint: u64,
+    /// Fingerprint of the application source + oracle spec.
+    pub app_fingerprint: u64,
+    /// The module whose attribute set is being minimized.
+    pub module: String,
+    /// The kept attribute set (sorted, deduplicated).
+    pub keep: Vec<String>,
+}
+
+impl ProbeKey {
+    /// Build a key from the probe's inputs. `keep` may arrive in any order.
+    pub fn new(
+        registry_fingerprint: u64,
+        app_fingerprint: u64,
+        module: &str,
+        keep: impl IntoIterator<Item = String>,
+    ) -> Self {
+        let mut keep: Vec<String> = keep.into_iter().collect();
+        keep.sort();
+        keep.dedup();
+        ProbeKey {
+            registry_fingerprint,
+            app_fingerprint,
+            module: module.to_owned(),
+            keep,
+        }
+    }
+}
+
+/// Stable fingerprint of the application source and oracle specification —
+/// the probe-verdict inputs the registry fingerprint does not cover.
+pub fn app_fingerprint(app_source: &str, spec: &OracleSpec) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+        h ^= 0xfe;
+        h = h.wrapping_mul(PRIME);
+    };
+    eat(app_source.as_bytes());
+    eat(spec.handler.as_bytes());
+    for case in &spec.cases {
+        eat(case.event.as_bytes());
+        eat(case.context.as_bytes());
+    }
+    h
+}
+
+/// A thread-safe map from [`ProbeKey`] to oracle verdict, with hit/miss
+/// accounting. Share one across pipeline runs via [`ProbeCache::shared`].
+#[derive(Default)]
+pub struct ProbeCache {
+    map: RwLock<HashMap<ProbeKey, bool>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for ProbeCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProbeCache")
+            .field("entries", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+impl ProbeCache {
+    /// An empty cache behind an `Arc`, ready to share across runs/threads.
+    pub fn shared() -> Arc<ProbeCache> {
+        Arc::new(ProbeCache::default())
+    }
+
+    /// Cached verdict for `key`, if any. Counts a hit or a miss.
+    pub fn get(&self, key: &ProbeKey) -> Option<bool> {
+        let v = self
+            .map
+            .read()
+            .expect("probe cache poisoned")
+            .get(key)
+            .copied();
+        match v {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        v
+    }
+
+    /// Record a verdict.
+    pub fn insert(&self, key: ProbeKey, verdict: bool) {
+        self.map
+            .write()
+            .expect("probe cache poisoned")
+            .insert(key, verdict);
+    }
+
+    /// Number of cached verdicts.
+    pub fn len(&self) -> usize {
+        self.map.read().expect("probe cache poisoned").len()
+    }
+
+    /// Whether the cache holds no verdicts.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that fell through to the oracle.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::TestCase;
+
+    #[test]
+    fn key_normalizes_keep_order() {
+        let a = ProbeKey::new(1, 2, "m", ["b".to_owned(), "a".to_owned()]);
+        let b = ProbeKey::new(1, 2, "m", ["a".to_owned(), "b".to_owned(), "a".to_owned()]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn get_insert_and_accounting() {
+        let cache = ProbeCache::shared();
+        let key = ProbeKey::new(1, 2, "m", ["a".to_owned()]);
+        assert_eq!(cache.get(&key), None);
+        cache.insert(key.clone(), true);
+        assert_eq!(cache.get(&key), Some(true));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn app_fingerprint_separates_inputs() {
+        let spec = OracleSpec::new(vec![TestCase::event("{}")]);
+        let a = app_fingerprint("import x\n", &spec);
+        let b = app_fingerprint("import y\n", &spec);
+        assert_ne!(a, b);
+        let spec2 = OracleSpec::new(vec![TestCase::event("{\"n\": 1}")]);
+        assert_ne!(
+            app_fingerprint("import x\n", &spec),
+            app_fingerprint("import x\n", &spec2)
+        );
+        assert_eq!(a, app_fingerprint("import x\n", &spec));
+    }
+
+    #[test]
+    fn cache_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ProbeCache>();
+    }
+}

@@ -258,47 +258,75 @@ pub fn is_one_minimal<T: Clone>(subset: &[T], oracle: &mut dyn FnMut(&[T]) -> bo
 /// Parallel ddmin (§9 future work): evaluates each round's candidate subsets
 /// concurrently on `threads` worker threads, then applies the same
 /// first-passing-index rule as the sequential algorithm — results are
-/// identical to [`ddmin`], only wall-clock differs.
+/// identical to [`ddmin_with`], only wall-clock differs.
+///
+/// Honors the same [`DdOptions`] as the sequential path: the subset cache
+/// can be toggled, and on `max_oracle_invocations` exhaustion the best
+/// passing subset found so far is returned (sound but possibly not
+/// 1-minimal). Candidates past the budget are treated as failing, exactly
+/// like the sequential runner.
 ///
 /// The oracle must be buildable per worker thread via `oracle_factory`
-/// (λ-trim builds a fresh isolated interpreter per probe anyway).
+/// (λ-trim builds a fresh isolated interpreter per probe anyway). Worker
+/// oracles may borrow from the caller's stack (`'env`): probing runs on
+/// scoped threads.
 ///
 /// # Errors
 ///
 /// [`DdError::OracleRejectsWhole`] if the oracle rejects the full list.
-pub fn ddmin_parallel<T, F>(
+pub fn ddmin_parallel<'env, T, F>(
     items: &[T],
     oracle_factory: F,
     threads: usize,
+    options: DdOptions,
 ) -> Result<DdResult<T>, DdError>
 where
     T: Clone + Sync + Send,
-    F: Fn() -> Box<dyn FnMut(&[T]) -> bool + Send> + Sync,
+    F: Fn() -> Box<dyn FnMut(&[T]) -> bool + Send + 'env> + Sync,
 {
     let threads = threads.max(1);
     let mut stats = DdStats::default();
     let mut cache: HashMap<Vec<u32>, bool> = HashMap::new();
+    let mut budget_exhausted = false;
     let materialize =
         |idx: &[u32]| -> Vec<T> { idx.iter().map(|&i| items[i as usize].clone()).collect() };
 
     // Evaluate a batch of candidates (by index lists) in parallel; returns
-    // verdicts in batch order.
+    // verdicts in batch order. Oracle invocations are charged as results
+    // are collected — never up front — so an aborted batch cannot
+    // overcount.
     let eval_batch = |batch: &[Vec<u32>],
                       stats: &mut DdStats,
-                      cache: &mut HashMap<Vec<u32>, bool>|
+                      cache: &mut HashMap<Vec<u32>, bool>,
+                      budget_exhausted: &mut bool|
      -> Vec<bool> {
         let mut verdicts: Vec<Option<bool>> = vec![None; batch.len()];
         let mut pending: Vec<usize> = Vec::new();
         for (i, idx) in batch.iter().enumerate() {
-            if let Some(&v) = cache.get(idx) {
-                stats.cache_hits += 1;
-                verdicts[i] = Some(v);
-            } else {
-                pending.push(i);
+            if options.cache {
+                if let Some(&v) = cache.get(idx) {
+                    stats.cache_hits += 1;
+                    verdicts[i] = Some(v);
+                    continue;
+                }
+            }
+            pending.push(i);
+        }
+        // Budget: only dispatch as many probes as the cap allows; the rest
+        // fail, mirroring the sequential runner's over-budget behavior.
+        if options.max_oracle_invocations > 0 {
+            let remaining = options
+                .max_oracle_invocations
+                .saturating_sub(stats.oracle_invocations) as usize;
+            if pending.len() > remaining {
+                *budget_exhausted = true;
+                for &i in &pending[remaining..] {
+                    verdicts[i] = Some(false);
+                }
+                pending.truncate(remaining);
             }
         }
         if !pending.is_empty() {
-            stats.oracle_invocations += pending.len() as u64;
             let chunks: Vec<Vec<usize>> = pending
                 .chunks(pending.len().div_ceil(threads))
                 .map(<[usize]>::to_vec)
@@ -327,7 +355,10 @@ where
                 }
             });
             for (i, v) in collected {
-                cache.insert(batch[i].clone(), v);
+                stats.oracle_invocations += 1;
+                if options.cache {
+                    cache.insert(batch[i].clone(), v);
+                }
                 verdicts[i] = Some(v);
             }
         }
@@ -338,17 +369,22 @@ where
     };
 
     let all: Vec<u32> = (0..items.len() as u32).collect();
-    let whole = eval_batch(std::slice::from_ref(&all), &mut stats, &mut cache);
+    let whole = eval_batch(
+        std::slice::from_ref(&all),
+        &mut stats,
+        &mut cache,
+        &mut budget_exhausted,
+    );
     if !whole[0] {
         return Err(DdError::OracleRejectsWhole);
     }
     let mut current = all;
     let mut n = 2usize;
-    'outer: while current.len() >= 2 {
+    'outer: while current.len() >= 2 && !budget_exhausted {
         stats.iterations += 1;
         let parts = partitions(current.len(), n);
         let part_sets: Vec<Vec<u32>> = parts.iter().map(|&(s, e)| current[s..e].to_vec()).collect();
-        let verdicts = eval_batch(&part_sets, &mut stats, &mut cache);
+        let verdicts = eval_batch(&part_sets, &mut stats, &mut cache, &mut budget_exhausted);
         if let Some(i) = verdicts.iter().position(|&v| v) {
             current.clone_from(&part_sets[i]);
             n = 2;
@@ -365,7 +401,7 @@ where
                         .collect()
                 })
                 .collect();
-            let verdicts = eval_batch(&comp_sets, &mut stats, &mut cache);
+            let verdicts = eval_batch(&comp_sets, &mut stats, &mut cache, &mut budget_exhausted);
             if let Some(i) = verdicts.iter().position(|&v| v) {
                 current.clone_from(&comp_sets[i]);
                 n = (n - 1).max(2);
@@ -377,8 +413,8 @@ where
         }
         n = (2 * n).min(current.len());
     }
-    if current.len() == 1 {
-        let empty = eval_batch(&[Vec::new()], &mut stats, &mut cache);
+    if current.len() == 1 && !budget_exhausted {
+        let empty = eval_batch(&[Vec::new()], &mut stats, &mut cache, &mut budget_exhausted);
         if empty[0] {
             current.clear();
         }
@@ -517,6 +553,7 @@ mod tests {
                     as Box<dyn FnMut(&[u32]) -> bool + Send>
             },
             4,
+            DdOptions::default(),
         )
         .unwrap();
         assert_eq!(seq.minimized, par.minimized);
@@ -529,9 +566,79 @@ mod tests {
             &items,
             || Box::new(|_: &[i32]| false) as Box<dyn FnMut(&[i32]) -> bool + Send>,
             2,
+            DdOptions::default(),
         )
         .unwrap_err();
         assert_eq!(err, DdError::OracleRejectsWhole);
+    }
+
+    #[test]
+    fn parallel_budget_exhaustion_still_returns_passing_subset() {
+        let items: Vec<u32> = (0..128).collect();
+        let mut oracle = |s: &[u32]| s.contains(&7);
+        let r = ddmin_parallel(
+            &items,
+            || Box::new(|s: &[u32]| s.contains(&7)) as Box<dyn FnMut(&[u32]) -> bool + Send>,
+            4,
+            DdOptions {
+                max_oracle_invocations: 5,
+                ..DdOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(oracle(&r.minimized), "budget-capped result still passes");
+        assert!(r.stats.oracle_invocations <= 5);
+    }
+
+    #[test]
+    fn parallel_without_cache_matches_cached_result() {
+        let items: Vec<u32> = (0..48).collect();
+        let factory = || {
+            Box::new(|s: &[u32]| s.contains(&11) && s.contains(&37))
+                as Box<dyn FnMut(&[u32]) -> bool + Send>
+        };
+        let cached = ddmin_parallel(&items, factory, 3, DdOptions::default()).unwrap();
+        let uncached = ddmin_parallel(
+            &items,
+            factory,
+            3,
+            DdOptions {
+                cache: false,
+                ..DdOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(cached.minimized, uncached.minimized);
+        assert_eq!(uncached.stats.cache_hits, 0);
+        assert!(cached.stats.oracle_invocations <= uncached.stats.oracle_invocations);
+    }
+
+    #[test]
+    fn parallel_invocations_are_counted_on_collection() {
+        // Every dispatched probe is counted exactly once: the total equals
+        // the number of distinct subsets the oracle actually saw.
+        use std::collections::HashSet;
+        use std::sync::{Arc, Mutex};
+        let seen: Arc<Mutex<HashSet<Vec<u32>>>> = Arc::new(Mutex::new(HashSet::new()));
+        let items: Vec<u32> = (0..16).collect();
+        let r = ddmin_parallel(
+            &items,
+            || {
+                let seen = Arc::clone(&seen);
+                Box::new(move |s: &[u32]| {
+                    seen.lock().unwrap().insert(s.to_vec());
+                    s.contains(&3)
+                }) as Box<dyn FnMut(&[u32]) -> bool + Send>
+            },
+            4,
+            DdOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            r.stats.oracle_invocations,
+            seen.lock().unwrap().len() as u64,
+            "invocation count must equal the oracle's actually-run probes"
+        );
     }
 
     #[test]

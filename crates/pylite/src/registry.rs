@@ -2,31 +2,93 @@
 //! names to source text.
 //!
 //! λ-trim's debloater rewrites library `__init__` sources and redeploys them
-//! (§6.3); in this reproduction that is a [`Registry::set_module`] call. The
-//! registry caches parsed programs per source revision so repeated imports
-//! (across DD probes) do not re-parse unchanged modules.
+//! (§6.3); in this reproduction that is a [`Registry::set_module`] call.
+//!
+//! The registry is a **copy-on-write** structure: sources are shared
+//! `Arc<str>`s and parse results live in shared per-entry slots, so
+//! `clone()` is O(modules) pointer bumps and every clone observes (and
+//! contributes to) the same parse cache. That makes the thousands of DD
+//! probe registries the debloater builds nearly free, and — because all
+//! shared state is `Arc`/`OnceLock` — `Registry` is `Send + Sync` and can
+//! cross thread boundaries for parallel probing.
+//!
+//! Each registry also maintains a **content fingerprint**: a stable,
+//! order-independent hash of its `(name, source)` pairs, updated
+//! incrementally on [`set_module`](Registry::set_module) /
+//! [`remove_module`](Registry::remove_module). Probe caches key oracle
+//! verdicts on it to share results across runs.
 
 use crate::ast::Program;
 use crate::parser::{parse, ParseError};
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, OnceLock};
+
+/// One registry entry: shared source text plus a shared, lazily filled
+/// parse slot. Cloning an entry is two reference-count bumps.
+#[derive(Debug, Clone)]
+struct ModuleEntry {
+    source: Arc<str>,
+    parsed: Arc<OnceLock<Result<Arc<Program>, ParseError>>>,
+}
+
+impl ModuleEntry {
+    fn new(source: impl Into<Arc<str>>) -> Self {
+        ModuleEntry {
+            source: source.into(),
+            parsed: Arc::new(OnceLock::new()),
+        }
+    }
+}
+
+/// Stable FNV-1a hash of one `(name, source)` pair with a final avalanche,
+/// so the order-independent combination below still mixes well.
+fn entry_hash(name: &str, source: &str) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in name.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    // Separator so ("ab", "c") and ("a", "bc") hash differently.
+    h ^= 0xff;
+    h = h.wrapping_mul(PRIME);
+    for &b in source.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    // splitmix64 finalizer.
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^ (h >> 33)
+}
 
 /// A virtual filesystem of pylite modules, keyed by dotted name.
 ///
-/// `Registry` is cheap to clone structurally (`Clone` deep-copies the source
-/// map so debloater probes can mutate overlays independently).
+/// `Registry` is copy-on-write: `clone()` shares sources and parse results
+/// (O(modules) pointer bumps); mutation through [`set_module`] /
+/// [`remove_module`](Registry::remove_module) replaces only the touched
+/// entry, leaving every other clone untouched.
+///
+/// [`set_module`]: Registry::set_module
 #[derive(Debug, Clone, Default)]
 pub struct Registry {
-    sources: HashMap<String, String>,
-    cache: RefCell<HashMap<String, Rc<Program>>>,
+    modules: HashMap<String, ModuleEntry>,
+    fingerprint: u64,
 }
 
 impl PartialEq for Registry {
     /// Registries are equal when they hold the same module sources; the
     /// parse cache is an implementation detail.
     fn eq(&self, other: &Self) -> bool {
-        self.sources == other.sources
+        self.fingerprint == other.fingerprint
+            && self.modules.len() == other.modules.len()
+            && self
+                .modules
+                .iter()
+                .all(|(k, e)| other.modules.get(k).is_some_and(|o| o.source == e.source))
     }
 }
 
@@ -38,71 +100,99 @@ impl Registry {
         Self::default()
     }
 
-    /// Install (or replace) a module's source. Replacing invalidates the
-    /// parse cache entry for that module.
+    /// A stable, order-independent content fingerprint over all
+    /// `(name, source)` pairs. Maintained incrementally: `set_module` and
+    /// `remove_module` are O(changed source), not O(corpus). Two registries
+    /// with identical sources have identical fingerprints regardless of
+    /// insertion order; any source change changes it (modulo 64-bit hash
+    /// collisions).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Install (or replace) a module's source. Replacing resets the parse
+    /// slot for that module (other clones keep their shared result) and
+    /// updates the content fingerprint incrementally.
     pub fn set_module(&mut self, name: impl Into<String>, source: impl Into<String>) {
         let name = name.into();
-        self.cache.borrow_mut().remove(&name);
-        self.sources.insert(name, source.into());
+        let source: String = source.into();
+        if let Some(old) = self.modules.get(&name) {
+            self.fingerprint = self
+                .fingerprint
+                .wrapping_sub(entry_hash(&name, &old.source));
+        }
+        self.fingerprint = self.fingerprint.wrapping_add(entry_hash(&name, &source));
+        self.modules.insert(name, ModuleEntry::new(source));
     }
 
     /// Remove a module.
     pub fn remove_module(&mut self, name: &str) -> Option<String> {
-        self.cache.borrow_mut().remove(name);
-        self.sources.remove(name)
+        let entry = self.modules.remove(name)?;
+        self.fingerprint = self
+            .fingerprint
+            .wrapping_sub(entry_hash(name, &entry.source));
+        Some(entry.source.to_string())
+    }
+
+    /// A copy-on-write overlay: this registry with exactly one module
+    /// replaced. The base and the overlay share every other entry's source
+    /// and parse result — the debloater builds one of these per DD probe.
+    #[must_use]
+    pub fn with_module(&self, name: impl Into<String>, source: impl Into<String>) -> Registry {
+        let mut overlay = self.clone();
+        overlay.set_module(name, source);
+        overlay
     }
 
     /// The source of a module, if present.
     pub fn source(&self, name: &str) -> Option<&str> {
-        self.sources.get(name).map(String::as_str)
+        self.modules.get(name).map(|e| &*e.source)
     }
 
     /// Whether a module exists.
     pub fn contains(&self, name: &str) -> bool {
-        self.sources.contains_key(name)
+        self.modules.contains_key(name)
     }
 
     /// All module names, sorted (deterministic iteration).
     pub fn module_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.sources.keys().cloned().collect();
+        let mut names: Vec<String> = self.modules.keys().cloned().collect();
         names.sort();
         names
     }
 
     /// Number of modules.
     pub fn len(&self) -> usize {
-        self.sources.len()
+        self.modules.len()
     }
 
     /// Whether the registry holds no modules.
     pub fn is_empty(&self) -> bool {
-        self.sources.is_empty()
+        self.modules.is_empty()
     }
 
     /// Total bytes of source text across all modules (used as a proxy for
     /// deployment-image code size).
     pub fn total_source_bytes(&self) -> u64 {
-        self.sources.values().map(|s| s.len() as u64).sum()
+        self.modules.values().map(|e| e.source.len() as u64).sum()
     }
 
-    /// Parse a module, caching the result until its source changes.
+    /// Parse a module, caching the result in a slot shared by every clone
+    /// of this registry: the first caller (on any thread) parses, everyone
+    /// else gets the shared `Arc<Program>` — reads are lock-free.
     ///
     /// # Errors
     ///
     /// Returns the underlying [`ParseError`] if the module does not parse.
-    pub fn parse_module(&self, name: &str) -> Result<Rc<Program>, ParseError> {
-        if let Some(p) = self.cache.borrow().get(name) {
-            return Ok(p.clone());
-        }
-        let src = self.sources.get(name).ok_or_else(|| ParseError {
+    pub fn parse_module(&self, name: &str) -> Result<Arc<Program>, ParseError> {
+        let entry = self.modules.get(name).ok_or_else(|| ParseError {
             message: format!("no module named `{name}` in registry"),
             line: 0,
         })?;
-        let program = Rc::new(parse(src)?);
-        self.cache
-            .borrow_mut()
-            .insert(name.to_owned(), program.clone());
-        Ok(program)
+        entry
+            .parsed
+            .get_or_init(|| parse(&entry.source).map(Arc::new))
+            .clone()
     }
 
     /// Direct submodules of a dotted name that exist in the registry, e.g.
@@ -110,7 +200,7 @@ impl Registry {
     pub fn submodules(&self, name: &str) -> Vec<String> {
         let prefix = format!("{name}.");
         let mut subs: Vec<String> = self
-            .sources
+            .modules
             .keys()
             .filter(|k| k.starts_with(&prefix) && !k[prefix.len()..].contains('.'))
             .cloned()
@@ -134,21 +224,55 @@ mod tests {
     }
 
     #[test]
+    fn registry_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Registry>();
+    }
+
+    #[test]
     fn parse_is_cached_until_source_changes() {
         let mut r = Registry::new();
         r.set_module("m", "a = 1\n");
         let p1 = r.parse_module("m").unwrap();
         let p2 = r.parse_module("m").unwrap();
-        assert!(Rc::ptr_eq(&p1, &p2), "second parse should hit the cache");
+        assert!(Arc::ptr_eq(&p1, &p2), "second parse should hit the cache");
         r.set_module("m", "a = 2\n");
         let p3 = r.parse_module("m").unwrap();
-        assert!(!Rc::ptr_eq(&p1, &p3), "source change must invalidate cache");
+        assert!(
+            !Arc::ptr_eq(&p1, &p3),
+            "source change must invalidate cache"
+        );
+    }
+
+    #[test]
+    fn clones_share_parse_results() {
+        let mut r = Registry::new();
+        r.set_module("m", "a = 1\n");
+        let clone = r.clone();
+        // Parse through the clone first: the base must still see the result
+        // (shared slot), not re-parse.
+        let p1 = clone.parse_module("m").unwrap();
+        let p2 = r.parse_module("m").unwrap();
+        assert!(
+            Arc::ptr_eq(&p1, &p2),
+            "clone and base share one parse result"
+        );
     }
 
     #[test]
     fn parse_missing_module_errors() {
         let r = Registry::new();
         assert!(r.parse_module("ghost").is_err());
+    }
+
+    #[test]
+    fn parse_errors_are_cached_too() {
+        let mut r = Registry::new();
+        r.set_module("bad", "def broken(:\n");
+        assert!(r.parse_module("bad").is_err());
+        assert!(r.parse_module("bad").is_err());
+        r.set_module("bad", "a = 1\n");
+        assert!(r.parse_module("bad").is_ok(), "replacing clears the error");
     }
 
     #[test]
@@ -181,5 +305,63 @@ mod tests {
         r2.set_module("m", "a = 2\n");
         assert_eq!(r.source("m"), Some("a = 1\n"));
         assert_eq!(r2.source("m"), Some("a = 2\n"));
+    }
+
+    #[test]
+    fn overlay_replaces_exactly_one_module() {
+        let mut r = Registry::new();
+        r.set_module("a", "x = 1\n");
+        r.set_module("b", "y = 2\n");
+        let overlay = r.with_module("a", "x = 9\n");
+        assert_eq!(overlay.source("a"), Some("x = 9\n"));
+        assert_eq!(overlay.source("b"), Some("y = 2\n"));
+        assert_eq!(r.source("a"), Some("x = 1\n"), "base untouched");
+    }
+
+    #[test]
+    fn fingerprint_is_order_independent() {
+        let mut a = Registry::new();
+        a.set_module("m1", "x = 1\n");
+        a.set_module("m2", "y = 2\n");
+        let mut b = Registry::new();
+        b.set_module("m2", "y = 2\n");
+        b.set_module("m1", "x = 1\n");
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fingerprint_changes_iff_sources_change() {
+        let mut r = Registry::new();
+        r.set_module("m", "x = 1\n");
+        let fp = r.fingerprint();
+        // Rewriting with the identical source is a no-op for the print.
+        r.set_module("m", "x = 1\n");
+        assert_eq!(r.fingerprint(), fp);
+        r.set_module("m", "x = 2\n");
+        assert_ne!(r.fingerprint(), fp);
+        // Reverting restores the original fingerprint (incremental
+        // maintenance matches recomputation from scratch).
+        r.set_module("m", "x = 1\n");
+        assert_eq!(r.fingerprint(), fp);
+    }
+
+    #[test]
+    fn fingerprint_tracks_removal() {
+        let mut r = Registry::new();
+        let empty = r.fingerprint();
+        r.set_module("m", "x = 1\n");
+        assert_ne!(r.fingerprint(), empty);
+        r.remove_module("m");
+        assert_eq!(r.fingerprint(), empty);
+    }
+
+    #[test]
+    fn fingerprint_separates_name_and_source() {
+        let mut a = Registry::new();
+        a.set_module("ab", "c");
+        let mut b = Registry::new();
+        b.set_module("a", "bc");
+        assert_ne!(a.fingerprint(), b.fingerprint());
     }
 }

@@ -107,6 +107,11 @@ fn debloat_options(args: &Args) -> Result<DebloatOptions, String> {
             }
         };
     }
+    if options.threads > 1 && matches!(options.algorithm, trim_core::Algorithm::Greedy) {
+        return Err(
+            "--algorithm greedy is sequential; drop --threads or use --algorithm ddmin".to_owned(),
+        );
+    }
     Ok(options)
 }
 
@@ -251,4 +256,26 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         exec.init_secs, exec.exec_secs, exec.mem_mb, exec.extcalls
     );
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(raw: &[&str]) -> Args {
+        Args::parse(raw.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn greedy_with_threads_is_rejected_up_front() {
+        let err = debloat_options(&args(&["--algorithm", "greedy", "--threads", "4"]))
+            .expect_err("greedy cannot use parallel probe workers");
+        assert!(err.contains("greedy"), "{err}");
+    }
+
+    #[test]
+    fn greedy_sequential_and_parallel_ddmin_are_accepted() {
+        assert!(debloat_options(&args(&["--algorithm", "greedy"])).is_ok());
+        assert!(debloat_options(&args(&["--algorithm", "ddmin", "--threads", "4"])).is_ok());
+    }
 }
