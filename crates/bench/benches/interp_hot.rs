@@ -1,0 +1,46 @@
+//! Interpreter hot-path micro-benches: the costs the interned-symbol
+//! rewrite targets, isolated.
+//!
+//! * `oracle-run` — one full DD-probe execution (init + handler cases),
+//!   the end-to-end quantity `src/bin/interp.rs` records in
+//!   `BENCH_interp.json`;
+//! * `attr-loop` — a tight module-attribute + method-call loop, the
+//!   inline-cache fast path;
+//! * `resolve-module` — the amortized cost of the one-time resolve pass
+//!   (warm slot hit, the per-probe steady state).
+
+use std::hint::black_box;
+use trim_bench::micro::Runner;
+use trim_core::run_app;
+
+fn main() {
+    let runner = Runner::new();
+
+    for name in ["markdown", "lightgbm", "huggingface", "spacy"] {
+        let bench = trim_apps::app(name).expect("corpus app");
+        // Warm the shared parse/resolve slots, as the debloater's baseline
+        // run does before the first probe.
+        run_app(&bench.registry, &bench.app_source, &bench.spec).expect("corpus app runs");
+        runner.bench(&format!("interp-hot/{name}/oracle-run"), || {
+            black_box(run_app(&bench.registry, &bench.app_source, &bench.spec))
+        });
+    }
+
+    let mut registry = pylite::Registry::new();
+    registry.set_module(
+        "m",
+        "x = 1\ndef bump(n):\n    return n + x\nclass Acc:\n    def __init__(self):\n        self.total = 0\n    def add(self, n):\n        self.total = self.total + n\n",
+    );
+    const ATTR_LOOP: &str =
+        "import m\nacc = m.Acc()\nfor i in range(200):\n    acc.add(m.bump(i))\n";
+    runner.bench("interp-hot/attr-loop/exec", || {
+        let mut it = pylite::Interpreter::new(registry.clone());
+        it.exec_main(ATTR_LOOP).expect("loop runs");
+        black_box(it.meter.snapshot())
+    });
+
+    let _ = registry.resolve_module("m");
+    runner.bench("interp-hot/resolve-module/warm-slot", || {
+        black_box(registry.resolve_module("m"))
+    });
+}

@@ -187,4 +187,39 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<ProbeCache>();
     }
+
+    #[test]
+    fn cache_hits_are_unaffected_by_symbol_numbering() {
+        // Interned symbol ids are an in-memory acceleration detail; two
+        // registries with identical module content must produce identical
+        // probe keys even when their interners numbered names differently.
+        let mut r1 = pylite::Registry::new();
+        r1.set_module("m", "alpha = 1\nbeta = 2\n");
+        let mut r2 = pylite::Registry::new();
+        r2.set_module("m", "alpha = 1\nbeta = 2\n");
+        for junk in ["zzz", "gamma", "alpha_skew", "beta"] {
+            r2.interner().intern(junk);
+        }
+        r1.resolve_module("m").unwrap();
+        r2.resolve_module("m").unwrap();
+        assert_ne!(
+            r1.interner().lookup("beta"),
+            r2.interner().lookup("beta"),
+            "numbering really diverged"
+        );
+
+        let spec = OracleSpec::new(vec![TestCase::event("{}")]);
+        let app = app_fingerprint("import m\n", &spec);
+        let k1 = ProbeKey::new(r1.fingerprint(), app, "m", ["alpha".to_owned()]);
+        let k2 = ProbeKey::new(r2.fingerprint(), app, "m", ["alpha".to_owned()]);
+        assert_eq!(k1, k2, "probe keys stay content-based");
+
+        let cache = ProbeCache::shared();
+        cache.insert(k1, true);
+        assert_eq!(
+            cache.get(&k2),
+            Some(true),
+            "verdict reused across numberings"
+        );
+    }
 }

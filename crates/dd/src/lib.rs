@@ -575,7 +575,7 @@ mod tests {
     #[test]
     fn parallel_budget_exhaustion_still_returns_passing_subset() {
         let items: Vec<u32> = (0..128).collect();
-        let mut oracle = |s: &[u32]| s.contains(&7);
+        let oracle = |s: &[u32]| s.contains(&7);
         let r = ddmin_parallel(
             &items,
             || Box::new(|s: &[u32]| s.contains(&7)) as Box<dyn FnMut(&[u32]) -> bool + Send>,

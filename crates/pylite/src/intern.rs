@@ -1,0 +1,250 @@
+//! Name interning: dense `u32` [`Symbol`]s for identifiers and attributes.
+//!
+//! Every [`Registry`](crate::Registry) family (the original plus all
+//! copy-on-write clones and overlays) shares one [`Interner`], so a name
+//! resolves to the *same* symbol in every probe registry derived from the
+//! same base. Namespace maps key on `Symbol` instead of `Rc<str>`: lookups
+//! hash a single `u32` and never clone key strings, which is the difference
+//! between `O(len)` string hashing and a single multiply on the
+//! interpreter's hottest path (see DESIGN.md §8).
+//!
+//! The interner also hands out globally unique *inline-cache site ids* for
+//! attribute-access sites in the resolved IR ([`crate::resolved`]); sites
+//! are allocated from the same shared counter so ids never collide across
+//! modules of one registry family.
+//!
+//! Symbols are an in-memory acceleration only: they are never persisted,
+//! fingerprinted, or compared across interner families. Registry
+//! fingerprints and probe-cache keys stay content-based (strings), so two
+//! registries that interned names in different orders still cache-hit each
+//! other's probe verdicts.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// An interned name: a dense index into the [`Interner`] that issued it.
+///
+/// Symbols are `Copy`, compare in one instruction, and hash as a single
+/// `u32`. A symbol is only meaningful together with its interner; symbols
+/// from different interner families must never be mixed (the registry
+/// shares one interner across all clones precisely to make mixing
+/// impossible in practice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The raw dense index (useful for tests and diagnostics).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// A fast multiplicative hasher for symbol/`u32` keys.
+///
+/// `HashMap`'s default SipHash is robust against adversarial keys but costs
+/// tens of cycles per lookup; symbols are small dense integers produced by
+/// our own interner, so a Fibonacci-style multiply gives full avalanche in
+/// a couple of cycles with no DoS surface.
+#[derive(Debug, Default, Clone)]
+pub struct SymbolHasher(u64);
+
+const PHI: u64 = 0x9e37_79b9_7f4a_7c15;
+
+impl Hasher for SymbolHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-integer keys (FNV-1a); symbol maps never hit it.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        // Mix into (not over) the state so tuple keys hash both halves.
+        self.0 = (self.0.rotate_left(16) ^ u64::from(n)).wrapping_mul(PHI);
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0.rotate_left(32) ^ n).wrapping_mul(PHI);
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+}
+
+/// `BuildHasher` for symbol-keyed maps and sets.
+pub type SymbolHashBuilder = BuildHasherDefault<SymbolHasher>;
+
+#[derive(Debug, Default)]
+struct InternerInner {
+    map: HashMap<Arc<str>, u32>,
+    names: Vec<Arc<str>>,
+}
+
+/// A thread-safe, append-only string interner.
+///
+/// Interning is idempotent: the first caller to intern a string picks its
+/// symbol, every later caller (from any thread, any registry clone) gets
+/// the same one. The common case — the string is already interned — takes
+/// only a read lock.
+#[derive(Debug, Default)]
+pub struct Interner {
+    inner: RwLock<InternerInner>,
+    /// Monotonic allocator for attribute inline-cache site ids.
+    sites: AtomicU32,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Intern `s`, returning its stable symbol.
+    pub fn intern(&self, s: &str) -> Symbol {
+        if let Some(&id) = self.inner.read().expect("interner poisoned").map.get(s) {
+            return Symbol(id);
+        }
+        let mut inner = self.inner.write().expect("interner poisoned");
+        if let Some(&id) = inner.map.get(s) {
+            return Symbol(id); // raced with another writer
+        }
+        let id = u32::try_from(inner.names.len()).expect("interner overflow");
+        let name: Arc<str> = Arc::from(s);
+        inner.names.push(Arc::clone(&name));
+        inner.map.insert(name, id);
+        Symbol(id)
+    }
+
+    /// The symbol for `s`, if it has ever been interned.
+    ///
+    /// Useful for lookups with runtime-supplied names (`getattr`,
+    /// `call_handler`): a name that was never interned cannot key any
+    /// symbol-keyed namespace, so `None` means "not found" without growing
+    /// the interner.
+    pub fn lookup(&self, s: &str) -> Option<Symbol> {
+        self.inner
+            .read()
+            .expect("interner poisoned")
+            .map
+            .get(s)
+            .map(|&id| Symbol(id))
+    }
+
+    /// The string `sym` was interned from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` came from a different interner and is out of range —
+    /// mixing interner families is a logic error.
+    pub fn resolve(&self, sym: Symbol) -> Arc<str> {
+        Arc::clone(&self.inner.read().expect("interner poisoned").names[sym.0 as usize])
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("interner poisoned").names.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Allocate one fresh inline-cache site id.
+    pub fn alloc_site(&self) -> u32 {
+        self.sites.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Total inline-cache site ids allocated so far.
+    pub fn site_count(&self) -> u32 {
+        self.sites.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{BuildHasher, Hash};
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let i = Interner::new();
+        let a = i.intern("alpha");
+        let b = i.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("alpha"), a);
+        assert_eq!(i.len(), 2);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let i = Interner::new();
+        for name in ["x", "y", "__name__", ""] {
+            let sym = i.intern(name);
+            assert_eq!(&*i.resolve(sym), name);
+            assert_eq!(i.lookup(name), Some(sym));
+        }
+        assert_eq!(i.lookup("never-seen"), None);
+    }
+
+    #[test]
+    fn interner_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Interner>();
+        assert_send_sync::<Symbol>();
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let i = Arc::new(Interner::new());
+        let names: Vec<String> = (0..64).map(|n| format!("name{n}")).collect();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let i = Arc::clone(&i);
+                let names = names.clone();
+                std::thread::spawn(move || names.iter().map(|n| i.intern(n)).collect::<Vec<_>>())
+            })
+            .collect();
+        let results: Vec<Vec<Symbol>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for w in results.windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
+        assert_eq!(i.len(), 64);
+    }
+
+    #[test]
+    fn site_ids_are_unique() {
+        let i = Interner::new();
+        let a = i.alloc_site();
+        let b = i.alloc_site();
+        assert_ne!(a, b);
+        assert_eq!(i.site_count(), 2);
+    }
+
+    #[test]
+    fn tuple_symbol_hashing_uses_both_halves() {
+        let build = SymbolHashBuilder::default();
+        let hash = |a: Symbol, b: Symbol| {
+            let mut h = <SymbolHashBuilder as BuildHasher>::build_hasher(&build);
+            (a, b).hash(&mut h);
+            h.finish()
+        };
+        let i = Interner::new();
+        let (x, y) = (i.intern("x"), i.intern("y"));
+        assert_ne!(hash(x, y), hash(y, x));
+        // Sanity: the fallback byte path also mixes.
+        let mut h = DefaultHasher::new();
+        "x".hash(&mut h);
+        let _ = h.finish();
+    }
+}

@@ -5,17 +5,28 @@
 //! captured stdout / external-call logs. λ-trim's profiler reads the
 //! [`ImportEvent`]s the interpreter records around every module-body
 //! execution — the Rust analogue of the paper's patched import loader (§5.2).
+//!
+//! The evaluator walks the symbol-resolved IR ([`crate::resolved`]): names
+//! are pre-interned [`Symbol`]s, namespaces hash a single `u32` per lookup,
+//! and module-attribute sites (`mod.attr`) carry monomorphic inline caches
+//! keyed on module identity plus the namespace generation counter (see
+//! DESIGN.md §8). Observable behavior — stdout, exceptions, meter ticks,
+//! simulated allocations and observed accesses — is byte-identical to the
+//! string-walking evaluator it replaced.
 
-use crate::ast::{BinOp, BoolOp, ClassDef, CmpOp, Expr, FuncDef, Stmt, UnaryOp};
+use crate::ast::{BinOp, BoolOp, CmpOp, UnaryOp};
 use crate::cost::{mb_to_bytes, ms_to_ns, CostModel, Meter};
+use crate::intern::{Interner, Symbol, SymbolHashBuilder};
 use crate::registry::Registry;
+use crate::resolved::{resolve_program, RClassDef, RExpr, RFuncDef, RStmt};
 use crate::value::{
     py_eq, py_repr, py_str, Builtin, ExcKind, ModuleObj, Namespace, NativeMethod, PyClass, PyErr,
     PyFunc, PyInstance, Value,
 };
 use std::cell::RefCell;
-use std::collections::HashSet;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// One recorded module-body execution, with its *marginal* cost: the delta
 /// in virtual clock and simulated memory between the start and the end of
@@ -46,8 +57,127 @@ enum Flow {
 struct Env {
     globals: Namespace,
     locals: Option<Namespace>,
-    global_decls: HashSet<String>,
-    module: String,
+    global_decls: HashSet<Symbol, SymbolHashBuilder>,
+    module: Rc<str>,
+}
+
+/// Pre-interned symbols for names the interpreter itself consults on hot
+/// or semantic paths (`__name__`, `__init__`, exception fields, ...).
+struct CommonSyms {
+    name: Symbol,
+    file: Symbol,
+    message: Symbol,
+    args: Symbol,
+    init: Symbol,
+}
+
+impl CommonSyms {
+    fn new(interner: &Interner) -> Self {
+        CommonSyms {
+            name: interner.intern("__name__"),
+            file: interner.intern("__file__"),
+            message: interner.intern("message"),
+            args: interner.intern("args"),
+            init: interner.intern("__init__"),
+        }
+    }
+}
+
+/// Pre-interned native-method names, so `xs.append` resolves with symbol
+/// compares instead of resolving the attribute symbol back to a string.
+struct NativeSyms {
+    append: Symbol,
+    extend: Symbol,
+    pop: Symbol,
+    index: Symbol,
+    count: Symbol,
+    get: Symbol,
+    keys: Symbol,
+    values: Symbol,
+    items: Symbol,
+    update: Symbol,
+    upper: Symbol,
+    lower: Symbol,
+    strip: Symbol,
+    split: Symbol,
+    join: Symbol,
+    replace: Symbol,
+    startswith: Symbol,
+    endswith: Symbol,
+    format: Symbol,
+}
+
+impl NativeSyms {
+    fn new(interner: &Interner) -> Self {
+        NativeSyms {
+            append: interner.intern("append"),
+            extend: interner.intern("extend"),
+            pop: interner.intern("pop"),
+            index: interner.intern("index"),
+            count: interner.intern("count"),
+            get: interner.intern("get"),
+            keys: interner.intern("keys"),
+            values: interner.intern("values"),
+            items: interner.intern("items"),
+            update: interner.intern("update"),
+            upper: interner.intern("upper"),
+            lower: interner.intern("lower"),
+            strip: interner.intern("strip"),
+            split: interner.intern("split"),
+            join: interner.intern("join"),
+            replace: interner.intern("replace"),
+            startswith: interner.intern("startswith"),
+            endswith: interner.intern("endswith"),
+            format: interner.intern("format"),
+        }
+    }
+
+    /// The symbol-keyed twin of [`NativeMethod::resolve`].
+    fn resolve(&self, recv: &Value, attr: Symbol) -> Option<NativeMethod> {
+        use NativeMethod::*;
+        match recv {
+            Value::List(_) => match attr {
+                a if a == self.append => Some(Append),
+                a if a == self.extend => Some(Extend),
+                a if a == self.pop => Some(Pop),
+                a if a == self.index => Some(Index),
+                a if a == self.count => Some(Count),
+                _ => None,
+            },
+            Value::Dict(_) => match attr {
+                a if a == self.get => Some(Get),
+                a if a == self.keys => Some(Keys),
+                a if a == self.values => Some(Values),
+                a if a == self.items => Some(Items),
+                a if a == self.update => Some(Update),
+                a if a == self.pop => Some(Pop),
+                _ => None,
+            },
+            Value::Str(_) => match attr {
+                a if a == self.upper => Some(Upper),
+                a if a == self.lower => Some(Lower),
+                a if a == self.strip => Some(Strip),
+                a if a == self.split => Some(Split),
+                a if a == self.join => Some(Join),
+                a if a == self.replace => Some(Replace),
+                a if a == self.startswith => Some(Startswith),
+                a if a == self.endswith => Some(Endswith),
+                a if a == self.format => Some(Format),
+                a if a == self.count => Some(Count),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+/// One monomorphic inline-cache entry for a `mod.attr` site: valid while
+/// the access still hits the *same* namespace object at the *same*
+/// generation (any `set`/`del` bumps the generation and kills the entry).
+struct IcEntry {
+    ns: Namespace,
+    generation: u64,
+    value: Value,
 }
 
 /// Default per-run step budget (statements). Debloated candidate programs
@@ -77,28 +207,52 @@ pub struct Interpreter {
     pub import_events: Vec<ImportEvent>,
     /// Maximum number of statements executed before aborting.
     pub step_limit: u64,
-    /// Every `(module, attribute)` read observed at runtime: direct
-    /// attribute lookups, `getattr`-family calls and `from`-imports. The
-    /// dynamic ground truth that static analysis must under-approximate.
-    pub observed_accesses: std::collections::BTreeMap<String, std::collections::BTreeSet<String>>,
-    modules: std::collections::HashMap<String, Rc<ModuleObj>>,
+    observed: HashSet<(Symbol, Symbol), SymbolHashBuilder>,
+    modules: HashMap<String, Rc<ModuleObj>>,
     builtins: Namespace,
     import_depth: usize,
+    interner: Arc<Interner>,
+    syms: CommonSyms,
+    native_syms: NativeSyms,
+    ics: HashMap<u32, IcEntry, SymbolHashBuilder>,
+}
+
+impl std::fmt::Debug for CommonSyms {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("CommonSyms")
+    }
+}
+
+impl std::fmt::Debug for NativeSyms {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("NativeSyms")
+    }
+}
+
+impl std::fmt::Debug for IcEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IcEntry")
+            .field("generation", &self.generation)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Interpreter {
     /// Create an interpreter over a registry.
     pub fn new(registry: Registry) -> Self {
+        let interner = Arc::clone(registry.interner());
         let builtins = Namespace::new();
-        {
-            let mut ns = builtins.0.borrow_mut();
-            for b in Builtin::all() {
-                ns.set(b.name(), Value::Builtin(*b));
-            }
-            for name in ExcKind::builtin_names() {
-                ns.set(name, Value::ExcClass(ExcKind::from_class_name(name)));
-            }
+        for b in Builtin::all() {
+            builtins.set(interner.intern(b.name()), Value::Builtin(*b));
         }
+        for name in ExcKind::builtin_names() {
+            builtins.set(
+                interner.intern(name),
+                Value::ExcClass(ExcKind::from_class_name(name)),
+            );
+        }
+        let syms = CommonSyms::new(&interner);
+        let native_syms = NativeSyms::new(&interner);
         Interpreter {
             registry,
             cost: CostModel::default(),
@@ -107,11 +261,28 @@ impl Interpreter {
             extcalls: Vec::new(),
             import_events: Vec::new(),
             step_limit: DEFAULT_STEP_LIMIT,
-            observed_accesses: std::collections::BTreeMap::new(),
-            modules: std::collections::HashMap::new(),
+            observed: HashSet::default(),
+            modules: HashMap::new(),
             builtins,
             import_depth: 0,
+            interner,
+            syms,
+            native_syms,
+            ics: HashMap::default(),
         }
+    }
+
+    /// Every `(module, attribute)` read observed at runtime: direct
+    /// attribute lookups, `getattr`-family calls and `from`-imports. The
+    /// dynamic ground truth that static analysis must under-approximate.
+    pub fn observed_accesses(&self) -> BTreeMap<String, BTreeSet<String>> {
+        let mut out: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for (module, attr) in &self.observed {
+            out.entry(self.interner.resolve(*module).to_string())
+                .or_default()
+                .insert(self.interner.resolve(*attr).to_string());
+        }
+        out
     }
 
     /// Execute a program as the `__main__` module and return its module
@@ -124,19 +295,22 @@ impl Interpreter {
     pub fn exec_main(&mut self, source: &str) -> Result<Rc<ModuleObj>, PyErr> {
         let program = crate::parser::parse(source)
             .map_err(|e| PyErr::new(ExcKind::ImportError, format!("__main__: {e}")))?;
+        let resolved = resolve_program(&program, &self.interner);
         let module = Rc::new(ModuleObj {
             name: "__main__".into(),
+            name_sym: self.interner.intern("__main__"),
+            tracked: self.registry.contains("__main__"),
             ns: Namespace::new(),
         });
-        module.ns.set("__name__", Value::str("__main__"));
+        module.ns.set(self.syms.name, Value::str("__main__"));
         self.modules.insert("__main__".into(), module.clone());
         let mut env = Env {
             globals: module.ns.clone(),
             locals: None,
-            global_decls: HashSet::new(),
-            module: "__main__".into(),
+            global_decls: HashSet::default(),
+            module: Rc::from("__main__"),
         };
-        self.exec_block(&program.body, &mut env)?;
+        self.exec_block(&resolved.body, &mut env)?;
         Ok(module)
     }
 
@@ -157,12 +331,18 @@ impl Interpreter {
             .get("__main__")
             .cloned()
             .ok_or_else(|| PyErr::new(ExcKind::RuntimeError, "no __main__ module executed"))?;
-        let func = main.ns.get(handler).ok_or_else(|| {
-            PyErr::new(
-                ExcKind::NameError,
-                format!("handler `{handler}` is not defined"),
-            )
-        })?;
+        // A name that was never interned cannot key any namespace, so a
+        // failed lookup is exactly "not defined".
+        let func = self
+            .interner
+            .lookup(handler)
+            .and_then(|sym| main.ns.get(sym))
+            .ok_or_else(|| {
+                PyErr::new(
+                    ExcKind::NameError,
+                    format!("handler `{handler}` is not defined"),
+                )
+            })?;
         self.call_value(func, vec![event, context], vec![])
     }
 
@@ -199,19 +379,21 @@ impl Interpreter {
         if let Some(p) = &parent {
             self.import_module(p)?;
         }
-        let program = self
+        let resolved = self
             .registry
-            .parse_module(dotted)
+            .resolve_module(dotted)
             .map_err(|e| PyErr::new(ExcKind::ImportError, format!("{dotted}: {e}")))?;
         self.meter.tick(self.cost.import_ns);
         self.meter.alloc(self.cost.module_base_bytes);
         let module = Rc::new(ModuleObj {
             name: dotted.to_owned(),
+            name_sym: self.interner.intern(dotted),
+            tracked: true,
             ns: Namespace::new(),
         });
-        module.ns.set("__name__", Value::str(dotted));
+        module.ns.set(self.syms.name, Value::str(dotted));
         module.ns.set(
-            "__file__",
+            self.syms.file,
             Value::str(format!("{}.py", dotted.replace('.', "/"))),
         );
         // Insert before executing the body so cyclic imports observe the
@@ -223,10 +405,10 @@ impl Interpreter {
         let mut env = Env {
             globals: module.ns.clone(),
             locals: None,
-            global_decls: HashSet::new(),
-            module: dotted.to_owned(),
+            global_decls: HashSet::default(),
+            module: Rc::from(dotted),
         };
-        let result = self.exec_block(&program.body, &mut env);
+        let result = self.exec_block(&resolved.body, &mut env);
         self.import_depth -= 1;
         match result {
             Ok(()) => {
@@ -238,8 +420,9 @@ impl Interpreter {
                     mem_bytes: end.1 - start.1,
                 });
                 if let (Some(p), Some((_, leaf))) = (&parent, dotted.rsplit_once('.')) {
-                    if let Some(pm) = self.modules.get(p) {
-                        let is_new = pm.ns.set(leaf, Value::Module(module.clone())).is_none();
+                    if let Some(pm) = self.modules.get(p).cloned() {
+                        let leaf_sym = self.interner.intern(leaf);
+                        let is_new = pm.ns.set(leaf_sym, Value::Module(module.clone())).is_none();
                         if is_new {
                             self.meter.alloc(self.cost.binding_bytes);
                         }
@@ -253,10 +436,12 @@ impl Interpreter {
             }
         }
     }
+}
 
-    // -- statements -------------------------------------------------------
+// -- statements -----------------------------------------------------------
 
-    fn exec_block(&mut self, body: &[Stmt], env: &mut Env) -> Result<(), PyErr> {
+impl Interpreter {
+    fn exec_block(&mut self, body: &[RStmt], env: &mut Env) -> Result<(), PyErr> {
         for stmt in body {
             match self.exec_stmt(stmt, env)? {
                 Flow::Normal => {}
@@ -271,7 +456,7 @@ impl Interpreter {
         Ok(())
     }
 
-    fn exec_suite(&mut self, body: &[Stmt], env: &mut Env) -> Result<Flow, PyErr> {
+    fn exec_suite(&mut self, body: &[RStmt], env: &mut Env) -> Result<Flow, PyErr> {
         for stmt in body {
             match self.exec_stmt(stmt, env)? {
                 Flow::Normal => {}
@@ -281,7 +466,7 @@ impl Interpreter {
         Ok(Flow::Normal)
     }
 
-    fn exec_stmt(&mut self, stmt: &Stmt, env: &mut Env) -> Result<Flow, PyErr> {
+    fn exec_stmt(&mut self, stmt: &RStmt, env: &mut Env) -> Result<Flow, PyErr> {
         self.meter.steps += 1;
         if self.meter.steps > self.step_limit {
             return Err(PyErr::new(
@@ -291,25 +476,29 @@ impl Interpreter {
         }
         self.meter.tick(self.cost.stmt_ns);
         match stmt {
-            Stmt::Expr(e) => {
+            RStmt::Expr(e) => {
                 self.eval(e, env)?;
                 Ok(Flow::Normal)
             }
-            Stmt::Assign { targets, value } => {
+            RStmt::Assign { targets, value } => {
                 let v = self.eval(value, env)?;
-                for t in targets {
-                    self.assign_target(t, v.clone(), env)?;
+                if let [target] = targets.as_slice() {
+                    self.assign_target(target, v, env)?;
+                } else {
+                    for t in targets {
+                        self.assign_target(t, v.clone(), env)?;
+                    }
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::AugAssign { target, op, value } => {
+            RStmt::AugAssign { target, op, value } => {
                 let current = self.eval(target, env)?;
                 let rhs = self.eval(value, env)?;
                 let combined = self.binary_op(*op, current, rhs)?;
                 self.assign_target(target, combined, env)?;
                 Ok(Flow::Normal)
             }
-            Stmt::If { branches, orelse } => {
+            RStmt::If { branches, orelse } => {
                 for (test, body) in branches {
                     if self.eval(test, env)?.truthy() {
                         return self.exec_suite(body, env);
@@ -317,7 +506,7 @@ impl Interpreter {
                 }
                 self.exec_suite(orelse, env)
             }
-            Stmt::While { test, body } => {
+            RStmt::While { test, body } => {
                 while self.eval(test, env)?.truthy() {
                     match self.exec_suite(body, env)? {
                         Flow::Normal | Flow::Continue => {}
@@ -334,7 +523,7 @@ impl Interpreter {
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::For {
+            RStmt::For {
                 targets,
                 iter,
                 body,
@@ -342,8 +531,8 @@ impl Interpreter {
                 let iterable = self.eval(iter, env)?;
                 let items = self.iter_values(&iterable)?;
                 for item in items {
-                    if targets.len() == 1 {
-                        self.bind_name(&targets[0], item, env);
+                    if let [target] = targets.as_slice() {
+                        self.bind_name(*target, item, env);
                     } else {
                         let parts = self.iter_values(&item)?;
                         if parts.len() != targets.len() {
@@ -357,7 +546,7 @@ impl Interpreter {
                             ));
                         }
                         for (t, v) in targets.iter().zip(parts) {
-                            self.bind_name(t, v, env);
+                            self.bind_name(*t, v, env);
                         }
                     }
                     match self.exec_suite(body, env)? {
@@ -368,86 +557,87 @@ impl Interpreter {
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::FuncDef(f) => {
+            RStmt::FuncDef(f) => {
                 let func = self.make_function(f, env)?;
-                self.meter.alloc(
-                    self.cost.func_base_bytes
-                        + self.cost.func_stmt_bytes * crate::ast::stmt_count(&f.body) as u64,
-                );
-                self.bind_name(&f.name, func, env);
+                self.meter
+                    .alloc(self.cost.func_base_bytes + self.cost.func_stmt_bytes * f.stmt_count);
+                self.bind_name(f.sym, func, env);
                 Ok(Flow::Normal)
             }
-            Stmt::ClassDef(c) => {
+            RStmt::ClassDef(c) => {
                 let class = self.make_class(c, env)?;
                 self.meter.alloc(self.cost.class_base_bytes);
-                self.bind_name(&c.name, class, env);
+                self.bind_name(c.sym, class, env);
                 Ok(Flow::Normal)
             }
-            Stmt::Return(e) => {
+            RStmt::Return(e) => {
                 let v = match e {
                     Some(e) => self.eval(e, env)?,
                     None => Value::None,
                 };
                 Ok(Flow::Return(v))
             }
-            Stmt::Pass => Ok(Flow::Normal),
-            Stmt::Break => Ok(Flow::Break),
-            Stmt::Continue => Ok(Flow::Continue),
-            Stmt::Import { items } => {
+            RStmt::Pass => Ok(Flow::Normal),
+            RStmt::Break => Ok(Flow::Break),
+            RStmt::Continue => Ok(Flow::Continue),
+            RStmt::Import { items } => {
                 for item in items {
                     let module = self.import_module(&item.module)?;
-                    match &item.alias {
-                        Some(alias) => self.bind_name(alias, Value::Module(module), env),
-                        None => {
-                            let top = item.module.split('.').next().expect("nonempty module path");
+                    match &item.top {
+                        None => self.bind_name(item.bind, Value::Module(module), env),
+                        Some(top) => {
                             let top_module = self
                                 .modules
-                                .get(top)
+                                .get(&**top)
                                 .cloned()
                                 .expect("top package loaded by import_module");
-                            self.bind_name(top, Value::Module(top_module), env);
+                            self.bind_name(item.bind, Value::Module(top_module), env);
                         }
                     }
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::FromImport { module, names } => {
+            RStmt::FromImport { module, names } => {
                 let m = self.import_module(module)?;
-                for (name, alias) in names {
-                    if name == "*" {
-                        // Bind every public (non-underscore) name of the
-                        // module into the importing scope.
-                        for key in m.ns.key_vec() {
-                            if key.starts_with('_') {
-                                continue;
+                for name in names {
+                    let (name, bind) = match name {
+                        crate::resolved::RFromName::Star => {
+                            // Bind every public (non-underscore) name of the
+                            // module into the importing scope.
+                            for key in m.ns.key_syms() {
+                                if self.interner.resolve(key).starts_with('_') {
+                                    continue;
+                                }
+                                self.record_access(&m, key);
+                                let v = m.ns.get(key).expect("key from snapshot");
+                                self.bind_name(key, v, env);
                             }
-                            self.record_access(module, &key);
-                            let v = m.ns.get(&key).expect("key from snapshot");
-                            self.bind_name(&key, v, env);
+                            continue;
                         }
-                        continue;
-                    }
-                    self.record_access(module, name);
+                        crate::resolved::RFromName::Named { name, bind } => (*name, *bind),
+                    };
+                    self.record_access(&m, name);
                     let v = match m.ns.get(name) {
                         Some(v) => v,
                         None => {
                             // `from pkg import sub` where sub is a submodule.
-                            let sub = format!("{module}.{name}");
+                            let name_text = self.interner.resolve(name);
+                            let sub = format!("{module}.{name_text}");
                             if self.registry.contains(&sub) {
                                 Value::Module(self.import_module(&sub)?)
                             } else {
                                 return Err(PyErr::new(
                                     ExcKind::ImportError,
-                                    format!("cannot import name '{name}' from '{module}'"),
+                                    format!("cannot import name '{name_text}' from '{module}'"),
                                 ));
                             }
                         }
                     };
-                    self.bind_name(alias.as_deref().unwrap_or(name), v, env);
+                    self.bind_name(bind, v, env);
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::Raise(e) => {
+            RStmt::Raise(e) => {
                 let err = match e {
                     None => PyErr::new(ExcKind::RuntimeError, "re-raise outside except"),
                     Some(expr) => {
@@ -457,7 +647,7 @@ impl Interpreter {
                 };
                 Err(err)
             }
-            Stmt::Try {
+            RStmt::Try {
                 body,
                 handlers,
                 orelse,
@@ -485,7 +675,7 @@ impl Interpreter {
                                     Some(class) => err.matches_handler(class),
                                 };
                                 if matches {
-                                    if let Some(name) = &h.name {
+                                    if let Some(name) = h.name {
                                         self.bind_name(
                                             name,
                                             Value::ExcValue(Rc::new(err.clone())),
@@ -509,13 +699,13 @@ impl Interpreter {
                 }
                 result
             }
-            Stmt::Global(names) => {
+            RStmt::Global(names) => {
                 for n in names {
-                    env.global_decls.insert(n.clone());
+                    env.global_decls.insert(*n);
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::Assert { test, msg } => {
+            RStmt::Assert { test, msg } => {
                 if !self.eval(test, env)?.truthy() {
                     let message = match msg {
                         Some(m) => py_str(&self.eval(m, env)?),
@@ -525,31 +715,34 @@ impl Interpreter {
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::Del(target) => {
+            RStmt::Del(target) => {
                 match target {
-                    Expr::Name(n) => {
+                    RExpr::Name(n) => {
                         let removed = match &env.locals {
-                            Some(locals) if !env.global_decls.contains(n) => locals.remove(n),
-                            _ => env.globals.remove(n),
+                            Some(locals) if !env.global_decls.contains(n) => locals.remove(*n),
+                            _ => env.globals.remove(*n),
                         };
                         if removed.is_none() {
                             return Err(PyErr::new(
                                 ExcKind::NameError,
-                                format!("name '{n}' is not defined"),
+                                format!("name '{}' is not defined", self.interner.resolve(*n)),
                             ));
                         }
                     }
-                    Expr::Attribute { value, attr } => {
+                    RExpr::Attribute { value, attr, .. } => {
                         let obj = self.eval(value, env)?;
+                        // `NsMap::remove` bumps the namespace generation,
+                        // invalidating any inline cache for this attribute.
                         let removed = match &obj {
-                            Value::Module(m) => m.ns.remove(attr),
-                            Value::Instance(i) => i.borrow().ns.remove(attr),
-                            Value::Class(c) => c.ns.remove(attr),
+                            Value::Module(m) => m.ns.remove(*attr),
+                            Value::Instance(i) => i.borrow().ns.remove(*attr),
+                            Value::Class(c) => c.ns.remove(*attr),
                             _ => None,
                         };
                         if removed.is_none() {
                             return Err(PyErr::attribute_error(format!(
-                                "cannot delete attribute '{attr}'"
+                                "cannot delete attribute '{}'",
+                                self.interner.resolve(*attr)
                             )));
                         }
                     }
@@ -561,7 +754,11 @@ impl Interpreter {
             }
         }
     }
+}
 
+// -- definitions, bindings, expressions -----------------------------------
+
+impl Interpreter {
     fn value_to_exception(&mut self, v: Value) -> Result<PyErr, PyErr> {
         match v {
             Value::ExcValue(e) => Ok((*e).clone()),
@@ -573,7 +770,7 @@ impl Interpreter {
                 }
                 let message = inst
                     .ns
-                    .get("message")
+                    .get(self.syms.message)
                     .map(|m| py_str(&m))
                     .unwrap_or_default();
                 let mut chain = Vec::new();
@@ -596,7 +793,7 @@ impl Interpreter {
         }
     }
 
-    fn make_function(&mut self, f: &FuncDef, env: &Env) -> Result<Value, PyErr> {
+    fn make_function(&mut self, f: &Arc<RFuncDef>, env: &Env) -> Result<Value, PyErr> {
         let mut defaults = Vec::with_capacity(f.params.len());
         for p in &f.params {
             defaults.push(match &p.default {
@@ -604,7 +801,7 @@ impl Interpreter {
                     let mut env2 = Env {
                         globals: env.globals.clone(),
                         locals: env.locals.clone(),
-                        global_decls: HashSet::new(),
+                        global_decls: HashSet::default(),
                         module: env.module.clone(),
                     };
                     Some(self.eval(d, &mut env2)?)
@@ -613,25 +810,21 @@ impl Interpreter {
             });
         }
         Ok(Value::Func(Rc::new(PyFunc {
-            name: f.name.clone(),
-            params: f.params.clone(),
+            code: Arc::clone(f),
             defaults,
-            body: Rc::new(f.body.clone()),
             globals: env.globals.clone(),
             module: env.module.clone(),
         })))
     }
 
-    fn make_class(&mut self, c: &ClassDef, env: &mut Env) -> Result<Value, PyErr> {
+    fn make_class(&mut self, c: &RClassDef, env: &mut Env) -> Result<Value, PyErr> {
         let mut bases = Vec::new();
         let mut is_exception = false;
-        for base_name in &c.bases {
+        for path in &c.bases {
             // Bases may be dotted references (`class Net(nn.Module)`).
-            let mut parts = base_name.split('.');
-            let first = parts.next().expect("nonempty base name");
-            let mut base_val = self.lookup_name(first, env)?;
-            for part in parts {
-                base_val = self.get_attribute(&base_val, part)?;
+            let mut base_val = self.lookup_name(path[0], env)?;
+            for part in &path[1..] {
+                base_val = self.attr_lookup(&base_val, *part, None)?;
             }
             match base_val {
                 Value::Class(b) => {
@@ -655,14 +848,14 @@ impl Interpreter {
         let mut class_env = Env {
             globals: env.globals.clone(),
             locals: Some(class_ns.clone()),
-            global_decls: HashSet::new(),
+            global_decls: HashSet::default(),
             module: env.module.clone(),
         };
         self.exec_block(&c.body, &mut class_env)?;
         self.meter
             .alloc(self.cost.binding_bytes * class_ns.len() as u64);
         Ok(Value::Class(Rc::new(PyClass {
-            name: c.name.clone(),
+            name: c.name.to_string(),
             bases,
             ns: class_ns,
             is_exception,
@@ -671,19 +864,16 @@ impl Interpreter {
 
     /// Record a runtime module-attribute read (registry modules only;
     /// `__name__` is import-machinery bookkeeping, not library surface).
-    fn record_access(&mut self, module: &str, attr: &str) {
-        if attr == "__name__" || !self.registry.contains(module) {
+    fn record_access(&mut self, module: &ModuleObj, attr: Symbol) {
+        if attr == self.syms.name || !module.tracked {
             return;
         }
-        self.observed_accesses
-            .entry(module.to_owned())
-            .or_default()
-            .insert(attr.to_owned());
+        self.observed.insert((module.name_sym, attr));
     }
 
-    fn bind_name(&mut self, name: &str, value: Value, env: &mut Env) {
+    fn bind_name(&mut self, name: Symbol, value: Value, env: &mut Env) {
         let target_ns = match &env.locals {
-            Some(locals) if !env.global_decls.contains(name) => locals,
+            Some(locals) if !env.global_decls.contains(&name) => locals,
             _ => &env.globals,
         };
         let is_new = target_ns.set(name, value).is_none();
@@ -692,40 +882,45 @@ impl Interpreter {
         }
     }
 
-    fn assign_target(&mut self, target: &Expr, value: Value, env: &mut Env) -> Result<(), PyErr> {
+    fn assign_target(&mut self, target: &RExpr, value: Value, env: &mut Env) -> Result<(), PyErr> {
         match target {
-            Expr::Name(n) => {
-                self.bind_name(n, value, env);
+            RExpr::Name(n) => {
+                self.bind_name(*n, value, env);
                 Ok(())
             }
-            Expr::Attribute { value: obj, attr } => {
+            RExpr::Attribute {
+                value: obj, attr, ..
+            } => {
                 let obj = self.eval(obj, env)?;
+                // `NsMap::set` bumps the namespace generation, so inline
+                // caches for this attribute are invalidated automatically.
                 match &obj {
                     Value::Module(m) => {
-                        if m.ns.set(attr, value).is_none() {
+                        if m.ns.set(*attr, value).is_none() {
                             self.meter.alloc(self.cost.binding_bytes);
                         }
                     }
                     Value::Instance(i) => {
-                        if i.borrow().ns.set(attr, value).is_none() {
+                        if i.borrow().ns.set(*attr, value).is_none() {
                             self.meter.alloc(self.cost.binding_bytes);
                         }
                     }
                     Value::Class(c) => {
-                        if c.ns.set(attr, value).is_none() {
+                        if c.ns.set(*attr, value).is_none() {
                             self.meter.alloc(self.cost.binding_bytes);
                         }
                     }
                     other => {
                         return Err(PyErr::attribute_error(format!(
-                            "'{}' object attribute '{attr}' is read-only",
-                            other.type_name()
+                            "'{}' object attribute '{}' is read-only",
+                            other.type_name(),
+                            self.interner.resolve(*attr)
                         )))
                     }
                 }
                 Ok(())
             }
-            Expr::Subscript { value: obj, index } => {
+            RExpr::Subscript { value: obj, index } => {
                 let obj = self.eval(obj, env)?;
                 let idx = self.eval(index, env)?;
                 match &obj {
@@ -752,7 +947,7 @@ impl Interpreter {
                     ))),
                 }
             }
-            Expr::Tuple(targets) | Expr::List(targets) => {
+            RExpr::Tuple(targets) | RExpr::List(targets) => {
                 let items = self.iter_values(&value)?;
                 if items.len() != targets.len() {
                     return Err(PyErr::new(
@@ -773,9 +968,9 @@ impl Interpreter {
         }
     }
 
-    fn lookup_name(&mut self, name: &str, env: &Env) -> Result<Value, PyErr> {
+    fn lookup_name(&mut self, name: Symbol, env: &Env) -> Result<Value, PyErr> {
         if let Some(locals) = &env.locals {
-            if !env.global_decls.contains(name) {
+            if !env.global_decls.contains(&name) {
                 if let Some(v) = locals.get(name) {
                     return Ok(v);
                 }
@@ -789,26 +984,24 @@ impl Interpreter {
         }
         Err(PyErr::new(
             ExcKind::NameError,
-            format!("name '{name}' is not defined"),
+            format!("name '{}' is not defined", self.interner.resolve(name)),
         ))
     }
 
-    // -- expressions ------------------------------------------------------
-
-    fn eval(&mut self, e: &Expr, env: &mut Env) -> Result<Value, PyErr> {
+    fn eval(&mut self, e: &RExpr, env: &mut Env) -> Result<Value, PyErr> {
         self.meter.tick(self.cost.expr_node_ns);
         match e {
-            Expr::None => Ok(Value::None),
-            Expr::True => Ok(Value::Bool(true)),
-            Expr::False => Ok(Value::Bool(false)),
-            Expr::Int(v) => Ok(Value::Int(*v)),
-            Expr::Float(v) => Ok(Value::Float(*v)),
-            Expr::Str(s) => {
+            RExpr::None => Ok(Value::None),
+            RExpr::True => Ok(Value::Bool(true)),
+            RExpr::False => Ok(Value::Bool(false)),
+            RExpr::Int(v) => Ok(Value::Int(*v)),
+            RExpr::Float(v) => Ok(Value::Float(*v)),
+            RExpr::Str(s) => {
                 self.meter.alloc(self.cost.str_char_bytes * s.len() as u64);
-                Ok(Value::str(s))
+                Ok(Value::Str(Arc::clone(s)))
             }
-            Expr::Name(n) => self.lookup_name(n, env),
-            Expr::List(items) => {
+            RExpr::Name(n) => self.lookup_name(*n, env),
+            RExpr::List(items) => {
                 let mut out = Vec::with_capacity(items.len());
                 for i in items {
                     out.push(self.eval(i, env)?);
@@ -817,7 +1010,7 @@ impl Interpreter {
                     .alloc(self.cost.element_bytes * items.len() as u64);
                 Ok(Value::list(out))
             }
-            Expr::Tuple(items) => {
+            RExpr::Tuple(items) => {
                 let mut out = Vec::with_capacity(items.len());
                 for i in items {
                     out.push(self.eval(i, env)?);
@@ -826,7 +1019,7 @@ impl Interpreter {
                     .alloc(self.cost.element_bytes * items.len() as u64);
                 Ok(Value::tuple(out))
             }
-            Expr::Dict(pairs) => {
+            RExpr::Dict(pairs) => {
                 let mut out = Vec::with_capacity(pairs.len());
                 for (k, v) in pairs {
                     out.push((self.eval(k, env)?, self.eval(v, env)?));
@@ -835,16 +1028,16 @@ impl Interpreter {
                     .alloc(self.cost.element_bytes * 2 * pairs.len() as u64);
                 Ok(Value::dict(out))
             }
-            Expr::Attribute { value, attr } => {
+            RExpr::Attribute { value, attr, site } => {
                 let obj = self.eval(value, env)?;
-                self.get_attribute(&obj, attr)
+                self.attr_lookup(&obj, *attr, Some(*site))
             }
-            Expr::Subscript { value, index } => {
+            RExpr::Subscript { value, index } => {
                 let obj = self.eval(value, env)?;
                 let idx = self.eval(index, env)?;
                 self.get_item(&obj, &idx)
             }
-            Expr::Call { func, args, kwargs } => {
+            RExpr::Call { func, args, kwargs } => {
                 let f = self.eval(func, env)?;
                 let mut argv = Vec::with_capacity(args.len());
                 for a in args {
@@ -852,11 +1045,11 @@ impl Interpreter {
                 }
                 let mut kwv = Vec::with_capacity(kwargs.len());
                 for (k, v) in kwargs {
-                    kwv.push((k.clone(), self.eval(v, env)?));
+                    kwv.push((*k, self.eval(v, env)?));
                 }
                 self.call_value(f, argv, kwv)
             }
-            Expr::Unary { op, operand } => {
+            RExpr::Unary { op, operand } => {
                 let v = self.eval(operand, env)?;
                 match op {
                     UnaryOp::Not => Ok(Value::Bool(!v.truthy())),
@@ -878,12 +1071,12 @@ impl Interpreter {
                     },
                 }
             }
-            Expr::Binary { left, op, right } => {
+            RExpr::Binary { left, op, right } => {
                 let l = self.eval(left, env)?;
                 let r = self.eval(right, env)?;
                 self.binary_op(*op, l, r)
             }
-            Expr::Bool { op, values } => match op {
+            RExpr::Bool { op, values } => match op {
                 BoolOp::And => {
                     let mut last = Value::Bool(true);
                     for v in values {
@@ -905,7 +1098,7 @@ impl Interpreter {
                     Ok(last)
                 }
             },
-            Expr::Compare { left, ops } => {
+            RExpr::Compare { left, ops } => {
                 let mut lhs = self.eval(left, env)?;
                 for (op, rhs_expr) in ops {
                     let rhs = self.eval(rhs_expr, env)?;
@@ -916,14 +1109,14 @@ impl Interpreter {
                 }
                 Ok(Value::Bool(true))
             }
-            Expr::Conditional { test, body, orelse } => {
+            RExpr::Conditional { test, body, orelse } => {
                 if self.eval(test, env)?.truthy() {
                     self.eval(body, env)
                 } else {
                     self.eval(orelse, env)
                 }
             }
-            Expr::ListComp {
+            RExpr::ListComp {
                 element,
                 targets,
                 iter,
@@ -940,8 +1133,8 @@ impl Interpreter {
                             "step limit exceeded in comprehension",
                         ));
                     }
-                    if targets.len() == 1 {
-                        self.bind_name(&targets[0], item, env);
+                    if let [target] = targets.as_slice() {
+                        self.bind_name(*target, item, env);
                     } else {
                         let parts = self.iter_values(&item)?;
                         if parts.len() != targets.len() {
@@ -951,7 +1144,7 @@ impl Interpreter {
                             ));
                         }
                         for (t, v) in targets.iter().zip(parts) {
-                            self.bind_name(t, v, env);
+                            self.bind_name(*t, v, env);
                         }
                     }
                     if let Some(c) = cond {
@@ -964,7 +1157,7 @@ impl Interpreter {
                 self.meter.alloc(self.cost.element_bytes * out.len() as u64);
                 Ok(Value::list(out))
             }
-            Expr::Slice { value, start, stop } => {
+            RExpr::Slice { value, start, stop } => {
                 let v = self.eval(value, env)?;
                 let start = match start {
                     Some(e) => Some(self.eval(e, env)?),
@@ -978,7 +1171,11 @@ impl Interpreter {
             }
         }
     }
+}
 
+// -- operators, attributes, calls -----------------------------------------
+
+impl Interpreter {
     fn binary_op(&mut self, op: BinOp, l: Value, r: Value) -> Result<Value, PyErr> {
         use Value::*;
         let type_err = |l: &Value, r: &Value| {
@@ -1166,21 +1363,62 @@ impl Interpreter {
         }
     }
 
-    /// Attribute lookup following pylite's object model. Raises
-    /// `AttributeError` — the signal λ-trim's fallback wrapper watches for.
-    pub fn get_attribute(&mut self, obj: &Value, attr: &str) -> Result<Value, PyErr> {
-        if let Some(method) = NativeMethod::resolve(obj, attr) {
-            return Ok(Value::NativeMethod {
-                recv: Box::new(obj.clone()),
-                method,
-            });
-        }
+    /// Symbol-keyed attribute lookup following pylite's object model.
+    /// Raises `AttributeError` — the signal λ-trim's fallback wrapper
+    /// watches for. `site` is the resolved-IR inline-cache site id for
+    /// `mod.attr` expressions; runtime lookups (`getattr`) pass `None`.
+    fn attr_lookup(
+        &mut self,
+        obj: &Value,
+        attr: Symbol,
+        site: Option<u32>,
+    ) -> Result<Value, PyErr> {
         match obj {
             Value::Module(m) => {
-                self.record_access(&m.name, attr);
-                m.ns.get(attr).ok_or_else(|| {
-                    PyErr::attribute_error(format!("module '{}' has no attribute '{attr}'", m.name))
-                })
+                // Observed-access recording must fire on cache hits too:
+                // the profiler's ground truth is every read, not every miss.
+                self.record_access(m, attr);
+                let generation = m.ns.generation();
+                if let Some(site) = site {
+                    if let Some(entry) = self.ics.get(&site) {
+                        if entry.generation == generation && entry.ns.same(&m.ns) {
+                            return Ok(entry.value.clone());
+                        }
+                    }
+                }
+                match m.ns.get(attr) {
+                    Some(v) => {
+                        if let Some(site) = site {
+                            self.ics.insert(
+                                site,
+                                IcEntry {
+                                    ns: m.ns.clone(),
+                                    generation,
+                                    value: v.clone(),
+                                },
+                            );
+                        }
+                        Ok(v)
+                    }
+                    None => Err(PyErr::attribute_error(format!(
+                        "module '{}' has no attribute '{}'",
+                        m.name,
+                        self.interner.resolve(attr)
+                    ))),
+                }
+            }
+            Value::List(_) | Value::Dict(_) | Value::Str(_) => {
+                match self.native_syms.resolve(obj, attr) {
+                    Some(method) => Ok(Value::NativeMethod {
+                        recv: Box::new(obj.clone()),
+                        method,
+                    }),
+                    None => Err(PyErr::attribute_error(format!(
+                        "'{}' object has no attribute '{}'",
+                        obj.type_name(),
+                        self.interner.resolve(attr)
+                    ))),
+                }
             }
             Value::Instance(i) => {
                 let inst = i.borrow();
@@ -1197,27 +1435,73 @@ impl Interpreter {
                     return Ok(v);
                 }
                 Err(PyErr::attribute_error(format!(
-                    "'{}' object has no attribute '{attr}'",
-                    inst.class.name
+                    "'{}' object has no attribute '{}'",
+                    inst.class.name,
+                    self.interner.resolve(attr)
                 )))
             }
             Value::Class(c) => c.lookup(attr).ok_or_else(|| {
                 PyErr::attribute_error(format!(
-                    "type object '{}' has no attribute '{attr}'",
-                    c.name
+                    "type object '{}' has no attribute '{}'",
+                    c.name,
+                    self.interner.resolve(attr)
                 ))
             }),
-            Value::ExcValue(e) => match attr {
-                "message" | "args" => Ok(Value::str(&e.message)),
-                _ => Err(PyErr::attribute_error(format!(
+            Value::ExcValue(e) => {
+                if attr == self.syms.message || attr == self.syms.args {
+                    Ok(Value::str(&e.message))
+                } else {
+                    Err(PyErr::attribute_error(format!(
+                        "'{}' object has no attribute '{}'",
+                        e.kind.class_name(),
+                        self.interner.resolve(attr)
+                    )))
+                }
+            }
+            other => Err(PyErr::attribute_error(format!(
+                "'{}' object has no attribute '{}'",
+                other.type_name(),
+                self.interner.resolve(attr)
+            ))),
+        }
+    }
+
+    /// Attribute lookup with a runtime-supplied name (`getattr`, tooling).
+    ///
+    /// Module receivers intern the name so missing-attribute probes are
+    /// still recorded as observed accesses; for other receivers a name
+    /// that was never interned cannot be bound anywhere (all namespaces
+    /// are symbol-keyed and every native/builtin name is pre-interned),
+    /// so the lookup fails without growing the interner.
+    ///
+    /// # Errors
+    ///
+    /// `AttributeError` — the signal λ-trim's fallback wrapper watches for.
+    pub fn get_attribute(&mut self, obj: &Value, attr: &str) -> Result<Value, PyErr> {
+        if let Value::Module(_) = obj {
+            let sym = self.interner.intern(attr);
+            return self.attr_lookup(obj, sym, None);
+        }
+        match self.interner.lookup(attr) {
+            Some(sym) => self.attr_lookup(obj, sym, None),
+            None => Err(match obj {
+                Value::Instance(i) => PyErr::attribute_error(format!(
+                    "'{}' object has no attribute '{attr}'",
+                    i.borrow().class.name
+                )),
+                Value::Class(c) => PyErr::attribute_error(format!(
+                    "type object '{}' has no attribute '{attr}'",
+                    c.name
+                )),
+                Value::ExcValue(e) => PyErr::attribute_error(format!(
                     "'{}' object has no attribute '{attr}'",
                     e.kind.class_name()
-                ))),
-            },
-            other => Err(PyErr::attribute_error(format!(
-                "'{}' object has no attribute '{attr}'",
-                other.type_name()
-            ))),
+                )),
+                other => PyErr::attribute_error(format!(
+                    "'{}' object has no attribute '{attr}'",
+                    other.type_name()
+                )),
+            }),
         }
     }
 
@@ -1327,7 +1611,7 @@ impl Interpreter {
         &mut self,
         f: Value,
         args: Vec<Value>,
-        kwargs: Vec<(String, Value)>,
+        kwargs: Vec<(Symbol, Value)>,
     ) -> Result<Value, PyErr> {
         match f {
             Value::Func(func) => self.call_pyfunc(&func, args, kwargs),
@@ -1346,7 +1630,7 @@ impl Interpreter {
                 }));
                 self.meter.alloc(self.cost.class_base_bytes / 4);
                 let value = Value::Instance(instance);
-                if let Some(Value::Func(init)) = class.lookup("__init__") {
+                if let Some(Value::Func(init)) = class.lookup(self.syms.init) {
                     let mut all = Vec::with_capacity(args.len() + 1);
                     all.push(value.clone());
                     all.extend(args);
@@ -1354,7 +1638,9 @@ impl Interpreter {
                 } else if !args.is_empty() && class.is_exception {
                     // Exception-style constructor: first arg is the message.
                     if let Value::Instance(i) = &value {
-                        i.borrow().ns.set("message", Value::str(py_str(&args[0])));
+                        i.borrow()
+                            .ns
+                            .set(self.syms.message, Value::str(py_str(&args[0])));
                     }
                 }
                 Ok(value)
@@ -1374,54 +1660,58 @@ impl Interpreter {
         &mut self,
         func: &Rc<PyFunc>,
         args: Vec<Value>,
-        kwargs: Vec<(String, Value)>,
+        kwargs: Vec<(Symbol, Value)>,
     ) -> Result<Value, PyErr> {
         self.meter.tick(self.cost.call_ns);
+        let params = &func.code.params;
         let locals = Namespace::new();
-        let mut assigned = vec![false; func.params.len()];
+        let mut assigned = vec![false; params.len()];
         let positional = args.len();
-        if positional > func.params.len() {
+        if positional > params.len() {
             return Err(PyErr::type_error(format!(
                 "{}() takes {} positional arguments but {} were given",
-                func.name,
-                func.params.len(),
+                func.name(),
+                params.len(),
                 positional
             )));
         }
         for (i, v) in args.into_iter().enumerate() {
-            locals.set(&func.params[i].name, v);
+            locals.set(params[i].sym, v);
             assigned[i] = true;
         }
         for (k, v) in kwargs {
-            match func.params.iter().position(|p| p.name == k) {
+            match params.iter().position(|p| p.sym == k) {
                 Some(i) => {
                     if assigned[i] {
                         return Err(PyErr::type_error(format!(
-                            "{}() got multiple values for argument '{k}'",
-                            func.name
+                            "{}() got multiple values for argument '{}'",
+                            func.name(),
+                            self.interner.resolve(k)
                         )));
                     }
-                    locals.set(&k, v);
+                    locals.set(k, v);
                     assigned[i] = true;
                 }
                 None => {
                     return Err(PyErr::type_error(format!(
-                        "{}() got an unexpected keyword argument '{k}'",
-                        func.name
+                        "{}() got an unexpected keyword argument '{}'",
+                        func.name(),
+                        self.interner.resolve(k)
                     )))
                 }
             }
         }
-        for (i, p) in func.params.iter().enumerate() {
+        for (i, p) in params.iter().enumerate() {
             if !assigned[i] {
                 match &func.defaults[i] {
                     Some(d) => {
-                        locals.set(&p.name, d.clone());
+                        locals.set(p.sym, d.clone());
                     }
                     None => {
                         return Err(PyErr::type_error(format!(
                             "{}() missing required argument: '{}'",
-                            func.name, p.name
+                            func.name(),
+                            p.name
                         )))
                     }
                 }
@@ -1430,20 +1720,24 @@ impl Interpreter {
         let mut env = Env {
             globals: func.globals.clone(),
             locals: Some(locals),
-            global_decls: HashSet::new(),
+            global_decls: HashSet::default(),
             module: func.module.clone(),
         };
-        match self.exec_suite(&func.body, &mut env)? {
+        match self.exec_suite(&func.code.body, &mut env)? {
             Flow::Return(v) => Ok(v),
             _ => Ok(Value::None),
         }
     }
+}
 
+// -- builtins and native methods ------------------------------------------
+
+impl Interpreter {
     fn call_builtin(
         &mut self,
         b: Builtin,
         args: Vec<Value>,
-        _kwargs: Vec<(String, Value)>,
+        _kwargs: Vec<(Symbol, Value)>,
     ) -> Result<Value, PyErr> {
         let arity_err =
             |want: &str| PyErr::type_error(format!("{}() expects {want} argument(s)", b.name()));
@@ -1660,16 +1954,16 @@ impl Interpreter {
                 Ok(Value::str(v.class_name()))
             }
             Builtin::Getattr => {
-                let obj = args.first().ok_or_else(|| arity_err("2 or 3"))?.clone();
+                let obj = args.first().ok_or_else(|| arity_err("2 or 3"))?;
                 let name = match args.get(1) {
-                    Some(Value::Str(s)) => s.to_string(),
+                    Some(Value::Str(s)) => Arc::clone(s),
                     _ => {
                         return Err(PyErr::type_error(
                             "getattr(): attribute name must be string",
                         ))
                     }
                 };
-                match self.get_attribute(&obj, &name) {
+                match self.get_attribute(obj, &name) {
                     Ok(v) => Ok(v),
                     Err(e) if matches!(e.kind, ExcKind::AttributeError) => match args.get(2) {
                         Some(default) => Ok(default.clone()),
@@ -1683,22 +1977,25 @@ impl Interpreter {
                     return Err(arity_err("3"));
                 }
                 let name = match &args[1] {
-                    Value::Str(s) => s.to_string(),
+                    Value::Str(s) => Arc::clone(s),
                     _ => {
                         return Err(PyErr::type_error(
                             "setattr(): attribute name must be string",
                         ))
                     }
                 };
+                // Interning a brand-new name is fine: the namespace `set`
+                // bumps the generation, invalidating any inline cache.
+                let sym = self.interner.intern(&name);
                 match &args[0] {
                     Value::Module(m) => {
-                        m.ns.set(&name, args[2].clone());
+                        m.ns.set(sym, args[2].clone());
                     }
                     Value::Instance(i) => {
-                        i.borrow().ns.set(&name, args[2].clone());
+                        i.borrow().ns.set(sym, args[2].clone());
                     }
                     Value::Class(c) => {
-                        c.ns.set(&name, args[2].clone());
+                        c.ns.set(sym, args[2].clone());
                     }
                     other => {
                         return Err(PyErr::type_error(format!(
@@ -1710,16 +2007,16 @@ impl Interpreter {
                 Ok(Value::None)
             }
             Builtin::Hasattr => {
-                let obj = args.first().ok_or_else(|| arity_err("2"))?.clone();
+                let obj = args.first().ok_or_else(|| arity_err("2"))?;
                 let name = match args.get(1) {
-                    Some(Value::Str(s)) => s.to_string(),
+                    Some(Value::Str(s)) => Arc::clone(s),
                     _ => {
                         return Err(PyErr::type_error(
                             "hasattr(): attribute name must be string",
                         ))
                     }
                 };
-                match self.get_attribute(&obj, &name) {
+                match self.get_attribute(obj, &name) {
                     Ok(_) => Ok(Value::Bool(true)),
                     Err(e) if matches!(e.kind, ExcKind::AttributeError) => Ok(Value::Bool(false)),
                     Err(e) => Err(e),
@@ -1903,7 +2200,7 @@ impl Interpreter {
 
     fn call_str_method(
         &mut self,
-        s: &Rc<str>,
+        s: &str,
         method: NativeMethod,
         args: Vec<Value>,
     ) -> Result<Value, PyErr> {
@@ -2000,7 +2297,7 @@ fn py_is(a: &Value, b: &Value) -> bool {
         (Value::None, Value::None) => true,
         (Value::Bool(x), Value::Bool(y)) => x == y,
         (Value::Int(x), Value::Int(y)) => x == y,
-        (Value::Str(x), Value::Str(y)) => Rc::ptr_eq(x, y) || x == y,
+        (Value::Str(x), Value::Str(y)) => Arc::ptr_eq(x, y) || x == y,
         (Value::List(x), Value::List(y)) => Rc::ptr_eq(x, y),
         (Value::Dict(x), Value::Dict(y)) => Rc::ptr_eq(x, y),
         (Value::Tuple(x), Value::Tuple(y)) => Rc::ptr_eq(x, y),
@@ -2145,7 +2442,7 @@ mod tests {
             &[("m", "alpha = 1\nbeta = 2\ngamma = 3\n")],
             "import m\nfrom m import beta\nx = m.alpha\ny = getattr(m, \"gamma\")\n",
         );
-        let seen = it.observed_accesses.get("m").cloned().unwrap_or_default();
+        let seen = it.observed_accesses().get("m").cloned().unwrap_or_default();
         assert!(seen.contains("alpha"), "direct attribute read");
         assert!(seen.contains("beta"), "from-import read");
         assert!(seen.contains("gamma"), "getattr read");
@@ -2154,7 +2451,7 @@ mod tests {
     #[test]
     fn observed_accesses_skip_non_registry_modules() {
         let it = run("x = 1\n");
-        assert!(it.observed_accesses.is_empty());
+        assert!(it.observed_accesses().is_empty());
     }
 
     #[test]
@@ -2609,5 +2906,23 @@ print(isinstance(B(), A))
     fn enumerate_and_zip() {
         let it = run("for i, v in enumerate([\"a\", \"b\"]):\n    print(i, v)\nfor x, y in zip([1, 2], [3, 4]):\n    print(x + y)\n");
         assert_eq!(it.stdout, vec!["0 a", "1 b", "4", "6"]);
+    }
+
+    #[test]
+    fn inline_cache_invalidated_by_rebind() {
+        let it = run_with(
+            &[("m", "x = 1\n")],
+            "import m\nfor i in range(3):\n    print(m.x)\n    m.x = m.x + 1\n",
+        );
+        assert_eq!(it.stdout, vec!["1", "2", "3"]);
+    }
+
+    #[test]
+    fn inline_cache_del_invalidates_site() {
+        let it = run_with(
+            &[("m", "x = 1\n")],
+            "import m\nout = []\nfor i in range(2):\n    try:\n        out.append(m.x)\n    except AttributeError:\n        out.append(0 - 1)\n    if i == 0:\n        del m.x\nprint(out)\n",
+        );
+        assert_eq!(it.stdout, vec!["[1, -1]"]);
     }
 }

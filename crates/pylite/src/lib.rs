@@ -37,15 +37,19 @@
 
 pub mod ast;
 pub mod cost;
+pub mod intern;
 pub mod interp;
 pub mod lexer;
 pub mod parser;
 pub mod registry;
+pub mod resolved;
 pub mod value;
 
 pub use ast::{unparse, Program, Stmt};
 pub use cost::{CostModel, Meter};
+pub use intern::{Interner, Symbol};
 pub use interp::{ImportEvent, Interpreter};
 pub use parser::{parse, parse_expr, ParseError};
 pub use registry::Registry;
+pub use resolved::{resolve_program, RProgram};
 pub use value::{py_eq, py_repr, py_str, ExcKind, Namespace, PyErr, Value};

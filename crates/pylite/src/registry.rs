@@ -19,16 +19,19 @@
 //! verdicts on it to share results across runs.
 
 use crate::ast::Program;
+use crate::intern::Interner;
 use crate::parser::{parse, ParseError};
+use crate::resolved::{resolve_program, RProgram};
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
-/// One registry entry: shared source text plus a shared, lazily filled
-/// parse slot. Cloning an entry is two reference-count bumps.
+/// One registry entry: shared source text plus shared, lazily filled parse
+/// and resolve slots. Cloning an entry is three reference-count bumps.
 #[derive(Debug, Clone)]
 struct ModuleEntry {
     source: Arc<str>,
     parsed: Arc<OnceLock<Result<Arc<Program>, ParseError>>>,
+    resolved: Arc<OnceLock<Result<Arc<RProgram>, ParseError>>>,
 }
 
 impl ModuleEntry {
@@ -36,6 +39,7 @@ impl ModuleEntry {
         ModuleEntry {
             source: source.into(),
             parsed: Arc::new(OnceLock::new()),
+            resolved: Arc::new(OnceLock::new()),
         }
     }
 }
@@ -77,6 +81,11 @@ fn entry_hash(name: &str, source: &str) -> u64 {
 pub struct Registry {
     modules: HashMap<String, ModuleEntry>,
     fingerprint: u64,
+    /// Name interner shared by every clone/overlay of this registry, so
+    /// symbols are stable across the whole probe family. Deliberately NOT
+    /// part of the fingerprint or `PartialEq`: symbols are an in-memory
+    /// acceleration, and probe caches must hit across interner families.
+    interner: Arc<Interner>,
 }
 
 impl PartialEq for Registry {
@@ -193,6 +202,36 @@ impl Registry {
             .parsed
             .get_or_init(|| parse(&entry.source).map(Arc::new))
             .clone()
+    }
+
+    /// Parse *and* symbol-resolve a module (see [`crate::resolved`]),
+    /// caching the resolved tree in a slot shared by every clone of this
+    /// registry — the resolve pass runs once per module family, not once
+    /// per probe interpreter.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`ParseError`] if the module does not parse.
+    pub fn resolve_module(&self, name: &str) -> Result<Arc<RProgram>, ParseError> {
+        let entry = self.modules.get(name).ok_or_else(|| ParseError {
+            message: format!("no module named `{name}` in registry"),
+            line: 0,
+        })?;
+        entry
+            .resolved
+            .get_or_init(|| {
+                let program = entry
+                    .parsed
+                    .get_or_init(|| parse(&entry.source).map(Arc::new))
+                    .clone()?;
+                Ok(Arc::new(resolve_program(&program, &self.interner)))
+            })
+            .clone()
+    }
+
+    /// The name interner shared by this registry and all of its clones.
+    pub fn interner(&self) -> &Arc<Interner> {
+        &self.interner
     }
 
     /// Direct submodules of a dotted name that exist in the registry, e.g.
@@ -354,6 +393,36 @@ mod tests {
         assert_ne!(r.fingerprint(), empty);
         r.remove_module("m");
         assert_eq!(r.fingerprint(), empty);
+    }
+
+    #[test]
+    fn clones_and_overlays_share_interner_and_resolution() {
+        let mut r = Registry::new();
+        r.set_module("m", "alpha = 1\n");
+        r.set_module("n", "beta = 2\n");
+        let clone = r.clone();
+        let overlay = r.with_module("n", "beta = 3\n");
+        let p1 = clone.resolve_module("m").unwrap();
+        let p2 = r.resolve_module("m").unwrap();
+        let p3 = overlay.resolve_module("m").unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2), "clone shares resolved tree");
+        assert!(Arc::ptr_eq(&p1, &p3), "overlay shares untouched entries");
+        assert!(Arc::ptr_eq(r.interner(), clone.interner()));
+        assert!(Arc::ptr_eq(r.interner(), overlay.interner()));
+        // The overlaid entry re-resolves, against the same interner.
+        let sym = r.interner().lookup("alpha").unwrap();
+        overlay.resolve_module("n").unwrap();
+        assert_eq!(r.interner().lookup("alpha"), Some(sym));
+    }
+
+    #[test]
+    fn set_module_resets_resolution() {
+        let mut r = Registry::new();
+        r.set_module("m", "a = 1\n");
+        let p1 = r.resolve_module("m").unwrap();
+        r.set_module("m", "a = 2\n");
+        let p2 = r.resolve_module("m").unwrap();
+        assert!(!Arc::ptr_eq(&p1, &p2), "source change must re-resolve");
     }
 
     #[test]

@@ -1,20 +1,27 @@
 //! Runtime values and namespaces for the pylite interpreter.
 
-use crate::ast::{Param, Stmt};
+use crate::intern::{Symbol, SymbolHashBuilder};
+use crate::resolved::RFuncDef;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
-/// An insertion-ordered string-keyed map used for every namespace (module
-/// globals, class dicts, instance dicts).
+/// An insertion-ordered symbol-keyed map used for every namespace (module
+/// globals, class dicts, instance dicts, call frames).
 ///
 /// Iteration order is insertion order, which makes attribute enumeration —
 /// and therefore Delta Debugging partitioning — fully deterministic.
+///
+/// Every mutation bumps a monotonically increasing *generation* counter;
+/// the interpreter's inline caches key on it to detect rebinds (trims and
+/// fallback rewrites mutate module namespaces and must invalidate).
 #[derive(Debug, Clone, Default)]
 pub struct NsMap {
-    order: Vec<Rc<str>>,
-    map: HashMap<Rc<str>, Value>,
+    order: Vec<Symbol>,
+    map: HashMap<Symbol, Value, SymbolHashBuilder>,
+    generation: u64,
 }
 
 impl NsMap {
@@ -24,31 +31,32 @@ impl NsMap {
     }
 
     /// Look up a binding.
-    pub fn get(&self, key: &str) -> Option<&Value> {
-        self.map.get(key)
+    pub fn get(&self, key: Symbol) -> Option<&Value> {
+        self.map.get(&key)
     }
 
     /// Insert or update a binding, returning the previous value if any.
-    pub fn set(&mut self, key: &str, value: Value) -> Option<Value> {
-        if let Some(slot) = self.map.get_mut(key) {
+    pub fn set(&mut self, key: Symbol, value: Value) -> Option<Value> {
+        self.generation += 1;
+        if let Some(slot) = self.map.get_mut(&key) {
             return Some(std::mem::replace(slot, value));
         }
-        let key: Rc<str> = Rc::from(key);
-        self.order.push(key.clone());
+        self.order.push(key);
         self.map.insert(key, value);
         None
     }
 
     /// Remove a binding, returning it if present.
-    pub fn remove(&mut self, key: &str) -> Option<Value> {
-        let v = self.map.remove(key)?;
-        self.order.retain(|k| &**k != key);
+    pub fn remove(&mut self, key: Symbol) -> Option<Value> {
+        let v = self.map.remove(&key)?;
+        self.generation += 1;
+        self.order.retain(|k| *k != key);
         Some(v)
     }
 
     /// Whether `key` is bound.
-    pub fn contains(&self, key: &str) -> bool {
-        self.map.contains_key(key)
+    pub fn contains(&self, key: Symbol) -> bool {
+        self.map.contains_key(&key)
     }
 
     /// Number of bindings.
@@ -62,21 +70,30 @@ impl NsMap {
     }
 
     /// Keys in insertion order.
-    pub fn keys(&self) -> impl Iterator<Item = &str> {
-        self.order.iter().map(|k| &**k)
+    pub fn keys(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.order.iter().copied()
     }
 
     /// `(key, value)` pairs in insertion order.
-    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &Value)> {
         self.order
             .iter()
-            .map(move |k| (&**k, self.map.get(k).expect("order and map are consistent")))
+            .map(move |k| (*k, self.map.get(k).expect("order and map are consistent")))
+    }
+
+    /// The mutation counter (bumped on every `set`/`remove`).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 }
 
 /// A shared, mutable namespace.
+///
+/// The backing map is private: all mutation goes through [`Namespace::set`]
+/// and [`Namespace::remove`], so the generation counter the interpreter's
+/// inline caches rely on cannot be bypassed.
 #[derive(Debug, Clone, Default)]
-pub struct Namespace(pub Rc<RefCell<NsMap>>);
+pub struct Namespace(Rc<RefCell<NsMap>>);
 
 impl Namespace {
     /// A fresh empty namespace.
@@ -85,22 +102,22 @@ impl Namespace {
     }
 
     /// Look up a binding (cloning the value handle).
-    pub fn get(&self, key: &str) -> Option<Value> {
+    pub fn get(&self, key: Symbol) -> Option<Value> {
         self.0.borrow().get(key).cloned()
     }
 
     /// Insert or update a binding.
-    pub fn set(&self, key: &str, value: Value) -> Option<Value> {
+    pub fn set(&self, key: Symbol, value: Value) -> Option<Value> {
         self.0.borrow_mut().set(key, value)
     }
 
     /// Remove a binding.
-    pub fn remove(&self, key: &str) -> Option<Value> {
+    pub fn remove(&self, key: Symbol) -> Option<Value> {
         self.0.borrow_mut().remove(key)
     }
 
     /// Whether `key` is bound.
-    pub fn contains(&self, key: &str) -> bool {
+    pub fn contains(&self, key: Symbol) -> bool {
         self.0.borrow().contains(key)
     }
 
@@ -115,26 +132,39 @@ impl Namespace {
     }
 
     /// Keys in insertion order (snapshot).
-    pub fn key_vec(&self) -> Vec<String> {
-        self.0.borrow().keys().map(str::to_owned).collect()
+    pub fn key_syms(&self) -> Vec<Symbol> {
+        self.0.borrow().keys().collect()
+    }
+
+    /// The namespace's mutation generation (see [`NsMap::generation`]).
+    pub fn generation(&self) -> u64 {
+        self.0.borrow().generation()
+    }
+
+    /// Whether `self` and `other` are the *same* namespace object.
+    pub fn same(&self, other: &Namespace) -> bool {
+        Rc::ptr_eq(&self.0, &other.0)
     }
 }
 
 /// A user-defined function.
 #[derive(Debug)]
 pub struct PyFunc {
-    /// Function name.
-    pub name: String,
-    /// Declared parameters.
-    pub params: Vec<Param>,
-    /// Default values, evaluated at definition time (parallel to `params`).
+    /// The shared resolved definition (name, parameters, body).
+    pub code: Arc<RFuncDef>,
+    /// Default values, evaluated at definition time (parallel to params).
     pub defaults: Vec<Option<Value>>,
-    /// Body statements (shared with the defining AST).
-    pub body: Rc<Vec<Stmt>>,
     /// The module globals the function closes over.
     pub globals: Namespace,
     /// Dotted name of the defining module (for diagnostics).
-    pub module: String,
+    pub module: Rc<str>,
+}
+
+impl PyFunc {
+    /// The function's name.
+    pub fn name(&self) -> &str {
+        &self.code.name
+    }
 }
 
 /// A user-defined class.
@@ -152,7 +182,7 @@ pub struct PyClass {
 
 impl PyClass {
     /// Look up an attribute on the class or its base chain.
-    pub fn lookup(&self, name: &str) -> Option<Value> {
+    pub fn lookup(&self, name: Symbol) -> Option<Value> {
         if let Some(v) = self.ns.get(name) {
             return Some(v);
         }
@@ -187,6 +217,11 @@ pub struct PyInstance {
 pub struct ModuleObj {
     /// Dotted module name.
     pub name: String,
+    /// The module name as a symbol (keys observed-access recording).
+    pub name_sym: Symbol,
+    /// Whether the module came from the registry — only registry modules
+    /// participate in observed-access tracking.
+    pub tracked: bool,
     /// The module namespace.
     pub ns: Namespace,
 }
@@ -559,8 +594,9 @@ pub enum Value {
     Int(i64),
     /// 64-bit float.
     Float(f64),
-    /// Immutable string.
-    Str(Rc<str>),
+    /// Immutable string (`Arc` so resolved-IR literals evaluate to a
+    /// pointer clone of the shared allocation).
+    Str(Arc<str>),
     /// Mutable list.
     List(Rc<RefCell<Vec<Value>>>),
     /// Immutable tuple.
@@ -603,7 +639,7 @@ pub enum Value {
 impl Value {
     /// Make a string value.
     pub fn str(s: impl AsRef<str>) -> Value {
-        Value::Str(Rc::from(s.as_ref()))
+        Value::Str(Arc::from(s.as_ref()))
     }
 
     /// Make a list value.
@@ -747,8 +783,8 @@ pub fn py_repr(v: &Value) -> String {
                 .collect();
             format!("{{{}}}", inner.join(", "))
         }
-        Value::Func(f) => format!("<function {}>", f.name),
-        Value::BoundMethod { func, .. } => format!("<bound method {}>", func.name),
+        Value::Func(f) => format!("<function {}>", f.name()),
+        Value::BoundMethod { func, .. } => format!("<bound method {}>", func.name()),
         Value::Builtin(b) => format!("<built-in function {}>", b.name()),
         Value::NativeMethod { method, .. } => format!("<built-in method {method:?}>"),
         Value::Class(c) => format!("<class '{}'>", c.name),
@@ -765,34 +801,69 @@ pub fn py_repr(v: &Value) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::intern::Interner;
+
+    fn syms(names: &[&str]) -> (Interner, Vec<Symbol>) {
+        let i = Interner::new();
+        let syms = names.iter().map(|n| i.intern(n)).collect();
+        (i, syms)
+    }
 
     #[test]
     fn nsmap_preserves_insertion_order() {
+        let (_i, s) = syms(&["b", "a", "c"]);
         let mut m = NsMap::new();
-        m.set("b", Value::Int(1));
-        m.set("a", Value::Int(2));
-        m.set("c", Value::Int(3));
-        let keys: Vec<&str> = m.keys().collect();
-        assert_eq!(keys, vec!["b", "a", "c"]);
+        m.set(s[0], Value::Int(1));
+        m.set(s[1], Value::Int(2));
+        m.set(s[2], Value::Int(3));
+        let keys: Vec<Symbol> = m.keys().collect();
+        assert_eq!(keys, s);
     }
 
     #[test]
     fn nsmap_set_updates_in_place() {
+        let (_i, s) = syms(&["a"]);
         let mut m = NsMap::new();
-        m.set("a", Value::Int(1));
-        let prev = m.set("a", Value::Int(2));
+        m.set(s[0], Value::Int(1));
+        let prev = m.set(s[0], Value::Int(2));
         assert!(matches!(prev, Some(Value::Int(1))));
         assert_eq!(m.len(), 1);
     }
 
     #[test]
     fn nsmap_remove_drops_from_order() {
+        let (_i, s) = syms(&["a", "b"]);
         let mut m = NsMap::new();
-        m.set("a", Value::Int(1));
-        m.set("b", Value::Int(2));
-        m.remove("a");
-        assert_eq!(m.keys().collect::<Vec<_>>(), vec!["b"]);
-        assert!(!m.contains("a"));
+        m.set(s[0], Value::Int(1));
+        m.set(s[1], Value::Int(2));
+        m.remove(s[0]);
+        assert_eq!(m.keys().collect::<Vec<_>>(), vec![s[1]]);
+        assert!(!m.contains(s[0]));
+    }
+
+    #[test]
+    fn namespace_generation_bumps_on_mutation() {
+        let (_i, s) = syms(&["a", "b"]);
+        let ns = Namespace::new();
+        let g0 = ns.generation();
+        ns.set(s[0], Value::Int(1));
+        let g1 = ns.generation();
+        assert!(g1 > g0);
+        ns.set(s[0], Value::Int(2)); // in-place update must also bump
+        let g2 = ns.generation();
+        assert!(g2 > g1);
+        ns.remove(s[0]);
+        assert!(ns.generation() > g2);
+        assert!(ns.get(s[1]).is_none());
+    }
+
+    #[test]
+    fn namespace_same_is_identity() {
+        let a = Namespace::new();
+        let b = a.clone();
+        let c = Namespace::new();
+        assert!(a.same(&b));
+        assert!(!a.same(&c));
     }
 
     #[test]

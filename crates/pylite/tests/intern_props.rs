@@ -1,0 +1,172 @@
+//! Hand-rolled property tests for the symbol interner (the external
+//! `proptest` crate is unavailable offline; a seeded LCG generates the
+//! name corpus deterministically).
+//!
+//! The properties guarded here are the soundness conditions of the
+//! interned-symbol interpreter: interning must be a bijection per family
+//! (`resolve ∘ intern = id`), symbols must stay meaningful across the
+//! copy-on-write `Registry` clones and overlays the debloater creates, and
+//! symbol *numbering* must never leak into content-based registry
+//! fingerprints.
+
+use pylite::intern::Interner;
+use pylite::{Interpreter, Registry};
+use std::sync::Arc;
+
+/// Deterministic name generator (LCG over a small alphabet).
+struct Names {
+    state: u64,
+}
+
+impl Names {
+    fn new(seed: u64) -> Self {
+        Names { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // Numerical Recipes LCG constants.
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.state
+    }
+
+    fn next_name(&mut self) -> String {
+        const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz_0123456789";
+        let mut r = self.next_u64();
+        let len = 1 + (r % 24) as usize;
+        let mut out = String::with_capacity(len);
+        // First char: letter or underscore (a valid identifier head).
+        out.push(ALPHABET[(r % 27) as usize] as char);
+        for _ in 1..len {
+            r = self.next_u64();
+            out.push(ALPHABET[(r % ALPHABET.len() as u64) as usize] as char);
+        }
+        out
+    }
+}
+
+#[test]
+fn intern_resolve_round_trips_and_is_idempotent() {
+    let interner = Interner::default();
+    let mut names = Names::new(0xC0FFEE);
+    let mut seen = Vec::new();
+    for _ in 0..2_000 {
+        let name = names.next_name();
+        let sym = interner.intern(&name);
+        assert_eq!(&*interner.resolve(sym), name.as_str(), "resolve ∘ intern");
+        assert_eq!(interner.intern(&name), sym, "interning is idempotent");
+        assert_eq!(interner.lookup(&name), Some(sym), "lookup finds it");
+        seen.push((name, sym));
+    }
+    // Earlier symbols survive later interning untouched.
+    for (name, sym) in &seen {
+        assert_eq!(&*interner.resolve(*sym), name.as_str());
+    }
+}
+
+#[test]
+fn lookup_never_grows_the_interner() {
+    let interner = Interner::default();
+    let mut names = Names::new(7);
+    for _ in 0..500 {
+        let name = names.next_name();
+        let before = interner.len();
+        let _ = interner.lookup(&name);
+        assert_eq!(interner.len(), before, "lookup must not intern");
+    }
+}
+
+#[test]
+fn symbols_stable_across_registry_clone_and_overlay() {
+    let mut r = Registry::new();
+    r.set_module("m", "alpha = 1\ndef go():\n    return alpha\n");
+    let mut names = Names::new(42);
+    let pre: Vec<(String, pylite::Symbol)> = (0..200)
+        .map(|_| {
+            let n = names.next_name();
+            let s = r.interner().intern(&n);
+            (n, s)
+        })
+        .collect();
+
+    let clone = r.clone();
+    let overlay = r.with_module("m", "alpha = 2\n");
+
+    // COW clones and overlays share one symbol family: same interner,
+    // so every pre-existing symbol resolves to the same text everywhere.
+    assert!(Arc::ptr_eq(r.interner(), clone.interner()));
+    assert!(Arc::ptr_eq(r.interner(), overlay.interner()));
+    for (name, sym) in &pre {
+        assert_eq!(&*clone.interner().resolve(*sym), name.as_str());
+        assert_eq!(&*overlay.interner().resolve(*sym), name.as_str());
+    }
+
+    // New interning through any handle is visible to all of them.
+    let late = overlay.interner().intern("late_symbol");
+    assert_eq!(r.interner().lookup("late_symbol"), Some(late));
+
+    // Shared resolve slots: the untouched module's resolved IR is the same
+    // allocation in the original and the clone.
+    let a = r.resolve_module("m").unwrap();
+    let b = clone.resolve_module("m").unwrap();
+    assert!(Arc::ptr_eq(&a, &b), "clone shares the resolved-IR slot");
+    // The overlay replaced `m`, so it must re-resolve, not reuse.
+    let c = overlay.resolve_module("m").unwrap();
+    assert!(!Arc::ptr_eq(&a, &c), "overlay re-resolves replaced modules");
+}
+
+#[test]
+fn fingerprints_ignore_symbol_numbering() {
+    let mut names = Names::new(9000);
+    let mut r1 = Registry::new();
+    r1.set_module("m", "alpha = 1\nbeta = 2\n");
+    let mut r2 = Registry::new();
+    r2.set_module("m", "alpha = 1\nbeta = 2\n");
+
+    // Skew r2's symbol numbering arbitrarily before it resolves anything.
+    for _ in 0..100 {
+        r2.interner().intern(&names.next_name());
+    }
+    r1.resolve_module("m").unwrap();
+    r2.resolve_module("m").unwrap();
+    assert_ne!(
+        r1.interner().lookup("beta"),
+        r2.interner().lookup("beta"),
+        "numbering really diverged"
+    );
+    assert_eq!(
+        r1.fingerprint(),
+        r2.fingerprint(),
+        "fingerprint is content-based"
+    );
+    assert_eq!(r1, r2, "equality is content-based");
+}
+
+#[test]
+fn interpreters_agree_regardless_of_symbol_numbering() {
+    const MODULE: &str = "x = 10\ndef f(n):\n    return n + x\n";
+    const MAIN: &str = "import m\nprint(m.f(5), m.x)\n";
+
+    let mut r1 = Registry::new();
+    r1.set_module("m", MODULE);
+    let mut r2 = Registry::new();
+    r2.set_module("m", MODULE);
+    let mut names = Names::new(31337);
+    for _ in 0..64 {
+        r2.interner().intern(&names.next_name());
+    }
+
+    let mut i1 = Interpreter::new(r1);
+    i1.exec_main(MAIN).unwrap();
+    let mut i2 = Interpreter::new(r2);
+    i2.exec_main(MAIN).unwrap();
+    assert_eq!(i1.stdout, i2.stdout);
+    assert_eq!(i1.observed_accesses(), i2.observed_accesses());
+    assert_eq!(
+        i1.meter.snapshot(),
+        i2.meter.snapshot(),
+        "identical virtual cost"
+    );
+}

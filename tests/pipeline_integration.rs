@@ -235,7 +235,7 @@ fn static_load_time_accesses_are_observed_dynamically() {
             .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
         for (module, attrs) in &full.load_time_accessed {
             let observed = it
-                .observed_accesses
+                .observed_accesses()
                 .get(module)
                 .cloned()
                 .unwrap_or_default();
