@@ -2,7 +2,7 @@
 //! functions and module attributes, and which of them are reachable from
 //! the application's entry point.
 
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
 /// A node of the call graph.
@@ -44,18 +44,23 @@ pub struct CallGraph {
 }
 
 impl CallGraph {
-    /// Recompute [`CallGraph::reachable`] from the given roots.
+    /// Recompute [`CallGraph::reachable`] from the given roots: a BFS over
+    /// an adjacency index built once from the edge set, so the whole
+    /// traversal is `O(V + E)` instead of scanning every edge per node.
     pub fn recompute(&mut self, roots: impl IntoIterator<Item = CgNode>) {
+        let mut successors: BTreeMap<&CgNode, Vec<&CgNode>> = BTreeMap::new();
+        for (from, to) in &self.edges {
+            successors.entry(from).or_default().push(to);
+        }
         let mut seen: BTreeSet<CgNode> = BTreeSet::new();
         let mut queue: VecDeque<CgNode> = roots.into_iter().collect();
         while let Some(node) = queue.pop_front() {
             if !seen.insert(node.clone()) {
                 continue;
             }
-            for (from, to) in &self.edges {
-                if *from == node && !seen.contains(to) {
-                    queue.push_back(to.clone());
-                }
+            // `seen` can't borrow across the push, so re-check on pop.
+            if let Some(next) = successors.get(&node) {
+                queue.extend(next.iter().map(|&n| n.clone()));
             }
         }
         self.reachable = seen;

@@ -1,0 +1,1343 @@
+//! The transfer functions: one shard's walk over its resolved IR.
+//!
+//! The walker runs in two modes sharing one traversal:
+//!
+//! * **state mode** (`out == None`) — joins origin sets into the shard's
+//!   scopes, function returns and container sites, activates units, and
+//!   buffers cross-shard [`Message`]s. It records *no* analysis outputs.
+//! * **collect mode** (`out == Some`) — a single read-only pass over the
+//!   converged state that records every output (accessed sets, lints,
+//!   call-graph edges, imports). Because every transfer is monotone, the
+//!   outputs are a pure function of the fixpoint, which is what makes
+//!   per-shard output summaries cacheable across incremental runs.
+//!
+//! Cross-shard reads go through the frozen [`RoundView`] snapshots and are
+//! recorded as read-dependencies; cross-shard writes become messages. All
+//! intra-shard effects are plain Gauss-Seidel joins.
+
+use super::merge::ShardOutput;
+use super::worklist::{FuncInfo, Message, RoundView, Scope, Shard, UnitRef, WalkResult};
+use crate::callgraph::CgNode;
+use crate::lints::{Lint, LintKind, Severity};
+use crate::origin::{join_into, FuncKey, Origin, OriginSet, SiteKey};
+use pylite::resolved::{RClassDef, RExpr, RFromName, RStmt};
+use pylite::Symbol;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Run one shard to a *local* fixpoint against the round's frozen
+/// snapshots: re-walk its active units until nothing owned by the shard
+/// changes. Cross-shard effects are returned for the barrier.
+pub(crate) fn walk_round(shard: &mut Shard, view: &RoundView<'_>) -> WalkResult {
+    let mut result = WalkResult::default();
+    loop {
+        let mut w = Walker {
+            view,
+            shard,
+            out: None,
+            msgs: Vec::new(),
+            changed: false,
+            pub_changed: false,
+        };
+        w.walk_units();
+        let changed = w.changed;
+        result.pub_changed |= w.pub_changed;
+        let msgs = w.msgs;
+        result.msgs.extend(msgs);
+        if !changed {
+            break;
+        }
+    }
+    // The first walk always publishes: even a fixpoint with no origin-set
+    // growth (e.g. a module binding only literals) must expose its top-level
+    // names — pre-bound to empty sets — to star-import readers.
+    if result.pub_changed || shard.published.version == 0 {
+        result.pub_changed = true;
+        shard.publish();
+    }
+    result
+}
+
+/// The read-only output pass over a converged shard.
+pub(crate) fn collect_shard(shard: &mut Shard, view: &RoundView<'_>) -> ShardOutput {
+    let mut out = ShardOutput::default();
+    let mut w = Walker {
+        view,
+        shard,
+        out: Some(&mut out),
+        msgs: Vec::new(),
+        changed: false,
+        pub_changed: false,
+    };
+    w.walk_units();
+    debug_assert!(!w.changed, "collect pass must not change state");
+    // Function/body inventory (independent of the statement walk).
+    for f in shard.funcs.values() {
+        let qual = view.interner.resolve(f.qual);
+        if f.active {
+            out.reached.insert(shard.func_node(&qual).to_string());
+        }
+        if shard.is_app() {
+            out.app_funcs.insert(qual.to_string());
+        }
+    }
+    if let (Some(name), true) = (&shard.name_str, shard.active) {
+        let keys: BTreeSet<String> = shard
+            .scopes
+            .first()
+            .map(|s| {
+                s.env
+                    .keys()
+                    .map(|k| view.interner.resolve(*k).to_string())
+                    .collect()
+            })
+            .unwrap_or_default();
+        out.module_bindings = Some((name.clone(), keys));
+    }
+    out
+}
+
+/// Per-unit walk context.
+struct Ctx {
+    /// Current scope index in the shard.
+    scope: usize,
+    /// The unit's function qualname (`None` = top level).
+    unit: Option<Symbol>,
+    /// Qualified-name prefix for nested definitions.
+    qual: String,
+    /// Container-literal encounter counter (deterministic per walk).
+    counter: u32,
+    /// Whether this unit runs at load time (top level).
+    is_top: bool,
+    /// Call-graph node of this unit (collect mode).
+    node: CgNode,
+}
+
+impl Ctx {
+    fn next_site(&mut self, shard: &Shard) -> SiteKey {
+        let site = SiteKey {
+            shard: shard.name,
+            unit: self.unit,
+            n: self.counter,
+        };
+        self.counter += 1;
+        site
+    }
+}
+
+pub(crate) struct Walker<'a, 'b> {
+    pub view: &'a RoundView<'b>,
+    pub shard: &'a mut Shard,
+    pub out: Option<&'a mut ShardOutput>,
+    pub msgs: Vec<Message>,
+    pub changed: bool,
+    pub pub_changed: bool,
+}
+
+impl Walker<'_, '_> {
+    fn walk_units(&mut self) {
+        let mut i = 0;
+        while i < self.shard.units.len() {
+            let unit = self.shard.units[i];
+            self.walk_unit(unit);
+            i += 1;
+        }
+    }
+
+    fn walk_unit(&mut self, unit: UnitRef) {
+        let (body, mut ctx) = match unit {
+            UnitRef::Top => {
+                let Some(program) = self.shard.program.clone() else {
+                    return;
+                };
+                let node = match &self.shard.name_str {
+                    None => CgNode::AppTop,
+                    Some(m) => CgNode::ModuleTop(m.clone()),
+                };
+                (
+                    ProgramBody::Program(program),
+                    Ctx {
+                        scope: 0,
+                        unit: None,
+                        qual: String::new(),
+                        counter: 0,
+                        is_top: true,
+                        node,
+                    },
+                )
+            }
+            UnitRef::Func(key) => {
+                let f = &self.shard.funcs[&key];
+                let qual = self.view.interner.resolve(f.qual).to_string();
+                let node = self.shard.func_node(&qual);
+                let scope = f.scope;
+                (
+                    ProgramBody::Func(Arc::clone(&f.body)),
+                    Ctx {
+                        scope,
+                        unit: Some(key.qual),
+                        qual,
+                        counter: 0,
+                        is_top: false,
+                        node,
+                    },
+                )
+            }
+        };
+        for stmt in body.stmts() {
+            self.walk_stmt(&mut ctx, stmt);
+        }
+    }
+
+    // -- infrastructure ----------------------------------------------------
+
+    fn is_collect(&self) -> bool {
+        self.out.is_some()
+    }
+
+    fn bind(&mut self, scope: usize, name: Symbol, set: &OriginSet) {
+        if self.is_collect() {
+            return;
+        }
+        let slot = self.shard.scopes[scope].env.entry(name).or_default();
+        if join_into(slot, set) {
+            self.changed = true;
+            if scope == 0 {
+                self.pub_changed = true;
+            }
+        }
+    }
+
+    fn send(&mut self, msg: Message) {
+        if self.is_collect() {
+            return;
+        }
+        if self.shard.sent.insert(msg.clone()) {
+            self.msgs.push(msg);
+        }
+    }
+
+    fn lint(&mut self, severity: Severity, kind: LintKind) {
+        if let Some(out) = self.out.as_deref_mut() {
+            out.lints.insert(Lint { severity, kind });
+        }
+    }
+
+    fn edge(&mut self, from: CgNode, to: CgNode) {
+        if let Some(out) = self.out.as_deref_mut() {
+            out.edges.insert((from, to));
+        }
+    }
+
+    fn record_access(&mut self, ctx: &Ctx, module: &str, attr: &str) {
+        let is_app = self.shard.is_app();
+        let Some(out) = self.out.as_deref_mut() else {
+            return;
+        };
+        out.accessed
+            .entry(module.to_owned())
+            .or_default()
+            .insert(attr.to_owned());
+        if is_app {
+            out.used_by_app.insert(module.to_owned());
+        }
+        if ctx.is_top {
+            out.load_time
+                .entry(module.to_owned())
+                .or_default()
+                .insert(attr.to_owned());
+        }
+    }
+
+    /// Registry existence probe, recorded for incremental invalidation.
+    fn probe_contains(&mut self, name: &str) -> bool {
+        if let Some(&v) = self.shard.probes.get(name) {
+            return v;
+        }
+        let v = self.view.registry.contains(name);
+        self.shard.probes.insert(name.to_owned(), v);
+        v
+    }
+
+    /// Whether `m` is an analyzable registry module. Deliberately *static*
+    /// (independent of whether `m` was imported yet): the decision between
+    /// reading `m`'s environment and synthesizing an opaque `Attr` atom
+    /// must be monotone for incremental reuse to be exact (DESIGN.md §9).
+    fn analyzed(&mut self, m: &str) -> bool {
+        if !self.view.interprocedural {
+            return false;
+        }
+        if let Some(&v) = self.shard.analyzed_probes.get(m) {
+            return v;
+        }
+        let v = self.view.registry.contains(m) && self.view.registry.resolve_module(m).is_ok();
+        self.shard.analyzed_probes.insert(m.to_owned(), v);
+        v
+    }
+
+    fn read_dep(&mut self, module: Symbol) {
+        if self.shard.name == Some(module) {
+            return;
+        }
+        let name = self.view.interner.resolve(module).to_string();
+        self.shard.read_deps.insert(Some(name));
+    }
+
+    /// A module's top-level binding for `name`, through the frozen snapshot
+    /// (or our own live env for self-reads).
+    fn module_env_get(&mut self, module: Symbol, name: Symbol) -> Option<OriginSet> {
+        if self.shard.name == Some(module) {
+            return self
+                .shard
+                .scopes
+                .first()
+                .and_then(|s| s.env.get(&name))
+                .cloned();
+        }
+        self.read_dep(module);
+        self.view
+            .snapshot_of(module)
+            .and_then(|p| p.top_env.get(&name))
+            .cloned()
+    }
+
+    /// Snapshot of another shard's published state, recording the read
+    /// dependency (`None` addresses the application shard, which is always
+    /// snapshot index 0).
+    fn foreign_snapshot(
+        &mut self,
+        shard: crate::origin::ShardName,
+    ) -> Option<&super::worklist::Published> {
+        match shard {
+            Some(m) => {
+                self.read_dep(m);
+                self.view.snapshot_of(m)
+            }
+            None => {
+                self.shard.read_deps.insert(None);
+                Some(&self.view.snapshots[0])
+            }
+        }
+    }
+
+    fn seq_elems(&mut self, site: SiteKey) -> Option<Vec<OriginSet>> {
+        if site.shard == self.shard.name {
+            return self.shard.seq_sites.get(&site).cloned();
+        }
+        self.foreign_snapshot(site.shard)
+            .and_then(|p| p.seq_sites.get(&site).cloned())
+    }
+
+    fn map_entries(
+        &mut self,
+        site: SiteKey,
+    ) -> Option<(std::collections::BTreeMap<Arc<str>, OriginSet>, OriginSet)> {
+        if site.shard == self.shard.name {
+            return self.shard.map_sites.get(&site).cloned();
+        }
+        self.foreign_snapshot(site.shard)
+            .and_then(|p| p.map_sites.get(&site).cloned())
+    }
+
+    /// `import a.b.c` pulls in (and runs the top-level of) a, a.b and a.b.c.
+    fn record_import(&mut self, ctx: &Ctx, dotted: &str) {
+        let mut prefix = String::new();
+        for part in dotted.split('.') {
+            if !prefix.is_empty() {
+                prefix.push('.');
+            }
+            prefix.push_str(part);
+            let present = self.probe_contains(&prefix);
+            if present && self.view.interprocedural {
+                let sym = self.view.interner.intern(&prefix);
+                self.send(Message::ActivateModule(sym));
+            }
+            if let Some(out) = self.out.as_deref_mut() {
+                out.imported_modules.insert(prefix.clone());
+                if present {
+                    out.edges
+                        .insert((ctx.node.clone(), CgNode::ModuleTop(prefix.clone())));
+                }
+            }
+        }
+        let is_app = self.shard.is_app();
+        if let Some(out) = self.out.as_deref_mut() {
+            if is_app {
+                out.direct_imports.insert(dotted.to_owned());
+            }
+        }
+    }
+
+    /// Create a scope pre-bound with `names` (locally-assigned names bind
+    /// to the empty set up front so lookups never fall through to an outer
+    /// scope "early" — the shadowing decision is static, which keeps the
+    /// transfer monotone).
+    fn new_scope(&mut self, parent: Option<usize>, names: &BTreeSet<Symbol>) -> usize {
+        let mut env = std::collections::BTreeMap::new();
+        for &n in names {
+            env.insert(n, OriginSet::new());
+        }
+        self.shard.scopes.push(Scope { parent, env });
+        self.shard.scopes.len() - 1
+    }
+
+    // -- statements --------------------------------------------------------
+
+    fn walk_block(&mut self, ctx: &mut Ctx, body: &[RStmt]) {
+        for stmt in body {
+            self.walk_stmt(ctx, stmt);
+        }
+    }
+
+    fn walk_stmt(&mut self, ctx: &mut Ctx, stmt: &RStmt) {
+        match stmt {
+            RStmt::Import { items } => {
+                for item in items {
+                    self.record_import(ctx, &item.module);
+                    let target: &str = item.top.as_deref().unwrap_or(&item.module);
+                    let sym = self.view.interner.intern(target);
+                    let set: OriginSet = [Origin::Module(sym)].into_iter().collect();
+                    self.bind(ctx.scope, item.bind, &set);
+                    if !self.is_collect() {
+                        self.shard.import_bound.insert((ctx.scope, item.bind));
+                    }
+                }
+            }
+            RStmt::FromImport { module, names } => {
+                self.record_import(ctx, module);
+                let module_sym = self.view.interner.intern(module);
+                for name in names {
+                    let RFromName::Named { name, bind } = name else {
+                        self.star_import(ctx, module, module_sym);
+                        continue;
+                    };
+                    let name_str = self.view.interner.resolve(*name);
+                    let submodule = format!("{module}.{name_str}");
+                    let set: OriginSet = if self.probe_contains(&submodule) {
+                        self.record_import(ctx, &submodule);
+                        // Importing a submodule via `from` counts as access.
+                        self.record_access(ctx, module, &name_str);
+                        let sub_sym = self.view.interner.intern(&submodule);
+                        [Origin::Module(sub_sym)].into_iter().collect()
+                    } else {
+                        let mut set: OriginSet =
+                            [Origin::Attr(module_sym, *name)].into_iter().collect();
+                        if self.analyzed(module) {
+                            if let Some(b) = self.module_env_get(module_sym, *name) {
+                                set.extend(b);
+                            }
+                        }
+                        // Inside a library module the import itself executes
+                        // on load, so the attribute is definitely read. App
+                        // from-imports stay lazy (§6.2): an unused name must
+                        // remain trimmable by DD.
+                        if !self.shard.is_app() {
+                            self.record_access(ctx, module, &name_str);
+                        }
+                        set
+                    };
+                    self.bind(ctx.scope, *bind, &set);
+                    if !self.is_collect() {
+                        self.shard.import_bound.insert((ctx.scope, *bind));
+                    }
+                }
+            }
+            RStmt::Assign { targets, value } => {
+                let vset = self.resolve(ctx, value);
+                for t in targets {
+                    self.assign_target(ctx, t, &vset);
+                }
+            }
+            RStmt::AugAssign { target, value, .. } => {
+                self.resolve(ctx, target);
+                self.resolve(ctx, value);
+            }
+            RStmt::Expr(e) | RStmt::Raise(Some(e)) | RStmt::Del(e) => {
+                self.resolve(ctx, e);
+            }
+            RStmt::Raise(None)
+            | RStmt::Pass
+            | RStmt::Break
+            | RStmt::Continue
+            | RStmt::Global(_) => {}
+            RStmt::Return(e) => {
+                let set = match e {
+                    Some(e) => self.resolve(ctx, e),
+                    None => OriginSet::new(),
+                };
+                if self.is_collect() {
+                    return;
+                }
+                if let Some(qual) = ctx.unit {
+                    let key = FuncKey {
+                        shard: self.shard.name,
+                        qual,
+                    };
+                    if let Some(f) = self.shard.funcs.get_mut(&key) {
+                        if join_into(&mut f.ret, &set) {
+                            self.changed = true;
+                            self.pub_changed = true;
+                        }
+                    }
+                }
+            }
+            RStmt::If { branches, orelse } => {
+                for (test, body) in branches {
+                    self.resolve(ctx, test);
+                    self.walk_block(ctx, body);
+                }
+                self.walk_block(ctx, orelse);
+            }
+            RStmt::While { test, body } => {
+                self.resolve(ctx, test);
+                self.walk_block(ctx, body);
+            }
+            RStmt::For {
+                targets,
+                iter,
+                body,
+            } => {
+                let iset = self.resolve(ctx, iter);
+                let elems = self.element_union(&iset);
+                if let [single] = targets.as_slice() {
+                    self.bind(ctx.scope, *single, &elems);
+                } else {
+                    for t in targets {
+                        self.bind(ctx.scope, *t, &OriginSet::new());
+                    }
+                }
+                self.walk_block(ctx, body);
+            }
+            RStmt::FuncDef(f) => {
+                let defaults: Vec<OriginSet> = f
+                    .params
+                    .iter()
+                    .map(|p| match &p.default {
+                        Some(d) => self.resolve(ctx, d),
+                        None => OriginSet::new(),
+                    })
+                    .collect();
+                let qual_str = if ctx.qual.is_empty() {
+                    f.name.to_string()
+                } else {
+                    format!("{}.{}", ctx.qual, f.name)
+                };
+                let qual = self.view.interner.intern(&qual_str);
+                let key = FuncKey {
+                    shard: self.shard.name,
+                    qual,
+                };
+                if !self.is_collect() && !self.shard.funcs.contains_key(&key) {
+                    let mut names: BTreeSet<Symbol> = f.params.iter().map(|p| p.sym).collect();
+                    assigned_names(&f.body, &mut names);
+                    let scope = self.new_scope(Some(ctx.scope), &names);
+                    let registered = self.shard.register_func(
+                        key,
+                        FuncInfo {
+                            qual,
+                            params: f.params.iter().map(|p| p.sym).collect(),
+                            body: Arc::clone(&f.body),
+                            scope,
+                            ret: OriginSet::new(),
+                            active: false,
+                        },
+                    );
+                    if registered {
+                        self.changed = true;
+                        self.pub_changed = true;
+                    }
+                }
+                if !self.is_collect() {
+                    if let Some(fscope) = self.shard.funcs.get(&key).map(|i| i.scope) {
+                        for (p, dset) in f.params.iter().zip(&defaults) {
+                            self.bind(fscope, p.sym, dset);
+                        }
+                    }
+                }
+                let set: OriginSet = [Origin::Func(key)].into_iter().collect();
+                self.bind(ctx.scope, f.sym, &set);
+                // Every app-defined function is assumed reachable (handler
+                // and helpers). Library functions wait for a call site.
+                if !self.is_collect() && self.shard.is_app() && self.shard.activate_func(key) {
+                    self.changed = true;
+                    self.pub_changed = true;
+                }
+            }
+            RStmt::ClassDef(c) => {
+                self.walk_classdef(ctx, c);
+            }
+            RStmt::Try {
+                body,
+                handlers,
+                orelse,
+                finalbody,
+            } => {
+                self.walk_block(ctx, body);
+                for h in handlers {
+                    if let Some(n) = h.name {
+                        self.bind(ctx.scope, n, &OriginSet::new());
+                    }
+                    self.walk_block(ctx, &h.body);
+                }
+                self.walk_block(ctx, orelse);
+                self.walk_block(ctx, finalbody);
+            }
+            RStmt::Assert { test, msg } => {
+                self.resolve(ctx, test);
+                if let Some(m) = msg {
+                    self.resolve(ctx, m);
+                }
+            }
+        }
+    }
+
+    fn walk_classdef(&mut self, ctx: &mut Ctx, c: &RClassDef) {
+        for base in &c.bases {
+            self.resolve_dotted(ctx, base);
+        }
+        let class_key = (ctx.scope, c.sym);
+        let class_scope = match self.shard.class_scopes.get(&class_key) {
+            Some(&s) => s,
+            None => {
+                let mut names = BTreeSet::new();
+                assigned_names(&c.body, &mut names);
+                let s = self.new_scope(Some(ctx.scope), &names);
+                self.shard.class_scopes.insert(class_key, s);
+                s
+            }
+        };
+        let saved_scope = ctx.scope;
+        let saved_qual = std::mem::take(&mut ctx.qual);
+        ctx.scope = class_scope;
+        ctx.qual = if saved_qual.is_empty() {
+            c.name.to_string()
+        } else {
+            format!("{saved_qual}.{}", c.name)
+        };
+        self.walk_block(ctx, &c.body);
+        ctx.scope = saved_scope;
+        ctx.qual = saved_qual;
+        self.bind(ctx.scope, c.sym, &OriginSet::new());
+    }
+
+    fn assign_target(&mut self, ctx: &mut Ctx, target: &RExpr, vset: &OriginSet) {
+        match target {
+            RExpr::Name(n) => {
+                // Rebinding an import-bound name hides later accesses. The
+                // check runs against the converged environment (collect
+                // pass), so it sees exactly the import bindings that
+                // coexist with this assignment at the fixpoint.
+                if self.is_collect() && self.shard.import_bound.contains(&(ctx.scope, *n)) {
+                    let old = self.shard.scopes[ctx.scope]
+                        .env
+                        .get(n)
+                        .cloned()
+                        .unwrap_or_default();
+                    for atom in &old {
+                        if let Origin::Module(m) = atom {
+                            if !vset.contains(atom) {
+                                let name = self.view.interner.resolve(*n).to_string();
+                                let module = self.view.interner.resolve(*m).to_string();
+                                self.lint(
+                                    Severity::Hazard,
+                                    LintKind::ModuleRebinding { name, module },
+                                );
+                            }
+                        }
+                    }
+                }
+                self.bind(ctx.scope, *n, vset);
+            }
+            RExpr::Tuple(ts) | RExpr::List(ts) => {
+                // Element-wise unpacking when the value is a single literal
+                // sequence of matching arity.
+                let elems: Option<Vec<OriginSet>> = match vset.iter().collect::<Vec<_>>()[..] {
+                    [Origin::Seq(site)] => self.seq_elems(*site).filter(|e| e.len() == ts.len()),
+                    _ => None,
+                };
+                for (i, sub) in ts.iter().enumerate() {
+                    let s = elems.as_ref().map(|e| e[i].clone()).unwrap_or_default();
+                    self.assign_target(ctx, sub, &s);
+                }
+            }
+            RExpr::Attribute { value, attr, .. } => {
+                let base = self.resolve(ctx, value);
+                let attr_str = self.view.interner.resolve(*attr);
+                for atom in &base {
+                    if let Origin::Module(m) = atom {
+                        let m_str = self.view.interner.resolve(*m);
+                        // A write both counts as an access (the binding must
+                        // survive trimming) and defines the attribute.
+                        self.record_access(ctx, &m_str, &attr_str);
+                        if let Some(out) = self.out.as_deref_mut() {
+                            out.written
+                                .insert((m_str.to_string(), attr_str.to_string()));
+                        }
+                    }
+                }
+            }
+            other => {
+                self.resolve(ctx, other);
+            }
+        }
+    }
+
+    fn star_import(&mut self, ctx: &mut Ctx, module: &str, module_sym: Symbol) {
+        self.lint(
+            Severity::Hazard,
+            LintKind::StarImport {
+                module: module.to_owned(),
+            },
+        );
+        let entries: Vec<(Symbol, OriginSet)> = if self.shard.name == Some(module_sym) {
+            self.shard
+                .scopes
+                .first()
+                .map(|s| s.env.iter().map(|(k, v)| (*k, v.clone())).collect())
+                .unwrap_or_default()
+        } else {
+            self.read_dep(module_sym);
+            self.view
+                .snapshot_of(module_sym)
+                .map(|p| p.top_env.iter().map(|(k, v)| (*k, v.clone())).collect())
+                .unwrap_or_default()
+        };
+        for (name, mut set) in entries {
+            let name_str = self.view.interner.resolve(name);
+            if name_str.starts_with('_') {
+                continue;
+            }
+            self.record_access(ctx, module, &name_str);
+            set.insert(Origin::Attr(module_sym, name));
+            self.bind(ctx.scope, name, &set);
+        }
+    }
+
+    /// Resolve a pre-split dotted reference (`class Net(nn.Module)` must be
+    /// resolved like the expression `nn.Module`).
+    fn resolve_dotted(&mut self, ctx: &mut Ctx, parts: &[Symbol]) -> OriginSet {
+        let Some((first, rest)) = parts.split_first() else {
+            return OriginSet::new();
+        };
+        let mut set = self.resolve_name(ctx, *first);
+        for attr in rest {
+            set = self.attr_value(ctx, &set, *attr);
+        }
+        set
+    }
+
+    // -- expressions -------------------------------------------------------
+
+    /// Union of a value's sequence elements (for-loop and unknown-index
+    /// views). Iterating a dict yields string keys, so `Map` contributes
+    /// nothing.
+    fn element_union(&mut self, set: &OriginSet) -> OriginSet {
+        let mut out = OriginSet::new();
+        for atom in set {
+            if let Origin::Seq(site) = atom {
+                if let Some(elems) = self.seq_elems(*site) {
+                    for e in elems {
+                        out.extend(e);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn resolve_name(&mut self, ctx: &Ctx, n: Symbol) -> OriginSet {
+        let set = self.shard.lookup(ctx.scope, n).cloned().unwrap_or_default();
+        if self.is_collect() {
+            for atom in set.clone() {
+                match atom {
+                    Origin::Attr(m, a) => {
+                        // Using a from-imported name is a definite access.
+                        let m = self.view.interner.resolve(m).to_string();
+                        let a = self.view.interner.resolve(a).to_string();
+                        self.record_access(ctx, &m, &a);
+                    }
+                    Origin::Module(m) if self.shard.is_app() => {
+                        let m = self.view.interner.resolve(m).to_string();
+                        if let Some(out) = self.out.as_deref_mut() {
+                            out.used_by_app.insert(m);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        set
+    }
+
+    fn attr_value(&mut self, ctx: &Ctx, base: &OriginSet, attr: Symbol) -> OriginSet {
+        let attr_str = self.view.interner.resolve(attr);
+        let mut out = OriginSet::new();
+        for atom in base {
+            if let Origin::Module(m) = atom {
+                let m_str = self.view.interner.resolve(*m);
+                self.record_access(ctx, &m_str, &attr_str);
+                let sub = format!("{m_str}.{attr_str}");
+                if self.probe_contains(&sub) {
+                    out.insert(Origin::Module(self.view.interner.intern(&sub)));
+                } else if self.analyzed(&m_str) {
+                    if let Some(binding) = self.module_env_get(*m, attr) {
+                        // Reading a re-exported name reads through to its
+                        // source module as well.
+                        if self.is_collect() {
+                            for b in &binding {
+                                if let Origin::Attr(m2, a2) = b {
+                                    let m2 = self.view.interner.resolve(*m2).to_string();
+                                    let a2 = self.view.interner.resolve(*a2).to_string();
+                                    self.record_access(ctx, &m2, &a2);
+                                }
+                            }
+                        }
+                        out.extend(binding);
+                    }
+                } else {
+                    out.insert(Origin::Attr(*m, attr));
+                }
+            }
+        }
+        out
+    }
+
+    fn resolve_call(
+        &mut self,
+        ctx: &mut Ctx,
+        func: &RExpr,
+        args: &[RExpr],
+        kwargs: &[(Symbol, RExpr)],
+    ) -> OriginSet {
+        if let RExpr::Name(fname) = func {
+            if self.view.dynamic_builtins.contains(fname)
+                && self.shard.lookup(ctx.scope, *fname).is_none()
+            {
+                return self.dynamic_access(ctx, args, kwargs);
+            }
+        }
+        let fset = self.resolve(ctx, func);
+        let argsets: Vec<OriginSet> = args.iter().map(|a| self.resolve(ctx, a)).collect();
+        let kwsets: Vec<(Symbol, OriginSet)> = kwargs
+            .iter()
+            .map(|(k, v)| (*k, self.resolve(ctx, v)))
+            .collect();
+        let mut out = OriginSet::new();
+        for atom in &fset {
+            match atom {
+                Origin::Func(key) => {
+                    if self.is_collect() {
+                        let qual = self.view.interner.resolve(key.qual).to_string();
+                        let callee = match key.shard {
+                            None => CgNode::AppFunc(qual),
+                            Some(m) => {
+                                CgNode::LibFunc(self.view.interner.resolve(m).to_string(), qual)
+                            }
+                        };
+                        self.edge(ctx.node.clone(), callee);
+                    }
+                    if key.shard == self.shard.name {
+                        // Local call: activate and bind directly.
+                        if !self.is_collect() {
+                            if self.shard.activate_func(*key) {
+                                self.changed = true;
+                                self.pub_changed = true;
+                            }
+                            if let Some(f) = self.shard.funcs.get(key) {
+                                let params = Arc::clone(&f.params);
+                                let fscope = f.scope;
+                                for (i, aset) in argsets.iter().enumerate() {
+                                    if let Some(&p) = params.get(i) {
+                                        self.bind(fscope, p, aset);
+                                    }
+                                }
+                                for (k, kset) in &kwsets {
+                                    if params.contains(k) {
+                                        self.bind(fscope, *k, kset);
+                                    }
+                                }
+                            }
+                        }
+                        if let Some(f) = self.shard.funcs.get(key) {
+                            out.extend(f.ret.iter().copied());
+                        }
+                    } else {
+                        // Cross-shard call (including an app-defined
+                        // callback invoked from library code): activate and
+                        // bind through the barrier.
+                        let Some(fpub) = self
+                            .foreign_snapshot(key.shard)
+                            .and_then(|p| p.funcs.get(key))
+                            .cloned()
+                        else {
+                            continue;
+                        };
+                        self.send(Message::ActivateFunc(*key));
+                        for (i, aset) in argsets.iter().enumerate() {
+                            if let Some(&p) = fpub.params.get(i) {
+                                self.send(Message::BindParam(*key, p, aset.clone()));
+                            }
+                        }
+                        for (k, kset) in &kwsets {
+                            if fpub.params.contains(k) {
+                                self.send(Message::BindParam(*key, *k, kset.clone()));
+                            }
+                        }
+                        out.extend(fpub.ret.iter().copied());
+                    }
+                }
+                Origin::Attr(m, a) if self.is_collect() => {
+                    let m = self.view.interner.resolve(*m).to_string();
+                    let a = self.view.interner.resolve(*a).to_string();
+                    self.edge(ctx.node.clone(), CgNode::ModuleAttr(m, a));
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    fn resolve(&mut self, ctx: &mut Ctx, e: &RExpr) -> OriginSet {
+        match e {
+            RExpr::Name(n) => self.resolve_name(ctx, *n),
+            RExpr::Attribute { value, attr, .. } => {
+                let base = self.resolve(ctx, value);
+                self.attr_value(ctx, &base, *attr)
+            }
+            RExpr::Call { func, args, kwargs } => self.resolve_call(ctx, func, args, kwargs),
+            RExpr::Subscript { value, index } => {
+                let vset = self.resolve(ctx, value);
+                self.resolve(ctx, index);
+                let mut out = OriginSet::new();
+                for atom in &vset {
+                    match atom {
+                        Origin::Seq(site) => {
+                            if let Some(elems) = self.seq_elems(*site) {
+                                match &**index {
+                                    RExpr::Int(i) if *i >= 0 && (*i as usize) < elems.len() => {
+                                        out.extend(elems[*i as usize].iter().copied());
+                                    }
+                                    _ => {
+                                        for e in elems {
+                                            out.extend(e);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        Origin::Map(site) => {
+                            if let Some((entries, unknown)) = self.map_entries(*site) {
+                                match &**index {
+                                    RExpr::Str(k) => {
+                                        if let Some(s) = entries.get(&**k) {
+                                            out.extend(s.iter().copied());
+                                        }
+                                        out.extend(unknown.iter().copied());
+                                    }
+                                    _ => {
+                                        for s in entries.values() {
+                                            out.extend(s.iter().copied());
+                                        }
+                                        out.extend(unknown.iter().copied());
+                                    }
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                out
+            }
+            RExpr::List(items) | RExpr::Tuple(items) => {
+                let site = ctx.next_site(self.shard);
+                let sets: Vec<OriginSet> = items.iter().map(|i| self.resolve(ctx, i)).collect();
+                if !self.is_collect() {
+                    let slot = self
+                        .shard
+                        .seq_sites
+                        .entry(site)
+                        .or_insert_with(|| vec![OriginSet::new(); sets.len()]);
+                    let mut grew = false;
+                    for (s, existing) in sets.iter().zip(slot.iter_mut()) {
+                        grew |= join_into(existing, s);
+                    }
+                    if grew {
+                        self.changed = true;
+                        self.pub_changed = true;
+                    }
+                }
+                [Origin::Seq(site)].into_iter().collect()
+            }
+            RExpr::Dict(pairs) => {
+                let site = ctx.next_site(self.shard);
+                let mut resolved: Vec<(Option<Arc<str>>, OriginSet)> = Vec::new();
+                for (k, v) in pairs {
+                    self.resolve(ctx, k);
+                    let key = match k {
+                        RExpr::Str(s) => Some(Arc::clone(s)),
+                        _ => None,
+                    };
+                    let vset = self.resolve(ctx, v);
+                    resolved.push((key, vset));
+                }
+                if !self.is_collect() {
+                    let slot = self.shard.map_sites.entry(site).or_default();
+                    let mut grew = false;
+                    for (key, vset) in resolved {
+                        let target = match key {
+                            Some(k) => slot.0.entry(k).or_default(),
+                            None => &mut slot.1,
+                        };
+                        grew |= join_into(target, &vset);
+                    }
+                    if grew {
+                        self.changed = true;
+                        self.pub_changed = true;
+                    }
+                }
+                [Origin::Map(site)].into_iter().collect()
+            }
+            RExpr::Unary { operand, .. } => {
+                self.resolve(ctx, operand);
+                OriginSet::new()
+            }
+            RExpr::Binary { left, right, .. } => {
+                self.resolve(ctx, left);
+                self.resolve(ctx, right);
+                OriginSet::new()
+            }
+            RExpr::Bool { values, .. } => {
+                // `a or b` / `a and b` evaluate to one of the operands.
+                let mut out = OriginSet::new();
+                for v in values {
+                    out.extend(self.resolve(ctx, v));
+                }
+                out
+            }
+            RExpr::Compare { left, ops } => {
+                self.resolve(ctx, left);
+                for (_, v) in ops {
+                    self.resolve(ctx, v);
+                }
+                OriginSet::new()
+            }
+            RExpr::Conditional { test, body, orelse } => {
+                self.resolve(ctx, test);
+                // Conditional join: the result may be either branch's value.
+                let mut out = self.resolve(ctx, body);
+                out.extend(self.resolve(ctx, orelse));
+                out
+            }
+            RExpr::ListComp {
+                element,
+                targets,
+                iter,
+                cond,
+            } => {
+                let iset = self.resolve(ctx, iter);
+                let elems = self.element_union(&iset);
+                if let [single] = targets.as_slice() {
+                    self.bind(ctx.scope, *single, &elems);
+                } else {
+                    for t in targets {
+                        self.bind(ctx.scope, *t, &OriginSet::new());
+                    }
+                }
+                self.resolve(ctx, element);
+                if let Some(c) = cond {
+                    self.resolve(ctx, c);
+                }
+                OriginSet::new()
+            }
+            RExpr::Slice { value, start, stop } => {
+                self.resolve(ctx, value);
+                if let Some(e) = start {
+                    self.resolve(ctx, e);
+                }
+                if let Some(e) = stop {
+                    self.resolve(ctx, e);
+                }
+                OriginSet::new()
+            }
+            _ => OriginSet::new(),
+        }
+    }
+
+    /// `getattr`/`setattr`/`hasattr` handling. Literal attribute names are
+    /// reported but deliberately *not* recorded as accesses: resolving them
+    /// would force-keep rarely-used attributes that DD should trim and the
+    /// §5.4 runtime fallback should serve. Non-literal names make the
+    /// target module's accessed set unknowable — a debloating hazard.
+    fn dynamic_access(
+        &mut self,
+        ctx: &mut Ctx,
+        args: &[RExpr],
+        kwargs: &[(Symbol, RExpr)],
+    ) -> OriginSet {
+        let target = match args.first() {
+            Some(a) => self.resolve(ctx, a),
+            None => OriginSet::new(),
+        };
+        let literal = match args.get(1) {
+            Some(RExpr::Str(s)) => Some(Arc::clone(s)),
+            Some(other) => {
+                self.resolve(ctx, other);
+                None
+            }
+            None => None,
+        };
+        for a in args.iter().skip(2) {
+            self.resolve(ctx, a);
+        }
+        for (_, v) in kwargs {
+            self.resolve(ctx, v);
+        }
+        if !self.is_collect() {
+            return OriginSet::new();
+        }
+        let modules: Vec<String> = target
+            .iter()
+            .filter_map(|a| match a {
+                Origin::Module(m) => Some(self.view.interner.resolve(*m).to_string()),
+                _ => None,
+            })
+            .collect();
+        match literal {
+            Some(attr) => {
+                if modules.is_empty() {
+                    self.lint(
+                        Severity::Info,
+                        LintKind::DynamicAttrAccess {
+                            module: None,
+                            attr: attr.to_string(),
+                        },
+                    );
+                } else {
+                    for m in modules {
+                        self.lint(
+                            Severity::Info,
+                            LintKind::DynamicAttrAccess {
+                                module: Some(m),
+                                attr: attr.to_string(),
+                            },
+                        );
+                    }
+                }
+            }
+            None => {
+                if modules.is_empty() {
+                    self.lint(
+                        Severity::Warning,
+                        LintKind::OpaqueAttrAccess { module: None },
+                    );
+                } else {
+                    for m in modules {
+                        self.lint(
+                            Severity::Hazard,
+                            LintKind::OpaqueAttrAccess { module: Some(m) },
+                        );
+                    }
+                }
+            }
+        }
+        OriginSet::new()
+    }
+}
+
+enum ProgramBody {
+    Program(Arc<pylite::resolved::RProgram>),
+    Func(Arc<[RStmt]>),
+}
+
+impl ProgramBody {
+    fn stmts(&self) -> &[RStmt] {
+        match self {
+            ProgramBody::Program(p) => &p.body,
+            ProgramBody::Func(b) => b,
+        }
+    }
+}
+
+/// Names a body binds in its own scope, for pre-binding at scope creation.
+/// Matches exactly the binds the walker performs: assignment/for/listcomp
+/// targets, import binds, def/class names and except-handler names. Nested
+/// function and class *bodies* bind in their own scopes and are skipped.
+pub(crate) fn assigned_names(body: &[RStmt], out: &mut BTreeSet<Symbol>) {
+    for stmt in body {
+        match stmt {
+            RStmt::Expr(e) | RStmt::Del(e) | RStmt::Raise(Some(e)) => expr_names(e, out),
+            RStmt::Assign { targets, value } => {
+                for t in targets {
+                    target_names(t, out);
+                }
+                expr_names(value, out);
+            }
+            RStmt::AugAssign { target, value, .. } => {
+                // AugAssign resolves but never binds (old-engine semantics).
+                expr_names(target, out);
+                expr_names(value, out);
+            }
+            RStmt::If { branches, orelse } => {
+                for (test, body) in branches {
+                    expr_names(test, out);
+                    assigned_names(body, out);
+                }
+                assigned_names(orelse, out);
+            }
+            RStmt::While { test, body } => {
+                expr_names(test, out);
+                assigned_names(body, out);
+            }
+            RStmt::For {
+                targets,
+                iter,
+                body,
+            } => {
+                out.extend(targets.iter().copied());
+                expr_names(iter, out);
+                assigned_names(body, out);
+            }
+            RStmt::FuncDef(f) => {
+                out.insert(f.sym);
+                for p in &f.params {
+                    if let Some(d) = &p.default {
+                        expr_names(d, out);
+                    }
+                }
+            }
+            RStmt::ClassDef(c) => {
+                out.insert(c.sym);
+            }
+            RStmt::Return(Some(e)) => expr_names(e, out),
+            RStmt::Return(None)
+            | RStmt::Raise(None)
+            | RStmt::Pass
+            | RStmt::Break
+            | RStmt::Continue
+            | RStmt::Global(_) => {}
+            RStmt::Import { items } => {
+                for item in items {
+                    out.insert(item.bind);
+                }
+            }
+            RStmt::FromImport { names, .. } => {
+                for n in names {
+                    if let RFromName::Named { bind, .. } = n {
+                        out.insert(*bind);
+                    }
+                }
+            }
+            RStmt::Try {
+                body,
+                handlers,
+                orelse,
+                finalbody,
+            } => {
+                assigned_names(body, out);
+                for h in handlers {
+                    if let Some(n) = h.name {
+                        out.insert(n);
+                    }
+                    assigned_names(&h.body, out);
+                }
+                assigned_names(orelse, out);
+                assigned_names(finalbody, out);
+            }
+            RStmt::Assert { test, msg } => {
+                expr_names(test, out);
+                if let Some(m) = msg {
+                    expr_names(m, out);
+                }
+            }
+        }
+    }
+}
+
+fn target_names(target: &RExpr, out: &mut BTreeSet<Symbol>) {
+    match target {
+        RExpr::Name(n) => {
+            out.insert(*n);
+        }
+        RExpr::Tuple(ts) | RExpr::List(ts) => {
+            for t in ts {
+                target_names(t, out);
+            }
+        }
+        other => expr_names(other, out),
+    }
+}
+
+/// Collect list-comprehension targets (the only expression-level binds).
+fn expr_names(e: &RExpr, out: &mut BTreeSet<Symbol>) {
+    match e {
+        RExpr::ListComp {
+            element,
+            targets,
+            iter,
+            cond,
+        } => {
+            out.extend(targets.iter().copied());
+            expr_names(element, out);
+            expr_names(iter, out);
+            if let Some(c) = cond {
+                expr_names(c, out);
+            }
+        }
+        RExpr::List(items) | RExpr::Tuple(items) => {
+            for i in items {
+                expr_names(i, out);
+            }
+        }
+        RExpr::Dict(pairs) => {
+            for (k, v) in pairs {
+                expr_names(k, out);
+                expr_names(v, out);
+            }
+        }
+        RExpr::Attribute { value, .. } => expr_names(value, out),
+        RExpr::Subscript { value, index } => {
+            expr_names(value, out);
+            expr_names(index, out);
+        }
+        RExpr::Call { func, args, kwargs } => {
+            expr_names(func, out);
+            for a in args {
+                expr_names(a, out);
+            }
+            for (_, v) in kwargs {
+                expr_names(v, out);
+            }
+        }
+        RExpr::Unary { operand, .. } => expr_names(operand, out),
+        RExpr::Binary { left, right, .. } => {
+            expr_names(left, out);
+            expr_names(right, out);
+        }
+        RExpr::Bool { values, .. } => {
+            for v in values {
+                expr_names(v, out);
+            }
+        }
+        RExpr::Compare { left, ops } => {
+            expr_names(left, out);
+            for (_, v) in ops {
+                expr_names(v, out);
+            }
+        }
+        RExpr::Conditional { test, body, orelse } => {
+            expr_names(test, out);
+            expr_names(body, out);
+            expr_names(orelse, out);
+        }
+        RExpr::Slice { value, start, stop } => {
+            expr_names(value, out);
+            if let Some(s) = start {
+                expr_names(s, out);
+            }
+            if let Some(s) = stop {
+                expr_names(s, out);
+            }
+        }
+        _ => {}
+    }
+}

@@ -42,16 +42,19 @@ pub mod callgraph;
 mod engine;
 pub mod lints;
 pub mod origin;
+pub mod spans;
+pub mod summary;
 
 use pylite::ast::Program;
 use pylite::Registry;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use callgraph::CallGraph;
 use lints::Lint;
 
 /// Which code the static analysis covers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum AnalysisMode {
     /// Application code only (the seed analyzer's scope). Library modules
     /// are opaque: every `m.attr` read resolves to an unknown attribute.
@@ -64,7 +67,7 @@ pub enum AnalysisMode {
 }
 
 /// Options for [`analyze_full`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct AnalysisOptions {
     /// Coverage mode.
     pub mode: AnalysisMode,
@@ -73,6 +76,24 @@ pub struct AnalysisOptions {
     /// computed from the top-level plus this function; when `None`, every
     /// application function is a root.
     pub entry: Option<String>,
+    /// Number of worker threads for the sharded fixpoint. `1` (the
+    /// default) runs serially; any value produces bit-identical results.
+    pub jobs: usize,
+    /// Optional cross-run summary cache: identical `(app, registry)` runs
+    /// are answered from cache, and registry edits trigger incremental
+    /// re-analysis of only the changed modules' dependency cone.
+    pub summary_cache: Option<Arc<summary::SummaryCache>>,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        AnalysisOptions {
+            mode: AnalysisMode::default(),
+            entry: None,
+            jobs: 1,
+            summary_cache: None,
+        }
+    }
 }
 
 /// The result of statically analyzing an application.
@@ -149,7 +170,14 @@ pub fn analyze_full(
     registry: &Registry,
     options: &AnalysisOptions,
 ) -> FullAnalysis {
-    let out = engine::run(program, registry, options.mode, options.entry.as_deref());
+    let out = engine::run_with(
+        program,
+        registry,
+        options.mode,
+        options.entry.as_deref(),
+        options.jobs,
+        options.summary_cache.as_deref(),
+    );
     FullAnalysis {
         analysis: out.analysis,
         load_time_accessed: out.load_time_accessed,
@@ -682,5 +710,135 @@ mod tests {
         let b = fa.module_bindings.get("m").cloned().unwrap_or_default();
         assert!(b.contains("alpha"));
         assert!(b.contains("go"));
+    }
+
+    // -- sharded fixpoint: parallelism, caching, incrementality -----------
+
+    fn chain_registry() -> Registry {
+        registry_src(&[
+            (
+                "pkg",
+                "from pkg.core import fast_path\nfrom pkg.extras import rare\nname = \"pkg\"\n",
+            ),
+            (
+                "pkg.core",
+                "import pkg.util\ndef fast_path(x):\n    return pkg.util.double(x)\ndef cold():\n    return 0\n",
+            ),
+            ("pkg.util", "def double(x):\n    return x * 2\n"),
+            ("pkg.extras", "def rare():\n    return 1\n"),
+            ("lone", "standalone = 7\n"),
+        ])
+    }
+
+    const CHAIN_APP: &str =
+        "import pkg\nimport lone\ndef handler(event, context):\n    return pkg.fast_path(event)\n";
+
+    fn assert_same_full(a: &FullAnalysis, b: &FullAnalysis) {
+        assert_eq!(a.analysis, b.analysis);
+        assert_eq!(a.load_time_accessed, b.load_time_accessed);
+        assert_eq!(a.module_bindings, b.module_bindings);
+        assert_eq!(a.lints, b.lints);
+        assert_eq!(a.hazard_modules, b.hazard_modules);
+        assert_eq!(a.call_graph, b.call_graph);
+        assert_eq!(a.reached_functions, b.reached_functions);
+    }
+
+    #[test]
+    fn parallel_jobs_are_bit_identical_to_serial() {
+        let r = chain_registry();
+        let p = parse(CHAIN_APP).unwrap();
+        let run = |jobs| {
+            analyze_full(
+                &p,
+                &r,
+                &AnalysisOptions {
+                    jobs,
+                    ..AnalysisOptions::default()
+                },
+            )
+        };
+        let serial = run(1);
+        for jobs in [2, 8] {
+            assert_same_full(&serial, &run(jobs));
+        }
+    }
+
+    #[test]
+    fn summary_cache_answers_identical_rerun_without_refixpoint() {
+        let r = chain_registry();
+        let p = parse(CHAIN_APP).unwrap();
+        let cache = summary::SummaryCache::shared();
+        let opts = AnalysisOptions {
+            summary_cache: Some(cache.clone()),
+            ..AnalysisOptions::default()
+        };
+        let first = analyze_full(&p, &r, &opts);
+        assert_eq!((cache.misses(), cache.hits()), (1, 0));
+        let second = analyze_full(&p, &r, &opts);
+        assert_eq!((cache.misses(), cache.hits()), (1, 1));
+        assert_same_full(&first, &second);
+        // An unrelated-clone registry with identical content still hits:
+        // the fingerprint and the interner family are what matter.
+        let third = analyze_full(&p, &r.clone(), &opts);
+        assert_eq!(cache.hits(), 2);
+        assert_same_full(&first, &third);
+    }
+
+    #[test]
+    fn incremental_reanalysis_matches_from_scratch_after_edit() {
+        let p = parse(CHAIN_APP).unwrap();
+        let cache = summary::SummaryCache::shared();
+        let opts = AnalysisOptions {
+            summary_cache: Some(cache.clone()),
+            ..AnalysisOptions::default()
+        };
+        let mut r = chain_registry();
+        analyze_full(&p, &r, &opts); // prime the cache
+                                     // Edit a leaf module: only its reverse-dependency cone re-runs.
+        r.set_module("pkg.util", "def double(x):\n    return x + x\ntriple = 3\n");
+        let incremental = analyze_full(&p, &r, &opts);
+        assert_eq!(cache.incremental_runs(), 1);
+        let scratch = analyze_full(&p, &r, &AnalysisOptions::default());
+        assert_same_full(&scratch, &incremental);
+    }
+
+    #[test]
+    fn incremental_reanalysis_matches_from_scratch_after_remove() {
+        let p = parse(CHAIN_APP).unwrap();
+        let cache = summary::SummaryCache::shared();
+        let opts = AnalysisOptions {
+            summary_cache: Some(cache.clone()),
+            ..AnalysisOptions::default()
+        };
+        let mut r = chain_registry();
+        analyze_full(&p, &r, &opts);
+        r.remove_module("pkg.extras");
+        let incremental = analyze_full(&p, &r, &opts);
+        assert_eq!(cache.incremental_runs(), 1);
+        let scratch = analyze_full(&p, &r, &AnalysisOptions::default());
+        assert_same_full(&scratch, &incremental);
+    }
+
+    #[test]
+    fn incremental_reanalysis_matches_from_scratch_after_add() {
+        // The app star-imports nothing, but a new module can still matter:
+        // `from m import sub` flips from attribute to submodule when
+        // `m.sub` appears in the registry.
+        let app = "from pkg import core\ndef handler(event, context):\n    return core\n";
+        let p = parse(app).unwrap();
+        let cache = summary::SummaryCache::shared();
+        let opts = AnalysisOptions {
+            summary_cache: Some(cache.clone()),
+            ..AnalysisOptions::default()
+        };
+        let mut r = registry_src(&[("pkg", "core = 1\n")]);
+        let before = analyze_full(&p, &r, &opts);
+        assert!(!before.analysis.imported_modules.contains("pkg.core"));
+        r.set_module("pkg.core", "ready = 1\n");
+        let incremental = analyze_full(&p, &r, &opts);
+        assert_eq!(cache.incremental_runs(), 1);
+        assert!(incremental.analysis.imported_modules.contains("pkg.core"));
+        let scratch = analyze_full(&p, &r, &AnalysisOptions::default());
+        assert_same_full(&scratch, &incremental);
     }
 }

@@ -1,0 +1,78 @@
+//! Opt-in span tracing of the fixpoint schedule, for work/span analysis.
+//!
+//! The `analysis` bench binary enables tracing around a *serial* run and
+//! replays the captured per-shard walk/collect durations through an
+//! idealized `jobs`-worker BSP schedule to project the parallel makespan.
+//! This is how the sharded engine's speedup is evaluated on hosts without
+//! enough cores to measure it as wall time (CI containers are often
+//! pinned to one core, where every multi-threaded wall measurement
+//! degenerates to serial-plus-overhead).
+//!
+//! Tracing is thread-local and off by default; when disabled the engine
+//! pays one thread-local flag read per instrumented region. Only serial
+//! (`jobs = 1`) runs record spans — pool workers run on other threads and
+//! never see the flag.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+/// Which part of the engine a span measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// One shard walked to its local fixpoint (parallelizable).
+    Walk,
+    /// The serial end-of-round barrier: message delivery + reader wakes.
+    Barrier,
+    /// One shard's read-only output pass (parallelizable).
+    Collect,
+    /// The serial merge of shard outputs into the final result.
+    Finish,
+}
+
+/// One timed region of a traced run.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Engine phase this span measures.
+    pub phase: Phase,
+    /// 1-based fixpoint round for `Walk`/`Barrier`; 0 for the phases that
+    /// run once after convergence.
+    pub round: usize,
+    /// The shard walked/collected (`None` = the application shard, and
+    /// not meaningful for `Barrier`/`Finish`).
+    pub shard: Option<String>,
+    /// Elapsed wall time of the region, in nanoseconds.
+    pub ns: u64,
+}
+
+thread_local! {
+    static SPANS: RefCell<Option<Vec<Span>>> = const { RefCell::new(None) };
+}
+
+/// Start recording spans of analysis runs on this thread.
+pub fn enable() {
+    SPANS.with(|s| *s.borrow_mut() = Some(Vec::new()));
+}
+
+/// Stop recording and return everything captured since [`enable`].
+pub fn take() -> Vec<Span> {
+    SPANS.with(|s| s.borrow_mut().take()).unwrap_or_default()
+}
+
+pub(crate) fn start() -> Option<Instant> {
+    SPANS.with(|s| s.borrow().is_some()).then(Instant::now)
+}
+
+pub(crate) fn record(phase: Phase, round: usize, shard: Option<String>, started: Option<Instant>) {
+    let Some(t) = started else { return };
+    let ns = t.elapsed().as_nanos() as u64;
+    SPANS.with(|s| {
+        if let Some(v) = s.borrow_mut().as_mut() {
+            v.push(Span {
+                phase,
+                round,
+                shard,
+                ns,
+            });
+        }
+    });
+}

@@ -47,6 +47,16 @@ pub struct DebloatOptions {
     /// analysis-mode comparisons and incremental retrims to skip probes
     /// whose inputs have not changed. `None` disables cross-run caching.
     pub probe_cache: Option<Arc<ProbeCache>>,
+    /// Worker threads for the sharded static-analysis fixpoint (1 = serial;
+    /// any value produces bit-identical analyses). Independent of
+    /// [`DebloatOptions::threads`], which parallelizes DD probing.
+    pub jobs: usize,
+    /// Cross-run static-analysis summary cache. Share one
+    /// [`trim_analysis::summary::SummaryCache`] across retrims so registry
+    /// edits only re-analyze the changed modules' dependency cone. `None`
+    /// still caches within a single pipeline run (a run-local cache is
+    /// created), just not across runs.
+    pub summary_cache: Option<Arc<trim_analysis::summary::SummaryCache>>,
 }
 
 impl PartialEq for DebloatOptions {
@@ -59,7 +69,13 @@ impl PartialEq for DebloatOptions {
             && self.threads == other.threads
             && self.algorithm == other.algorithm
             && self.analysis == other.analysis
+            && self.jobs == other.jobs
             && match (&self.probe_cache, &other.probe_cache) {
+                (None, None) => true,
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            }
+            && match (&self.summary_cache, &other.summary_cache) {
                 (None, None) => true,
                 (Some(a), Some(b)) => Arc::ptr_eq(a, b),
                 _ => false,
@@ -77,6 +93,8 @@ impl Default for DebloatOptions {
             algorithm: Algorithm::Ddmin,
             analysis: trim_analysis::AnalysisMode::default(),
             probe_cache: None,
+            jobs: 1,
+            summary_cache: None,
         }
     }
 }

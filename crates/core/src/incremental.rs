@@ -105,9 +105,27 @@ pub fn retrim_with_log(
     log: &TrimLog,
     options: &DebloatOptions,
 ) -> Result<IncrementalReport, TrimError> {
+    if options.jobs == 0 {
+        return Err(TrimError::Config(
+            "analysis jobs must be at least 1".to_owned(),
+        ));
+    }
     let before = run_app(registry, app_source, spec).map_err(TrimError::Baseline)?;
     let app_program = pylite::parse(app_source).map_err(TrimError::Parse)?;
-    let analysis = trim_analysis::analyze(&app_program, registry);
+    // Retrims are where the summary cache earns its keep: sharing one cache
+    // across runs means only the edited modules' reverse-dependency cone is
+    // re-analyzed, and the per-module recomputations below start as hits.
+    let summaries = options
+        .summary_cache
+        .clone()
+        .unwrap_or_else(trim_analysis::summary::SummaryCache::shared);
+    let analysis_options = trim_analysis::AnalysisOptions {
+        mode: trim_analysis::AnalysisMode::Interprocedural,
+        entry: None,
+        jobs: options.jobs,
+        summary_cache: Some(summaries),
+    };
+    let analysis = trim_analysis::analyze_full(&app_program, registry, &analysis_options).analysis;
     let app_fp = app_fingerprint(app_source, spec);
 
     let mut work = registry.clone();
@@ -127,7 +145,9 @@ pub fn retrim_with_log(
         let must_keep = match options.analysis {
             trim_analysis::AnalysisMode::AppOnly => analysis.accessed_attrs(module),
             trim_analysis::AnalysisMode::Interprocedural => {
-                trim_analysis::analyze(&app_program, &work).accessed_attrs(module)
+                trim_analysis::analyze_full(&app_program, &work, &analysis_options)
+                    .analysis
+                    .accessed_attrs(module)
             }
         };
 

@@ -80,19 +80,32 @@ pub fn trim_app(
     spec: &OracleSpec,
     options: &DebloatOptions,
 ) -> Result<TrimReport, TrimError> {
+    if options.jobs == 0 {
+        return Err(TrimError::Config(
+            "analysis jobs must be at least 1".to_owned(),
+        ));
+    }
     // 1. Baseline run.
     let before = run_app(registry, app_source, spec).map_err(TrimError::Baseline)?;
 
     // 2. Static analysis: accesses, call graph, lints and hazard routing.
+    // All analysis runs in this pipeline share one summary cache (the
+    // caller's, or a run-local one): the first per-module must-keep
+    // recomputation below sees the identical registry and is answered from
+    // cache instead of re-running the fixpoint, and later recomputations
+    // against the partially-trimmed registry are incremental.
     let program = pylite::parse(app_source).map_err(TrimError::Parse)?;
-    let full = trim_analysis::analyze_full(
-        &program,
-        registry,
-        &AnalysisOptions {
-            mode: options.analysis,
-            entry: None,
-        },
-    );
+    let summaries = options
+        .summary_cache
+        .clone()
+        .unwrap_or_else(trim_analysis::summary::SummaryCache::shared);
+    let analysis_options = AnalysisOptions {
+        mode: options.analysis,
+        entry: None,
+        jobs: options.jobs,
+        summary_cache: Some(summaries),
+    };
+    let full = trim_analysis::analyze_full(&program, registry, &analysis_options);
 
     // 3. Cost profiling + top-K ranking.
     let profile = profile_app(app_source, registry).map_err(TrimError::Baseline)?;
@@ -117,10 +130,15 @@ pub fn trim_app(
         // recomputed against the *working* registry: once a parent module's
         // trim drops a re-export line, the stale must-keeps it induced on
         // its submodules are released for this module's DD run.
+        // The first recomputation sees an untouched working registry and is
+        // a summary-cache hit (no second fixpoint); later ones re-analyze
+        // only the trimmed modules' reverse-dependency cone.
         let must_keep = match options.analysis {
             AnalysisMode::AppOnly => full.analysis.accessed_attrs(module),
             AnalysisMode::Interprocedural => {
-                trim_analysis::analyze(&program, &work).accessed_attrs(module)
+                trim_analysis::analyze_full(&program, &work, &analysis_options)
+                    .analysis
+                    .accessed_attrs(module)
             }
         };
         let report = debloat_module(

@@ -47,7 +47,7 @@ pub mod value;
 
 pub use ast::{unparse, Program, Stmt};
 pub use cost::{CostModel, Meter};
-pub use intern::{Interner, Symbol};
+pub use intern::{Interner, Symbol, SymbolHashBuilder};
 pub use interp::{ImportEvent, Interpreter};
 pub use parser::{parse, parse_expr, ParseError};
 pub use registry::Registry;

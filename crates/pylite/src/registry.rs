@@ -22,16 +22,37 @@ use crate::ast::Program;
 use crate::intern::Interner;
 use crate::parser::{parse, ParseError};
 use crate::resolved::{resolve_program, RProgram};
+use std::any::Any;
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::{Arc, OnceLock};
 
+/// A shared, lazily filled per-entry slot for derived per-module data that
+/// consumers (e.g. the analysis engine) want to compute once per module
+/// *content* rather than once per run. Like the parse slots, it is shared
+/// by every clone of the registry and dropped when `set_module` replaces
+/// the entry, so staleness is impossible by construction.
+#[derive(Clone, Default)]
+struct SummarySlot(Arc<OnceLock<Arc<dyn Any + Send + Sync>>>);
+
+impl fmt::Debug for SummarySlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.0.get().is_some() {
+            "SummarySlot(filled)"
+        } else {
+            "SummarySlot(empty)"
+        })
+    }
+}
+
 /// One registry entry: shared source text plus shared, lazily filled parse
-/// and resolve slots. Cloning an entry is three reference-count bumps.
+/// and resolve slots. Cloning an entry is four reference-count bumps.
 #[derive(Debug, Clone)]
 struct ModuleEntry {
     source: Arc<str>,
     parsed: Arc<OnceLock<Result<Arc<Program>, ParseError>>>,
     resolved: Arc<OnceLock<Result<Arc<RProgram>, ParseError>>>,
+    summary: SummarySlot,
 }
 
 impl ModuleEntry {
@@ -40,6 +61,7 @@ impl ModuleEntry {
             source: source.into(),
             parsed: Arc::new(OnceLock::new()),
             resolved: Arc::new(OnceLock::new()),
+            summary: SummarySlot::default(),
         }
     }
 }
@@ -227,6 +249,35 @@ impl Registry {
                 Ok(Arc::new(resolve_program(&program, &self.interner)))
             })
             .clone()
+    }
+
+    /// The content fingerprint of a single module: the same `(name, source)`
+    /// hash that [`fingerprint`](Registry::fingerprint) sums. Incremental
+    /// consumers (the analysis summary cache) use it to decide which modules
+    /// changed between two registry states without diffing sources.
+    pub fn module_fingerprint(&self, name: &str) -> Option<u64> {
+        self.modules.get(name).map(|e| entry_hash(name, &e.source))
+    }
+
+    /// Compute-once derived data for a module, keyed by content: the first
+    /// caller's `build` result is cached in a slot shared by every clone of
+    /// this registry and dropped when the module's source is replaced.
+    /// Returns `None` if the module does not exist. If the slot already
+    /// holds a value of a different type, `build` runs uncached.
+    pub fn module_summary<T: Any + Send + Sync>(
+        &self,
+        name: &str,
+        build: impl Fn() -> T,
+    ) -> Option<Arc<T>> {
+        let entry = self.modules.get(name)?;
+        let any = entry
+            .summary
+            .0
+            .get_or_init(|| Arc::new(build()) as Arc<dyn Any + Send + Sync>);
+        match Arc::clone(any).downcast::<T>() {
+            Ok(t) => Some(t),
+            Err(_) => Some(Arc::new(build())),
+        }
     }
 
     /// The name interner shared by this registry and all of its clones.
@@ -423,6 +474,53 @@ mod tests {
         r.set_module("m", "a = 2\n");
         let p2 = r.resolve_module("m").unwrap();
         assert!(!Arc::ptr_eq(&p1, &p2), "source change must re-resolve");
+    }
+
+    #[test]
+    fn module_fingerprint_tracks_single_entries() {
+        let mut r = Registry::new();
+        r.set_module("m", "x = 1\n");
+        r.set_module("n", "y = 2\n");
+        let fm = r.module_fingerprint("m").unwrap();
+        let fn_ = r.module_fingerprint("n").unwrap();
+        assert_ne!(fm, fn_);
+        assert_eq!(r.fingerprint(), fm.wrapping_add(fn_));
+        assert!(r.module_fingerprint("ghost").is_none());
+        r.set_module("m", "x = 9\n");
+        assert_ne!(r.module_fingerprint("m").unwrap(), fm, "content change");
+        assert_eq!(r.module_fingerprint("n").unwrap(), fn_, "untouched entry");
+    }
+
+    #[test]
+    fn module_summary_caches_until_source_changes() {
+        let mut r = Registry::new();
+        r.set_module("m", "x = 1\n");
+        let s1 = r.module_summary("m", || String::from("one")).unwrap();
+        // Cached: the second build closure must not run.
+        let s2 = r
+            .module_summary("m", || -> String { unreachable!("cached") })
+            .unwrap();
+        assert!(Arc::ptr_eq(&s1, &s2));
+        // Clones share the slot.
+        let clone = r.clone();
+        let s3 = clone
+            .module_summary("m", || -> String { unreachable!("shared") })
+            .unwrap();
+        assert!(Arc::ptr_eq(&s1, &s3));
+        // Replacing the source drops the slot.
+        r.set_module("m", "x = 2\n");
+        let s4 = r.module_summary("m", || String::from("two")).unwrap();
+        assert_eq!(*s4, "two");
+        assert!(r.module_summary("ghost", || 0u32).is_none());
+    }
+
+    #[test]
+    fn module_summary_type_mismatch_builds_uncached() {
+        let mut r = Registry::new();
+        r.set_module("m", "x = 1\n");
+        let _: Arc<String> = r.module_summary("m", || String::from("s")).unwrap();
+        let n: Arc<u64> = r.module_summary("m", || 7u64).unwrap();
+        assert_eq!(*n, 7);
     }
 
     #[test]

@@ -37,12 +37,16 @@ trim:
     --k <N>             modules to debloat                [default: 20]
     --scoring <M>       combined|time|memory|random      [default: combined]
     --threads <N>       parallel DD probe workers         [default: 1]
+    --jobs <N>          parallel static-analysis workers  [default: 1]
     --algorithm <A>     ddmin|greedy                      [default: ddmin]
     --wrap              append the fallback wrapper to the app output
 
 profile:
     --k <N>             how many rows to print            [default: 20]
     --scoring <M>       ranking method                    [default: combined]
+
+analyze:
+    --jobs <N>          parallel static-analysis workers  [default: 1]
 
 run:
     --event <LITERAL>   event payload                     [default: {}]
@@ -96,6 +100,7 @@ fn debloat_options(args: &Args) -> Result<DebloatOptions, String> {
             .parse()
             .map_err(|_| format!("bad --threads value `{t}`"))?;
     }
+    options.jobs = analysis_jobs(args)?;
     if let Some(a) = args.get("algorithm") {
         options.algorithm = match a {
             "ddmin" => trim_core::Algorithm::Ddmin,
@@ -113,6 +118,17 @@ fn debloat_options(args: &Args) -> Result<DebloatOptions, String> {
         );
     }
     Ok(options)
+}
+
+fn analysis_jobs(args: &Args) -> Result<usize, String> {
+    let Some(j) = args.get("jobs") else {
+        return Ok(1);
+    };
+    let jobs: usize = j.parse().map_err(|_| format!("bad --jobs value `{j}`"))?;
+    if jobs == 0 {
+        return Err(format!("bad --jobs value `{j}` (must be at least 1)"));
+    }
+    Ok(jobs)
 }
 
 fn cmd_trim(args: &Args) -> Result<(), String> {
@@ -179,12 +195,14 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
 
 fn cmd_analyze(args: &Args) -> Result<(), String> {
     let (registry, app_source, handler) = load_inputs(args)?;
+    let jobs = analysis_jobs(args)?;
     let program = pylite::parse(&app_source).map_err(|e| e.to_string())?;
     let full = trim_analysis::analyze_full(
         &program,
         &registry,
         &trim_analysis::AnalysisOptions {
             entry: Some(handler),
+            jobs,
             ..trim_analysis::AnalysisOptions::default()
         },
     );
@@ -277,5 +295,19 @@ mod tests {
     fn greedy_sequential_and_parallel_ddmin_are_accepted() {
         assert!(debloat_options(&args(&["--algorithm", "greedy"])).is_ok());
         assert!(debloat_options(&args(&["--algorithm", "ddmin", "--threads", "4"])).is_ok());
+    }
+
+    #[test]
+    fn jobs_flag_is_parsed_and_validated() {
+        assert_eq!(analysis_jobs(&args(&[])).unwrap(), 1);
+        assert_eq!(analysis_jobs(&args(&["--jobs", "8"])).unwrap(), 8);
+        let opts = debloat_options(&args(&["--jobs", "4"])).unwrap();
+        assert_eq!(opts.jobs, 4);
+        let err = analysis_jobs(&args(&["--jobs", "0"])).expect_err("zero jobs rejected");
+        assert!(err.contains("--jobs"), "{err}");
+        let err = analysis_jobs(&args(&["--jobs", "lots"])).expect_err("non-numeric rejected");
+        assert!(err.contains("--jobs"), "{err}");
+        let err = debloat_options(&args(&["--jobs", "0"])).expect_err("zero jobs rejected");
+        assert!(err.contains("--jobs"), "{err}");
     }
 }

@@ -1,0 +1,117 @@
+//! Differential tests guarding the sharded parallel fixpoint rewrite.
+//!
+//! The engine's determinism contract: the analysis result is a function of
+//! the program and the registry alone — never of the thread schedule. The
+//! tests here render the *complete* analysis output (accesses, bindings,
+//! lints, call graph, reached functions) for every corpus application at
+//! `jobs` = 1, 2 and 8 and require byte-identical renderings, then check
+//! that full pipeline trims agree byte-for-byte too.
+
+use lambda_trim::trim_analysis::{analyze_full, AnalysisOptions, FullAnalysis};
+use lambda_trim::trim_apps;
+use lambda_trim::{trim_app, DebloatOptions};
+use std::fmt::Write as _;
+
+/// Canonical rendering of everything the analysis produces. Comparing text
+/// (not structs) keeps failure diffs readable and covers ordering too.
+fn render(full: &FullAnalysis) -> String {
+    let mut out = String::new();
+    for m in &full.analysis.imported_modules {
+        writeln!(out, "imp| {m}").unwrap();
+    }
+    for m in &full.analysis.direct_imports {
+        writeln!(out, "dir| {m}").unwrap();
+    }
+    for (m, attrs) in &full.analysis.accessed {
+        let attrs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        writeln!(out, "acc| {m}: {}", attrs.join(" ")).unwrap();
+    }
+    for (m, attrs) in &full.load_time_accessed {
+        let attrs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        writeln!(out, "load| {m}: {}", attrs.join(" ")).unwrap();
+    }
+    for (m, names) in &full.module_bindings {
+        let names: Vec<&str> = names.iter().map(String::as_str).collect();
+        writeln!(out, "bind| {m}: {}", names.join(" ")).unwrap();
+    }
+    for lint in &full.lints {
+        writeln!(out, "lint| {lint}").unwrap();
+    }
+    for m in &full.hazard_modules {
+        writeln!(out, "hazard| {m}").unwrap();
+    }
+    for (from, to) in &full.call_graph.edges {
+        writeln!(out, "edge| {from} -> {to}").unwrap();
+    }
+    for node in &full.call_graph.reachable {
+        writeln!(out, "reach| {node}").unwrap();
+    }
+    for f in &full.reached_functions {
+        writeln!(out, "func| {f}").unwrap();
+    }
+    out
+}
+
+#[test]
+fn corpus_analysis_is_schedule_independent() {
+    for app in trim_apps::corpus() {
+        let program = lambda_trim::pylite::parse(&app.app_source).expect("corpus app parses");
+        let run = |jobs: usize| {
+            render(&analyze_full(
+                &program,
+                &app.registry,
+                &AnalysisOptions {
+                    jobs,
+                    ..AnalysisOptions::default()
+                },
+            ))
+        };
+        let serial = run(1);
+        for jobs in [2, 8] {
+            assert_eq!(
+                serial,
+                run(jobs),
+                "{}: jobs={jobs} analysis must be byte-identical to serial",
+                app.name
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_trim_results_are_schedule_independent() {
+    // Full-pipeline determinism on a slice of the corpus (the whole corpus
+    // through the pipeline ×2 is needlessly slow for CI; the analysis-only
+    // differential above covers every app).
+    for app in trim_apps::corpus().into_iter().take(6) {
+        let run = |jobs: usize| {
+            trim_app(
+                &app.registry,
+                &app.app_source,
+                &app.spec,
+                &DebloatOptions {
+                    jobs,
+                    ..DebloatOptions::default()
+                },
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", app.name))
+        };
+        let serial = run(1);
+        let parallel = run(8);
+        for module in serial.trimmed.module_names() {
+            assert_eq!(
+                serial.trimmed.source(&module),
+                parallel.trimmed.source(&module),
+                "{}/{module}: jobs=8 trim must be byte-identical to serial",
+                app.name
+            );
+        }
+        assert_eq!(serial.lints, parallel.lints, "{}", app.name);
+        assert_eq!(
+            serial.fallback_modules, parallel.fallback_modules,
+            "{}",
+            app.name
+        );
+        assert!(parallel.after.behavior_eq(&serial.after), "{}", app.name);
+    }
+}

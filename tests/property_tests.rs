@@ -314,3 +314,105 @@ fn trim_on_random_library_is_sound() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Incremental re-analysis
+// ---------------------------------------------------------------------------
+
+/// Generate a random module source over a fixed universe of module names:
+/// plain assignments, functions, and cross-module imports/accesses.
+fn random_analysis_module(rng: &mut Rng, universe: &[String], this: usize) -> String {
+    let mut src = String::new();
+    for _ in 0..rng.usize_inclusive(0, 2) {
+        let dep = rng.usize_inclusive(0, universe.len() - 1);
+        if dep != this {
+            src.push_str(&format!("import {}\n", universe[dep]));
+        }
+    }
+    for a in 0..rng.usize_inclusive(1, 4) {
+        src.push_str(&format!("val{a} = {}\n", rng.usize_inclusive(0, 9)));
+    }
+    for f in 0..rng.usize_inclusive(0, 2) {
+        let dep = rng.usize_inclusive(0, universe.len() - 1);
+        if dep != this && rng.bool() {
+            src.push_str(&format!(
+                "def fn{f}(x):\n    return {}.val0\n",
+                universe[dep]
+            ));
+        } else {
+            src.push_str(&format!("def fn{f}(x):\n    return x + {f}\n"));
+        }
+    }
+    src
+}
+
+/// After arbitrary registry edits (rewrite / remove / re-add), analysis
+/// through a warm summary cache is identical to analysis from scratch.
+#[test]
+fn incremental_reanalysis_matches_from_scratch() {
+    use lambda_trim::trim_analysis::{analyze_full, AnalysisOptions, FullAnalysis};
+
+    fn assert_same(a: &FullAnalysis, b: &FullAnalysis, what: &str) {
+        assert_eq!(a.analysis, b.analysis, "{what}: analysis");
+        assert_eq!(
+            a.load_time_accessed, b.load_time_accessed,
+            "{what}: load_time"
+        );
+        assert_eq!(a.module_bindings, b.module_bindings, "{what}: bindings");
+        assert_eq!(a.lints, b.lints, "{what}: lints");
+        assert_eq!(a.hazard_modules, b.hazard_modules, "{what}: hazards");
+        assert_eq!(a.call_graph, b.call_graph, "{what}: call graph");
+        assert_eq!(a.reached_functions, b.reached_functions, "{what}: reached");
+    }
+
+    let mut rng = Rng::seed_from_u64(0x1ac5);
+    for case in 0..24 {
+        let universe: Vec<String> = (0..rng.usize_inclusive(3, 6))
+            .map(|i| format!("mod{i}"))
+            .collect();
+        let mut registry = pylite::Registry::new();
+        for (i, name) in universe.iter().enumerate() {
+            let src = random_analysis_module(&mut rng, &universe, i);
+            registry.set_module(name, src);
+        }
+        let mut app = String::new();
+        for name in &universe {
+            if rng.bool() {
+                app.push_str(&format!("import {name}\nx_{name} = {name}.val0\n"));
+            }
+        }
+        app.push_str("def handler(event, context):\n    return event\n");
+        let program = pylite::parse(&app).expect("generated app parses");
+
+        let cache = lambda_trim::trim_analysis::summary::SummaryCache::shared();
+        let warm_opts = AnalysisOptions {
+            summary_cache: Some(cache.clone()),
+            ..AnalysisOptions::default()
+        };
+        analyze_full(&program, &registry, &warm_opts); // prime
+
+        for edit in 0..rng.usize_inclusive(1, 3) {
+            let victim = &universe[rng.usize_inclusive(0, universe.len() - 1)];
+            match rng.usize_inclusive(0, 2) {
+                0 => {
+                    let i = universe.iter().position(|n| n == victim).unwrap();
+                    let src = random_analysis_module(&mut rng, &universe, i);
+                    registry.set_module(victim, src);
+                }
+                1 => {
+                    registry.remove_module(victim);
+                }
+                _ => {
+                    registry.set_module(victim, "restored = 1\n");
+                }
+            }
+            let incremental = analyze_full(&program, &registry, &warm_opts);
+            let scratch = analyze_full(&program, &registry, &AnalysisOptions::default());
+            assert_same(
+                &scratch,
+                &incremental,
+                &format!("case {case}, edit {edit} ({victim})"),
+            );
+        }
+    }
+}
