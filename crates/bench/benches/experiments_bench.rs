@@ -130,12 +130,12 @@ fn main() {
             ..TraceConfig::default()
         };
         runner.bench("exp/fig13-trace-sim/generate-trace", || {
-            black_box(generate_trace(&config).len())
+            black_box(generate_trace(&config).functions.len())
         });
         let trace = generate_trace(&config);
         runner.bench("exp/fig13-trace-sim/pool-sim-100fns", || {
             let mut cold = 0u64;
-            for f in &trace {
+            for f in &trace.functions {
                 let profile =
                     lambda_sim::AppProfile::new("f", 64.0, 0.5, f.duration_ms / 1000.0, f.mem_mb);
                 cold += simulate_pool(&platform, &profile, &f.arrivals, 900.0, StartMode::Restore)
@@ -159,7 +159,8 @@ fn main() {
         let profile = profile_from_execution(&bench.name, bench.image_mb, &exec);
         runner.bench("exp/fig14-snapstart-accounting", || {
             let matched =
-                nearest_function(&trace, profile.mem_mb, profile.exec_secs * 1000.0).unwrap();
+                nearest_function(&trace.functions, profile.mem_mb, profile.exec_secs * 1000.0)
+                    .unwrap();
             let acct = snapstart_account(
                 &platform,
                 &pricing,

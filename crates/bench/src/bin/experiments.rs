@@ -8,15 +8,18 @@
 //! where `<id>` is one of `fig1 table1 fig2 table2 fig8 fig9 table3 fig10
 //! fig11 fig12 fig13 fig14 table4`, the extension experiment `ext`
 //! (incremental re-trim, greedy-vs-ddmin, provisioned concurrency), the
-//! probe-setup micro-measurement `probe` (writes `BENCH_probe.json`), or
-//! `all`.
+//! probe-setup micro-measurement `probe` (writes `BENCH_probe.json`), the
+//! trace-replay benchmark `replay` (writes `BENCH_replay.json`), or `all`.
 //!
-//! `--jobs N` fans the shared corpus-trimming pass out over `N` worker
-//! threads (results are byte-identical to a sequential run).
+//! `--jobs N` fans the shared corpus-trimming pass (and the trace replay)
+//! out over `N` worker threads (results are byte-identical to a sequential
+//! run).
 
 use lambda_sim::metrics::{cdf, mean, median, percentile};
+use lambda_sim::trace::replay::render_metrics_json;
 use lambda_sim::{
-    generate_trace, nearest_function, CheckpointModel, SnapStartPricing, StartMode, TraceConfig,
+    generate_trace, load_trace_csv, nearest_function, replay_trace, CheckpointModel, ReplayOptions,
+    SnapStartPricing, StartMode, TraceConfig,
 };
 use trim_bench::harness::*;
 use trim_core::{invoke_with_fallback, FallbackInstanceState};
@@ -44,7 +47,7 @@ fn main() {
     if ids.is_empty() || ids.contains(&"all") {
         ids = vec![
             "fig1", "table1", "fig2", "table2", "fig8", "fig9", "table3", "fig10", "fig11",
-            "fig12", "fig13", "fig14", "table4", "ext", "probe",
+            "fig12", "fig13", "fig14", "table4", "ext", "probe", "replay",
         ];
     }
 
@@ -86,6 +89,7 @@ fn main() {
             "table4" => table4(&results),
             "ext" => ext(),
             "probe" => probe(),
+            "replay" => replay_bench(jobs),
             other => eprintln!("unknown experiment id `{other}`"),
         }
     }
@@ -510,7 +514,7 @@ fn fig13() {
     let trace = generate_trace(&config);
     for (label, keep_alive) in [("1 min", 60.0), ("15 min", 900.0), ("100 min", 6000.0)] {
         let mut shares = Vec::new();
-        for f in &trace {
+        for f in &trace.functions {
             if f.arrivals.is_empty() {
                 continue;
             }
@@ -565,7 +569,7 @@ fn fig14(results: &[AppResult]) {
     for r in results {
         let before = r.profile_before();
         let after = r.profile_after();
-        let matched = nearest_function(&trace, before.mem_mb, before.exec_secs * 1000.0)
+        let matched = nearest_function(&trace.functions, before.mem_mb, before.exec_secs * 1000.0)
             .expect("trace nonempty");
         let acct_b = snapstart_account(
             &platform,
@@ -744,8 +748,8 @@ fn ext() {
     let r = AppResult::compute_default(bench);
     let before = r.profile_before();
     let after = r.profile_after();
-    let matched =
-        nearest_function(&trace, before.mem_mb, before.exec_secs * 1000.0).expect("trace nonempty");
+    let matched = nearest_function(&trace.functions, before.mem_mb, before.exec_secs * 1000.0)
+        .expect("trace nonempty");
     let run = |profile: &lambda_sim::AppProfile, provisioned: usize| {
         lambda_sim::simulate_pool_ext(
             &platform,
@@ -826,6 +830,79 @@ fn probe() {
         min_speedup
     );
     let path = "BENCH_probe.json";
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("wrote {path}");
+}
+
+// ---------------------------------------------------------------------------
+// Trace replay benchmark: golden-fixture metrics + synthetic throughput.
+// ---------------------------------------------------------------------------
+fn replay_bench(jobs: usize) {
+    banner("Trace replay — Azure-schema fixture metrics + synthetic-trace throughput");
+    let platform = default_platform();
+
+    // (a) Deterministic metrics from the checked-in golden fixture: the
+    // same trace the tier-1 test replays, so this block is byte-identical
+    // across runs and across --jobs.
+    let fixture = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/golden/azure_trace_sample.csv"
+    );
+    let trace = load_trace_csv(fixture, 0xA57AC3).expect("golden fixture parses");
+    let options = ReplayOptions {
+        jobs,
+        ..ReplayOptions::default()
+    };
+    let report = replay_trace(&platform, &trace, &options);
+    let metrics = render_metrics_json(&report);
+    println!(
+        "fixture: {} functions, {} invocations over {:.0} s",
+        trace.functions.len(),
+        trace.invocations(),
+        trace.window_secs
+    );
+    for v in &report.variants {
+        println!(
+            "  mode {:<8} keep-alive {:>5.0} s: cold ratio {:.3}, p99 E2E {:.2} s, total ${:.6}",
+            format!("{:?}", v.mode),
+            v.keep_alive_secs,
+            v.cold_ratio(),
+            v.e2e_p99_secs,
+            v.total_cost()
+        );
+    }
+
+    // (b) Throughput on a full-size synthetic trace (variable; lives
+    // outside the deterministic metrics block).
+    let synthetic = generate_trace(&TraceConfig::default());
+    let replayed: usize = synthetic.invocations() * 4; // 2 modes × 2 keep-alives
+    let start = std::time::Instant::now();
+    let _ = replay_trace(&platform, &synthetic, &options);
+    let elapsed = start.elapsed().as_secs_f64();
+    let per_sec = replayed as f64 / elapsed.max(1e-9);
+    println!(
+        "throughput: {replayed} pool-invocations in {:.2} s with {jobs} job{} = {:.0}/s",
+        elapsed,
+        if jobs == 1 { "" } else { "s" },
+        per_sec
+    );
+
+    let indented: String = metrics
+        .lines()
+        .map(|l| format!("  {l}"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let json = format!(
+        "{{\n  \"bench\": \"trace_replay\",\n  \"unit\": \"pool_invocations_per_sec\",\n  \
+         \"fixture\": \"tests/golden/azure_trace_sample.csv\",\n  \"jobs\": {jobs},\n  \
+         \"host_cores\": {},\n  \"synthetic_functions\": {},\n  \"synthetic_invocations\": {},\n  \
+         \"elapsed_s\": {elapsed:.3},\n  \"pool_invocations_per_sec\": {per_sec:.0},\n  \
+         \"metrics\":\n{indented}\n}}\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        synthetic.functions.len(),
+        synthetic.invocations(),
+    );
+    let path = "BENCH_replay.json";
     std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
     println!("wrote {path}");
 }

@@ -8,8 +8,11 @@
 //! * [`platform`] — cold/warm start lifecycle phases (Figure 1), a
 //!   keep-alive instance pool, and invocation cost/latency accounting;
 //! * [`snapshot`] — the CRIU/SnapStart checkpoint/restore cost model (§8.6);
-//! * [`trace`] — a seeded Azure-Functions-style invocation trace generator
-//!   with L2 nearest-function matching (Figures 13–14);
+//! * [`trace`] — invocation traces (Figures 13–14): a seeded synthetic
+//!   Azure-Functions-style generator with diurnal modulation, a loader for
+//!   the Azure-dataset CSV schema with deterministic arrival
+//!   reconstruction, L2 nearest-function matching, and an event-driven
+//!   replay engine across start modes and keep-alive settings;
 //! * [`metrics`] — means/medians/percentiles/CDFs for the harnesses.
 //!
 //! # Example
@@ -39,8 +42,12 @@ pub use platform::{
     simulate_pool, AppProfile, Invocation, PhaseBreakdown, Platform, PlatformConfig, PoolStats,
     StartKind, StartMode,
 };
-pub use pool::{simulate_pool_ext, ExtPoolStats, PoolOptions};
+pub use pool::{simulate_pool_ext, simulate_pool_ext_traced, ExtPoolStats, PoolEvent, PoolOptions};
 pub use pricing::{PricingModel, Rounding, SnapStartPricing};
 pub use providers::{min_visible_saving_ms, providers, quote_all, Provider, ProviderQuote};
 pub use snapshot::CheckpointModel;
-pub use trace::{generate_trace, nearest_function, FunctionTrace, TraceConfig};
+pub use trace::{
+    generate_trace, load_trace_csv, nearest_function, parse_trace_csv, replay_trace, ArrivalClass,
+    DiurnalProfile, FunctionReplay, FunctionTrace, ReplayOptions, ReplayReport, TraceConfig,
+    TraceError, TraceSet, TraceSource, VariantReport,
+};

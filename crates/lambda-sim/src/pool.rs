@@ -88,6 +88,22 @@ impl ExtPoolStats {
     }
 }
 
+/// One dispatched request, reported by [`simulate_pool_ext_traced`]'s event
+/// sink. Lets callers reconstruct the full execution timeline — e.g. per-
+/// invocation E2E latency percentiles, or an instantaneous-concurrency sweep
+/// in a property test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolEvent {
+    /// When the request arrived (seconds from window start).
+    pub arrival: f64,
+    /// When it actually started running (= `arrival` unless it queued).
+    pub start: f64,
+    /// When it finished (start + invocation E2E).
+    pub finish: f64,
+    /// Cold or warm.
+    pub kind: StartKind,
+}
+
 /// Simulate an arrival process through the extended pool. `arrivals` must
 /// be sorted ascending (seconds from window start).
 pub fn simulate_pool_ext(
@@ -96,11 +112,26 @@ pub fn simulate_pool_ext(
     arrivals: &[f64],
     options: &PoolOptions,
 ) -> ExtPoolStats {
+    simulate_pool_ext_traced(platform, app, arrivals, options, |_| {})
+}
+
+/// [`simulate_pool_ext`] with an event sink: `on_event` is called once per
+/// arrival, in arrival order, with the dispatched request's timeline.
+pub fn simulate_pool_ext_traced(
+    platform: &Platform,
+    app: &AppProfile,
+    arrivals: &[f64],
+    options: &PoolOptions,
+    mut on_event: impl FnMut(PoolEvent),
+) -> ExtPoolStats {
     #[derive(Clone, Copy)]
     struct Instance {
         free_at: f64,
         expires_at: f64,
         provisioned: bool,
+    }
+    fn reap(instances: &mut Vec<Instance>, now: f64) {
+        instances.retain(|i| i.provisioned || !(i.free_at <= now && i.expires_at < now));
     }
     let mut instances: Vec<Instance> = (0..options.provisioned)
         .map(|_| Instance {
@@ -111,30 +142,38 @@ pub fn simulate_pool_ext(
         .collect();
     let mut stats = ExtPoolStats::default();
     for &arrival in arrivals {
-        // Reap expired on-demand instances.
-        instances.retain(|i| i.provisioned || !(i.free_at <= arrival && i.expires_at < arrival));
+        // Reap on-demand instances that expired before this arrival.
+        let mut now = arrival;
+        reap(&mut instances, now);
 
-        // Concurrency limiting: if every slot is busy at `arrival` and we
-        // are at the cap, the request waits for the earliest free slot.
-        let mut start_time = arrival;
+        // Concurrency limiting. With `busy >= cap` instances running, the
+        // request must wait until the pool is down to `cap - 1` running
+        // instances — i.e. until the `(busy - cap + 1)`-th earliest
+        // `free_at`, not the earliest (waiting only for the earliest lets a
+        // burst of b > cap simultaneous arrivals run b instances at once).
         if let Some(cap) = options.max_concurrency {
-            let busy = instances.iter().filter(|i| i.free_at > arrival).count();
-            if busy >= cap {
-                let earliest_free = instances
-                    .iter()
-                    .filter(|i| i.free_at > arrival)
-                    .map(|i| i.free_at)
-                    .fold(f64::INFINITY, f64::min);
-                start_time = earliest_free;
+            let cap = cap.max(1);
+            let mut busy: Vec<f64> = instances
+                .iter()
+                .filter(|i| i.free_at > now)
+                .map(|i| i.free_at)
+                .collect();
+            if busy.len() >= cap {
+                busy.sort_by(f64::total_cmp);
+                now = busy[busy.len() - cap];
                 stats.queued_requests += 1;
-                stats.total_queue_secs += start_time - arrival;
+                stats.total_queue_secs += now - arrival;
+                // The wait moved the clock: instances whose keep-alive ran
+                // out inside `(arrival, now)` are gone by dispatch time and
+                // must not be counted live (or reused) below.
+                reap(&mut instances, now);
             }
         }
 
         // Prefer provisioned instances, then the most-recently-used warm one.
         let idle = instances
             .iter_mut()
-            .filter(|i| i.free_at <= start_time && i.expires_at >= start_time)
+            .filter(|i| i.free_at <= now && i.expires_at >= now)
             .max_by(|a, b| {
                 (a.provisioned, a.free_at)
                     .partial_cmp(&(b.provisioned, b.free_at))
@@ -143,7 +182,7 @@ pub fn simulate_pool_ext(
         let (inv, start_kind) = match idle {
             Some(slot) => {
                 let inv = platform.warm_invocation(app);
-                let finish = start_time + inv.e2e_secs();
+                let finish = now + inv.e2e_secs();
                 slot.free_at = finish;
                 if !slot.provisioned {
                     slot.expires_at = finish + options.keep_alive_secs;
@@ -152,7 +191,7 @@ pub fn simulate_pool_ext(
             }
             None => {
                 let inv = platform.cold_invocation(app, options.mode);
-                let finish = start_time + inv.e2e_secs();
+                let finish = now + inv.e2e_secs();
                 instances.push(Instance {
                     free_at: finish,
                     expires_at: finish + options.keep_alive_secs,
@@ -166,7 +205,13 @@ pub fn simulate_pool_ext(
             StartKind::Warm => stats.warm_starts += 1,
         }
         stats.invocation_cost += inv.cost;
-        stats.total_e2e_secs += inv.e2e_secs() + (start_time - arrival);
+        stats.total_e2e_secs += inv.e2e_secs() + (now - arrival);
+        on_event(PoolEvent {
+            arrival,
+            start: now,
+            finish: now + inv.e2e_secs(),
+            kind: start_kind,
+        });
     }
     // Reserved capacity is billed for the whole window regardless of use.
     let mem_gb = platform.config.pricing.configured_memory_mb(app.mem_mb) as f64 / 1024.0;
@@ -239,13 +284,121 @@ mod tests {
                 ..PoolOptions::default()
             },
         );
-        assert!(limited.queued_requests >= 8);
+        // Exactly the first two arrivals run immediately (cold); the other
+        // eight each wait for a slot and reuse the instance that freed it
+        // (warm) — capacity 2 means exactly 2 instances ever exist.
+        assert_eq!(limited.cold_starts, 2);
+        assert_eq!(limited.warm_starts, 8);
+        assert_eq!(limited.queued_requests, 8);
         assert!(limited.total_queue_secs > 0.0);
         let unlimited = simulate_pool_ext(&platform, &app(), &arrivals, &PoolOptions::default());
         assert_eq!(unlimited.queued_requests, 0);
         assert!(limited.mean_e2e_secs() > unlimited.mean_e2e_secs());
-        // With capacity 2 the burst needs at most 2 concurrent instances.
-        assert!(limited.cold_starts <= 2 + 1);
+    }
+
+    /// Max simultaneously running requests over the event timeline.
+    fn peak_concurrency(events: &[PoolEvent]) -> usize {
+        let mut deltas: Vec<(f64, i64)> = Vec::with_capacity(events.len() * 2);
+        for e in events {
+            deltas.push((e.start, 1));
+            deltas.push((e.finish, -1));
+        }
+        // At a tie, finishes release their slot before starts claim one.
+        deltas.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let (mut cur, mut peak) = (0i64, 0i64);
+        for (_, d) in deltas {
+            cur += d;
+            peak = peak.max(cur);
+        }
+        peak as usize
+    }
+
+    #[test]
+    fn burst_larger_than_cap_never_exceeds_cap() {
+        // Regression: waiting only for the *earliest* free_at let a burst of
+        // b > cap simultaneous arrivals all dispatch at the same instant.
+        let platform = Platform::default();
+        let arrivals = vec![0.0; 10];
+        for cap in [1, 2, 3] {
+            let mut events = Vec::new();
+            simulate_pool_ext_traced(
+                &platform,
+                &app(),
+                &arrivals,
+                &PoolOptions {
+                    max_concurrency: Some(cap),
+                    ..PoolOptions::default()
+                },
+                |e| events.push(e),
+            );
+            assert_eq!(events.len(), 10);
+            assert!(
+                peak_concurrency(&events) <= cap,
+                "cap {cap} violated: peak {}",
+                peak_concurrency(&events)
+            );
+        }
+    }
+
+    #[test]
+    fn zero_cap_is_treated_as_one() {
+        let platform = Platform::default();
+        let stats = simulate_pool_ext(
+            &platform,
+            &app(),
+            &[0.0, 0.0, 0.0],
+            &PoolOptions {
+                max_concurrency: Some(0),
+                ..PoolOptions::default()
+            },
+        );
+        assert_eq!(stats.invocations(), 3, "requests still run, serialized");
+        assert_eq!(stats.queued_requests, 2);
+    }
+
+    #[test]
+    fn queued_request_dispatches_at_slot_free_time() {
+        // Reaping and dispatch now both happen at the (possibly waited)
+        // dispatch time: the queued request starts exactly when the slot
+        // holder frees, and reuses it warm — even at keep_alive 0, where
+        // the holder expires the same instant it frees (expiry is
+        // exclusive: `expires_at < now` reaps, equality does not).
+        let platform = Platform::default();
+        let slow = AppProfile::new("slow", 10.0, 0.1, 100.0, 128.0);
+        let mut events = Vec::new();
+        let stats = simulate_pool_ext_traced(
+            &platform,
+            &slow,
+            &[0.0, 1.0],
+            &PoolOptions {
+                keep_alive_secs: 0.0,
+                max_concurrency: Some(1),
+                ..PoolOptions::default()
+            },
+            |e| events.push(e),
+        );
+        assert_eq!(stats.cold_starts, 1);
+        assert_eq!(stats.warm_starts, 1);
+        assert_eq!(stats.queued_requests, 1);
+        assert_eq!(events[1].arrival, 1.0);
+        assert!(
+            (events[1].start - events[0].finish).abs() < 1e-12,
+            "queued request starts exactly when the slot frees"
+        );
+        // A third arrival after the pool drains and keep-alive (0 s)
+        // elapses must cold-start: the expired instance is not revived.
+        let late = simulate_pool_ext(
+            &platform,
+            &slow,
+            &[0.0, 1.0, 500.0],
+            &PoolOptions {
+                keep_alive_secs: 0.0,
+                max_concurrency: Some(1),
+                ..PoolOptions::default()
+            },
+        );
+        assert_eq!(late.cold_starts, 2);
+        assert_eq!(late.warm_starts, 1);
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Diurnal + day-of-week rate modulation.
+//!
+//! Shahrad et al. (ATC'20, §3) show strong daily periodicity in the Azure
+//! trace: platform-wide invocation rates swing by roughly 2× over a day and
+//! dip on weekends. The synthetic generator reproduces that shape by
+//! *thinning* demand-driven arrivals (Poisson, bursty, rare classes) with a
+//! time-of-day acceptance probability; timer-driven functions fire on their
+//! schedule regardless of human activity and are left unmodulated.
+
+use super::TraceError;
+
+/// Seconds per hour/day — window timestamps start at hour 0 of day 0
+/// (a Monday, so days 5 and 6 are the weekend).
+const HOUR_SECS: f64 = 3600.0;
+const DAY_SECS: f64 = 24.0 * 3600.0;
+
+/// A diurnal + weekly rate shape. `rate_multiplier` maps a timestamp to an
+/// acceptance probability in `(0, 1]`, normalized so the peak hour of a
+/// weekday keeps every arrival.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalProfile {
+    /// Day-cycle swing in `[0, 1)`: 0 = flat, 0.6 ≈ the trace's ~2×
+    /// peak-to-trough ratio ((1+a)/(1−a) = 4 at a = 0.6).
+    pub amplitude: f64,
+    /// Hour of day `[0, 24)` at which the rate peaks.
+    pub peak_hour: f64,
+    /// Multiplier in `(0, 1]` applied on days 5 and 6 (the weekend).
+    pub weekend_factor: f64,
+}
+
+impl Default for DiurnalProfile {
+    fn default() -> Self {
+        DiurnalProfile {
+            amplitude: 0.6,
+            peak_hour: 14.0,
+            weekend_factor: 0.7,
+        }
+    }
+}
+
+impl DiurnalProfile {
+    /// Validate parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::InvalidDiurnal`] naming the offending field.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        if !(0.0..1.0).contains(&self.amplitude) {
+            return Err(TraceError::InvalidDiurnal {
+                field: "amplitude",
+                value: self.amplitude,
+            });
+        }
+        if !(0.0..24.0).contains(&self.peak_hour) {
+            return Err(TraceError::InvalidDiurnal {
+                field: "peak_hour",
+                value: self.peak_hour,
+            });
+        }
+        if !(self.weekend_factor > 0.0 && self.weekend_factor <= 1.0) {
+            return Err(TraceError::InvalidDiurnal {
+                field: "weekend_factor",
+                value: self.weekend_factor,
+            });
+        }
+        Ok(())
+    }
+
+    /// Acceptance probability at `t_secs` from window start, in `(0, 1]`:
+    /// a cosine day cycle peaking at `peak_hour`, scaled by
+    /// `weekend_factor` on days 5 and 6, normalized to 1 at a weekday peak.
+    pub fn rate_multiplier(&self, t_secs: f64) -> f64 {
+        let hour = (t_secs / HOUR_SECS).rem_euclid(24.0);
+        let day = (t_secs / DAY_SECS).div_euclid(1.0).rem_euclid(7.0) as u32;
+        let phase = (hour - self.peak_hour) / 24.0 * std::f64::consts::TAU;
+        let day_shape = (1.0 + self.amplitude * phase.cos()) / (1.0 + self.amplitude);
+        let week = if day >= 5 { self.weekend_factor } else { 1.0 };
+        (day_shape * week).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_hour_keeps_everything_on_weekdays() {
+        let p = DiurnalProfile::default();
+        let peak = p.rate_multiplier(p.peak_hour * HOUR_SECS);
+        assert!((peak - 1.0).abs() < 1e-12, "weekday peak must be 1.0");
+    }
+
+    #[test]
+    fn trough_is_peak_to_trough_ratio_below_peak() {
+        let p = DiurnalProfile::default();
+        let trough_hour = (p.peak_hour + 12.0) % 24.0;
+        let trough = p.rate_multiplier(trough_hour * HOUR_SECS);
+        let expected = (1.0 - p.amplitude) / (1.0 + p.amplitude);
+        assert!((trough - expected).abs() < 1e-12);
+        assert!(trough < 1.0);
+    }
+
+    #[test]
+    fn weekend_days_are_scaled_down() {
+        let p = DiurnalProfile::default();
+        let weekday = p.rate_multiplier(p.peak_hour * HOUR_SECS); // day 0
+        let weekend = p.rate_multiplier(5.0 * DAY_SECS + p.peak_hour * HOUR_SECS);
+        assert!((weekend - weekday * p.weekend_factor).abs() < 1e-12);
+        // Day 7 wraps back to a weekday.
+        let next_week = p.rate_multiplier(7.0 * DAY_SECS + p.peak_hour * HOUR_SECS);
+        assert!((next_week - weekday).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiplier_stays_in_unit_interval() {
+        let p = DiurnalProfile {
+            amplitude: 0.95,
+            peak_hour: 3.0,
+            weekend_factor: 0.2,
+        };
+        for i in 0..(14 * 24) {
+            let m = p.rate_multiplier(i as f64 * HOUR_SECS + 17.0);
+            assert!(m > 0.0 && m <= 1.0, "hour {i}: {m}");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range() {
+        assert!(DiurnalProfile::default().validate().is_ok());
+        let bad = |amplitude, peak_hour, weekend_factor| DiurnalProfile {
+            amplitude,
+            peak_hour,
+            weekend_factor,
+        };
+        assert!(bad(1.0, 14.0, 0.7).validate().is_err());
+        assert!(bad(-0.1, 14.0, 0.7).validate().is_err());
+        assert!(bad(0.5, 24.0, 0.7).validate().is_err());
+        assert!(bad(0.5, 14.0, 0.0).validate().is_err());
+        assert!(bad(0.5, 14.0, 1.5).validate().is_err());
+    }
+}

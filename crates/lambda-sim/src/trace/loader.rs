@@ -1,0 +1,317 @@
+//! CSV loader for the Azure-Functions-dataset schema.
+//!
+//! The public dataset (Shahrad et al., ATC'20) ships per-function rows of
+//! per-minute invocation counts joined with duration/memory percentile
+//! tables. We load a single pre-joined CSV in that shape:
+//!
+//! ```csv
+//! function,trigger,avg_duration_ms,p50_duration_ms,p99_duration_ms,avg_mem_mb,p99_mem_mb,m0,m1,...
+//! f1a2b3,http,120,95,800,192,256,0,3,1,...
+//! ```
+//!
+//! `m0..mN` are invocation counts for consecutive minutes; the window length
+//! is `60 × N` seconds. Intra-minute arrival times are reconstructed
+//! deterministically per function (see [`super::reconstruct`]). Every parse
+//! failure is a typed [`TraceError`] carrying the line/field it came from.
+
+use super::reconstruct::reconstruct_arrivals;
+use super::{ArrivalClass, FunctionTrace, TraceError, TraceSet, TraceSource};
+use std::collections::HashSet;
+use std::path::Path;
+
+/// The fixed (non-minute) columns, in schema order.
+const FIXED_COLUMNS: [&str; 7] = [
+    "function",
+    "trigger",
+    "avg_duration_ms",
+    "p50_duration_ms",
+    "p99_duration_ms",
+    "avg_mem_mb",
+    "p99_mem_mb",
+];
+
+/// Load a trace CSV from disk. See [`parse_trace_csv`].
+///
+/// # Errors
+///
+/// [`TraceError::Io`] on read failure, otherwise any [`parse_trace_csv`]
+/// error.
+pub fn load_trace_csv(path: impl AsRef<Path>, seed: u64) -> Result<TraceSet, TraceError> {
+    let path = path.as_ref();
+    let content = std::fs::read_to_string(path)
+        .map_err(|e| TraceError::Io(format!("{}: {e}", path.display())))?;
+    parse_trace_csv(&content, seed)
+}
+
+/// Parse an Azure-schema trace CSV from a string. `seed` drives the
+/// deterministic intra-minute arrival reconstruction; the same content and
+/// seed always yield an identical [`TraceSet`], independent of row order
+/// per function.
+///
+/// # Errors
+///
+/// A typed [`TraceError`] naming the offending line, field, or cell.
+pub fn parse_trace_csv(content: &str, seed: u64) -> Result<TraceSet, TraceError> {
+    let mut lines = content
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let (_, header) = lines.next().ok_or(TraceError::Empty)?;
+    let header_cells: Vec<&str> = header.split(',').map(str::trim).collect();
+    if header_cells.len() < FIXED_COLUMNS.len()
+        || header_cells[..FIXED_COLUMNS.len()] != FIXED_COLUMNS
+    {
+        return Err(TraceError::Header {
+            expected: FIXED_COLUMNS.join(","),
+            found: header.trim().to_string(),
+        });
+    }
+    let minutes = header_cells.len() - FIXED_COLUMNS.len();
+    if minutes == 0 {
+        return Err(TraceError::NoMinuteColumns);
+    }
+    let expected_cols = FIXED_COLUMNS.len() + minutes;
+    let window_secs = minutes as f64 * 60.0;
+
+    let mut functions = Vec::new();
+    let mut seen = HashSet::new();
+    for (idx, row) in lines {
+        let line = idx + 1; // 1-based for messages
+        let cells: Vec<&str> = row.split(',').map(str::trim).collect();
+        if cells.len() != expected_cols {
+            return Err(TraceError::ColumnCount {
+                line,
+                expected: expected_cols,
+                found: cells.len(),
+            });
+        }
+        let name = cells[0].to_string();
+        if !seen.insert(name.clone()) {
+            return Err(TraceError::DuplicateFunction { line, name });
+        }
+        let number = |field_idx: usize| -> Result<f64, TraceError> {
+            let value = cells[field_idx];
+            match value.parse::<f64>() {
+                Ok(v) if v.is_finite() && v >= 0.0 => Ok(v),
+                _ => Err(TraceError::BadNumber {
+                    line,
+                    field: FIXED_COLUMNS[field_idx].to_string(),
+                    value: value.to_string(),
+                }),
+            }
+        };
+        let avg_duration_ms = number(2)?;
+        let p50_duration_ms = number(3)?;
+        let p99_duration_ms = number(4)?;
+        let avg_mem_mb = number(5)?;
+        let p99_mem_mb = number(6)?;
+        let mut counts = Vec::with_capacity(minutes);
+        for (minute, cell) in cells[FIXED_COLUMNS.len()..].iter().enumerate() {
+            let count: u32 = cell.parse().map_err(|_| TraceError::BadCount {
+                line,
+                minute,
+                value: cell.to_string(),
+            })?;
+            counts.push(count);
+        }
+        functions.push(FunctionTrace {
+            id: functions.len() as u32,
+            class: ArrivalClass::from_trigger(cells[1]),
+            mem_mb: avg_mem_mb,
+            p99_mem_mb,
+            duration_ms: avg_duration_ms,
+            p50_duration_ms,
+            p99_duration_ms,
+            arrivals: reconstruct_arrivals(&counts, seed, &name),
+            name,
+        });
+    }
+    if functions.is_empty() {
+        return Err(TraceError::Empty);
+    }
+    Ok(TraceSet {
+        window_secs,
+        functions,
+        source: TraceSource::Loaded { seed },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "\
+function,trigger,avg_duration_ms,p50_duration_ms,p99_duration_ms,avg_mem_mb,p99_mem_mb,m0,m1,m2
+alpha,timer,120,95,800,192,256,1,0,2
+beta,http,40,30,200,128,160,5,3,4
+";
+
+    #[test]
+    fn parses_the_happy_path() {
+        let trace = parse_trace_csv(GOOD, 7).unwrap();
+        assert_eq!(trace.window_secs, 180.0);
+        assert_eq!(trace.functions.len(), 2);
+        assert_eq!(trace.source, TraceSource::Loaded { seed: 7 });
+        let alpha = &trace.functions[0];
+        assert_eq!(alpha.name, "alpha");
+        assert_eq!(alpha.class, ArrivalClass::Periodic);
+        assert_eq!(alpha.invocations(), 3);
+        assert_eq!(alpha.duration_ms, 120.0);
+        assert_eq!(alpha.p99_mem_mb, 256.0);
+        let beta = &trace.functions[1];
+        assert_eq!(beta.class, ArrivalClass::Poisson);
+        assert_eq!(beta.invocations(), 12);
+        assert_eq!(trace.invocations(), 15);
+        for f in &trace.functions {
+            for &t in &f.arrivals {
+                assert!((0.0..180.0).contains(&t));
+            }
+            for w in f.arrivals.windows(2) {
+                assert!(w[0] <= w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn parsing_is_deterministic_and_row_order_independent() {
+        let a = parse_trace_csv(GOOD, 7).unwrap();
+        let b = parse_trace_csv(GOOD, 7).unwrap();
+        assert_eq!(a, b);
+        // Swap the two data rows: each function's arrivals are unchanged
+        // because reconstruction is keyed on (seed, name), not row index.
+        let swapped = "\
+function,trigger,avg_duration_ms,p50_duration_ms,p99_duration_ms,avg_mem_mb,p99_mem_mb,m0,m1,m2
+beta,http,40,30,200,128,160,5,3,4
+alpha,timer,120,95,800,192,256,1,0,2
+";
+        let s = parse_trace_csv(swapped, 7).unwrap();
+        let find = |t: &TraceSet, n: &str| {
+            t.functions
+                .iter()
+                .find(|f| f.name == n)
+                .unwrap()
+                .arrivals
+                .clone()
+        };
+        assert_eq!(find(&a, "alpha"), find(&s, "alpha"));
+        assert_eq!(find(&a, "beta"), find(&s, "beta"));
+    }
+
+    #[test]
+    fn different_seeds_move_arrivals() {
+        let a = parse_trace_csv(GOOD, 7).unwrap();
+        let b = parse_trace_csv(GOOD, 8).unwrap();
+        assert_ne!(a.functions[0].arrivals, b.functions[0].arrivals);
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert_eq!(parse_trace_csv("", 0), Err(TraceError::Empty));
+        assert_eq!(parse_trace_csv("\n \n", 0), Err(TraceError::Empty));
+        // Header but no data rows is also empty.
+        let header_only =
+            "function,trigger,avg_duration_ms,p50_duration_ms,p99_duration_ms,avg_mem_mb,p99_mem_mb,m0\n";
+        assert_eq!(parse_trace_csv(header_only, 0), Err(TraceError::Empty));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let e = parse_trace_csv("name,trigger,whatever\nx,y,z\n", 0).unwrap_err();
+        assert!(matches!(e, TraceError::Header { .. }), "{e}");
+    }
+
+    #[test]
+    fn rejects_header_without_minutes() {
+        let no_minutes =
+            "function,trigger,avg_duration_ms,p50_duration_ms,p99_duration_ms,avg_mem_mb,p99_mem_mb\nf,http,1,1,1,1,1\n";
+        assert_eq!(
+            parse_trace_csv(no_minutes, 0),
+            Err(TraceError::NoMinuteColumns)
+        );
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let ragged = "\
+function,trigger,avg_duration_ms,p50_duration_ms,p99_duration_ms,avg_mem_mb,p99_mem_mb,m0,m1
+f,http,1,1,1,1,1,0
+";
+        let e = parse_trace_csv(ragged, 0).unwrap_err();
+        assert_eq!(
+            e,
+            TraceError::ColumnCount {
+                line: 2,
+                expected: 9,
+                found: 8
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_numbers_with_field_name() {
+        let bad = "\
+function,trigger,avg_duration_ms,p50_duration_ms,p99_duration_ms,avg_mem_mb,p99_mem_mb,m0
+f,http,1,1,1,-5,1,0
+";
+        let e = parse_trace_csv(bad, 0).unwrap_err();
+        assert_eq!(
+            e,
+            TraceError::BadNumber {
+                line: 2,
+                field: "avg_mem_mb".into(),
+                value: "-5".into()
+            }
+        );
+        let nan = "\
+function,trigger,avg_duration_ms,p50_duration_ms,p99_duration_ms,avg_mem_mb,p99_mem_mb,m0
+f,http,NaN,1,1,1,1,0
+";
+        assert!(matches!(
+            parse_trace_csv(nan, 0).unwrap_err(),
+            TraceError::BadNumber { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_counts_with_minute_index() {
+        let bad = "\
+function,trigger,avg_duration_ms,p50_duration_ms,p99_duration_ms,avg_mem_mb,p99_mem_mb,m0,m1
+f,http,1,1,1,1,1,0,2.5
+";
+        let e = parse_trace_csv(bad, 0).unwrap_err();
+        assert_eq!(
+            e,
+            TraceError::BadCount {
+                line: 2,
+                minute: 1,
+                value: "2.5".into()
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_functions() {
+        let dup = "\
+function,trigger,avg_duration_ms,p50_duration_ms,p99_duration_ms,avg_mem_mb,p99_mem_mb,m0
+f,http,1,1,1,1,1,0
+f,timer,1,1,1,1,1,0
+";
+        let e = parse_trace_csv(dup, 0).unwrap_err();
+        assert_eq!(
+            e,
+            TraceError::DuplicateFunction {
+                line: 3,
+                name: "f".into()
+            }
+        );
+    }
+
+    #[test]
+    fn io_error_carries_the_path() {
+        let e = load_trace_csv("/nonexistent/trace.csv", 0).unwrap_err();
+        match e {
+            TraceError::Io(msg) => assert!(msg.contains("/nonexistent/trace.csv")),
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Deterministic reconstruction of arrival timestamps from per-minute counts.
+//!
+//! The Azure Functions dataset publishes *how many* invocations each function
+//! received per minute, not *when* within the minute they landed. For pool
+//! simulation the intra-minute placement matters (it decides whether
+//! concurrent arrivals overlap), so we reconstruct it: for a minute with
+//! count `c`, draw `c` uniform offsets in `[0, 60)` from a per-function
+//! seeded RNG and sort.
+//!
+//! The RNG stream is seeded with `seed ^ fnv1a64(function_name)`, so a
+//! function's reconstructed arrivals depend only on the global seed and its
+//! own name — never on row order or on other functions. Loading the same CSV
+//! with the same seed is byte-identical, whatever order the rows appear in.
+
+use trim_rng::Rng;
+
+const MINUTE_SECS: f64 = 60.0;
+
+/// FNV-1a 64-bit hash of a byte string — dependency-free, stable across
+/// platforms, used to derive per-function RNG streams.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Reconstruct sorted arrival timestamps from per-minute invocation counts.
+///
+/// Minute `m` with count `c` contributes `c` timestamps uniform in
+/// `[60 m, 60 (m + 1))`; the result is sorted ascending and every timestamp
+/// lies in `[0, 60 * counts.len())`.
+pub fn reconstruct_arrivals(counts: &[u32], seed: u64, function_name: &str) -> Vec<f64> {
+    let mut rng = Rng::seed_from_u64(seed ^ fnv1a64(function_name.as_bytes()));
+    let total: usize = counts.iter().map(|&c| c as usize).sum();
+    let mut arrivals = Vec::with_capacity(total);
+    for (minute, &count) in counts.iter().enumerate() {
+        let base = minute as f64 * MINUTE_SECS;
+        let start = arrivals.len();
+        for _ in 0..count {
+            // rng.f64() < 1.0, so base + offset < base + 60 always holds.
+            arrivals.push(base + rng.f64() * MINUTE_SECS);
+        }
+        arrivals[start..].sort_by(f64::total_cmp);
+    }
+    arrivals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reconstruction_is_deterministic() {
+        let counts = [3, 0, 7, 1];
+        let a = reconstruct_arrivals(&counts, 42, "fn-a");
+        let b = reconstruct_arrivals(&counts, 42, "fn-a");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_or_name_changes_placement() {
+        let counts = [5, 5];
+        let base = reconstruct_arrivals(&counts, 1, "fn-a");
+        assert_ne!(base, reconstruct_arrivals(&counts, 2, "fn-a"));
+        assert_ne!(base, reconstruct_arrivals(&counts, 1, "fn-b"));
+    }
+
+    #[test]
+    fn per_minute_counts_are_preserved_and_sorted() {
+        let counts = [4, 0, 2, 9, 1];
+        let arrivals = reconstruct_arrivals(&counts, 7, "f");
+        assert_eq!(arrivals.len(), 16);
+        for w in arrivals.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        for (minute, &count) in counts.iter().enumerate() {
+            let lo = minute as f64 * 60.0;
+            let hi = lo + 60.0;
+            let in_minute = arrivals.iter().filter(|&&t| t >= lo && t < hi).count();
+            assert_eq!(in_minute as u32, count, "minute {minute}");
+        }
+    }
+
+    #[test]
+    fn all_arrivals_inside_window() {
+        let counts = vec![50; 10];
+        let arrivals = reconstruct_arrivals(&counts, 3, "hot");
+        let window = 60.0 * counts.len() as f64;
+        for &t in &arrivals {
+            assert!((0.0..window).contains(&t));
+        }
+    }
+
+    #[test]
+    fn empty_counts_give_no_arrivals() {
+        assert!(reconstruct_arrivals(&[], 1, "x").is_empty());
+        assert!(reconstruct_arrivals(&[0, 0, 0], 1, "x").is_empty());
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -1,0 +1,550 @@
+//! Event-driven trace replay: every function of a [`TraceSet`] through the
+//! extended pool, across start modes and keep-alive settings, in one pass.
+//!
+//! This is the paper's §8.6 methodology generalized: instead of replaying a
+//! single app against one matched trace function, the engine replays the
+//! *whole* trace — each function becomes an [`crate::AppProfile`] (its
+//! dataset memory/duration columns plus configurable image/init constants)
+//! and is driven through [`crate::pool::simulate_pool_ext_traced`] once per
+//! (StartMode × keep-alive) variant.
+//!
+//! Functions are independent, so the replay fans out over a worker pool
+//! (`jobs` threads) with the same slotted-results idiom as the corpus
+//! trimmer: workers pull function indices from an atomic counter and write
+//! into a per-function slot, then aggregation walks the slots in function
+//! order. Results are therefore **byte-identical whatever the worker
+//! count** — the acceptance bar for `BENCH_replay.json`.
+
+use super::{ArrivalClass, TraceSet};
+use crate::metrics::{cdf, percentile};
+use crate::platform::{AppProfile, Platform, StartMode};
+use crate::pool::{simulate_pool_ext_traced, ExtPoolStats, PoolOptions};
+use crate::pricing::SnapStartPricing;
+use crate::providers::providers;
+
+/// Options for [`replay_trace`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayOptions {
+    /// Start modes to replay (one full pass per mode × keep-alive).
+    pub modes: Vec<StartMode>,
+    /// Keep-alive settings to replay, seconds.
+    pub keep_alive_secs: Vec<f64>,
+    /// Worker threads for the per-function fan-out (clamped to ≥ 1).
+    pub jobs: usize,
+    /// Per-function concurrency cap (`None` = unlimited).
+    pub max_concurrency: Option<usize>,
+    /// Provisioned instances per function.
+    pub provisioned: usize,
+    /// Deployment image size assumed for every function, MB (the dataset
+    /// has no image column).
+    pub image_mb: f64,
+    /// Function-initialization time assumed for every function, seconds
+    /// (the dataset has no init column; λ-trim's whole point is shrinking
+    /// this, so the knob is explicit).
+    pub init_secs: f64,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> Self {
+        ReplayOptions {
+            modes: vec![StartMode::Standard, StartMode::Restore],
+            keep_alive_secs: vec![60.0, 900.0],
+            jobs: 1,
+            max_concurrency: None,
+            provisioned: 0,
+            image_mb: 64.0,
+            init_secs: 0.5,
+        }
+    }
+}
+
+/// One function's replay results: per-variant pool stats plus the raw
+/// per-invocation E2E samples (for percentile aggregation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionReplay {
+    /// Trace function id.
+    pub id: u32,
+    /// Trace function name.
+    pub name: String,
+    /// Arrival class.
+    pub class: ArrivalClass,
+    /// Invocations in the window.
+    pub invocations: usize,
+    /// Per-variant results, parallel to [`ReplayReport::variants`].
+    pub variants: Vec<FunctionVariant>,
+}
+
+/// One function under one (mode, keep-alive) variant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionVariant {
+    /// Pool statistics.
+    pub stats: ExtPoolStats,
+    /// Per-invocation E2E latencies (including queueing), seconds, in
+    /// arrival order.
+    pub e2e_secs: Vec<f64>,
+}
+
+/// Aggregate results for one (mode, keep-alive) variant across the whole
+/// trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariantReport {
+    /// Start mode of this variant.
+    pub mode: StartMode,
+    /// Keep-alive of this variant, seconds.
+    pub keep_alive_secs: f64,
+    /// Total invocations.
+    pub invocations: u64,
+    /// Total cold starts.
+    pub cold_starts: u64,
+    /// Total warm starts.
+    pub warm_starts: u64,
+    /// Total queued requests.
+    pub queued_requests: u64,
+    /// Sum of Equation-1 invocation costs, dollars (AWS pricing).
+    pub invocation_cost: f64,
+    /// Reserved provisioned capacity cost, dollars.
+    pub provisioned_cost: f64,
+    /// SnapStart snapshot cache + restore cost, dollars (Restore mode
+    /// only; 0 under Standard).
+    pub snapstart_cost: f64,
+    /// SnapStart cost share of the total bill, in `[0, 1]`.
+    pub snapstart_share: f64,
+    /// p50 of per-invocation E2E latency, seconds.
+    pub e2e_p50_secs: f64,
+    /// p95 of per-invocation E2E latency, seconds.
+    pub e2e_p95_secs: f64,
+    /// p99 of per-invocation E2E latency, seconds.
+    pub e2e_p99_secs: f64,
+    /// Empirical CDF of per-function cold-start ratios (functions with at
+    /// least one invocation): sorted `(ratio, cumulative_fraction)`.
+    pub cold_ratio_cdf: Vec<(f64, f64)>,
+    /// Total window bill under each provider's billing rules (invocation
+    /// costs recomputed analytically from the cold/warm split; provisioned
+    /// and SnapStart charges use AWS rates).
+    pub provider_costs: Vec<(&'static str, f64)>,
+}
+
+impl VariantReport {
+    /// Cold-start ratio across the whole trace.
+    pub fn cold_ratio(&self) -> f64 {
+        if self.invocations == 0 {
+            0.0
+        } else {
+            self.cold_starts as f64 / self.invocations as f64
+        }
+    }
+
+    /// Total dollars: invocations + provisioned capacity + SnapStart.
+    pub fn total_cost(&self) -> f64 {
+        self.invocation_cost + self.provisioned_cost + self.snapstart_cost
+    }
+}
+
+/// The full replay result: per-function detail plus per-variant aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayReport {
+    /// Window length replayed, seconds.
+    pub window_secs: f64,
+    /// Per-function results, in trace order.
+    pub functions: Vec<FunctionReplay>,
+    /// Per-variant aggregates, ordered `modes × keep_alive_secs`.
+    pub variants: Vec<VariantReport>,
+}
+
+fn app_for(function: &super::FunctionTrace, options: &ReplayOptions) -> AppProfile {
+    AppProfile::new(
+        function.name.clone(),
+        options.image_mb,
+        options.init_secs,
+        function.duration_ms / 1000.0,
+        function.mem_mb,
+    )
+}
+
+fn replay_function(
+    platform: &Platform,
+    trace: &TraceSet,
+    function: &super::FunctionTrace,
+    options: &ReplayOptions,
+) -> FunctionReplay {
+    let app = app_for(function, options);
+    let mut variants = Vec::with_capacity(options.modes.len() * options.keep_alive_secs.len());
+    for &mode in &options.modes {
+        for &keep_alive_secs in &options.keep_alive_secs {
+            let pool = PoolOptions {
+                keep_alive_secs,
+                mode,
+                provisioned: options.provisioned,
+                max_concurrency: options.max_concurrency,
+                window_secs: trace.window_secs,
+            };
+            let mut e2e_secs = Vec::with_capacity(function.arrivals.len());
+            let stats = simulate_pool_ext_traced(platform, &app, &function.arrivals, &pool, |e| {
+                e2e_secs.push(e.finish - e.arrival)
+            });
+            variants.push(FunctionVariant { stats, e2e_secs });
+        }
+    }
+    FunctionReplay {
+        id: function.id,
+        name: function.name.clone(),
+        class: function.class,
+        invocations: function.invocations(),
+        variants,
+    }
+}
+
+/// Replay every function of `trace` through the extended pool under every
+/// (mode × keep-alive) variant of `options`, fanning the per-function work
+/// out over `options.jobs` threads. Deterministic: the report is identical
+/// whatever the worker count.
+pub fn replay_trace(
+    platform: &Platform,
+    trace: &TraceSet,
+    options: &ReplayOptions,
+) -> ReplayReport {
+    let n = trace.functions.len();
+    let threads = options.jobs.max(1).min(n.max(1));
+    let functions: Vec<FunctionReplay> = if threads <= 1 {
+        trace
+            .functions
+            .iter()
+            .map(|f| replay_function(platform, trace, f, options))
+            .collect()
+    } else {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut slots: Vec<Option<FunctionReplay>> = Vec::new();
+        slots.resize_with(n, || None);
+        let slots = std::sync::Mutex::new(slots);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(function) = trace.functions.get(i) else {
+                        break;
+                    };
+                    let result = replay_function(platform, trace, function, options);
+                    slots.lock().expect("replay slots poisoned")[i] = Some(result);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .expect("replay slots poisoned")
+            .into_iter()
+            .map(|r| r.expect("every function produced a result"))
+            .collect()
+    };
+
+    // Aggregate in function order (never reduction order), so the numbers
+    // are bit-identical across worker counts.
+    let n_variants = options.modes.len() * options.keep_alive_secs.len();
+    let snap_pricing = SnapStartPricing::default();
+    let provider_models = providers();
+    let mut variants = Vec::with_capacity(n_variants);
+    for (v, (&mode, &keep_alive_secs)) in options
+        .modes
+        .iter()
+        .flat_map(|m| options.keep_alive_secs.iter().map(move |k| (m, k)))
+        .enumerate()
+    {
+        let mut report = VariantReport {
+            mode,
+            keep_alive_secs,
+            invocations: 0,
+            cold_starts: 0,
+            warm_starts: 0,
+            queued_requests: 0,
+            invocation_cost: 0.0,
+            provisioned_cost: 0.0,
+            snapstart_cost: 0.0,
+            snapstart_share: 0.0,
+            e2e_p50_secs: 0.0,
+            e2e_p95_secs: 0.0,
+            e2e_p99_secs: 0.0,
+            cold_ratio_cdf: Vec::new(),
+            provider_costs: provider_models.iter().map(|p| (p.name, 0.0)).collect(),
+        };
+        let mut e2e_all = Vec::new();
+        let mut cold_ratios = Vec::new();
+        for (function, replay) in trace.functions.iter().zip(&functions) {
+            let fv = &replay.variants[v];
+            report.invocations += fv.stats.invocations();
+            report.cold_starts += fv.stats.cold_starts;
+            report.warm_starts += fv.stats.warm_starts;
+            report.queued_requests += fv.stats.queued_requests;
+            report.invocation_cost += fv.stats.invocation_cost;
+            report.provisioned_cost += fv.stats.provisioned_cost;
+            e2e_all.extend_from_slice(&fv.e2e_secs);
+            if fv.stats.invocations() > 0 {
+                cold_ratios.push(fv.stats.cold_starts as f64 / fv.stats.invocations() as f64);
+            }
+            let app = app_for(function, options);
+            let checkpoint = &platform.config.checkpoint;
+            let (snapshot_mb, cold_billable_ms) = match mode {
+                StartMode::Standard => (0.0, app.cold_billable_ms()),
+                StartMode::Restore => (
+                    checkpoint.snapshot_mb(app.mem_mb),
+                    (checkpoint.cr_init_secs(app.mem_mb) + app.exec_secs) * 1000.0,
+                ),
+            };
+            if mode == StartMode::Restore {
+                report.snapstart_cost +=
+                    snap_pricing.window_cost(snapshot_mb, trace.window_secs, fv.stats.cold_starts);
+            }
+            // Pool dynamics (who is cold, who queues) are pricing-agnostic,
+            // so each provider's bill follows analytically from the
+            // cold/warm split under its own rounding and memory rules.
+            for (provider, total) in provider_models.iter().zip(report.provider_costs.iter_mut()) {
+                total.1 += provider.pricing.cost_for_invocations(
+                    app.mem_mb,
+                    cold_billable_ms,
+                    fv.stats.cold_starts,
+                ) + provider.pricing.cost_for_invocations(
+                    app.mem_mb,
+                    app.warm_billable_ms(),
+                    fv.stats.warm_starts,
+                );
+            }
+        }
+        report.e2e_p50_secs = percentile(&e2e_all, 50.0);
+        report.e2e_p95_secs = percentile(&e2e_all, 95.0);
+        report.e2e_p99_secs = percentile(&e2e_all, 99.0);
+        report.cold_ratio_cdf = cdf(&cold_ratios);
+        let total = report.total_cost();
+        report.snapstart_share = if total > 0.0 {
+            report.snapstart_cost / total
+        } else {
+            0.0
+        };
+        variants.push(report);
+    }
+    ReplayReport {
+        window_secs: trace.window_secs,
+        functions,
+        variants,
+    }
+}
+
+fn mode_name(mode: StartMode) -> &'static str {
+    match mode {
+        StartMode::Standard => "standard",
+        StartMode::Restore => "restore",
+    }
+}
+
+/// Render the deterministic metrics block of a replay as a JSON string —
+/// shared by `experiments -- replay` (which embeds it in
+/// `BENCH_replay.json`) and the tier-1 golden-fixture test (which asserts
+/// byte-identity across runs and worker counts). Only replay-derived
+/// numbers appear here; harness-variable fields (throughput, host) live
+/// outside this block.
+pub fn render_metrics_json(report: &ReplayReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"window_secs\": {},\n  \"functions\": {},\n  \"invocations\": {},\n",
+        report.window_secs,
+        report.functions.len(),
+        report
+            .functions
+            .iter()
+            .map(|f| f.invocations)
+            .sum::<usize>()
+    ));
+    out.push_str("  \"variants\": [\n");
+    for (i, v) in report.variants.iter().enumerate() {
+        let deciles: Vec<String> = (1..=10)
+            .map(|d| {
+                let ratios: Vec<f64> = v.cold_ratio_cdf.iter().map(|&(r, _)| r).collect();
+                format!("{}", percentile(&ratios, d as f64 * 10.0))
+            })
+            .collect();
+        let provider_costs: Vec<String> = v
+            .provider_costs
+            .iter()
+            .map(|(name, cost)| format!("\"{name}\": {cost}"))
+            .collect();
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"keep_alive_secs\": {}, \"invocations\": {}, \
+             \"cold_starts\": {}, \"warm_starts\": {}, \"queued_requests\": {}, \
+             \"cold_ratio\": {}, \"invocation_cost_usd\": {}, \"provisioned_cost_usd\": {}, \
+             \"snapstart_cost_usd\": {}, \"snapstart_share\": {}, \"total_cost_usd\": {}, \
+             \"e2e_p50_s\": {}, \"e2e_p95_s\": {}, \"e2e_p99_s\": {}, \
+             \"cold_ratio_deciles\": [{}], \"provider_cost_usd\": {{{}}}}}{}\n",
+            mode_name(v.mode),
+            v.keep_alive_secs,
+            v.invocations,
+            v.cold_starts,
+            v.warm_starts,
+            v.queued_requests,
+            v.cold_ratio(),
+            v.invocation_cost,
+            v.provisioned_cost,
+            v.snapstart_cost,
+            v.snapstart_share,
+            v.total_cost(),
+            v.e2e_p50_secs,
+            v.e2e_p95_secs,
+            v.e2e_p99_secs,
+            deciles.join(", "),
+            provider_costs.join(", "),
+            if i + 1 < report.variants.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("  ]\n}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::synthetic::{generate_trace, TraceConfig};
+    use super::*;
+
+    fn small_trace() -> TraceSet {
+        generate_trace(&TraceConfig {
+            functions: 24,
+            window_secs: 4.0 * 3600.0,
+            seed: 99,
+            diurnal: None,
+        })
+    }
+
+    #[test]
+    fn replay_covers_every_function_and_variant() {
+        let trace = small_trace();
+        let report = replay_trace(&Platform::default(), &trace, &ReplayOptions::default());
+        assert_eq!(report.functions.len(), 24);
+        assert_eq!(report.variants.len(), 4); // 2 modes × 2 keep-alives
+        for f in &report.functions {
+            assert_eq!(f.variants.len(), 4);
+            for v in &f.variants {
+                assert_eq!(v.stats.invocations() as usize, f.invocations);
+                assert_eq!(v.e2e_secs.len(), f.invocations);
+            }
+        }
+        let total: u64 = report.variants[0].invocations;
+        assert_eq!(total as usize, trace.invocations());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_report() {
+        let trace = small_trace();
+        let platform = Platform::default();
+        let base = ReplayOptions::default();
+        let seq = replay_trace(
+            &platform,
+            &trace,
+            &ReplayOptions {
+                jobs: 1,
+                ..base.clone()
+            },
+        );
+        let par = replay_trace(
+            &platform,
+            &trace,
+            &ReplayOptions {
+                jobs: 8,
+                ..base.clone()
+            },
+        );
+        assert_eq!(seq, par, "replay must be deterministic across --jobs");
+        assert_eq!(
+            render_metrics_json(&seq),
+            render_metrics_json(&par),
+            "rendered metrics must be byte-identical across --jobs"
+        );
+    }
+
+    #[test]
+    fn longer_keep_alive_reduces_cold_ratio() {
+        let trace = small_trace();
+        let report = replay_trace(
+            &Platform::default(),
+            &trace,
+            &ReplayOptions {
+                modes: vec![StartMode::Standard],
+                keep_alive_secs: vec![60.0, 3600.0],
+                ..ReplayOptions::default()
+            },
+        );
+        let short = &report.variants[0];
+        let long = &report.variants[1];
+        assert!(short.cold_ratio() > long.cold_ratio());
+    }
+
+    #[test]
+    fn snapstart_costs_appear_only_in_restore_mode() {
+        let trace = small_trace();
+        let report = replay_trace(&Platform::default(), &trace, &ReplayOptions::default());
+        for v in &report.variants {
+            match v.mode {
+                StartMode::Standard => {
+                    assert_eq!(v.snapstart_cost, 0.0);
+                    assert_eq!(v.snapstart_share, 0.0);
+                }
+                StartMode::Restore => {
+                    assert!(v.snapstart_cost > 0.0);
+                    assert!(v.snapstart_share > 0.0 && v.snapstart_share < 1.0);
+                }
+            }
+            assert!(v.total_cost() > 0.0);
+            assert_eq!(v.provider_costs.len(), 3);
+            for &(_, cost) in &v.provider_costs {
+                assert!(cost > 0.0);
+            }
+            // Coarser rounding never bills less than AWS's 1 ms rounding.
+            let aws = v.provider_costs[0].1;
+            assert!(v.provider_costs.iter().all(|&(_, c)| c >= aws * 0.999));
+        }
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_cdf_well_formed() {
+        let trace = small_trace();
+        let report = replay_trace(&Platform::default(), &trace, &ReplayOptions::default());
+        for v in &report.variants {
+            assert!(v.e2e_p50_secs <= v.e2e_p95_secs);
+            assert!(v.e2e_p95_secs <= v.e2e_p99_secs);
+            assert!(!v.cold_ratio_cdf.is_empty());
+            assert_eq!(v.cold_ratio_cdf.last().unwrap().1, 1.0);
+            for w in v.cold_ratio_cdf.windows(2) {
+                assert!(w[0].0 <= w[1].0 && w[0].1 <= w[1].1);
+            }
+        }
+    }
+
+    #[test]
+    fn rendered_metrics_are_valid_shape() {
+        let trace = small_trace();
+        let report = replay_trace(&Platform::default(), &trace, &ReplayOptions::default());
+        let json = render_metrics_json(&report);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(json.matches("\"mode\"").count(), 4);
+        assert!(json.contains("\"AWS Lambda\""));
+        assert!(json.contains("\"cold_ratio_deciles\""));
+        // Balanced braces/brackets — cheap structural sanity check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_trace_replays_to_zeroes() {
+        let trace = TraceSet {
+            window_secs: 60.0,
+            functions: vec![],
+            source: super::super::TraceSource::Synthetic { seed: 0 },
+        };
+        let report = replay_trace(&Platform::default(), &trace, &ReplayOptions::default());
+        assert!(report.functions.is_empty());
+        for v in &report.variants {
+            assert_eq!(v.invocations, 0);
+            assert_eq!(v.total_cost(), 0.0);
+            assert_eq!(v.cold_ratio(), 0.0);
+        }
+    }
+}

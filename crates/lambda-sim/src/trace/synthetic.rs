@@ -1,0 +1,385 @@
+//! Synthetic Azure-Functions-style trace generation (§8.6, Figures 13–14).
+//!
+//! The trace Microsoft published is per-minute counts; the raw arrival
+//! process is proprietary. This generator synthesizes arrival processes
+//! with the published *shape*:
+//!
+//! * invocation rates are extremely heavy-tailed — most functions fire a few
+//!   times a day, a small minority fire many times a minute;
+//! * many functions are timer-driven (near-periodic), the rest bursty or
+//!   Poisson-like;
+//! * per-function memory and duration distributions are broad and skewed;
+//! * demand-driven traffic follows a diurnal + day-of-week cycle
+//!   (see [`DiurnalProfile`]); timers do not.
+//!
+//! Generation is fully seeded and deterministic, and every arrival lies in
+//! `[0, window_secs)`.
+
+use super::reconstruct::fnv1a64;
+use super::{
+    validate_window, ArrivalClass, DiurnalProfile, FunctionTrace, TraceError, TraceSet, TraceSource,
+};
+use trim_rng::Rng;
+
+/// Configuration for the trace generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceConfig {
+    /// Number of functions to synthesize.
+    pub functions: usize,
+    /// Window length in seconds (the paper simulates 24 h).
+    pub window_secs: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Diurnal/day-of-week modulation of demand-driven classes
+    /// (`None` = flat rates, the pre-modulation behavior).
+    pub diurnal: Option<DiurnalProfile>,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            functions: 400,
+            window_secs: 24.0 * 3600.0,
+            seed: 0xA57AC3,
+            diurnal: None,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Validate the configuration: the window must be finite and strictly
+    /// positive, and any diurnal profile must be in range.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::InvalidWindow`] or [`TraceError::InvalidDiurnal`].
+    pub fn validate(&self) -> Result<(), TraceError> {
+        validate_window(self.window_secs)?;
+        if let Some(diurnal) = &self.diurnal {
+            diurnal.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// Generate a synthetic Azure-style trace.
+///
+/// # Panics
+///
+/// Panics on an invalid configuration (degenerate window or out-of-range
+/// diurnal profile) — call [`TraceConfig::validate`] first to surface the
+/// error gracefully.
+pub fn generate_trace(config: &TraceConfig) -> TraceSet {
+    config
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid TraceConfig: {e}"));
+    let mut rng = Rng::seed_from_u64(config.seed);
+    let mut functions = Vec::with_capacity(config.functions);
+    for id in 0..config.functions {
+        let class_roll: f64 = rng.f64();
+        // Rough class mix per Shahrad et al.: ~29% timers, plus a long tail
+        // of rare functions and a small hot set.
+        let class = if class_roll < 0.30 {
+            ArrivalClass::Periodic
+        } else if class_roll < 0.55 {
+            ArrivalClass::Rare
+        } else if class_roll < 0.85 {
+            ArrivalClass::Poisson
+        } else {
+            ArrivalClass::Bursty
+        };
+        // Heavy-tailed resource profile: log-uniform memory and duration.
+        let mem_mb = log_uniform(&mut rng, 64.0, 2048.0);
+        let duration_ms = log_uniform(&mut rng, 5.0, 20_000.0);
+        let mut arrivals = match class {
+            ArrivalClass::Periodic => periodic_arrivals(&mut rng, config.window_secs),
+            ArrivalClass::Poisson => poisson_arrivals(&mut rng, config.window_secs),
+            ArrivalClass::Bursty => bursty_arrivals(&mut rng, config.window_secs),
+            ArrivalClass::Rare => rare_arrivals(&mut rng, config.window_secs),
+        };
+        let name = format!("fn{id}");
+        // Timers fire on schedule whatever the hour; human-driven traffic
+        // is thinned by the time-of-day acceptance probability. Thinning
+        // draws from a dedicated per-function stream so the underlying
+        // arrival skeleton (and every other function) is identical with
+        // and without modulation.
+        if let (Some(diurnal), false) = (&config.diurnal, class == ArrivalClass::Periodic) {
+            let mut thin_rng = Rng::seed_from_u64(config.seed ^ fnv1a64(name.as_bytes()));
+            arrivals.retain(|&t| thin_rng.f64() < diurnal.rate_multiplier(t));
+        }
+        functions.push(FunctionTrace {
+            id: id as u32,
+            name,
+            class,
+            mem_mb,
+            // The dataset's percentile columns, approximated with fixed
+            // skew factors for synthetic functions.
+            p99_mem_mb: mem_mb * 1.3,
+            duration_ms,
+            p50_duration_ms: duration_ms * 0.75,
+            p99_duration_ms: duration_ms * 2.5,
+            arrivals,
+        });
+    }
+    TraceSet {
+        window_secs: config.window_secs,
+        functions,
+        source: TraceSource::Synthetic { seed: config.seed },
+    }
+}
+
+fn log_uniform(rng: &mut Rng, lo: f64, hi: f64) -> f64 {
+    let u: f64 = rng.f64();
+    (lo.ln() + u * (hi.ln() - lo.ln())).exp()
+}
+
+fn periodic_arrivals(rng: &mut Rng, window: f64) -> Vec<f64> {
+    // Periods from 1 minute to 4 hours, log-uniform.
+    let period = log_uniform(rng, 60.0, 4.0 * 3600.0);
+    let phase: f64 = rng.f64() * period;
+    let mut out = Vec::new();
+    let mut t = phase;
+    while t < window {
+        // Small jitter (±2% of period). Jitter may push a tick below zero
+        // (clamped) or past the window end (dropped): arrivals must lie in
+        // [0, window).
+        let jitter = (rng.f64() - 0.5) * 0.04 * period;
+        let ts = (t + jitter).max(0.0);
+        if ts < window {
+            out.push(ts);
+        }
+        t += period;
+    }
+    out.sort_by(f64::total_cmp);
+    out
+}
+
+fn poisson_arrivals(rng: &mut Rng, window: f64) -> Vec<f64> {
+    // Rates log-uniform from one per 2 h to one per 5 s.
+    let rate = log_uniform(rng, 1.0 / 7200.0, 0.2);
+    let mut out = Vec::new();
+    let mut t = 0.0;
+    loop {
+        let u: f64 = rng.f64().max(1e-12);
+        t += -u.ln() / rate;
+        if t >= window || out.len() > 2_000_000 {
+            break;
+        }
+        out.push(t);
+    }
+    out
+}
+
+fn bursty_arrivals(rng: &mut Rng, window: f64) -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut t = 0.0;
+    while t < window {
+        // Quiet gap: 10 min – 6 h.
+        t += log_uniform(rng, 600.0, 6.0 * 3600.0);
+        if t >= window {
+            break;
+        }
+        // Burst of 3–60 requests spaced 0.05–2 s apart.
+        let burst_len = rng.usize_inclusive(3, 60);
+        let mut bt = t;
+        for _ in 0..burst_len {
+            bt += log_uniform(rng, 0.05, 2.0);
+            if bt >= window {
+                break;
+            }
+            out.push(bt);
+        }
+        t = bt;
+    }
+    out
+}
+
+fn rare_arrivals(rng: &mut Rng, window: f64) -> Vec<f64> {
+    let n = rng.usize_inclusive(1, 8);
+    let mut out: Vec<f64> = (0..n).map(|_| rng.f64() * window).collect();
+    out.sort_by(f64::total_cmp);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(seed: u64) -> TraceConfig {
+        TraceConfig {
+            functions: 60,
+            window_secs: 24.0 * 3600.0,
+            seed,
+            diurnal: None,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_trace(&small_config(7));
+        let b = generate_trace(&small_config(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_trace(&small_config(1));
+        let b = generate_trace(&small_config(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_strictly_inside_window() {
+        // Many seeds so the periodic boundary case (jitter past the window
+        // end) is actually exercised.
+        for seed in 0..20 {
+            let trace = generate_trace(&small_config(seed));
+            for f in &trace.functions {
+                for w in f.arrivals.windows(2) {
+                    assert!(w[0] <= w[1], "arrivals must be sorted");
+                }
+                for &t in &f.arrivals {
+                    assert!(
+                        (0.0..24.0 * 3600.0).contains(&t),
+                        "seed {seed} fn{}: {t} outside [0, window)",
+                        f.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn config_validation_rejects_degenerate_windows() {
+        for bad in [0.0, -60.0, f64::NAN, f64::INFINITY] {
+            let config = TraceConfig {
+                window_secs: bad,
+                ..small_config(1)
+            };
+            assert!(config.validate().is_err(), "window {bad} must be rejected");
+        }
+        assert!(small_config(1).validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid TraceConfig")]
+    fn generate_panics_on_degenerate_window() {
+        generate_trace(&TraceConfig {
+            window_secs: 0.0,
+            ..small_config(1)
+        });
+    }
+
+    #[test]
+    fn rate_distribution_is_heavy_tailed() {
+        let trace = generate_trace(&TraceConfig {
+            functions: 400,
+            ..small_config(11)
+        });
+        let mut counts: Vec<usize> = trace.functions.iter().map(|f| f.invocations()).collect();
+        counts.sort_unstable();
+        let median = counts[counts.len() / 2];
+        let max = *counts.last().unwrap();
+        assert!(
+            max > median.max(1) * 20,
+            "hot functions should dwarf the median (median={median}, max={max})"
+        );
+    }
+
+    #[test]
+    fn all_classes_appear() {
+        let trace = generate_trace(&TraceConfig {
+            functions: 300,
+            ..small_config(5)
+        });
+        for class in [
+            ArrivalClass::Periodic,
+            ArrivalClass::Poisson,
+            ArrivalClass::Bursty,
+            ArrivalClass::Rare,
+        ] {
+            assert!(
+                trace.functions.iter().any(|f| f.class == class),
+                "missing class {class:?}"
+            );
+        }
+    }
+
+    /// Bucket total demand-driven arrivals by hour-of-day over a week.
+    fn hourly_mass(trace: &TraceSet, classes: &[ArrivalClass]) -> Vec<usize> {
+        let mut buckets = vec![0usize; 24];
+        for f in &trace.functions {
+            if !classes.contains(&f.class) {
+                continue;
+            }
+            for &t in &f.arrivals {
+                buckets[((t / 3600.0) % 24.0) as usize] += 1;
+            }
+        }
+        buckets
+    }
+
+    #[test]
+    fn diurnal_modulation_shifts_mass_to_peak_hours() {
+        let week = TraceConfig {
+            functions: 300,
+            window_secs: 7.0 * 24.0 * 3600.0,
+            seed: 23,
+            diurnal: Some(DiurnalProfile {
+                amplitude: 0.9,
+                ..DiurnalProfile::default()
+            }),
+        };
+        let trace = generate_trace(&week);
+        let demand = [
+            ArrivalClass::Poisson,
+            ArrivalClass::Bursty,
+            ArrivalClass::Rare,
+        ];
+        let buckets = hourly_mass(&trace, &demand);
+        let peak = buckets[14]; // default peak_hour
+        let trough = buckets[2]; // peak + 12, on the trough
+        assert!(
+            peak > trough * 2,
+            "peak-hour mass {peak} should dwarf trough-hour mass {trough}"
+        );
+        // Timers are untouched by modulation: identical to the flat run.
+        let flat = generate_trace(&TraceConfig {
+            diurnal: None,
+            ..week.clone()
+        });
+        for (a, b) in trace.functions.iter().zip(&flat.functions) {
+            if a.class == ArrivalClass::Periodic {
+                assert_eq!(a.arrivals, b.arrivals, "timers must not be thinned");
+            }
+        }
+    }
+
+    #[test]
+    fn weekend_days_carry_less_demand_traffic() {
+        let trace = generate_trace(&TraceConfig {
+            functions: 300,
+            window_secs: 7.0 * 24.0 * 3600.0,
+            seed: 29,
+            diurnal: Some(DiurnalProfile {
+                weekend_factor: 0.4,
+                ..DiurnalProfile::default()
+            }),
+        });
+        let mut per_day = [0usize; 7];
+        for f in &trace.functions {
+            if f.class == ArrivalClass::Periodic {
+                continue;
+            }
+            for &t in &f.arrivals {
+                per_day[(t / 86_400.0) as usize] += 1;
+            }
+        }
+        let weekday_mean = per_day[..5].iter().sum::<usize>() as f64 / 5.0;
+        let weekend_mean = per_day[5..].iter().sum::<usize>() as f64 / 2.0;
+        assert!(
+            weekend_mean < weekday_mean * 0.8,
+            "weekend {weekend_mean} vs weekday {weekday_mean}"
+        );
+    }
+}

@@ -48,12 +48,13 @@ fn main() {
         functions: 1,
         window_secs: 24.0 * 3600.0,
         seed: 42,
+        diurnal: None,
     });
-    let arrivals = &trace[0].arrivals;
+    let arrivals = &trace.functions[0].arrivals;
     println!(
         "\nKeep-alive sensitivity ({} arrivals over 24 h, class {:?}):",
         arrivals.len(),
-        trace[0].class
+        trace.functions[0].class
     );
     println!("  keep-alive   cold starts   cold %   total cost $");
     for (label, ka) in [("1 min", 60.0), ("15 min", 900.0), ("60 min", 3600.0)] {

@@ -2,10 +2,11 @@
 //! pylite serverless applications stored on disk.
 //!
 //! ```text
-//! lambda-trim trim    --app app.py --packages pkgs/ --oracle oracle.txt --out trimmed/
-//! lambda-trim profile --app app.py --packages pkgs/ [--k 20] [--scoring combined]
-//! lambda-trim analyze --app app.py --packages pkgs/
-//! lambda-trim run     --app app.py --packages pkgs/ --event '{"n": 3}'
+//! lambda-trim trim     --app app.py --packages pkgs/ --oracle oracle.txt --out trimmed/
+//! lambda-trim profile  --app app.py --packages pkgs/ [--k 20] [--scoring combined]
+//! lambda-trim analyze  --app app.py --packages pkgs/
+//! lambda-trim run      --app app.py --packages pkgs/ --event '{"n": 3}'
+//! lambda-trim simulate --trace trace.csv [--jobs 8] [--out metrics.json]
 //! ```
 
 use lambda_trim::cli::{load_registry, parse_oracle_file, parse_scoring, write_registry, Args};
@@ -24,6 +25,7 @@ COMMANDS:
     profile   Rank imported modules by marginal monetary cost
     analyze   Show imported modules and statically-accessed attributes
     run       Execute the application's handler once
+    simulate  Replay an invocation trace through the pool simulator
 
 COMMON OPTIONS:
     --app <FILE>        application source (init code + handler)
@@ -51,6 +53,19 @@ analyze:
 run:
     --event <LITERAL>   event payload                     [default: {}]
     --context <LITERAL> context payload                   [default: None]
+
+simulate:
+    --trace <FILE>      Azure-schema trace CSV (omit to synthesize)
+    --functions <N>     synthetic trace size              [default: 400]
+    --window-secs <S>   synthetic window length           [default: 86400]
+    --seed <N>          trace/reconstruction seed         [default: 10824387]
+    --flat              disable diurnal modulation (synthetic only)
+    --keep-alive <LIST> comma-separated seconds           [default: 60,900]
+    --modes <LIST>      comma-separated standard|restore  [default: both]
+    --max-concurrency <N> per-function concurrency cap    [default: none]
+    --provisioned <N>   provisioned instances per function[default: 0]
+    --jobs <N>          parallel replay workers           [default: 1]
+    --out <FILE>        also write the metrics JSON here
 ";
 
 fn main() -> ExitCode {
@@ -61,6 +76,7 @@ fn main() -> ExitCode {
         Some("profile") => cmd_profile(&args),
         Some("analyze") => cmd_analyze(&args),
         Some("run") => cmd_run(&args),
+        Some("simulate") => cmd_simulate(&args),
         Some("help") | None => {
             print!("{USAGE}");
             Ok(())
@@ -273,6 +289,123 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         "init {:.3} s | exec {:.3} s | memory {:.1} MB | extcalls {:?}",
         exec.init_secs, exec.exec_secs, exec.mem_mb, exec.extcalls
     );
+    Ok(())
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    use lambda_sim::trace::replay::render_metrics_json;
+    use lambda_sim::{
+        DiurnalProfile, Platform, ReplayOptions, StartMode, TraceConfig, TraceSource,
+    };
+
+    let parse_num = |flag: &str, default: f64| -> Result<f64, String> {
+        match args.get(flag) {
+            Some(v) => v.parse().map_err(|_| format!("bad --{flag} value `{v}`")),
+            None => Ok(default),
+        }
+    };
+    let seed: u64 = match args.get("seed") {
+        Some(v) => v.parse().map_err(|_| format!("bad --seed value `{v}`"))?,
+        None => 0xA57AC3,
+    };
+
+    let trace = match args.get("trace") {
+        Some(path) => lambda_sim::load_trace_csv(path, seed).map_err(|e| e.to_string())?,
+        None => {
+            let config = TraceConfig {
+                functions: parse_num("functions", 400.0)? as usize,
+                window_secs: parse_num("window-secs", 24.0 * 3600.0)?,
+                seed,
+                diurnal: if args.has_flag("flat") {
+                    None
+                } else {
+                    Some(DiurnalProfile::default())
+                },
+            };
+            config.validate().map_err(|e| e.to_string())?;
+            lambda_sim::generate_trace(&config)
+        }
+    };
+
+    let mut options = ReplayOptions {
+        jobs: analysis_jobs(args)?,
+        ..ReplayOptions::default()
+    };
+    if let Some(list) = args.get("keep-alive") {
+        options.keep_alive_secs = list
+            .split(',')
+            .map(|v| {
+                v.trim()
+                    .parse()
+                    .map_err(|_| format!("bad --keep-alive entry `{v}`"))
+            })
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(list) = args.get("modes") {
+        options.modes = list
+            .split(',')
+            .map(|m| match m.trim() {
+                "standard" => Ok(StartMode::Standard),
+                "restore" => Ok(StartMode::Restore),
+                other => Err(format!(
+                    "unknown mode `{other}` (expected standard|restore)"
+                )),
+            })
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(cap) = args.get("max-concurrency") {
+        options.max_concurrency = Some(
+            cap.parse()
+                .map_err(|_| format!("bad --max-concurrency value `{cap}`"))?,
+        );
+    }
+    if let Some(p) = args.get("provisioned") {
+        options.provisioned = p
+            .parse()
+            .map_err(|_| format!("bad --provisioned value `{p}`"))?;
+    }
+
+    let source = match trace.source {
+        TraceSource::Loaded { .. } => "loaded",
+        TraceSource::Synthetic { .. } => "synthetic",
+    };
+    eprintln!(
+        "replaying {source} trace: {} functions, {} invocations over {:.0} s ({} job{})",
+        trace.functions.len(),
+        trace.invocations(),
+        trace.window_secs,
+        options.jobs,
+        if options.jobs == 1 { "" } else { "s" }
+    );
+    let report = lambda_sim::replay_trace(&Platform::default(), &trace, &options);
+    println!(
+        "{:<10} {:>12} {:>12} {:>10} {:>8} {:>10} {:>10} {:>12}",
+        "mode", "keep-alive s", "cold ratio", "queued", "p50 s", "p95 s", "p99 s", "total $"
+    );
+    for v in &report.variants {
+        println!(
+            "{:<10} {:>12.0} {:>12.4} {:>10} {:>8.3} {:>10.3} {:>10.3} {:>12.6}",
+            match v.mode {
+                StartMode::Standard => "standard",
+                StartMode::Restore => "restore",
+            },
+            v.keep_alive_secs,
+            v.cold_ratio(),
+            v.queued_requests,
+            v.e2e_p50_secs,
+            v.e2e_p95_secs,
+            v.e2e_p99_secs,
+            v.total_cost()
+        );
+        for (provider, cost) in &v.provider_costs {
+            println!("{:<10} {:>26}: ${cost:.6}", "", provider);
+        }
+    }
+    if let Some(out) = args.get("out") {
+        std::fs::write(out, render_metrics_json(&report) + "\n")
+            .map_err(|e| format!("writing {out}: {e}"))?;
+        eprintln!("metrics written to {out}");
+    }
     Ok(())
 }
 

@@ -223,6 +223,123 @@ fn configured_memory_covers_footprint() {
 }
 
 // ---------------------------------------------------------------------------
+// Pool simulator
+// ---------------------------------------------------------------------------
+
+/// Random sorted arrival vector with bursts: mixes exponential-ish gaps
+/// with runs of identical timestamps so concurrency pressure actually
+/// occurs.
+fn random_arrivals(rng: &mut Rng) -> Vec<f64> {
+    let n = rng.usize_inclusive(0, 120);
+    let mut arrivals = Vec::with_capacity(n);
+    let mut t = 0.0;
+    while arrivals.len() < n {
+        t += rng.f64() * 40.0;
+        // With probability ~1/3, a simultaneous burst.
+        let burst = if rng.usize_inclusive(0, 2) == 0 {
+            rng.usize_inclusive(2, 12)
+        } else {
+            1
+        };
+        for _ in 0..burst.min(n - arrivals.len()) {
+            arrivals.push(t);
+        }
+    }
+    arrivals
+}
+
+/// `simulate_pool_ext` never runs more than `max_concurrency` requests at
+/// any instant, over randomized arrival sets, caps, and app profiles
+/// (the concurrency-accounting bugfix's acceptance property).
+#[test]
+fn ext_pool_never_exceeds_concurrency_cap() {
+    let platform = lambda_sim::Platform::default();
+    let mut rng = Rng::seed_from_u64(0x0B00_7CA9);
+    for case in 0..CASES {
+        let arrivals = random_arrivals(&mut rng);
+        let cap = rng.usize_inclusive(1, 6);
+        let app = lambda_sim::AppProfile::new(
+            "prop",
+            rng.f64() * 500.0,
+            rng.f64() * 3.0,
+            0.01 + rng.f64() * 30.0,
+            64.0 + rng.f64() * 1024.0,
+        );
+        let options = lambda_sim::PoolOptions {
+            keep_alive_secs: rng.f64() * 900.0,
+            max_concurrency: Some(cap),
+            provisioned: rng.usize_inclusive(0, 2).min(cap),
+            ..lambda_sim::PoolOptions::default()
+        };
+        let mut deltas: Vec<(f64, i64)> = Vec::new();
+        let stats =
+            lambda_sim::simulate_pool_ext_traced(&platform, &app, &arrivals, &options, |e| {
+                assert!(e.start >= e.arrival, "dispatch cannot precede arrival");
+                assert!(e.finish > e.start, "execution takes time");
+                deltas.push((e.start, 1));
+                deltas.push((e.finish, -1));
+            });
+        assert_eq!(stats.invocations() as usize, arrivals.len());
+        // Sweep: at equal timestamps, releases (-1) before claims (+1).
+        deltas.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let (mut cur, mut peak) = (0i64, 0i64);
+        for (_, d) in &deltas {
+            cur += d;
+            peak = peak.max(cur);
+        }
+        assert!(
+            peak as usize <= cap,
+            "case {case}: instantaneous concurrency {peak} exceeds cap {cap} \
+             ({} arrivals, keep-alive {:.1})",
+            arrivals.len(),
+            options.keep_alive_secs
+        );
+    }
+}
+
+/// With provisioned/cap features off, the extended pool is exactly the
+/// basic keep-alive pool — over random (not just evenly spaced) arrivals.
+#[test]
+fn ext_pool_matches_basic_pool_on_random_arrivals() {
+    let platform = lambda_sim::Platform::default();
+    let mut rng = Rng::seed_from_u64(0xd1ff);
+    for _ in 0..CASES {
+        let arrivals = random_arrivals(&mut rng);
+        let keep_alive = rng.f64() * 1200.0;
+        let mode = if rng.bool() {
+            lambda_sim::StartMode::Standard
+        } else {
+            lambda_sim::StartMode::Restore
+        };
+        let app = lambda_sim::AppProfile::new(
+            "prop",
+            rng.f64() * 500.0,
+            rng.f64() * 3.0,
+            0.01 + rng.f64() * 30.0,
+            64.0 + rng.f64() * 1024.0,
+        );
+        let basic = lambda_sim::simulate_pool(&platform, &app, &arrivals, keep_alive, mode);
+        let ext = lambda_sim::simulate_pool_ext(
+            &platform,
+            &app,
+            &arrivals,
+            &lambda_sim::PoolOptions {
+                keep_alive_secs: keep_alive,
+                mode,
+                provisioned: 0,
+                max_concurrency: None,
+                ..lambda_sim::PoolOptions::default()
+            },
+        );
+        assert_eq!(basic.cold_starts, ext.cold_starts);
+        assert_eq!(basic.warm_starts, ext.warm_starts);
+        assert_eq!(ext.queued_requests, 0);
+        assert!((basic.total_cost - ext.invocation_cost).abs() < 1e-12);
+        assert!((basic.total_e2e_secs - ext.total_e2e_secs).abs() < 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Interpreter metering
 // ---------------------------------------------------------------------------
 

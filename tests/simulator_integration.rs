@@ -39,8 +39,10 @@ fn keep_alive_monotonically_reduces_cold_starts() {
         functions: 5,
         window_secs: 24.0 * 3600.0,
         seed: 99,
+        diurnal: None,
     });
     let arrivals = trace
+        .functions
         .iter()
         .max_by_key(|f| f.arrivals.len())
         .unwrap()
@@ -104,8 +106,8 @@ fn snapstart_cache_dominates_for_rarely_invoked_functions() {
 #[test]
 fn l2_matching_is_scale_aware() {
     let trace = generate_trace(&TraceConfig::default());
-    let small = nearest_function(&trace, 64.0, 20.0).unwrap();
-    let large = nearest_function(&trace, 1800.0, 15_000.0).unwrap();
+    let small = nearest_function(&trace.functions, 64.0, 20.0).unwrap();
+    let large = nearest_function(&trace.functions, 1800.0, 15_000.0).unwrap();
     assert!(small.mem_mb < large.mem_mb);
 }
 

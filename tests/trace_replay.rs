@@ -1,0 +1,100 @@
+//! Golden-fixture trace-replay test (tier-1): parses the checked-in
+//! Azure-schema CSV sample, replays it through the extended pool across
+//! all StartMode x keep-alive variants, and pins down determinism — the
+//! rendered metrics must be byte-identical across repeated runs and
+//! across worker counts.
+
+use lambda_sim::trace::replay::render_metrics_json;
+use lambda_sim::{
+    load_trace_csv, replay_trace, ArrivalClass, Platform, ReplayOptions, TraceSource,
+};
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/azure_trace_sample.csv"
+);
+const SEED: u64 = 0xA57AC3;
+
+#[test]
+fn golden_fixture_parses_with_expected_shape() {
+    let trace = load_trace_csv(FIXTURE, SEED).expect("fixture parses");
+    assert_eq!(trace.functions.len(), 24, "24 functions in the fixture");
+    assert_eq!(trace.window_secs, 120.0 * 60.0, "120 minute columns");
+    assert_eq!(trace.source, TraceSource::Loaded { seed: SEED });
+    assert!(trace.invocations() > 0);
+    // The trigger mix covers every arrival class.
+    for class in [
+        ArrivalClass::Periodic,
+        ArrivalClass::Poisson,
+        ArrivalClass::Bursty,
+        ArrivalClass::Rare,
+    ] {
+        assert!(
+            trace.functions.iter().any(|f| f.class == class),
+            "fixture should contain a {class:?} function"
+        );
+    }
+    // Arrival reconstruction respects the window and ordering.
+    for f in &trace.functions {
+        assert!(f.arrivals.windows(2).all(|w| w[0] <= w[1]), "{}", f.name);
+        assert!(
+            f.arrivals
+                .iter()
+                .all(|&t| (0.0..trace.window_secs).contains(&t)),
+            "{}: arrivals must lie in [0, window)",
+            f.name
+        );
+    }
+}
+
+#[test]
+fn golden_fixture_replay_is_deterministic_across_runs_and_jobs() {
+    let platform = Platform::default();
+    let trace = load_trace_csv(FIXTURE, SEED).expect("fixture parses");
+
+    let run = |jobs: usize| {
+        let report = replay_trace(
+            &platform,
+            &trace,
+            &ReplayOptions {
+                jobs,
+                ..ReplayOptions::default()
+            },
+        );
+        render_metrics_json(&report)
+    };
+
+    let sequential = run(1);
+    assert_eq!(sequential, run(1), "repeated runs must be byte-identical");
+    assert_eq!(
+        sequential,
+        run(8),
+        "worker count must not change the metrics"
+    );
+
+    // Reloading the CSV from scratch reproduces the same metrics too
+    // (loader + reconstruction are deterministic end to end).
+    let reloaded = load_trace_csv(FIXTURE, SEED).expect("fixture parses");
+    let report = replay_trace(&platform, &reloaded, &ReplayOptions::default());
+    assert_eq!(sequential, render_metrics_json(&report));
+}
+
+#[test]
+fn golden_fixture_replay_metrics_are_sane() {
+    let platform = Platform::default();
+    let trace = load_trace_csv(FIXTURE, SEED).expect("fixture parses");
+    let report = replay_trace(&platform, &trace, &ReplayOptions::default());
+
+    assert_eq!(report.window_secs, trace.window_secs);
+    assert_eq!(report.functions.len(), trace.functions.len());
+    assert_eq!(report.variants.len(), 4, "2 modes x 2 keep-alive settings");
+    for v in &report.variants {
+        assert_eq!(v.invocations, trace.invocations() as u64);
+        assert_eq!(v.cold_starts + v.warm_starts, v.invocations);
+        assert!(v.cold_starts > 0, "a fresh pool always cold-starts");
+        assert!(v.e2e_p50_secs <= v.e2e_p95_secs);
+        assert!(v.e2e_p95_secs <= v.e2e_p99_secs);
+        assert!(v.total_cost() > 0.0);
+        assert!(!v.provider_costs.is_empty());
+    }
+}
