@@ -11,7 +11,7 @@
 
 use super::EngineOutput;
 use crate::callgraph::{CallGraph, CgNode};
-use crate::lints::{Lint, LintKind, Severity};
+use crate::lints::{hazard_join, HazardAttrs, HazardSet, Lint, LintKind, Severity};
 use crate::Analysis;
 use pylite::Registry;
 use std::collections::{BTreeMap, BTreeSet};
@@ -128,12 +128,34 @@ pub(crate) fn finish<'a>(
         }
     }
 
-    let hazard_modules: BTreeSet<String> = lints
-        .iter()
-        .filter(|l| l.severity == Severity::Hazard)
-        .filter_map(|l| l.implicated_module().map(str::to_owned))
-        .filter(|m| registry.contains(m))
-        .collect();
+    // Per-module hazard bounds: join each hazard lint's implicated attrs
+    // under its module. Star imports are nominally ⊤ but are narrowed here
+    // to the module's *public* binding surface when it is known (active
+    // shard) — the narrowing lives in the merge, which reruns from scratch
+    // on every run, so cached shard summaries stay valid.
+    let mut hazard_attrs: HazardSet = HazardSet::new();
+    for l in lints.iter().filter(|l| l.severity == Severity::Hazard) {
+        let Some(m) = l.implicated_module() else {
+            continue;
+        };
+        if !registry.contains(m) {
+            continue;
+        }
+        let Some(attrs) = l.implicated_attrs() else {
+            continue;
+        };
+        let attrs = match (&l.kind, module_bindings.get(m)) {
+            (LintKind::StarImport { .. }, Some(keys)) => HazardAttrs::Attrs(
+                keys.iter()
+                    .filter(|k| !k.starts_with('_'))
+                    .cloned()
+                    .collect(),
+            ),
+            _ => attrs,
+        };
+        hazard_join(&mut hazard_attrs, m, &attrs);
+    }
+    let hazard_modules: BTreeSet<String> = hazard_attrs.keys().cloned().collect();
 
     let mut call_graph = CallGraph {
         edges,
@@ -156,6 +178,7 @@ pub(crate) fn finish<'a>(
         module_bindings,
         lints: lints.into_iter().collect(),
         hazard_modules,
+        hazard_attrs,
         call_graph,
         reached_functions: reached,
     }

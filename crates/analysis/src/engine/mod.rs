@@ -42,7 +42,7 @@ pub(crate) mod transfer;
 pub(crate) mod worklist;
 
 use crate::callgraph::CallGraph;
-use crate::lints::Lint;
+use crate::lints::{HazardSet, Lint};
 use crate::origin::OriginSet;
 use crate::summary::{app_fingerprint, CachedRun, SummaryCache, SummaryKey};
 use crate::{Analysis, AnalysisMode};
@@ -61,6 +61,7 @@ pub(crate) struct EngineOutput {
     pub module_bindings: BTreeMap<String, BTreeSet<String>>,
     pub lints: Vec<Lint>,
     pub hazard_modules: BTreeSet<String>,
+    pub hazard_attrs: HazardSet,
     pub call_graph: CallGraph,
     pub reached_functions: BTreeSet<String>,
 }

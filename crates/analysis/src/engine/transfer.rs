@@ -22,7 +22,7 @@ use crate::lints::{Lint, LintKind, Severity};
 use crate::origin::{join_into, FuncKey, Origin, OriginSet, SiteKey};
 use pylite::resolved::{RClassDef, RExpr, RFromName, RStmt};
 use pylite::Symbol;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// Run one shard to a *local* fixpoint against the round's frozen
@@ -38,6 +38,7 @@ pub(crate) fn walk_round(shard: &mut Shard, view: &RoundView<'_>) -> WalkResult 
             msgs: Vec::new(),
             changed: false,
             pub_changed: false,
+            str_env: BTreeMap::new(),
         };
         w.walk_units();
         let changed = w.changed;
@@ -68,6 +69,7 @@ pub(crate) fn collect_shard(shard: &mut Shard, view: &RoundView<'_>) -> ShardOut
         msgs: Vec::new(),
         changed: false,
         pub_changed: false,
+        str_env: BTreeMap::new(),
     };
     w.walk_units();
     debug_assert!(!w.changed, "collect pass must not change state");
@@ -111,6 +113,9 @@ struct Ctx {
     is_top: bool,
     /// Call-graph node of this unit (collect mode).
     node: CgNode,
+    /// The unit's full body, for the branch-aware rebind flow scan
+    /// (collect mode only; cheap `Arc` clone of the walked body).
+    body: ProgramBody,
 }
 
 impl Ctx {
@@ -132,6 +137,8 @@ pub(crate) struct Walker<'a, 'b> {
     pub msgs: Vec<Message>,
     pub changed: bool,
     pub pub_changed: bool,
+    /// Collect-mode only: the current unit's string-value environment.
+    str_env: BTreeMap<Symbol, StrVal>,
 }
 
 impl Walker<'_, '_> {
@@ -154,8 +161,9 @@ impl Walker<'_, '_> {
                     None => CgNode::AppTop,
                     Some(m) => CgNode::ModuleTop(m.clone()),
                 };
+                let pb = ProgramBody::Program(program);
                 (
-                    ProgramBody::Program(program),
+                    pb.clone(),
                     Ctx {
                         scope: 0,
                         unit: None,
@@ -163,6 +171,7 @@ impl Walker<'_, '_> {
                         counter: 0,
                         is_top: true,
                         node,
+                        body: pb,
                     },
                 )
             }
@@ -171,8 +180,9 @@ impl Walker<'_, '_> {
                 let qual = self.view.interner.resolve(f.qual).to_string();
                 let node = self.shard.func_node(&qual);
                 let scope = f.scope;
+                let pb = ProgramBody::Func(Arc::clone(&f.body));
                 (
-                    ProgramBody::Func(Arc::clone(&f.body)),
+                    pb.clone(),
                     Ctx {
                         scope,
                         unit: Some(key.qual),
@@ -180,10 +190,17 @@ impl Walker<'_, '_> {
                         counter: 0,
                         is_top: false,
                         node,
+                        body: pb,
                     },
                 )
             }
         };
+        if self.is_collect() {
+            // Per-unit string-value environment: a sound flow-insensitive
+            // over-approximation of the string literals each local name can
+            // hold, used to bound non-literal getattr attribute names.
+            self.str_env = build_str_env(body.stmts());
+        }
         for stmt in body.stmts() {
             self.walk_stmt(&mut ctx, stmt);
         }
@@ -452,8 +469,42 @@ impl Walker<'_, '_> {
                 self.resolve(ctx, target);
                 self.resolve(ctx, value);
             }
-            RStmt::Expr(e) | RStmt::Raise(Some(e)) | RStmt::Del(e) => {
+            RStmt::Expr(e) | RStmt::Raise(Some(e)) => {
                 self.resolve(ctx, e);
+            }
+            RStmt::Del(e) => {
+                self.resolve(ctx, e);
+                // `del name` on an import-bound name is a rebind hazard:
+                // later accesses (e.g. a re-import and use in another
+                // branch) are invisible to the flow-insensitive engine. The
+                // implicated attributes are flow-refined to what the unit
+                // syntactically touches through the name post-delete.
+                if self.is_collect() {
+                    if let RExpr::Name(n) = e {
+                        if self.shard.import_bound.contains(&(ctx.scope, *n)) {
+                            let old = self.shard.scopes[ctx.scope]
+                                .env
+                                .get(n)
+                                .cloned()
+                                .unwrap_or_default();
+                            for atom in &old {
+                                if let Origin::Module(m) = atom {
+                                    let attrs = self.rebind_attrs(ctx.body.stmts(), *n);
+                                    let name = self.view.interner.resolve(*n).to_string();
+                                    let module = self.view.interner.resolve(*m).to_string();
+                                    self.lint(
+                                        Severity::Hazard,
+                                        LintKind::ModuleRebinding {
+                                            name,
+                                            module,
+                                            attrs,
+                                        },
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
             }
             RStmt::Raise(None)
             | RStmt::Pass
@@ -616,8 +667,16 @@ impl Walker<'_, '_> {
         };
         self.walk_block(ctx, &c.body);
         ctx.scope = saved_scope;
-        ctx.qual = saved_qual;
-        self.bind(ctx.scope, c.sym, &OriginSet::new());
+        let class_qual = std::mem::replace(&mut ctx.qual, saved_qual);
+        // The class name binds to a Class atom keyed by its qualified name,
+        // so constructor calls produce Instance origins and `obj.method()`
+        // resolves to the registered `"Cls.method"` functions.
+        let key = FuncKey {
+            shard: self.shard.name,
+            qual: self.view.interner.intern(&class_qual),
+        };
+        let set: OriginSet = [Origin::Class(key)].into_iter().collect();
+        self.bind(ctx.scope, c.sym, &set);
     }
 
     fn assign_target(&mut self, ctx: &mut Ctx, target: &RExpr, vset: &OriginSet) {
@@ -636,11 +695,16 @@ impl Walker<'_, '_> {
                     for atom in &old {
                         if let Origin::Module(m) = atom {
                             if !vset.contains(atom) {
+                                let attrs = self.rebind_attrs(ctx.body.stmts(), *n);
                                 let name = self.view.interner.resolve(*n).to_string();
                                 let module = self.view.interner.resolve(*m).to_string();
                                 self.lint(
                                     Severity::Hazard,
-                                    LintKind::ModuleRebinding { name, module },
+                                    LintKind::ModuleRebinding {
+                                        name,
+                                        module,
+                                        attrs,
+                                    },
                                 );
                             }
                         }
@@ -773,30 +837,69 @@ impl Walker<'_, '_> {
         let attr_str = self.view.interner.resolve(attr);
         let mut out = OriginSet::new();
         for atom in base {
-            if let Origin::Module(m) = atom {
-                let m_str = self.view.interner.resolve(*m);
-                self.record_access(ctx, &m_str, &attr_str);
-                let sub = format!("{m_str}.{attr_str}");
-                if self.probe_contains(&sub) {
-                    out.insert(Origin::Module(self.view.interner.intern(&sub)));
-                } else if self.analyzed(&m_str) {
-                    if let Some(binding) = self.module_env_get(*m, attr) {
-                        // Reading a re-exported name reads through to its
-                        // source module as well.
-                        if self.is_collect() {
-                            for b in &binding {
-                                if let Origin::Attr(m2, a2) = b {
-                                    let m2 = self.view.interner.resolve(*m2).to_string();
-                                    let a2 = self.view.interner.resolve(*a2).to_string();
-                                    self.record_access(ctx, &m2, &a2);
+            match atom {
+                Origin::Module(m) => {
+                    let m_str = self.view.interner.resolve(*m);
+                    self.record_access(ctx, &m_str, &attr_str);
+                    let sub = format!("{m_str}.{attr_str}");
+                    if self.probe_contains(&sub) {
+                        out.insert(Origin::Module(self.view.interner.intern(&sub)));
+                    } else if self.analyzed(&m_str) {
+                        if let Some(binding) = self.module_env_get(*m, attr) {
+                            // Reading a re-exported name reads through to its
+                            // source module as well.
+                            if self.is_collect() {
+                                for b in &binding {
+                                    if let Origin::Attr(m2, a2) = b {
+                                        let m2 = self.view.interner.resolve(*m2).to_string();
+                                        let a2 = self.view.interner.resolve(*a2).to_string();
+                                        self.record_access(ctx, &m2, &a2);
+                                    }
                                 }
                             }
+                            out.extend(binding);
                         }
-                        out.extend(binding);
+                    } else {
+                        out.insert(Origin::Attr(*m, attr));
                     }
-                } else {
-                    out.insert(Origin::Attr(*m, attr));
                 }
+                Origin::Instance(ck) => {
+                    // `obj.method` resolves against the class's registered
+                    // `"Cls.method"` functions (local or via snapshot) and
+                    // binds `self` to the instance; unresolved attributes
+                    // stay empty (data attributes carry no origin).
+                    let class_qual = self.view.interner.resolve(ck.qual);
+                    let mqual = format!("{class_qual}.{attr_str}");
+                    let mkey = FuncKey {
+                        shard: ck.shard,
+                        qual: self.view.interner.intern(&mqual),
+                    };
+                    if mkey.shard == self.shard.name {
+                        if let Some((fscope, p0)) = self
+                            .shard
+                            .funcs
+                            .get(&mkey)
+                            .map(|f| (f.scope, f.params.first().copied()))
+                        {
+                            if let Some(p0) = p0 {
+                                let iset: OriginSet = [Origin::Instance(*ck)].into_iter().collect();
+                                self.bind(fscope, p0, &iset);
+                            }
+                            out.insert(Origin::Method(mkey));
+                        }
+                    } else if let Some(fpub) = self
+                        .foreign_snapshot(mkey.shard)
+                        .and_then(|p| p.funcs.get(&mkey))
+                        .cloned()
+                    {
+                        if let Some(&p0) = fpub.params.first() {
+                            let iset: OriginSet = [Origin::Instance(*ck)].into_iter().collect();
+                            self.send(Message::BindParam(mkey, p0, iset));
+                        }
+                        out.insert(Origin::Method(mkey));
+                    }
+                }
+                _ => {}
             }
         }
         out
@@ -827,63 +930,42 @@ impl Walker<'_, '_> {
             match atom {
                 Origin::Func(key) => {
                     if self.is_collect() {
-                        let qual = self.view.interner.resolve(key.qual).to_string();
-                        let callee = match key.shard {
-                            None => CgNode::AppFunc(qual),
-                            Some(m) => {
-                                CgNode::LibFunc(self.view.interner.resolve(m).to_string(), qual)
-                            }
-                        };
+                        let callee = self.func_callee_node(key);
                         self.edge(ctx.node.clone(), callee);
                     }
-                    if key.shard == self.shard.name {
-                        // Local call: activate and bind directly.
-                        if !self.is_collect() {
-                            if self.shard.activate_func(*key) {
-                                self.changed = true;
-                                self.pub_changed = true;
-                            }
-                            if let Some(f) = self.shard.funcs.get(key) {
-                                let params = Arc::clone(&f.params);
-                                let fscope = f.scope;
-                                for (i, aset) in argsets.iter().enumerate() {
-                                    if let Some(&p) = params.get(i) {
-                                        self.bind(fscope, p, aset);
-                                    }
-                                }
-                                for (k, kset) in &kwsets {
-                                    if params.contains(k) {
-                                        self.bind(fscope, *k, kset);
-                                    }
-                                }
-                            }
-                        }
-                        if let Some(f) = self.shard.funcs.get(key) {
-                            out.extend(f.ret.iter().copied());
-                        }
+                    self.call_known_func(*key, None, 0, &argsets, &kwsets, Some(&mut out));
+                }
+                Origin::Method(key) => {
+                    // Bound-method call: `self` was bound at attribute
+                    // resolution, so positional args start at parameter 1.
+                    if self.is_collect() {
+                        let callee = self.func_callee_node(key);
+                        self.edge(ctx.node.clone(), callee);
+                    }
+                    self.call_known_func(*key, None, 1, &argsets, &kwsets, Some(&mut out));
+                }
+                Origin::Class(ck) => {
+                    // Constructing a class yields an instance; `__init__`
+                    // (when defined) is activated with `self` bound to it.
+                    out.insert(Origin::Instance(*ck));
+                    let init_qual = format!("{}.__init__", self.view.interner.resolve(ck.qual));
+                    let ikey = FuncKey {
+                        shard: ck.shard,
+                        qual: self.view.interner.intern(&init_qual),
+                    };
+                    let exists = if ikey.shard == self.shard.name {
+                        self.shard.funcs.contains_key(&ikey)
                     } else {
-                        // Cross-shard call (including an app-defined
-                        // callback invoked from library code): activate and
-                        // bind through the barrier.
-                        let Some(fpub) = self
-                            .foreign_snapshot(key.shard)
-                            .and_then(|p| p.funcs.get(key))
-                            .cloned()
-                        else {
-                            continue;
-                        };
-                        self.send(Message::ActivateFunc(*key));
-                        for (i, aset) in argsets.iter().enumerate() {
-                            if let Some(&p) = fpub.params.get(i) {
-                                self.send(Message::BindParam(*key, p, aset.clone()));
-                            }
+                        self.foreign_snapshot(ikey.shard)
+                            .is_some_and(|p| p.funcs.contains_key(&ikey))
+                    };
+                    if exists {
+                        if self.is_collect() {
+                            let callee = self.func_callee_node(&ikey);
+                            self.edge(ctx.node.clone(), callee);
                         }
-                        for (k, kset) in &kwsets {
-                            if fpub.params.contains(k) {
-                                self.send(Message::BindParam(*key, *k, kset.clone()));
-                            }
-                        }
-                        out.extend(fpub.ret.iter().copied());
+                        let iset: OriginSet = [Origin::Instance(*ck)].into_iter().collect();
+                        self.call_known_func(ikey, Some(&iset), 1, &argsets, &kwsets, None);
                     }
                 }
                 Origin::Attr(m, a) if self.is_collect() => {
@@ -895,6 +977,89 @@ impl Walker<'_, '_> {
             }
         }
         out
+    }
+
+    /// Call-graph node for a resolved function/method key.
+    fn func_callee_node(&self, key: &FuncKey) -> CgNode {
+        let qual = self.view.interner.resolve(key.qual).to_string();
+        match key.shard {
+            None => CgNode::AppFunc(qual),
+            Some(m) => CgNode::LibFunc(self.view.interner.resolve(m).to_string(), qual),
+        }
+    }
+
+    /// Activate a resolved callee and bind its parameters: `self_arg` (when
+    /// given) binds to parameter 0, positional args bind from parameter
+    /// `offset` on, keywords by name. Joins the callee's return set into
+    /// `ret` when requested. Local callees bind directly; cross-shard
+    /// callees go through barrier messages.
+    fn call_known_func(
+        &mut self,
+        key: FuncKey,
+        self_arg: Option<&OriginSet>,
+        offset: usize,
+        argsets: &[OriginSet],
+        kwsets: &[(Symbol, OriginSet)],
+        ret: Option<&mut OriginSet>,
+    ) {
+        if key.shard == self.shard.name {
+            // Local call: activate and bind directly.
+            if !self.is_collect() {
+                if self.shard.activate_func(key) {
+                    self.changed = true;
+                    self.pub_changed = true;
+                }
+                if let Some(f) = self.shard.funcs.get(&key) {
+                    let params = Arc::clone(&f.params);
+                    let fscope = f.scope;
+                    if let (Some(sset), Some(&p0)) = (self_arg, params.first()) {
+                        self.bind(fscope, p0, sset);
+                    }
+                    for (i, aset) in argsets.iter().enumerate() {
+                        if let Some(&p) = params.get(i + offset) {
+                            self.bind(fscope, p, aset);
+                        }
+                    }
+                    for (k, kset) in kwsets {
+                        if params.contains(k) {
+                            self.bind(fscope, *k, kset);
+                        }
+                    }
+                }
+            }
+            if let Some(ret) = ret {
+                if let Some(f) = self.shard.funcs.get(&key) {
+                    ret.extend(f.ret.iter().copied());
+                }
+            }
+        } else {
+            // Cross-shard call (including an app-defined callback invoked
+            // from library code): activate and bind through the barrier.
+            let Some(fpub) = self
+                .foreign_snapshot(key.shard)
+                .and_then(|p| p.funcs.get(&key))
+                .cloned()
+            else {
+                return;
+            };
+            self.send(Message::ActivateFunc(key));
+            if let (Some(sset), Some(&p0)) = (self_arg, fpub.params.first()) {
+                self.send(Message::BindParam(key, p0, sset.clone()));
+            }
+            for (i, aset) in argsets.iter().enumerate() {
+                if let Some(&p) = fpub.params.get(i + offset) {
+                    self.send(Message::BindParam(key, p, aset.clone()));
+                }
+            }
+            for (k, kset) in kwsets {
+                if fpub.params.contains(k) {
+                    self.send(Message::BindParam(key, *k, kset.clone()));
+                }
+            }
+            if let Some(ret) = ret {
+                ret.extend(fpub.ret.iter().copied());
+            }
+        }
     }
 
     fn resolve(&mut self, ctx: &mut Ctx, e: &RExpr) -> OriginSet {
@@ -1125,16 +1290,35 @@ impl Walker<'_, '_> {
                 }
             }
             None => {
+                // Bound the non-literal name by the string-value lattice:
+                // `Known` yields a finite attribute set, `Bottom` (a value
+                // that is provably not a string, so getattr raises
+                // TypeError before touching any attribute) the empty set,
+                // `Tainted` is unbounded (⊤ over the module's surface).
+                let attrs: Option<BTreeSet<String>> = match args.get(1) {
+                    Some(e) => match sv_expr(e, &self.str_env) {
+                        StrVal::Known(s) => Some(s.iter().map(|a| a.to_string()).collect()),
+                        StrVal::Bottom => Some(BTreeSet::new()),
+                        StrVal::Tainted => None,
+                    },
+                    None => Some(BTreeSet::new()),
+                };
                 if modules.is_empty() {
                     self.lint(
                         Severity::Warning,
-                        LintKind::OpaqueAttrAccess { module: None },
+                        LintKind::OpaqueAttrAccess {
+                            module: None,
+                            attrs,
+                        },
                     );
                 } else {
                     for m in modules {
                         self.lint(
                             Severity::Hazard,
-                            LintKind::OpaqueAttrAccess { module: Some(m) },
+                            LintKind::OpaqueAttrAccess {
+                                module: Some(m),
+                                attrs: attrs.clone(),
+                            },
                         );
                     }
                 }
@@ -1142,8 +1326,269 @@ impl Walker<'_, '_> {
         }
         OriginSet::new()
     }
+
+    // -- rebind flow scan --------------------------------------------------
+
+    /// Attribute names syntactically reachable through `name` at or after a
+    /// possible rebind point — a branch-aware pass over the unit body. `If`
+    /// branches each carry the entry flag independently (post-`If` = OR of
+    /// branch exits), loop bodies are scanned twice for loop carry, and
+    /// nested function bodies count as post-rebind (their call time is
+    /// unknown) unless they shadow the name.
+    fn rebind_attrs(&self, body: &[RStmt], name: Symbol) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.scan_rebind_block(body, name, false, &mut out);
+        out
+    }
+
+    /// Scan a block; returns the exit value of the rebound flag.
+    fn scan_rebind_block(
+        &self,
+        body: &[RStmt],
+        name: Symbol,
+        entry: bool,
+        out: &mut BTreeSet<String>,
+    ) -> bool {
+        let mut rebound = entry;
+        for stmt in body {
+            rebound = self.scan_rebind_stmt(stmt, name, rebound, out);
+        }
+        rebound
+    }
+
+    fn scan_rebind_stmt(
+        &self,
+        stmt: &RStmt,
+        name: Symbol,
+        rebound: bool,
+        out: &mut BTreeSet<String>,
+    ) -> bool {
+        match stmt {
+            RStmt::Assign { targets, value } => {
+                // The value is evaluated before the targets rebind.
+                let mut r = self.scan_rebind_expr(value, name, rebound, out);
+                let mut bound = BTreeSet::new();
+                for t in targets {
+                    target_names(t, &mut bound);
+                    if !matches!(t, RExpr::Name(_)) {
+                        r = self.scan_rebind_expr(t, name, r, out);
+                    }
+                }
+                r || bound.contains(&name)
+            }
+            RStmt::AugAssign { target, value, .. } => {
+                let mut r = self.scan_rebind_expr(target, name, rebound, out);
+                r = self.scan_rebind_expr(value, name, r, out);
+                r || matches!(target, RExpr::Name(n) if *n == name)
+            }
+            RStmt::Expr(e) | RStmt::Raise(Some(e)) | RStmt::Return(Some(e)) => {
+                self.scan_rebind_expr(e, name, rebound, out)
+            }
+            RStmt::Del(e) => {
+                let r = self.scan_rebind_expr(e, name, rebound, out);
+                r || matches!(e, RExpr::Name(n) if *n == name)
+            }
+            RStmt::Assert { test, msg } => {
+                let mut r = self.scan_rebind_expr(test, name, rebound, out);
+                if let Some(m) = msg {
+                    r = self.scan_rebind_expr(m, name, r, out);
+                }
+                r
+            }
+            RStmt::If { branches, orelse } => {
+                let mut exit = false;
+                let mut flag = rebound;
+                for (test, body) in branches {
+                    flag = self.scan_rebind_expr(test, name, flag, out);
+                    exit |= self.scan_rebind_block(body, name, flag, out);
+                }
+                exit |= self.scan_rebind_block(orelse, name, flag, out);
+                exit
+            }
+            RStmt::While { test, body } => {
+                let mut r = self.scan_rebind_expr(test, name, rebound, out);
+                // Two passes: a rebind late in the body reaches accesses
+                // early in the body on the next iteration.
+                r = self.scan_rebind_block(body, name, r, out);
+                r = self.scan_rebind_expr(test, name, r, out);
+                r = self.scan_rebind_block(body, name, r, out);
+                r || rebound
+            }
+            RStmt::For {
+                targets,
+                iter,
+                body,
+            } => {
+                let mut r = self.scan_rebind_expr(iter, name, rebound, out);
+                r |= targets.contains(&name);
+                r = self.scan_rebind_block(body, name, r, out);
+                r |= targets.contains(&name);
+                r = self.scan_rebind_block(body, name, r, out);
+                r || rebound
+            }
+            RStmt::FuncDef(f) => {
+                let mut r = rebound;
+                for p in &f.params {
+                    if let Some(d) = &p.default {
+                        r = self.scan_rebind_expr(d, name, r, out);
+                    }
+                }
+                // The nested body runs at an unknown time relative to the
+                // rebind; assume post-rebind unless the function shadows
+                // the name.
+                let mut shadows: BTreeSet<Symbol> = f.params.iter().map(|p| p.sym).collect();
+                assigned_names(&f.body, &mut shadows);
+                if !shadows.contains(&name) {
+                    self.scan_rebind_block(&f.body, name, true, out);
+                }
+                r || f.sym == name
+            }
+            RStmt::ClassDef(c) => {
+                // The class body executes at the definition point.
+                let r = self.scan_rebind_block(&c.body, name, rebound, out);
+                r || c.sym == name
+            }
+            RStmt::Try {
+                body,
+                handlers,
+                orelse,
+                finalbody,
+            } => {
+                let mut exit = self.scan_rebind_block(body, name, rebound, out);
+                for h in handlers {
+                    exit |= self.scan_rebind_block(&h.body, name, exit, out);
+                }
+                exit |= self.scan_rebind_block(orelse, name, exit, out);
+                self.scan_rebind_block(finalbody, name, exit, out)
+            }
+            RStmt::Import { items } => rebound || items.iter().any(|i| i.bind == name),
+            RStmt::FromImport { names, .. } => {
+                rebound
+                    || names
+                        .iter()
+                        .any(|n| matches!(n, RFromName::Named { bind, .. } if *bind == name))
+            }
+            RStmt::Return(None)
+            | RStmt::Raise(None)
+            | RStmt::Pass
+            | RStmt::Break
+            | RStmt::Continue
+            | RStmt::Global(_) => rebound,
+        }
+    }
+
+    /// Scan an expression with the current rebound flag, collecting
+    /// attribute names read through `name` while rebound. Returns the flag
+    /// (list comprehensions can rebind the name mid-expression).
+    fn scan_rebind_expr(
+        &self,
+        e: &RExpr,
+        name: Symbol,
+        rebound: bool,
+        out: &mut BTreeSet<String>,
+    ) -> bool {
+        match e {
+            RExpr::Attribute { value, attr, .. } => {
+                let r = self.scan_rebind_expr(value, name, rebound, out);
+                if r && matches!(&**value, RExpr::Name(n) if *n == name) {
+                    out.insert(self.view.interner.resolve(*attr).to_string());
+                }
+                r
+            }
+            RExpr::Call { func, args, kwargs } => {
+                let mut r = self.scan_rebind_expr(func, name, rebound, out);
+                // Literal getattr-family access through the rebound name.
+                if r {
+                    if let (RExpr::Name(f), Some(RExpr::Name(a0)), Some(RExpr::Str(s))) =
+                        (&**func, args.first(), args.get(1))
+                    {
+                        if self.view.dynamic_builtins.contains(f) && *a0 == name {
+                            out.insert(s.to_string());
+                        }
+                    }
+                }
+                for a in args {
+                    r = self.scan_rebind_expr(a, name, r, out);
+                }
+                for (_, v) in kwargs {
+                    r = self.scan_rebind_expr(v, name, r, out);
+                }
+                r
+            }
+            RExpr::ListComp {
+                element,
+                targets,
+                iter,
+                cond,
+            } => {
+                let mut r = self.scan_rebind_expr(iter, name, rebound, out);
+                r |= targets.contains(&name);
+                r = self.scan_rebind_expr(element, name, r, out);
+                if let Some(c) = cond {
+                    r = self.scan_rebind_expr(c, name, r, out);
+                }
+                r
+            }
+            RExpr::List(items) | RExpr::Tuple(items) => {
+                let mut r = rebound;
+                for i in items {
+                    r = self.scan_rebind_expr(i, name, r, out);
+                }
+                r
+            }
+            RExpr::Dict(pairs) => {
+                let mut r = rebound;
+                for (k, v) in pairs {
+                    r = self.scan_rebind_expr(k, name, r, out);
+                    r = self.scan_rebind_expr(v, name, r, out);
+                }
+                r
+            }
+            RExpr::Subscript { value, index } => {
+                let r = self.scan_rebind_expr(value, name, rebound, out);
+                self.scan_rebind_expr(index, name, r, out)
+            }
+            RExpr::Unary { operand, .. } => self.scan_rebind_expr(operand, name, rebound, out),
+            RExpr::Binary { left, right, .. } => {
+                let r = self.scan_rebind_expr(left, name, rebound, out);
+                self.scan_rebind_expr(right, name, r, out)
+            }
+            RExpr::Bool { values, .. } => {
+                let mut r = rebound;
+                for v in values {
+                    r = self.scan_rebind_expr(v, name, r, out);
+                }
+                r
+            }
+            RExpr::Compare { left, ops } => {
+                let mut r = self.scan_rebind_expr(left, name, rebound, out);
+                for (_, v) in ops {
+                    r = self.scan_rebind_expr(v, name, r, out);
+                }
+                r
+            }
+            RExpr::Conditional { test, body, orelse } => {
+                let r = self.scan_rebind_expr(test, name, rebound, out);
+                let a = self.scan_rebind_expr(body, name, r, out);
+                let b = self.scan_rebind_expr(orelse, name, r, out);
+                a || b
+            }
+            RExpr::Slice { value, start, stop } => {
+                let mut r = self.scan_rebind_expr(value, name, rebound, out);
+                if let Some(s) = start {
+                    r = self.scan_rebind_expr(s, name, r, out);
+                }
+                if let Some(s) = stop {
+                    r = self.scan_rebind_expr(s, name, r, out);
+                }
+                r
+            }
+            _ => rebound,
+        }
+    }
 }
 
+#[derive(Clone)]
 enum ProgramBody {
     Program(Arc<pylite::resolved::RProgram>),
     Func(Arc<[RStmt]>),
@@ -1339,5 +1784,225 @@ fn expr_names(e: &RExpr, out: &mut BTreeSet<Symbol>) {
             }
         }
         _ => {}
+    }
+}
+
+// -- string-value lattice ----------------------------------------------------
+
+/// Over-approximation of the string values an expression can evaluate to,
+/// used to bound the attribute names a non-literal `getattr` can touch.
+///
+/// `Bottom` means no *string* can flow here (the expression only produces
+/// non-string values); a runtime `getattr` with a non-string name raises
+/// `TypeError` before touching any attribute, so `Bottom` soundly bounds
+/// the accessed set to ∅. `Tainted` is ⊤: the value is not bounded by the
+/// literals in the unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum StrVal {
+    /// No string value reaches this point.
+    Bottom,
+    /// One of finitely many string literals.
+    Known(BTreeSet<Arc<str>>),
+    /// Unbounded.
+    Tainted,
+}
+
+impl StrVal {
+    fn join(&mut self, other: &StrVal) {
+        match (&mut *self, other) {
+            (StrVal::Tainted, _) | (_, StrVal::Bottom) => {}
+            (_, StrVal::Tainted) => *self = StrVal::Tainted,
+            (StrVal::Bottom, known) => *self = known.clone(),
+            (StrVal::Known(a), StrVal::Known(b)) => a.extend(b.iter().cloned()),
+        }
+    }
+}
+
+/// The string values `e` can take under `env`. Names missing from the env
+/// (free variables, parameters) are `Tainted`.
+pub(crate) fn sv_expr(e: &RExpr, env: &BTreeMap<Symbol, StrVal>) -> StrVal {
+    match e {
+        RExpr::Str(s) => StrVal::Known(BTreeSet::from([Arc::clone(s)])),
+        RExpr::Name(n) => env.get(n).cloned().unwrap_or(StrVal::Tainted),
+        // A conditional evaluates to one of its arms; `and`/`or` chains
+        // evaluate to one of their operands.
+        RExpr::Conditional { body, orelse, .. } => {
+            let mut v = sv_expr(body, env);
+            v.join(&sv_expr(orelse, env));
+            v
+        }
+        RExpr::Bool { values, .. } => {
+            let mut v = StrVal::Bottom;
+            for operand in values {
+                v.join(&sv_expr(operand, env));
+            }
+            v
+        }
+        // Literals and containers never evaluate to a string.
+        RExpr::None
+        | RExpr::True
+        | RExpr::False
+        | RExpr::Int(_)
+        | RExpr::Float(_)
+        | RExpr::List(_)
+        | RExpr::Tuple(_)
+        | RExpr::Dict(_)
+        | RExpr::ListComp { .. } => StrVal::Bottom,
+        // Anything else (calls, attributes, subscripts, concatenation, ...)
+        // can produce strings we cannot enumerate.
+        _ => StrVal::Tainted,
+    }
+}
+
+/// Build the per-unit string environment: a flow-insensitive (final-state)
+/// map from local names to the string values any of their bindings can
+/// produce. Loop bodies iterate to a fixpoint so loop-carried value chains
+/// are covered; nested function bodies are separate units and are skipped.
+pub(crate) fn build_str_env(body: &[RStmt]) -> BTreeMap<Symbol, StrVal> {
+    let mut env = BTreeMap::new();
+    sv_block(body, &mut env);
+    env
+}
+
+fn sv_taint(e: &RExpr, env: &mut BTreeMap<Symbol, StrVal>) {
+    let mut names = BTreeSet::new();
+    expr_names(e, &mut names);
+    for n in names {
+        env.insert(n, StrVal::Tainted);
+    }
+}
+
+fn sv_block(body: &[RStmt], env: &mut BTreeMap<Symbol, StrVal>) {
+    for stmt in body {
+        sv_stmt(stmt, env);
+    }
+}
+
+fn sv_stmt(stmt: &RStmt, env: &mut BTreeMap<Symbol, StrVal>) {
+    match stmt {
+        RStmt::Assign { targets, value } => {
+            // Taint list-comprehension targets inside the value first, then
+            // join the value into a single-Name target. Multi-target and
+            // destructuring forms taint every bound name.
+            sv_taint(value, env);
+            if let [RExpr::Name(n)] = targets.as_slice() {
+                let v = sv_expr(value, env);
+                env.entry(*n).or_insert(StrVal::Bottom).join(&v);
+            } else {
+                let mut names = BTreeSet::new();
+                for t in targets {
+                    target_names(t, &mut names);
+                }
+                for n in names {
+                    env.insert(n, StrVal::Tainted);
+                }
+            }
+        }
+        RStmt::AugAssign { target, value, .. } => {
+            sv_taint(value, env);
+            let mut names = BTreeSet::new();
+            target_names(target, &mut names);
+            for n in names {
+                env.insert(n, StrVal::Tainted);
+            }
+        }
+        RStmt::Expr(e) | RStmt::Del(e) | RStmt::Raise(Some(e)) | RStmt::Return(Some(e)) => {
+            sv_taint(e, env);
+        }
+        RStmt::Assert { test, msg } => {
+            sv_taint(test, env);
+            if let Some(m) = msg {
+                sv_taint(m, env);
+            }
+        }
+        RStmt::If { branches, orelse } => {
+            for (test, body) in branches {
+                sv_taint(test, env);
+                sv_block(body, env);
+            }
+            sv_block(orelse, env);
+        }
+        RStmt::While { test, body } => {
+            sv_taint(test, env);
+            // Iterate to a fixpoint: a binding late in the body feeds reads
+            // early in the body on the next iteration. Joins only grow
+            // toward the finitely many literals in the body, so this
+            // terminates.
+            loop {
+                let before = env.clone();
+                sv_block(body, env);
+                if *env == before {
+                    break;
+                }
+            }
+        }
+        RStmt::For {
+            targets,
+            iter,
+            body,
+        } => {
+            sv_taint(iter, env);
+            for t in targets {
+                env.insert(*t, StrVal::Tainted);
+            }
+            loop {
+                let before = env.clone();
+                sv_block(body, env);
+                if *env == before {
+                    break;
+                }
+            }
+        }
+        RStmt::FuncDef(f) => {
+            for p in &f.params {
+                if let Some(d) = &p.default {
+                    sv_taint(d, env);
+                }
+            }
+            // The body is a separate analysis unit with its own env.
+            env.insert(f.sym, StrVal::Tainted);
+        }
+        RStmt::ClassDef(c) => {
+            env.insert(c.sym, StrVal::Tainted);
+            // The class body executes at the definition point; its binds
+            // share this env's keys (a sound join, never an under-count).
+            sv_block(&c.body, env);
+        }
+        RStmt::Import { items } => {
+            for item in items {
+                env.insert(item.bind, StrVal::Tainted);
+            }
+        }
+        RStmt::FromImport { names, .. } => {
+            for n in names {
+                if let RFromName::Named { bind, .. } = n {
+                    env.insert(*bind, StrVal::Tainted);
+                }
+            }
+        }
+        RStmt::Try {
+            body,
+            handlers,
+            orelse,
+            finalbody,
+        } => {
+            sv_block(body, env);
+            for h in handlers {
+                if let Some(n) = h.name {
+                    env.insert(n, StrVal::Tainted);
+                }
+                sv_block(&h.body, env);
+            }
+            sv_block(orelse, env);
+            sv_block(finalbody, env);
+        }
+        RStmt::Global(names) => {
+            // Reads and writes go through module scope; do not bound them.
+            for n in names {
+                env.insert(*n, StrVal::Tainted);
+            }
+        }
+        RStmt::Return(None) | RStmt::Raise(None) | RStmt::Pass | RStmt::Break | RStmt::Continue => {
+        }
     }
 }

@@ -51,7 +51,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use callgraph::CallGraph;
-use lints::Lint;
+use lints::{HazardSet, Lint};
 
 /// Which code the static analysis covers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -137,9 +137,15 @@ pub struct FullAnalysis {
     /// Lint findings, deduplicated and ordered.
     pub lints: Vec<Lint>,
     /// Registry modules implicated by a [`lints::Severity::Hazard`] finding.
-    /// Debloating these under static assumptions is unsound; the pipeline
-    /// routes them to the conservative fallback deployment.
+    /// Equals the key set of [`FullAnalysis::hazard_attrs`]; kept for
+    /// callers that only need the module-level view.
     pub hazard_modules: BTreeSet<String>,
+    /// Per-module hazard bounds: for each hazardous module, the attribute
+    /// names its hazard lints could dynamically touch
+    /// ([`lints::HazardAttrs::Attrs`]) or ⊤ when unbounded within the
+    /// module. The pipeline pins bounded attrs into DD's must-keep seed and
+    /// only routes ⊤ modules to the conservative fallback deployment.
+    pub hazard_attrs: HazardSet,
     /// The interprocedural call graph.
     pub call_graph: CallGraph,
     /// Display names of every function whose body the engine analyzed
@@ -184,6 +190,7 @@ pub fn analyze_full(
         module_bindings: out.module_bindings,
         lints: out.lints,
         hazard_modules: out.hazard_modules,
+        hazard_attrs: out.hazard_attrs,
         call_graph: out.call_graph,
         reached_functions: out.reached_functions,
     }
@@ -201,7 +208,7 @@ pub fn imported_modules(program: &Program, registry: &Registry) -> BTreeSet<Stri
 mod tests {
     use super::*;
     use crate::callgraph::CgNode;
-    use crate::lints::{LintKind, Severity};
+    use crate::lints::{HazardAttrs, LintKind, Severity};
     use pylite::parse;
 
     fn registry_with(mods: &[&str]) -> Registry {
@@ -518,6 +525,62 @@ mod tests {
         assert!(a.accessed_attrs("torch.nn").contains("Module"));
     }
 
+    // -- instance tracking ------------------------------------------------
+
+    #[test]
+    fn instance_method_calls_bind_arguments() {
+        // Class → Instance → Method chain: `t.go(numpy)` must flow numpy
+        // into the method's first non-self parameter.
+        let p = parse(
+            "import numpy\nclass T:\n    def go(self, m):\n        return m.zeros\nt = T()\nx = t.go(numpy)\n",
+        )
+        .unwrap();
+        let a = analyze(&p, &registry_with(&["numpy"]));
+        assert!(
+            a.accessed_attrs("numpy").contains("zeros"),
+            "argument must bind past the implicit self"
+        );
+    }
+
+    #[test]
+    fn library_class_methods_participate_in_reachability() {
+        let r = registry_src(&[
+            (
+                "mlkit",
+                "import helper\nclass Net:\n    def __init__(self, n):\n        self.n = n\n    def run(self, x):\n        return helper.work(x)\n",
+            ),
+            ("helper", "def work(x):\n    return x\n"),
+        ]);
+        let p = parse("import mlkit\nnet = mlkit.Net(3)\ny = net.run(2)\n").unwrap();
+        let fa = analyze_full(&p, &r, &AnalysisOptions::default());
+        assert!(
+            fa.reached_functions.contains("mlkit::Net.run"),
+            "called method bodies must be analyzed: {:?}",
+            fa.reached_functions
+        );
+        assert!(
+            fa.analysis.accessed_attrs("helper").contains("work"),
+            "accesses inside a reached method must be recorded"
+        );
+    }
+
+    #[test]
+    fn uncalled_methods_stay_unanalyzed() {
+        let r = registry_src(&[
+            (
+                "mlkit",
+                "import helper\nclass Net:\n    def used(self):\n        return 1\n    def unused(self):\n        return helper.secret\n",
+            ),
+            ("helper", ""),
+        ]);
+        let p = parse("import mlkit\nnet = mlkit.Net()\ny = net.used()\n").unwrap();
+        let a = analyze(&p, &r);
+        assert!(
+            !a.accessed_attrs("helper").contains("secret"),
+            "body of a never-called method must not contribute accesses"
+        );
+    }
+
     #[test]
     fn interprocedural_accesses_superset_of_app_only() {
         let r = registry_src(&[
@@ -649,9 +712,50 @@ mod tests {
         assert!(fa.lints.iter().any(|l| l.severity == Severity::Hazard
             && l.kind
                 == LintKind::OpaqueAttrAccess {
-                    module: Some("m".into())
+                    module: Some("m".into()),
+                    attrs: None,
                 }));
         assert!(fa.hazard_modules.contains("m"));
+        // A parameter-derived name is unbounded: the hazard is ⊤.
+        assert!(fa.hazard_attrs.get("m").is_some_and(HazardAttrs::is_top));
+    }
+
+    #[test]
+    fn bounded_getattr_pins_attrs_instead_of_top() {
+        let r = registry_src(&[("m", "alpha = 1\nbeta = 2\ngamma = 3\n")]);
+        let fa = full(
+            "import m\ndef handler(event, context):\n    key = \"alpha\" if event else \"beta\"\n    return getattr(m, key)\n",
+            &r,
+        );
+        let expected: BTreeSet<String> = ["alpha".to_owned(), "beta".to_owned()].into();
+        assert!(fa.lints.iter().any(|l| l.severity == Severity::Hazard
+            && l.kind
+                == LintKind::OpaqueAttrAccess {
+                    module: Some("m".into()),
+                    attrs: Some(expected.clone()),
+                }));
+        assert_eq!(
+            fa.hazard_attrs.get("m"),
+            Some(&HazardAttrs::Attrs(expected)),
+            "string-value analysis must bound the conditional to its two arms"
+        );
+    }
+
+    #[test]
+    fn loop_carried_getattr_names_are_bounded() {
+        // The binding that feeds the getattr happens on the *previous* loop
+        // iteration: a single in-order pass would miss "late"; the loop-body
+        // fixpoint must not.
+        let r = registry_src(&[("m", "early = 1\nlate = 2\n")]);
+        let fa = full(
+            "import m\ndef handler(event, context):\n    key = \"early\"\n    out = None\n    for i in [1, 2]:\n        out = getattr(m, key)\n        key = \"late\"\n    return out\n",
+            &r,
+        );
+        let expected: BTreeSet<String> = ["early".to_owned(), "late".to_owned()].into();
+        assert_eq!(
+            fa.hazard_attrs.get("m"),
+            Some(&HazardAttrs::Attrs(expected))
+        );
     }
 
     #[test]
@@ -664,6 +768,12 @@ mod tests {
         let attrs = fa.analysis.accessed_attrs("m");
         assert!(attrs.contains("alpha"));
         assert!(!attrs.contains("_hidden"));
+        // The ⊤ bound of a star import narrows to the module's *public*
+        // binding surface when it is known.
+        assert_eq!(
+            fa.hazard_attrs.get("m"),
+            Some(&HazardAttrs::Attrs(["alpha".to_owned()].into()))
+        );
     }
 
     #[test]
@@ -674,8 +784,14 @@ mod tests {
             && l.kind
                 == LintKind::ModuleRebinding {
                     name: "m".into(),
-                    module: "m".into()
+                    module: "m".into(),
+                    attrs: ["attr".to_owned()].into(),
                 }));
+        // The hazard is bounded to the attributes reachable post-rebind.
+        assert_eq!(
+            fa.hazard_attrs.get("m"),
+            Some(&HazardAttrs::Attrs(["attr".to_owned()].into()))
+        );
         // A plain alias is not a rebinding.
         let fa2 = full("import m\nm2 = m\nx = m2.attr\n", &r);
         assert!(!fa2
@@ -739,6 +855,7 @@ mod tests {
         assert_eq!(a.module_bindings, b.module_bindings);
         assert_eq!(a.lints, b.lints);
         assert_eq!(a.hazard_modules, b.hazard_modules);
+        assert_eq!(a.hazard_attrs, b.hazard_attrs);
         assert_eq!(a.call_graph, b.call_graph);
         assert_eq!(a.reached_functions, b.reached_functions);
     }

@@ -13,7 +13,71 @@
 //!   under static reasoning; the pipeline routes it to the conservative
 //!   fallback deployment instead of DD-trimming it.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+
+/// The attribute bound attached to one hazardous module: either a finite
+/// over-approximation of the attribute names dynamic code could touch, or
+/// ⊤ — "anything the module binds" — when no finite bound exists. ⊤ is the
+/// lattice top, *not* "all modules": a hazard never escapes the module it
+/// implicates.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HazardAttrs {
+    /// A finite set of attribute names the hazard could reach.
+    Attrs(BTreeSet<String>),
+    /// Unbounded within the module: fall back to its full binding surface.
+    Top,
+}
+
+impl HazardAttrs {
+    /// Lattice join: ⊤ absorbs, finite sets union.
+    pub fn join(&mut self, other: &HazardAttrs) {
+        match (&mut *self, other) {
+            (HazardAttrs::Top, _) => {}
+            (_, HazardAttrs::Top) => *self = HazardAttrs::Top,
+            (HazardAttrs::Attrs(a), HazardAttrs::Attrs(b)) => a.extend(b.iter().cloned()),
+        }
+    }
+
+    /// Whether this bound is the lattice top.
+    pub fn is_top(&self) -> bool {
+        matches!(self, HazardAttrs::Top)
+    }
+
+    /// The finite attribute set, if bounded.
+    pub fn attrs(&self) -> Option<&BTreeSet<String>> {
+        match self {
+            HazardAttrs::Attrs(a) => Some(a),
+            HazardAttrs::Top => None,
+        }
+    }
+}
+
+impl fmt::Display for HazardAttrs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HazardAttrs::Top => write!(f, "⊤ (full binding surface)"),
+            HazardAttrs::Attrs(a) => {
+                let names: Vec<&str> = a.iter().map(String::as_str).collect();
+                write!(f, "{{{}}}", names.join(", "))
+            }
+        }
+    }
+}
+
+/// Per-module hazard bounds: `module → attrs ⊔ ⊤`. Absence of a module
+/// means no hazard implicates it.
+pub type HazardSet = BTreeMap<String, HazardAttrs>;
+
+/// Join `attrs` into `set` under `module`.
+pub fn hazard_join(set: &mut HazardSet, module: &str, attrs: &HazardAttrs) {
+    match set.get_mut(module) {
+        Some(existing) => existing.join(attrs),
+        None => {
+            set.insert(module.to_owned(), attrs.clone());
+        }
+    }
+}
 
 /// How serious a lint finding is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -60,23 +124,29 @@ pub enum LintKind {
         attr: String,
     },
     /// `getattr`-family call whose attribute name is **not** a literal:
-    /// the accessed set is statically unknowable.
+    /// the accessed set is bounded by string-value analysis when possible.
     OpaqueAttrAccess {
         /// The target module, when statically known.
         module: Option<String>,
+        /// The attribute names the non-literal expression can evaluate to
+        /// under the string-value lattice; `None` = unbounded (⊤).
+        attrs: Option<BTreeSet<String>>,
     },
     /// `from m import *` — every public attribute of `m` escapes.
     StarImport {
         /// The star-imported module.
         module: String,
     },
-    /// A name bound to a module was re-assigned to something else, hiding
+    /// A name bound to a module was re-assigned (or deleted), hiding
     /// subsequent accesses from the analyzer.
     ModuleRebinding {
         /// The rebound name.
         name: String,
         /// The module the name used to denote.
         module: String,
+        /// Attribute names syntactically accessed through the name at or
+        /// after a possible rebind point (branch-aware flow scan).
+        attrs: BTreeSet<String>,
     },
 }
 
@@ -95,10 +165,28 @@ impl Lint {
         match &self.kind {
             LintKind::UnusedImport { module } | LintKind::StarImport { module } => Some(module),
             LintKind::NonexistentAttr { module, .. } => Some(module),
-            LintKind::DynamicAttrAccess { module, .. } | LintKind::OpaqueAttrAccess { module } => {
-                module.as_deref()
-            }
+            LintKind::DynamicAttrAccess { module, .. }
+            | LintKind::OpaqueAttrAccess { module, .. } => module.as_deref(),
             LintKind::ModuleRebinding { module, .. } => Some(module),
+        }
+    }
+
+    /// The attribute bound this finding implicates on its module, if any.
+    /// `HazardAttrs::Top` means the finding can reach anything the module
+    /// binds (the merge pass narrows star imports to the module's public
+    /// binding surface when it is known).
+    pub fn implicated_attrs(&self) -> Option<HazardAttrs> {
+        match &self.kind {
+            LintKind::UnusedImport { .. } => None,
+            LintKind::NonexistentAttr { attr, .. } | LintKind::DynamicAttrAccess { attr, .. } => {
+                Some(HazardAttrs::Attrs(BTreeSet::from([attr.clone()])))
+            }
+            LintKind::OpaqueAttrAccess { attrs, .. } => Some(match attrs {
+                Some(a) => HazardAttrs::Attrs(a.clone()),
+                None => HazardAttrs::Top,
+            }),
+            LintKind::StarImport { .. } => Some(HazardAttrs::Top),
+            LintKind::ModuleRebinding { attrs, .. } => Some(HazardAttrs::Attrs(attrs.clone())),
         }
     }
 }
@@ -120,27 +208,45 @@ impl fmt::Display for Lint {
                 ),
                 None => write!(f, "dynamic attribute access '{attr}' (literal name)"),
             },
-            LintKind::OpaqueAttrAccess { module } => match module {
-                Some(m) => write!(
+            LintKind::OpaqueAttrAccess { module, attrs } => match (module, attrs) {
+                (Some(m), Some(a)) => {
+                    let names: Vec<&str> = a.iter().map(String::as_str).collect();
+                    write!(
+                        f,
+                        "opaque dynamic attribute access on module '{m}': non-literal name \
+                         bounded to {{{}}}; those attributes are pinned when trimming '{m}'",
+                        names.join(", ")
+                    )
+                }
+                (Some(m), None) => write!(
                     f,
                     "opaque dynamic attribute access on module '{m}': attribute name is not a \
                      literal, debloating '{m}' falls back to conservative deployment"
                 ),
-                None => write!(f, "opaque dynamic attribute access (non-literal name)"),
+                (None, _) => write!(f, "opaque dynamic attribute access (non-literal name)"),
             },
             LintKind::StarImport { module } => {
                 write!(
                     f,
-                    "star import of '{module}': all public attributes escape, debloating \
-                     '{module}' falls back to conservative deployment"
+                    "star import of '{module}': all public attributes escape and are pinned \
+                     when trimming '{module}'"
                 )
             }
-            LintKind::ModuleRebinding { name, module } => {
+            LintKind::ModuleRebinding {
+                name,
+                module,
+                attrs,
+            } => {
                 write!(
                     f,
                     "name '{name}' (module '{module}') is rebound: accesses after the rebind \
                      are invisible to static analysis"
-                )
+                )?;
+                if !attrs.is_empty() {
+                    let names: Vec<&str> = attrs.iter().map(String::as_str).collect();
+                    write!(f, " (post-rebind accesses pin {{{}}})", names.join(", "))?;
+                }
+                Ok(())
             }
         }
     }

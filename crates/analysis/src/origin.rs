@@ -59,6 +59,18 @@ pub enum Origin {
     Attr(Symbol, Symbol),
     /// A specific analyzed function or method.
     Func(FuncKey),
+    /// A class object (the key's `qual` is the class's qualified name).
+    /// Calling it produces an [`Origin::Instance`] of the same key.
+    Class(FuncKey),
+    /// An instance of an analyzed class. Attribute reads against it resolve
+    /// methods (`"Cls.method"` entries of the defining shard's function
+    /// table) to [`Origin::Method`] atoms, so `obj.method()` participates in
+    /// reachability.
+    Instance(FuncKey),
+    /// A bound method: the key names the underlying `"Cls.method"` function.
+    /// Calls bind arguments from parameter 1 on (`self` is bound at
+    /// resolution time to the instance).
+    Method(FuncKey),
     /// A tuple/list literal; elements live in the owning shard's site table.
     Seq(SiteKey),
     /// A dict literal; entries live in the owning shard's site table.

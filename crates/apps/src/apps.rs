@@ -76,12 +76,28 @@ pub struct BenchApp {
     /// is reachable only through `getattr` on a rare input, and is expected
     /// to be trimmed — the Table 4 fallback trigger.
     pub rare: (String, String),
+    /// The `(library, [attr_a, attr_b])` of the bounded dynamic-access path:
+    /// the handler's `probe` op computes a *non-literal* getattr name that
+    /// string-value analysis bounds to exactly these two attributes. Under
+    /// blanket hazard routing the whole library falls back; per-attribute
+    /// routing pins just these two and still trims the rest.
+    pub probe: (String, [String; 2]),
 }
 
 impl BenchApp {
     /// The oracle test case that exercises the rare (fallback) path.
     pub fn rare_case(&self) -> TestCase {
         TestCase::event("{\"op\": \"diag\", \"n\": 1}")
+    }
+
+    /// A test case that exercises the bounded dynamic-access (`probe`) path.
+    /// `deep` selects between the two statically-bounded attribute names.
+    pub fn probe_case(&self, deep: bool) -> TestCase {
+        if deep {
+            TestCase::event("{\"op\": \"probe\", \"deep\": True, \"n\": 2}")
+        } else {
+            TestCase::event("{\"op\": \"probe\", \"n\": 2}")
+        }
     }
 }
 
@@ -186,6 +202,40 @@ fn generate_app(def: &AppDef) -> BenchApp {
     let rare_attr = attr_name(main_spec.prefix, rare_idx);
     let rare_is_callable = rare_idx % 5 <= 1;
 
+    // The bounded dynamic-access pair: two function attributes reached only
+    // through a *non-literal* getattr whose name the string-value analysis
+    // bounds to exactly these two. Prefer attributes the oracle does not
+    // otherwise use (so per-attribute hazard routing visibly pins them);
+    // fall back to used ones for apps that touch nearly everything.
+    let mut probe_candidates: Vec<String> = (0..main_spec.init_attrs)
+        .filter(|i| i % 5 == 0 && *i != rare_idx && !used.contains(i))
+        .map(|i| attr_name(main_spec.prefix, i))
+        .collect();
+    // Re-exported submodule functions are top-level bindings of the package
+    // too — they carry thin libraries (e.g. skimage's 2 own attributes)
+    // past the two-candidate requirement.
+    for sub in &main_spec.subs {
+        for i in (0..sub.reexports.min(sub.attrs)).filter(|i| i % 5 == 0) {
+            probe_candidates.push(attr_name(&format!("{}_{}", main_spec.prefix, sub.name), i));
+        }
+    }
+    probe_candidates.extend(
+        (0..main_spec.init_attrs)
+            .filter(|i| i % 5 == 0 && *i != rare_idx && used.contains(i))
+            .map(|i| attr_name(main_spec.prefix, i)),
+    );
+    assert!(
+        probe_candidates.len() >= 2,
+        "{}: {} has no two probe functions",
+        def.name,
+        main_use.lib
+    );
+    let [probe_a, probe_b] = &probe_candidates[..2] else {
+        unreachable!()
+    };
+    let probe_a = probe_a.clone();
+    let probe_b = probe_b.clone();
+
     let _ = writeln!(src, "def handler(event, context):");
     let _ = writeln!(src, "    op = event.get(\"op\", \"run\")");
     let _ = writeln!(src, "    if op == \"diag\":");
@@ -199,6 +249,13 @@ fn generate_app(def: &AppDef) -> BenchApp {
     } else {
         let _ = writeln!(src, "        return tool");
     }
+    let _ = writeln!(src, "    if op == \"probe\":");
+    let _ = writeln!(
+        src,
+        "        key = \"{probe_a}\" if event.get(\"deep\") else \"{probe_b}\""
+    );
+    let _ = writeln!(src, "        fn = getattr({}, key)", main_use.lib);
+    let _ = writeln!(src, "        return fn(event.get(\"n\", 1))");
     let _ = writeln!(src, "    __lt_work__({:.3})", def.exec_ms);
     for (service, op) in def.extcalls {
         let _ = writeln!(src, "    __lt_extcall__(\"{service}\", \"{op}\")");
@@ -226,6 +283,7 @@ fn generate_app(def: &AppDef) -> BenchApp {
         example_module: def.example_module.to_owned(),
         image_mb: def.paper.size_mb,
         rare: (main_use.lib.to_owned(), rare_attr),
+        probe: (main_use.lib.to_owned(), [probe_a, probe_b]),
     }
 }
 
@@ -787,6 +845,37 @@ mod tests {
             spec.cases = vec![bench.rare_case()];
             let exec = run_app(&bench.registry, &bench.app_source, &spec).unwrap();
             assert_eq!(exec.results.len(), 1);
+        }
+    }
+
+    #[test]
+    fn probe_attributes_exist_and_both_arms_run() {
+        for bench in mini_corpus() {
+            let (lib, [a, b]) = &bench.probe;
+            let program = bench.registry.parse_module(lib).unwrap();
+            let attrs = trim_core::module_attributes(&program);
+            for attr in [a, b] {
+                assert!(
+                    attrs.contains(attr),
+                    "{}: probe attr {attr} must exist in {lib}",
+                    bench.name
+                );
+            }
+            assert_ne!(
+                &bench.rare.1, a,
+                "{}: probe must not alias rare",
+                bench.name
+            );
+            assert_ne!(
+                &bench.rare.1, b,
+                "{}: probe must not alias rare",
+                bench.name
+            );
+            // Both statically-bounded arms execute on the original app.
+            let mut spec = bench.spec.clone();
+            spec.cases = vec![bench.probe_case(false), bench.probe_case(true)];
+            let exec = run_app(&bench.registry, &bench.app_source, &spec).unwrap();
+            assert_eq!(exec.results.len(), 2, "{}", bench.name);
         }
     }
 

@@ -9,7 +9,9 @@
 //! fig11 fig12 fig13 fig14 table4`, the extension experiment `ext`
 //! (incremental re-trim, greedy-vs-ddmin, provisioned concurrency), the
 //! probe-setup micro-measurement `probe` (writes `BENCH_probe.json`), the
-//! trace-replay benchmark `replay` (writes `BENCH_replay.json`), or `all`.
+//! trace-replay benchmark `replay` (writes `BENCH_replay.json`), the
+//! hazard-granularity comparison `hazard` (per-attribute pinning vs the
+//! blanket module fallback, writes `BENCH_hazard.json`), or `all`.
 //!
 //! `--jobs N` fans the shared corpus-trimming pass (and the trace replay)
 //! out over `N` worker threads (results are byte-identical to a sequential
@@ -47,7 +49,7 @@ fn main() {
     if ids.is_empty() || ids.contains(&"all") {
         ids = vec![
             "fig1", "table1", "fig2", "table2", "fig8", "fig9", "table3", "fig10", "fig11",
-            "fig12", "fig13", "fig14", "table4", "ext", "probe", "replay",
+            "fig12", "fig13", "fig14", "table4", "ext", "probe", "replay", "hazard",
         ];
     }
 
@@ -90,6 +92,7 @@ fn main() {
             "ext" => ext(),
             "probe" => probe(),
             "replay" => replay_bench(jobs),
+            "hazard" => hazard(jobs),
             other => eprintln!("unknown experiment id `{other}`"),
         }
     }
@@ -830,6 +833,96 @@ fn probe() {
         min_speedup
     );
     let path = "BENCH_probe.json";
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("wrote {path}");
+}
+
+// ---------------------------------------------------------------------------
+// Hazard granularity: per-attribute pinning vs blanket module fallback.
+// ---------------------------------------------------------------------------
+fn hazard(jobs: usize) {
+    banner("Hazard granularity — per-attribute pinning vs blanket-fallback baseline");
+    eprintln!(
+        "[experiments] trimming the corpus twice (per-attribute + blanket, {jobs} job{})...",
+        if jobs == 1 { "" } else { "s" }
+    );
+    let per_attr = compute_corpus(
+        trim_apps::corpus(),
+        &trim_core::DebloatOptions::default(),
+        jobs,
+    );
+    let blanket = compute_corpus(
+        trim_apps::corpus(),
+        &trim_core::DebloatOptions {
+            hazards: trim_core::HazardMode::Blanket,
+            ..trim_core::DebloatOptions::default()
+        },
+        jobs,
+    );
+    println!(
+        "{:<18} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8}",
+        "application", "blanket rm", "pinned rm", "recovered", "blk fb", "pin fb", "pinned"
+    );
+    let mut rows = Vec::new();
+    let (mut total_pa, mut total_bl) = (0usize, 0usize);
+    let mut apps_recovered = 0usize;
+    for (pa, bl) in per_attr.iter().zip(&blanket) {
+        assert_eq!(
+            pa.bench.name, bl.bench.name,
+            "corpus order is deterministic"
+        );
+        let pa_rm = pa.report.attrs_removed();
+        let bl_rm = bl.report.attrs_removed();
+        let recovered = pa_rm.saturating_sub(bl_rm);
+        let pinned: usize = pa
+            .report
+            .pinned_hazard_attrs
+            .values()
+            .map(|a| a.len())
+            .sum();
+        total_pa += pa_rm;
+        total_bl += bl_rm;
+        if recovered > 0 {
+            apps_recovered += 1;
+        }
+        println!(
+            "{:<18} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8}",
+            pa.bench.name,
+            bl_rm,
+            pa_rm,
+            recovered,
+            bl.report.fallback_modules.len(),
+            pa.report.fallback_modules.len(),
+            pinned
+        );
+        rows.push(format!(
+            "    {{\"app\": \"{}\", \"blanket_removed\": {bl_rm}, \"per_attr_removed\": {pa_rm}, \
+             \"recovered\": {recovered}, \"blanket_fallback_modules\": {}, \
+             \"per_attr_fallback_modules\": {}, \"pinned_attrs\": {pinned}}}",
+            pa.bench.name,
+            bl.report.fallback_modules.len(),
+            pa.report.fallback_modules.len()
+        ));
+    }
+    let recovered_total = total_pa.saturating_sub(total_bl);
+    let recovered_ratio = recovered_total as f64 / total_pa.max(1) as f64;
+    assert!(
+        apps_recovered > 0,
+        "per-attribute routing must recover trim on at least one blanket-fallback app"
+    );
+    println!(
+        "total removed: blanket {total_bl}, per-attribute {total_pa} — {recovered_total} attributes \
+         ({:.1}% of the per-attribute trim) recovered from blanket fallback across {apps_recovered} apps",
+        recovered_ratio * 100.0
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"hazard_granularity\",\n  \"unit\": \"attributes_removed\",\n  \"apps\": [\n{}\n  ],\n  \
+         \"blanket_removed_total\": {total_bl},\n  \"per_attr_removed_total\": {total_pa},\n  \
+         \"recovered_total\": {recovered_total},\n  \"recovered_ratio\": {recovered_ratio:.4},\n  \
+         \"apps_recovered\": {apps_recovered}\n}}\n",
+        rows.join(",\n")
+    );
+    let path = "BENCH_hazard.json";
     std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
     println!("wrote {path}");
 }

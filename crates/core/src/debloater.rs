@@ -24,6 +24,20 @@ pub enum Algorithm {
     Greedy,
 }
 
+/// How the pipeline treats modules implicated by a hazard lint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HazardMode {
+    /// Per-attribute precision (the default): a hazard with a bounded
+    /// attribute set pins those attributes into DD's must-keep seed and the
+    /// module is still trimmed; only an unbounded (⊤) hazard routes the
+    /// module to the conservative fallback deployment.
+    #[default]
+    PerAttribute,
+    /// Any hazard routes the whole module to the fallback deployment
+    /// (the pre-per-attribute behavior; kept as the comparison baseline).
+    Blanket,
+}
+
 /// Configuration of a debloating run.
 #[derive(Debug, Clone)]
 pub struct DebloatOptions {
@@ -57,6 +71,9 @@ pub struct DebloatOptions {
     /// still caches within a single pipeline run (a run-local cache is
     /// created), just not across runs.
     pub summary_cache: Option<Arc<trim_analysis::summary::SummaryCache>>,
+    /// Hazard routing: per-attribute pinning (default) or the blanket
+    /// whole-module fallback baseline.
+    pub hazards: HazardMode,
 }
 
 impl PartialEq for DebloatOptions {
@@ -70,6 +87,7 @@ impl PartialEq for DebloatOptions {
             && self.algorithm == other.algorithm
             && self.analysis == other.analysis
             && self.jobs == other.jobs
+            && self.hazards == other.hazards
             && match (&self.probe_cache, &other.probe_cache) {
                 (None, None) => true,
                 (Some(a), Some(b)) => Arc::ptr_eq(a, b),
@@ -95,6 +113,7 @@ impl Default for DebloatOptions {
             probe_cache: None,
             jobs: 1,
             summary_cache: None,
+            hazards: HazardMode::default(),
         }
     }
 }

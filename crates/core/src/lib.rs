@@ -56,7 +56,7 @@ pub mod rewrite;
 use std::fmt;
 
 pub use attributes::{is_magic, module_attributes};
-pub use debloater::{debloat_module, Algorithm, DebloatOptions, ModuleReport};
+pub use debloater::{debloat_module, Algorithm, DebloatOptions, HazardMode, ModuleReport};
 pub use deployment::{package, wrapper_source, DeploymentPackage};
 pub use fallback::{
     invoke_with_fallback, FallbackCost, FallbackInstanceState, FallbackOutcome, FALLBACK_SETUP_SECS,

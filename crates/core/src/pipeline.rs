@@ -1,10 +1,11 @@
 //! The end-to-end λ-trim pipeline (§4, Figure 3): static analyzer →
 //! cost profiler → DD debloater, producing a deployable trimmed registry.
 
-use crate::debloater::{debloat_module, DebloatOptions, ModuleReport};
+use crate::debloater::{debloat_module, DebloatOptions, HazardMode, ModuleReport};
 use crate::oracle::{run_app, Execution, OracleSpec};
 use crate::TrimError;
 use pylite::Registry;
+use std::collections::{BTreeMap, BTreeSet};
 use trim_analysis::lints::Lint;
 use trim_analysis::{AnalysisMode, AnalysisOptions};
 use trim_profiler::{profile_app, top_k};
@@ -28,9 +29,14 @@ pub struct TrimReport {
     /// attributes, debloat-soundness hazards).
     pub lints: Vec<Lint>,
     /// Top-K modules that were *not* DD-debloated because a hazard lint
-    /// implicated them: they deploy untrimmed (the conservative §5.4
-    /// fallback) rather than risking an unsound trim.
+    /// implicated them with an unbounded (⊤) attribute set — or with any
+    /// hazard under [`HazardMode::Blanket`]: they deploy untrimmed (the
+    /// conservative §5.4 fallback) rather than risking an unsound trim.
     pub fallback_modules: Vec<String>,
+    /// Hazard attributes pinned into DD's must-keep seed, per module that
+    /// was still trimmed despite a *bounded* hazard implicating it
+    /// (empty under [`HazardMode::Blanket`]).
+    pub pinned_hazard_attrs: BTreeMap<String, BTreeSet<String>>,
 }
 
 impl TrimReport {
@@ -115,17 +121,26 @@ pub fn trim_app(
         .collect();
 
     // 4. Debloat each target in rank order, committing as we go. Modules a
-    //    hazard lint implicates are not debloated at all: a star import or
-    //    opaque getattr makes the static accessed set unknowable, so they
-    //    take the conservative fallback deployment (§5.4).
+    //    hazard lint implicates with a *bounded* attribute set still enter
+    //    DD with those attributes pinned into the must-keep seed; only an
+    //    unbounded (⊤) hazard — or any hazard under the blanket baseline —
+    //    makes the accessed set unknowable and routes the module to the
+    //    conservative fallback deployment (§5.4).
     let mut work = registry.clone();
     let mut modules = Vec::with_capacity(targets.len());
     let mut fallback_modules = Vec::new();
+    let mut pinned_hazard_attrs: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
     for module in &targets {
-        if full.hazard_modules.contains(module) {
-            fallback_modules.push(module.clone());
-            continue;
-        }
+        let pinned: Option<BTreeSet<String>> = match full.hazard_attrs.get(module) {
+            None => None,
+            Some(bound) => match (options.hazards, bound.attrs()) {
+                (HazardMode::PerAttribute, Some(attrs)) => Some(attrs.clone()),
+                _ => {
+                    fallback_modules.push(module.clone());
+                    continue;
+                }
+            },
+        };
         // Interprocedural exclusion sets depend on library code, so they are
         // recomputed against the *working* registry: once a parent module's
         // trim drops a re-export line, the stale must-keeps it induced on
@@ -133,7 +148,7 @@ pub fn trim_app(
         // The first recomputation sees an untouched working registry and is
         // a summary-cache hit (no second fixpoint); later ones re-analyze
         // only the trimmed modules' reverse-dependency cone.
-        let must_keep = match options.analysis {
+        let mut must_keep = match options.analysis {
             AnalysisMode::AppOnly => full.analysis.accessed_attrs(module),
             AnalysisMode::Interprocedural => {
                 trim_analysis::analyze_full(&program, &work, &analysis_options)
@@ -141,6 +156,10 @@ pub fn trim_app(
                     .accessed_attrs(module)
             }
         };
+        if let Some(attrs) = pinned {
+            must_keep.extend(attrs.iter().cloned());
+            pinned_hazard_attrs.insert(module.clone(), attrs);
+        }
         let report = debloat_module(
             &mut work, app_source, spec, &before, module, &must_keep, options,
         )?;
@@ -163,6 +182,7 @@ pub fn trim_app(
         oracle_invocations,
         lints: full.lints,
         fallback_modules,
+        pinned_hazard_attrs,
     })
 }
 
@@ -316,6 +336,61 @@ mod tests {
             "no DD run for the fallback module"
         );
         assert!(report.after.behavior_eq(&report.before));
+    }
+
+    #[test]
+    fn bounded_hazard_pins_attrs_and_still_trims() {
+        // The getattr name is bounded by string-value analysis to
+        // {predict, train}: mlkit stays trimmable with those attributes
+        // pinned into must-keep instead of falling back wholesale.
+        let app = "import mlkit\nimport util\ndef handler(event, context):\n    key = \"predict\" if event[\"n\"] > 0 else \"train\"\n    fn = getattr(mlkit, key)\n    return util.fmt(fn(event[\"n\"]))\n";
+        let report = trim_app(&corpus(), app, &spec(), &DebloatOptions::default()).unwrap();
+        assert!(
+            report.fallback_modules.is_empty(),
+            "a bounded hazard must not route to fallback: {:?}",
+            report.fallback_modules
+        );
+        let pinned = report.pinned_hazard_attrs.get("mlkit").unwrap();
+        assert_eq!(
+            pinned,
+            &BTreeSet::from(["predict".to_owned(), "train".to_owned()])
+        );
+        assert!(
+            report.modules.iter().any(|m| m.module == "mlkit"),
+            "mlkit must get a DD run"
+        );
+        assert!(
+            report.attrs_removed() > 0,
+            "something must still be trimmed"
+        );
+        // `train` is pinned even though no oracle case reaches it, so the
+        // loss machinery it needs must survive the trim.
+        let src = report.trimmed.source("mlkit").unwrap();
+        assert!(src.contains("train"), "pinned attribute kept:\n{src}");
+        assert!(report.after.behavior_eq(&report.before));
+    }
+
+    #[test]
+    fn blanket_mode_reproduces_whole_module_fallback() {
+        let app = "import mlkit\nimport util\ndef handler(event, context):\n    key = \"predict\" if event[\"n\"] > 0 else \"train\"\n    fn = getattr(mlkit, key)\n    return util.fmt(fn(event[\"n\"]))\n";
+        let r = corpus();
+        let report = trim_app(
+            &r,
+            app,
+            &spec(),
+            &DebloatOptions {
+                hazards: HazardMode::Blanket,
+                ..DebloatOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.fallback_modules, vec!["mlkit".to_string()]);
+        assert!(report.pinned_hazard_attrs.is_empty());
+        assert_eq!(
+            report.trimmed.source("mlkit"),
+            r.source("mlkit"),
+            "blanket mode must leave the hazardous module untouched"
+        );
     }
 
     #[test]

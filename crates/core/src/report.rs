@@ -69,6 +69,13 @@ pub fn render(report: &TrimReport) -> String {
             report.fallback_modules.join(", ")
         );
     }
+    for (module, attrs) in &report.pinned_hazard_attrs {
+        let _ = writeln!(
+            out,
+            "pinned        : {module} keeps {{{}}} (hazard-bounded attributes)",
+            attrs.iter().cloned().collect::<Vec<_>>().join(", ")
+        );
+    }
     if !report.lints.is_empty() {
         let _ = writeln!(out);
         let _ = writeln!(out, "lints:");

@@ -49,6 +49,9 @@ profile:
 
 analyze:
     --jobs <N>          parallel static-analysis workers  [default: 1]
+    --hazards           print only the hazard report: per-module hazard
+                        attributes and the lint(s) that produced them
+    --json              with --hazards, emit the report as JSON
 
 run:
     --event <LITERAL>   event payload                     [default: {}]
@@ -222,6 +225,10 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
             ..trim_analysis::AnalysisOptions::default()
         },
     );
+    if args.has_flag("hazards") {
+        print_hazard_report(&full, args.has_flag("json"));
+        return Ok(());
+    }
     let analysis = &full.analysis;
     println!("imported modules:");
     for m in &analysis.imported_modules {
@@ -259,17 +266,96 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
             println!("  {lint}");
         }
     }
-    if !full.hazard_modules.is_empty() {
-        println!(
-            "\nhazard modules (deployed untrimmed, conservative fallback): {}",
-            full.hazard_modules
-                .iter()
-                .cloned()
-                .collect::<Vec<_>>()
-                .join(", ")
-        );
+    if !full.hazard_attrs.is_empty() {
+        println!("\nhazardous modules (see `analyze --hazards` for details):");
+        for (module, bound) in &full.hazard_attrs {
+            let route = if bound.is_top() {
+                "deployed untrimmed, conservative fallback"
+            } else {
+                "attributes pinned, module still trimmed"
+            };
+            println!("  {module}: {bound}  ({route})");
+        }
     }
     Ok(())
+}
+
+/// Print the per-module hazard report for `analyze --hazards`: each
+/// hazardous module with its attribute bound (pinned set or ⊤) and the
+/// hazard lint(s) that produced it. With `json`, the same data as a
+/// machine-readable object.
+fn print_hazard_report(full: &trim_analysis::FullAnalysis, json: bool) {
+    use trim_analysis::lints::Severity;
+    let producing_lints = |module: &str| -> Vec<String> {
+        full.lints
+            .iter()
+            .filter(|l| l.severity == Severity::Hazard && l.implicated_module() == Some(module))
+            .map(ToString::to_string)
+            .collect()
+    };
+    if json {
+        let mut entries = Vec::new();
+        for (module, bound) in &full.hazard_attrs {
+            let pinned = match bound.attrs() {
+                Some(attrs) => {
+                    let list: Vec<String> = attrs.iter().map(|a| json_string(a)).collect();
+                    format!("[{}]", list.join(", "))
+                }
+                None => "null".to_owned(),
+            };
+            let route = if bound.is_top() { "fallback" } else { "pinned" };
+            let lints: Vec<String> = producing_lints(module)
+                .iter()
+                .map(|l| json_string(l))
+                .collect();
+            entries.push(format!(
+                "\n    {{\n      \"module\": {},\n      \"route\": \"{route}\",\n      \"pinned_attrs\": {pinned},\n      \"lints\": [{}]\n    }}",
+                json_string(module),
+                lints.join(", ")
+            ));
+        }
+        if entries.is_empty() {
+            println!("{{\"hazards\": []}}");
+        } else {
+            println!("{{\n  \"hazards\": [{}\n  ]\n}}", entries.join(","));
+        }
+        return;
+    }
+    if full.hazard_attrs.is_empty() {
+        println!("no hazards: every module can be trimmed at full attribute granularity");
+        return;
+    }
+    println!("hazardous modules ({}):", full.hazard_attrs.len());
+    for (module, bound) in &full.hazard_attrs {
+        if bound.is_top() {
+            println!("  {module}: {bound} — deployed untrimmed, conservative fallback");
+        } else {
+            println!("  {module}: pinned attributes {bound} — module still enters delta debugging");
+        }
+        for lint in producing_lints(module) {
+            println!("      {lint}");
+        }
+    }
+}
+
+/// Render `s` as a JSON string literal (quotes, backslashes, control
+/// characters escaped).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn cmd_run(args: &Args) -> Result<(), String> {
@@ -428,6 +514,24 @@ mod tests {
     fn greedy_sequential_and_parallel_ddmin_are_accepted() {
         assert!(debloat_options(&args(&["--algorithm", "greedy"])).is_ok());
         assert!(debloat_options(&args(&["--algorithm", "ddmin", "--threads", "4"])).is_ok());
+    }
+
+    #[test]
+    fn hazard_flags_parse_as_bare_switches() {
+        let a = args(&["analyze", "--hazards", "--json", "--jobs", "2"]);
+        assert!(a.has_flag("hazards"));
+        assert!(a.has_flag("json"));
+        assert_eq!(analysis_jobs(&a).unwrap(), 2);
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(
+            json_string("line\nbreak\t\u{1}"),
+            "\"line\\nbreak\\t\\u0001\""
+        );
     }
 
     #[test]

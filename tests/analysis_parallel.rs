@@ -40,6 +40,9 @@ fn render(full: &FullAnalysis) -> String {
     for m in &full.hazard_modules {
         writeln!(out, "hazard| {m}").unwrap();
     }
+    for (m, bound) in &full.hazard_attrs {
+        writeln!(out, "hattr| {m}: {bound}").unwrap();
+    }
     for (from, to) in &full.call_graph.edges {
         writeln!(out, "edge| {from} -> {to}").unwrap();
     }
@@ -109,6 +112,11 @@ fn corpus_trim_results_are_schedule_independent() {
         assert_eq!(serial.lints, parallel.lints, "{}", app.name);
         assert_eq!(
             serial.fallback_modules, parallel.fallback_modules,
+            "{}",
+            app.name
+        );
+        assert_eq!(
+            serial.pinned_hazard_attrs, parallel.pinned_hazard_attrs,
             "{}",
             app.name
         );

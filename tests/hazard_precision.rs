@@ -1,0 +1,158 @@
+//! Differential precision tests for per-attribute hazard analysis.
+//!
+//! Two guarantees, checked against the benchmark corpus:
+//!
+//! 1. **Superset of removals** — routing hazardous modules through DD with
+//!    their hazard attributes pinned (the default) must never remove less
+//!    than the blanket whole-module fallback, per module and overall. The
+//!    blanket baseline deploys every hazardous module untrimmed, so the
+//!    per-attribute trim can only add removals — if it ever removes fewer
+//!    attributes from some module, pinning went wrong.
+//! 2. **Static ⊇ dynamic** — the statically-bounded hazard attribute set
+//!    must cover every hazardous access the app actually performs at
+//!    runtime. Each corpus app's `probe` op reaches its main library
+//!    through a non-literal `getattr`, so running both probe arms gives
+//!    dynamic ground truth to compare the static bound against.
+
+use lambda_trim::trim_analysis::{analyze_full, AnalysisOptions};
+use lambda_trim::trim_apps;
+use lambda_trim::trim_core::{oracle::parse_literal, HazardMode};
+use lambda_trim::{trim_app, DebloatOptions, Interpreter};
+use std::collections::BTreeSet;
+
+#[test]
+fn per_attribute_removals_are_a_superset_of_blanket() {
+    // Full-pipeline differential on a corpus slice (two trims per app is
+    // too slow for all 21 in CI; the static-vs-dynamic test below covers
+    // every app cheaply).
+    let mut recovered_anywhere = false;
+    for app in trim_apps::corpus().into_iter().take(6) {
+        let run = |hazards: HazardMode| {
+            trim_app(
+                &app.registry,
+                &app.app_source,
+                &app.spec,
+                &DebloatOptions {
+                    hazards,
+                    ..DebloatOptions::default()
+                },
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", app.name))
+        };
+        let pinned = run(HazardMode::PerAttribute);
+        let blanket = run(HazardMode::Blanket);
+
+        // Per-attribute routing can only shrink the fallback list.
+        let pinned_fb: BTreeSet<&String> = pinned.fallback_modules.iter().collect();
+        let blanket_fb: BTreeSet<&String> = blanket.fallback_modules.iter().collect();
+        assert!(
+            pinned_fb.is_subset(&blanket_fb),
+            "{}: per-attribute fallback {pinned_fb:?} must be a subset of blanket {blanket_fb:?}",
+            app.name
+        );
+
+        // Per module: everything blanket removed, per-attribute removed too.
+        for bm in &blanket.modules {
+            let removed_blanket: BTreeSet<&String> = bm.removed.iter().collect();
+            let removed_pinned: BTreeSet<&String> = pinned
+                .modules
+                .iter()
+                .find(|pm| pm.module == bm.module)
+                .map(|pm| pm.removed.iter().collect())
+                .unwrap_or_default();
+            assert!(
+                removed_blanket.is_subset(&removed_pinned),
+                "{}/{}: blanket removals must survive per-attribute routing",
+                app.name,
+                bm.module
+            );
+        }
+        assert!(
+            pinned.attrs_removed() >= blanket.attrs_removed(),
+            "{}: per-attribute trim removed fewer attributes overall",
+            app.name
+        );
+        if pinned.attrs_removed() > blanket.attrs_removed() {
+            recovered_anywhere = true;
+        }
+
+        // Both deployments must still satisfy the oracle.
+        assert!(pinned.after.behavior_eq(&pinned.before), "{}", app.name);
+        assert!(blanket.after.behavior_eq(&blanket.before), "{}", app.name);
+    }
+    assert!(
+        recovered_anywhere,
+        "at least one app must recover trim from the blanket fallback"
+    );
+}
+
+#[test]
+fn static_hazard_attrs_cover_dynamic_probe_accesses() {
+    for app in trim_apps::corpus() {
+        let (lib, [probe_a, probe_b]) = &app.probe;
+
+        // Static side: the probe library must carry a *bounded* hazard set
+        // (⊤ would force the whole module back to the blanket fallback).
+        let program = lambda_trim::pylite::parse(&app.app_source).expect("corpus app parses");
+        let full = analyze_full(
+            &program,
+            &app.registry,
+            &AnalysisOptions {
+                entry: Some(app.spec.handler.clone()),
+                ..AnalysisOptions::default()
+            },
+        );
+        let bound = full
+            .hazard_attrs
+            .get(lib)
+            .unwrap_or_else(|| panic!("{}: probe library {lib} must be hazardous", app.name));
+        let attrs = bound.attrs().unwrap_or_else(|| {
+            panic!("{}: hazard bound for {lib} must be finite, got ⊤", app.name)
+        });
+        for probe in [probe_a, probe_b] {
+            assert!(
+                attrs.contains(probe),
+                "{}: static bound {attrs:?} misses probe attribute {probe}",
+                app.name
+            );
+        }
+
+        // Dynamic side: run both probe arms and collect the ground truth.
+        let mut interp = Interpreter::new(app.registry.clone());
+        interp
+            .exec_main(&app.app_source)
+            .unwrap_or_else(|e| panic!("{}: init failed: {e}", app.name));
+        for deep in [false, true] {
+            let case = app.probe_case(deep);
+            let event = parse_literal(&case.event).expect("probe event literal");
+            let context = parse_literal(&case.context).expect("probe context literal");
+            interp
+                .call_handler(&app.spec.handler, event, context)
+                .unwrap_or_else(|e| panic!("{}: probe(deep={deep}) failed: {e}", app.name));
+        }
+        let observed = interp.observed_accesses();
+        let lib_observed = observed
+            .get(lib)
+            .unwrap_or_else(|| panic!("{}: no runtime accesses observed on {lib}", app.name));
+
+        // Both probe arms really execute the hazardous getattr...
+        for probe in [probe_a, probe_b] {
+            assert!(
+                lib_observed.contains(probe),
+                "{}: probe attribute {probe} was never accessed at runtime",
+                app.name
+            );
+        }
+        // ...and every dynamically-observed hazardous access is inside the
+        // static bound: static hazard attrs ⊇ dynamic hazardous accesses.
+        let dynamic_hazardous: BTreeSet<&String> = lib_observed
+            .iter()
+            .filter(|a| *a == probe_a || *a == probe_b)
+            .collect();
+        assert!(
+            dynamic_hazardous.iter().all(|a| attrs.contains(*a)),
+            "{}: dynamic hazardous accesses {dynamic_hazardous:?} escape the static bound {attrs:?}",
+            app.name
+        );
+    }
+}

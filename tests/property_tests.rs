@@ -478,6 +478,7 @@ fn incremental_reanalysis_matches_from_scratch() {
         assert_eq!(a.module_bindings, b.module_bindings, "{what}: bindings");
         assert_eq!(a.lints, b.lints, "{what}: lints");
         assert_eq!(a.hazard_modules, b.hazard_modules, "{what}: hazards");
+        assert_eq!(a.hazard_attrs, b.hazard_attrs, "{what}: hazard attrs");
         assert_eq!(a.call_graph, b.call_graph, "{what}: call graph");
         assert_eq!(a.reached_functions, b.reached_functions, "{what}: reached");
     }
@@ -530,6 +531,100 @@ fn incremental_reanalysis_matches_from_scratch() {
                 &incremental,
                 &format!("case {case}, edit {edit} ({victim})"),
             );
+        }
+    }
+}
+
+/// A random module whose public surface the hazard lattice must track:
+/// `a0`/`a1` always exist (the apps below getattr them), plus a random
+/// tail of functions, constants and an occasional underscore-private.
+fn random_hazardous_module(rng: &mut Rng) -> String {
+    let n = rng.usize_inclusive(2, 10);
+    let mut src = String::new();
+    for i in 0..n {
+        src.push_str(&format!("def a{i}(x):\n    return x + {i}\n"));
+    }
+    for c in 0..rng.usize_inclusive(0, 2) {
+        src.push_str(&format!("C{c} = {}\n", rng.usize_inclusive(0, 9)));
+    }
+    if rng.bool() {
+        src.push_str("_private = 7\n");
+    }
+    src
+}
+
+/// Random edits to a *hazardous* module: incremental re-analysis through a
+/// warm summary cache yields hazard sets byte-identical to analysis from
+/// scratch, for every hazard kind (bounded getattr, opaque getattr,
+/// star-import, module rebinding). Every case includes a surface-shrinking
+/// edit, which exercises the engine's poison-retry escalation (a rebuilt
+/// shard whose published surface shrank forces the pessimistic rebuild of
+/// its reverse read-dependency cone).
+#[test]
+fn incremental_hazard_sets_match_scratch_on_hazardous_edits() {
+    use lambda_trim::trim_analysis::{analyze_full, AnalysisOptions};
+
+    const APPS: [&str; 4] = [
+        // Bounded getattr: hazard attrs = {a0, a1}.
+        "import hz\ndef handler(event, context):\n    key = \"a0\" if event else \"a1\"\n    return getattr(hz, key)(1)\n",
+        // Opaque getattr: hazard attrs = hz's full binding surface (top).
+        "import hz\ndef handler(event, context):\n    return getattr(hz, event[\"k\"])(1)\n",
+        // Star import: hazard attrs = hz's public binding surface.
+        "from hz import *\ndef handler(event, context):\n    return a0(1)\n",
+        // Module rebinding via del.
+        "import hz\ndef handler(event, context):\n    r = hz.a0(1)\n    del hz\n    return r\n",
+    ];
+
+    let mut rng = Rng::seed_from_u64(0x4a2a);
+    for case in 0..24 {
+        let app = APPS[case % APPS.len()];
+        let program = pylite::parse(app).expect("hazard app parses");
+        let mut registry = pylite::Registry::new();
+        registry.set_module("hz", random_hazardous_module(&mut rng));
+        registry.set_module("helper", "def go(x):\n    return x\n");
+
+        let cache = lambda_trim::trim_analysis::summary::SummaryCache::shared();
+        let warm_opts = AnalysisOptions {
+            summary_cache: Some(cache.clone()),
+            ..AnalysisOptions::default()
+        };
+        analyze_full(&program, &registry, &warm_opts); // prime
+
+        for edit in 0..3 {
+            let old_hz = registry.source("hz").expect("hz present").to_owned();
+            match edit {
+                // A fresh random surface: may grow or shrink.
+                0 => registry.set_module("hz", random_hazardous_module(&mut rng)),
+                // A guaranteed shrink to the minimal surface — the
+                // published surface of `hz` loses names, poisoning the
+                // optimistic incremental attempt.
+                1 => registry
+                    .set_module("hz", "def a0(x):\n    return x\ndef a1(x):\n    return x\n"),
+                // Grow it back plus an unrelated-module edit in the same
+                // round, so the cone spans multiple shards.
+                _ => {
+                    registry.set_module("hz", random_hazardous_module(&mut rng));
+                    registry.set_module("helper", "def go(x):\n    return x + 1\n");
+                }
+            }
+            let edited = registry.source("hz") != Some(old_hz.as_str()) || edit == 2;
+            let runs_before = cache.incremental_runs();
+            let incremental = analyze_full(&program, &registry, &warm_opts);
+            assert!(
+                !edited || cache.incremental_runs() > runs_before,
+                "case {case}, edit {edit}: a real edit must take the incremental path"
+            );
+            let scratch = analyze_full(&program, &registry, &AnalysisOptions::default());
+            assert_eq!(
+                format!("{:?}", scratch.hazard_attrs),
+                format!("{:?}", incremental.hazard_attrs),
+                "case {case}, edit {edit}: incremental hazard set must be byte-identical to scratch"
+            );
+            assert_eq!(
+                scratch.hazard_modules, incremental.hazard_modules,
+                "case {case}, edit {edit}"
+            );
+            assert_eq!(scratch.lints, incremental.lints, "case {case}, edit {edit}");
         }
     }
 }
