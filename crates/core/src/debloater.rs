@@ -3,11 +3,11 @@
 //! registry.
 
 use crate::attributes::module_attributes;
-use crate::oracle::{run_app_measured, Execution, OracleSpec};
+use crate::oracle::{run_app_measured_with, Execution, OracleSpec};
 use crate::probe_cache::{app_fingerprint, ProbeCache, ProbeKey};
 use crate::rewrite::rewrite_module;
 use crate::TrimError;
-use pylite::Registry;
+use pylite::{Engine, Registry};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -74,6 +74,11 @@ pub struct DebloatOptions {
     /// Hazard routing: per-attribute pinning (default) or the blanket
     /// whole-module fallback baseline.
     pub hazards: HazardMode,
+    /// Execution tier for oracle runs: the bytecode VM (default) or the
+    /// tree-walking reference interpreter. Both are byte-identical in
+    /// behavior and metering; `Tree` exists as the differential baseline
+    /// and an escape hatch.
+    pub engine: Engine,
 }
 
 impl PartialEq for DebloatOptions {
@@ -88,6 +93,7 @@ impl PartialEq for DebloatOptions {
             && self.analysis == other.analysis
             && self.jobs == other.jobs
             && self.hazards == other.hazards
+            && self.engine == other.engine
             && match (&self.probe_cache, &other.probe_cache) {
                 (None, None) => true,
                 (Some(a), Some(b)) => Arc::ptr_eq(a, b),
@@ -114,7 +120,24 @@ impl Default for DebloatOptions {
             jobs: 1,
             summary_cache: None,
             hazards: HazardMode::default(),
+            engine: Engine::default(),
         }
+    }
+}
+
+/// Parse a `--engine` CLI value. Accepts `vm` (the bytecode tier, default)
+/// and `tree` (the tree-walking reference interpreter).
+///
+/// # Errors
+///
+/// [`TrimError::Config`] for any other value.
+pub fn parse_engine(s: &str) -> Result<Engine, TrimError> {
+    match s {
+        "vm" => Ok(Engine::Vm),
+        "tree" => Ok(Engine::Tree),
+        other => Err(TrimError::Config(format!(
+            "unknown engine `{other}` (expected vm|tree)"
+        ))),
     }
 }
 
@@ -204,7 +227,8 @@ pub fn debloat_module(
         }
         let rewritten = rewrite_module(&program, keep);
         let candidate_registry = base.with_module(module, pylite::unparse(&rewritten));
-        let (result, secs) = run_app_measured(&candidate_registry, app_source, spec);
+        let (result, secs) =
+            run_app_measured_with(&candidate_registry, app_source, spec, options.engine);
         spent.fetch_add((secs * 1e9) as u64, Ordering::Relaxed);
         let verdict = match result {
             Ok(actual) => actual.behavior_eq(expected),
@@ -255,7 +279,8 @@ pub fn debloat_module(
             // oracle (the candidate that passed probing also passes here,
             // but this guards against any rewrite/commit divergence — the
             // §5.4 philosophy of never making the app worse).
-            let (verify, verify_secs) = run_app_measured(work, app_source, spec);
+            let (verify, verify_secs) =
+                run_app_measured_with(work, app_source, spec, options.engine);
             let committed_ok = matches!(&verify, Ok(actual) if actual.behavior_eq(expected));
             if !committed_ok {
                 work.set_module(module, original_source);
@@ -611,5 +636,56 @@ mod tests {
         assert!(report.kept.contains(&"Linear".to_owned()));
         let after = run_app(&work, APP, &spec()).unwrap();
         assert!(after.behavior_eq(&expected));
+    }
+
+    #[test]
+    fn parse_engine_accepts_both_tiers() {
+        assert_eq!(parse_engine("vm").unwrap(), Engine::Vm);
+        assert_eq!(parse_engine("tree").unwrap(), Engine::Tree);
+    }
+
+    #[test]
+    fn parse_engine_rejects_unknown_values() {
+        for bad in ["", "VM", "jit", "treewalker"] {
+            match parse_engine(bad) {
+                Err(TrimError::Config(msg)) => {
+                    assert!(msg.contains(&format!("unknown engine `{bad}`")), "{msg}");
+                    assert!(msg.contains("expected vm|tree"), "{msg}");
+                }
+                other => panic!("expected Config error for {bad:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn tree_engine_probes_identically() {
+        let mut vm_work = torch_registry();
+        let expected = run_app(&vm_work, APP, &spec()).unwrap();
+        let vm_report = debloat_module(
+            &mut vm_work,
+            APP,
+            &spec(),
+            &expected,
+            "torch.nn",
+            &BTreeSet::new(),
+            &DebloatOptions::default(),
+        )
+        .unwrap();
+        let mut tree_work = torch_registry();
+        let tree_report = debloat_module(
+            &mut tree_work,
+            APP,
+            &spec(),
+            &expected,
+            "torch.nn",
+            &BTreeSet::new(),
+            &DebloatOptions {
+                engine: Engine::Tree,
+                ..DebloatOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(vm_report, tree_report);
+        assert_eq!(vm_work.fingerprint(), tree_work.fingerprint());
     }
 }

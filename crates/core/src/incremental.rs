@@ -16,7 +16,7 @@
 
 use crate::attributes::module_attributes;
 use crate::debloater::{DebloatOptions, ModuleReport};
-use crate::oracle::{run_app, run_app_measured, Execution, OracleSpec};
+use crate::oracle::{run_app_measured_with, run_app_with, Execution, OracleSpec};
 use crate::pipeline::TrimReport;
 use crate::probe_cache::{app_fingerprint, ProbeKey};
 use crate::rewrite::rewrite_module;
@@ -110,7 +110,8 @@ pub fn retrim_with_log(
             "analysis jobs must be at least 1".to_owned(),
         ));
     }
-    let before = run_app(registry, app_source, spec).map_err(TrimError::Baseline)?;
+    let before =
+        run_app_with(registry, app_source, spec, options.engine).map_err(TrimError::Baseline)?;
     let app_program = pylite::parse(app_source).map_err(TrimError::Parse)?;
     // Retrims are where the summary cache earns its keep: sharing one cache
     // across runs means only the edited modules' reverse-dependency cone is
@@ -173,7 +174,8 @@ pub fn retrim_with_log(
             }
             let rewritten = rewrite_module(&program, keep);
             let candidate = base.with_module(module, pylite::unparse(&rewritten));
-            let (result, secs) = run_app_measured(&candidate, app_source, spec);
+            let (result, secs) =
+                run_app_measured_with(&candidate, app_source, spec, options.engine);
             let ok = match result {
                 Ok(actual) => actual.behavior_eq(&before),
                 Err(_) => false,
@@ -274,7 +276,8 @@ pub fn retrim_with_log(
             }
         }
     }
-    let after = run_app(&work, app_source, spec).map_err(TrimError::Baseline)?;
+    let after =
+        run_app_with(&work, app_source, spec, options.engine).map_err(TrimError::Baseline)?;
     Ok(IncrementalReport {
         modules,
         before,

@@ -56,15 +56,21 @@ pub mod rewrite;
 use std::fmt;
 
 pub use attributes::{is_magic, module_attributes};
-pub use debloater::{debloat_module, Algorithm, DebloatOptions, HazardMode, ModuleReport};
+pub use debloater::{
+    debloat_module, parse_engine, Algorithm, DebloatOptions, HazardMode, ModuleReport,
+};
 pub use deployment::{package, wrapper_source, DeploymentPackage};
 pub use fallback::{
     invoke_with_fallback, FallbackCost, FallbackInstanceState, FallbackOutcome, FALLBACK_SETUP_SECS,
 };
 pub use incremental::{retrim_with_log, IncrementalReport, TrimLog};
-pub use oracle::{oracle_passes, run_app, Execution, OracleSpec, TestCase};
+pub use oracle::{
+    oracle_passes, run_app, run_app_measured, run_app_measured_with, run_app_with, Execution,
+    OracleSpec, TestCase,
+};
 pub use pipeline::{trim_app, trim_corpus_parallel, CorpusJob, TrimReport};
 pub use probe_cache::{app_fingerprint, ProbeCache, ProbeKey};
+pub use pylite::Engine;
 pub use report::{render as render_report, render_removals};
 pub use rewrite::{rewrite_module, rewrite_source};
 pub use trim_analysis::AnalysisMode;

@@ -9,7 +9,7 @@
 //! because instances are stateless).
 
 use pylite::ast::Expr;
-use pylite::{parse_expr, py_repr, ExcKind, Interpreter, PyErr, Registry, Value};
+use pylite::{parse_expr, py_repr, Engine, ExcKind, Interpreter, PyErr, Registry, Value};
 
 /// One oracle test case: the JSON-like event and the invocation context.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -147,6 +147,21 @@ pub fn run_app(
     run_app_measured(registry, app_source, spec).0
 }
 
+/// Like [`run_app`], but on an explicit execution tier — the bytecode VM
+/// (the default) or the tree-walking reference interpreter.
+///
+/// # Errors
+///
+/// Any pylite exception raised during initialization or by the handler.
+pub fn run_app_with(
+    registry: &Registry,
+    app_source: &str,
+    spec: &OracleSpec,
+    engine: Engine,
+) -> Result<Execution, PyErr> {
+    run_app_measured_with(registry, app_source, spec, engine).0
+}
+
 /// Like [`run_app`], but also returns the virtual time the probe consumed
 /// regardless of success — the quantity the debloater accumulates into the
 /// per-application "debloating time" of Table 3.
@@ -155,7 +170,20 @@ pub fn run_app_measured(
     app_source: &str,
     spec: &OracleSpec,
 ) -> (Result<Execution, PyErr>, f64) {
+    run_app_measured_with(registry, app_source, spec, Engine::default())
+}
+
+/// [`run_app_measured`] on an explicit execution tier. Both engines meter
+/// virtual time identically (the bytecode differential pins this), so the
+/// returned measurement is engine-independent.
+pub fn run_app_measured_with(
+    registry: &Registry,
+    app_source: &str,
+    spec: &OracleSpec,
+    engine: Engine,
+) -> (Result<Execution, PyErr>, f64) {
     let mut interp = Interpreter::new(registry.clone());
+    interp.engine = engine;
     let result = run_app_inner(&mut interp, app_source, spec);
     let spent = interp.meter.clock_secs();
     (result, spent)

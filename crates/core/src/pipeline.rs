@@ -2,7 +2,7 @@
 //! cost profiler → DD debloater, producing a deployable trimmed registry.
 
 use crate::debloater::{debloat_module, DebloatOptions, HazardMode, ModuleReport};
-use crate::oracle::{run_app, Execution, OracleSpec};
+use crate::oracle::{run_app_with, Execution, OracleSpec};
 use crate::TrimError;
 use pylite::Registry;
 use std::collections::{BTreeMap, BTreeSet};
@@ -92,7 +92,8 @@ pub fn trim_app(
         ));
     }
     // 1. Baseline run.
-    let before = run_app(registry, app_source, spec).map_err(TrimError::Baseline)?;
+    let before =
+        run_app_with(registry, app_source, spec, options.engine).map_err(TrimError::Baseline)?;
 
     // 2. Static analysis: accesses, call graph, lints and hazard routing.
     // All analysis runs in this pipeline share one summary cache (the
@@ -166,7 +167,8 @@ pub fn trim_app(
         modules.push(report);
     }
 
-    let after = run_app(&work, app_source, spec).map_err(TrimError::Baseline)?;
+    let after =
+        run_app_with(&work, app_source, spec, options.engine).map_err(TrimError::Baseline)?;
     debug_assert!(
         after.behavior_eq(&before),
         "trimmed application must be oracle-equivalent"

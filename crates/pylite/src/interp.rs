@@ -45,7 +45,7 @@ pub struct ImportEvent {
 }
 
 /// Control flow outcome of a statement.
-enum Flow {
+pub(crate) enum Flow {
     Normal,
     Return(Value),
     Break,
@@ -54,11 +54,11 @@ enum Flow {
 
 /// Execution environment: the module globals plus, inside functions, a
 /// locals namespace and the set of `global`-declared names.
-struct Env {
-    globals: Namespace,
-    locals: Option<Namespace>,
-    global_decls: HashSet<Symbol, SymbolHashBuilder>,
-    module: Rc<str>,
+pub(crate) struct Env {
+    pub(crate) globals: Namespace,
+    pub(crate) locals: Option<Namespace>,
+    pub(crate) global_decls: HashSet<Symbol, SymbolHashBuilder>,
+    pub(crate) module: Rc<str>,
 }
 
 /// Pre-interned symbols for names the interpreter itself consults on hot
@@ -180,6 +180,34 @@ struct IcEntry {
     value: Value,
 }
 
+/// Which execution tier runs module bodies and function code.
+///
+/// [`Engine::Vm`] (the default) compiles the resolved IR into the compact
+/// bytecode of [`crate::bytecode`] and runs its dispatch loop;
+/// [`Engine::Tree`] walks the resolved AST directly and is retained as the
+/// differential reference (`--engine tree`). Both tiers are byte-identical
+/// in observable behavior: stdout, exceptions, meter ticks and simulated
+/// allocations, and observed accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Compiled-bytecode dispatch loop (the default tier).
+    #[default]
+    Vm,
+    /// Tree-walking reference evaluator.
+    Tree,
+}
+
+/// Hit/miss counters for one `mod.attr` inline-cache site (see
+/// [`Interpreter::enable_ic_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IcSiteStats {
+    /// Lookups served from a valid cache entry.
+    pub hits: u64,
+    /// Lookups that fell back to the namespace (cold site, generation
+    /// bump, or a different module behind the same site).
+    pub misses: u64,
+}
+
 /// Default per-run step budget (statements). Debloated candidate programs
 /// can in pathological cases loop forever; the budget turns that into a
 /// deterministic [`ExcKind::ResourceExhausted`] failure the oracle rejects.
@@ -207,6 +235,8 @@ pub struct Interpreter {
     pub import_events: Vec<ImportEvent>,
     /// Maximum number of statements executed before aborting.
     pub step_limit: u64,
+    /// Execution tier for module bodies and function calls.
+    pub engine: Engine,
     observed: HashSet<(Symbol, Symbol), SymbolHashBuilder>,
     modules: HashMap<String, Rc<ModuleObj>>,
     builtins: Namespace,
@@ -215,6 +245,10 @@ pub struct Interpreter {
     syms: CommonSyms,
     native_syms: NativeSyms,
     ics: HashMap<u32, IcEntry, SymbolHashBuilder>,
+    ic_stats: Option<HashMap<u32, IcSiteStats, SymbolHashBuilder>>,
+    /// Recycled VM frames: nested bytecode calls pop a frame here instead
+    /// of allocating fresh operand-stack/iterator vectors per invocation.
+    pub(crate) vm_frames: Vec<crate::bytecode::VmFrame>,
 }
 
 impl std::fmt::Debug for CommonSyms {
@@ -261,6 +295,7 @@ impl Interpreter {
             extcalls: Vec::new(),
             import_events: Vec::new(),
             step_limit: DEFAULT_STEP_LIMIT,
+            engine: Engine::default(),
             observed: HashSet::default(),
             modules: HashMap::new(),
             builtins,
@@ -269,6 +304,32 @@ impl Interpreter {
             syms,
             native_syms,
             ics: HashMap::default(),
+            ic_stats: None,
+            vm_frames: Vec::new(),
+        }
+    }
+
+    /// Turn on per-site inline-cache hit/miss counting. Off by default:
+    /// the counters cost a branch plus a hash update per `mod.attr` read,
+    /// so only benchmarking harnesses should enable them.
+    pub fn enable_ic_stats(&mut self) {
+        self.ic_stats = Some(HashMap::default());
+    }
+
+    /// Per-site inline-cache counters, if enabled. Keys are the
+    /// resolved-IR attribute-site ids shared by both engines.
+    pub fn ic_site_stats(&self) -> Option<&HashMap<u32, IcSiteStats, SymbolHashBuilder>> {
+        self.ic_stats.as_ref()
+    }
+
+    /// Total inline-cache `(hits, misses)` across all sites (zeros when
+    /// counting is disabled).
+    pub fn ic_totals(&self) -> (u64, u64) {
+        match &self.ic_stats {
+            None => (0, 0),
+            Some(stats) => stats
+                .values()
+                .fold((0, 0), |(h, m), s| (h + s.hits, m + s.misses)),
         }
     }
 
@@ -293,9 +354,26 @@ impl Interpreter {
     /// Any uncaught pylite exception, including parse errors surfaced as
     /// [`ExcKind::ImportError`].
     pub fn exec_main(&mut self, source: &str) -> Result<Rc<ModuleObj>, PyErr> {
-        let program = crate::parser::parse(source)
-            .map_err(|e| PyErr::new(ExcKind::ImportError, format!("__main__: {e}")))?;
-        let resolved = resolve_program(&program, &self.interner);
+        enum Body {
+            Tree(crate::resolved::RProgram),
+            Vm(std::sync::Arc<crate::bytecode::CodeObj>),
+        }
+        let body = match self.engine {
+            Engine::Tree => {
+                let program = crate::parser::parse(source)
+                    .map_err(|e| PyErr::new(ExcKind::ImportError, format!("__main__: {e}")))?;
+                Body::Tree(resolve_program(&program, &self.interner))
+            }
+            // `__main__` is not a registry module, but its bytecode still
+            // gets a shared content-keyed slot: every DD probe runs the
+            // identical app source, so all but the first skip the parse,
+            // resolve and compile passes entirely.
+            Engine::Vm => Body::Vm(
+                self.registry
+                    .compile_main(source)
+                    .map_err(|e| PyErr::new(ExcKind::ImportError, format!("__main__: {e}")))?,
+            ),
+        };
         let module = Rc::new(ModuleObj {
             name: "__main__".into(),
             name_sym: self.interner.intern("__main__"),
@@ -310,7 +388,10 @@ impl Interpreter {
             global_decls: HashSet::default(),
             module: Rc::from("__main__"),
         };
-        self.exec_block(&resolved.body, &mut env)?;
+        match body {
+            Body::Tree(resolved) => self.exec_block(&resolved.body, &mut env)?,
+            Body::Vm(code) => self.vm_exec_block(&code, &mut env)?,
+        }
         Ok(module)
     }
 
@@ -379,10 +460,22 @@ impl Interpreter {
         if let Some(p) = &parent {
             self.import_module(p)?;
         }
-        let resolved = self
-            .registry
-            .resolve_module(dotted)
-            .map_err(|e| PyErr::new(ExcKind::ImportError, format!("{dotted}: {e}")))?;
+        enum Body {
+            Tree(Arc<crate::resolved::RProgram>),
+            Vm(Arc<crate::bytecode::CodeObj>),
+        }
+        let body = match self.engine {
+            Engine::Tree => Body::Tree(
+                self.registry
+                    .resolve_module(dotted)
+                    .map_err(|e| PyErr::new(ExcKind::ImportError, format!("{dotted}: {e}")))?,
+            ),
+            Engine::Vm => Body::Vm(
+                self.registry
+                    .compile_module(dotted)
+                    .map_err(|e| PyErr::new(ExcKind::ImportError, format!("{dotted}: {e}")))?,
+            ),
+        };
         self.meter.tick(self.cost.import_ns);
         self.meter.alloc(self.cost.module_base_bytes);
         let module = Rc::new(ModuleObj {
@@ -408,7 +501,10 @@ impl Interpreter {
             global_decls: HashSet::default(),
             module: Rc::from(dotted),
         };
-        let result = self.exec_block(&resolved.body, &mut env);
+        let result = match &body {
+            Body::Tree(resolved) => self.exec_block(&resolved.body, &mut env),
+            Body::Vm(code) => self.vm_exec_block(code, &mut env),
+        };
         self.import_depth -= 1;
         match result {
             Ok(()) => {
@@ -581,60 +677,11 @@ impl Interpreter {
             RStmt::Break => Ok(Flow::Break),
             RStmt::Continue => Ok(Flow::Continue),
             RStmt::Import { items } => {
-                for item in items {
-                    let module = self.import_module(&item.module)?;
-                    match &item.top {
-                        None => self.bind_name(item.bind, Value::Module(module), env),
-                        Some(top) => {
-                            let top_module = self
-                                .modules
-                                .get(&**top)
-                                .cloned()
-                                .expect("top package loaded by import_module");
-                            self.bind_name(item.bind, Value::Module(top_module), env);
-                        }
-                    }
-                }
+                self.exec_import(items, env)?;
                 Ok(Flow::Normal)
             }
             RStmt::FromImport { module, names } => {
-                let m = self.import_module(module)?;
-                for name in names {
-                    let (name, bind) = match name {
-                        crate::resolved::RFromName::Star => {
-                            // Bind every public (non-underscore) name of the
-                            // module into the importing scope.
-                            for key in m.ns.key_syms() {
-                                if self.interner.resolve(key).starts_with('_') {
-                                    continue;
-                                }
-                                self.record_access(&m, key);
-                                let v = m.ns.get(key).expect("key from snapshot");
-                                self.bind_name(key, v, env);
-                            }
-                            continue;
-                        }
-                        crate::resolved::RFromName::Named { name, bind } => (*name, *bind),
-                    };
-                    self.record_access(&m, name);
-                    let v = match m.ns.get(name) {
-                        Some(v) => v,
-                        None => {
-                            // `from pkg import sub` where sub is a submodule.
-                            let name_text = self.interner.resolve(name);
-                            let sub = format!("{module}.{name_text}");
-                            if self.registry.contains(&sub) {
-                                Value::Module(self.import_module(&sub)?)
-                            } else {
-                                return Err(PyErr::new(
-                                    ExcKind::ImportError,
-                                    format!("cannot import name '{name_text}' from '{module}'"),
-                                ));
-                            }
-                        }
-                    };
-                    self.bind_name(bind, v, env);
-                }
+                self.exec_from_import(module, names, env)?;
                 Ok(Flow::Normal)
             }
             RStmt::Raise(e) => {
@@ -716,50 +763,132 @@ impl Interpreter {
                 Ok(Flow::Normal)
             }
             RStmt::Del(target) => {
-                match target {
-                    RExpr::Name(n) => {
-                        let removed = match &env.locals {
-                            Some(locals) if !env.global_decls.contains(n) => locals.remove(*n),
-                            _ => env.globals.remove(*n),
-                        };
-                        if removed.is_none() {
-                            return Err(PyErr::new(
-                                ExcKind::NameError,
-                                format!("name '{}' is not defined", self.interner.resolve(*n)),
-                            ));
-                        }
-                    }
-                    RExpr::Attribute { value, attr, .. } => {
-                        let obj = self.eval(value, env)?;
-                        // `NsMap::remove` bumps the namespace generation,
-                        // invalidating any inline cache for this attribute.
-                        let removed = match &obj {
-                            Value::Module(m) => m.ns.remove(*attr),
-                            Value::Instance(i) => i.borrow().ns.remove(*attr),
-                            Value::Class(c) => c.ns.remove(*attr),
-                            _ => None,
-                        };
-                        if removed.is_none() {
-                            return Err(PyErr::attribute_error(format!(
-                                "cannot delete attribute '{}'",
-                                self.interner.resolve(*attr)
-                            )));
-                        }
-                    }
-                    _ => {
-                        return Err(PyErr::type_error("unsupported del target"));
-                    }
-                }
+                self.exec_del(target, env)?;
                 Ok(Flow::Normal)
             }
         }
+    }
+
+    /// Execute an `import a.b [as c][, ...]` clause list. Shared verbatim
+    /// by the tree-walker and the bytecode VM's `Import` instruction, so
+    /// binding and allocation behavior cannot diverge between tiers.
+    pub(crate) fn exec_import(
+        &mut self,
+        items: &[crate::resolved::RImportItem],
+        env: &mut Env,
+    ) -> Result<(), PyErr> {
+        for item in items {
+            let module = self.import_module(&item.module)?;
+            match &item.top {
+                None => self.bind_name(item.bind, Value::Module(module), env),
+                Some(top) => {
+                    let top_module = self
+                        .modules
+                        .get(&**top)
+                        .cloned()
+                        .expect("top package loaded by import_module");
+                    self.bind_name(item.bind, Value::Module(top_module), env);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute a `from module import ...` statement (shared by both
+    /// engines, like [`Interpreter::exec_import`]).
+    pub(crate) fn exec_from_import(
+        &mut self,
+        module: &str,
+        names: &[crate::resolved::RFromName],
+        env: &mut Env,
+    ) -> Result<(), PyErr> {
+        let m = self.import_module(module)?;
+        for name in names {
+            let (name, bind) = match name {
+                crate::resolved::RFromName::Star => {
+                    // Bind every public (non-underscore) name of the
+                    // module into the importing scope.
+                    for key in m.ns.key_syms() {
+                        if self.interner.resolve(key).starts_with('_') {
+                            continue;
+                        }
+                        self.record_access(&m, key);
+                        let v = m.ns.get(key).expect("key from snapshot");
+                        self.bind_name(key, v, env);
+                    }
+                    continue;
+                }
+                crate::resolved::RFromName::Named { name, bind } => (*name, *bind),
+            };
+            self.record_access(&m, name);
+            let v = match m.ns.get(name) {
+                Some(v) => v,
+                None => {
+                    // `from pkg import sub` where sub is a submodule.
+                    let name_text = self.interner.resolve(name);
+                    let sub = format!("{module}.{name_text}");
+                    if self.registry.contains(&sub) {
+                        Value::Module(self.import_module(&sub)?)
+                    } else {
+                        return Err(PyErr::new(
+                            ExcKind::ImportError,
+                            format!("cannot import name '{name_text}' from '{module}'"),
+                        ));
+                    }
+                }
+            };
+            self.bind_name(bind, v, env);
+        }
+        Ok(())
+    }
+
+    /// Execute a `del target` statement (shared by both engines; the
+    /// attribute form tree-evaluates its object expression, which is the
+    /// cost reference the VM must match — `del` is rare enough that the
+    /// bytecode tier simply reuses it).
+    pub(crate) fn exec_del(&mut self, target: &RExpr, env: &mut Env) -> Result<(), PyErr> {
+        match target {
+            RExpr::Name(n) => {
+                let removed = match &env.locals {
+                    Some(locals) if !env.global_decls.contains(n) => locals.remove(*n),
+                    _ => env.globals.remove(*n),
+                };
+                if removed.is_none() {
+                    return Err(PyErr::new(
+                        ExcKind::NameError,
+                        format!("name '{}' is not defined", self.interner.resolve(*n)),
+                    ));
+                }
+            }
+            RExpr::Attribute { value, attr, .. } => {
+                let obj = self.eval(value, env)?;
+                // `NsMap::remove` bumps the namespace generation,
+                // invalidating any inline cache for this attribute.
+                let removed = match &obj {
+                    Value::Module(m) => m.ns.remove(*attr),
+                    Value::Instance(i) => i.borrow().ns.remove(*attr),
+                    Value::Class(c) => c.ns.remove(*attr),
+                    _ => None,
+                };
+                if removed.is_none() {
+                    return Err(PyErr::attribute_error(format!(
+                        "cannot delete attribute '{}'",
+                        self.interner.resolve(*attr)
+                    )));
+                }
+            }
+            _ => {
+                return Err(PyErr::type_error("unsupported del target"));
+            }
+        }
+        Ok(())
     }
 }
 
 // -- definitions, bindings, expressions -----------------------------------
 
 impl Interpreter {
-    fn value_to_exception(&mut self, v: Value) -> Result<PyErr, PyErr> {
+    pub(crate) fn value_to_exception(&mut self, v: Value) -> Result<PyErr, PyErr> {
         match v {
             Value::ExcValue(e) => Ok((*e).clone()),
             Value::ExcClass(kind) => Ok(PyErr::new(kind, "")),
@@ -793,7 +922,7 @@ impl Interpreter {
         }
     }
 
-    fn make_function(&mut self, f: &Arc<RFuncDef>, env: &Env) -> Result<Value, PyErr> {
+    pub(crate) fn make_function(&mut self, f: &Arc<RFuncDef>, env: &Env) -> Result<Value, PyErr> {
         let mut defaults = Vec::with_capacity(f.params.len());
         for p in &f.params {
             defaults.push(match &p.default {
@@ -817,7 +946,7 @@ impl Interpreter {
         })))
     }
 
-    fn make_class(&mut self, c: &RClassDef, env: &mut Env) -> Result<Value, PyErr> {
+    pub(crate) fn make_class(&mut self, c: &RClassDef, env: &mut Env) -> Result<Value, PyErr> {
         let mut bases = Vec::new();
         let mut is_exception = false;
         for path in &c.bases {
@@ -871,7 +1000,7 @@ impl Interpreter {
         self.observed.insert((module.name_sym, attr));
     }
 
-    fn bind_name(&mut self, name: Symbol, value: Value, env: &mut Env) {
+    pub(crate) fn bind_name(&mut self, name: Symbol, value: Value, env: &mut Env) {
         let target_ns = match &env.locals {
             Some(locals) if !env.global_decls.contains(&name) => locals,
             _ => &env.globals,
@@ -892,60 +1021,12 @@ impl Interpreter {
                 value: obj, attr, ..
             } => {
                 let obj = self.eval(obj, env)?;
-                // `NsMap::set` bumps the namespace generation, so inline
-                // caches for this attribute are invalidated automatically.
-                match &obj {
-                    Value::Module(m) => {
-                        if m.ns.set(*attr, value).is_none() {
-                            self.meter.alloc(self.cost.binding_bytes);
-                        }
-                    }
-                    Value::Instance(i) => {
-                        if i.borrow().ns.set(*attr, value).is_none() {
-                            self.meter.alloc(self.cost.binding_bytes);
-                        }
-                    }
-                    Value::Class(c) => {
-                        if c.ns.set(*attr, value).is_none() {
-                            self.meter.alloc(self.cost.binding_bytes);
-                        }
-                    }
-                    other => {
-                        return Err(PyErr::attribute_error(format!(
-                            "'{}' object attribute '{}' is read-only",
-                            other.type_name(),
-                            self.interner.resolve(*attr)
-                        )))
-                    }
-                }
-                Ok(())
+                self.set_attr(&obj, *attr, value)
             }
             RExpr::Subscript { value: obj, index } => {
                 let obj = self.eval(obj, env)?;
                 let idx = self.eval(index, env)?;
-                match &obj {
-                    Value::List(items) => {
-                        let i = as_index(&idx, items.borrow().len())?;
-                        items.borrow_mut()[i] = value;
-                        Ok(())
-                    }
-                    Value::Dict(pairs) => {
-                        let mut pairs = pairs.borrow_mut();
-                        for (k, v) in pairs.iter_mut() {
-                            if py_eq(k, &idx) {
-                                *v = value;
-                                return Ok(());
-                            }
-                        }
-                        pairs.push((idx, value));
-                        self.meter.alloc(self.cost.element_bytes);
-                        Ok(())
-                    }
-                    other => Err(PyErr::type_error(format!(
-                        "'{}' object does not support item assignment",
-                        other.type_name()
-                    ))),
-                }
+                self.set_item(&obj, idx, value)
             }
             RExpr::Tuple(targets) | RExpr::List(targets) => {
                 let items = self.iter_values(&value)?;
@@ -968,7 +1049,71 @@ impl Interpreter {
         }
     }
 
-    fn lookup_name(&mut self, name: Symbol, env: &Env) -> Result<Value, PyErr> {
+    /// Store `value` as an attribute of `obj` (the `obj.attr = value`
+    /// path, shared by both engines).
+    pub(crate) fn set_attr(
+        &mut self,
+        obj: &Value,
+        attr: Symbol,
+        value: Value,
+    ) -> Result<(), PyErr> {
+        // `NsMap::set` bumps the namespace generation, so inline
+        // caches for this attribute are invalidated automatically.
+        match obj {
+            Value::Module(m) => {
+                if m.ns.set(attr, value).is_none() {
+                    self.meter.alloc(self.cost.binding_bytes);
+                }
+            }
+            Value::Instance(i) => {
+                if i.borrow().ns.set(attr, value).is_none() {
+                    self.meter.alloc(self.cost.binding_bytes);
+                }
+            }
+            Value::Class(c) => {
+                if c.ns.set(attr, value).is_none() {
+                    self.meter.alloc(self.cost.binding_bytes);
+                }
+            }
+            other => {
+                return Err(PyErr::attribute_error(format!(
+                    "'{}' object attribute '{}' is read-only",
+                    other.type_name(),
+                    self.interner.resolve(attr)
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Store `value` at `obj[idx]` (shared by both engines).
+    pub(crate) fn set_item(&mut self, obj: &Value, idx: Value, value: Value) -> Result<(), PyErr> {
+        match obj {
+            Value::List(items) => {
+                let i = as_index(&idx, items.borrow().len())?;
+                items.borrow_mut()[i] = value;
+                Ok(())
+            }
+            Value::Dict(pairs) => {
+                let mut pairs = pairs.borrow_mut();
+                for (k, v) in pairs.iter_mut() {
+                    if py_eq(k, &idx) {
+                        *v = value;
+                        return Ok(());
+                    }
+                }
+                pairs.push((idx, value));
+                self.meter.alloc(self.cost.element_bytes);
+                Ok(())
+            }
+            other => Err(PyErr::type_error(format!(
+                "'{}' object does not support item assignment",
+                other.type_name()
+            ))),
+        }
+    }
+
+    pub(crate) fn lookup_name(&mut self, name: Symbol, env: &Env) -> Result<Value, PyErr> {
         if let Some(locals) = &env.locals {
             if !env.global_decls.contains(&name) {
                 if let Some(v) = locals.get(name) {
@@ -1051,25 +1196,7 @@ impl Interpreter {
             }
             RExpr::Unary { op, operand } => {
                 let v = self.eval(operand, env)?;
-                match op {
-                    UnaryOp::Not => Ok(Value::Bool(!v.truthy())),
-                    UnaryOp::Neg => match v {
-                        Value::Int(i) => Ok(Value::Int(-i)),
-                        Value::Float(f) => Ok(Value::Float(-f)),
-                        Value::Bool(b) => Ok(Value::Int(-(b as i64))),
-                        other => Err(PyErr::type_error(format!(
-                            "bad operand type for unary -: '{}'",
-                            other.type_name()
-                        ))),
-                    },
-                    UnaryOp::Pos => match v {
-                        Value::Int(_) | Value::Float(_) | Value::Bool(_) => Ok(v),
-                        other => Err(PyErr::type_error(format!(
-                            "bad operand type for unary +: '{}'",
-                            other.type_name()
-                        ))),
-                    },
-                }
+                unary_op(*op, v)
             }
             RExpr::Binary { left, op, right } => {
                 let l = self.eval(left, env)?;
@@ -1176,7 +1303,7 @@ impl Interpreter {
 // -- operators, attributes, calls -----------------------------------------
 
 impl Interpreter {
-    fn binary_op(&mut self, op: BinOp, l: Value, r: Value) -> Result<Value, PyErr> {
+    pub(crate) fn binary_op(&mut self, op: BinOp, l: Value, r: Value) -> Result<Value, PyErr> {
         use Value::*;
         let type_err = |l: &Value, r: &Value| {
             PyErr::type_error(format!(
@@ -1297,7 +1424,7 @@ impl Interpreter {
         }
     }
 
-    fn compare(&mut self, op: CmpOp, l: &Value, r: &Value) -> Result<bool, PyErr> {
+    pub(crate) fn compare(&mut self, op: CmpOp, l: &Value, r: &Value) -> Result<bool, PyErr> {
         match op {
             CmpOp::Eq => Ok(py_eq(l, r)),
             CmpOp::Ne => Ok(!py_eq(l, r)),
@@ -1350,7 +1477,7 @@ impl Interpreter {
         }
     }
 
-    fn iter_values(&mut self, v: &Value) -> Result<Vec<Value>, PyErr> {
+    pub(crate) fn iter_values(&mut self, v: &Value) -> Result<Vec<Value>, PyErr> {
         match v {
             Value::List(items) => Ok(items.borrow().clone()),
             Value::Tuple(items) => Ok((**items).clone()),
@@ -1367,7 +1494,7 @@ impl Interpreter {
     /// Raises `AttributeError` — the signal λ-trim's fallback wrapper
     /// watches for. `site` is the resolved-IR inline-cache site id for
     /// `mod.attr` expressions; runtime lookups (`getattr`) pass `None`.
-    fn attr_lookup(
+    pub(crate) fn attr_lookup(
         &mut self,
         obj: &Value,
         attr: Symbol,
@@ -1382,8 +1509,15 @@ impl Interpreter {
                 if let Some(site) = site {
                     if let Some(entry) = self.ics.get(&site) {
                         if entry.generation == generation && entry.ns.same(&m.ns) {
-                            return Ok(entry.value.clone());
+                            let value = entry.value.clone();
+                            if let Some(stats) = &mut self.ic_stats {
+                                stats.entry(site).or_default().hits += 1;
+                            }
+                            return Ok(value);
                         }
+                    }
+                    if let Some(stats) = &mut self.ic_stats {
+                        stats.entry(site).or_default().misses += 1;
                     }
                 }
                 match m.ns.get(attr) {
@@ -1522,7 +1656,7 @@ impl Interpreter {
         Ok(adjusted.clamp(0, len as i64))
     }
 
-    fn slice_value(
+    pub(crate) fn slice_value(
         &mut self,
         v: &Value,
         start: Option<&Value>,
@@ -1572,7 +1706,7 @@ impl Interpreter {
         }
     }
 
-    fn get_item(&mut self, obj: &Value, idx: &Value) -> Result<Value, PyErr> {
+    pub(crate) fn get_item(&mut self, obj: &Value, idx: &Value) -> Result<Value, PyErr> {
         match obj {
             Value::List(items) => {
                 let items = items.borrow();
@@ -1723,7 +1857,14 @@ impl Interpreter {
             global_decls: HashSet::default(),
             module: func.module.clone(),
         };
-        match self.exec_suite(&func.code.body, &mut env)? {
+        let flow = match self.engine {
+            Engine::Tree => self.exec_suite(&func.code.body, &mut env)?,
+            Engine::Vm => {
+                let code = crate::bytecode::func_code(&func.code);
+                self.vm_run_suite(&code, &mut env)?
+            }
+        };
+        match flow {
             Flow::Return(v) => Ok(v),
             _ => Ok(Value::None),
         }
@@ -2348,6 +2489,29 @@ fn value_isinstance(v: &Value, class: &Value) -> bool {
         }
         Value::Tuple(classes) => classes.iter().any(|c| value_isinstance(v, c)),
         _ => false,
+    }
+}
+
+/// Apply a unary operator (shared by both engines).
+pub(crate) fn unary_op(op: UnaryOp, v: Value) -> Result<Value, PyErr> {
+    match op {
+        UnaryOp::Not => Ok(Value::Bool(!v.truthy())),
+        UnaryOp::Neg => match v {
+            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            Value::Bool(b) => Ok(Value::Int(-(b as i64))),
+            other => Err(PyErr::type_error(format!(
+                "bad operand type for unary -: '{}'",
+                other.type_name()
+            ))),
+        },
+        UnaryOp::Pos => match v {
+            Value::Int(_) | Value::Float(_) | Value::Bool(_) => Ok(v),
+            other => Err(PyErr::type_error(format!(
+                "bad operand type for unary +: '{}'",
+                other.type_name()
+            ))),
+        },
     }
 }
 

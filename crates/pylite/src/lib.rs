@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod bytecode;
 pub mod cost;
 pub mod intern;
 pub mod interp;
@@ -46,9 +47,10 @@ pub mod resolved;
 pub mod value;
 
 pub use ast::{unparse, Program, Stmt};
+pub use bytecode::{compile_program, CodeObj};
 pub use cost::{CostModel, Meter};
 pub use intern::{Interner, Symbol, SymbolHashBuilder};
-pub use interp::{ImportEvent, Interpreter};
+pub use interp::{Engine, IcSiteStats, ImportEvent, Interpreter};
 pub use parser::{parse, parse_expr, ParseError};
 pub use registry::Registry;
 pub use resolved::{resolve_program, RProgram};

@@ -19,13 +19,14 @@
 //! verdicts on it to share results across runs.
 
 use crate::ast::Program;
+use crate::bytecode::CodeObj;
 use crate::intern::Interner;
 use crate::parser::{parse, ParseError};
 use crate::resolved::{resolve_program, RProgram};
 use std::any::Any;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// A shared, lazily filled per-entry slot for derived per-module data that
 /// consumers (e.g. the analysis engine) want to compute once per module
@@ -52,6 +53,7 @@ struct ModuleEntry {
     source: Arc<str>,
     parsed: Arc<OnceLock<Result<Arc<Program>, ParseError>>>,
     resolved: Arc<OnceLock<Result<Arc<RProgram>, ParseError>>>,
+    bytecode: Arc<OnceLock<Result<Arc<CodeObj>, ParseError>>>,
     summary: SummarySlot,
 }
 
@@ -61,6 +63,7 @@ impl ModuleEntry {
             source: source.into(),
             parsed: Arc::new(OnceLock::new()),
             resolved: Arc::new(OnceLock::new()),
+            bytecode: Arc::new(OnceLock::new()),
             summary: SummarySlot::default(),
         }
     }
@@ -108,7 +111,17 @@ pub struct Registry {
     /// part of the fingerprint or `PartialEq`: symbols are an in-memory
     /// acceleration, and probe caches must hit across interner families.
     interner: Arc<Interner>,
+    /// Compiled `__main__` bytecode, keyed by app-source content and shared
+    /// by every clone/overlay: one app source drives thousands of DD probe
+    /// interpreters, each of which would otherwise re-parse, re-resolve and
+    /// re-compile it. Like the per-entry slots, this is derived data and
+    /// deliberately absent from the fingerprint and `PartialEq`.
+    main_code: Arc<Mutex<MainCodeCache>>,
 }
+
+/// Content-keyed `__main__` bytecode cache: hash of the app source → the
+/// full source (collision check) and its compiled code object.
+type MainCodeCache = HashMap<u64, (Arc<str>, Arc<CodeObj>)>;
 
 impl PartialEq for Registry {
     /// Registries are equal when they hold the same module sources; the
@@ -249,6 +262,60 @@ impl Registry {
                 Ok(Arc::new(resolve_program(&program, &self.interner)))
             })
             .clone()
+    }
+
+    /// Parse, resolve *and* bytecode-compile a module (see
+    /// [`crate::bytecode`]), caching the [`CodeObj`] in a slot shared by
+    /// every clone of this registry — like [`resolve_module`], the compile
+    /// pass runs once per module family, not once per probe interpreter.
+    /// The slot is derived data keyed by content and deliberately absent
+    /// from the fingerprint and `PartialEq`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`ParseError`] if the module does not parse.
+    ///
+    /// [`resolve_module`]: Registry::resolve_module
+    pub fn compile_module(&self, name: &str) -> Result<Arc<CodeObj>, ParseError> {
+        let entry = self.modules.get(name).ok_or_else(|| ParseError {
+            message: format!("no module named `{name}` in registry"),
+            line: 0,
+        })?;
+        entry
+            .bytecode
+            .get_or_init(|| {
+                let resolved = self.resolve_module(name)?;
+                Ok(Arc::new(crate::bytecode::compile_program(&resolved)))
+            })
+            .clone()
+    }
+
+    /// Parse, resolve and bytecode-compile an application (`__main__`)
+    /// source, caching the [`CodeObj`] by *content* in a slot shared by
+    /// every clone/overlay of this registry. `__main__` is not a registry
+    /// module, but every DD probe executes the identical app source, so the
+    /// compile pass runs once per app rather than once per probe. A hash
+    /// collision falls back to a fresh (uncached) compile via the full
+    /// source comparison.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`ParseError`] if the source does not parse.
+    pub fn compile_main(&self, source: &str) -> Result<Arc<CodeObj>, ParseError> {
+        let key = entry_hash("__main__", source);
+        if let Some((cached_src, code)) = self.main_code.lock().expect("main slot").get(&key) {
+            if **cached_src == *source {
+                return Ok(code.clone());
+            }
+        }
+        let program = parse(source)?;
+        let resolved = resolve_program(&program, &self.interner);
+        let code = Arc::new(crate::bytecode::compile_program(&resolved));
+        self.main_code
+            .lock()
+            .expect("main slot")
+            .insert(key, (Arc::from(source), code.clone()));
+        Ok(code)
     }
 
     /// The content fingerprint of a single module: the same `(name, source)`

@@ -22,7 +22,7 @@
 
 use crate::ast::{BinOp, BoolOp, CmpOp, Expr, Program, Stmt, UnaryOp};
 use crate::intern::{Interner, Symbol};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A resolved module: a sequence of resolved statements.
 #[derive(Debug, Clone, Default)]
@@ -96,6 +96,10 @@ pub struct RFuncDef {
     /// `ast::stmt_count` of the source body, precomputed for the cost
     /// model's definition-time allocation charge.
     pub stmt_count: u64,
+    /// Lazily compiled bytecode for the body, shared by every `PyFunc`
+    /// created from this definition (and, through the registry's resolved
+    /// slot, by every COW clone of the module family).
+    pub(crate) compiled: OnceLock<Arc<crate::bytecode::CodeObj>>,
 }
 
 /// A resolved class definition.
@@ -395,6 +399,7 @@ impl Resolver<'_> {
                         .collect(),
                     body: self.stmts(&f.body).into(),
                     stmt_count: crate::ast::stmt_count(&f.body) as u64,
+                    compiled: OnceLock::new(),
                 }))
             }
             Stmt::ClassDef(c) => {

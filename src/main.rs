@@ -41,6 +41,7 @@ trim:
     --threads <N>       parallel DD probe workers         [default: 1]
     --jobs <N>          parallel static-analysis workers  [default: 1]
     --algorithm <A>     ddmin|greedy                      [default: ddmin]
+    --engine <E>        oracle execution tier: vm|tree    [default: vm]
     --wrap              append the fallback wrapper to the app output
 
 profile:
@@ -130,6 +131,9 @@ fn debloat_options(args: &Args) -> Result<DebloatOptions, String> {
                 ))
             }
         };
+    }
+    if let Some(e) = args.get("engine") {
+        options.engine = trim_core::parse_engine(e).map_err(|err| err.to_string())?;
     }
     if options.threads > 1 && matches!(options.algorithm, trim_core::Algorithm::Greedy) {
         return Err(
@@ -532,6 +536,27 @@ mod tests {
             json_string("line\nbreak\t\u{1}"),
             "\"line\\nbreak\\t\\u0001\""
         );
+    }
+
+    #[test]
+    fn engine_flag_is_parsed_and_validated() {
+        assert_eq!(
+            debloat_options(&args(&[])).unwrap().engine,
+            trim_core::Engine::Vm
+        );
+        assert_eq!(
+            debloat_options(&args(&["--engine", "vm"])).unwrap().engine,
+            trim_core::Engine::Vm
+        );
+        assert_eq!(
+            debloat_options(&args(&["--engine", "tree"]))
+                .unwrap()
+                .engine,
+            trim_core::Engine::Tree
+        );
+        let err = debloat_options(&args(&["--engine", "jit"])).expect_err("bad engine rejected");
+        assert!(err.contains("unknown engine `jit`"), "{err}");
+        assert!(err.contains("expected vm|tree"), "{err}");
     }
 
     #[test]
