@@ -42,12 +42,17 @@ pub use platform::{
     simulate_pool, AppProfile, Invocation, PhaseBreakdown, Platform, PlatformConfig, PoolStats,
     StartKind, StartMode,
 };
-pub use pool::{simulate_pool_ext, simulate_pool_ext_traced, ExtPoolStats, PoolEvent, PoolOptions};
+pub use pool::{
+    simulate_pool_ext, simulate_pool_ext_naive_traced, simulate_pool_ext_stream_traced,
+    simulate_pool_ext_traced, try_simulate_pool_ext, try_simulate_pool_ext_traced,
+    validate_arrivals, ExtPoolStats, PoolError, PoolEvent, PoolOptions,
+};
 pub use pricing::{PricingModel, Rounding, SnapStartPricing};
 pub use providers::{min_visible_saving_ms, providers, quote_all, Provider, ProviderQuote};
 pub use snapshot::CheckpointModel;
 pub use trace::{
-    generate_trace, load_trace_csv, nearest_function, parse_trace_csv, replay_trace, ArrivalClass,
-    DiurnalProfile, FunctionReplay, FunctionTrace, ReplayOptions, ReplayReport, TraceConfig,
-    TraceError, TraceSet, TraceSource, VariantReport,
+    generate_trace, load_trace_csv, nearest_function, parse_trace_csv, render_fleet_metrics_json,
+    replay_fleet, replay_trace, synthesize_function, ArrivalClass, DiurnalProfile, FleetReport,
+    FleetVariantReport, FunctionReplay, FunctionTrace, ReplayOptions, ReplayReport,
+    SyntheticFunction, TraceConfig, TraceError, TraceSet, TraceSource, VariantReport,
 };

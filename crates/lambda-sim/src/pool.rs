@@ -13,8 +13,43 @@
 //! * **concurrency limit** — at most `max_concurrency` instances may run
 //!   at once; excess arrivals queue and their queueing delay is added to
 //!   E2E latency.
+//!
+//! # Engines
+//!
+//! Two implementations share one contract:
+//!
+//! * the **event-driven engine** (the default behind every public entry
+//!   point) keeps busy instances in a min-heap on `free_at` and idle
+//!   instances in ordered multisets, so each arrival costs `O(log n)`
+//!   amortized instead of the naive `O(n)` scan — the difference between
+//!   linear and quadratic behavior under bursts;
+//! * the **naive reference engine** ([`simulate_pool_ext_naive_traced`])
+//!   retains the original `Vec<Instance>` + `retain`/`filter`/`sort_by`
+//!   per-arrival loop. It exists purely as the differential-testing oracle:
+//!   both engines must produce byte-identical [`ExtPoolStats`] and
+//!   [`PoolEvent`] streams on every input.
+//!
+//! The equivalence rests on a structural invariant of the pool: a
+//! non-provisioned instance always satisfies
+//! `expires_at == free_at + keep_alive_secs` (set identically on creation
+//! and on every warm reuse), and a provisioned instance never expires. An
+//! instance's observable state is therefore exactly `(free_at,
+//! provisioned)`, which is what the event-driven engine's ordered
+//! containers key on; instances that tie on that pair are interchangeable,
+//! so heap/multiset tie-breaking cannot diverge from the naive engine's
+//! iteration-order tie-breaking.
+//!
+//! # Expiry boundary
+//!
+//! Keep-alive expiry is **exclusive**: an idle instance is reaped when
+//! `expires_at < now` and still usable when `expires_at == now`. With
+//! `keep_alive_secs == 0` a queued request dispatching at the exact instant
+//! its slot frees therefore still reuses it warm. Both engines pin this
+//! boundary (see `expiry_boundary_is_exclusive_on_both_engines`).
 
 use crate::platform::{AppProfile, Platform, StartKind, StartMode};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// AWS provisioned-concurrency price: $ per GB-second of reserved capacity
 /// (lower than the on-demand duration price).
@@ -104,8 +139,55 @@ pub struct PoolEvent {
     pub kind: StartKind,
 }
 
+/// Typed errors from the extended pool simulator's input validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PoolError {
+    /// The arrival sequence is not sorted ascending: out-of-order arrivals
+    /// silently corrupt cold/warm accounting (the pool clock only moves
+    /// forward), so they are rejected up front.
+    UnsortedArrivals {
+        /// 0-based index of the offending arrival.
+        index: usize,
+        /// The preceding arrival timestamp.
+        previous: f64,
+        /// The out-of-order timestamp found at `index`.
+        found: f64,
+    },
+    /// An arrival timestamp is NaN, which has no place on a timeline.
+    NanArrival {
+        /// 0-based index of the NaN arrival.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::UnsortedArrivals {
+                index,
+                previous,
+                found,
+            } => write!(
+                f,
+                "arrivals must be sorted ascending: arrivals[{index}] = {found} \
+                 after {previous}"
+            ),
+            PoolError::NanArrival { index } => {
+                write!(f, "arrivals[{index}] is NaN")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
 /// Simulate an arrival process through the extended pool. `arrivals` must
-/// be sorted ascending (seconds from window start).
+/// be sorted ascending (seconds from window start); this is enforced.
+///
+/// # Panics
+///
+/// Panics if `arrivals` is unsorted or contains NaN — use
+/// [`try_simulate_pool_ext`] to handle malformed input gracefully.
 pub fn simulate_pool_ext(
     platform: &Platform,
     app: &AppProfile,
@@ -117,13 +199,305 @@ pub fn simulate_pool_ext(
 
 /// [`simulate_pool_ext`] with an event sink: `on_event` is called once per
 /// arrival, in arrival order, with the dispatched request's timeline.
+///
+/// # Panics
+///
+/// Panics if `arrivals` is unsorted or contains NaN — use
+/// [`try_simulate_pool_ext_traced`] to handle malformed input gracefully.
 pub fn simulate_pool_ext_traced(
+    platform: &Platform,
+    app: &AppProfile,
+    arrivals: &[f64],
+    options: &PoolOptions,
+    on_event: impl FnMut(PoolEvent),
+) -> ExtPoolStats {
+    try_simulate_pool_ext_traced(platform, app, arrivals, options, on_event)
+        .unwrap_or_else(|e| panic!("simulate_pool_ext: {e}"))
+}
+
+/// [`simulate_pool_ext`] returning a typed error instead of panicking on
+/// malformed arrival sequences.
+///
+/// # Errors
+///
+/// [`PoolError::UnsortedArrivals`] or [`PoolError::NanArrival`].
+pub fn try_simulate_pool_ext(
+    platform: &Platform,
+    app: &AppProfile,
+    arrivals: &[f64],
+    options: &PoolOptions,
+) -> Result<ExtPoolStats, PoolError> {
+    try_simulate_pool_ext_traced(platform, app, arrivals, options, |_| {})
+}
+
+/// [`simulate_pool_ext_traced`] returning a typed error instead of
+/// panicking on malformed arrival sequences.
+///
+/// # Errors
+///
+/// [`PoolError::UnsortedArrivals`] or [`PoolError::NanArrival`].
+pub fn try_simulate_pool_ext_traced(
+    platform: &Platform,
+    app: &AppProfile,
+    arrivals: &[f64],
+    options: &PoolOptions,
+    on_event: impl FnMut(PoolEvent),
+) -> Result<ExtPoolStats, PoolError> {
+    simulate_pool_ext_stream_traced(platform, app, arrivals.iter().copied(), options, on_event)
+}
+
+/// Total-order key for pool timestamps (`f64::total_cmp`); the simulator
+/// rejects NaN at the boundary, and all derived times are NaN-free, so the
+/// total order coincides with the numeric order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Time(f64);
+
+impl Eq for Time {}
+
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Ordered multiset of idle-instance `free_at` times.
+type IdleSet = BTreeMap<Time, usize>;
+
+fn idle_insert(set: &mut IdleSet, t: f64) {
+    *set.entry(Time(t)).or_insert(0) += 1;
+}
+
+/// Remove and return the greatest `free_at` (most recently used).
+fn idle_take_max(set: &mut IdleSet) -> Option<f64> {
+    let (&key, count) = set.iter_mut().next_back()?;
+    *count -= 1;
+    if *count == 0 {
+        set.remove(&key);
+    }
+    Some(key.0)
+}
+
+/// Event-driven core: streams arrivals through the pool without ever
+/// materializing them, validating ordering on the fly.
+///
+/// Busy instances live in a min-heap keyed on `free_at` (tagged
+/// provisioned/on-demand); idle instances live in two ordered multisets of
+/// `free_at` (provisioned instances never expire; on-demand instances
+/// expire at `free_at + keep_alive_secs`, so the key determines expiry
+/// too). Each arrival settles freed instances out of the heap, reaps
+/// expired idle instances from the cheap end of the multiset, and — under
+/// a concurrency cap — pops exactly `busy - cap + 1` heap entries to find
+/// the queued request's dispatch time, the same `(busy - cap + 1)`-th
+/// earliest `free_at` the naive engine finds by sorting.
+///
+/// # Errors
+///
+/// [`PoolError::UnsortedArrivals`] or [`PoolError::NanArrival`].
+pub fn simulate_pool_ext_stream_traced(
+    platform: &Platform,
+    app: &AppProfile,
+    arrivals: impl IntoIterator<Item = f64>,
+    options: &PoolOptions,
+    mut on_event: impl FnMut(PoolEvent),
+) -> Result<ExtPoolStats, PoolError> {
+    let keep_alive = options.keep_alive_secs;
+    // Busy = dispatched and not yet freed: min-heap on (free_at, provisioned).
+    let mut busy: BinaryHeap<Reverse<(Time, bool)>> = BinaryHeap::new();
+    let mut idle_demand: IdleSet = IdleSet::new();
+    let mut idle_prov: IdleSet = IdleSet::new();
+    for _ in 0..options.provisioned {
+        idle_insert(&mut idle_prov, 0.0);
+    }
+
+    // Move every busy instance freed by `now` into its idle set.
+    let settle = |busy: &mut BinaryHeap<Reverse<(Time, bool)>>,
+                  idle_demand: &mut IdleSet,
+                  idle_prov: &mut IdleSet,
+                  now: f64| {
+        while let Some(&Reverse((t, provisioned))) = busy.peek() {
+            if t.0 > now {
+                break;
+            }
+            busy.pop();
+            idle_insert(if provisioned { idle_prov } else { idle_demand }, t.0);
+        }
+    };
+    // Reap idle on-demand instances whose keep-alive ran out strictly
+    // before `now` (exclusive expiry; see the module docs). Every entry
+    // already satisfies `free_at <= now`, and the reap predicate is
+    // monotone in `free_at`, so popping from the low end suffices. The
+    // negated comparison is deliberate: it is the exact complement of the
+    // naive engine's `expires_at < now` reap test, NaN semantics included.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    let reap = |idle_demand: &mut IdleSet, now: f64| {
+        while let Some((&key, count)) = idle_demand.iter_mut().next() {
+            if !(key.0 + keep_alive < now) {
+                break;
+            }
+            *count -= 1;
+            if *count == 0 {
+                idle_demand.remove(&key);
+            }
+        }
+    };
+
+    let mut stats = ExtPoolStats::default();
+    let mut prev = f64::NEG_INFINITY;
+    for (index, arrival) in arrivals.into_iter().enumerate() {
+        if arrival.is_nan() {
+            return Err(PoolError::NanArrival { index });
+        }
+        if arrival < prev {
+            return Err(PoolError::UnsortedArrivals {
+                index,
+                previous: prev,
+                found: arrival,
+            });
+        }
+        prev = arrival;
+        let mut now = arrival;
+        settle(&mut busy, &mut idle_demand, &mut idle_prov, now);
+        reap(&mut idle_demand, now);
+
+        // Concurrency limiting. With `busy >= cap` instances running, the
+        // request must wait until the pool is down to `cap - 1` running
+        // instances — i.e. until the `(busy - cap + 1)`-th earliest
+        // `free_at`, not the earliest (waiting only for the earliest lets a
+        // burst of b > cap simultaneous arrivals run b instances at once).
+        //
+        // Popped entries free *after* `arrival` but by the waited dispatch
+        // time; they must NOT settle into the idle sets (the next arrival
+        // in a burst may be earlier than the waited clock, at which point
+        // they count as busy again). They become warm candidates for this
+        // dispatch only, and the unchosen ones go straight back into the
+        // busy heap to settle at whatever later arrival overtakes them.
+        let mut waiters: Vec<(f64, bool)> = Vec::new();
+        if let Some(cap) = options.max_concurrency {
+            let cap = cap.max(1);
+            if busy.len() >= cap {
+                for _ in 0..(busy.len() - cap + 1) {
+                    let Reverse((t, provisioned)) =
+                        busy.pop().expect("pop count bounded by busy.len()");
+                    now = t.0;
+                    waiters.push((t.0, provisioned));
+                }
+                // Entries tied at the new clock freed by dispatch time too.
+                while let Some(&Reverse((t, _))) = busy.peek() {
+                    if t.0 > now {
+                        break;
+                    }
+                    let Reverse((t, provisioned)) = busy.pop().expect("peeked");
+                    waiters.push((t.0, provisioned));
+                }
+                stats.queued_requests += 1;
+                stats.total_queue_secs += now - arrival;
+                // The wait moved the clock: idle instances (and just-freed
+                // waiters) whose keep-alive ran out inside `(arrival, now)`
+                // are gone by dispatch time.
+                reap(&mut idle_demand, now);
+                #[allow(clippy::neg_cmp_op_on_partial_ord)]
+                waiters.retain(|&(f, provisioned)| provisioned || !(f + keep_alive < now));
+            }
+        }
+
+        // Prefer provisioned instances, then the most-recently-used warm
+        // one. After settling and reaping, every idle entry and every
+        // surviving waiter is dispatchable (`free_at <= now`, not expired),
+        // so this is a max over (provisioned, free_at) across both.
+        enum WarmSource {
+            IdleProv,
+            IdleDemand,
+            Waiter(usize),
+        }
+        let mut best: Option<(bool, Time, WarmSource)> = None;
+        let mut consider = |prov: bool, t: Time, src: WarmSource| {
+            if best
+                .as_ref()
+                .is_none_or(|&(bp, bt, _)| (prov, t) > (bp, bt))
+            {
+                best = Some((prov, t, src));
+            }
+        };
+        if let Some(&t) = idle_prov.keys().next_back() {
+            consider(true, t, WarmSource::IdleProv);
+        }
+        if let Some(&t) = idle_demand.keys().next_back() {
+            consider(false, t, WarmSource::IdleDemand);
+        }
+        for (i, &(f, provisioned)) in waiters.iter().enumerate() {
+            consider(provisioned, Time(f), WarmSource::Waiter(i));
+        }
+        let warm_slot = best.map(|(provisioned, _, src)| {
+            match src {
+                WarmSource::IdleProv => {
+                    idle_take_max(&mut idle_prov);
+                }
+                WarmSource::IdleDemand => {
+                    idle_take_max(&mut idle_demand);
+                }
+                WarmSource::Waiter(i) => {
+                    waiters.swap_remove(i);
+                }
+            }
+            provisioned
+        });
+        for (f, provisioned) in waiters {
+            busy.push(Reverse((Time(f), provisioned)));
+        }
+        let (inv, start_kind, provisioned) = match warm_slot {
+            Some(provisioned) => (platform.warm_invocation(app), StartKind::Warm, provisioned),
+            None => (
+                platform.cold_invocation(app, options.mode),
+                StartKind::Cold,
+                false,
+            ),
+        };
+        let finish = now + inv.e2e_secs();
+        busy.push(Reverse((Time(finish), provisioned)));
+        match start_kind {
+            StartKind::Cold => stats.cold_starts += 1,
+            StartKind::Warm => stats.warm_starts += 1,
+        }
+        stats.invocation_cost += inv.cost;
+        stats.total_e2e_secs += inv.e2e_secs() + (now - arrival);
+        on_event(PoolEvent {
+            arrival,
+            start: now,
+            finish,
+            kind: start_kind,
+        });
+    }
+    // Reserved capacity is billed for the whole window regardless of use.
+    let mem_gb = platform.config.pricing.configured_memory_mb(app.mem_mb) as f64 / 1024.0;
+    stats.provisioned_cost =
+        options.provisioned as f64 * mem_gb * options.window_secs * AWS_PROVISIONED_PRICE_PER_GB_S;
+    Ok(stats)
+}
+
+/// The retained naive engine: the original `Vec<Instance>` implementation
+/// with per-arrival `retain`/`filter`/`sort_by` scans — `O(instances)` per
+/// request, quadratic under bursts. Kept as the differential-testing
+/// oracle for the event-driven engine (and for engine-speedup benchmarks);
+/// production paths all use [`simulate_pool_ext_traced`].
+///
+/// # Panics
+///
+/// Panics if `arrivals` is unsorted or contains NaN, matching the default
+/// engine's contract.
+pub fn simulate_pool_ext_naive_traced(
     platform: &Platform,
     app: &AppProfile,
     arrivals: &[f64],
     options: &PoolOptions,
     mut on_event: impl FnMut(PoolEvent),
 ) -> ExtPoolStats {
+    validate_arrivals(arrivals).unwrap_or_else(|e| panic!("simulate_pool_ext_naive: {e}"));
     #[derive(Clone, Copy)]
     struct Instance {
         free_at: f64,
@@ -146,11 +520,6 @@ pub fn simulate_pool_ext_traced(
         let mut now = arrival;
         reap(&mut instances, now);
 
-        // Concurrency limiting. With `busy >= cap` instances running, the
-        // request must wait until the pool is down to `cap - 1` running
-        // instances — i.e. until the `(busy - cap + 1)`-th earliest
-        // `free_at`, not the earliest (waiting only for the earliest lets a
-        // burst of b > cap simultaneous arrivals run b instances at once).
         if let Some(cap) = options.max_concurrency {
             let cap = cap.max(1);
             let mut busy: Vec<f64> = instances
@@ -163,9 +532,6 @@ pub fn simulate_pool_ext_traced(
                 now = busy[busy.len() - cap];
                 stats.queued_requests += 1;
                 stats.total_queue_secs += now - arrival;
-                // The wait moved the clock: instances whose keep-alive ran
-                // out inside `(arrival, now)` are gone by dispatch time and
-                // must not be counted live (or reused) below.
                 reap(&mut instances, now);
             }
         }
@@ -220,9 +586,34 @@ pub fn simulate_pool_ext_traced(
     stats
 }
 
+/// Check that an arrival slice satisfies the pool contract: sorted
+/// ascending, no NaN.
+///
+/// # Errors
+///
+/// [`PoolError::UnsortedArrivals`] or [`PoolError::NanArrival`].
+pub fn validate_arrivals(arrivals: &[f64]) -> Result<(), PoolError> {
+    let mut prev = f64::NEG_INFINITY;
+    for (index, &t) in arrivals.iter().enumerate() {
+        if t.is_nan() {
+            return Err(PoolError::NanArrival { index });
+        }
+        if t < prev {
+            return Err(PoolError::UnsortedArrivals {
+                index,
+                previous: prev,
+                found: t,
+            });
+        }
+        prev = t;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use trim_rng::Rng;
 
     fn app() -> AppProfile {
         AppProfile::new("demo", 100.0, 1.0, 0.2, 512.0)
@@ -399,6 +790,154 @@ mod tests {
         );
         assert_eq!(late.cold_starts, 2);
         assert_eq!(late.warm_starts, 1);
+    }
+
+    #[test]
+    fn expiry_boundary_is_exclusive_on_both_engines() {
+        // The pinned boundary: an idle instance whose keep-alive runs out at
+        // *exactly* the arrival instant (`expires_at == now`) is still warm;
+        // one that expired any earlier (`expires_at < now`) is reaped. With
+        // keep_alive 0, an instance freeing at time `f` expires at `f` too,
+        // so an arrival at exactly `f` reuses it and an arrival at
+        // `f + ε` cold-starts.
+        let platform = Platform::default();
+        let a = app();
+        let cold_e2e = platform.cold_invocation(&a, StartMode::Standard).e2e_secs();
+        let options = PoolOptions {
+            keep_alive_secs: 0.0,
+            ..PoolOptions::default()
+        };
+        for (arrivals, expect_warm) in [
+            (vec![0.0, cold_e2e], 1u64),        // expires_at == now: kept
+            (vec![0.0, cold_e2e + 1e-9], 0u64), // expires_at < now: reaped
+        ] {
+            let event = simulate_pool_ext(&platform, &a, &arrivals, &options);
+            let naive = simulate_pool_ext_naive_traced(&platform, &a, &arrivals, &options, |_| {});
+            assert_eq!(event.warm_starts, expect_warm, "{arrivals:?}");
+            assert_eq!(event, naive, "engines must agree on the boundary");
+        }
+    }
+
+    #[test]
+    fn unsorted_arrivals_are_a_typed_error() {
+        let platform = Platform::default();
+        let err = try_simulate_pool_ext(
+            &platform,
+            &app(),
+            &[0.0, 10.0, 5.0],
+            &PoolOptions::default(),
+        )
+        .expect_err("unsorted arrivals must be rejected");
+        assert_eq!(
+            err,
+            PoolError::UnsortedArrivals {
+                index: 2,
+                previous: 10.0,
+                found: 5.0
+            }
+        );
+        assert!(err.to_string().contains("sorted ascending"));
+        let nan =
+            try_simulate_pool_ext(&platform, &app(), &[0.0, f64::NAN], &PoolOptions::default())
+                .expect_err("NaN arrivals must be rejected");
+        assert_eq!(nan, PoolError::NanArrival { index: 1 });
+        assert_eq!(validate_arrivals(&[0.0, 0.0, 3.5]), Ok(()));
+        assert!(validate_arrivals(&[1.0, 0.5]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted ascending")]
+    fn unsorted_arrivals_panic_on_the_infallible_api() {
+        simulate_pool_ext(
+            &Platform::default(),
+            &app(),
+            &[3.0, 1.0],
+            &PoolOptions::default(),
+        );
+    }
+
+    #[test]
+    fn stream_engine_matches_slice_engine() {
+        let platform = Platform::default();
+        let arrivals: Vec<f64> = (0..50).map(|i| (i / 3) as f64 * 40.0).collect();
+        let options = PoolOptions {
+            max_concurrency: Some(2),
+            provisioned: 1,
+            ..PoolOptions::default()
+        };
+        let mut slice_events = Vec::new();
+        let sliced = simulate_pool_ext_traced(&platform, &app(), &arrivals, &options, |e| {
+            slice_events.push(e)
+        });
+        let mut stream_events = Vec::new();
+        let streamed = simulate_pool_ext_stream_traced(
+            &platform,
+            &app(),
+            arrivals.iter().copied(),
+            &options,
+            |e| stream_events.push(e),
+        )
+        .expect("sorted arrivals");
+        assert_eq!(sliced, streamed);
+        assert_eq!(slice_events, stream_events);
+    }
+
+    /// Random sorted arrivals with bursts, plus random pool options —
+    /// the in-module differential arm (tier-1 even without the
+    /// `property-tests` feature; the wider sweep lives in
+    /// `tests/property_tests.rs`).
+    #[test]
+    fn event_engine_matches_naive_engine_on_random_workloads() {
+        let platform = Platform::default();
+        let mut rng = Rng::seed_from_u64(0xE7E27);
+        for case in 0..40 {
+            let n = rng.usize_inclusive(0, 90);
+            let mut arrivals = Vec::with_capacity(n);
+            let mut t = 0.0;
+            while arrivals.len() < n {
+                t += rng.f64() * 30.0;
+                let burst = if rng.usize_inclusive(0, 2) == 0 {
+                    rng.usize_inclusive(2, 10)
+                } else {
+                    1
+                };
+                for _ in 0..burst.min(n - arrivals.len()) {
+                    arrivals.push(t);
+                }
+            }
+            let a = AppProfile::new(
+                "diff",
+                rng.f64() * 400.0,
+                rng.f64() * 2.0,
+                0.01 + rng.f64() * 20.0,
+                64.0 + rng.f64() * 512.0,
+            );
+            let options = PoolOptions {
+                keep_alive_secs: if rng.bool() { 0.0 } else { rng.f64() * 600.0 },
+                mode: if rng.bool() {
+                    StartMode::Standard
+                } else {
+                    StartMode::Restore
+                },
+                provisioned: rng.usize_inclusive(0, 3),
+                max_concurrency: if rng.bool() {
+                    Some(rng.usize_inclusive(0, 5))
+                } else {
+                    None
+                },
+                ..PoolOptions::default()
+            };
+            let mut naive_events = Vec::new();
+            let naive = simulate_pool_ext_naive_traced(&platform, &a, &arrivals, &options, |e| {
+                naive_events.push(e)
+            });
+            let mut event_events = Vec::new();
+            let event = simulate_pool_ext_traced(&platform, &a, &arrivals, &options, |e| {
+                event_events.push(e)
+            });
+            assert_eq!(naive, event, "case {case}: stats diverged");
+            assert_eq!(naive_events, event_events, "case {case}: events diverged");
+        }
     }
 
     #[test]

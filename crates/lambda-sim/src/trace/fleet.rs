@@ -1,0 +1,520 @@
+//! Fleet-scale streaming replay: sweep a synthetic fleet through the pool
+//! without ever materializing a trace.
+//!
+//! [`super::replay_trace`] keeps the whole [`super::TraceSet`] — every
+//! arrival of every function — plus per-invocation E2E samples in memory.
+//! That is the right shape for fixture-sized traces where the per-function
+//! detail matters, but a 40k-function synthetic fleet carries ~10⁸
+//! invocations × 8 bytes per variant, which does not fit.
+//!
+//! [`replay_fleet`] takes the [`super::TraceConfig`] instead of a
+//! generated trace and exploits the generator's per-function seeding
+//! ([`synthesize_function`] is row-order independent): workers pull
+//! function indices from an atomic counter, synthesize the function's
+//! profile on the spot, and stream its arrivals straight through
+//! [`simulate_pool_ext_stream_traced`] once per (mode × keep-alive)
+//! variant. Memory per worker is O(live pool instances); fleet-wide state
+//! is O(functions × variants) pool-stat records plus fixed-size E2E
+//! histograms — bounded however many invocations the window holds.
+//!
+//! Determinism across worker counts follows the slotted idiom of
+//! [`super::replay_trace`]: per-function stats land in per-index slots and
+//! are aggregated in function order (f64 sums see one fixed order), and
+//! the E2E histograms are u64 counters whose merges commute. The rendered
+//! metrics are byte-identical whatever `jobs` is — pinned by tests.
+//!
+//! E2E percentiles are estimated from a log-scale histogram (60 bins per
+//! decade over 10⁻⁴–10⁶ s) rather than exact order statistics; the
+//! estimate is within one bin (≈ 4% relative) of the exact value, which is
+//! ample for fleet-level latency curves. Costs, counts, and cold-ratio
+//! deciles are exact and bit-identical to what [`super::replay_trace`]
+//! reports on the materialized equivalent of the same config.
+
+use super::replay::ReplayOptions;
+use super::synthetic::{synthesize_function, SyntheticFunction, TraceConfig};
+use super::TraceError;
+use crate::metrics::percentile;
+use crate::platform::{AppProfile, Platform, StartMode};
+use crate::pool::{simulate_pool_ext_stream_traced, ExtPoolStats, PoolOptions};
+use crate::pricing::SnapStartPricing;
+use crate::providers::providers;
+
+/// Number of E2E histogram bins: 60 per decade across 10 decades.
+const HIST_BINS: usize = 600;
+/// Lower edge of the histogram, log10 seconds.
+const HIST_LOG_MIN: f64 = -4.0;
+/// Upper edge of the histogram, log10 seconds.
+const HIST_LOG_MAX: f64 = 6.0;
+
+fn hist_bin(secs: f64) -> usize {
+    let log = secs.max(1e-300).log10();
+    let pos = (log - HIST_LOG_MIN) / (HIST_LOG_MAX - HIST_LOG_MIN) * HIST_BINS as f64;
+    (pos as isize).clamp(0, HIST_BINS as isize - 1) as usize
+}
+
+/// Representative latency for `p`-th percentile from cumulative counts:
+/// the geometric midpoint of the first bin whose cumulative mass crosses
+/// the rank.
+fn hist_percentile(hist: &[u64], p: f64) -> f64 {
+    let total: u64 = hist.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let rank = (p / 100.0 * total as f64).ceil().max(1.0) as u64;
+    let mut cum = 0u64;
+    for (bin, &count) in hist.iter().enumerate() {
+        cum += count;
+        if cum >= rank {
+            let width = (HIST_LOG_MAX - HIST_LOG_MIN) / HIST_BINS as f64;
+            let mid = HIST_LOG_MIN + (bin as f64 + 0.5) * width;
+            return 10f64.powf(mid);
+        }
+    }
+    10f64.powf(HIST_LOG_MAX)
+}
+
+/// Aggregate results for one (mode × keep-alive) variant across the fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetVariantReport {
+    /// Start mode of this variant.
+    pub mode: StartMode,
+    /// Keep-alive of this variant, seconds.
+    pub keep_alive_secs: f64,
+    /// Total invocations.
+    pub invocations: u64,
+    /// Total cold starts.
+    pub cold_starts: u64,
+    /// Total warm starts.
+    pub warm_starts: u64,
+    /// Total queued requests.
+    pub queued_requests: u64,
+    /// Sum of Equation-1 invocation costs, dollars (AWS pricing).
+    pub invocation_cost: f64,
+    /// Reserved provisioned capacity cost, dollars.
+    pub provisioned_cost: f64,
+    /// SnapStart snapshot cache + restore cost, dollars (Restore only).
+    pub snapstart_cost: f64,
+    /// SnapStart cost share of the total bill, in `[0, 1]`.
+    pub snapstart_share: f64,
+    /// p50 of per-invocation E2E latency, seconds (histogram estimate).
+    pub e2e_p50_secs: f64,
+    /// p95 of per-invocation E2E latency, seconds (histogram estimate).
+    pub e2e_p95_secs: f64,
+    /// p99 of per-invocation E2E latency, seconds (histogram estimate).
+    pub e2e_p99_secs: f64,
+    /// Deciles (10th..100th percentile) of the per-function cold-start
+    /// ratio distribution (functions with ≥ 1 invocation). Exact.
+    pub cold_ratio_deciles: [f64; 10],
+    /// Total window bill under each provider's billing rules.
+    pub provider_costs: Vec<(&'static str, f64)>,
+}
+
+impl FleetVariantReport {
+    /// Cold-start ratio across the whole fleet.
+    pub fn cold_ratio(&self) -> f64 {
+        if self.invocations == 0 {
+            0.0
+        } else {
+            self.cold_starts as f64 / self.invocations as f64
+        }
+    }
+
+    /// Total dollars: invocations + provisioned capacity + SnapStart.
+    pub fn total_cost(&self) -> f64 {
+        self.invocation_cost + self.provisioned_cost + self.snapstart_cost
+    }
+}
+
+/// Result of a fleet-scale streaming replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Window length replayed, seconds.
+    pub window_secs: f64,
+    /// Fleet size (functions replayed).
+    pub functions: usize,
+    /// Invocations per variant (every variant replays the same arrivals).
+    pub invocations: u64,
+    /// Per-variant aggregates, ordered `modes × keep_alive_secs`.
+    pub variants: Vec<FleetVariantReport>,
+}
+
+fn app_for(synth: &SyntheticFunction, options: &ReplayOptions) -> AppProfile {
+    AppProfile::new(
+        synth.name.clone(),
+        options.image_mb,
+        options.init_secs,
+        synth.duration_ms / 1000.0,
+        synth.mem_mb,
+    )
+}
+
+fn variant_pools(options: &ReplayOptions, window_secs: f64) -> Vec<PoolOptions> {
+    options
+        .modes
+        .iter()
+        .flat_map(|&mode| {
+            options
+                .keep_alive_secs
+                .iter()
+                .map(move |&keep_alive_secs| (mode, keep_alive_secs))
+        })
+        .map(|(mode, keep_alive_secs)| PoolOptions {
+            keep_alive_secs,
+            mode,
+            provisioned: options.provisioned,
+            max_concurrency: options.max_concurrency,
+            window_secs,
+        })
+        .collect()
+}
+
+/// Replay one function's arrival stream under every variant, adding its
+/// E2E samples to `hists` (one histogram per variant) and returning the
+/// per-variant pool stats.
+fn replay_streamed(
+    platform: &Platform,
+    config: &TraceConfig,
+    id: usize,
+    pools: &[PoolOptions],
+    options: &ReplayOptions,
+    hists: &mut [Vec<u64>],
+) -> Vec<ExtPoolStats> {
+    let synth = synthesize_function(config, id);
+    let app = app_for(&synth, options);
+    pools
+        .iter()
+        .zip(hists.iter_mut())
+        .map(|(pool, hist)| {
+            simulate_pool_ext_stream_traced(platform, &app, synth.arrivals(), pool, |e| {
+                hist[hist_bin(e.finish - e.arrival)] += 1;
+            })
+            .expect("synthetic arrival streams are sorted and NaN-free")
+        })
+        .collect()
+}
+
+/// Stream-replay the synthetic fleet described by `config` under every
+/// (mode × keep-alive) variant of `options`, fanning function indices out
+/// over `options.jobs` workers. No arrival vector is ever materialized;
+/// memory stays bounded by fleet size, not invocation count. The report is
+/// byte-identical whatever the worker count.
+///
+/// # Errors
+///
+/// [`TraceError::InvalidWindow`] / [`TraceError::InvalidDiurnal`] if
+/// `config` is degenerate.
+pub fn replay_fleet(
+    platform: &Platform,
+    config: &TraceConfig,
+    options: &ReplayOptions,
+) -> Result<FleetReport, TraceError> {
+    config.validate()?;
+    let n = config.functions;
+    let pools = variant_pools(options, config.window_secs);
+    let nv = pools.len();
+    let threads = options.jobs.max(1).min(n.max(1));
+
+    let mut slots: Vec<Option<Vec<ExtPoolStats>>> = Vec::new();
+    slots.resize_with(n, || None);
+    let mut hists: Vec<Vec<u64>> = vec![vec![0u64; HIST_BINS]; nv];
+    if threads <= 1 {
+        for (id, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(replay_streamed(
+                platform, config, id, &pools, options, &mut hists,
+            ));
+        }
+    } else {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let shared_slots = std::sync::Mutex::new(&mut slots);
+        let shared_hists = std::sync::Mutex::new(&mut hists);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut local_hists: Vec<Vec<u64>> = vec![vec![0u64; HIST_BINS]; nv];
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let stats =
+                            replay_streamed(platform, config, i, &pools, options, &mut local_hists);
+                        shared_slots.lock().expect("fleet slots poisoned")[i] = Some(stats);
+                    }
+                    // u64 histogram merges commute, so merge order (worker
+                    // finish order) cannot affect the result.
+                    let mut global = shared_hists.lock().expect("fleet hists poisoned");
+                    for (g, l) in global.iter_mut().zip(&local_hists) {
+                        for (gb, &lb) in g.iter_mut().zip(l) {
+                            *gb += lb;
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    // Aggregate in function order (never worker-finish order) so f64 sums
+    // are bit-identical across worker counts. Profiles are re-synthesized
+    // per function — three RNG draws, no arrivals — to price the cold/warm
+    // split, with the same formulas as `replay_trace`.
+    let snap_pricing = SnapStartPricing::default();
+    let provider_models = providers();
+    let mode_keeps: Vec<(StartMode, f64)> =
+        pools.iter().map(|p| (p.mode, p.keep_alive_secs)).collect();
+    let mut variants: Vec<FleetVariantReport> = mode_keeps
+        .iter()
+        .map(|&(mode, keep_alive_secs)| FleetVariantReport {
+            mode,
+            keep_alive_secs,
+            invocations: 0,
+            cold_starts: 0,
+            warm_starts: 0,
+            queued_requests: 0,
+            invocation_cost: 0.0,
+            provisioned_cost: 0.0,
+            snapstart_cost: 0.0,
+            snapstart_share: 0.0,
+            e2e_p50_secs: 0.0,
+            e2e_p95_secs: 0.0,
+            e2e_p99_secs: 0.0,
+            cold_ratio_deciles: [0.0; 10],
+            provider_costs: provider_models.iter().map(|p| (p.name, 0.0)).collect(),
+        })
+        .collect();
+    let mut cold_ratios: Vec<Vec<f64>> = vec![Vec::new(); nv];
+    for (id, slot) in slots.iter().enumerate() {
+        let per_variant = slot.as_ref().expect("every function produced a result");
+        let synth = synthesize_function(config, id);
+        let app = app_for(&synth, options);
+        let checkpoint = &platform.config.checkpoint;
+        for (v, (stats, report)) in per_variant.iter().zip(variants.iter_mut()).enumerate() {
+            report.invocations += stats.invocations();
+            report.cold_starts += stats.cold_starts;
+            report.warm_starts += stats.warm_starts;
+            report.queued_requests += stats.queued_requests;
+            report.invocation_cost += stats.invocation_cost;
+            report.provisioned_cost += stats.provisioned_cost;
+            if stats.invocations() > 0 {
+                cold_ratios[v].push(stats.cold_starts as f64 / stats.invocations() as f64);
+            }
+            let (snapshot_mb, cold_billable_ms) = match report.mode {
+                StartMode::Standard => (0.0, app.cold_billable_ms()),
+                StartMode::Restore => (
+                    checkpoint.snapshot_mb(app.mem_mb),
+                    (checkpoint.cr_init_secs(app.mem_mb) + app.exec_secs) * 1000.0,
+                ),
+            };
+            if report.mode == StartMode::Restore {
+                report.snapstart_cost +=
+                    snap_pricing.window_cost(snapshot_mb, config.window_secs, stats.cold_starts);
+            }
+            for (provider, total) in provider_models.iter().zip(report.provider_costs.iter_mut()) {
+                total.1 += provider.pricing.cost_for_invocations(
+                    app.mem_mb,
+                    cold_billable_ms,
+                    stats.cold_starts,
+                ) + provider.pricing.cost_for_invocations(
+                    app.mem_mb,
+                    app.warm_billable_ms(),
+                    stats.warm_starts,
+                );
+            }
+        }
+    }
+    for (v, report) in variants.iter_mut().enumerate() {
+        report.e2e_p50_secs = hist_percentile(&hists[v], 50.0);
+        report.e2e_p95_secs = hist_percentile(&hists[v], 95.0);
+        report.e2e_p99_secs = hist_percentile(&hists[v], 99.0);
+        for d in 1..=10 {
+            report.cold_ratio_deciles[d - 1] = percentile(&cold_ratios[v], d as f64 * 10.0);
+        }
+        let total = report.total_cost();
+        report.snapstart_share = if total > 0.0 {
+            report.snapstart_cost / total
+        } else {
+            0.0
+        };
+    }
+    let invocations = variants.first().map_or(0, |v| v.invocations);
+    Ok(FleetReport {
+        window_secs: config.window_secs,
+        functions: n,
+        invocations,
+        variants,
+    })
+}
+
+fn mode_name(mode: StartMode) -> &'static str {
+    match mode {
+        StartMode::Standard => "standard",
+        StartMode::Restore => "restore",
+    }
+}
+
+/// Render the deterministic metrics block of a fleet replay as a JSON
+/// string — shared by the `experiments -- replay` fleet-scaling sweep and
+/// the determinism tests (byte-identity across worker counts).
+pub fn render_fleet_metrics_json(report: &FleetReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"window_secs\": {},\n  \"functions\": {},\n  \"invocations\": {},\n",
+        report.window_secs, report.functions, report.invocations
+    ));
+    out.push_str("  \"variants\": [\n");
+    for (i, v) in report.variants.iter().enumerate() {
+        let deciles: Vec<String> = v
+            .cold_ratio_deciles
+            .iter()
+            .map(|d| format!("{d}"))
+            .collect();
+        let provider_costs: Vec<String> = v
+            .provider_costs
+            .iter()
+            .map(|(name, cost)| format!("\"{name}\": {cost}"))
+            .collect();
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"keep_alive_secs\": {}, \"invocations\": {}, \
+             \"cold_starts\": {}, \"warm_starts\": {}, \"queued_requests\": {}, \
+             \"cold_ratio\": {}, \"invocation_cost_usd\": {}, \"provisioned_cost_usd\": {}, \
+             \"snapstart_cost_usd\": {}, \"snapstart_share\": {}, \"total_cost_usd\": {}, \
+             \"e2e_p50_s\": {}, \"e2e_p95_s\": {}, \"e2e_p99_s\": {}, \
+             \"cold_ratio_deciles\": [{}], \"provider_cost_usd\": {{{}}}}}{}\n",
+            mode_name(v.mode),
+            v.keep_alive_secs,
+            v.invocations,
+            v.cold_starts,
+            v.warm_starts,
+            v.queued_requests,
+            v.cold_ratio(),
+            v.invocation_cost,
+            v.provisioned_cost,
+            v.snapstart_cost,
+            v.snapstart_share,
+            v.total_cost(),
+            v.e2e_p50_secs,
+            v.e2e_p95_secs,
+            v.e2e_p99_secs,
+            deciles.join(", "),
+            provider_costs.join(", "),
+            if i + 1 < report.variants.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("  ]\n}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::replay::{replay_trace, ReplayOptions};
+    use super::super::synthetic::generate_trace;
+    use super::*;
+
+    fn small_config() -> TraceConfig {
+        TraceConfig {
+            functions: 24,
+            window_secs: 4.0 * 3600.0,
+            seed: 99,
+            diurnal: None,
+        }
+    }
+
+    #[test]
+    fn fleet_counts_and_costs_match_materialized_replay_exactly() {
+        let config = small_config();
+        let platform = Platform::default();
+        let options = ReplayOptions::default();
+        let fleet = replay_fleet(&platform, &config, &options).expect("valid config");
+        let replay = replay_trace(&platform, &generate_trace(&config), &options);
+        assert_eq!(fleet.functions, replay.functions.len());
+        assert_eq!(fleet.variants.len(), replay.variants.len());
+        for (fv, rv) in fleet.variants.iter().zip(&replay.variants) {
+            assert_eq!(fv.mode, rv.mode);
+            assert_eq!(fv.keep_alive_secs, rv.keep_alive_secs);
+            assert_eq!(fv.invocations, rv.invocations);
+            assert_eq!(fv.cold_starts, rv.cold_starts);
+            assert_eq!(fv.warm_starts, rv.warm_starts);
+            assert_eq!(fv.queued_requests, rv.queued_requests);
+            // Same stats summed in the same (function) order: bit-identical.
+            assert_eq!(fv.invocation_cost, rv.invocation_cost);
+            assert_eq!(fv.provisioned_cost, rv.provisioned_cost);
+            assert_eq!(fv.snapstart_cost, rv.snapstart_cost);
+            assert_eq!(fv.provider_costs, rv.provider_costs);
+            // Histogram percentiles are estimates: within one log-bin
+            // (≈ 4%) of the exact order statistic.
+            for (est, exact) in [
+                (fv.e2e_p50_secs, rv.e2e_p50_secs),
+                (fv.e2e_p95_secs, rv.e2e_p95_secs),
+                (fv.e2e_p99_secs, rv.e2e_p99_secs),
+            ] {
+                assert!(
+                    est / exact > 0.95 && est / exact < 1.05,
+                    "histogram percentile {est} too far from exact {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_replay_is_deterministic_across_jobs() {
+        let config = small_config();
+        let platform = Platform::default();
+        let base = ReplayOptions::default();
+        let renders: Vec<String> = [1usize, 2, 8]
+            .into_iter()
+            .map(|jobs| {
+                let options = ReplayOptions {
+                    jobs,
+                    ..base.clone()
+                };
+                render_fleet_metrics_json(
+                    &replay_fleet(&platform, &config, &options).expect("valid config"),
+                )
+            })
+            .collect();
+        assert_eq!(renders[0], renders[1], "jobs=1 vs jobs=2");
+        assert_eq!(renders[0], renders[2], "jobs=1 vs jobs=8");
+    }
+
+    #[test]
+    fn degenerate_config_is_a_typed_error() {
+        let config = TraceConfig {
+            window_secs: 0.0,
+            ..small_config()
+        };
+        assert!(replay_fleet(&Platform::default(), &config, &ReplayOptions::default()).is_err());
+    }
+
+    #[test]
+    fn empty_fleet_replays_to_zeroes() {
+        let config = TraceConfig {
+            functions: 0,
+            ..small_config()
+        };
+        let report =
+            replay_fleet(&Platform::default(), &config, &ReplayOptions::default()).expect("valid");
+        assert_eq!(report.functions, 0);
+        assert_eq!(report.invocations, 0);
+        for v in &report.variants {
+            assert_eq!(v.invocations, 0);
+            assert_eq!(v.total_cost(), 0.0);
+        }
+    }
+
+    #[test]
+    fn histogram_percentiles_are_monotone() {
+        let mut hist = vec![0u64; HIST_BINS];
+        hist[100] = 50;
+        hist[200] = 40;
+        hist[300] = 10;
+        let p50 = hist_percentile(&hist, 50.0);
+        let p95 = hist_percentile(&hist, 95.0);
+        let p99 = hist_percentile(&hist, 99.0);
+        assert!(p50 <= p95 && p95 <= p99);
+        assert_eq!(hist_percentile(&[0u64; HIST_BINS], 50.0), 0.0);
+    }
+}

@@ -33,19 +33,58 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 /// `[60 m, 60 (m + 1))`; the result is sorted ascending and every timestamp
 /// lies in `[0, 60 * counts.len())`.
 pub fn reconstruct_arrivals(counts: &[u32], seed: u64, function_name: &str) -> Vec<f64> {
-    let mut rng = Rng::seed_from_u64(seed ^ fnv1a64(function_name.as_bytes()));
-    let total: usize = counts.iter().map(|&c| c as usize).sum();
-    let mut arrivals = Vec::with_capacity(total);
-    for (minute, &count) in counts.iter().enumerate() {
-        let base = minute as f64 * MINUTE_SECS;
-        let start = arrivals.len();
-        for _ in 0..count {
-            // rng.f64() < 1.0, so base + offset < base + 60 always holds.
-            arrivals.push(base + rng.f64() * MINUTE_SECS);
+    ReconstructedArrivals::new(counts, seed, function_name).collect()
+}
+
+/// Streaming form of [`reconstruct_arrivals`]: iterates the same sorted
+/// timestamps while buffering only one minute's worth of arrivals at a
+/// time, so a dense multi-day count row replays in bounded memory. The
+/// materialized function is a `collect()` of this iterator, keeping the
+/// two byte-identical by construction.
+#[derive(Debug, Clone)]
+pub struct ReconstructedArrivals<'a> {
+    counts: std::iter::Enumerate<std::slice::Iter<'a, u32>>,
+    rng: Rng,
+    /// Current minute's sorted offsets, drained front to back.
+    buffer: Vec<f64>,
+    next: usize,
+}
+
+impl<'a> ReconstructedArrivals<'a> {
+    /// Start streaming the arrivals for one function's per-minute counts,
+    /// using the same `seed ^ fnv1a64(name)` stream as the materialized
+    /// path.
+    pub fn new(counts: &'a [u32], seed: u64, function_name: &str) -> Self {
+        ReconstructedArrivals {
+            counts: counts.iter().enumerate(),
+            rng: Rng::seed_from_u64(seed ^ fnv1a64(function_name.as_bytes())),
+            buffer: Vec::new(),
+            next: 0,
         }
-        arrivals[start..].sort_by(f64::total_cmp);
     }
-    arrivals
+}
+
+impl Iterator for ReconstructedArrivals<'_> {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        loop {
+            if self.next < self.buffer.len() {
+                let t = self.buffer[self.next];
+                self.next += 1;
+                return Some(t);
+            }
+            let (minute, &count) = self.counts.next()?;
+            let base = minute as f64 * MINUTE_SECS;
+            self.buffer.clear();
+            self.next = 0;
+            for _ in 0..count {
+                // rng.f64() < 1.0, so base + offset < base + 60 always holds.
+                self.buffer.push(base + self.rng.f64() * MINUTE_SECS);
+            }
+            self.buffer.sort_by(f64::total_cmp);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -92,6 +131,13 @@ mod tests {
         for &t in &arrivals {
             assert!((0.0..window).contains(&t));
         }
+    }
+
+    #[test]
+    fn streaming_reconstruction_matches_materialized() {
+        let counts = [4, 0, 2, 9, 1, 0, 0, 3];
+        let streamed: Vec<f64> = ReconstructedArrivals::new(&counts, 7, "f").collect();
+        assert_eq!(streamed, reconstruct_arrivals(&counts, 7, "f"));
     }
 
     #[test]

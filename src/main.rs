@@ -69,6 +69,8 @@ simulate:
     --max-concurrency <N> per-function concurrency cap    [default: none]
     --provisioned <N>   provisioned instances per function[default: 0]
     --jobs <N>          parallel replay workers           [default: 1]
+    --stream            stream synthetic arrivals through the pool with
+                        bounded memory (fleet scale; synthetic only)
     --out <FILE>        also write the metrics JSON here
 ";
 
@@ -398,23 +400,33 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         Some(v) => v.parse().map_err(|_| format!("bad --seed value `{v}`"))?,
         None => 0xA57AC3,
     };
+    let synth_config = || -> Result<TraceConfig, String> {
+        let config = TraceConfig {
+            functions: parse_num("functions", 400.0)? as usize,
+            window_secs: parse_num("window-secs", 24.0 * 3600.0)?,
+            seed,
+            diurnal: if args.has_flag("flat") {
+                None
+            } else {
+                Some(DiurnalProfile::default())
+            },
+        };
+        config.validate().map_err(|e| e.to_string())?;
+        Ok(config)
+    };
+    let stream = args.has_flag("stream");
+    if stream && args.get("trace").is_some() {
+        return Err("--stream replays a synthetic fleet with bounded memory; \
+             it cannot be combined with --trace"
+            .to_owned());
+    }
 
-    let trace = match args.get("trace") {
-        Some(path) => lambda_sim::load_trace_csv(path, seed).map_err(|e| e.to_string())?,
-        None => {
-            let config = TraceConfig {
-                functions: parse_num("functions", 400.0)? as usize,
-                window_secs: parse_num("window-secs", 24.0 * 3600.0)?,
-                seed,
-                diurnal: if args.has_flag("flat") {
-                    None
-                } else {
-                    Some(DiurnalProfile::default())
-                },
-            };
-            config.validate().map_err(|e| e.to_string())?;
-            lambda_sim::generate_trace(&config)
+    let trace = match (stream, args.get("trace")) {
+        (true, _) => None,
+        (false, Some(path)) => {
+            Some(lambda_sim::load_trace_csv(path, seed).map_err(|e| e.to_string())?)
         }
+        (false, None) => Some(lambda_sim::generate_trace(&synth_config()?)),
     };
 
     let mut options = ReplayOptions {
@@ -455,6 +467,79 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
             .map_err(|_| format!("bad --provisioned value `{p}`"))?;
     }
 
+    let header = || {
+        println!(
+            "{:<10} {:>12} {:>12} {:>10} {:>8} {:>10} {:>10} {:>12}",
+            "mode", "keep-alive s", "cold ratio", "queued", "p50 s", "p95 s", "p99 s", "total $"
+        )
+    };
+    #[allow(clippy::too_many_arguments)]
+    fn variant_row(
+        mode: StartMode,
+        keep_alive_secs: f64,
+        cold_ratio: f64,
+        queued: u64,
+        p50: f64,
+        p95: f64,
+        p99: f64,
+        total: f64,
+        provider_costs: &[(&'static str, f64)],
+    ) {
+        println!(
+            "{:<10} {:>12.0} {:>12.4} {:>10} {:>8.3} {:>10.3} {:>10.3} {:>12.6}",
+            match mode {
+                StartMode::Standard => "standard",
+                StartMode::Restore => "restore",
+            },
+            keep_alive_secs,
+            cold_ratio,
+            queued,
+            p50,
+            p95,
+            p99,
+            total
+        );
+        for (provider, cost) in provider_costs {
+            println!("{:<10} {:>26}: ${cost:.6}", "", provider);
+        }
+    }
+
+    let Some(trace) = trace else {
+        // Fleet streaming path: arrivals never materialize, so the sweep
+        // scales to fleet sizes whose traces would not fit in memory.
+        let config = synth_config()?;
+        eprintln!(
+            "streaming synthetic fleet: {} functions over {:.0} s ({} job{})",
+            config.functions,
+            config.window_secs,
+            options.jobs,
+            if options.jobs == 1 { "" } else { "s" }
+        );
+        let report = lambda_sim::replay_fleet(&Platform::default(), &config, &options)
+            .map_err(|e| e.to_string())?;
+        eprintln!("replayed {} invocations per variant", report.invocations);
+        header();
+        for v in &report.variants {
+            variant_row(
+                v.mode,
+                v.keep_alive_secs,
+                v.cold_ratio(),
+                v.queued_requests,
+                v.e2e_p50_secs,
+                v.e2e_p95_secs,
+                v.e2e_p99_secs,
+                v.total_cost(),
+                &v.provider_costs,
+            );
+        }
+        if let Some(out) = args.get("out") {
+            std::fs::write(out, lambda_sim::render_fleet_metrics_json(&report) + "\n")
+                .map_err(|e| format!("writing {out}: {e}"))?;
+            eprintln!("metrics written to {out}");
+        }
+        return Ok(());
+    };
+
     let source = match trace.source {
         TraceSource::Loaded { .. } => "loaded",
         TraceSource::Synthetic { .. } => "synthetic",
@@ -468,28 +553,19 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         if options.jobs == 1 { "" } else { "s" }
     );
     let report = lambda_sim::replay_trace(&Platform::default(), &trace, &options);
-    println!(
-        "{:<10} {:>12} {:>12} {:>10} {:>8} {:>10} {:>10} {:>12}",
-        "mode", "keep-alive s", "cold ratio", "queued", "p50 s", "p95 s", "p99 s", "total $"
-    );
+    header();
     for v in &report.variants {
-        println!(
-            "{:<10} {:>12.0} {:>12.4} {:>10} {:>8.3} {:>10.3} {:>10.3} {:>12.6}",
-            match v.mode {
-                StartMode::Standard => "standard",
-                StartMode::Restore => "restore",
-            },
+        variant_row(
+            v.mode,
             v.keep_alive_secs,
             v.cold_ratio(),
             v.queued_requests,
             v.e2e_p50_secs,
             v.e2e_p95_secs,
             v.e2e_p99_secs,
-            v.total_cost()
+            v.total_cost(),
+            &v.provider_costs,
         );
-        for (provider, cost) in &v.provider_costs {
-            println!("{:<10} {:>26}: ${cost:.6}", "", provider);
-        }
     }
     if let Some(out) = args.get("out") {
         std::fs::write(out, render_metrics_json(&report) + "\n")
@@ -557,6 +633,35 @@ mod tests {
         let err = debloat_options(&args(&["--engine", "jit"])).expect_err("bad engine rejected");
         assert!(err.contains("unknown engine `jit`"), "{err}");
         assert!(err.contains("expected vm|tree"), "{err}");
+    }
+
+    #[test]
+    fn stream_flag_conflicts_with_trace() {
+        let err = cmd_simulate(&args(&["simulate", "--stream", "--trace", "t.csv"]))
+            .expect_err("--stream with --trace must be rejected");
+        assert!(err.contains("--stream"), "{err}");
+        assert!(err.contains("--trace"), "{err}");
+    }
+
+    #[test]
+    fn stream_simulate_runs_a_small_fleet() {
+        let out = std::env::temp_dir().join("lambda_trim_stream_metrics_test.json");
+        let out_str = out.to_str().expect("utf8 temp path").to_owned();
+        cmd_simulate(&args(&[
+            "simulate",
+            "--stream",
+            "--functions",
+            "8",
+            "--window-secs",
+            "3600",
+            "--out",
+            &out_str,
+        ]))
+        .expect("small streamed fleet replays");
+        let json = std::fs::read_to_string(&out).expect("metrics written");
+        std::fs::remove_file(&out).ok();
+        assert!(json.contains("\"variants\""));
+        assert!(json.contains("\"functions\": 8"));
     }
 
     #[test]

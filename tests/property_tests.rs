@@ -339,6 +339,75 @@ fn ext_pool_matches_basic_pool_on_random_arrivals() {
     }
 }
 
+/// The event-driven pool engine is byte-identical to the retained naive
+/// oracle — ExtPoolStats and the full traced PoolEvent stream — over
+/// randomized bursty workloads spanning provisioned instances, concurrency
+/// caps (including `Some(0)` and `Some(1)`), zero keep-alive, and both
+/// start modes. The instantaneous concurrency of the event engine must
+/// also respect the cap.
+#[test]
+fn event_pool_engine_matches_naive_oracle_on_random_workloads() {
+    let platform = lambda_sim::Platform::default();
+    let mut rng = Rng::seed_from_u64(0xeb9_0a5e);
+    for case in 0..CASES {
+        let arrivals = random_arrivals(&mut rng);
+        let cap = match rng.usize_inclusive(0, 3) {
+            0 => None,
+            1 => Some(rng.usize_inclusive(0, 1)),
+            _ => Some(rng.usize_inclusive(2, 8)),
+        };
+        let app = lambda_sim::AppProfile::new(
+            "prop",
+            rng.f64() * 500.0,
+            rng.f64() * 3.0,
+            0.01 + rng.f64() * 30.0,
+            64.0 + rng.f64() * 1024.0,
+        );
+        let options = lambda_sim::PoolOptions {
+            keep_alive_secs: if rng.usize_inclusive(0, 3) == 0 {
+                0.0
+            } else {
+                rng.f64() * 900.0
+            },
+            max_concurrency: cap,
+            provisioned: rng.usize_inclusive(0, 3),
+            mode: if rng.bool() {
+                lambda_sim::StartMode::Standard
+            } else {
+                lambda_sim::StartMode::Restore
+            },
+            ..lambda_sim::PoolOptions::default()
+        };
+        let mut naive_events = Vec::new();
+        let naive =
+            lambda_sim::simulate_pool_ext_naive_traced(&platform, &app, &arrivals, &options, |e| {
+                naive_events.push(e)
+            });
+        let mut event_events = Vec::new();
+        let mut deltas: Vec<(f64, i64)> = Vec::new();
+        let event =
+            lambda_sim::simulate_pool_ext_traced(&platform, &app, &arrivals, &options, |e| {
+                deltas.push((e.start, 1));
+                deltas.push((e.finish, -1));
+                event_events.push(e);
+            });
+        assert_eq!(naive, event, "case {case}: stats diverged");
+        assert_eq!(naive_events, event_events, "case {case}: events diverged");
+        if let Some(cap) = cap {
+            deltas.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            let (mut cur, mut peak) = (0i64, 0i64);
+            for (_, d) in &deltas {
+                cur += d;
+                peak = peak.max(cur);
+            }
+            assert!(
+                peak as usize <= cap.max(1),
+                "case {case}: concurrency {peak} exceeds cap {cap}"
+            );
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Interpreter metering
 // ---------------------------------------------------------------------------

@@ -3,10 +3,18 @@
 //! all StartMode x keep-alive variants, and pins down determinism — the
 //! rendered metrics must be byte-identical across repeated runs and
 //! across worker counts.
+//!
+//! Also pins the event-driven pool engine byte-identical (stats + traced
+//! events) to the retained naive oracle across the fixture, the streaming
+//! synthetic generator byte-identical to the materialized path (including
+//! diurnal/weekend thinning and the timer exemption), and the streamed
+//! fleet replay deterministic across `--jobs` ∈ {1, 2, 8}.
 
 use lambda_sim::trace::replay::render_metrics_json;
 use lambda_sim::{
-    load_trace_csv, replay_trace, ArrivalClass, Platform, ReplayOptions, TraceSource,
+    generate_trace, load_trace_csv, render_fleet_metrics_json, replay_fleet, replay_trace,
+    simulate_pool_ext_naive_traced, simulate_pool_ext_traced, synthesize_function, AppProfile,
+    ArrivalClass, DiurnalProfile, Platform, PoolOptions, ReplayOptions, TraceConfig, TraceSource,
 };
 
 const FIXTURE: &str = concat!(
@@ -77,6 +85,159 @@ fn golden_fixture_replay_is_deterministic_across_runs_and_jobs() {
     let reloaded = load_trace_csv(FIXTURE, SEED).expect("fixture parses");
     let report = replay_trace(&platform, &reloaded, &ReplayOptions::default());
     assert_eq!(sequential, render_metrics_json(&report));
+}
+
+#[test]
+fn event_engine_matches_naive_oracle_on_golden_fixture() {
+    // The tentpole differential: the event-driven engine must be
+    // byte-identical — ExtPoolStats and the full PoolEvent stream — to the
+    // retained naive engine on every fixture function, under uncapped,
+    // capped, and provisioned pools.
+    let platform = Platform::default();
+    let trace = load_trace_csv(FIXTURE, SEED).expect("fixture parses");
+    for function in &trace.functions {
+        let app = AppProfile::new(
+            function.name.clone(),
+            64.0,
+            0.5,
+            function.duration_ms / 1000.0,
+            function.mem_mb,
+        );
+        for (max_concurrency, provisioned, keep_alive_secs) in [
+            (None, 0, 900.0),
+            (None, 0, 0.0),
+            (Some(2), 0, 60.0),
+            (Some(4), 2, 900.0),
+        ] {
+            let pool = PoolOptions {
+                keep_alive_secs,
+                max_concurrency,
+                provisioned,
+                window_secs: trace.window_secs,
+                ..PoolOptions::default()
+            };
+            let mut naive_events = Vec::new();
+            let naive =
+                simulate_pool_ext_naive_traced(&platform, &app, &function.arrivals, &pool, |e| {
+                    naive_events.push(e)
+                });
+            let mut event_events = Vec::new();
+            let event = simulate_pool_ext_traced(&platform, &app, &function.arrivals, &pool, |e| {
+                event_events.push(e)
+            });
+            assert_eq!(naive, event, "{}: stats diverged", function.name);
+            assert_eq!(
+                naive_events, event_events,
+                "{}: traced events diverged",
+                function.name
+            );
+        }
+    }
+}
+
+#[test]
+fn streaming_synthetic_arrivals_match_materialized_path() {
+    // Satellite: iterator-based arrivals byte-identical to the materialized
+    // Vec<f64> path for fixed seeds — flat, diurnal-thinned over a
+    // multi-day window (exercising weekend thinning), and the timer
+    // exemption (Periodic functions identical with and without diurnal).
+    for (seed, window_secs, diurnal) in [
+        (SEED, 24.0 * 3600.0, None),
+        (SEED, 7.0 * 24.0 * 3600.0, Some(DiurnalProfile::default())),
+        (
+            77,
+            7.0 * 24.0 * 3600.0,
+            Some(DiurnalProfile {
+                weekend_factor: 0.3,
+                ..DiurnalProfile::default()
+            }),
+        ),
+    ] {
+        let config = TraceConfig {
+            functions: 80,
+            window_secs,
+            seed,
+            diurnal,
+        };
+        let trace = generate_trace(&config);
+        for (id, f) in trace.functions.iter().enumerate() {
+            let synth = synthesize_function(&config, id);
+            let streamed: Vec<f64> = synth.arrivals().collect();
+            assert_eq!(
+                f.arrivals, streamed,
+                "seed {seed} fn{id}: streamed arrivals != materialized"
+            );
+        }
+        if config.diurnal.is_some() {
+            // Timer exemption: Periodic streams ignore the diurnal profile.
+            let flat = TraceConfig {
+                diurnal: None,
+                ..config.clone()
+            };
+            for id in 0..config.functions {
+                let modulated = synthesize_function(&config, id);
+                let unmodulated = synthesize_function(&flat, id);
+                if modulated.class == ArrivalClass::Periodic {
+                    let a: Vec<f64> = modulated.arrivals().collect();
+                    let b: Vec<f64> = unmodulated.arrivals().collect();
+                    assert_eq!(a, b, "fn{id}: timers must not be thinned");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn streamed_fleet_replay_is_deterministic_across_jobs() {
+    // The fleet path holds no trace in memory, so determinism must come
+    // from slotted aggregation — pin byte-identity at jobs ∈ {1, 2, 8}.
+    let platform = Platform::default();
+    let config = TraceConfig {
+        functions: 120,
+        window_secs: 6.0 * 3600.0,
+        seed: SEED,
+        diurnal: Some(DiurnalProfile::default()),
+    };
+    let renders: Vec<String> = [1usize, 2, 8]
+        .into_iter()
+        .map(|jobs| {
+            let options = ReplayOptions {
+                jobs,
+                ..ReplayOptions::default()
+            };
+            render_fleet_metrics_json(
+                &replay_fleet(&platform, &config, &options).expect("valid fleet config"),
+            )
+        })
+        .collect();
+    assert_eq!(renders[0], renders[1], "jobs=1 vs jobs=2");
+    assert_eq!(renders[0], renders[2], "jobs=1 vs jobs=8");
+}
+
+#[test]
+fn streamed_fleet_counts_match_materialized_replay() {
+    // The streamed fleet and the materialized replay must agree exactly on
+    // counts and costs for the same config (percentiles are histogram
+    // estimates in the fleet path and are checked in-crate).
+    let platform = Platform::default();
+    let config = TraceConfig {
+        functions: 60,
+        window_secs: 4.0 * 3600.0,
+        seed: 7,
+        diurnal: Some(DiurnalProfile::default()),
+    };
+    let options = ReplayOptions::default();
+    let fleet = replay_fleet(&platform, &config, &options).expect("valid fleet config");
+    let replay = replay_trace(&platform, &generate_trace(&config), &options);
+    assert_eq!(fleet.invocations, replay.variants[0].invocations);
+    for (fv, rv) in fleet.variants.iter().zip(&replay.variants) {
+        assert_eq!(fv.cold_starts, rv.cold_starts);
+        assert_eq!(fv.warm_starts, rv.warm_starts);
+        assert_eq!(fv.queued_requests, rv.queued_requests);
+        assert_eq!(fv.invocation_cost, rv.invocation_cost);
+        assert_eq!(fv.snapstart_cost, rv.snapstart_cost);
+        assert_eq!(fv.provider_costs, rv.provider_costs);
+    }
 }
 
 #[test]
