@@ -3,7 +3,7 @@
 //! registry.
 
 use crate::attributes::module_attributes;
-use crate::oracle::{run_app_measured_with, Execution, OracleSpec};
+use crate::oracle::{run_app_measured_opts, Execution, OracleSpec};
 use crate::probe_cache::{app_fingerprint, ProbeCache, ProbeKey};
 use crate::rewrite::rewrite_module;
 use crate::TrimError;
@@ -79,6 +79,13 @@ pub struct DebloatOptions {
     /// behavior and metering; `Tree` exists as the differential baseline
     /// and an escape hatch.
     pub engine: Engine,
+    /// Init-snapshot memoization (default: on): oracle runs record module
+    /// initializations into the registry family's shared
+    /// [`pylite::SnapshotStore`] and replay them on later probes whose
+    /// import cone is unchanged. Replay is byte-identical to live
+    /// execution, so this only affects wall-clock speed, never results;
+    /// `false` forces every probe to run module bodies live.
+    pub init_snapshots: bool,
 }
 
 impl PartialEq for DebloatOptions {
@@ -94,6 +101,7 @@ impl PartialEq for DebloatOptions {
             && self.jobs == other.jobs
             && self.hazards == other.hazards
             && self.engine == other.engine
+            && self.init_snapshots == other.init_snapshots
             && match (&self.probe_cache, &other.probe_cache) {
                 (None, None) => true,
                 (Some(a), Some(b)) => Arc::ptr_eq(a, b),
@@ -121,9 +129,16 @@ impl Default for DebloatOptions {
             summary_cache: None,
             hazards: HazardMode::default(),
             engine: Engine::default(),
+            init_snapshots: true,
         }
     }
 }
+
+/// The valid `--engine` values, in documentation order.
+pub const ENGINE_TIERS: [(&str, &str); 2] = [
+    ("vm", "bytecode VM (default)"),
+    ("tree", "tree-walking reference interpreter"),
+];
 
 /// Parse a `--engine` CLI value. Accepts `vm` (the bytecode tier, default)
 /// and `tree` (the tree-walking reference interpreter).
@@ -135,9 +150,16 @@ pub fn parse_engine(s: &str) -> Result<Engine, TrimError> {
     match s {
         "vm" => Ok(Engine::Vm),
         "tree" => Ok(Engine::Tree),
-        other => Err(TrimError::Config(format!(
-            "unknown engine `{other}` (expected vm|tree)"
-        ))),
+        other => {
+            let tiers = ENGINE_TIERS
+                .iter()
+                .map(|(name, what)| format!("`{name}` — {what}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            Err(TrimError::Config(format!(
+                "unknown engine `{other}` (expected vm|tree): valid tiers are {tiers}"
+            )))
+        }
     }
 }
 
@@ -227,8 +249,13 @@ pub fn debloat_module(
         }
         let rewritten = rewrite_module(&program, keep);
         let candidate_registry = base.with_module(module, pylite::unparse(&rewritten));
-        let (result, secs) =
-            run_app_measured_with(&candidate_registry, app_source, spec, options.engine);
+        let (result, secs) = run_app_measured_opts(
+            &candidate_registry,
+            app_source,
+            spec,
+            options.engine,
+            options.init_snapshots,
+        );
         spent.fetch_add((secs * 1e9) as u64, Ordering::Relaxed);
         let verdict = match result {
             Ok(actual) => actual.behavior_eq(expected),
@@ -279,8 +306,13 @@ pub fn debloat_module(
             // oracle (the candidate that passed probing also passes here,
             // but this guards against any rewrite/commit divergence — the
             // §5.4 philosophy of never making the app worse).
-            let (verify, verify_secs) =
-                run_app_measured_with(work, app_source, spec, options.engine);
+            let (verify, verify_secs) = run_app_measured_opts(
+                work,
+                app_source,
+                spec,
+                options.engine,
+                options.init_snapshots,
+            );
             let committed_ok = matches!(&verify, Ok(actual) if actual.behavior_eq(expected));
             if !committed_ok {
                 work.set_module(module, original_source);

@@ -16,7 +16,7 @@
 
 use crate::attributes::module_attributes;
 use crate::debloater::{DebloatOptions, ModuleReport};
-use crate::oracle::{run_app_measured_with, run_app_with, Execution, OracleSpec};
+use crate::oracle::{run_app_measured_opts, run_app_opts, Execution, OracleSpec};
 use crate::pipeline::TrimReport;
 use crate::probe_cache::{app_fingerprint, ProbeKey};
 use crate::rewrite::rewrite_module;
@@ -110,8 +110,14 @@ pub fn retrim_with_log(
             "analysis jobs must be at least 1".to_owned(),
         ));
     }
-    let before =
-        run_app_with(registry, app_source, spec, options.engine).map_err(TrimError::Baseline)?;
+    let before = run_app_opts(
+        registry,
+        app_source,
+        spec,
+        options.engine,
+        options.init_snapshots,
+    )
+    .map_err(TrimError::Baseline)?;
     let app_program = pylite::parse(app_source).map_err(TrimError::Parse)?;
     // Retrims are where the summary cache earns its keep: sharing one cache
     // across runs means only the edited modules' reverse-dependency cone is
@@ -174,8 +180,13 @@ pub fn retrim_with_log(
             }
             let rewritten = rewrite_module(&program, keep);
             let candidate = base.with_module(module, pylite::unparse(&rewritten));
-            let (result, secs) =
-                run_app_measured_with(&candidate, app_source, spec, options.engine);
+            let (result, secs) = run_app_measured_opts(
+                &candidate,
+                app_source,
+                spec,
+                options.engine,
+                options.init_snapshots,
+            );
             let ok = match result {
                 Ok(actual) => actual.behavior_eq(&before),
                 Err(_) => false,
@@ -276,8 +287,14 @@ pub fn retrim_with_log(
             }
         }
     }
-    let after =
-        run_app_with(&work, app_source, spec, options.engine).map_err(TrimError::Baseline)?;
+    let after = run_app_opts(
+        &work,
+        app_source,
+        spec,
+        options.engine,
+        options.init_snapshots,
+    )
+    .map_err(TrimError::Baseline)?;
     Ok(IncrementalReport {
         modules,
         before,
@@ -418,6 +435,76 @@ mod tests {
             warm.trimmed.source("toolkit"),
             cold.trimmed.source("toolkit")
         );
+    }
+
+    #[test]
+    fn cache_accounting_across_repeat_trim_and_retrim() {
+        let probes = crate::probe_cache::ProbeCache::shared();
+        let summaries = trim_analysis::summary::SummaryCache::shared();
+        let options = DebloatOptions {
+            probe_cache: Some(probes.clone()),
+            summary_cache: Some(summaries.clone()),
+            ..DebloatOptions::default()
+        };
+
+        // One registry instance throughout: summary-cache reuse is scoped
+        // to a registry family (same interner), unlike the content-keyed
+        // probe cache.
+        let reg = registry();
+
+        // Cold trim: every verdict stored came from a miss; the summary
+        // cache records exactly one cold analysis run.
+        let cold = trim_app(&reg, APP_V1, &spec(), &options).unwrap();
+        assert_eq!(probes.hits(), 0, "cold run cannot hit");
+        assert!(probes.misses() > 0, "cold run probes the oracle");
+        assert_eq!(
+            probes.insertions(),
+            probes.misses(),
+            "every miss runs the oracle once and stores its verdict"
+        );
+        assert_eq!(
+            probes.len() as u64,
+            probes.insertions(),
+            "sequential cold run never stores a duplicate key"
+        );
+        assert_eq!(summaries.misses(), 1, "one cold analysis run");
+        assert_eq!(summaries.len(), 1);
+
+        // Identical repeat trim: all probes answered from cache — hit count
+        // grows, miss/insert counts stand still.
+        let (h0, m0, i0) = (probes.hits(), probes.misses(), probes.insertions());
+        let sh0 = summaries.hits();
+        let again = trim_app(&reg, APP_V1, &spec(), &options).unwrap();
+        assert!(probes.hits() > h0, "repeat trim must hit the probe cache");
+        assert_eq!(probes.misses(), m0);
+        assert_eq!(probes.insertions(), i0);
+        assert!(
+            summaries.hits() > sh0,
+            "repeat analysis answered from cache"
+        );
+        assert_eq!(summaries.misses(), 1, "still the one cold analysis run");
+        assert_eq!(
+            again.trimmed.source("toolkit"),
+            cold.trimmed.source("toolkit")
+        );
+
+        // Incremental retrim of the untouched corpus: seeded probes carry
+        // the cached keys, so still no new verdicts are stored.
+        let (h1, i1) = (probes.hits(), probes.insertions());
+        let sh1 = summaries.hits();
+        let log = TrimLog::from_report(&cold);
+        let warm = retrim_with_log(&reg, APP_V1, &spec(), &log, &options).unwrap();
+        assert!(probes.hits() > h1, "seeded retrim must hit the probe cache");
+        assert_eq!(
+            probes.insertions(),
+            i1,
+            "untouched corpus stores no new verdicts"
+        );
+        assert!(
+            summaries.hits() > sh1,
+            "retrim analysis answered from cache"
+        );
+        assert!(warm.after.behavior_eq(&cold.after));
     }
 
     #[test]

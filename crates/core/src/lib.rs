@@ -57,7 +57,7 @@ use std::fmt;
 
 pub use attributes::{is_magic, module_attributes};
 pub use debloater::{
-    debloat_module, parse_engine, Algorithm, DebloatOptions, HazardMode, ModuleReport,
+    debloat_module, parse_engine, Algorithm, DebloatOptions, HazardMode, ModuleReport, ENGINE_TIERS,
 };
 pub use deployment::{package, wrapper_source, DeploymentPackage};
 pub use fallback::{
@@ -65,8 +65,8 @@ pub use fallback::{
 };
 pub use incremental::{retrim_with_log, IncrementalReport, TrimLog};
 pub use oracle::{
-    oracle_passes, run_app, run_app_measured, run_app_measured_with, run_app_with, Execution,
-    OracleSpec, TestCase,
+    oracle_passes, run_app, run_app_measured, run_app_measured_opts, run_app_measured_with,
+    run_app_opts, run_app_with, Execution, OracleSpec, TestCase,
 };
 pub use pipeline::{trim_app, trim_corpus_parallel, CorpusJob, TrimReport};
 pub use probe_cache::{app_fingerprint, ProbeCache, ProbeKey};

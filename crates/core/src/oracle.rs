@@ -162,6 +162,22 @@ pub fn run_app_with(
     run_app_measured_with(registry, app_source, spec, engine).0
 }
 
+/// Like [`run_app_with`], with the init-snapshot switch of
+/// [`run_app_measured_opts`].
+///
+/// # Errors
+///
+/// Any pylite exception raised during initialization or by the handler.
+pub fn run_app_opts(
+    registry: &Registry,
+    app_source: &str,
+    spec: &OracleSpec,
+    engine: Engine,
+    init_snapshots: bool,
+) -> Result<Execution, PyErr> {
+    run_app_measured_opts(registry, app_source, spec, engine, init_snapshots).0
+}
+
 /// Like [`run_app`], but also returns the virtual time the probe consumed
 /// regardless of success — the quantity the debloater accumulates into the
 /// per-application "debloating time" of Table 3.
@@ -182,8 +198,28 @@ pub fn run_app_measured_with(
     spec: &OracleSpec,
     engine: Engine,
 ) -> (Result<Execution, PyErr>, f64) {
+    run_app_measured_opts(registry, app_source, spec, engine, false)
+}
+
+/// [`run_app_measured_with`] with an init-snapshot switch: when
+/// `init_snapshots` is true, module initializations are recorded into — and
+/// replayed from — the registry family's shared
+/// [`pylite::SnapshotStore`], so repeated probes over the same import cone
+/// skip re-executing module bodies. Replay is byte-identical to live
+/// execution (the differential suites pin this), so the returned
+/// [`Execution`] and measurement are unaffected by the switch.
+pub fn run_app_measured_opts(
+    registry: &Registry,
+    app_source: &str,
+    spec: &OracleSpec,
+    engine: Engine,
+    init_snapshots: bool,
+) -> (Result<Execution, PyErr>, f64) {
     let mut interp = Interpreter::new(registry.clone());
     interp.engine = engine;
+    if init_snapshots {
+        interp.enable_init_snapshots();
+    }
     let result = run_app_inner(&mut interp, app_source, spec);
     let spent = interp.meter.clock_secs();
     (result, spent)

@@ -2,7 +2,7 @@
 //! cost profiler → DD debloater, producing a deployable trimmed registry.
 
 use crate::debloater::{debloat_module, DebloatOptions, HazardMode, ModuleReport};
-use crate::oracle::{run_app_with, Execution, OracleSpec};
+use crate::oracle::{run_app_opts, Execution, OracleSpec};
 use crate::TrimError;
 use pylite::Registry;
 use std::collections::{BTreeMap, BTreeSet};
@@ -91,9 +91,16 @@ pub fn trim_app(
             "analysis jobs must be at least 1".to_owned(),
         ));
     }
-    // 1. Baseline run.
-    let before =
-        run_app_with(registry, app_source, spec, options.engine).map_err(TrimError::Baseline)?;
+    // 1. Baseline run (with init snapshots when enabled, warming the
+    //    registry family's shared snapshot store for the DD probes).
+    let before = run_app_opts(
+        registry,
+        app_source,
+        spec,
+        options.engine,
+        options.init_snapshots,
+    )
+    .map_err(TrimError::Baseline)?;
 
     // 2. Static analysis: accesses, call graph, lints and hazard routing.
     // All analysis runs in this pipeline share one summary cache (the
@@ -113,6 +120,20 @@ pub fn trim_app(
         summary_cache: Some(summaries),
     };
     let full = trim_analysis::analyze_full(&program, registry, &analysis_options);
+
+    // Conservative replayability gate: modules the static analyzer
+    // implicates in a debloat-soundness hazard (opaque getattr, foreign
+    // mutation through aliases) are denied snapshot capture/replay and
+    // always run their init live. The deny set lives in the registry
+    // family's shared store, so it also covers snapshots captured before
+    // this point (replay re-checks the deny set per candidate and per
+    // dependency).
+    if options.init_snapshots {
+        let store = registry.snapshot_store();
+        for module in full.hazard_attrs.keys() {
+            store.deny(module);
+        }
+    }
 
     // 3. Cost profiling + top-K ranking.
     let profile = profile_app(app_source, registry).map_err(TrimError::Baseline)?;
@@ -167,8 +188,14 @@ pub fn trim_app(
         modules.push(report);
     }
 
-    let after =
-        run_app_with(&work, app_source, spec, options.engine).map_err(TrimError::Baseline)?;
+    let after = run_app_opts(
+        &work,
+        app_source,
+        spec,
+        options.engine,
+        options.init_snapshots,
+    )
+    .map_err(TrimError::Baseline)?;
     debug_assert!(
         after.behavior_eq(&before),
         "trimmed application must be oracle-equivalent"

@@ -82,6 +82,7 @@ pub struct ProbeCache {
     map: RwLock<HashMap<ProbeKey, bool>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    insertions: AtomicU64,
 }
 
 impl std::fmt::Debug for ProbeCache {
@@ -90,6 +91,7 @@ impl std::fmt::Debug for ProbeCache {
             .field("entries", &self.len())
             .field("hits", &self.hits())
             .field("misses", &self.misses())
+            .field("insertions", &self.insertions())
             .finish()
     }
 }
@@ -115,8 +117,11 @@ impl ProbeCache {
         v
     }
 
-    /// Record a verdict.
+    /// Record a verdict. Counts an insertion even when `key` was already
+    /// present — the counter tracks oracle runs whose verdict was stored,
+    /// not distinct keys (use [`ProbeCache::len`] for those).
     pub fn insert(&self, key: ProbeKey, verdict: bool) {
+        self.insertions.fetch_add(1, Ordering::Relaxed);
         self.map
             .write()
             .expect("probe cache poisoned")
@@ -142,6 +147,11 @@ impl ProbeCache {
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
+
+    /// Verdicts stored via [`ProbeCache::insert`] (including overwrites).
+    pub fn insertions(&self) -> u64 {
+        self.insertions.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
@@ -165,7 +175,14 @@ mod tests {
         assert_eq!(cache.get(&key), Some(true));
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.insertions(), 1);
         assert_eq!(cache.len(), 1);
+        // Overwriting a verdict counts as an insertion but not a new key.
+        cache.insert(key.clone(), false);
+        assert_eq!(cache.insertions(), 2);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&key), Some(false));
+        assert_eq!(cache.hits(), 2);
     }
 
     #[test]

@@ -327,10 +327,19 @@ where
             }
         }
         if !pending.is_empty() {
-            let chunks: Vec<Vec<usize>> = pending
-                .chunks(pending.len().div_ceil(threads))
-                .map(<[usize]>::to_vec)
-                .collect();
+            // Snapshot-aware probe ordering: schedule the largest keep-sets
+            // first and deal them round-robin across workers. Large subsets
+            // execute the widest import cones, so they populate the shared
+            // caches (probe verdicts, init snapshots) that the smaller
+            // subsets then reuse as warm prefixes — and spreading sizes
+            // round-robin balances per-worker wall time. Verdicts are
+            // index-collected, so scheduling order never changes results.
+            let mut by_size: Vec<usize> = pending.clone();
+            by_size.sort_by_key(|&i| std::cmp::Reverse(batch[i].len()));
+            let mut chunks: Vec<Vec<usize>> = vec![Vec::new(); threads.min(by_size.len())];
+            for (slot, i) in by_size.into_iter().enumerate() {
+                chunks[slot % threads].push(i);
+            }
             let mut collected: Vec<(usize, bool)> = Vec::with_capacity(pending.len());
             std::thread::scope(|scope| {
                 let handles: Vec<_> = chunks

@@ -19,6 +19,9 @@ use crate::cost::{mb_to_bytes, ms_to_ns, CostModel, Meter};
 use crate::intern::{Interner, Symbol, SymbolHashBuilder};
 use crate::registry::Registry;
 use crate::resolved::{resolve_program, RClassDef, RExpr, RFuncDef, RStmt};
+use crate::snapshot::{
+    rehydrate, InitSnapshot, LogEvent, SnapEvent, SnapRecorder, SnapshotBuilder,
+};
 use crate::value::{
     py_eq, py_repr, py_str, Builtin, ExcKind, ModuleObj, Namespace, NativeMethod, PyClass, PyErr,
     PyFunc, PyInstance, Value,
@@ -249,6 +252,10 @@ pub struct Interpreter {
     /// Recycled VM frames: nested bytecode calls pop a frame here instead
     /// of allocating fresh operand-stack/iterator vectors per invocation.
     pub(crate) vm_frames: Vec<crate::bytecode::VmFrame>,
+    /// Init-snapshot recorder. `None` (the default) disables both capture
+    /// and replay; the oracle enables it so DD probes can reuse module-body
+    /// executions via the registry's shared [`crate::snapshot::SnapshotStore`].
+    snap: Option<Box<SnapRecorder>>,
 }
 
 impl std::fmt::Debug for CommonSyms {
@@ -306,6 +313,19 @@ impl Interpreter {
             ics: HashMap::default(),
             ic_stats: None,
             vm_frames: Vec::new(),
+            snap: None,
+        }
+    }
+
+    /// Turn on init-snapshot record/replay. Fresh module-body executions are
+    /// captured into the registry's shared [`crate::snapshot::SnapshotStore`];
+    /// later imports whose content fingerprint, import cone and cost model
+    /// match a stored snapshot replay it byte-identically (namespaces, stdout,
+    /// extcalls, import events and meter deltas) instead of re-running the
+    /// body. Off by default: plain `exec_main` users get live execution.
+    pub fn enable_init_snapshots(&mut self) {
+        if self.snap.is_none() {
+            self.snap = Some(Box::new(SnapRecorder::new()));
         }
     }
 
@@ -382,6 +402,7 @@ impl Interpreter {
         });
         module.ns.set(self.syms.name, Value::str("__main__"));
         self.modules.insert("__main__".into(), module.clone());
+        self.snap_note_load("__main__");
         let mut env = Env {
             globals: module.ns.clone(),
             locals: None,
@@ -447,7 +468,11 @@ impl Interpreter {
     /// or any exception its body raises.
     pub fn import_module(&mut self, dotted: &str) -> Result<Rc<ModuleObj>, PyErr> {
         if let Some(m) = self.modules.get(dotted) {
-            return Ok(m.clone());
+            let m = m.clone();
+            // A cache hit on a module loaded before an in-progress capture
+            // started means that capture's closure is incomplete.
+            self.snap_on_cache_hit(dotted);
+            return Ok(m);
         }
         if !self.registry.contains(dotted) {
             return Err(PyErr::new(
@@ -459,6 +484,13 @@ impl Interpreter {
         let parent = dotted.rsplit_once('.').map(|(p, _)| p.to_owned());
         if let Some(p) = &parent {
             self.import_module(p)?;
+        }
+        if self.snap.is_some() {
+            if let Some(m) = self.try_replay_import(dotted) {
+                self.bind_into_parent(&parent, dotted, &m);
+                return Ok(m);
+            }
+            self.registry.snapshot_store().record_miss();
         }
         enum Body {
             Tree(Arc<crate::resolved::RProgram>),
@@ -492,8 +524,10 @@ impl Interpreter {
         // Insert before executing the body so cyclic imports observe the
         // partially-initialized module instead of recursing forever.
         self.modules.insert(dotted.to_owned(), module.clone());
+        let seq = self.snap_note_load(dotted);
         let depth = self.import_depth;
         let start = self.meter.snapshot();
+        self.snap_frame_push(dotted, seq);
         self.import_depth += 1;
         let mut env = Env {
             globals: module.ns.clone(),
@@ -509,28 +543,361 @@ impl Interpreter {
         match result {
             Ok(()) => {
                 let end = self.meter.snapshot();
-                self.import_events.push(ImportEvent {
+                self.snap_frame_finish(dotted, end);
+                self.emit_import_event(ImportEvent {
                     module: dotted.to_owned(),
                     depth,
                     time_ns: end.0 - start.0,
                     mem_bytes: end.1 - start.1,
                 });
-                if let (Some(p), Some((_, leaf))) = (&parent, dotted.rsplit_once('.')) {
-                    if let Some(pm) = self.modules.get(p).cloned() {
-                        let leaf_sym = self.interner.intern(leaf);
-                        let is_new = pm.ns.set(leaf_sym, Value::Module(module.clone())).is_none();
-                        if is_new {
-                            self.meter.alloc(self.cost.binding_bytes);
-                        }
-                    }
-                }
+                self.bind_into_parent(&parent, dotted, &module);
                 Ok(module)
             }
             Err(e) => {
+                self.snap_frame_abort();
                 self.modules.remove(dotted);
+                self.snap_note_unload(dotted);
                 Err(e)
             }
         }
+    }
+
+    /// Bind a freshly imported submodule as an attribute of its parent
+    /// package (`import a.b` makes `b` visible on `a`).
+    fn bind_into_parent(&mut self, parent: &Option<String>, dotted: &str, module: &Rc<ModuleObj>) {
+        if let (Some(p), Some((_, leaf))) = (parent, dotted.rsplit_once('.')) {
+            if let Some(pm) = self.modules.get(p).cloned() {
+                let leaf_sym = self.interner.intern(leaf);
+                let is_new = pm.ns.set(leaf_sym, Value::Module(module.clone())).is_none();
+                if is_new {
+                    self.meter.alloc(self.cost.binding_bytes);
+                }
+                // The parent was loaded before this frame started, so an
+                // in-progress capture just saw a foreign write.
+                self.snap_on_module_write(p);
+            }
+        }
+    }
+}
+
+// -- init-snapshot record/replay ------------------------------------------
+//
+// See `crate::snapshot` for the data model. The interpreter's side is:
+// every fresh `import_module` body pushes a recording frame; effects
+// (stdout, extcalls, import events, observed accesses) are logged flat
+// across nested frames; a clean frame pop walks the freshly-loaded subtree
+// into an `InitSnapshot` stored in the registry's shared `SnapshotStore`;
+// and a later import with a matching key replays the snapshot instead of
+// executing the body.
+
+impl Interpreter {
+    /// Note that `name` is now in `sys.modules`; returns its load sequence
+    /// number (the capture-frame closure boundary). Zero when disabled.
+    fn snap_note_load(&mut self, name: &str) -> u64 {
+        match &mut self.snap {
+            Some(rec) => rec.note_load(name),
+            None => 0,
+        }
+    }
+
+    /// Forget a module removed from `sys.modules` after a failed import.
+    fn snap_note_unload(&mut self, name: &str) {
+        if let Some(rec) = &mut self.snap {
+            rec.note_unload(name);
+        }
+    }
+
+    /// A `sys.modules` cache hit on `name`: frames that began after `name`
+    /// was loaded closed over pre-frame state → not replayable.
+    fn snap_on_cache_hit(&mut self, name: &str) {
+        if let Some(rec) = &mut self.snap {
+            rec.mark_pre_frame(name);
+        }
+    }
+
+    /// A write into module `name`'s namespace: frames that `name` predates
+    /// just mutated foreign state → not replayable.
+    fn snap_on_module_write(&mut self, name: &str) {
+        if let Some(rec) = &mut self.snap {
+            rec.mark_pre_frame(name);
+        }
+    }
+
+    /// Append a stdout line, logging it when a capture frame is active.
+    pub(crate) fn emit_stdout(&mut self, line: String) {
+        if let Some(rec) = &mut self.snap {
+            if !rec.frames.is_empty() {
+                rec.log.push(LogEvent::Stdout(line.clone()));
+            }
+        }
+        self.stdout.push(line);
+    }
+
+    /// Append an extcall line, logging it when a capture frame is active.
+    pub(crate) fn emit_extcall(&mut self, line: String) {
+        if let Some(rec) = &mut self.snap {
+            if !rec.frames.is_empty() {
+                rec.log.push(LogEvent::Extcall(line.clone()));
+            }
+        }
+        self.extcalls.push(line);
+    }
+
+    /// Record an `ImportEvent`, logging it when a capture frame is active.
+    fn emit_import_event(&mut self, ev: ImportEvent) {
+        if let Some(rec) = &mut self.snap {
+            if !rec.frames.is_empty() {
+                rec.log.push(LogEvent::Import {
+                    module: ev.module.clone(),
+                    depth: ev.depth,
+                    time_ns: ev.time_ns,
+                    mem_bytes: ev.mem_bytes,
+                });
+            }
+        }
+        self.import_events.push(ev);
+    }
+
+    /// Log an observed `(module, attr)` access while a capture is active.
+    fn snap_log_access(&mut self, module: Symbol, attr: Symbol) {
+        if let Some(rec) = &mut self.snap {
+            if !rec.frames.is_empty() {
+                rec.log.push(LogEvent::Access(module, attr));
+            }
+        }
+    }
+
+    /// Open a recording frame for a fresh import of `dotted` (just after
+    /// the constant import costs and the `sys.modules` insert, i.e. at the
+    /// same meter boundary as the live `ImportEvent` measurement).
+    fn snap_frame_push(&mut self, dotted: &str, seq: u64) {
+        let clock = self.meter.clock_ns();
+        let mem = self.meter.mem_bytes();
+        let steps = self.meter.steps;
+        let depth = self.import_depth;
+        if let Some(rec) = &mut self.snap {
+            let log_start = rec.log.len();
+            rec.frames.push(crate::snapshot::SnapFrame {
+                module: dotted.to_owned(),
+                start_seq: seq,
+                log_start,
+                base_depth: depth,
+                clock_start: clock,
+                mem_start: mem,
+                steps_start: steps,
+                violated: false,
+            });
+        }
+    }
+
+    /// Discard the top recording frame after a failed import.
+    fn snap_frame_abort(&mut self) {
+        if let Some(rec) = &mut self.snap {
+            rec.frames.pop();
+            if rec.frames.is_empty() {
+                rec.log.clear();
+            }
+        }
+    }
+
+    /// Pop the top recording frame after a successful body run and, when
+    /// every gate passes, capture the freshly-loaded subtree as an
+    /// [`InitSnapshot`] in the shared store. `end` is the meter snapshot
+    /// taken at the live `ImportEvent` boundary.
+    fn snap_frame_finish(&mut self, dotted: &str, end: (u64, u64)) {
+        let steps_now = self.meter.steps;
+        let Some(rec) = &mut self.snap else { return };
+        let Some(frame) = rec.frames.pop() else {
+            return;
+        };
+        debug_assert_eq!(frame.module, dotted);
+        'capture: {
+            if frame.violated {
+                break 'capture;
+            }
+            let store = Arc::clone(self.registry.snapshot_store());
+            if store.is_denied(dotted) {
+                break 'capture;
+            }
+            let Some(module_fp) = self.registry.module_fingerprint(dotted) else {
+                break 'capture;
+            };
+            if store.is_ineligible(dotted, module_fp) {
+                break 'capture;
+            }
+            // The captured subtree: everything loaded since the frame
+            // opened, in load order. Index 0 is the module itself.
+            let mut closure: Vec<(u64, String)> = rec
+                .load_seq
+                .iter()
+                .filter(|&(_, &seq)| seq >= frame.start_seq)
+                .map(|(name, &seq)| (seq, name.clone()))
+                .collect();
+            closure.sort();
+            debug_assert_eq!(closure.first().map(|(_, n)| n.as_str()), Some(dotted));
+            let mut deps = Vec::with_capacity(closure.len());
+            let mut mods = Vec::with_capacity(closure.len());
+            let mut keyed = true;
+            for (_, name) in &closure {
+                match (
+                    self.registry.module_fingerprint(name),
+                    self.modules.get(name),
+                ) {
+                    (Some(fp), Some(m)) if !store.is_denied(name) => {
+                        deps.push((name.clone(), fp));
+                        mods.push(m.clone());
+                    }
+                    _ => {
+                        keyed = false;
+                        break;
+                    }
+                }
+            }
+            if !keyed {
+                break 'capture;
+            }
+            let mut builder = SnapshotBuilder::new(&mods);
+            let mut smods = Vec::with_capacity(mods.len());
+            let mut walkable = true;
+            for m in &mods {
+                match builder.snap_module(m) {
+                    Some(sm) => smods.push(sm),
+                    None => {
+                        walkable = false;
+                        break;
+                    }
+                }
+            }
+            if !walkable {
+                store.mark_ineligible(dotted, module_fp);
+                break 'capture;
+            }
+            let log = rec.log[frame.log_start..]
+                .iter()
+                .map(|ev| match ev {
+                    LogEvent::Stdout(s) => SnapEvent::Stdout(s.clone()),
+                    LogEvent::Extcall(s) => SnapEvent::Extcall(s.clone()),
+                    LogEvent::Import {
+                        module,
+                        depth,
+                        time_ns,
+                        mem_bytes,
+                    } => SnapEvent::Import {
+                        module: module.clone(),
+                        rel_depth: depth - frame.base_depth,
+                        time_ns: *time_ns,
+                        mem_bytes: *mem_bytes,
+                    },
+                    LogEvent::Access(m, a) => SnapEvent::Access(*m, *a),
+                })
+                .collect();
+            store.insert(
+                dotted,
+                InitSnapshot {
+                    module_fp,
+                    deps,
+                    cost: self.cost.clone(),
+                    time_ns: end.0 - frame.clock_start,
+                    mem_bytes: end.1 - frame.mem_start,
+                    steps: steps_now - frame.steps_start,
+                    log,
+                    modules: smods,
+                    arena: builder.finish(),
+                },
+            );
+        }
+        if rec.frames.is_empty() {
+            rec.log.clear();
+        }
+    }
+
+    /// Try to answer a fresh import of `dotted` by replaying a stored
+    /// snapshot. Returns the module on success; `None` falls back to live
+    /// execution (poisoning any entry replay found inconsistent).
+    fn try_replay_import(&mut self, dotted: &str) -> Option<Rc<ModuleObj>> {
+        let store = Arc::clone(self.registry.snapshot_store());
+        if store.is_denied(dotted) {
+            return None;
+        }
+        let module_fp = self.registry.module_fingerprint(dotted)?;
+        'candidates: for entry in store.candidates(dotted) {
+            if entry.module_fp != module_fp || entry.cost != self.cost {
+                continue;
+            }
+            // Exact step-budget equivalence: steps grow monotonically and
+            // the live check is strict `>` after each increment, so live
+            // execution completes iff the final total stays ≤ the limit.
+            if self.meter.steps.saturating_add(entry.steps) > self.step_limit {
+                continue;
+            }
+            for (dep, fp) in &entry.deps {
+                if self.modules.contains_key(dep)
+                    || store.is_denied(dep)
+                    || self.registry.module_fingerprint(dep) != Some(*fp)
+                {
+                    continue 'candidates;
+                }
+            }
+            // Structural soundness was vetted when the entry entered the
+            // store, so rehydration cannot fault; only a recording-order
+            // mismatch (first module is not the requested one) poisons.
+            let mods = rehydrate(&entry);
+            if mods.first().map(|m| m.name.as_str()) != Some(dotted) {
+                store.poison(dotted, &entry);
+                continue;
+            }
+            let module = mods[0].clone();
+            self.commit_replay(&entry, &mods);
+            store.record_hit();
+            return Some(module);
+        }
+        None
+    }
+
+    /// Apply a rehydrated snapshot to this interpreter, reproducing every
+    /// observable of the live execution: `sys.modules` entries, meter
+    /// deltas at the live boundaries, stdout/extcall lines, import events
+    /// (self last, exactly as live nesting orders them) and observed
+    /// accesses. Runs inside any enclosing recording frame, so replayed
+    /// inits compose into outer captures.
+    fn commit_replay(&mut self, entry: &InitSnapshot, mods: &[Rc<ModuleObj>]) {
+        self.meter.tick(self.cost.import_ns);
+        self.meter.alloc(self.cost.module_base_bytes);
+        for m in mods {
+            self.modules.insert(m.name.clone(), m.clone());
+            self.snap_note_load(&m.name);
+        }
+        self.meter.tick(entry.time_ns);
+        self.meter.alloc(entry.mem_bytes);
+        self.meter.steps += entry.steps;
+        let base_depth = self.import_depth;
+        for ev in &entry.log {
+            match ev {
+                SnapEvent::Stdout(s) => self.emit_stdout(s.clone()),
+                SnapEvent::Extcall(s) => self.emit_extcall(s.clone()),
+                SnapEvent::Import {
+                    module,
+                    rel_depth,
+                    time_ns,
+                    mem_bytes,
+                } => self.emit_import_event(ImportEvent {
+                    module: module.clone(),
+                    depth: base_depth + rel_depth,
+                    time_ns: *time_ns,
+                    mem_bytes: *mem_bytes,
+                }),
+                SnapEvent::Access(m, a) => {
+                    self.observed.insert((*m, *a));
+                    self.snap_log_access(*m, *a);
+                }
+            }
+        }
+        self.emit_import_event(ImportEvent {
+            module: mods[0].name.clone(),
+            depth: base_depth,
+            time_ns: entry.time_ns,
+            mem_bytes: entry.mem_bytes,
+        });
     }
 }
 
@@ -851,7 +1218,12 @@ impl Interpreter {
             RExpr::Name(n) => {
                 let removed = match &env.locals {
                     Some(locals) if !env.global_decls.contains(n) => locals.remove(*n),
-                    _ => env.globals.remove(*n),
+                    _ => {
+                        // Deleting a module-level name mutates the owning
+                        // module's namespace.
+                        self.snap_on_module_write(&env.module);
+                        env.globals.remove(*n)
+                    }
                 };
                 if removed.is_none() {
                     return Err(PyErr::new(
@@ -865,7 +1237,11 @@ impl Interpreter {
                 // `NsMap::remove` bumps the namespace generation,
                 // invalidating any inline cache for this attribute.
                 let removed = match &obj {
-                    Value::Module(m) => m.ns.remove(*attr),
+                    Value::Module(m) => {
+                        let removed = m.ns.remove(*attr);
+                        self.snap_on_module_write(&m.name);
+                        removed
+                    }
                     Value::Instance(i) => i.borrow().ns.remove(*attr),
                     Value::Class(c) => c.ns.remove(*attr),
                     _ => None,
@@ -998,9 +1374,17 @@ impl Interpreter {
             return;
         }
         self.observed.insert((module.name_sym, attr));
+        self.snap_log_access(module.name_sym, attr);
     }
 
     pub(crate) fn bind_name(&mut self, name: Symbol, value: Value, env: &mut Env) {
+        // A `global`-declared write from inside a function call mutates
+        // the declaring module's namespace, which may predate an active
+        // recording frame. (Module-level binds hit the module's own,
+        // intra-frame namespace and need no check.)
+        if env.locals.is_some() && env.global_decls.contains(&name) {
+            self.snap_on_module_write(&env.module);
+        }
         let target_ns = match &env.locals {
             Some(locals) if !env.global_decls.contains(&name) => locals,
             _ => &env.globals,
@@ -1064,6 +1448,7 @@ impl Interpreter {
                 if m.ns.set(attr, value).is_none() {
                     self.meter.alloc(self.cost.binding_bytes);
                 }
+                self.snap_on_module_write(&m.name);
             }
             Value::Instance(i) => {
                 if i.borrow().ns.set(attr, value).is_none() {
@@ -1886,7 +2271,7 @@ impl Interpreter {
             Builtin::Print => {
                 let line = args.iter().map(py_str).collect::<Vec<_>>().join(" ");
                 self.meter.tick(2_000);
-                self.stdout.push(line);
+                self.emit_stdout(line);
                 Ok(Value::None)
             }
             Builtin::Len => {
@@ -2131,6 +2516,7 @@ impl Interpreter {
                 match &args[0] {
                     Value::Module(m) => {
                         m.ns.set(sym, args[2].clone());
+                        self.snap_on_module_write(&m.name);
                     }
                     Value::Instance(i) => {
                         i.borrow().ns.set(sym, args[2].clone());
@@ -2204,7 +2590,7 @@ impl Interpreter {
             Builtin::SimExtCall => {
                 let parts: Vec<String> = args.iter().map(py_str).collect();
                 self.meter.tick(500_000);
-                self.extcalls.push(parts.join(":"));
+                self.emit_extcall(parts.join(":"));
                 Ok(Value::None)
             }
         }
@@ -3088,5 +3474,185 @@ print(isinstance(B(), A))
             "import m\nout = []\nfor i in range(2):\n    try:\n        out.append(m.x)\n    except AttributeError:\n        out.append(0 - 1)\n    if i == 0:\n        del m.x\nprint(out)\n",
         );
         assert_eq!(it.stdout, vec!["[1, -1]"]);
+    }
+
+    // -- init-snapshot record/replay --------------------------------------
+
+    fn replay_registry() -> Registry {
+        let mut r = Registry::new();
+        r.set_module(
+            "util",
+            "def helper(x):\n    return x + 1\nCONST = [1, 2, 3]\n",
+        );
+        r.set_module(
+            "lib",
+            "import util\nshared = util.CONST\nprint(\"lib init\")\n__lt_extcall__(\"init\", \"lib\")\ndef go(x):\n    return util.helper(x)\n",
+        );
+        r
+    }
+
+    fn run_snap(r: &Registry, src: &str, enable: bool) -> Interpreter {
+        let mut it = Interpreter::new(r.clone());
+        if enable {
+            it.enable_init_snapshots();
+        }
+        it.exec_main(src).expect("program runs");
+        it
+    }
+
+    fn assert_same_observables(a: &Interpreter, b: &Interpreter) {
+        assert_eq!(a.stdout, b.stdout);
+        assert_eq!(a.extcalls, b.extcalls);
+        assert_eq!(a.import_events, b.import_events);
+        assert_eq!(a.meter.clock_ns(), b.meter.clock_ns());
+        assert_eq!(a.meter.mem_bytes(), b.meter.mem_bytes());
+        assert_eq!(a.meter.steps, b.meter.steps);
+        assert_eq!(a.observed_accesses(), b.observed_accesses());
+        assert_eq!(a.loaded_modules(), b.loaded_modules());
+    }
+
+    #[test]
+    fn snapshot_replay_is_byte_identical() {
+        let r = replay_registry();
+        let src = "import lib\nprint(lib.go(41))\n";
+        let live = run_snap(&r, src, false);
+        let first = run_snap(&r, src, true);
+        let store = r.snapshot_store();
+        assert!(store.stats().captures >= 2, "lib and util captured");
+        assert_eq!(store.stats().hits, 0);
+        let second = run_snap(&r, src, true);
+        assert!(store.stats().hits >= 1, "second run replays");
+        assert_same_observables(&first, &live);
+        assert_same_observables(&second, &live);
+    }
+
+    #[test]
+    fn pre_frame_import_blocks_capture_but_dep_still_replays() {
+        let r = replay_registry();
+        let src = "import util\nimport lib\nprint(lib.go(1))\n";
+        let live = run_snap(&r, src, false);
+        let _first = run_snap(&r, src, true);
+        // `lib` cache-hits the pre-frame `util`, so only `util` is captured.
+        assert!(r.snapshot_store().candidates("lib").is_empty());
+        assert!(!r.snapshot_store().candidates("util").is_empty());
+        let second = run_snap(&r, src, true);
+        assert!(r.snapshot_store().stats().hits >= 1, "util replays");
+        assert_same_observables(&second, &live);
+    }
+
+    #[test]
+    fn foreign_write_blocks_capture() {
+        let mut r = Registry::new();
+        r.set_module("base", "x = 1\n");
+        r.set_module("patch", "import base\nbase.x = 2\n");
+        let src = "import base\nimport patch\nprint(base.x)\n";
+        let live = run_snap(&r, src, false);
+        let _first = run_snap(&r, src, true);
+        assert!(r.snapshot_store().candidates("patch").is_empty());
+        let second = run_snap(&r, src, true);
+        assert_same_observables(&second, &live);
+        assert_eq!(second.stdout, vec!["2"]);
+    }
+
+    #[test]
+    fn replayed_functions_mutate_rehydrated_globals() {
+        let mut r = Registry::new();
+        r.set_module(
+            "counter",
+            "n = 0\ndef bump():\n    global n\n    n = n + 1\n    return n\n",
+        );
+        let src = "import counter\nprint(counter.bump())\nprint(counter.bump())\n";
+        let live = run_snap(&r, src, false);
+        let _first = run_snap(&r, src, true);
+        let second = run_snap(&r, src, true);
+        assert!(r.snapshot_store().stats().hits >= 1);
+        assert_eq!(second.stdout, vec!["1", "2"]);
+        assert_same_observables(&second, &live);
+    }
+
+    #[test]
+    fn replay_preserves_cross_module_aliasing() {
+        let r = replay_registry();
+        let src = "import lib\nimport util\nlib.shared.append(9)\nprint(util.CONST)\n";
+        let live = run_snap(&r, src, false);
+        let _first = run_snap(&r, src, true);
+        let second = run_snap(&r, src, true);
+        assert!(r.snapshot_store().stats().hits >= 1);
+        assert_eq!(second.stdout, vec!["lib init", "[1, 2, 3, 9]"]);
+        assert_same_observables(&second, &live);
+    }
+
+    #[test]
+    fn replayed_submodule_binds_into_parent() {
+        let mut r = Registry::new();
+        r.set_module("pkg", "tag = \"p\"\n");
+        r.set_module("pkg.sub", "val = 7\n");
+        let src = "import pkg.sub\nprint(pkg.sub.val)\n";
+        let live = run_snap(&r, src, false);
+        let _first = run_snap(&r, src, true);
+        let second = run_snap(&r, src, true);
+        assert!(r.snapshot_store().stats().hits >= 1);
+        assert_same_observables(&second, &live);
+    }
+
+    #[test]
+    fn unwalkable_namespace_is_negative_cached() {
+        let mut r = Registry::new();
+        r.set_module(
+            "meth",
+            "class C:\n    def m(self):\n        return 1\nc = C()\nf = c.m\n",
+        );
+        let src = "import meth\nprint(meth.f())\n";
+        let live = run_snap(&r, src, false);
+        let _first = run_snap(&r, src, true);
+        assert!(r.snapshot_store().stats().ineligible >= 1);
+        assert!(r.snapshot_store().candidates("meth").is_empty());
+        let second = run_snap(&r, src, true);
+        assert_eq!(r.snapshot_store().stats().hits, 0, "always live");
+        assert_same_observables(&second, &live);
+    }
+
+    #[test]
+    fn changed_dep_fingerprint_forces_live_run() {
+        let r = replay_registry();
+        let src = "import lib\nprint(lib.go(1))\n";
+        let _first = run_snap(&r, src, true);
+        let mut r2 = r.clone();
+        r2.set_module("util", "def helper(x):\n    return x + 100\nCONST = []\n");
+        let it = run_snap(&r2, src, true);
+        assert_eq!(it.stdout, vec!["lib init", "101"]);
+    }
+
+    #[test]
+    fn denied_module_stays_live_but_subtree_replays() {
+        let r = replay_registry();
+        r.snapshot_store().deny("lib");
+        let src = "import lib\nprint(lib.go(1))\n";
+        let live = run_snap(&r, src, false);
+        let _first = run_snap(&r, src, true);
+        assert!(r.snapshot_store().candidates("lib").is_empty());
+        let second = run_snap(&r, src, true);
+        assert!(
+            r.snapshot_store().stats().hits >= 1,
+            "util replays inside lib's live run"
+        );
+        assert_same_observables(&second, &live);
+    }
+
+    #[test]
+    fn engines_share_snapshot_identity() {
+        // A VM-run capture must replay byte-identically under the tree
+        // engine and vice versa (tick-merged cost parity).
+        let r = replay_registry();
+        let src = "import lib\nprint(lib.go(41))\n";
+        let mut vm = Interpreter::new(r.clone());
+        vm.enable_init_snapshots();
+        vm.exec_main(src).expect("vm run");
+        let mut tree = Interpreter::new(r.clone());
+        tree.engine = Engine::Tree;
+        tree.enable_init_snapshots();
+        tree.exec_main(src).expect("tree run");
+        assert!(r.snapshot_store().stats().hits >= 1);
+        assert_same_observables(&vm, &tree);
     }
 }

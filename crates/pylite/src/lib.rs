@@ -44,6 +44,7 @@ pub mod lexer;
 pub mod parser;
 pub mod registry;
 pub mod resolved;
+pub mod snapshot;
 pub mod value;
 
 pub use ast::{unparse, Program, Stmt};
@@ -54,4 +55,5 @@ pub use interp::{Engine, IcSiteStats, ImportEvent, Interpreter};
 pub use parser::{parse, parse_expr, ParseError};
 pub use registry::Registry;
 pub use resolved::{resolve_program, RProgram};
+pub use snapshot::{SnapshotStats, SnapshotStore};
 pub use value::{py_eq, py_repr, py_str, ExcKind, Namespace, PyErr, Value};

@@ -23,6 +23,7 @@ use crate::bytecode::CodeObj;
 use crate::intern::Interner;
 use crate::parser::{parse, ParseError};
 use crate::resolved::{resolve_program, RProgram};
+use crate::snapshot::SnapshotStore;
 use std::any::Any;
 use std::collections::HashMap;
 use std::fmt;
@@ -51,6 +52,11 @@ impl fmt::Debug for SummarySlot {
 #[derive(Debug, Clone)]
 struct ModuleEntry {
     source: Arc<str>,
+    /// `entry_hash(name, source)`, computed once at insertion so
+    /// per-module fingerprint lookups (hot on the snapshot-replay path,
+    /// which re-validates a whole import cone per candidate) are O(1)
+    /// instead of re-hashing the source.
+    hash: u64,
     parsed: Arc<OnceLock<Result<Arc<Program>, ParseError>>>,
     resolved: Arc<OnceLock<Result<Arc<RProgram>, ParseError>>>,
     bytecode: Arc<OnceLock<Result<Arc<CodeObj>, ParseError>>>,
@@ -58,9 +64,11 @@ struct ModuleEntry {
 }
 
 impl ModuleEntry {
-    fn new(source: impl Into<Arc<str>>) -> Self {
+    fn new(name: &str, source: impl Into<Arc<str>>) -> Self {
+        let source: Arc<str> = source.into();
         ModuleEntry {
-            source: source.into(),
+            hash: entry_hash(name, &source),
+            source,
             parsed: Arc::new(OnceLock::new()),
             resolved: Arc::new(OnceLock::new()),
             bytecode: Arc::new(OnceLock::new()),
@@ -117,6 +125,12 @@ pub struct Registry {
     /// re-compile it. Like the per-entry slots, this is derived data and
     /// deliberately absent from the fingerprint and `PartialEq`.
     main_code: Arc<Mutex<MainCodeCache>>,
+    /// Init-snapshot cache shared by every clone/overlay of this registry
+    /// family (see [`crate::snapshot`]). Entries are keyed by content
+    /// fingerprints, so overlays with rewritten modules replay only the
+    /// unchanged parts of their import cones. Derived data: deliberately
+    /// absent from the fingerprint and `PartialEq`.
+    snapshots: Arc<SnapshotStore>,
 }
 
 /// Content-keyed `__main__` bytecode cache: hash of the app source → the
@@ -160,21 +174,18 @@ impl Registry {
     pub fn set_module(&mut self, name: impl Into<String>, source: impl Into<String>) {
         let name = name.into();
         let source: String = source.into();
+        let entry = ModuleEntry::new(&name, source);
         if let Some(old) = self.modules.get(&name) {
-            self.fingerprint = self
-                .fingerprint
-                .wrapping_sub(entry_hash(&name, &old.source));
+            self.fingerprint = self.fingerprint.wrapping_sub(old.hash);
         }
-        self.fingerprint = self.fingerprint.wrapping_add(entry_hash(&name, &source));
-        self.modules.insert(name, ModuleEntry::new(source));
+        self.fingerprint = self.fingerprint.wrapping_add(entry.hash);
+        self.modules.insert(name, entry);
     }
 
     /// Remove a module.
     pub fn remove_module(&mut self, name: &str) -> Option<String> {
         let entry = self.modules.remove(name)?;
-        self.fingerprint = self
-            .fingerprint
-            .wrapping_sub(entry_hash(name, &entry.source));
+        self.fingerprint = self.fingerprint.wrapping_sub(entry.hash);
         Some(entry.source.to_string())
     }
 
@@ -323,7 +334,7 @@ impl Registry {
     /// consumers (the analysis summary cache) use it to decide which modules
     /// changed between two registry states without diffing sources.
     pub fn module_fingerprint(&self, name: &str) -> Option<u64> {
-        self.modules.get(name).map(|e| entry_hash(name, &e.source))
+        self.modules.get(name).map(|e| e.hash)
     }
 
     /// Compute-once derived data for a module, keyed by content: the first
@@ -350,6 +361,12 @@ impl Registry {
     /// The name interner shared by this registry and all of its clones.
     pub fn interner(&self) -> &Arc<Interner> {
         &self.interner
+    }
+
+    /// The init-snapshot cache shared by this registry and all of its
+    /// clones and copy-on-write overlays (see [`crate::snapshot`]).
+    pub fn snapshot_store(&self) -> &Arc<SnapshotStore> {
+        &self.snapshots
     }
 
     /// Direct submodules of a dotted name that exist in the registry, e.g.

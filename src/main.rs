@@ -9,7 +9,9 @@
 //! lambda-trim simulate --trace trace.csv [--jobs 8] [--out metrics.json]
 //! ```
 
-use lambda_trim::cli::{load_registry, parse_oracle_file, parse_scoring, write_registry, Args};
+use lambda_trim::cli::{
+    load_registry, parse_engine, parse_oracle_file, parse_scoring, write_registry, Args,
+};
 use std::path::Path;
 use std::process::ExitCode;
 use trim_core::{trim_app, DebloatOptions};
@@ -43,6 +45,8 @@ trim:
     --algorithm <A>     ddmin|greedy                      [default: ddmin]
     --engine <E>        oracle execution tier: vm|tree    [default: vm]
     --wrap              append the fallback wrapper to the app output
+    --ic-stats          run the trimmed app once on the VM with inline-cache
+                        counters and append per-site hit/miss rates to REPORT.txt
 
 profile:
     --k <N>             how many rows to print            [default: 20]
@@ -135,7 +139,7 @@ fn debloat_options(args: &Args) -> Result<DebloatOptions, String> {
         };
     }
     if let Some(e) = args.get("engine") {
-        options.engine = trim_core::parse_engine(e).map_err(|err| err.to_string())?;
+        options.engine = parse_engine(e)?;
     }
     if options.threads > 1 && matches!(options.algorithm, trim_core::Algorithm::Greedy) {
         return Err(
@@ -186,11 +190,69 @@ fn cmd_trim(args: &Args) -> Result<(), String> {
     let mut report_text = trim_core::render_report(&report);
     report_text.push('\n');
     report_text.push_str(&trim_core::render_removals(&report));
+    if args.has_flag("ic-stats") {
+        report_text.push('\n');
+        report_text.push_str(&ic_stats_section(&report.trimmed, &app_source, &spec)?);
+    }
     std::fs::write(out.join("REPORT.txt"), &report_text).map_err(|e| e.to_string())?;
 
     print!("{report_text}");
     println!("trimmed packages written to {out_dir}/ (app: {out_dir}/app.py, report: {out_dir}/REPORT.txt)");
     Ok(())
+}
+
+/// One instrumented VM pass over the trimmed application — init plus every
+/// oracle case — rendered as the per-site inline-cache section that
+/// `trim --ic-stats` appends to REPORT.txt. Sites are the resolved-IR
+/// attribute-access ids shared by both engines; rows sort by lookup volume
+/// so the hottest `mod.attr` sites lead.
+fn ic_stats_section(
+    trimmed: &pylite::Registry,
+    app_source: &str,
+    spec: &trim_core::OracleSpec,
+) -> Result<String, String> {
+    let mut interp = pylite::Interpreter::new(trimmed.clone());
+    interp.engine = pylite::Engine::Vm;
+    interp.enable_ic_stats();
+    interp
+        .exec_main(app_source)
+        .map_err(|e| format!("--ic-stats init run failed: {e}"))?;
+    for case in &spec.cases {
+        let event = trim_core::oracle::parse_literal(&case.event).map_err(|e| e.to_string())?;
+        let context = trim_core::oracle::parse_literal(&case.context).map_err(|e| e.to_string())?;
+        interp
+            .call_handler(&spec.handler, event, context)
+            .map_err(|e| format!("--ic-stats handler run failed: {e}"))?;
+    }
+    let stats = interp.ic_site_stats().expect("ic stats were enabled");
+    let mut rows: Vec<(u32, u64, u64)> = stats
+        .iter()
+        .map(|(site, s)| (*site, s.hits, s.misses))
+        .collect();
+    rows.sort_by_key(|&(site, h, m)| (std::cmp::Reverse(h + m), site));
+    let pct = |h: u64, total: u64| {
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * h as f64 / total as f64
+        }
+    };
+    let (hits, misses) = interp.ic_totals();
+    let mut out = String::new();
+    out.push_str("inline-cache sites (vm engine, trimmed registry):\n");
+    out.push_str(&format!(
+        "  total: {hits} hit / {misses} miss ({:.1}% hit rate over {} site{})\n",
+        pct(hits, hits + misses),
+        rows.len(),
+        if rows.len() == 1 { "" } else { "s" }
+    ));
+    for (site, h, m) in rows {
+        out.push_str(&format!(
+            "  site {site:>4}: {h:>8} hit {m:>8} miss  {:>5.1}% hit rate\n",
+            pct(h, h + m)
+        ));
+    }
+    Ok(out)
 }
 
 fn cmd_profile(args: &Args) -> Result<(), String> {
@@ -633,6 +695,29 @@ mod tests {
         let err = debloat_options(&args(&["--engine", "jit"])).expect_err("bad engine rejected");
         assert!(err.contains("unknown engine `jit`"), "{err}");
         assert!(err.contains("expected vm|tree"), "{err}");
+    }
+
+    #[test]
+    fn ic_stats_section_reports_per_site_rates() {
+        let mut registry = pylite::Registry::new();
+        registry.set_module("util", "CONST = 5\n");
+        let app = "import util\nx = util.CONST\n\
+                   def handler(event, context):\n    return util.CONST + event[\"n\"]\n";
+        let spec = trim_core::OracleSpec {
+            handler: "handler".to_owned(),
+            cases: vec![
+                trim_core::TestCase::event("{\"n\": 1}"),
+                trim_core::TestCase::event("{\"n\": 2}"),
+            ],
+        };
+        let section = ic_stats_section(&registry, app, &spec).expect("instrumented run passes");
+        assert!(section.starts_with("inline-cache sites"), "{section}");
+        assert!(section.contains("% hit rate"), "{section}");
+        // Three reads of the same `util.CONST` sites: the repeats hit.
+        assert!(section.contains("hit"), "{section}");
+        let err = ic_stats_section(&registry, "import missing\n", &spec)
+            .expect_err("broken app surfaces the init failure");
+        assert!(err.contains("--ic-stats init run failed"), "{err}");
     }
 
     #[test]
