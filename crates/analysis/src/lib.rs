@@ -42,6 +42,7 @@ pub mod callgraph;
 mod engine;
 pub mod lints;
 pub mod origin;
+pub mod slice;
 pub mod spans;
 pub mod summary;
 

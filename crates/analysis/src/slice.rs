@@ -1,0 +1,745 @@
+//! Statement-level backward slicing of module init bodies (DESIGN.md §15).
+//!
+//! Attribute-granular trimming keeps or drops whole top-level *bindings*;
+//! a kept module still executes every top-level statement of its init
+//! body. This pass computes the backward def-use slice of an init body
+//! that (transitively) defines a seed set of kept attributes, so the
+//! pipeline can drop the init work that feeds nothing the application
+//! keeps — the selective-init move of the risc0-lean report (SNIPPETS.md
+//! snippet 1) applied to pylite modules.
+//!
+//! The slice is *heuristic by design*: side-effecting statements are
+//! pinned conservatively (observable calls, foreign-namespace writes,
+//! raises, star imports), but the soundness authority is the DD oracle —
+//! the pipeline probes every sliced module against the baseline behavior
+//! and falls back to the unsliced body on any mismatch, exactly like the
+//! §11 hazard fallback. Meter-only builtins (`__lt_work__`,
+//! `__lt_alloc__`) are treated as droppable because the oracle's
+//! behavior equivalence deliberately ignores init cost: removing init
+//! work is the point.
+
+use pylite::ast::{ExceptHandler, Expr, Program, Stmt};
+use std::collections::BTreeSet;
+
+/// Callees that cannot change observable behavior (stdout, extcalls,
+/// handler results): the simulated-work meters plus pure builtins.
+/// `print` and `__lt_extcall__` are deliberately absent — their output is
+/// exactly what the oracle compares.
+const PURE_CALLEES: &[&str] = &[
+    "__lt_work__",
+    "__lt_alloc__",
+    "len",
+    "range",
+    "abs",
+    "min",
+    "max",
+    "sum",
+    "sorted",
+    "str",
+    "int",
+    "float",
+    "bool",
+    "list",
+    "dict",
+    "tuple",
+    "enumerate",
+    "zip",
+    "repr",
+    "isinstance",
+    "getattr",
+    "hasattr",
+];
+
+/// The result of slicing one module's init body: which top-level
+/// statements survive, and why.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct InitSlice {
+    /// Indices of kept top-level statements, ascending.
+    pub kept: Vec<usize>,
+    /// Total top-level statement count of the sliced body.
+    pub total: usize,
+    /// Subset of `kept` retained because the statement is pinned as
+    /// (potentially) side-effecting, ascending.
+    pub pinned: Vec<usize>,
+}
+
+impl InitSlice {
+    /// `true` when nothing was dropped — the slice is the whole body.
+    pub fn is_full(&self) -> bool {
+        self.kept.len() == self.total
+    }
+
+    /// Indices of dropped top-level statements, ascending.
+    pub fn dropped(&self) -> Vec<usize> {
+        let kept: BTreeSet<usize> = self.kept.iter().copied().collect();
+        (0..self.total).filter(|i| !kept.contains(i)).collect()
+    }
+}
+
+/// Per-statement def/use/effect facts, computed once per top-level
+/// statement. Compound statements are treated atomically: their defs and
+/// uses are the union over every nested statement.
+struct StmtFacts {
+    defs: BTreeSet<String>,
+    uses: BTreeSet<String>,
+    pinned: bool,
+}
+
+/// Compute the backward def-use slice of `program`'s top-level body that
+/// defines every name in `seed`, pinning side-effecting statements.
+///
+/// `conservative` is the hazard mode: modules implicated by §11 hazard
+/// facts additionally pin every import and every call-bearing statement
+/// (meter builtins excepted), because dynamic access can reach bindings
+/// the static seed cannot see.
+pub fn slice_init(program: &Program, seed: &BTreeSet<String>, conservative: bool) -> InitSlice {
+    let facts: Vec<StmtFacts> = program
+        .body
+        .iter()
+        .map(|s| stmt_facts(s, conservative))
+        .collect();
+    let n = facts.len();
+    let mut keep = vec![false; n];
+    let mut needed: BTreeSet<String> = seed.clone();
+    // Fixpoint: pinned statements and statements defining a needed name
+    // are kept, and their uses become needed in turn. Repeated full
+    // passes handle forward references (a kept function body using a
+    // name defined later in the file).
+    loop {
+        let mut changed = false;
+        for (i, f) in facts.iter().enumerate() {
+            if keep[i] {
+                continue;
+            }
+            if f.pinned || f.defs.iter().any(|d| needed.contains(d)) {
+                keep[i] = true;
+                changed = true;
+                for u in &f.uses {
+                    needed.insert(u.clone());
+                }
+                // A kept statement's own defs are satisfied by itself,
+                // but other statements defining the same name stay in
+                // (conditional rebinds): defs join `needed` so every
+                // definition site of a needed name survives.
+                for d in &f.defs {
+                    needed.insert(d.clone());
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    InitSlice {
+        kept: (0..n).filter(|&i| keep[i]).collect(),
+        total: n,
+        pinned: (0..n).filter(|&i| keep[i] && facts[i].pinned).collect(),
+    }
+}
+
+/// Materialize the sliced program: the kept top-level statements, in
+/// original order. `kept` indices out of range are ignored.
+pub fn sliced_program(program: &Program, kept: &[usize]) -> Program {
+    Program {
+        body: kept
+            .iter()
+            .filter_map(|&i| program.body.get(i).cloned())
+            .collect(),
+    }
+}
+
+fn stmt_facts(stmt: &Stmt, conservative: bool) -> StmtFacts {
+    let mut f = StmtFacts {
+        defs: BTreeSet::new(),
+        uses: BTreeSet::new(),
+        pinned: false,
+    };
+    collect(stmt, conservative, true, &mut f);
+    f
+}
+
+/// Walk one statement, accumulating defs/uses/pins. `top` is true only
+/// for the outermost statement: defs inside compound statements still
+/// count (they bind module names), but defs inside function bodies do
+/// not (they bind locals at call time).
+fn collect(stmt: &Stmt, conservative: bool, top: bool, f: &mut StmtFacts) {
+    match stmt {
+        Stmt::Expr(e) => {
+            expr_uses(e, &mut f.uses);
+            if expr_has_effect(e, conservative) {
+                f.pinned = true;
+            }
+        }
+        Stmt::Assign { targets, value } => {
+            expr_uses(value, &mut f.uses);
+            if expr_has_effect(value, conservative) {
+                f.pinned = true;
+            }
+            for t in targets {
+                if !target_defs(t, &mut f.defs) {
+                    // Attribute / subscript target: a write into a
+                    // foreign namespace (another module, a container) —
+                    // observable beyond this module's bindings.
+                    expr_uses(t, &mut f.uses);
+                    f.pinned = true;
+                }
+            }
+        }
+        Stmt::AugAssign {
+            target,
+            op: _,
+            value,
+        } => {
+            expr_uses(value, &mut f.uses);
+            expr_uses(target, &mut f.uses);
+            if expr_has_effect(value, conservative) {
+                f.pinned = true;
+            }
+            match target {
+                Expr::Name(n) => {
+                    f.defs.insert(n.clone());
+                }
+                _ => f.pinned = true,
+            }
+        }
+        Stmt::If { branches, orelse } => {
+            for (test, body) in branches {
+                expr_uses(test, &mut f.uses);
+                if expr_has_effect(test, conservative) {
+                    f.pinned = true;
+                }
+                for s in body {
+                    collect(s, conservative, false, f);
+                }
+            }
+            for s in orelse {
+                collect(s, conservative, false, f);
+            }
+        }
+        Stmt::While { test, body } => {
+            expr_uses(test, &mut f.uses);
+            if expr_has_effect(test, conservative) {
+                f.pinned = true;
+            }
+            for s in body {
+                collect(s, conservative, false, f);
+            }
+        }
+        Stmt::For {
+            targets,
+            iter,
+            body,
+        } => {
+            expr_uses(iter, &mut f.uses);
+            if expr_has_effect(iter, conservative) {
+                f.pinned = true;
+            }
+            for t in targets {
+                f.defs.insert(t.clone());
+            }
+            for s in body {
+                collect(s, conservative, false, f);
+            }
+        }
+        Stmt::FuncDef(func) => {
+            f.defs.insert(func.name.clone());
+            for p in &func.params {
+                if let Some(d) = &p.default {
+                    expr_uses(d, &mut f.uses);
+                    if expr_has_effect(d, conservative) {
+                        f.pinned = true;
+                    }
+                }
+            }
+            // The body runs at call time, not at init: its names are
+            // uses (the slice must keep what a kept function reads),
+            // but its effects do not pin the definition.
+            for s in &func.body {
+                body_uses(s, &mut f.uses);
+            }
+        }
+        Stmt::ClassDef(class) => {
+            f.defs.insert(class.name.clone());
+            for base in &class.bases {
+                f.uses.insert(base.clone());
+            }
+            // Class bodies execute at definition time.
+            for s in &class.body {
+                let mut inner = StmtFacts {
+                    defs: BTreeSet::new(),
+                    uses: BTreeSet::new(),
+                    pinned: false,
+                };
+                collect(s, conservative, false, &mut inner);
+                // Inner defs bind class attributes, not module names.
+                f.uses.extend(inner.uses);
+                if inner.pinned {
+                    f.pinned = true;
+                }
+            }
+        }
+        Stmt::Return(e) => {
+            if let Some(e) = e {
+                expr_uses(e, &mut f.uses);
+            }
+            // A top-level return is malformed enough to leave alone.
+            f.pinned = true;
+        }
+        Stmt::Pass => {}
+        Stmt::Break | Stmt::Continue => {
+            if top {
+                f.pinned = true;
+            }
+        }
+        Stmt::Import { items } => {
+            for item in items {
+                f.defs.insert(item.bound_name().to_string());
+            }
+            // Importing executes the target's body: in hazard mode any
+            // import may feed dynamic access, so it stays.
+            if conservative {
+                f.pinned = true;
+            }
+        }
+        Stmt::FromImport { module: _, names } => {
+            let mut star = false;
+            for (name, alias) in names {
+                if name == "*" {
+                    star = true;
+                } else {
+                    f.defs
+                        .insert(alias.clone().unwrap_or_else(|| name.clone()).to_string());
+                }
+            }
+            // A star import binds the source's whole public surface —
+            // names no static seed can enumerate here. Always pin.
+            if star || conservative {
+                f.pinned = true;
+            }
+        }
+        Stmt::Raise(e) => {
+            if let Some(e) = e {
+                expr_uses(e, &mut f.uses);
+            }
+            f.pinned = true;
+        }
+        Stmt::Try {
+            body,
+            handlers,
+            orelse,
+            finalbody,
+        } => {
+            for s in body.iter().chain(orelse).chain(finalbody) {
+                collect(s, conservative, false, f);
+            }
+            for h in handlers {
+                handler_facts(h, conservative, f);
+            }
+        }
+        Stmt::Global(_) => {
+            // Only meaningful inside functions; at top level it is inert
+            // but cheap, and dropping declarations buys nothing.
+            f.pinned = true;
+        }
+        Stmt::Assert { test, msg } => {
+            expr_uses(test, &mut f.uses);
+            if let Some(m) = msg {
+                expr_uses(m, &mut f.uses);
+            }
+            // A passing assert is behavior-neutral (a failing one would
+            // have failed the baseline), so it pins only via effects.
+            if expr_has_effect(test, conservative)
+                || msg
+                    .as_ref()
+                    .is_some_and(|m| expr_has_effect(m, conservative))
+            {
+                f.pinned = true;
+            }
+        }
+        Stmt::Del(e) => {
+            expr_uses(e, &mut f.uses);
+            // Deleting a binding is an effect on the namespace surface.
+            f.pinned = true;
+        }
+    }
+}
+
+fn handler_facts(h: &ExceptHandler, conservative: bool, f: &mut StmtFacts) {
+    if let Some(t) = &h.exc_type {
+        f.uses.insert(t.clone());
+    }
+    if let Some(n) = &h.name {
+        f.defs.insert(n.clone());
+    }
+    for s in &h.body {
+        collect(s, conservative, false, f);
+    }
+}
+
+/// Record the module names bound by an assignment target. Returns false
+/// for non-name targets (attribute/subscript writes).
+fn target_defs(target: &Expr, defs: &mut BTreeSet<String>) -> bool {
+    match target {
+        Expr::Name(n) => {
+            defs.insert(n.clone());
+            true
+        }
+        Expr::Tuple(items) | Expr::List(items) => items.iter().all(|t| target_defs(t, defs)),
+        _ => false,
+    }
+}
+
+/// Collect every identifier referenced by a function-body statement —
+/// over-approximate on purpose: locals and parameters are included, which
+/// can only keep more than strictly necessary.
+fn body_uses(stmt: &Stmt, uses: &mut BTreeSet<String>) {
+    match stmt {
+        Stmt::Expr(e) | Stmt::Del(e) => expr_uses(e, uses),
+        Stmt::Assign { targets, value } => {
+            for t in targets {
+                expr_uses(t, uses);
+            }
+            expr_uses(value, uses);
+        }
+        Stmt::AugAssign {
+            target,
+            op: _,
+            value,
+        } => {
+            expr_uses(target, uses);
+            expr_uses(value, uses);
+        }
+        Stmt::If { branches, orelse } => {
+            for (test, body) in branches {
+                expr_uses(test, uses);
+                for s in body {
+                    body_uses(s, uses);
+                }
+            }
+            for s in orelse {
+                body_uses(s, uses);
+            }
+        }
+        Stmt::While { test, body } => {
+            expr_uses(test, uses);
+            for s in body {
+                body_uses(s, uses);
+            }
+        }
+        Stmt::For { iter, body, .. } => {
+            expr_uses(iter, uses);
+            for s in body {
+                body_uses(s, uses);
+            }
+        }
+        Stmt::FuncDef(func) => {
+            for p in &func.params {
+                if let Some(d) = &p.default {
+                    expr_uses(d, uses);
+                }
+            }
+            for s in &func.body {
+                body_uses(s, uses);
+            }
+        }
+        Stmt::ClassDef(class) => {
+            for base in &class.bases {
+                uses.insert(base.clone());
+            }
+            for s in &class.body {
+                body_uses(s, uses);
+            }
+        }
+        Stmt::Return(e) | Stmt::Raise(e) => {
+            if let Some(e) = e {
+                expr_uses(e, uses);
+            }
+        }
+        Stmt::Pass | Stmt::Break | Stmt::Continue | Stmt::Global(_) => {}
+        Stmt::Import { .. } | Stmt::FromImport { .. } => {}
+        Stmt::Try {
+            body,
+            handlers,
+            orelse,
+            finalbody,
+        } => {
+            for s in body.iter().chain(orelse).chain(finalbody) {
+                body_uses(s, uses);
+            }
+            for h in handlers {
+                if let Some(t) = &h.exc_type {
+                    uses.insert(t.clone());
+                }
+                for s in &h.body {
+                    body_uses(s, uses);
+                }
+            }
+        }
+        Stmt::Assert { test, msg } => {
+            expr_uses(test, uses);
+            if let Some(m) = msg {
+                expr_uses(m, uses);
+            }
+        }
+    }
+}
+
+/// Collect every identifier an expression references.
+fn expr_uses(e: &Expr, uses: &mut BTreeSet<String>) {
+    match e {
+        Expr::Name(n) => {
+            uses.insert(n.clone());
+        }
+        Expr::List(items) | Expr::Tuple(items) => {
+            for item in items {
+                expr_uses(item, uses);
+            }
+        }
+        Expr::Dict(pairs) => {
+            for (k, v) in pairs {
+                expr_uses(k, uses);
+                expr_uses(v, uses);
+            }
+        }
+        Expr::Attribute { value, .. } => expr_uses(value, uses),
+        Expr::Subscript { value, index } => {
+            expr_uses(value, uses);
+            expr_uses(index, uses);
+        }
+        Expr::Call { func, args, kwargs } => {
+            expr_uses(func, uses);
+            for a in args {
+                expr_uses(a, uses);
+            }
+            for (_, v) in kwargs {
+                expr_uses(v, uses);
+            }
+        }
+        Expr::Unary { operand, .. } => expr_uses(operand, uses),
+        Expr::Binary { left, right, .. } => {
+            expr_uses(left, uses);
+            expr_uses(right, uses);
+        }
+        Expr::Bool { values, .. } => {
+            for v in values {
+                expr_uses(v, uses);
+            }
+        }
+        Expr::Compare { left, ops } => {
+            expr_uses(left, uses);
+            for (_, v) in ops {
+                expr_uses(v, uses);
+            }
+        }
+        Expr::Conditional { test, body, orelse } => {
+            expr_uses(test, uses);
+            expr_uses(body, uses);
+            expr_uses(orelse, uses);
+        }
+        Expr::ListComp {
+            element,
+            iter,
+            cond,
+            ..
+        } => {
+            expr_uses(element, uses);
+            expr_uses(iter, uses);
+            if let Some(c) = cond {
+                expr_uses(c, uses);
+            }
+        }
+        Expr::Slice { value, start, stop } => {
+            expr_uses(value, uses);
+            if let Some(s) = start {
+                expr_uses(s, uses);
+            }
+            if let Some(s) = stop {
+                expr_uses(s, uses);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Could evaluating this expression observably change behavior (stdout,
+/// extcalls, results) or foreign state? Calls to anything outside
+/// [`PURE_CALLEES`] might; in conservative (hazard) mode every call does,
+/// meter builtins excepted.
+fn expr_has_effect(e: &Expr, conservative: bool) -> bool {
+    match e {
+        Expr::Call { func, args, kwargs } => {
+            let callee_pure = match func.as_ref() {
+                Expr::Name(n) => {
+                    if conservative {
+                        matches!(n.as_str(), "__lt_work__" | "__lt_alloc__")
+                    } else {
+                        PURE_CALLEES.contains(&n.as_str())
+                    }
+                }
+                _ => false,
+            };
+            !callee_pure
+                || args.iter().any(|a| expr_has_effect(a, conservative))
+                || kwargs.iter().any(|(_, v)| expr_has_effect(v, conservative))
+        }
+        Expr::List(items) | Expr::Tuple(items) => {
+            items.iter().any(|i| expr_has_effect(i, conservative))
+        }
+        Expr::Dict(pairs) => pairs
+            .iter()
+            .any(|(k, v)| expr_has_effect(k, conservative) || expr_has_effect(v, conservative)),
+        Expr::Attribute { value, .. } => expr_has_effect(value, conservative),
+        Expr::Subscript { value, index } => {
+            expr_has_effect(value, conservative) || expr_has_effect(index, conservative)
+        }
+        Expr::Unary { operand, .. } => expr_has_effect(operand, conservative),
+        Expr::Binary { left, right, .. } => {
+            expr_has_effect(left, conservative) || expr_has_effect(right, conservative)
+        }
+        Expr::Bool { values, .. } => values.iter().any(|v| expr_has_effect(v, conservative)),
+        Expr::Compare { left, ops } => {
+            expr_has_effect(left, conservative)
+                || ops.iter().any(|(_, v)| expr_has_effect(v, conservative))
+        }
+        Expr::Conditional { test, body, orelse } => {
+            expr_has_effect(test, conservative)
+                || expr_has_effect(body, conservative)
+                || expr_has_effect(orelse, conservative)
+        }
+        Expr::ListComp {
+            element,
+            iter,
+            cond,
+            ..
+        } => {
+            expr_has_effect(element, conservative)
+                || expr_has_effect(iter, conservative)
+                || cond
+                    .as_ref()
+                    .is_some_and(|c| expr_has_effect(c, conservative))
+        }
+        Expr::Slice { value, start, stop } => {
+            expr_has_effect(value, conservative)
+                || start
+                    .as_ref()
+                    .is_some_and(|s| expr_has_effect(s, conservative))
+                || stop
+                    .as_ref()
+                    .is_some_and(|s| expr_has_effect(s, conservative))
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pylite::parse;
+
+    fn seed(names: &[&str]) -> BTreeSet<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn slice_src(src: &str, keep: &[&str], conservative: bool) -> (InitSlice, String) {
+        let p = parse(src).expect("test source parses");
+        let s = slice_init(&p, &seed(keep), conservative);
+        let out = pylite::unparse(&sliced_program(&p, &s.kept));
+        (s, out)
+    }
+
+    #[test]
+    fn drops_init_work_feeding_no_kept_attribute() {
+        let src = "__lt_work__(40)\n_weights = __lt_alloc__(20)\ndef go(x):\n    return x\n";
+        let (s, out) = slice_src(src, &["go"], false);
+        assert_eq!(s.kept, vec![2]);
+        assert_eq!(s.total, 3);
+        assert!(s.pinned.is_empty());
+        assert_eq!(out, "def go(x):\n    return x\n");
+    }
+
+    #[test]
+    fn keeps_transitive_defs_of_kept_attributes() {
+        let src = "base = 2\nscale = base * 3\nunused = 99\nvalue = scale + 1\n";
+        let (s, _) = slice_src(src, &["value"], false);
+        assert_eq!(s.kept, vec![0, 1, 3], "base and scale feed value");
+    }
+
+    #[test]
+    fn forward_references_inside_functions_are_kept() {
+        // `go` reads LIMIT, defined *after* it — the fixpoint must pick
+        // the later statement up on a subsequent pass.
+        let src = "def go():\n    return LIMIT\nLIMIT = 10\nnoise = 1\n";
+        let (s, _) = slice_src(src, &["go"], false);
+        assert_eq!(s.kept, vec![0, 1]);
+    }
+
+    #[test]
+    fn pins_observable_effects() {
+        let src = "print(\"loading\")\n__lt_extcall__(\"warmup\")\nx = 1\n";
+        let (s, _) = slice_src(src, &[], false);
+        assert_eq!(s.kept, vec![0, 1], "print and extcall are pinned");
+        assert_eq!(s.pinned, vec![0, 1]);
+    }
+
+    #[test]
+    fn pins_foreign_namespace_writes() {
+        let src = "import cfg\ncfg.flag = 1\nx = 2\n";
+        let (s, _) = slice_src(src, &[], false);
+        assert!(s.kept.contains(&1), "cfg.flag write is pinned");
+        assert!(s.kept.contains(&0), "pinned write uses cfg: import kept");
+        assert!(!s.kept.contains(&2));
+    }
+
+    #[test]
+    fn pins_star_imports_and_raises() {
+        let src = "from helpers import *\nraise ValueError(\"boom\")\n";
+        let (s, _) = slice_src(src, &[], false);
+        assert_eq!(s.kept, vec![0, 1]);
+    }
+
+    #[test]
+    fn meter_builtins_are_droppable_even_in_conservative_mode() {
+        let src = "__lt_work__(40)\nimport util\nx = util.helper()\n";
+        let (s, _) = slice_src(src, &[], true);
+        assert!(!s.kept.contains(&0), "meter call never pins");
+        assert!(s.kept.contains(&1), "conservative mode pins imports");
+        assert!(s.kept.contains(&2), "conservative mode pins calls");
+    }
+
+    #[test]
+    fn conditional_rebinds_keep_every_definition_site() {
+        let src = "mode = \"fast\"\nif flag:\n    mode = \"slow\"\nout = mode\n";
+        let (s, _) = slice_src(src, &["out"], false);
+        assert_eq!(s.kept, vec![0, 1, 2], "both definition sites survive");
+    }
+
+    #[test]
+    fn class_bases_and_bodies_contribute_uses() {
+        let src = "K = 3\nclass Base:\n    pass\nclass Net(Base):\n    size = K\nzz = 1\n";
+        let (s, _) = slice_src(src, &["Net"], false);
+        assert_eq!(s.kept, vec![0, 1, 2], "base class and K are reached");
+    }
+
+    #[test]
+    fn imports_feeding_kept_functions_survive() {
+        let src = "import util\nimport unused_lib\ndef go():\n    return util.fmt(1)\n";
+        let (s, _) = slice_src(src, &["go"], false);
+        assert_eq!(s.kept, vec![0, 2], "only the used import survives");
+    }
+
+    #[test]
+    fn full_slice_round_trips() {
+        let src = "a = 1\nb = a + 1\n";
+        let (s, out) = slice_src(src, &["a", "b"], false);
+        assert!(s.is_full());
+        assert!(s.dropped().is_empty());
+        assert_eq!(out, pylite::unparse(&parse(src).unwrap()));
+    }
+
+    #[test]
+    fn sliced_program_preserves_order() {
+        let p = parse("a = 1\nb = 2\nc = 3\n").unwrap();
+        let sliced = sliced_program(&p, &[0, 2]);
+        assert_eq!(pylite::unparse(&sliced), "a = 1\nc = 3\n");
+    }
+}

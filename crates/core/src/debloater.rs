@@ -86,6 +86,13 @@ pub struct DebloatOptions {
     /// execution, so this only affects wall-clock speed, never results;
     /// `false` forces every probe to run module bodies live.
     pub init_snapshots: bool,
+    /// Statement-level selective-init slicing (default: on): after DD has
+    /// minimized each module's attribute surface, drop the init statements
+    /// whose work feeds nothing the surviving surface needs (bare meter
+    /// calls, dead priming loops). Every slice is probe-verified against
+    /// the baseline behavior before commit and falls back to the unsliced
+    /// body on any mismatch; `false` (`--no-slice`) skips the pass.
+    pub slice_init: bool,
 }
 
 impl PartialEq for DebloatOptions {
@@ -102,6 +109,7 @@ impl PartialEq for DebloatOptions {
             && self.hazards == other.hazards
             && self.engine == other.engine
             && self.init_snapshots == other.init_snapshots
+            && self.slice_init == other.slice_init
             && match (&self.probe_cache, &other.probe_cache) {
                 (None, None) => true,
                 (Some(a), Some(b)) => Arc::ptr_eq(a, b),
@@ -130,6 +138,7 @@ impl Default for DebloatOptions {
             hazards: HazardMode::default(),
             engine: Engine::default(),
             init_snapshots: true,
+            slice_init: true,
         }
     }
 }

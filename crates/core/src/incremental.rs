@@ -20,6 +20,7 @@ use crate::oracle::{run_app_measured_opts, run_app_opts, Execution, OracleSpec};
 use crate::pipeline::TrimReport;
 use crate::probe_cache::{app_fingerprint, ProbeKey};
 use crate::rewrite::rewrite_module;
+use crate::slicer::{slice_modules, SliceReport};
 use crate::TrimError;
 use pylite::Registry;
 use std::collections::{BTreeMap, BTreeSet};
@@ -72,6 +73,9 @@ pub struct IncrementalReport {
     pub cold_modules: usize,
     /// Total oracle invocations (compare with a cold run to see savings).
     pub oracle_invocations: u64,
+    /// Per-module selective-init slice results, matching the cold
+    /// pipeline's pass. Empty when [`DebloatOptions::slice_init`] is off.
+    pub slices: Vec<SliceReport>,
 }
 
 impl IncrementalReport {
@@ -132,7 +136,8 @@ pub fn retrim_with_log(
         jobs: options.jobs,
         summary_cache: Some(summaries),
     };
-    let analysis = trim_analysis::analyze_full(&app_program, registry, &analysis_options).analysis;
+    let full = trim_analysis::analyze_full(&app_program, registry, &analysis_options);
+    let analysis = &full.analysis;
     let app_fp = app_fingerprint(app_source, spec);
 
     let mut work = registry.clone();
@@ -287,6 +292,26 @@ pub fn retrim_with_log(
             }
         }
     }
+    // Mirror the cold pipeline's selective-init slicing pass so an
+    // incremental retrim converges to the same deployment as a from-scratch
+    // trim of the same inputs.
+    let slices = if options.slice_init {
+        let candidates: Vec<String> = modules.iter().map(|m| m.module.clone()).collect();
+        let hazard_set: BTreeSet<String> = full.hazard_attrs.keys().cloned().collect();
+        let slices = slice_modules(
+            &mut work,
+            app_source,
+            spec,
+            &before,
+            &candidates,
+            &hazard_set,
+            options,
+        )?;
+        oracle_invocations += slices.iter().map(|s| s.oracle_invocations).sum::<u64>();
+        slices
+    } else {
+        Vec::new()
+    };
     let after = run_app_opts(
         &work,
         app_source,
@@ -303,6 +328,7 @@ pub fn retrim_with_log(
         seeded_modules,
         cold_modules,
         oracle_invocations,
+        slices,
     })
 }
 

@@ -15,6 +15,7 @@
 //! * [`rewrite`] — single-traversal AST rewriting to a kept attribute set;
 //! * [`oracle`] — test-case execution and behavioral equivalence (§5.3);
 //! * [`debloater`] — per-module Delta Debugging with probe isolation (§6.3);
+//! * [`slicer`] — statement-level selective-init slicing of kept modules;
 //! * [`pipeline`] — the full analyzer → profiler → debloater flow;
 //! * [`fallback`] — the AttributeError-catching deployment wrapper (§5.4).
 //!
@@ -52,6 +53,7 @@ pub mod pipeline;
 pub mod probe_cache;
 pub mod report;
 pub mod rewrite;
+pub mod slicer;
 
 use std::fmt;
 
@@ -73,6 +75,7 @@ pub use probe_cache::{app_fingerprint, ProbeCache, ProbeKey};
 pub use pylite::Engine;
 pub use report::{render as render_report, render_removals};
 pub use rewrite::{rewrite_module, rewrite_source};
+pub use slicer::{slice_modules, SliceReport};
 pub use trim_analysis::AnalysisMode;
 
 /// Errors from the λ-trim pipeline.

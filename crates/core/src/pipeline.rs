@@ -3,6 +3,7 @@
 
 use crate::debloater::{debloat_module, DebloatOptions, HazardMode, ModuleReport};
 use crate::oracle::{run_app_opts, Execution, OracleSpec};
+use crate::slicer::{slice_modules, SliceReport};
 use crate::TrimError;
 use pylite::Registry;
 use std::collections::{BTreeMap, BTreeSet};
@@ -37,6 +38,9 @@ pub struct TrimReport {
     /// was still trimmed despite a *bounded* hazard implicating it
     /// (empty under [`HazardMode::Blanket`]).
     pub pinned_hazard_attrs: BTreeMap<String, BTreeSet<String>>,
+    /// Per-module selective-init slice results (statements kept/total),
+    /// in debloat order. Empty when [`DebloatOptions::slice_init`] is off.
+    pub slices: Vec<SliceReport>,
 }
 
 impl TrimReport {
@@ -52,6 +56,11 @@ impl TrimReport {
         } else {
             (self.before.init_secs - self.after.init_secs) / self.before.init_secs
         }
+    }
+
+    /// Total init statements removed by selective-init slicing.
+    pub fn init_stmts_removed(&self) -> usize {
+        self.slices.iter().map(SliceReport::stmts_removed).sum()
     }
 
     /// Memory improvement, as a fraction of the original.
@@ -188,6 +197,27 @@ pub fn trim_app(
         modules.push(report);
     }
 
+    // 5. Statement-level selective-init slicing over the modules DD kept:
+    //    drop the init statements feeding nothing the surviving attribute
+    //    surface needs. The oracle is the soundness authority (probe
+    //    failure → ddmax refinement → unsliced fallback), and hazard-
+    //    implicated modules slice in conservative mode.
+    let slices = if options.slice_init {
+        let candidates: Vec<String> = modules.iter().map(|m| m.module.clone()).collect();
+        let hazard_set: BTreeSet<String> = full.hazard_attrs.keys().cloned().collect();
+        slice_modules(
+            &mut work,
+            app_source,
+            spec,
+            &before,
+            &candidates,
+            &hazard_set,
+            options,
+        )?
+    } else {
+        Vec::new()
+    };
+
     let after = run_app_opts(
         &work,
         app_source,
@@ -200,8 +230,13 @@ pub fn trim_app(
         after.behavior_eq(&before),
         "trimmed application must be oracle-equivalent"
     );
-    let debloat_secs = modules.iter().map(|m| m.debloat_secs).sum();
-    let oracle_invocations = modules.iter().map(|m| m.dd_stats.oracle_invocations).sum();
+    let debloat_secs = modules.iter().map(|m| m.debloat_secs).sum::<f64>()
+        + slices.iter().map(|s| s.slice_secs).sum::<f64>();
+    let oracle_invocations = modules
+        .iter()
+        .map(|m| m.dd_stats.oracle_invocations)
+        .sum::<u64>()
+        + slices.iter().map(|s| s.oracle_invocations).sum::<u64>();
     Ok(TrimReport {
         modules,
         before,
@@ -212,6 +247,7 @@ pub fn trim_app(
         lints: full.lints,
         fallback_modules,
         pinned_hazard_attrs,
+        slices,
     })
 }
 

@@ -53,6 +53,30 @@ pub fn render(report: &TrimReport) -> String {
         "oracle probes : {} (simulated debloat time {:.1} s)",
         report.oracle_invocations, report.debloat_secs
     );
+    if !report.slices.is_empty() {
+        let before: usize = report.slices.iter().map(|s| s.stmts_before).sum();
+        let _ = writeln!(
+            out,
+            "init slicing  : {} of {} init statements removed across {} modules",
+            report.init_stmts_removed(),
+            before,
+            report.slices.len()
+        );
+        for s in &report.slices {
+            let note = if s.fell_back {
+                " (fallback: unsliced)"
+            } else if s.refined {
+                " (oracle-refined)"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>4} / {:>4} statements kept{note}",
+                s.module, s.stmts_after, s.stmts_before
+            );
+        }
+    }
     let _ = writeln!(
         out,
         "behavior      : {}",
@@ -134,6 +158,8 @@ mod tests {
         assert!(text.contains("identical on the oracle set"));
         assert!(text.contains("function init"));
         assert!(text.contains("oracle probes"));
+        assert!(text.contains("init slicing"), "{text}");
+        assert!(text.contains("statements kept"), "{text}");
     }
 
     #[test]

@@ -727,6 +727,95 @@ pub fn greedy_min<T: Clone>(
     })
 }
 
+/// Maximize a *droppable* subset: the dual of [`ddmin_with`] used by the
+/// statement-slicing pass. The oracle receives the candidate **dropped**
+/// subset and answers whether the program still behaves correctly with
+/// those components removed. Returns a 1-maximal droppable subset — adding
+/// any single remaining component to the dropped set makes the oracle fail
+/// (unless the probe budget ran out first).
+///
+/// Implemented by complement reduction: `drop(D)` passes iff `keep(A \ D)`
+/// passes, so running [`ddmin_with`] on the keep-oracle over component
+/// indices yields a 1-minimal keep set whose complement is the 1-maximal
+/// drop set.
+///
+/// # Errors
+///
+/// [`DdError::OracleRejectsWhole`] if even dropping *nothing* fails — the
+/// caller's baseline is broken, not the reduction.
+pub fn ddmax_with<T: Clone>(
+    items: &[T],
+    oracle: &mut dyn FnMut(&[T]) -> bool,
+    options: DdOptions,
+) -> Result<DdResult<T>, DdError> {
+    let indices: Vec<u32> = (0..items.len() as u32).collect();
+    let mut keep_oracle = |kept: &[u32]| -> bool {
+        let dropped: Vec<T> = indices
+            .iter()
+            .filter(|i| !kept.contains(i))
+            .map(|&i| items[i as usize].clone())
+            .collect();
+        oracle(&dropped)
+    };
+    let kept = ddmin_with(&indices, &mut keep_oracle, options)?;
+    let minimized: Vec<T> = indices
+        .iter()
+        .filter(|i| !kept.minimized.contains(i))
+        .map(|&i| items[i as usize].clone())
+        .collect();
+    Ok(DdResult {
+        minimized,
+        stats: kept.stats,
+    })
+}
+
+#[cfg(test)]
+mod ddmax_tests {
+    use super::*;
+
+    #[test]
+    fn ddmax_finds_the_full_droppable_complement() {
+        // Components 3 and 7 are load-bearing: any drop set containing
+        // them fails. The maximal droppable set is everything else.
+        let items: Vec<u32> = (0..12).collect();
+        let mut oracle = |dropped: &[u32]| !dropped.contains(&3) && !dropped.contains(&7);
+        let r = ddmax_with(&items, &mut oracle, DdOptions::default()).unwrap();
+        let expected: Vec<u32> = (0..12).filter(|&i| i != 3 && i != 7).collect();
+        assert_eq!(r.minimized, expected);
+    }
+
+    #[test]
+    fn ddmax_result_is_one_maximal() {
+        let items: Vec<u32> = (0..16).collect();
+        let mut oracle = |dropped: &[u32]| dropped.iter().all(|d| d % 3 != 0);
+        let r = ddmax_with(&items, &mut oracle, DdOptions::default()).unwrap();
+        assert!(oracle(&r.minimized), "result must pass the oracle");
+        for extra in items.iter().filter(|i| !r.minimized.contains(i)) {
+            let mut grown = r.minimized.clone();
+            grown.push(*extra);
+            assert!(!oracle(&grown), "adding {extra} must fail: 1-maximality");
+        }
+    }
+
+    #[test]
+    fn ddmax_on_broken_baseline_is_an_error() {
+        // Even the empty drop fails: the caller's baseline is broken.
+        let items = vec![1u32, 2];
+        assert_eq!(
+            ddmax_with(&items, &mut |_: &[u32]| false, DdOptions::default()).unwrap_err(),
+            DdError::OracleRejectsWhole
+        );
+    }
+
+    #[test]
+    fn ddmax_with_nothing_droppable_returns_empty() {
+        let items: Vec<u32> = (0..6).collect();
+        let mut oracle = |dropped: &[u32]| dropped.is_empty();
+        let r = ddmax_with(&items, &mut oracle, DdOptions::default()).unwrap();
+        assert!(r.minimized.is_empty());
+    }
+}
+
 #[cfg(test)]
 mod greedy_tests {
     use super::*;

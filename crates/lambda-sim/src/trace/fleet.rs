@@ -54,11 +54,14 @@ fn hist_bin(secs: f64) -> usize {
 
 /// Representative latency for `p`-th percentile from cumulative counts:
 /// the geometric midpoint of the first bin whose cumulative mass crosses
-/// the rank.
-fn hist_percentile(hist: &[u64], p: f64) -> f64 {
+/// the rank. `None` when the histogram is empty (zero arrivals in the
+/// window — an all-filtered trace or a rare function that never fired):
+/// there is no order statistic to estimate, and the caller must decide
+/// what an absent percentile renders as rather than divide by zero here.
+fn hist_percentile(hist: &[u64], p: f64) -> Option<f64> {
     let total: u64 = hist.iter().sum();
     if total == 0 {
-        return 0.0;
+        return None;
     }
     let rank = (p / 100.0 * total as f64).ceil().max(1.0) as u64;
     let mut cum = 0u64;
@@ -67,10 +70,10 @@ fn hist_percentile(hist: &[u64], p: f64) -> f64 {
         if cum >= rank {
             let width = (HIST_LOG_MAX - HIST_LOG_MIN) / HIST_BINS as f64;
             let mid = HIST_LOG_MIN + (bin as f64 + 0.5) * width;
-            return 10f64.powf(mid);
+            return Some(10f64.powf(mid));
         }
     }
-    10f64.powf(HIST_LOG_MAX)
+    Some(10f64.powf(HIST_LOG_MAX))
 }
 
 /// Aggregate results for one (mode × keep-alive) variant across the fleet.
@@ -322,9 +325,11 @@ pub fn replay_fleet(
         }
     }
     for (v, report) in variants.iter_mut().enumerate() {
-        report.e2e_p50_secs = hist_percentile(&hists[v], 50.0);
-        report.e2e_p95_secs = hist_percentile(&hists[v], 95.0);
-        report.e2e_p99_secs = hist_percentile(&hists[v], 99.0);
+        // Absent percentiles (zero arrivals) render as an explicit 0.0
+        // zero-stat slot, never as NaN from an empty histogram.
+        report.e2e_p50_secs = hist_percentile(&hists[v], 50.0).unwrap_or(0.0);
+        report.e2e_p95_secs = hist_percentile(&hists[v], 95.0).unwrap_or(0.0);
+        report.e2e_p99_secs = hist_percentile(&hists[v], 99.0).unwrap_or(0.0);
         for d in 1..=10 {
             report.cold_ratio_deciles[d - 1] = percentile(&cold_ratios[v], d as f64 * 10.0);
         }
@@ -511,10 +516,37 @@ mod tests {
         hist[100] = 50;
         hist[200] = 40;
         hist[300] = 10;
-        let p50 = hist_percentile(&hist, 50.0);
-        let p95 = hist_percentile(&hist, 95.0);
-        let p99 = hist_percentile(&hist, 99.0);
+        let p50 = hist_percentile(&hist, 50.0).expect("non-empty histogram");
+        let p95 = hist_percentile(&hist, 95.0).expect("non-empty histogram");
+        let p99 = hist_percentile(&hist, 99.0).expect("non-empty histogram");
         assert!(p50 <= p95 && p95 <= p99);
-        assert_eq!(hist_percentile(&[0u64; HIST_BINS], 50.0), 0.0);
+        assert_eq!(hist_percentile(&[0u64; HIST_BINS], 50.0), None);
+    }
+
+    #[test]
+    fn zero_arrival_fleet_reports_zero_stat_slots() {
+        // A window short enough that every synthetic function's first
+        // arrival falls outside it: the empty histograms must surface as
+        // explicit zero slots, and the render must carry no NaN.
+        let config = TraceConfig {
+            functions: 3,
+            window_secs: 1e-6,
+            seed: 5,
+            diurnal: None,
+        };
+        let report =
+            replay_fleet(&Platform::default(), &config, &ReplayOptions::default()).expect("valid");
+        assert_eq!(report.invocations, 0);
+        for v in &report.variants {
+            assert_eq!(v.invocations, 0);
+            assert_eq!(v.cold_ratio(), 0.0);
+            assert_eq!(
+                (v.e2e_p50_secs, v.e2e_p95_secs, v.e2e_p99_secs),
+                (0.0, 0.0, 0.0)
+            );
+            assert_eq!(v.cold_ratio_deciles, [0.0; 10]);
+        }
+        let json = render_fleet_metrics_json(&report);
+        assert!(!json.contains("NaN"), "{json}");
     }
 }

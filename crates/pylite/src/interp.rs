@@ -211,6 +211,18 @@ pub struct IcSiteStats {
     pub misses: u64,
 }
 
+/// Inline-cache counters split by execution phase. Replayed init
+/// snapshots never reach `attr_lookup`, so folding init-frame lookups
+/// into one total would make hit rates depend on whether
+/// `init_snapshots` is on; live-frame counters are replay-invariant.
+#[derive(Debug, Default)]
+struct IcStatsRecorder {
+    /// Per-site counters for live (handler) execution: `import_depth == 0`.
+    live: HashMap<u32, IcSiteStats, SymbolHashBuilder>,
+    /// Aggregate counters for module-init execution: `import_depth > 0`.
+    init: IcSiteStats,
+}
+
 /// Default per-run step budget (statements). Debloated candidate programs
 /// can in pathological cases loop forever; the budget turns that into a
 /// deterministic [`ExcKind::ResourceExhausted`] failure the oracle rejects.
@@ -248,7 +260,7 @@ pub struct Interpreter {
     syms: CommonSyms,
     native_syms: NativeSyms,
     ics: HashMap<u32, IcEntry, SymbolHashBuilder>,
-    ic_stats: Option<HashMap<u32, IcSiteStats, SymbolHashBuilder>>,
+    ic_stats: Option<IcStatsRecorder>,
     /// Recycled VM frames: nested bytecode calls pop a frame here instead
     /// of allocating fresh operand-stack/iterator vectors per invocation.
     pub(crate) vm_frames: Vec<crate::bytecode::VmFrame>,
@@ -333,23 +345,40 @@ impl Interpreter {
     /// the counters cost a branch plus a hash update per `mod.attr` read,
     /// so only benchmarking harnesses should enable them.
     pub fn enable_ic_stats(&mut self) {
-        self.ic_stats = Some(HashMap::default());
+        self.ic_stats = Some(IcStatsRecorder::default());
     }
 
-    /// Per-site inline-cache counters, if enabled. Keys are the
-    /// resolved-IR attribute-site ids shared by both engines.
+    /// Per-site inline-cache counters for live (handler) execution, if
+    /// enabled. Keys are the resolved-IR attribute-site ids shared by
+    /// both engines. Lookups made while a module init is on the import
+    /// stack are excluded — see [`Interpreter::ic_init_totals`].
     pub fn ic_site_stats(&self) -> Option<&HashMap<u32, IcSiteStats, SymbolHashBuilder>> {
-        self.ic_stats.as_ref()
+        self.ic_stats.as_ref().map(|s| &s.live)
     }
 
-    /// Total inline-cache `(hits, misses)` across all sites (zeros when
-    /// counting is disabled).
+    /// Total live-execution inline-cache `(hits, misses)` across all
+    /// sites (zeros when counting is disabled). Invariant under init-
+    /// snapshot replay: replayed inits skip `attr_lookup` entirely, so
+    /// only counting `import_depth == 0` frames keeps replay-on and
+    /// replay-off totals equal on the same live work.
     pub fn ic_totals(&self) -> (u64, u64) {
         match &self.ic_stats {
             None => (0, 0),
             Some(stats) => stats
+                .live
                 .values()
                 .fold((0, 0), |(h, m), s| (h + s.hits, m + s.misses)),
+        }
+    }
+
+    /// Aggregate inline-cache `(hits, misses)` incurred during module
+    /// initialization (`import_depth > 0`); zeros when counting is
+    /// disabled. Reported separately because init-snapshot replay
+    /// legitimately drives this to zero.
+    pub fn ic_init_totals(&self) -> (u64, u64) {
+        match &self.ic_stats {
+            None => (0, 0),
+            Some(stats) => (stats.init.hits, stats.init.misses),
         }
     }
 
@@ -659,10 +688,15 @@ impl Interpreter {
     }
 
     /// Log an observed `(module, attr)` access while a capture is active.
+    /// Deduped per innermost frame: the same binding touched first by
+    /// attribute lookup and again by namespace iteration (a star import
+    /// materializing a lazy shell) logs exactly once.
     fn snap_log_access(&mut self, module: Symbol, attr: Symbol) {
         if let Some(rec) = &mut self.snap {
-            if !rec.frames.is_empty() {
-                rec.log.push(LogEvent::Access(module, attr));
+            if let Some(frame) = rec.frames.last_mut() {
+                if frame.seen.insert((module, attr)) {
+                    rec.log.push(LogEvent::Access(module, attr));
+                }
             }
         }
     }
@@ -686,14 +720,21 @@ impl Interpreter {
                 mem_start: mem,
                 steps_start: steps,
                 violated: false,
+                seen: HashSet::new(),
             });
         }
     }
 
-    /// Discard the top recording frame after a failed import.
+    /// Discard the top recording frame after a failed import. The popped
+    /// frame's log entries stay in the outer slice, so its seen set merges
+    /// into the new innermost frame to keep dedup exact.
     fn snap_frame_abort(&mut self) {
         if let Some(rec) = &mut self.snap {
-            rec.frames.pop();
+            if let Some(popped) = rec.frames.pop() {
+                if let Some(outer) = rec.frames.last_mut() {
+                    outer.seen.extend(popped.seen);
+                }
+            }
             if rec.frames.is_empty() {
                 rec.log.clear();
             }
@@ -805,6 +846,11 @@ impl Interpreter {
                     arena: builder.finish(),
                 },
             );
+        }
+        // The finished frame's log entries remain in the enclosing slice,
+        // so its seen set merges outward to keep dedup exact there too.
+        if let Some(outer) = rec.frames.last_mut() {
+            outer.seen.extend(frame.seen);
         }
         if rec.frames.is_empty() {
             rec.log.clear();
@@ -1896,13 +1942,21 @@ impl Interpreter {
                         if entry.generation == generation && entry.ns.same(&m.ns) {
                             let value = entry.value.clone();
                             if let Some(stats) = &mut self.ic_stats {
-                                stats.entry(site).or_default().hits += 1;
+                                if self.import_depth == 0 {
+                                    stats.live.entry(site).or_default().hits += 1;
+                                } else {
+                                    stats.init.hits += 1;
+                                }
                             }
                             return Ok(value);
                         }
                     }
                     if let Some(stats) = &mut self.ic_stats {
-                        stats.entry(site).or_default().misses += 1;
+                        if self.import_depth == 0 {
+                            stats.live.entry(site).or_default().misses += 1;
+                        } else {
+                            stats.init.misses += 1;
+                        }
                     }
                 }
                 match m.ns.get(attr) {
@@ -3654,5 +3708,42 @@ print(isinstance(B(), A))
         tree.exec_main(src).expect("tree run");
         assert!(r.snapshot_store().stats().hits >= 1);
         assert_same_observables(&vm, &tree);
+    }
+
+    #[test]
+    fn ic_live_totals_agree_replay_on_vs_replay_off() {
+        // Replayed inits skip `attr_lookup` entirely; only the live/init
+        // split keeps `ic_totals` comparable across snapshot modes.
+        let mut r = Registry::new();
+        r.set_module("util", "X = 1\n");
+        r.set_module("lib", "import util\na = util.X\nb = util.X\nc = util.X\n");
+        let src = "import lib\n\ndef handler(event, context):\n    return lib.a + lib.b\n";
+        let run = |snapshots: bool| {
+            let mut it = Interpreter::new(r.clone());
+            if snapshots {
+                it.enable_init_snapshots();
+            }
+            it.enable_ic_stats();
+            it.exec_main(src).expect("program runs");
+            for _ in 0..2 {
+                it.call_handler("handler", Value::None, Value::None)
+                    .expect("handler runs");
+            }
+            (it.ic_totals(), it.ic_init_totals())
+        };
+        let (live_off, init_off) = run(false);
+        let _capture = run(true);
+        let (live_on, init_on) = run(true);
+        assert!(
+            r.snapshot_store().stats().hits >= 1,
+            "third run replays lib's init"
+        );
+        assert!(live_off.0 + live_off.1 > 0, "handlers exercise IC sites");
+        assert!(init_off.0 + init_off.1 > 0, "lib's init exercises IC sites");
+        assert_eq!(
+            live_on, live_off,
+            "live totals are invariant under init replay"
+        );
+        assert_eq!(init_on, (0, 0), "replayed init never reaches the caches");
     }
 }

@@ -853,6 +853,12 @@ pub(crate) struct SnapFrame {
     pub(crate) steps_start: u64,
     /// Whether a pre-frame import or foreign write invalidated the frame.
     pub(crate) violated: bool,
+    /// `(module, attr)` accesses already logged within this frame. A lazy
+    /// module shell first touched via attribute lookup and later fully
+    /// materialized via namespace iteration (star import) would otherwise
+    /// record the touched binding twice; the log dedupes at record time.
+    /// Observed-access *sets* are dedup-invariant, so replay is unchanged.
+    pub(crate) seen: HashSet<(Symbol, Symbol)>,
 }
 
 /// Per-interpreter recording state, present only when init snapshots are
@@ -1061,6 +1067,7 @@ mod tests {
             mem_start: 0,
             steps_start: 0,
             violated: false,
+            seen: HashSet::new(),
         });
         r.mark_pre_frame("self");
         assert!(!r.frames[0].violated, "own load is intra-frame");
@@ -1077,8 +1084,48 @@ mod tests {
             mem_start: 0,
             steps_start: 0,
             violated: false,
+            seen: HashSet::new(),
         });
         r2.mark_pre_frame("__main__");
         assert!(r2.frames[0].violated, "unknown names sort pre-frame");
+    }
+
+    #[test]
+    fn frame_access_log_dedupes_lookup_then_star_import() {
+        // `pkg` touches `lib.x` via attribute lookup and then fully
+        // materializes lib's namespace via a star import. Pre-dedupe, the
+        // recording frame logged the touched binding twice.
+        let mut r = crate::Registry::new();
+        r.set_module("lib", "x = 1\ny = 2\n");
+        r.set_module("pkg", "import lib\na = lib.x\nfrom lib import *\n");
+        let mut it = crate::Interpreter::new(r.clone());
+        it.enable_init_snapshots();
+        it.exec_main("import pkg\n").unwrap();
+        let store = r.snapshot_store();
+        let entry = store
+            .candidates("pkg")
+            .into_iter()
+            .next()
+            .expect("pkg init captured");
+        let lib = r.interner().intern("lib");
+        let (x, y) = (r.interner().intern("x"), r.interner().intern("y"));
+        let count = |attr: Symbol| {
+            entry
+                .log
+                .iter()
+                .filter(|ev| matches!(ev, SnapEvent::Access(m, a) if *m == lib && *a == attr))
+                .count()
+        };
+        assert_eq!(count(x), 1, "double-touched binding logs exactly once");
+        assert_eq!(count(y), 1, "star-only binding still logs once");
+
+        // Replay must reproduce the same observed-access set as live.
+        let mut live = crate::Interpreter::new(r.clone());
+        live.exec_main("import pkg\n").unwrap();
+        let mut replayed = crate::Interpreter::new(r.clone());
+        replayed.enable_init_snapshots();
+        replayed.exec_main("import pkg\n").unwrap();
+        assert!(r.snapshot_store().stats().hits > 0, "second run replays");
+        assert_eq!(replayed.observed_accesses(), live.observed_accesses());
     }
 }

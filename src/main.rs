@@ -44,6 +44,8 @@ trim:
     --jobs <N>          parallel static-analysis workers  [default: 1]
     --algorithm <A>     ddmin|greedy                      [default: ddmin]
     --engine <E>        oracle execution tier: vm|tree    [default: vm]
+    --no-slice          skip statement-level selective-init slicing of kept
+                        modules (on by default; every slice is oracle-verified)
     --wrap              append the fallback wrapper to the app output
     --ic-stats          run the trimmed app once on the VM with inline-cache
                         counters and append per-site hit/miss rates to REPORT.txt
@@ -141,6 +143,12 @@ fn debloat_options(args: &Args) -> Result<DebloatOptions, String> {
     if let Some(e) = args.get("engine") {
         options.engine = parse_engine(e)?;
     }
+    if let Some(v) = args.get("no-slice") {
+        return Err(format!("--no-slice takes no value (got `{v}`)"));
+    }
+    if args.has_flag("no-slice") {
+        options.slice_init = false;
+    }
     if options.threads > 1 && matches!(options.algorithm, trim_core::Algorithm::Greedy) {
         return Err(
             "--algorithm greedy is sequential; drop --threads or use --algorithm ddmin".to_owned(),
@@ -205,7 +213,9 @@ fn cmd_trim(args: &Args) -> Result<(), String> {
 /// oracle case — rendered as the per-site inline-cache section that
 /// `trim --ic-stats` appends to REPORT.txt. Sites are the resolved-IR
 /// attribute-access ids shared by both engines; rows sort by lookup volume
-/// so the hottest `mod.attr` sites lead.
+/// so the hottest `mod.attr` sites lead. Live-handler and module-init
+/// lookups report separately: replayed init snapshots skip the caches
+/// entirely, so a combined total would swing with `init_snapshots`.
 fn ic_stats_section(
     trimmed: &pylite::Registry,
     app_source: &str,
@@ -238,13 +248,18 @@ fn ic_stats_section(
         }
     };
     let (hits, misses) = interp.ic_totals();
+    let (init_hits, init_misses) = interp.ic_init_totals();
     let mut out = String::new();
     out.push_str("inline-cache sites (vm engine, trimmed registry):\n");
     out.push_str(&format!(
-        "  total: {hits} hit / {misses} miss ({:.1}% hit rate over {} site{})\n",
+        "  live:  {hits} hit / {misses} miss ({:.1}% hit rate over {} site{})\n",
         pct(hits, hits + misses),
         rows.len(),
         if rows.len() == 1 { "" } else { "s" }
+    ));
+    out.push_str(&format!(
+        "  init:  {init_hits} hit / {init_misses} miss ({:.1}% hit rate; zero when init replays from snapshots)\n",
+        pct(init_hits, init_hits + init_misses),
     ));
     for (site, h, m) in rows {
         out.push_str(&format!(
@@ -715,6 +730,9 @@ mod tests {
         assert!(section.contains("% hit rate"), "{section}");
         // Three reads of the same `util.CONST` sites: the repeats hit.
         assert!(section.contains("hit"), "{section}");
+        // Live and init lookups report as separate lines.
+        assert!(section.contains("live:"), "{section}");
+        assert!(section.contains("init:"), "{section}");
         let err = ic_stats_section(&registry, "import missing\n", &spec)
             .expect_err("broken app surfaces the init failure");
         assert!(err.contains("--ic-stats init run failed"), "{err}");
@@ -761,5 +779,23 @@ mod tests {
         assert!(err.contains("--jobs"), "{err}");
         let err = debloat_options(&args(&["--jobs", "0"])).expect_err("zero jobs rejected");
         assert!(err.contains("--jobs"), "{err}");
+    }
+
+    #[test]
+    fn no_slice_flag_disables_slicing_and_takes_no_value() {
+        assert!(
+            debloat_options(&args(&[])).unwrap().slice_init,
+            "slicing defaults on"
+        );
+        let opts = debloat_options(&args(&["--no-slice"])).unwrap();
+        assert!(!opts.slice_init);
+        // `--no-slice` followed by a bare token would silently swallow it as
+        // a value; reject that instead of mis-parsing the command line.
+        let err = debloat_options(&args(&["--no-slice", "yes"])).expect_err("value rejected");
+        assert!(err.contains("--no-slice takes no value"), "{err}");
+        // Followed by another flag it parses as the boolean it is.
+        let opts = debloat_options(&args(&["--no-slice", "--jobs", "2"])).unwrap();
+        assert!(!opts.slice_init);
+        assert_eq!(opts.jobs, 2);
     }
 }

@@ -21,6 +21,13 @@ const FIXTURE: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/tests/golden/azure_trace_sample.csv"
 );
+/// A fixture whose every function has all-zero minute counts — the
+/// all-filtered / zero-arrival shape that must replay to explicit
+/// zero-stat slots instead of NaN percentiles.
+const ZERO_FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/azure_trace_zero_sample.csv"
+);
 const SEED: u64 = 0xA57AC3;
 
 #[test]
@@ -238,6 +245,43 @@ fn streamed_fleet_counts_match_materialized_replay() {
         assert_eq!(fv.snapstart_cost, rv.snapstart_cost);
         assert_eq!(fv.provider_costs, rv.provider_costs);
     }
+}
+
+#[test]
+fn zero_arrival_fixture_replays_to_explicit_zero_stats() {
+    let platform = Platform::default();
+    let trace = load_trace_csv(ZERO_FIXTURE, SEED).expect("zero fixture parses");
+    assert_eq!(trace.functions.len(), 3);
+    assert_eq!(trace.invocations(), 0, "every minute column is zero");
+
+    let report = replay_trace(&platform, &trace, &ReplayOptions::default());
+    for f in &report.functions {
+        assert_eq!(f.invocations, 0);
+        for v in &f.variants {
+            assert_eq!(v.stats.invocations(), 0, "{}: zero-stat slot", f.name);
+            assert!(v.e2e_secs.is_empty(), "{}: no E2E samples", f.name);
+        }
+    }
+    for v in &report.variants {
+        assert_eq!(v.invocations, 0);
+        assert_eq!(v.cold_ratio(), 0.0);
+        assert_eq!(
+            (v.e2e_p50_secs, v.e2e_p95_secs, v.e2e_p99_secs),
+            (0.0, 0.0, 0.0),
+            "empty percentile inputs must yield explicit zeros"
+        );
+        assert!(v.cold_ratio_cdf.is_empty());
+        // Restore mode still bills the snapshot cache storage for the
+        // window, so the share can be 1.0 — but never NaN.
+        assert!((0.0..=1.0).contains(&v.snapstart_share));
+        assert_eq!(v.invocation_cost, 0.0);
+        for &(_, cost) in &v.provider_costs {
+            assert_eq!(cost, 0.0, "no invocations, no per-invocation bill");
+        }
+    }
+    let json = render_metrics_json(&report);
+    assert!(!json.contains("NaN"), "{json}");
+    assert!(!json.contains("inf"), "{json}");
 }
 
 #[test]
